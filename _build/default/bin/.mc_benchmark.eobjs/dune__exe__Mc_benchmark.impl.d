@@ -1,0 +1,1 @@
+bin/mc_benchmark.ml: Arg Array Cmd Cmdliner Format Memcached Printf Rp_harness Rp_workload String Term

@@ -1,0 +1,1 @@
+bin/mc_benchmark.mli:

@@ -1,0 +1,1 @@
+bin/memcached_server.ml: Arg Cmd Cmdliner Memcached Printf Sys Term Unix

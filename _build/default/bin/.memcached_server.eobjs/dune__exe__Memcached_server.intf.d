@@ -1,0 +1,1 @@
+bin/memcached_server.mli:

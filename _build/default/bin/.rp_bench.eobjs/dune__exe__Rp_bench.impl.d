@@ -1,0 +1,1 @@
+bin/rp_bench.ml: Arg Cmd Cmdliner List Rp_figures String Term Unix

@@ -1,0 +1,1 @@
+bin/rp_bench.mli:

@@ -1,0 +1,1 @@
+bin/rp_torture_cli.ml: Arg Cmd Cmdliner Format List Printf Rp_torture String Term

@@ -1,0 +1,133 @@
+(* mc-benchmark-style load generator CLI.
+
+   Default mode drives an in-process store through the full protocol codec
+   (the configuration the figure-5 bench uses). With --socket, it instead
+   benchmarks a running memcached_server over the wire using one client
+   connection per worker thread. *)
+
+open Cmdliner
+
+let backend_arg =
+  let doc = "In-process backend to benchmark ('rp' or 'lock')." in
+  Arg.(
+    value
+    & opt (enum [ ("rp", Memcached.Store.Rp); ("lock", Memcached.Store.Lock) ])
+        Memcached.Store.Rp
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let socket_arg =
+  let doc = "Benchmark a live server over this Unix socket instead of in-process." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let workers_arg =
+  let doc = "Concurrent benchmark workers (the paper's x axis)." in
+  Arg.(value & opt int 4 & info [ "c"; "workers" ] ~docv:"N" ~doc)
+
+let duration_arg =
+  let doc = "Benchmark duration in seconds." in
+  Arg.(value & opt float 2.0 & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc)
+
+let keyspace_arg =
+  let doc = "Number of distinct keys." in
+  Arg.(value & opt int 10_000 & info [ "k"; "keyspace" ] ~docv:"N" ~doc)
+
+let value_size_arg =
+  let doc = "Value size in bytes." in
+  Arg.(value & opt int 100 & info [ "s"; "value-size" ] ~docv:"BYTES" ~doc)
+
+let mode_arg =
+  let doc = "Workload: 'get', 'set', or a SET fraction like 'mixed:0.1'." in
+  let parse s =
+    match s with
+    | "get" -> Ok Memcached.Mc_benchmark.Get_only
+    | "set" -> Ok Memcached.Mc_benchmark.Set_only
+    | _ -> (
+        match String.split_on_char ':' s with
+        | [ "mixed"; f ] -> (
+            match float_of_string_opt f with
+            | Some frac when frac >= 0.0 && frac <= 1.0 ->
+                Ok (Memcached.Mc_benchmark.Mixed frac)
+            | Some _ | None -> Error (`Msg "mixed fraction must be in [0,1]"))
+        | _ -> Error (`Msg "mode must be get, set, or mixed:<fraction>"))
+  in
+  let print ppf = function
+    | Memcached.Mc_benchmark.Get_only -> Format.fprintf ppf "get"
+    | Memcached.Mc_benchmark.Set_only -> Format.fprintf ppf "set"
+    | Memcached.Mc_benchmark.Mixed f -> Format.fprintf ppf "mixed:%g" f
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Memcached.Mc_benchmark.Get_only
+    & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let print_result (r : Memcached.Mc_benchmark.result) =
+  Printf.printf "requests:    %d\n" r.requests;
+  Printf.printf "elapsed:     %.3f s\n" r.elapsed;
+  Printf.printf "throughput:  %.0f req/s\n" r.requests_per_second;
+  Printf.printf "hits/misses: %d/%d\n" r.hits r.misses
+
+(* Socket mode: each worker owns one connection and issues blocking GETs or
+   SETs, like mc-benchmark's per-process connections. *)
+let run_socket path workers duration keyspace value_size mode =
+  let make_worker index ~stop =
+    let client = Memcached.Client.connect (Memcached.Server.Unix_socket path) in
+    let keygen = Rp_workload.Keygen.create ~keyspace ~seed:42 ~worker:index () in
+    let prng = Rp_workload.Keygen.prng keygen in
+    let data = String.make value_size 'x' in
+    let ops =
+      Rp_harness.Runner.loop_until_stop ~stop ~f:(fun () ->
+          let key = Rp_workload.Keygen.string_key (Rp_workload.Keygen.next_key keygen) in
+          let is_set =
+            match mode with
+            | Memcached.Mc_benchmark.Get_only -> false
+            | Memcached.Mc_benchmark.Set_only -> true
+            | Memcached.Mc_benchmark.Mixed f -> Rp_workload.Prng.float prng < f
+          in
+          if is_set then ignore (Memcached.Client.set client ~key ~data ())
+          else ignore (Memcached.Client.get client key))
+    in
+    Memcached.Client.close client;
+    ops
+  in
+  (* Prefill over one connection. *)
+  let client = Memcached.Client.connect (Memcached.Server.Unix_socket path) in
+  for i = 0 to keyspace - 1 do
+    ignore
+      (Memcached.Client.set client
+         ~key:(Rp_workload.Keygen.string_key i)
+         ~data:(String.make value_size 'x') ())
+  done;
+  Memcached.Client.close client;
+  let outcome =
+    Rp_harness.Runner.run ~duration
+      ~workers:(Array.init workers (fun i ~stop -> make_worker i ~stop))
+      ()
+  in
+  Printf.printf "requests:    %d\n" (Rp_harness.Runner.total_ops outcome);
+  Printf.printf "elapsed:     %.3f s\n" outcome.elapsed;
+  Printf.printf "throughput:  %.0f req/s\n" (Rp_harness.Runner.throughput outcome)
+
+let run backend socket workers duration keyspace value_size mode =
+  match socket with
+  | Some path -> run_socket path workers duration keyspace value_size mode
+  | None ->
+      let config =
+        {
+          Memcached.Mc_benchmark.workers;
+          duration;
+          keyspace;
+          value_size;
+          mode;
+          seed = 42;
+        }
+      in
+      print_result (Memcached.Mc_benchmark.run_backend ~backend config)
+
+let cmd =
+  let doc = "mc-benchmark-style load generator for the mini-memcached" in
+  Cmd.v (Cmd.info "mc_benchmark" ~doc)
+    Term.(
+      const run $ backend_arg $ socket_arg $ workers_arg $ duration_arg
+      $ keyspace_arg $ value_size_arg $ mode_arg)
+
+let () = exit (Cmd.eval cmd)

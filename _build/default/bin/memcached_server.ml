@@ -1,0 +1,52 @@
+(* Stand-alone mini-memcached server. *)
+
+open Cmdliner
+
+let backend_arg =
+  let doc = "Table backend: 'rp' (relativistic GET fast path) or 'lock' (global lock)." in
+  Arg.(
+    value
+    & opt (enum [ ("rp", Memcached.Store.Rp); ("lock", Memcached.Store.Lock) ])
+        Memcached.Store.Rp
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let port_arg =
+  let doc = "TCP port to listen on (loopback). Mutually exclusive with --socket." in
+  Arg.(value & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let socket_arg =
+  let doc = "Unix-domain socket path to listen on." in
+  Arg.(value & opt string "/tmp/rp-memcached.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let max_bytes_arg =
+  let doc = "Eviction budget in megabytes." in
+  Arg.(value & opt int 64 & info [ "m"; "memory" ] ~docv:"MB" ~doc)
+
+let run backend port socket max_mb =
+  let store =
+    Memcached.Store.create ~backend ~max_bytes:(max_mb * 1024 * 1024) ()
+  in
+  let address =
+    match port with
+    | Some p -> Memcached.Server.Tcp p
+    | None -> Memcached.Server.Unix_socket socket
+  in
+  let server = Memcached.Server.start ~store address in
+  (match address with
+  | Memcached.Server.Tcp p -> Printf.printf "listening on 127.0.0.1:%d\n%!" p
+  | Memcached.Server.Unix_socket path -> Printf.printf "listening on %s\n%!" path);
+  let stop = ref false in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+  while not !stop do
+    Unix.sleepf 0.2
+  done;
+  print_endline "shutting down";
+  Memcached.Server.stop server
+
+let cmd =
+  let doc = "mini-memcached with a relativistic hash table" in
+  Cmd.v (Cmd.info "memcached_server" ~doc)
+    Term.(const run $ backend_arg $ port_arg $ socket_arg $ max_bytes_arg)
+
+let () = exit (Cmd.eval cmd)

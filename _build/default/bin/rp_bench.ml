@@ -1,0 +1,80 @@
+(* CLI for regenerating individual paper figures with custom parameters. *)
+
+open Cmdliner
+
+let figure_names = [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "ablations"; "all" ]
+
+let figure_arg =
+  let doc =
+    "Figure to regenerate: " ^ String.concat ", " figure_names ^ "."
+  in
+  Arg.(value & pos 0 (enum (List.map (fun n -> (n, n)) figure_names)) "all"
+       & info [] ~docv:"FIGURE" ~doc)
+
+let duration_arg =
+  let doc = "Seconds of measurement per data point." in
+  Arg.(value & opt float 0.5 & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc)
+
+let threads_arg =
+  let doc = "Reader-thread counts to execute for real (comma separated)." in
+  Arg.(value & opt (list int) [ 1; 2; 4 ] & info [ "t"; "threads" ] ~docv:"N,N,..." ~doc)
+
+let entries_arg =
+  let doc = "Number of resident table entries for the microbenchmark figures." in
+  Arg.(value & opt int 4096 & info [ "e"; "entries" ] ~docv:"N" ~doc)
+
+let buckets_arg =
+  let doc = "Small (\"8k\") bucket count; the large size is twice this." in
+  Arg.(value & opt int 8192 & info [ "b"; "buckets" ] ~docv:"N" ~doc)
+
+let csv_arg =
+  let doc = "Directory to write CSV series into." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let run figure duration threads entries buckets csv_dir =
+  let options =
+    {
+      Rp_figures.Figures.default_options with
+      duration;
+      real_threads = threads;
+      mc_real_procs = threads;
+      entries;
+      small_buckets = buckets;
+      large_buckets = 2 * buckets;
+      csv_dir;
+    }
+  in
+  (match csv_dir with
+  | Some dir -> ( try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
+  | None -> ());
+  let print = Rp_figures.Figures.print_figure options in
+  match figure with
+  | "fig1" ->
+      print "fig1" ~title:"Figure 1: fixed-size baseline" ~x_label:"readers"
+        (Rp_figures.Figures.fig1 options)
+  | "fig2" ->
+      print "fig2" ~title:"Figure 2: continuous resizing" ~x_label:"readers"
+        (Rp_figures.Figures.fig2 options)
+  | "fig3" ->
+      print "fig3" ~title:"Figure 3: RP resize vs fixed" ~x_label:"readers"
+        (Rp_figures.Figures.fig3 options)
+  | "fig4" ->
+      print "fig4" ~title:"Figure 4: DDDS resize vs fixed" ~x_label:"readers"
+        (Rp_figures.Figures.fig4 options)
+  | "fig5" ->
+      print "fig5" ~title:"Figure 5: memcached" ~x_label:"processes"
+        (Rp_figures.Figures.fig5 options)
+  | "ablations" -> Rp_figures.Ablations.run_all ()
+  | _ ->
+      Rp_figures.Figures.run_all options;
+      Rp_figures.Ablations.run_all ()
+
+let cmd =
+  let doc = "regenerate the paper's evaluation figures" in
+  let info = Cmd.info "rp_bench" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ figure_arg $ duration_arg $ threads_arg $ entries_arg
+      $ buckets_arg $ csv_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/memcached_demo.ml: Atomic Core Domain Filename List Printf String Unix

@@ -1,0 +1,1 @@
+examples/memcached_demo.mli:

@@ -1,0 +1,1 @@
+examples/page_cache.ml: Atomic Core Domain List Printf Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atomic Core Domain List Printf String

@@ -1,0 +1,1 @@
+examples/resize_under_load.ml: Atomic Core Domain Int List Printf Rcu Unix

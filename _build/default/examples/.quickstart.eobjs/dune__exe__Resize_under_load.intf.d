@@ -1,0 +1,1 @@
+examples/resize_under_load.mli:

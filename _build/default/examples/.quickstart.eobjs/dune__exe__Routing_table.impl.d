@@ -1,0 +1,1 @@
+examples/routing_table.ml: Atomic Core Domain List Printf Rcu

@@ -1,0 +1,99 @@
+(* Page cache over the relativistic radix tree.
+
+   The Linux kernel's page cache maps (file, page-index) to cached pages
+   through exactly this structure: a radix tree whose readers (page faults,
+   read(2)) must never block on writers (readahead, writeback, truncate).
+
+   We simulate a file of 2^20 pages: reader domains fault pages in a
+   Zipf-popular pattern while a writeback domain inserts and a truncate
+   domain removes ranges — all while lookups stay wait-free.
+
+   Run with: dune exec examples/page_cache.exe *)
+
+type page = { index : int; generation : int }
+
+let pages = 1 lsl 20
+let run_seconds = 1.5
+
+let () =
+  let cache : page Core.Radix.t = Core.Radix.create () in
+  (* Precharge the hot set. *)
+  for i = 0 to 4095 do
+    Core.Radix.insert cache i { index = i; generation = 0 }
+  done;
+
+  let stop = Atomic.make false in
+  let faults = Atomic.make 0 in
+  let hits = Atomic.make 0 in
+  let corrupt = Atomic.make 0 in
+
+  let reader seed =
+    Domain.spawn (fun () ->
+        let prng = Core.Workload.Prng.create ~seed in
+        let zipf = Core.Workload.Zipf.create ~theta:0.99 ~n:pages () in
+        while not (Atomic.get stop) do
+          let index = Core.Workload.Zipf.sample zipf prng in
+          match Core.Radix.find cache index with
+          | Some page ->
+              if page.index <> index then Atomic.incr corrupt;
+              Atomic.incr hits
+          | None -> Atomic.incr faults
+        done)
+  in
+
+  let writeback =
+    Domain.spawn (fun () ->
+        let prng = Core.Workload.Prng.create ~seed:99 in
+        let generation = ref 1 in
+        let inserted = ref 0 in
+        while not (Atomic.get stop) do
+          (* Readahead: populate a small contiguous window. *)
+          let base = Core.Workload.Prng.below prng pages in
+          for i = base to min (pages - 1) (base + 31) do
+            Core.Radix.insert cache i { index = i; generation = !generation }
+          done;
+          incr generation;
+          inserted := !inserted + 32
+        done;
+        !inserted)
+  in
+
+  let truncate =
+    Domain.spawn (fun () ->
+        let prng = Core.Workload.Prng.create ~seed:55 in
+        let removed = ref 0 in
+        while not (Atomic.get stop) do
+          (* Truncate a random 64-page range (the hot set is spared so the
+             reader's hit/corruption accounting stays meaningful). *)
+          let base = 4096 + Core.Workload.Prng.below prng (pages - 4096 - 64) in
+          for i = base to base + 63 do
+            if Core.Radix.remove cache i then incr removed
+          done
+        done;
+        !removed)
+  in
+
+  let readers = List.init 2 (fun i -> reader (i + 1)) in
+  Unix.sleepf run_seconds;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  let inserted = Domain.join writeback in
+  let removed = Domain.join truncate in
+
+  Printf.printf "lookups: %d hits, %d faults (hit rate %.1f%%)\n"
+    (Atomic.get hits) (Atomic.get faults)
+    (100.0
+    *. float_of_int (Atomic.get hits)
+    /. float_of_int (max 1 (Atomic.get hits + Atomic.get faults)));
+  Printf.printf "writeback inserted %d pages; truncate removed %d\n" inserted
+    removed;
+  Printf.printf "cached pages: %d (tree height %d, capacity %d)\n"
+    (Core.Radix.length cache) (Core.Radix.height cache)
+    (Core.Radix.capacity cache);
+  Printf.printf "corrupt lookups: %d\n" (Atomic.get corrupt);
+  (match Core.Radix.validate cache with
+  | Ok () -> print_endline "radix tree invariants hold"
+  | Error msg ->
+      Printf.printf "INVARIANT VIOLATION: %s\n" msg;
+      exit 1);
+  if Atomic.get corrupt > 0 then exit 1

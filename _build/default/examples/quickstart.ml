@@ -1,0 +1,55 @@
+(* Quickstart: the resizable relativistic hash table in five minutes.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A table needs a hash and an equality for its keys. Sizes are powers of
+     two; auto-resize keeps the load factor sane as you insert. *)
+  let table =
+    Core.Table.create ~initial_size:8 ~hash:Core.Hash.fnv1a_string
+      ~equal:String.equal ()
+  in
+
+  (* Updates serialize internally; no external locking needed. *)
+  Core.Table.insert table "ocaml" 1996;
+  Core.Table.insert table "rcu" 2002;
+  Core.Table.insert table "rp-hashtable" 2011;
+
+  (* Lookups are wait-free: no locks, no retries, safe from any domain even
+     while writers and resizes run. *)
+  (match Core.Table.find table "rp-hashtable" with
+  | Some year -> Printf.printf "rp-hashtable published in %d\n" year
+  | None -> assert false);
+
+  (* Grow the table 64x while readers would remain undisturbed. *)
+  Core.Table.resize table 512;
+  Printf.printf "resized to %d buckets; still %d entries intact\n"
+    (Core.Table.size table) (Core.Table.length table);
+
+  (* Prove it: spawn reader domains that hammer lookups while this domain
+     resizes back and forth. *)
+  let stop = Atomic.make false in
+  let readers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let mutable_hits = ref 0 in
+            while not (Atomic.get stop) do
+              if Core.Table.find table "ocaml" = Some 1996 then incr mutable_hits
+            done;
+            !mutable_hits))
+  in
+  for _ = 1 to 20 do
+    Core.Table.resize table 16;
+    Core.Table.resize table 1024
+  done;
+  Atomic.set stop true;
+  let hits = List.fold_left (fun acc d -> acc + Domain.join d) 0 readers in
+  Printf.printf "3 readers completed %d lookups across 40 live resizes\n" hits;
+
+  let stats = Core.Table.resize_stats table in
+  Printf.printf "resize machinery: %d expands, %d shrinks, %d unzip passes\n"
+    stats.expands stats.shrinks stats.unzip_passes;
+
+  match Core.Table.validate table with
+  | Ok () -> print_endline "table invariants hold"
+  | Error msg -> Printf.printf "INVARIANT VIOLATION: %s\n" msg

@@ -1,0 +1,108 @@
+(* Connection tracking: the kernel workload this algorithm was built for.
+
+   (The Linux kernel adopted this paper's algorithm as `rhashtable`, whose
+   first users included netfilter connection tracking and socket tables.)
+
+   We simulate a firewall's flow table: packet-processing domains look up a
+   5-tuple for every packet (read-mostly, latency-critical), a control
+   domain establishes and tears down flows, and the table auto-resizes as
+   flow counts swing from hundreds to hundreds of thousands and back —
+   exactly the fixed-size-table dilemma the paper's introduction motivates.
+
+   Run with: dune exec examples/routing_table.exe *)
+
+type flow = {
+  src_ip : int;
+  dst_ip : int;
+  src_port : int;
+  dst_port : int;
+  proto : int;
+}
+
+type verdict = Accept | Drop
+
+let flow_hash f =
+  Core.Hash.combine
+    (Core.Hash.combine (Core.Hash.of_int f.src_ip) (Core.Hash.of_int f.dst_ip))
+    (Core.Hash.of_int ((f.src_port lsl 20) lxor (f.dst_port lsl 4) lxor f.proto))
+
+let flow_equal a b =
+  a.src_ip = b.src_ip && a.dst_ip = b.dst_ip && a.src_port = b.src_port
+  && a.dst_port = b.dst_port && a.proto = b.proto
+
+let random_flow prng i =
+  {
+    src_ip = 0x0a000000 lor (i land 0xffff);
+    dst_ip = 0xc0a80000 lor Core.Workload.Prng.below prng 256;
+    src_port = 1024 + (i mod 60000);
+    dst_port = (if i land 1 = 0 then 443 else 80);
+    proto = 6;
+  }
+
+let () =
+  let table =
+    Core.Table.create ~initial_size:256 ~min_size:256 ~auto_resize:true
+      ~hash:flow_hash ~equal:flow_equal ()
+  in
+  let stop = Atomic.make false in
+  let packets = Atomic.make 0 in
+  let accepted = Atomic.make 0 in
+
+  (* Packet path: wait-free lookups; unknown flows are dropped. *)
+  let forwarder seed =
+    Domain.spawn (fun () ->
+        let prng = Core.Workload.Prng.create ~seed in
+        while not (Atomic.get stop) do
+          let flow = random_flow prng (Core.Workload.Prng.below prng 100_000) in
+          (match Core.Table.find table flow with
+          | Some Accept -> Atomic.incr accepted
+          | Some Drop | None -> ());
+          Atomic.incr packets
+        done)
+  in
+
+  (* Control path: connection setup/teardown in waves, so the flow count
+     swings and auto-resize exercises both directions. *)
+  let controller =
+    Domain.spawn (fun () ->
+        let prng = Core.Workload.Prng.create ~seed:7 in
+        let sizes = ref [] in
+        for wave = 1 to 4 do
+          let flows = List.init 50_000 (fun i -> random_flow prng i) in
+          (* Policy: port-80 flows are tracked but dropped. *)
+          List.iter
+            (fun f ->
+              Core.Table.insert table f (if f.dst_port = 80 then Drop else Accept))
+            flows;
+          sizes := (wave, Core.Table.length table, Core.Table.size table) :: !sizes;
+          List.iteri
+            (fun i f -> if i mod 10 <> 0 then ignore (Core.Table.remove table f))
+            flows;
+          sizes := (-wave, Core.Table.length table, Core.Table.size table) :: !sizes
+        done;
+        List.rev !sizes)
+  in
+
+  let forwarders = List.init 2 (fun i -> forwarder (40 + i)) in
+  let waves = Domain.join controller in
+  Atomic.set stop true;
+  List.iter Domain.join forwarders;
+
+  print_endline "wave  phase      flows   buckets";
+  List.iter
+    (fun (wave, flows, buckets) ->
+      Printf.printf "%4d  %-9s %7d  %8d\n" (abs wave)
+        (if wave > 0 then "setup" else "teardown")
+        flows buckets)
+    waves;
+  Printf.printf "packets processed: %d (accepted %d)\n" (Atomic.get packets)
+    (Atomic.get accepted);
+  let stats = Core.Table.resize_stats table in
+  Printf.printf "auto-resize: %d expands, %d shrinks, %d unzip passes\n"
+    stats.expands stats.shrinks stats.unzip_passes;
+  Rcu.barrier (Core.Table.rcu table);
+  match Core.Table.validate table with
+  | Ok () -> print_endline "flow table invariants hold"
+  | Error msg ->
+      Printf.printf "INVARIANT VIOLATION: %s\n" msg;
+      exit 1

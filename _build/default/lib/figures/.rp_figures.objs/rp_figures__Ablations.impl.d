@@ -1,0 +1,1 @@
+lib/figures/ablations.ml: Array Atomic Domain Int List Printf Rcu Rp_baseline Rp_harness Rp_hashes Rp_ht Rp_workload Unix

@@ -1,0 +1,1 @@
+lib/figures/ablations.mli:

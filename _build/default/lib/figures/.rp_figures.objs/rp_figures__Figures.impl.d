@@ -1,0 +1,1 @@
+lib/figures/figures.ml: Array Atomic Domain Filename Float Gc Int List Memcached Printf Rp_baseline Rp_harness Rp_hashes Rp_workload Simcore

@@ -1,0 +1,1 @@
+lib/figures/figures.mli: Rp_baseline Rp_harness

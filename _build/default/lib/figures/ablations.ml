@@ -1,0 +1,247 @@
+let pr fmt = Printf.printf fmt
+
+(* --- lookup latency under continuous resizing --- *)
+
+let latency_case name (module T : Rp_baseline.Table_intf.TABLE) ~duration
+    ~entries ~buckets =
+  let t = T.create ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ~size:buckets () in
+  for i = 0 to entries - 1 do
+    T.insert t i i
+  done;
+  let stop = Atomic.make false in
+  let latency_worker () =
+    let histogram = Rp_harness.Stats.Histogram.create () in
+    let keygen =
+      Rp_workload.Keygen.create ~keyspace:entries ~seed:7 ~worker:0 ()
+    in
+    (* Sample in small batches so the clock cost doesn't dominate. *)
+    let batch = 16 in
+    while not (Atomic.get stop) do
+      let key = Rp_workload.Keygen.next_key keygen in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to batch do
+        ignore (T.find t key)
+      done;
+      let t1 = Unix.gettimeofday () in
+      Rp_harness.Stats.Histogram.record histogram
+        ((t1 -. t0) /. float_of_int batch *. 1e9)
+    done;
+    T.reader_exit t;
+    histogram
+  in
+  let reader = Domain.spawn latency_worker in
+  let resizer =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          T.resize t (2 * buckets);
+          T.resize t buckets
+        done)
+  in
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  let histogram = Domain.join reader in
+  Domain.join resizer;
+  let p q = Rp_harness.Stats.Histogram.percentile histogram q in
+  [
+    name;
+    Printf.sprintf "%.0f" (Rp_harness.Stats.Histogram.mean histogram);
+    Printf.sprintf "%.0f" (p 50.0);
+    Printf.sprintf "%.0f" (p 99.0);
+    Printf.sprintf "%.0f" (p 99.9);
+    string_of_int (Rp_harness.Stats.Histogram.count histogram);
+  ]
+
+let lookup_latency_under_resize ?(duration = 0.5) ?(entries = 4096)
+    ?(buckets = 8192) () =
+  pr "\n--- ablation: lookup latency under continuous resizing ---\n";
+  pr "(batched samples of 16 lookups; percentiles are bucket upper bounds)\n";
+  let rows =
+    [
+      latency_case "rp-qsbr" (module Rp_baseline.Rp_table.Qsbr) ~duration
+        ~entries ~buckets;
+      latency_case "rp-memb" (module Rp_baseline.Rp_table.Resizable) ~duration
+        ~entries ~buckets;
+      latency_case "ddds" (module Rp_baseline.Ddds_ht) ~duration ~entries
+        ~buckets;
+    ]
+  in
+  Rp_harness.Report.print_table
+    ~header:[ "table"; "mean ns"; "p50 ns"; "p99 ns"; "p99.9 ns"; "samples" ]
+    ~rows
+
+(* --- throughput vs update ratio --- *)
+
+let update_ratio_sweep ?(duration = 0.3) ?(entries = 4096) ?(buckets = 8192)
+    ?(ratios = [ 0.0; 0.01; 0.1; 0.5 ]) () =
+  pr "\n--- ablation: throughput vs update ratio (2 workers, Mops/s) ---\n";
+  let tables : (string * Rp_baseline.Table_intf.table) list =
+    [
+      ("rp-qsbr", (module Rp_baseline.Rp_table.Qsbr));
+      ("rp-memb", (module Rp_baseline.Rp_table.Resizable));
+      ("ddds", (module Rp_baseline.Ddds_ht));
+      ("rwlock", (module Rp_baseline.Rwlock_ht));
+      ("lock", (module Rp_baseline.Lock_ht));
+    ]
+  in
+  let measure (module T : Rp_baseline.Table_intf.TABLE) ratio =
+    let t =
+      T.create ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ~size:buckets ()
+    in
+    for i = 0 to entries - 1 do
+      T.insert t i i
+    done;
+    let mixed_worker ~worker ~stop =
+      let keygen =
+        Rp_workload.Keygen.create ~keyspace:entries ~seed:11 ~worker ()
+      in
+      let mix = Rp_workload.Opmix.create ~update_ratio:ratio ~seed:13 ~worker () in
+      let churn_base = entries in
+      let ops =
+        Rp_harness.Runner.loop_batched ~stop ~batch:64 ~f:(fun () ->
+            let k = Rp_workload.Keygen.next_key keygen in
+            match Rp_workload.Opmix.next mix with
+            | Rp_workload.Opmix.Lookup -> ignore (T.find t k)
+            | Rp_workload.Opmix.Insert -> T.insert t (churn_base + k) k
+            | Rp_workload.Opmix.Remove -> ignore (T.remove t (churn_base + k)))
+      in
+      T.reader_exit t;
+      ops
+    in
+    let workers = Array.init 2 (fun w ~stop -> mixed_worker ~worker:w ~stop) in
+    let outcome = Rp_harness.Runner.run ~duration ~workers () in
+    Rp_harness.Runner.throughput outcome /. 1e6
+  in
+  let rows =
+    List.map
+      (fun (name, table) ->
+        name
+        :: List.map (fun ratio -> Printf.sprintf "%.2f" (measure table ratio)) ratios)
+      tables
+  in
+  Rp_harness.Report.print_table
+    ~header:("table" :: List.map (fun r -> Printf.sprintf "%.0f%% upd" (r *. 100.)) ratios)
+    ~rows
+
+(* --- grace period latency vs reader count --- *)
+
+let grace_period_latency ?(readers = [ 0; 1; 4; 16; 64 ]) () =
+  pr "\n--- ablation: synchronize latency vs registered readers (memb) ---\n";
+  let time_synchronize rcu =
+    let iters = 200 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      Rcu.synchronize rcu
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+  in
+  let idle_case n =
+    let rcu = Rcu.create () in
+    let handles = List.init n (fun _ -> Rcu.register rcu) in
+    let us = time_synchronize rcu in
+    List.iter (Rcu.unregister rcu) handles;
+    us
+  in
+  let churn_case n =
+    let rcu = Rcu.create () in
+    let stop = Atomic.make false in
+    let churners =
+      List.init (min n 8) (fun _ ->
+          Domain.spawn (fun () ->
+              let r = Rcu.register rcu in
+              while not (Atomic.get stop) do
+                Rcu.read_lock r;
+                Rcu.read_unlock r
+              done;
+              Rcu.unregister rcu r))
+    in
+    (* Let them start. *)
+    Unix.sleepf 0.02;
+    let us = time_synchronize rcu in
+    Atomic.set stop true;
+    List.iter Domain.join churners;
+    us
+  in
+  let rows =
+    List.map
+      (fun n ->
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" (idle_case n);
+          (if n = 0 then "-" else Printf.sprintf "%.1f" (churn_case n));
+        ])
+      readers
+  in
+  Rp_harness.Report.print_table
+    ~header:[ "registered readers"; "idle us/gp"; "churning us/gp" ]
+    ~rows
+
+(* --- unzip work vs load factor --- *)
+
+let unzip_work ?(load_factors = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]) ?(buckets = 8192)
+    () =
+  pr "\n--- ablation: expansion (unzip) work vs load factor, %d -> %d buckets ---\n"
+    buckets (2 * buckets);
+  let rows =
+    List.map
+      (fun lf ->
+        let t =
+          Rp_ht.create ~initial_size:buckets ~auto_resize:false
+            ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
+        in
+        let entries = int_of_float (float_of_int buckets *. lf) in
+        for i = 0 to entries - 1 do
+          Rp_ht.insert t i i
+        done;
+        let t0 = Unix.gettimeofday () in
+        Rp_ht.resize t (2 * buckets);
+        let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+        let stats = Rp_ht.resize_stats t in
+        [
+          Printf.sprintf "%.2f" lf;
+          string_of_int entries;
+          string_of_int stats.unzip_passes;
+          string_of_int stats.unzip_splices;
+          Printf.sprintf "%.2f" ms;
+        ])
+      load_factors
+  in
+  Rp_harness.Report.print_table
+    ~header:[ "load factor"; "entries"; "unzip passes"; "splices"; "expand ms" ]
+    ~rows
+
+(* --- memory overhead: 1-pointer vs 2-pointer nodes --- *)
+
+let memory_overhead ?(entries = [ 1_000; 100_000; 10_000_000 ]) () =
+  pr "\n--- ablation: memory overhead, unzip (1 next ptr) vs Xu (2 next ptrs) ---\n";
+  pr "(words per entry excluding key/value payload; bucket array at load 0.5)\n";
+  (* Node words: header + key + hash + value cell + next pointers. The boxed
+     Atomic cells cost 2 words each (header + field) in this implementation;
+     a C implementation would inline them — both columns shrink equally. *)
+  let node_words next_ptrs = 1 + 1 + 1 + 2 + (2 * next_ptrs) in
+  let rows =
+    List.map
+      (fun n ->
+        let buckets = Rp_hashes.Size.next_power_of_two (2 * n) in
+        let table_words ptrs = (node_words ptrs * n) + (3 * buckets) in
+        let rp = table_words 1 in
+        let xu = table_words 2 in
+        [
+          string_of_int n;
+          string_of_int buckets;
+          string_of_int rp;
+          string_of_int xu;
+          Printf.sprintf "%.1f%%" (float_of_int (xu - rp) /. float_of_int rp *. 100.);
+        ])
+      entries
+  in
+  Rp_harness.Report.print_table
+    ~header:[ "entries"; "buckets"; "unzip words"; "xu words"; "xu overhead" ]
+    ~rows
+
+let run_all () =
+  pr "\n=== Ablations ===\n";
+  lookup_latency_under_resize ();
+  update_ratio_sweep ();
+  grace_period_latency ();
+  unzip_work ();
+  memory_overhead ()

@@ -1,0 +1,37 @@
+(** Ablation benchmarks for the design choices DESIGN.md calls out.
+
+    Not figures from the paper — these quantify the mechanisms {e behind}
+    the figures: where DDDS's resize pain comes from (latency tails), what
+    RP costs when writes appear, what a grace period costs as readers are
+    added, how much unzip work an expansion performs, and what Xu's
+    two-pointer scheme pays in memory. *)
+
+val lookup_latency_under_resize :
+  ?duration:float -> ?entries:int -> ?buckets:int -> unit -> unit
+(** One reader samples per-lookup latency (ns histogram) while a resizer
+    flips the table size continuously; prints p50 / p99 / p99.9 / mean for
+    rp-qsbr, rp-memb and ddds. The paper's "DDDS significantly slows
+    lookups while resizing" shows up as a fat tail. *)
+
+val update_ratio_sweep :
+  ?duration:float -> ?entries:int -> ?buckets:int -> ?ratios:float list ->
+  unit -> unit
+(** Single-worker throughput as the update fraction grows: RP's read-side
+    advantage must not collapse the moment writes appear. *)
+
+val grace_period_latency : ?readers:int list -> unit -> unit
+(** Cost of one [synchronize] (memb flavour) against n registered readers:
+    idle readers (all quiescent) vs churning readers (entering/leaving
+    sections continuously). *)
+
+val unzip_work : ?load_factors:float list -> ?buckets:int -> unit -> unit
+(** Expansion work as load factor grows: unzip passes and total splices for
+    one doubling, plus wall-clock time. Passes track the longest
+    interleaved-run count in any chain. *)
+
+val memory_overhead : ?entries:int list -> unit -> unit
+(** Analytic per-node and per-table word counts: the unzip algorithm's
+    1-pointer nodes vs Herbert Xu's 2-pointer nodes (the "high memory
+    usage" trade-off the talk cites), including bucket-array overhead. *)
+
+val run_all : unit -> unit

@@ -1,0 +1,292 @@
+type options = {
+  duration : float;
+  repeats : int;  (** measured points take the best of this many runs *)
+  real_threads : int list;
+  model_threads : int list;
+  mc_real_procs : int list;
+  mc_model_procs : int list;
+  entries : int;
+  small_buckets : int;
+  large_buckets : int;
+  csv_dir : string option;
+}
+
+let default_options =
+  {
+    duration = 0.5;
+    repeats = 2;
+    real_threads = [ 1; 2; 4 ];
+    model_threads = Simcore.Predict.default_threads;
+    mc_real_procs = [ 1; 2; 4 ];
+    mc_model_procs = Simcore.Predict.mc_processes;
+    entries = 4096;
+    small_buckets = 8192;
+    large_buckets = 16384;
+    csv_dir = None;
+  }
+
+let quick_options =
+  {
+    default_options with
+    duration = 0.15;
+    repeats = 1;
+    real_threads = [ 1; 2 ];
+    mc_real_procs = [ 1; 2 ];
+    entries = 1024;
+    small_buckets = 2048;
+    large_buckets = 4096;
+  }
+
+type figure_result = {
+  measured : Rp_harness.Series.t list;
+  projected : Rp_harness.Series.t list;
+}
+
+(* --- generic lookup-throughput measurement --- *)
+
+let measure_lookup_throughput ~table:(module T : Rp_baseline.Table_intf.TABLE)
+    ~threads ~duration ~entries ~buckets ~resize_between =
+  (* Previous measurements' tables are garbage by now; reclaim them so GC
+     pressure from one data point cannot contaminate the next. *)
+  Gc.compact ();
+  let t = T.create ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ~size:buckets () in
+  for i = 0 to entries - 1 do
+    T.insert t i i
+  done;
+  let reader index ~stop =
+    let keygen =
+      Rp_workload.Keygen.create ~keyspace:entries ~seed:1234 ~worker:index ()
+    in
+    let ops =
+      Rp_harness.Runner.loop_batched ~stop ~batch:128 ~f:(fun () ->
+          ignore (T.find t (Rp_workload.Keygen.next_key keygen)))
+    in
+    (* QSBR grace periods must stop waiting for this domain once it exits. *)
+    T.reader_exit t;
+    ops
+  in
+  let readers = Array.init threads (fun i ~stop -> reader i ~stop) in
+  let workers =
+    match resize_between with
+    | None -> readers
+    | Some (small, large) ->
+        let resizer ~stop =
+          while not (Atomic.get stop) do
+            T.resize t large;
+            T.resize t small
+          done;
+          (* Resize flips are not lookups; contribute no ops. *)
+          0
+        in
+        Array.append readers [| resizer |]
+  in
+  let outcome = Rp_harness.Runner.run ~duration ~workers () in
+  Rp_harness.Runner.throughput outcome
+
+(* Shared vCPUs suffer unpredictable steal time; the best of [repeats]
+   short runs is a far more stable estimate of achievable throughput than a
+   single sample. *)
+let best_of repeats f =
+  let rec go best n = if n = 0 then best else go (Float.max best (f ())) (n - 1) in
+  go (f ()) (max 0 (repeats - 1))
+
+let lookup_series options ~label ~table ~buckets ~resize_between =
+  let points =
+    List.map
+      (fun threads ->
+        let tput =
+          best_of options.repeats (fun () ->
+              measure_lookup_throughput ~table ~threads
+                ~duration:options.duration ~entries:options.entries ~buckets
+                ~resize_between)
+        in
+        (threads, tput))
+      options.real_threads
+  in
+  Rp_harness.Series.make ~label ~points
+
+let lambda_of (series : Rp_harness.Series.t) =
+  match Rp_harness.Series.y_at series 1 with
+  | Some l when l > 0.0 -> l
+  | Some _ | None -> 1.0e6 (* defensive fallback; never expected *)
+
+(* Single-thread calibration for the continuously-resizing scenarios: on the
+   paper's testbed the resizer runs on its own core, but on a single-core
+   host it steals roughly half the reader's CPU. Correct the calibration by
+   the runnable-domain share (2 runnable domains at 1 reader); no-op on
+   multicore hosts, and recorded in EXPERIMENTS.md. *)
+let lambda_of_resizing (series : Rp_harness.Series.t) =
+  let base = lambda_of series in
+  if Domain.recommended_domain_count () >= 2 then base else base *. 2.0
+
+(* --- figure 1: fixed-size baseline --- *)
+
+let fig1 options =
+  let buckets = options.small_buckets in
+  let run label table =
+    lookup_series options ~label ~table ~buckets ~resize_between:None
+  in
+  (* "rp" is the QSBR-flavoured table: the paper's RP readers ride kernel
+     RCU, whose read side is free. The memb-flavoured curve is reported too
+     (the safe userspace default, two stores per read section). *)
+  let rp = run "rp" (module Rp_baseline.Rp_table.Qsbr : Rp_baseline.Table_intf.TABLE) in
+  let rp_memb =
+    run "rp-memb" (module Rp_baseline.Rp_table.Resizable : Rp_baseline.Table_intf.TABLE)
+  in
+  let ddds = run "ddds" (module Rp_baseline.Ddds_ht : Rp_baseline.Table_intf.TABLE) in
+  let rwlock = run "rwlock" (module Rp_baseline.Rwlock_ht : Rp_baseline.Table_intf.TABLE) in
+  let projected =
+    Simcore.Predict.fig1 ~threads:options.model_threads
+      ~lambda_rp_memb:(lambda_of rp_memb) ~lambda_rp:(lambda_of rp)
+      ~lambda_ddds:(lambda_of ddds) ~lambda_rwlock:(lambda_of rwlock) ()
+  in
+  { measured = [ rp; rp_memb; ddds; rwlock ]; projected }
+
+(* --- figure 2: continuous resizing --- *)
+
+let fig2 options =
+  let resize_between = Some (options.small_buckets, options.large_buckets) in
+  let rp =
+    lookup_series options ~label:"rp(resize)"
+      ~table:(module Rp_baseline.Rp_table.Qsbr : Rp_baseline.Table_intf.TABLE)
+      ~buckets:options.small_buckets ~resize_between
+  in
+  let ddds =
+    lookup_series options ~label:"ddds(resize)"
+      ~table:(module Rp_baseline.Ddds_ht : Rp_baseline.Table_intf.TABLE)
+      ~buckets:options.small_buckets ~resize_between
+  in
+  let projected =
+    Simcore.Predict.fig2 ~threads:options.model_threads
+      ~lambda_rp:(lambda_of_resizing rp) ~lambda_ddds:(lambda_of_resizing ddds) ()
+  in
+  { measured = [ rp; ddds ]; projected }
+
+(* --- figures 3 and 4: resize vs fixed, per algorithm --- *)
+
+let resize_vs_fixed options ~table ~predict =
+  let fixed_small =
+    lookup_series options ~label:"8k" ~table ~buckets:options.small_buckets
+      ~resize_between:None
+  in
+  let fixed_large =
+    lookup_series options ~label:"16k" ~table ~buckets:options.large_buckets
+      ~resize_between:None
+  in
+  let resizing =
+    lookup_series options ~label:"resize" ~table ~buckets:options.small_buckets
+      ~resize_between:(Some (options.small_buckets, options.large_buckets))
+  in
+  let projected =
+    predict ~lambda_8k:(lambda_of fixed_small) ~lambda_16k:(lambda_of fixed_large)
+      ~lambda_resize:(lambda_of_resizing resizing)
+  in
+  { measured = [ fixed_small; fixed_large; resizing ]; projected }
+
+let fig3 options =
+  resize_vs_fixed options
+    ~table:(module Rp_baseline.Rp_table.Qsbr : Rp_baseline.Table_intf.TABLE)
+    ~predict:(fun ~lambda_8k ~lambda_16k ~lambda_resize ->
+      Simcore.Predict.fig3 ~threads:options.model_threads ~lambda_8k ~lambda_16k
+        ~lambda_resize ())
+
+let fig4 options =
+  resize_vs_fixed options
+    ~table:(module Rp_baseline.Ddds_ht : Rp_baseline.Table_intf.TABLE)
+    ~predict:(fun ~lambda_8k ~lambda_16k ~lambda_resize ->
+      Simcore.Predict.fig4 ~threads:options.model_threads ~lambda_8k ~lambda_16k
+        ~lambda_resize ())
+
+(* --- figure 5: memcached --- *)
+
+let mc_series options ~label ~backend ~mode =
+  let points =
+    List.map
+      (fun workers ->
+        let tput =
+          best_of options.repeats (fun () ->
+              Gc.compact ();
+              let result =
+                Memcached.Mc_benchmark.run_backend ~backend
+                  {
+                    Memcached.Mc_benchmark.workers;
+                    duration = options.duration;
+                    keyspace = min options.entries 10_000;
+                    value_size = 100;
+                    mode;
+                    seed = 42;
+                  }
+              in
+              result.Memcached.Mc_benchmark.requests_per_second)
+        in
+        (workers, tput))
+      options.mc_real_procs
+  in
+  Rp_harness.Series.make ~label ~points
+
+let fig5 options =
+  let rp_get =
+    mc_series options ~label:"RP GET" ~backend:Memcached.Store.Rp
+      ~mode:Memcached.Mc_benchmark.Get_only
+  in
+  let lock_get =
+    mc_series options ~label:"default GET" ~backend:Memcached.Store.Lock
+      ~mode:Memcached.Mc_benchmark.Get_only
+  in
+  let lock_set =
+    mc_series options ~label:"default SET" ~backend:Memcached.Store.Lock
+      ~mode:Memcached.Mc_benchmark.Set_only
+  in
+  let rp_set =
+    mc_series options ~label:"RP SET" ~backend:Memcached.Store.Rp
+      ~mode:Memcached.Mc_benchmark.Set_only
+  in
+  let projected =
+    Simcore.Predict.fig5 ~processes:options.mc_model_procs
+      ~lambda_get_rp:(lambda_of rp_get) ~lambda_get_lock:(lambda_of lock_get)
+      ~lambda_set_lock:(lambda_of lock_set) ~lambda_set_rp:(lambda_of rp_set) ()
+  in
+  { measured = [ rp_get; lock_get; lock_set; rp_set ]; projected }
+
+(* --- rendering --- *)
+
+let to_millions = List.map (fun s -> Rp_harness.Series.scale s 1e-6)
+
+let print_figure ~title ~x_label options slug result =
+  Printf.printf "\n=== %s ===\n" title;
+  Printf.printf "\n-- measured on this host (%d hw core%s) --\n"
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  Rp_harness.Report.print_series_table ~unit_label:"Mops/s" ~x_label
+    (to_millions result.measured);
+  Printf.printf "\n-- cost-model projection, 16-way machine --\n";
+  Rp_harness.Report.print_series_table ~unit_label:"Mops/s" ~x_label
+    (to_millions result.projected);
+  print_newline ();
+  Rp_harness.Report.print_ascii_chart ~title:(title ^ " (projected, Mops/s)")
+    (to_millions result.projected);
+  match options.csv_dir with
+  | None -> ()
+  | Some dir ->
+      Rp_harness.Report.write_csv
+        ~path:(Filename.concat dir (slug ^ "_measured.csv"))
+        ~x_label result.measured;
+      Rp_harness.Report.write_csv
+        ~path:(Filename.concat dir (slug ^ "_projected.csv"))
+        ~x_label result.projected
+
+let run_all options =
+  print_figure options "fig1"
+    ~title:"Figure 1: lookups/s, fixed-size table (RP vs DDDS vs rwlock)"
+    ~x_label:"readers" (fig1 options);
+  print_figure options "fig2"
+    ~title:"Figure 2: lookups/s under continuous resizing (RP vs DDDS)"
+    ~x_label:"readers" (fig2 options);
+  print_figure options "fig3"
+    ~title:"Figure 3: RP resize vs fixed sizes" ~x_label:"readers" (fig3 options);
+  print_figure options "fig4"
+    ~title:"Figure 4: DDDS resize vs fixed sizes" ~x_label:"readers"
+    (fig4 options);
+  print_figure options "fig5"
+    ~title:"Figure 5: memcached requests/s (RP vs default, GET and SET)"
+    ~x_label:"processes" (fig5 options)

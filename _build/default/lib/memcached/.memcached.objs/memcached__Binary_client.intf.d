@@ -1,0 +1,1 @@
+lib/memcached/binary_client.mli: Binary_protocol Server

@@ -1,0 +1,1 @@
+lib/memcached/binary_protocol.ml: Bytes Char Printf String

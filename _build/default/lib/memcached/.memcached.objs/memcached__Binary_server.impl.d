@@ -1,0 +1,1 @@
+lib/memcached/binary_server.ml: Binary_protocol List Option Protocol Store String Version

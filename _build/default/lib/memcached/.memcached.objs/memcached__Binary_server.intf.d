@@ -1,0 +1,1 @@
+lib/memcached/binary_server.mli: Binary_protocol Store

@@ -1,0 +1,1 @@
+lib/memcached/client.ml: Bytes Protocol Server Unix

@@ -1,0 +1,1 @@
+lib/memcached/client.mli: Protocol Server

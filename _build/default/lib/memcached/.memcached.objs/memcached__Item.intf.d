@@ -1,0 +1,1 @@
+lib/memcached/item.mli: Atomic

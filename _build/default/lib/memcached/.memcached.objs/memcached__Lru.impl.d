@@ -1,0 +1,1 @@
+lib/memcached/lru.ml: List Option

@@ -1,0 +1,1 @@
+lib/memcached/mc_benchmark.ml: Array Atomic Printf Protocol Rp_harness Rp_workload Server Store String

@@ -1,0 +1,1 @@
+lib/memcached/mc_benchmark.mli: Store

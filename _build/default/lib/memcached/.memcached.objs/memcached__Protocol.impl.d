@@ -1,0 +1,1 @@
+lib/memcached/protocol.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/memcached/server.ml: Atomic Binary_protocol Binary_server Bytes List Protocol Store String Thread Unix Version

@@ -1,0 +1,1 @@
+lib/memcached/server.mli: Protocol Store

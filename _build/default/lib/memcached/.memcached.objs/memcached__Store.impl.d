@@ -1,0 +1,1 @@
+lib/memcached/store.ml: Atomic Item List Lru Mutex Option Printf Protocol Queue Rp_baseline Rp_hashes Rp_ht Slab String Unix

@@ -1,0 +1,1 @@
+lib/memcached/store.mli: Protocol Slab

@@ -1,0 +1,1 @@
+lib/memcached/version.ml:

@@ -1,0 +1,107 @@
+open Binary_protocol
+
+type t = {
+  fd : Unix.file_descr;
+  parser : Response_parser.t;
+  buf : Bytes.t;
+}
+
+let connect (addr : Server.address) =
+  let domain, sockaddr =
+    match addr with
+    | Server.Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Server.Tcp port -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.connect fd sockaddr;
+  { fd; parser = Response_parser.create (); buf = Bytes.create 16384 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then go (off + Unix.write fd bytes off (len - off))
+  in
+  go 0
+
+let rec read_response t =
+  match Response_parser.next t.parser with
+  | Some (Ok response) -> response
+  | Some (Error msg) -> failwith ("Binary_client: protocol error: " ^ msg)
+  | None ->
+      let n = Unix.read t.fd t.buf 0 (Bytes.length t.buf) in
+      if n = 0 then failwith "Binary_client: connection closed";
+      Response_parser.feed t.parser (Bytes.sub_string t.buf 0 n);
+      read_response t
+
+let make_request ?(key = "") ?(value = "") ?(extras = "") ?(cas = 0) opcode =
+  { opcode; key; value; extras; opaque = 0xCAFE; cas }
+
+let request t req =
+  write_all t.fd (encode_request req);
+  let response = read_response t in
+  if response.r_opaque <> req.opaque then
+    failwith "Binary_client: opaque mismatch";
+  response
+
+let get t key =
+  let r = request t (make_request ~key Get) in
+  match r.status with
+  | Ok_status ->
+      let flags =
+        if String.length r.r_extras >= 4 then parse_u32 r.r_extras 0 else 0
+      in
+      Some (r.r_value, flags)
+  | _ -> None
+
+let gets_cas t key =
+  let r = request t (make_request ~key Get) in
+  match r.status with Ok_status -> Some r.r_cas | _ -> None
+
+let set t ?(flags = 0) ?(exptime = 0) ?(cas = 0) ~key ~data () =
+  let r =
+    request t
+      (make_request ~key ~value:data ~extras:(set_extras ~flags ~exptime) ~cas Set)
+  in
+  r.status
+
+let add t ?(flags = 0) ?(exptime = 0) ~key ~data () =
+  let r =
+    request t (make_request ~key ~value:data ~extras:(set_extras ~flags ~exptime) Add)
+  in
+  r.status
+
+let delete t key =
+  (request t (make_request ~key Delete)).status = Ok_status
+
+let counter t opcode ?(initial = 0) key delta =
+  let r =
+    request t
+      (make_request ~key
+         ~extras:(counter_extras ~delta ~initial ~exptime:0)
+         opcode)
+  in
+  match r.status with
+  | Ok_status when String.length r.r_value >= 8 -> Some (parse_u64 r.r_value 0)
+  | _ -> None
+
+let incr t ?initial key delta = counter t Increment ?initial key delta
+let decr t ?initial key delta = counter t Decrement ?initial key delta
+
+let touch t ~key ~exptime =
+  (request t (make_request ~key ~extras:(touch_extras ~exptime) Touch)).status
+  = Ok_status
+
+let version t = (request t (make_request Version)).r_value
+let noop t = ignore (request t (make_request Noop))
+let flush_all t = ignore (request t (make_request Flush))
+
+let stats t =
+  write_all t.fd (encode_request (make_request Stat));
+  let rec collect acc =
+    let r = read_response t in
+    if r.r_key = "" then List.rev acc else collect ((r.r_key, r.r_value) :: acc)
+  in
+  collect []

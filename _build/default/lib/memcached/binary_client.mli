@@ -1,0 +1,34 @@
+(** Blocking binary-protocol client (tests, demos).
+
+    The first frame sent carries the 0x80 magic, which is also what flips
+    the server's protocol auto-detection to binary. *)
+
+type t
+
+val connect : Server.address -> t
+val close : t -> unit
+
+val get : t -> string -> (string * int) option
+(** [Some (value, flags)]. *)
+
+val set :
+  t -> ?flags:int -> ?exptime:int -> ?cas:int -> key:string -> data:string ->
+  unit -> Binary_protocol.status
+
+val add : t -> ?flags:int -> ?exptime:int -> key:string -> data:string -> unit
+  -> Binary_protocol.status
+
+val delete : t -> string -> bool
+val incr : t -> ?initial:int -> string -> int -> int option
+val decr : t -> ?initial:int -> string -> int -> int option
+val touch : t -> key:string -> exptime:int -> bool
+val version : t -> string
+val noop : t -> unit
+val flush_all : t -> unit
+val stats : t -> (string * string) list
+
+val request : t -> Binary_protocol.request -> Binary_protocol.response
+(** Send any request expecting exactly one response frame. *)
+
+val gets_cas : t -> string -> int option
+(** The CAS unique of a key (from a Get response). *)

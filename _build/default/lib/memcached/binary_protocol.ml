@@ -1,0 +1,316 @@
+type opcode =
+  | Get
+  | Set
+  | Add
+  | Replace
+  | Delete
+  | Increment
+  | Decrement
+  | Quit
+  | Flush
+  | GetQ
+  | Noop
+  | Version
+  | GetK
+  | GetKQ
+  | Append
+  | Prepend
+  | Stat
+  | Touch
+
+let opcode_to_byte = function
+  | Get -> 0x00
+  | Set -> 0x01
+  | Add -> 0x02
+  | Replace -> 0x03
+  | Delete -> 0x04
+  | Increment -> 0x05
+  | Decrement -> 0x06
+  | Quit -> 0x07
+  | Flush -> 0x08
+  | GetQ -> 0x09
+  | Noop -> 0x0a
+  | Version -> 0x0b
+  | GetK -> 0x0c
+  | GetKQ -> 0x0d
+  | Append -> 0x0e
+  | Prepend -> 0x0f
+  | Stat -> 0x10
+  | Touch -> 0x1c
+
+let opcode_of_byte = function
+  | 0x00 -> Some Get
+  | 0x01 -> Some Set
+  | 0x02 -> Some Add
+  | 0x03 -> Some Replace
+  | 0x04 -> Some Delete
+  | 0x05 -> Some Increment
+  | 0x06 -> Some Decrement
+  | 0x07 -> Some Quit
+  | 0x08 -> Some Flush
+  | 0x09 -> Some GetQ
+  | 0x0a -> Some Noop
+  | 0x0b -> Some Version
+  | 0x0c -> Some GetK
+  | 0x0d -> Some GetKQ
+  | 0x0e -> Some Append
+  | 0x0f -> Some Prepend
+  | 0x10 -> Some Stat
+  | 0x1c -> Some Touch
+  | _ -> None
+
+let opcode_is_quiet = function GetQ | GetKQ -> true | _ -> false
+
+type status =
+  | Ok_status
+  | Key_not_found
+  | Key_exists
+  | Value_too_large
+  | Invalid_arguments
+  | Item_not_stored
+  | Non_numeric_value
+  | Unknown_command
+
+let status_to_int = function
+  | Ok_status -> 0x0000
+  | Key_not_found -> 0x0001
+  | Key_exists -> 0x0002
+  | Value_too_large -> 0x0003
+  | Invalid_arguments -> 0x0004
+  | Item_not_stored -> 0x0005
+  | Non_numeric_value -> 0x0006
+  | Unknown_command -> 0x0081
+
+let status_of_int = function
+  | 0x0000 -> Ok_status
+  | 0x0001 -> Key_not_found
+  | 0x0002 -> Key_exists
+  | 0x0003 -> Value_too_large
+  | 0x0004 -> Invalid_arguments
+  | 0x0005 -> Item_not_stored
+  | 0x0006 -> Non_numeric_value
+  | _ -> Unknown_command
+
+type request = {
+  opcode : opcode;
+  key : string;
+  value : string;
+  extras : string;
+  opaque : int;
+  cas : int;
+}
+
+type response = {
+  r_opcode : opcode;
+  status : status;
+  r_key : string;
+  r_value : string;
+  r_extras : string;
+  r_opaque : int;
+  r_cas : int;
+}
+
+let magic_request = 0x80
+let magic_response = 0x81
+let magic_request_byte = '\x80'
+let header_size = 24
+
+(* --- big-endian integer plumbing --- *)
+
+let put_u16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+
+let put_u32 b off v =
+  put_u16 b off ((v lsr 16) land 0xffff);
+  put_u16 b (off + 2) (v land 0xffff)
+
+let put_u64 b off v =
+  (* OCaml ints are 63-bit; the top wire byte carries bits 56..62. *)
+  put_u32 b off ((v lsr 32) land 0xffffffff);
+  put_u32 b (off + 4) (v land 0xffffffff)
+
+let get_u8 s off = Char.code s.[off]
+let get_u16 s off = (get_u8 s off lsl 8) lor get_u8 s (off + 1)
+let get_u32 s off = (get_u16 s off lsl 16) lor get_u16 s (off + 2)
+
+let get_u64 s off =
+  (* Mask to 62 bits to stay within OCaml int range. *)
+  ((get_u32 s off land 0x3fffffff) lsl 32) lor get_u32 s (off + 4)
+
+let parse_u32 = get_u32
+let parse_u64 = get_u64
+
+(* --- extras helpers --- *)
+
+let set_extras ~flags ~exptime =
+  let b = Bytes.create 8 in
+  put_u32 b 0 flags;
+  put_u32 b 4 exptime;
+  Bytes.to_string b
+
+let get_response_extras ~flags =
+  let b = Bytes.create 4 in
+  put_u32 b 0 flags;
+  Bytes.to_string b
+
+let counter_extras ~delta ~initial ~exptime =
+  let b = Bytes.create 20 in
+  put_u64 b 0 delta;
+  put_u64 b 8 initial;
+  put_u32 b 16 exptime;
+  Bytes.to_string b
+
+let u64_bytes v =
+  let b = Bytes.create 8 in
+  put_u64 b 0 v;
+  Bytes.to_string b
+
+let touch_extras ~exptime =
+  let b = Bytes.create 4 in
+  put_u32 b 0 exptime;
+  Bytes.to_string b
+
+(* --- frame encoding --- *)
+
+let encode ~magic ~opcode ~status_or_vbucket ~key ~extras ~value ~opaque ~cas =
+  let key_len = String.length key in
+  let extras_len = String.length extras in
+  let body_len = key_len + extras_len + String.length value in
+  let b = Bytes.create (header_size + body_len) in
+  Bytes.set b 0 (Char.chr magic);
+  Bytes.set b 1 (Char.chr (opcode_to_byte opcode));
+  put_u16 b 2 key_len;
+  Bytes.set b 4 (Char.chr extras_len);
+  Bytes.set b 5 '\x00' (* data type *);
+  put_u16 b 6 status_or_vbucket;
+  put_u32 b 8 body_len;
+  put_u32 b 12 opaque;
+  put_u64 b 16 cas;
+  Bytes.blit_string extras 0 b header_size extras_len;
+  Bytes.blit_string key 0 b (header_size + extras_len) key_len;
+  Bytes.blit_string value 0 b
+    (header_size + extras_len + key_len)
+    (String.length value);
+  Bytes.to_string b
+
+let encode_request (r : request) =
+  encode ~magic:magic_request ~opcode:r.opcode ~status_or_vbucket:0 ~key:r.key
+    ~extras:r.extras ~value:r.value ~opaque:r.opaque ~cas:r.cas
+
+let encode_response (r : response) =
+  encode ~magic:magic_response ~opcode:r.r_opcode
+    ~status_or_vbucket:(status_to_int r.status) ~key:r.r_key ~extras:r.r_extras
+    ~value:r.r_value ~opaque:r.r_opaque ~cas:r.r_cas
+
+(* --- incremental frame decoding --- *)
+
+module Frame = struct
+  (* Accumulates bytes; yields (header, body) frames. *)
+  type t = { mutable data : string; mutable pos : int }
+
+  let create () = { data = ""; pos = 0 }
+
+  let feed t s =
+    if t.pos > 0 && t.pos = String.length t.data then begin
+      t.data <- s;
+      t.pos <- 0
+    end
+    else if s <> "" then begin
+      if t.pos > 4096 then begin
+        t.data <- String.sub t.data t.pos (String.length t.data - t.pos);
+        t.pos <- 0
+      end;
+      t.data <- t.data ^ s
+    end
+
+  let available t = String.length t.data - t.pos
+
+  (* Returns (header_offset_string, body) without copying the header. *)
+  let next_frame t ~expected_magic =
+    if available t < header_size then None
+    else begin
+      let base = t.pos in
+      let magic = get_u8 t.data base in
+      if magic <> expected_magic then
+        Some (Error (Printf.sprintf "bad magic 0x%02x" magic))
+      else begin
+        let key_len = get_u16 t.data (base + 2) in
+        let extras_len = get_u8 t.data (base + 4) in
+        let body_len = get_u32 t.data (base + 8) in
+        if extras_len + key_len > body_len then Some (Error "inconsistent lengths")
+        else if available t < header_size + body_len then None
+        else begin
+          let header = String.sub t.data base header_size in
+          let body = String.sub t.data (base + header_size) body_len in
+          t.pos <- base + header_size + body_len;
+          Some (Ok (header, body))
+        end
+      end
+    end
+end
+
+let split_body header body =
+  let key_len = get_u16 header 2 in
+  let extras_len = get_u8 header 4 in
+  let extras = String.sub body 0 extras_len in
+  let key = String.sub body extras_len key_len in
+  let value =
+    String.sub body (extras_len + key_len) (String.length body - extras_len - key_len)
+  in
+  (extras, key, value)
+
+module Parser = struct
+  type t = Frame.t
+
+  let create () = Frame.create ()
+  let feed = Frame.feed
+
+  let next t =
+    match Frame.next_frame t ~expected_magic:magic_request with
+    | None -> None
+    | Some (Error e) -> Some (Error e)
+    | Some (Ok (header, body)) -> (
+        match opcode_of_byte (get_u8 header 1) with
+        | None -> Some (Error (Printf.sprintf "unknown opcode 0x%02x" (get_u8 header 1)))
+        | Some opcode ->
+            let extras, key, value = split_body header body in
+            Some
+              (Ok
+                 {
+                   opcode;
+                   key;
+                   value;
+                   extras;
+                   opaque = get_u32 header 12;
+                   cas = get_u64 header 16;
+                 }))
+end
+
+module Response_parser = struct
+  type t = Frame.t
+
+  let create () = Frame.create ()
+  let feed = Frame.feed
+
+  let next t =
+    match Frame.next_frame t ~expected_magic:magic_response with
+    | None -> None
+    | Some (Error e) -> Some (Error e)
+    | Some (Ok (header, body)) -> (
+        match opcode_of_byte (get_u8 header 1) with
+        | None -> Some (Error (Printf.sprintf "unknown opcode 0x%02x" (get_u8 header 1)))
+        | Some r_opcode ->
+            let r_extras, r_key, r_value = split_body header body in
+            Some
+              (Ok
+                 {
+                   r_opcode;
+                   status = status_of_int (get_u16 header 6);
+                   r_key;
+                   r_value;
+                   r_extras;
+                   r_opaque = get_u32 header 12;
+                   r_cas = get_u64 header 16;
+                 }))
+end

@@ -1,0 +1,11 @@
+(** Binary-protocol dispatch: maps {!Binary_protocol} requests onto the
+    {!Store}. Shared by the socket server (which sniffs the first byte of a
+    connection to pick text vs binary) and the tests. *)
+
+val handle :
+  Store.t -> Binary_protocol.request -> Binary_protocol.response list
+(** Execute one request. Quiet opcodes (GetQ/GetKQ misses) and [Quit]
+    produce no responses; [Stat] produces one response per statistic plus
+    the empty terminator, matching the wire protocol. *)
+
+val quit_requested : Binary_protocol.request -> bool

@@ -1,0 +1,106 @@
+type t = {
+  fd : Unix.file_descr;
+  parser : Protocol.Response_parser.t;
+  buf : Bytes.t;
+}
+
+let connect (addr : Server.address) =
+  let domain, sockaddr =
+    match addr with
+    | Server.Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Server.Tcp port -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.connect fd sockaddr;
+  { fd; parser = Protocol.Response_parser.create (); buf = Bytes.create 16384 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then go (off + Unix.write fd bytes off (len - off))
+  in
+  go 0
+
+let rec read_response t =
+  match Protocol.Response_parser.next t.parser with
+  | Some (Ok response) -> response
+  | Some (Error msg) -> failwith ("Memcached.Client: protocol error: " ^ msg)
+  | None ->
+      let n = Unix.read t.fd t.buf 0 (Bytes.length t.buf) in
+      if n = 0 then failwith "Memcached.Client: connection closed";
+      Protocol.Response_parser.feed t.parser (Bytes.sub_string t.buf 0 n);
+      read_response t
+
+let request t req =
+  write_all t.fd (Protocol.encode_request req);
+  read_response t
+
+let get t key =
+  match request t (Protocol.Get [ key ]) with
+  | Protocol.Values [ v ] -> Some v
+  | Protocol.Values [] -> None
+  | _ -> failwith "Memcached.Client.get: unexpected response"
+
+let get_many t keys =
+  match request t (Protocol.Get keys) with
+  | Protocol.Values vs -> vs
+  | _ -> failwith "Memcached.Client.get_many: unexpected response"
+
+let gets t key =
+  match request t (Protocol.Gets [ key ]) with
+  | Protocol.Values [ v ] -> Some v
+  | Protocol.Values [] -> None
+  | _ -> failwith "Memcached.Client.gets: unexpected response"
+
+let storage_request t build ?(flags = 0) ?(exptime = 0) ~key ~data () =
+  let s : Protocol.storage = { key; flags; exptime; noreply = false; data } in
+  match request t (build s) with
+  | Protocol.Stored -> true
+  | Protocol.Not_stored | Protocol.Exists | Protocol.Not_found -> false
+  | _ -> failwith "Memcached.Client: unexpected storage response"
+
+let set t = storage_request t (fun s -> Protocol.Set s)
+let add t = storage_request t (fun s -> Protocol.Add s)
+
+let cas t ?(flags = 0) ?(exptime = 0) ~key ~data ~unique () =
+  request t (Protocol.Cas ({ key; flags; exptime; noreply = false; data }, unique))
+
+let delete t key =
+  match request t (Protocol.Delete { key; noreply = false }) with
+  | Protocol.Deleted -> true
+  | Protocol.Not_found -> false
+  | _ -> failwith "Memcached.Client.delete: unexpected response"
+
+let counter t req =
+  match request t req with
+  | Protocol.Number n -> Some n
+  | Protocol.Not_found -> None
+  | Protocol.Client_error _ -> None
+  | _ -> failwith "Memcached.Client: unexpected counter response"
+
+let incr t key delta = counter t (Protocol.Incr { key; delta; noreply = false })
+let decr t key delta = counter t (Protocol.Decr { key; delta; noreply = false })
+
+let touch t ~key ~exptime =
+  match request t (Protocol.Touch { key; exptime; noreply = false }) with
+  | Protocol.Touched -> true
+  | Protocol.Not_found -> false
+  | _ -> failwith "Memcached.Client.touch: unexpected response"
+
+let stats t =
+  match request t Protocol.Stats with
+  | Protocol.Stats_reply kvs -> kvs
+  | _ -> failwith "Memcached.Client.stats: unexpected response"
+
+let version t =
+  match request t Protocol.Version with
+  | Protocol.Version_reply v -> v
+  | _ -> failwith "Memcached.Client.version: unexpected response"
+
+let flush_all t =
+  match request t (Protocol.Flush_all { noreply = false }) with
+  | Protocol.Ok_reply -> ()
+  | _ -> failwith "Memcached.Client.flush_all: unexpected response"

@@ -1,0 +1,26 @@
+(** Blocking memcached client over a socket (demos, integration tests). *)
+
+type t
+
+val connect : Server.address -> t
+val close : t -> unit
+
+val get : t -> string -> Protocol.value option
+val get_many : t -> string list -> Protocol.value list
+val gets : t -> string -> Protocol.value option
+(** Like {!get} but the value carries its CAS unique. *)
+
+val set : t -> ?flags:int -> ?exptime:int -> key:string -> data:string -> unit -> bool
+val add : t -> ?flags:int -> ?exptime:int -> key:string -> data:string -> unit -> bool
+val cas : t -> ?flags:int -> ?exptime:int -> key:string -> data:string -> unique:int -> unit -> Protocol.response
+val delete : t -> string -> bool
+val incr : t -> string -> int -> int option
+val decr : t -> string -> int -> int option
+val touch : t -> key:string -> exptime:int -> bool
+val stats : t -> (string * string) list
+val version : t -> string
+val flush_all : t -> unit
+
+val request : t -> Protocol.request -> Protocol.response
+(** Send any request and wait for its response (raises [Failure] on
+    protocol errors or closed connections). *)

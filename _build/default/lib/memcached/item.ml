@@ -1,0 +1,19 @@
+type t = {
+  flags : int;
+  exptime : float;
+  data : string;
+  cas : int;
+  created : float;
+  last_access : float Atomic.t;
+}
+
+let next_cas = Atomic.make 1
+let overhead_bytes = 48
+
+let make ?cas ~flags ~exptime ~data ~now () =
+  let cas = match cas with Some c -> c | None -> Atomic.fetch_and_add next_cas 1 in
+  { flags; exptime; data; cas; created = now; last_access = Atomic.make now }
+
+let is_expired t ~now = t.exptime > 0.0 && t.exptime <= now
+let touch_access t ~now = Atomic.set t.last_access now
+let size_bytes ~key t = String.length key + String.length t.data + overhead_bytes

@@ -1,0 +1,28 @@
+(** A stored cache item.
+
+    Immutable payload ([data], [flags]) plus mutable bookkeeping the RP GET
+    fast path may touch from inside a read-side critical section
+    ([last_access] is atomic so lock-free readers can bump it). *)
+
+type t = {
+  flags : int;
+  exptime : float;  (** absolute expiry in Unix seconds; 0. = never *)
+  data : string;
+  cas : int;  (** unique version for compare-and-swap (gets/cas) *)
+  created : float;
+  last_access : float Atomic.t;
+}
+
+val make :
+  ?cas:int -> flags:int -> exptime:float -> data:string -> now:float -> unit -> t
+
+val is_expired : t -> now:float -> bool
+
+val touch_access : t -> now:float -> unit
+(** Bump [last_access]; safe from concurrent lock-free readers. *)
+
+val size_bytes : key:string -> t -> int
+(** Approximate memory footprint used for the eviction budget: key + data +
+    a fixed per-item overhead (matching memcached's accounting style). *)
+
+val overhead_bytes : int

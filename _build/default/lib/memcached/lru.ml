@@ -1,0 +1,69 @@
+type 'k node = {
+  key : 'k;
+  mutable prev : 'k node option;
+  mutable next : 'k node option;
+  mutable linked : bool;
+}
+
+type 'k t = {
+  mutable front : 'k node option;
+  mutable back : 'k node option;
+  mutable length : int;
+}
+
+let create () = { front = None; back = None; length = 0 }
+
+let push_front t key =
+  let node = { key; prev = None; next = t.front; linked = true } in
+  (match t.front with
+  | Some old -> old.prev <- Some node
+  | None -> t.back <- Some node);
+  t.front <- Some node;
+  t.length <- t.length + 1;
+  node
+
+let remove t node =
+  if node.linked then begin
+    (match node.prev with
+    | Some p -> p.next <- node.next
+    | None -> t.front <- node.next);
+    (match node.next with
+    | Some n -> n.prev <- node.prev
+    | None -> t.back <- node.prev);
+    node.prev <- None;
+    node.next <- None;
+    node.linked <- false;
+    t.length <- t.length - 1
+  end
+
+let touch t node =
+  if node.linked then begin
+    remove t node;
+    (* Relink the same node at the front so existing handles stay valid. *)
+    node.next <- t.front;
+    node.prev <- None;
+    node.linked <- true;
+    (match t.front with
+    | Some old -> old.prev <- Some node
+    | None -> t.back <- Some node);
+    t.front <- Some node;
+    t.length <- t.length + 1
+  end
+
+let pop_back t =
+  match t.back with
+  | None -> None
+  | Some node ->
+      remove t node;
+      Some node.key
+
+let peek_back t = Option.map (fun (n : _ node) -> n.key) t.back
+let length t = t.length
+let key node = node.key
+
+let to_list t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk (node.key :: acc) node.next
+  in
+  walk [] t.front

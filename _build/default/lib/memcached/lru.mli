@@ -1,0 +1,29 @@
+(** Exact LRU list for the global-lock backend.
+
+    Intrusive doubly-linked list of keys; every operation must run under the
+    backend's global lock (which is precisely why stock memcached GETs
+    serialize: the LRU bump mutates shared list pointers). *)
+
+type 'k t
+type 'k node
+
+val create : unit -> 'k t
+
+val push_front : 'k t -> 'k -> 'k node
+(** Insert a key as most-recently-used; returns its handle. *)
+
+val touch : 'k t -> 'k node -> unit
+(** Move a node to the front (the GET-path LRU bump). *)
+
+val remove : 'k t -> 'k node -> unit
+(** Unlink a node (idempotent). *)
+
+val pop_back : 'k t -> 'k option
+(** Remove and return the least-recently-used key, if any. *)
+
+val peek_back : 'k t -> 'k option
+val length : 'k t -> int
+val key : 'k node -> 'k
+
+val to_list : 'k t -> 'k list
+(** Keys from most- to least-recently-used (tests). *)

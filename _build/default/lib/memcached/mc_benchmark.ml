@@ -1,0 +1,117 @@
+type mode = Get_only | Set_only | Mixed of float
+
+type config = {
+  workers : int;
+  duration : float;
+  keyspace : int;
+  value_size : int;
+  mode : mode;
+  seed : int;
+}
+
+let default_config =
+  {
+    workers = 1;
+    duration = 1.0;
+    keyspace = 10_000;
+    value_size = 100;
+    mode = Get_only;
+    seed = 42;
+  }
+
+type result = {
+  requests : int;
+  elapsed : float;
+  requests_per_second : float;
+  hits : int;
+  misses : int;
+}
+
+let value_for ~size key_index =
+  let tag = Printf.sprintf "v%08d:" key_index in
+  let pad = max 0 (size - String.length tag) in
+  tag ^ String.make pad 'x'
+
+let prefill store ~keyspace ~value_size =
+  for i = 0 to keyspace - 1 do
+    let key = Rp_workload.Keygen.string_key i in
+    ignore
+      (Store.set store ~key ~flags:0 ~exptime:0 ~data:(value_for ~size:value_size i))
+  done
+
+(* One worker = one simulated mc-benchmark process: client-side encoding +
+   parsing and server-side parsing + dispatch, all on this domain. *)
+let worker store config index ~stop ~hits ~misses =
+  let keygen =
+    Rp_workload.Keygen.create ~keyspace:config.keyspace ~seed:config.seed
+      ~worker:index ()
+  in
+  let prng = Rp_workload.Keygen.prng keygen in
+  let parser = Protocol.Parser.create () in
+  let response_parser = Protocol.Response_parser.create () in
+  let my_hits = ref 0 and my_misses = ref 0 in
+  let one_request () =
+    let key_index = Rp_workload.Keygen.next_key keygen in
+    let key = Rp_workload.Keygen.string_key key_index in
+    let is_set =
+      match config.mode with
+      | Get_only -> false
+      | Set_only -> true
+      | Mixed fraction -> Rp_workload.Prng.float prng < fraction
+    in
+    let request =
+      if is_set then
+        Protocol.Set
+          {
+            key;
+            flags = 0;
+            exptime = 0;
+            noreply = false;
+            data = value_for ~size:config.value_size key_index;
+          }
+      else Protocol.Get [ key ]
+    in
+    (* client -> wire *)
+    Protocol.Parser.feed parser (Protocol.encode_request request);
+    (* wire -> server -> wire *)
+    (match Protocol.Parser.next parser with
+    | Some (Ok parsed) -> (
+        match Server.handle store parsed with
+        | Some response ->
+            Protocol.Response_parser.feed response_parser
+              (Protocol.encode_response response)
+        | None -> ())
+    | Some (Error msg) -> failwith ("mc_benchmark: request parse error: " ^ msg)
+    | None -> failwith "mc_benchmark: incomplete request");
+    (* wire -> client *)
+    match Protocol.Response_parser.next response_parser with
+    | Some (Ok (Protocol.Values [])) -> incr my_misses
+    | Some (Ok (Protocol.Values _)) -> incr my_hits
+    | Some (Ok _) -> ()
+    | Some (Error msg) -> failwith ("mc_benchmark: response parse error: " ^ msg)
+    | None -> failwith "mc_benchmark: incomplete response"
+  in
+  let ops = Rp_harness.Runner.loop_until_stop ~stop ~f:one_request in
+  ignore (Atomic.fetch_and_add hits !my_hits);
+  ignore (Atomic.fetch_and_add misses !my_misses);
+  ops
+
+let run ~store config =
+  let hits = Atomic.make 0 and misses = Atomic.make 0 in
+  let workers =
+    Array.init config.workers (fun i ~stop ->
+        worker store config i ~stop ~hits ~misses)
+  in
+  let outcome = Rp_harness.Runner.run ~duration:config.duration ~workers () in
+  {
+    requests = Rp_harness.Runner.total_ops outcome;
+    elapsed = outcome.elapsed;
+    requests_per_second = Rp_harness.Runner.throughput outcome;
+    hits = Atomic.get hits;
+    misses = Atomic.get misses;
+  }
+
+let run_backend ~backend config =
+  let store = Store.create ~backend ~initial_size:16_384 () in
+  prefill store ~keyspace:config.keyspace ~value_size:config.value_size;
+  run ~store config

@@ -1,0 +1,40 @@
+(** mc-benchmark-style load generator.
+
+    Drives a {!Store.t} through the {e full protocol codec} — each operation
+    encodes a request, parses it server-side, dispatches, encodes the
+    response, and parses it client-side — so the measured path matches what
+    a socket client exercises, minus the kernel. Workers run on separate
+    domains, exactly like the paper's N mc-benchmark processes.
+
+    A pure-GET run measures the paper's GET curves (global lock vs. RP fast
+    path); a pure-SET run measures the SET curves. *)
+
+type mode = Get_only | Set_only | Mixed of float  (** fraction of SETs *)
+
+type config = {
+  workers : int;
+  duration : float;  (** seconds *)
+  keyspace : int;
+  value_size : int;  (** bytes per value *)
+  mode : mode;
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  requests : int;
+  elapsed : float;
+  requests_per_second : float;
+  hits : int;
+  misses : int;
+}
+
+val prefill : Store.t -> keyspace:int -> value_size:int -> unit
+(** Populate every key so GET runs measure hits, as mc-benchmark does. *)
+
+val run : store:Store.t -> config -> result
+
+val run_backend :
+  backend:Store.backend -> config -> result
+(** Convenience: build a store, prefill it, run. *)

@@ -1,0 +1,446 @@
+type storage = {
+  key : string;
+  flags : int;
+  exptime : int;
+  noreply : bool;
+  data : string;
+}
+
+type request =
+  | Get of string list
+  | Gets of string list
+  | Set of storage
+  | Add of storage
+  | Replace of storage
+  | Append of storage
+  | Prepend of storage
+  | Cas of storage * int
+  | Delete of { key : string; noreply : bool }
+  | Incr of { key : string; delta : int; noreply : bool }
+  | Decr of { key : string; delta : int; noreply : bool }
+  | Touch of { key : string; exptime : int; noreply : bool }
+  | Stats
+  | Flush_all of { noreply : bool }
+  | Version
+  | Quit
+
+type value = { vkey : string; vflags : int; vdata : string; vcas : int option }
+
+type response =
+  | Values of value list
+  | Stored
+  | Not_stored
+  | Exists
+  | Not_found
+  | Deleted
+  | Touched
+  | Ok_reply
+  | Version_reply of string
+  | Number of int
+  | Stats_reply of (string * string) list
+  | Client_error of string
+  | Server_error of string
+  | Error_reply
+
+let crlf = "\r\n"
+
+let request_key_valid key =
+  let len = String.length key in
+  len >= 1 && len <= 250
+  && String.for_all (fun c -> c > ' ' && c <> '\x7f') key
+
+(* --- encoding --- *)
+
+let encode_storage verb ({ key; flags; exptime; noreply; data } : storage) extra =
+  Printf.sprintf "%s %s %d %d %d%s%s%s%s%s" verb key flags exptime
+    (String.length data) extra
+    (if noreply then " noreply" else "")
+    crlf data crlf
+
+let encode_request = function
+  | Get keys -> "get " ^ String.concat " " keys ^ crlf
+  | Gets keys -> "gets " ^ String.concat " " keys ^ crlf
+  | Set s -> encode_storage "set" s ""
+  | Add s -> encode_storage "add" s ""
+  | Replace s -> encode_storage "replace" s ""
+  | Append s -> encode_storage "append" s ""
+  | Prepend s -> encode_storage "prepend" s ""
+  | Cas (s, unique) -> encode_storage "cas" s (Printf.sprintf " %d" unique)
+  | Delete { key; noreply } ->
+      Printf.sprintf "delete %s%s%s" key (if noreply then " noreply" else "") crlf
+  | Incr { key; delta; noreply } ->
+      Printf.sprintf "incr %s %d%s%s" key delta (if noreply then " noreply" else "") crlf
+  | Decr { key; delta; noreply } ->
+      Printf.sprintf "decr %s %d%s%s" key delta (if noreply then " noreply" else "") crlf
+  | Touch { key; exptime; noreply } ->
+      Printf.sprintf "touch %s %d%s%s" key exptime
+        (if noreply then " noreply" else "")
+        crlf
+  | Stats -> "stats" ^ crlf
+  | Flush_all { noreply } ->
+      Printf.sprintf "flush_all%s%s" (if noreply then " noreply" else "") crlf
+  | Version -> "version" ^ crlf
+  | Quit -> "quit" ^ crlf
+
+let encode_response = function
+  | Values values ->
+      let buf = Buffer.create 128 in
+      List.iter
+        (fun { vkey; vflags; vdata; vcas } ->
+          (match vcas with
+          | None ->
+              Buffer.add_string buf
+                (Printf.sprintf "VALUE %s %d %d%s" vkey vflags
+                   (String.length vdata) crlf)
+          | Some cas ->
+              Buffer.add_string buf
+                (Printf.sprintf "VALUE %s %d %d %d%s" vkey vflags
+                   (String.length vdata) cas crlf));
+          Buffer.add_string buf vdata;
+          Buffer.add_string buf crlf)
+        values;
+      Buffer.add_string buf ("END" ^ crlf);
+      Buffer.contents buf
+  | Stored -> "STORED" ^ crlf
+  | Not_stored -> "NOT_STORED" ^ crlf
+  | Exists -> "EXISTS" ^ crlf
+  | Not_found -> "NOT_FOUND" ^ crlf
+  | Deleted -> "DELETED" ^ crlf
+  | Touched -> "TOUCHED" ^ crlf
+  | Ok_reply -> "OK" ^ crlf
+  | Version_reply v -> "VERSION " ^ v ^ crlf
+  | Number n -> string_of_int n ^ crlf
+  | Stats_reply stats ->
+      let buf = Buffer.create 128 in
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "STAT %s %s%s" k v crlf))
+        stats;
+      Buffer.add_string buf ("END" ^ crlf);
+      Buffer.contents buf
+  | Client_error msg -> "CLIENT_ERROR " ^ msg ^ crlf
+  | Server_error msg -> "SERVER_ERROR " ^ msg ^ crlf
+  | Error_reply -> "ERROR" ^ crlf
+
+(* --- shared incremental buffer --- *)
+
+module Inbuf = struct
+  type t = { mutable data : string; mutable pos : int }
+
+  let create () = { data = ""; pos = 0 }
+
+  let feed t s =
+    if t.pos > 0 && t.pos = String.length t.data then begin
+      t.data <- s;
+      t.pos <- 0
+    end
+    else if s <> "" then begin
+      (* Compact occasionally so pos never grows without bound. *)
+      if t.pos > 4096 then begin
+        t.data <- String.sub t.data t.pos (String.length t.data - t.pos);
+        t.pos <- 0
+      end;
+      t.data <- t.data ^ s
+    end
+
+  let available t = String.length t.data - t.pos
+
+  (* A CRLF-terminated line, without the terminator. *)
+  let take_line t =
+    let rec find i =
+      if i + 1 >= String.length t.data then None
+      else if t.data.[i] = '\r' && t.data.[i + 1] = '\n' then Some i
+      else find (i + 1)
+    in
+    match find t.pos with
+    | None -> None
+    | Some i ->
+        let line = String.sub t.data t.pos (i - t.pos) in
+        t.pos <- i + 2;
+        Some line
+
+  (* [n] data bytes followed by CRLF. *)
+  let take_block t n =
+    if available t < n + 2 then None
+    else begin
+      let block = String.sub t.data t.pos n in
+      let terminated =
+        t.data.[t.pos + n] = '\r' && t.data.[t.pos + n + 1] = '\n'
+      in
+      t.pos <- t.pos + n + 2;
+      Some (block, terminated)
+    end
+end
+
+(* --- request parser --- *)
+
+module Parser = struct
+  type pending = {
+    verb : string;
+    key : string;
+    flags : int;
+    exptime : int;
+    bytes : int;
+    noreply : bool;
+    cas : int option;
+  }
+
+  type state = Await_line | Await_data of pending
+
+  type t = { inbuf : Inbuf.t; mutable state : state }
+
+  let create () = { inbuf = Inbuf.create (); state = Await_line }
+  let feed t s = Inbuf.feed t.inbuf s
+  let buffered_bytes t = Inbuf.available t.inbuf
+
+  let tokens line =
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+  let int_arg s = int_of_string_opt s
+
+  let storage_of pending data : storage =
+    {
+      key = pending.key;
+      flags = pending.flags;
+      exptime = pending.exptime;
+      noreply = pending.noreply;
+      data;
+    }
+
+  let finish_storage pending data =
+    let s = storage_of pending data in
+    match pending.verb with
+    | "set" -> Ok (Set s)
+    | "add" -> Ok (Add s)
+    | "replace" -> Ok (Replace s)
+    | "append" -> Ok (Append s)
+    | "prepend" -> Ok (Prepend s)
+    | "cas" -> (
+        match pending.cas with
+        | Some unique -> Ok (Cas (s, unique))
+        | None -> Error "cas without unique")
+    | verb -> Error ("unknown storage verb " ^ verb)
+
+  let parse_storage_line verb args =
+    let with_cas = verb = "cas" in
+    let consume key flags exptime bytes cas rest =
+      match (int_arg flags, int_arg exptime, int_arg bytes) with
+      | Some flags, Some exptime, Some bytes when bytes >= 0 ->
+          if not (request_key_valid key) then Error "bad key"
+          else begin
+            let noreply = rest = [ "noreply" ] in
+            if rest <> [] && not noreply then Error "bad command line format"
+            else
+              Ok { verb; key; flags; exptime; bytes; noreply; cas }
+          end
+      | _ -> Error "bad command line format"
+    in
+    match (with_cas, args) with
+    | false, key :: flags :: exptime :: bytes :: rest ->
+        consume key flags exptime bytes None rest
+    | true, key :: flags :: exptime :: bytes :: unique :: rest -> (
+        match int_arg unique with
+        | Some u -> consume key flags exptime bytes (Some u) rest
+        | None -> Error "bad cas unique")
+    | _ -> Error "bad command line format"
+
+  let parse_keys verb keys =
+    if keys = [] then Error ("bad " ^ verb ^ ": no keys")
+    else if List.for_all request_key_valid keys then Ok keys
+    else Error "bad key"
+
+  let parse_line t line =
+    match tokens line with
+    | [] -> None (* empty line: ignore, keep reading *)
+    | verb :: args -> (
+        match verb with
+        | "get" -> (
+            match parse_keys "get" args with
+            | Ok keys -> Some (Ok (Get keys))
+            | Error e -> Some (Error e))
+        | "gets" -> (
+            match parse_keys "gets" args with
+            | Ok keys -> Some (Ok (Gets keys))
+            | Error e -> Some (Error e))
+        | "set" | "add" | "replace" | "append" | "prepend" | "cas" -> (
+            match parse_storage_line verb args with
+            | Ok pending ->
+                t.state <- Await_data pending;
+                None
+            | Error e -> Some (Error e))
+        | "delete" -> (
+            match args with
+            | [ key ] when request_key_valid key ->
+                Some (Ok (Delete { key; noreply = false }))
+            | [ key; "noreply" ] when request_key_valid key ->
+                Some (Ok (Delete { key; noreply = true }))
+            | _ -> Some (Error "bad delete"))
+        | "incr" | "decr" -> (
+            let build key delta noreply =
+              if verb = "incr" then Incr { key; delta; noreply }
+              else Decr { key; delta; noreply }
+            in
+            match args with
+            | [ key; delta ] when request_key_valid key -> (
+                match int_arg delta with
+                | Some d when d >= 0 -> Some (Ok (build key d false))
+                | _ -> Some (Error "invalid numeric delta argument"))
+            | [ key; delta; "noreply" ] when request_key_valid key -> (
+                match int_arg delta with
+                | Some d when d >= 0 -> Some (Ok (build key d true))
+                | _ -> Some (Error "invalid numeric delta argument"))
+            | _ -> Some (Error ("bad " ^ verb)))
+        | "touch" -> (
+            match args with
+            | [ key; exptime ] when request_key_valid key -> (
+                match int_arg exptime with
+                | Some e -> Some (Ok (Touch { key; exptime = e; noreply = false }))
+                | None -> Some (Error "bad touch"))
+            | [ key; exptime; "noreply" ] when request_key_valid key -> (
+                match int_arg exptime with
+                | Some e -> Some (Ok (Touch { key; exptime = e; noreply = true }))
+                | None -> Some (Error "bad touch"))
+            | _ -> Some (Error "bad touch"))
+        | "stats" -> Some (Ok Stats)
+        | "flush_all" -> (
+            match args with
+            | [] -> Some (Ok (Flush_all { noreply = false }))
+            | [ "noreply" ] -> Some (Ok (Flush_all { noreply = true }))
+            | _ -> Some (Error "bad flush_all"))
+        | "version" -> Some (Ok Version)
+        | "quit" -> Some (Ok Quit)
+        | _ -> Some (Error "ERROR"))
+
+  let rec next t =
+    match t.state with
+    | Await_line -> (
+        match Inbuf.take_line t.inbuf with
+        | None -> None
+        | Some line -> (
+            match parse_line t line with
+            | Some result -> Some result
+            | None -> next t (* storage header consumed; try for the data *)))
+    | Await_data pending -> (
+        match Inbuf.take_block t.inbuf pending.bytes with
+        | None -> None
+        | Some (data, terminated) ->
+            t.state <- Await_line;
+            if not terminated then Some (Error "bad data chunk")
+            else Some (finish_storage pending data))
+end
+
+(* --- response parser (client side) --- *)
+
+module Response_parser = struct
+  type state =
+    | Start
+    | In_values of value list
+    | Value_data of { vkey : string; vflags : int; bytes : int; vcas : int option; acc : value list }
+    | In_stats of (string * string) list
+
+  type t = { inbuf : Inbuf.t; mutable state : state }
+
+  let create () = { inbuf = Inbuf.create (); state = Start }
+  let feed t s = Inbuf.feed t.inbuf s
+
+  let parse_value_header parts =
+    match parts with
+    | [ vkey; vflags; bytes ] -> (
+        match (int_of_string_opt vflags, int_of_string_opt bytes) with
+        | Some f, Some b when b >= 0 -> Ok (vkey, f, b, None)
+        | _ -> Error "bad VALUE header")
+    | [ vkey; vflags; bytes; cas ] -> (
+        match
+          (int_of_string_opt vflags, int_of_string_opt bytes, int_of_string_opt cas)
+        with
+        | Some f, Some b, Some c when b >= 0 -> Ok (vkey, f, b, Some c)
+        | _ -> Error "bad VALUE header")
+    | _ -> Error "bad VALUE header"
+
+  let rec next t =
+    match t.state with
+    | Start -> (
+        match Inbuf.take_line t.inbuf with
+        | None -> None
+        | Some line -> (
+            let parts =
+              String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+            in
+            match parts with
+            | [ "STORED" ] -> Some (Ok Stored)
+            | [ "NOT_STORED" ] -> Some (Ok Not_stored)
+            | [ "EXISTS" ] -> Some (Ok Exists)
+            | [ "NOT_FOUND" ] -> Some (Ok Not_found)
+            | [ "DELETED" ] -> Some (Ok Deleted)
+            | [ "TOUCHED" ] -> Some (Ok Touched)
+            | [ "OK" ] -> Some (Ok Ok_reply)
+            | [ "END" ] -> Some (Ok (Values []))
+            | [ "ERROR" ] -> Some (Ok Error_reply)
+            | "VERSION" :: rest -> Some (Ok (Version_reply (String.concat " " rest)))
+            | "CLIENT_ERROR" :: rest ->
+                Some (Ok (Client_error (String.concat " " rest)))
+            | "SERVER_ERROR" :: rest ->
+                Some (Ok (Server_error (String.concat " " rest)))
+            | "VALUE" :: header -> (
+                match parse_value_header header with
+                | Ok (vkey, vflags, bytes, vcas) ->
+                    t.state <- Value_data { vkey; vflags; bytes; vcas; acc = [] };
+                    next t
+                | Error e -> Some (Error e))
+            | "STAT" :: key :: rest ->
+                t.state <- In_stats [ (key, String.concat " " rest) ];
+                next t
+            | [ number ] when int_of_string_opt number <> None ->
+                Some (Ok (Number (int_of_string number)))
+            | _ -> Some (Error ("unparseable response line: " ^ line))))
+    | In_values acc -> (
+        match Inbuf.take_line t.inbuf with
+        | None -> None
+        | Some line -> (
+            let parts =
+              String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+            in
+            match parts with
+            | [ "END" ] ->
+                t.state <- Start;
+                Some (Ok (Values (List.rev acc)))
+            | "VALUE" :: header -> (
+                match parse_value_header header with
+                | Ok (vkey, vflags, bytes, vcas) ->
+                    t.state <- Value_data { vkey; vflags; bytes; vcas; acc };
+                    next t
+                | Error e ->
+                    t.state <- Start;
+                    Some (Error e))
+            | _ ->
+                t.state <- Start;
+                Some (Error ("unexpected line in VALUE stream: " ^ line))))
+    | Value_data { vkey; vflags; bytes; vcas; acc } -> (
+        match Inbuf.take_block t.inbuf bytes with
+        | None -> None
+        | Some (data, terminated) ->
+            if not terminated then begin
+              t.state <- Start;
+              Some (Error "bad value data chunk")
+            end
+            else begin
+              t.state <- In_values ({ vkey; vflags; vdata = data; vcas } :: acc);
+              next t
+            end)
+    | In_stats acc -> (
+        match Inbuf.take_line t.inbuf with
+        | None -> None
+        | Some line -> (
+            let parts =
+              String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+            in
+            match parts with
+            | [ "END" ] ->
+                t.state <- Start;
+                Some (Ok (Stats_reply (List.rev acc)))
+            | "STAT" :: key :: rest ->
+                t.state <- In_stats ((key, String.concat " " rest) :: acc);
+                next t
+            | _ ->
+                t.state <- Start;
+                Some (Error ("unexpected line in STAT stream: " ^ line))))
+end

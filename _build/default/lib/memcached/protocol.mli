@@ -1,0 +1,81 @@
+(** memcached text protocol: requests, responses, and incremental codecs.
+
+    Covers the commands the paper's workload exercises (get/set) plus the
+    surrounding command set a real deployment would expect (gets/cas, add,
+    replace, append, prepend, delete, incr/decr, touch, stats, flush_all,
+    version, quit). Lines end in CRLF; storage commands carry a data block
+    of an announced byte length. *)
+
+type storage = {
+  key : string;
+  flags : int;
+  exptime : int;  (** raw protocol value; the store interprets (0 = never) *)
+  noreply : bool;
+  data : string;
+}
+
+type request =
+  | Get of string list
+  | Gets of string list
+  | Set of storage
+  | Add of storage
+  | Replace of storage
+  | Append of storage
+  | Prepend of storage
+  | Cas of storage * int
+  | Delete of { key : string; noreply : bool }
+  | Incr of { key : string; delta : int; noreply : bool }
+  | Decr of { key : string; delta : int; noreply : bool }
+  | Touch of { key : string; exptime : int; noreply : bool }
+  | Stats
+  | Flush_all of { noreply : bool }
+  | Version
+  | Quit
+
+type value = { vkey : string; vflags : int; vdata : string; vcas : int option }
+
+type response =
+  | Values of value list  (** rendered as VALUE lines + END *)
+  | Stored
+  | Not_stored
+  | Exists
+  | Not_found
+  | Deleted
+  | Touched
+  | Ok_reply
+  | Version_reply of string
+  | Number of int
+  | Stats_reply of (string * string) list
+  | Client_error of string
+  | Server_error of string
+  | Error_reply
+
+val encode_request : request -> string
+val encode_response : response -> string
+
+val request_key_valid : string -> bool
+(** memcached key rules: 1–250 bytes, no spaces or control characters. *)
+
+(** Incremental request parser (server side). Feed raw bytes; pull complete
+    requests. A malformed line yields [Error _] and the parser resynchronises
+    at the next line. *)
+module Parser : sig
+  type t
+
+  val create : unit -> t
+  val feed : t -> string -> unit
+
+  val next : t -> (request, string) result option
+  (** [None] means more bytes are needed. *)
+
+  val buffered_bytes : t -> int
+end
+
+(** Incremental response parser (client side). *)
+module Response_parser : sig
+  type t
+
+  val create : unit -> t
+  val feed : t -> string -> unit
+  val next : t -> (response, string) result option
+end

@@ -1,0 +1,203 @@
+let version_string = Version.string
+
+let stored_reply : Store.stored_result -> Protocol.response = function
+  | Store.Stored -> Protocol.Stored
+  | Store.Not_stored -> Protocol.Not_stored
+  | Store.Exists -> Protocol.Exists
+  | Store.Not_found -> Protocol.Not_found
+  | Store.Too_large -> Protocol.Server_error "object too large for cache"
+
+let handle store (request : Protocol.request) : Protocol.response option =
+  match request with
+  | Protocol.Get keys -> Some (Protocol.Values (Store.get_many store keys))
+  | Protocol.Gets keys ->
+      Some (Protocol.Values (Store.get_many store ~with_cas:true keys))
+  | Protocol.Set { key; flags; exptime; noreply; data } ->
+      let r = Store.set store ~key ~flags ~exptime ~data in
+      if noreply then None else Some (stored_reply r)
+  | Protocol.Add { key; flags; exptime; noreply; data } ->
+      let r = Store.add store ~key ~flags ~exptime ~data in
+      if noreply then None else Some (stored_reply r)
+  | Protocol.Replace { key; flags; exptime; noreply; data } ->
+      let r = Store.replace store ~key ~flags ~exptime ~data in
+      if noreply then None else Some (stored_reply r)
+  | Protocol.Append { key; noreply; data; _ } ->
+      let r = Store.append store ~key ~data in
+      if noreply then None else Some (stored_reply r)
+  | Protocol.Prepend { key; noreply; data; _ } ->
+      let r = Store.prepend store ~key ~data in
+      if noreply then None else Some (stored_reply r)
+  | Protocol.Cas ({ key; flags; exptime; noreply; data }, unique) ->
+      let r = Store.cas store ~key ~flags ~exptime ~data ~unique in
+      if noreply then None else Some (stored_reply r)
+  | Protocol.Delete { key; noreply } ->
+      let r = if Store.delete store key then Protocol.Deleted else Protocol.Not_found in
+      if noreply then None else Some r
+  | Protocol.Incr { key; delta; noreply } -> (
+      match Store.incr store key delta with
+      | Store.Cvalue n -> if noreply then None else Some (Protocol.Number n)
+      | Store.Cnotfound -> if noreply then None else Some Protocol.Not_found
+      | Store.Cnon_numeric ->
+          if noreply then None
+          else
+            Some
+              (Protocol.Client_error
+                 "cannot increment or decrement non-numeric value"))
+  | Protocol.Decr { key; delta; noreply } -> (
+      match Store.decr store key delta with
+      | Store.Cvalue n -> if noreply then None else Some (Protocol.Number n)
+      | Store.Cnotfound -> if noreply then None else Some Protocol.Not_found
+      | Store.Cnon_numeric ->
+          if noreply then None
+          else
+            Some
+              (Protocol.Client_error
+                 "cannot increment or decrement non-numeric value"))
+  | Protocol.Touch { key; exptime; noreply } ->
+      let r =
+        if Store.touch store ~key ~exptime then Protocol.Touched
+        else Protocol.Not_found
+      in
+      if noreply then None else Some r
+  | Protocol.Stats -> Some (Protocol.Stats_reply (Store.stats store))
+  | Protocol.Flush_all { noreply } ->
+      Store.flush_all store;
+      if noreply then None else Some Protocol.Ok_reply
+  | Protocol.Version -> Some (Protocol.Version_reply version_string)
+  | Protocol.Quit -> None
+
+type address = Unix_socket of string | Tcp of int
+
+type t = {
+  addr : address;
+  listen_fd : Unix.file_descr;
+  accept_thread : Thread.t;
+  running : bool Atomic.t;
+}
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+let serve_text store fd buf ~initial =
+  let parser = Protocol.Parser.create () in
+  Protocol.Parser.feed parser initial;
+  let closing = ref false in
+  let drain () =
+    let rec go () =
+      match Protocol.Parser.next parser with
+      | None -> ()
+      | Some (Error msg) ->
+          let reply =
+            if msg = "ERROR" then Protocol.Error_reply
+            else Protocol.Client_error msg
+          in
+          write_all fd (Protocol.encode_response reply);
+          go ()
+      | Some (Ok Protocol.Quit) -> closing := true
+      | Some (Ok request) ->
+          (match handle store request with
+          | Some response -> write_all fd (Protocol.encode_response response)
+          | None -> ());
+          go ()
+    in
+    go ()
+  in
+  drain ();
+  while not !closing do
+    let n = Unix.read fd buf 0 (Bytes.length buf) in
+    if n = 0 then closing := true
+    else begin
+      Protocol.Parser.feed parser (Bytes.sub_string buf 0 n);
+      drain ()
+    end
+  done
+
+let serve_binary store fd buf ~initial =
+  let parser = Binary_protocol.Parser.create () in
+  Binary_protocol.Parser.feed parser initial;
+  let closing = ref false in
+  let drain () =
+    let rec go () =
+      match Binary_protocol.Parser.next parser with
+      | None -> ()
+      | Some (Error _) ->
+          (* Binary framing errors are unrecoverable: drop the connection,
+             as stock memcached does. *)
+          closing := true
+      | Some (Ok request) ->
+          List.iter
+            (fun response ->
+              write_all fd (Binary_protocol.encode_response response))
+            (Binary_server.handle store request);
+          if Binary_server.quit_requested request then closing := true else go ()
+    in
+    go ()
+  in
+  drain ();
+  while not !closing do
+    let n = Unix.read fd buf 0 (Bytes.length buf) in
+    if n = 0 then closing := true
+    else begin
+      Binary_protocol.Parser.feed parser (Bytes.sub_string buf 0 n);
+      drain ()
+    end
+  done
+
+(* Protocol auto-detection, as in stock memcached: the first byte of a
+   connection decides (0x80 = binary request magic, anything else = text). *)
+let serve_connection store fd =
+  let buf = Bytes.create 16384 in
+  (try
+     let n = Unix.read fd buf 0 (Bytes.length buf) in
+     if n > 0 then begin
+       let initial = Bytes.sub_string buf 0 n in
+       if initial.[0] = Binary_protocol.magic_request_byte then
+         serve_binary store fd buf ~initial
+       else serve_text store fd buf ~initial
+     end
+   with Unix.Unix_error _ | End_of_file -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let start ~store addr =
+  let domain, sockaddr =
+    match addr with
+    | Unix_socket path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Tcp port -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  in
+  let listen_fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd sockaddr;
+  Unix.listen listen_fd 64;
+  let running = Atomic.make true in
+  let accept_thread =
+    Thread.create
+      (fun () ->
+        while Atomic.get running do
+          match Unix.accept listen_fd with
+          | fd, _ -> ignore (Thread.create (fun () -> serve_connection store fd) ())
+          | exception Unix.Unix_error _ -> ()
+        done)
+      ()
+  in
+  { addr; listen_fd; accept_thread; running }
+
+let stop t =
+  Atomic.set t.running false;
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Thread.join t.accept_thread;
+  match t.addr with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+let address t = t.addr

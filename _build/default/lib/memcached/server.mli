@@ -1,0 +1,26 @@
+(** memcached server: request dispatch plus a socket front end.
+
+    {!handle} is the pure dispatch used by both the socket server and the
+    in-process benchmark loopback; the socket server runs one thread per
+    connection (reads bytes, feeds the protocol parser, executes, writes
+    responses). *)
+
+val version_string : string
+
+val handle : Store.t -> Protocol.request -> Protocol.response option
+(** Execute one request. [None] means no response is sent (noreply flag, or
+    [Quit], which the connection loop treats as close). *)
+
+type t
+
+type address = Unix_socket of string | Tcp of int
+
+val start : store:Store.t -> address -> t
+(** Start listening and serving connections (accept loop and per-connection
+    handlers run on background threads). *)
+
+val stop : t -> unit
+(** Close the listener and wait for the accept loop to exit. Established
+    connections finish their current request and close. *)
+
+val address : t -> address

@@ -1,0 +1,447 @@
+type backend = Lock | Rp
+
+type stored_result = Stored | Not_stored | Exists | Not_found | Too_large
+type counter_result = Cnotfound | Cnon_numeric | Cvalue of int
+
+(* Lock backend: item + its exact-LRU node, both only touched under the
+   global lock. *)
+type lock_entry = { item : Item.t; node : string Lru.node }
+
+type lock_state = {
+  table : (string, lock_entry) Rp_baseline.Lock_ht.t;
+  lru : string Lru.t;
+}
+
+(* Rp backend: wait-free reads; updates under [update]; CLOCK queue holds
+   (key, last_access seen when enqueued) pairs for second-chance eviction. *)
+type rp_state = {
+  rp : (string, Item.t) Rp_ht.t;
+  update : Mutex.t;
+  clockq : (string * float) Queue.t;
+}
+
+type state = Lock_state of lock_state | Rp_state of rp_state
+
+type t = {
+  state : state;
+  max_bytes : int;
+  slab : Slab.t;  (* chunk-level accounting; eviction compares chunk bytes *)
+  clock : unit -> float;
+  (* counters *)
+  get_hits : int Atomic.t;
+  get_misses : int Atomic.t;
+  cmd_get : int Atomic.t;
+  cmd_set : int Atomic.t;
+  deletes : int Atomic.t;
+  evicted : int Atomic.t;
+  expired : int Atomic.t;
+}
+
+let hash_key = Rp_hashes.Hashfn.fnv1a_string
+let month_seconds = 60. *. 60. *. 24. *. 30.
+
+let create ?(backend = Rp) ?(max_bytes = 64 * 1024 * 1024) ?(initial_size = 1024)
+    ?(auto_resize = true) ?(clock = Unix.gettimeofday) () =
+  let state =
+    match backend with
+    | Lock ->
+        Lock_state
+          {
+            table =
+              Rp_baseline.Lock_ht.create ~hash:hash_key ~equal:String.equal
+                ~size:initial_size ();
+            lru = Lru.create ();
+          }
+    | Rp ->
+        Rp_state
+          {
+            rp =
+              Rp_ht.create ~initial_size ~auto_resize ~hash:hash_key
+                ~equal:String.equal ();
+            update = Mutex.create ();
+            clockq = Queue.create ();
+          }
+  in
+  {
+    state;
+    max_bytes;
+    slab = Slab.create ();
+    clock;
+    get_hits = Atomic.make 0;
+    get_misses = Atomic.make 0;
+    cmd_get = Atomic.make 0;
+    cmd_set = Atomic.make 0;
+    deletes = Atomic.make 0;
+    evicted = Atomic.make 0;
+    expired = Atomic.make 0;
+  }
+
+let backend t = match t.state with Lock_state _ -> Lock | Rp_state _ -> Rp
+
+(* Protocol exptime: 0 = never, negative = already expired, small values are
+   relative seconds, large ones absolute Unix time. *)
+let absolute_exptime t exptime =
+  if exptime = 0 then 0.0
+  else if exptime < 0 then epsilon_float (* expired since the dawn of time *)
+  else begin
+    let e = float_of_int exptime in
+    if e <= month_seconds then t.clock () +. e else e
+  end
+
+let value_of_item ?(with_cas = false) key (item : Item.t) : Protocol.value =
+  {
+    vkey = key;
+    vflags = item.flags;
+    vdata = item.data;
+    vcas = (if with_cas then Some item.cas else None);
+  }
+
+(* --- Lock backend primitives (global lock held by callers below) --- *)
+
+let lock_find_live t ls key ~now =
+  match Rp_baseline.Lock_ht.unsafe_find ls.table key with
+  | None -> None
+  | Some entry ->
+      if Item.is_expired entry.item ~now then begin
+        ignore (Rp_baseline.Lock_ht.unsafe_remove ls.table key);
+        Lru.remove ls.lru entry.node;
+        Slab.refund t.slab (Item.size_bytes ~key entry.item);
+        Atomic.incr t.expired;
+        None
+      end
+      else Some entry
+
+let lock_delete t ls key =
+  match Rp_baseline.Lock_ht.unsafe_find ls.table key with
+  | None -> false
+  | Some entry ->
+      ignore (Rp_baseline.Lock_ht.unsafe_remove ls.table key);
+      Lru.remove ls.lru entry.node;
+      Slab.refund t.slab (Item.size_bytes ~key entry.item);
+      true
+
+let lock_store t ls key (item : Item.t) =
+  ignore (lock_delete t ls key);
+  let node = Lru.push_front ls.lru key in
+  Rp_baseline.Lock_ht.unsafe_insert ls.table key { item; node };
+  ignore (Slab.charge t.slab (Item.size_bytes ~key item));
+  let exhausted = ref false in
+  while (not !exhausted) && Slab.allocated_bytes t.slab > t.max_bytes do
+    match Lru.pop_back ls.lru with
+    | None -> exhausted := true (* nothing left to evict *)
+    | Some victim -> (
+        match Rp_baseline.Lock_ht.unsafe_find ls.table victim with
+        | None -> ()
+        | Some entry ->
+            ignore (Rp_baseline.Lock_ht.unsafe_remove ls.table victim);
+            Slab.refund t.slab (Item.size_bytes ~key:victim entry.item);
+            Atomic.incr t.evicted)
+  done
+
+(* --- Rp backend primitives (update mutex held by callers below) --- *)
+
+let rp_delete t rs key =
+  match Rp_ht.find rs.rp key with
+  | None -> false
+  | Some item ->
+      ignore (Rp_ht.remove rs.rp key);
+      Slab.refund t.slab (Item.size_bytes ~key item);
+      true
+
+(* CLOCK second-chance eviction: pop (key, last_access at enqueue); a key
+   touched since its enqueue gets requeued once with the newer stamp. *)
+let rp_evict_until_fits t rs =
+  let attempts = ref (2 * (Queue.length rs.clockq + 1)) in
+  while Slab.allocated_bytes t.slab > t.max_bytes && !attempts > 0 do
+    decr attempts;
+    match Queue.take_opt rs.clockq with
+    | None -> attempts := 0
+    | Some (key, seen_access) -> (
+        match Rp_ht.find rs.rp key with
+        | None -> () (* already deleted *)
+        | Some item ->
+            let last = Atomic.get item.last_access in
+            if last > seen_access then Queue.add (key, last) rs.clockq
+            else begin
+              ignore (rp_delete t rs key);
+              Atomic.incr t.evicted
+            end)
+  done
+
+let rp_store t rs key (item : Item.t) =
+  (match Rp_ht.find rs.rp key with
+  | Some old -> Slab.refund t.slab (Item.size_bytes ~key old)
+  | None -> Queue.add (key, Atomic.get item.last_access) rs.clockq);
+  (* replace publishes atomically: readers see the old or new item, never a
+     torn one; the unlinked old item is reclaimed after a grace period. *)
+  Rp_ht.replace rs.rp key item;
+  ignore (Slab.charge t.slab (Item.size_bytes ~key item));
+  rp_evict_until_fits t rs
+
+let with_mutex m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      raise e
+
+(* --- GET --- *)
+
+let get_rp t rs ?(with_cas = false) key =
+  let now = t.clock () in
+  (* Fast path: wait-free lookup; the value is copied out inside the
+     table's read-side critical section. *)
+  match Rp_ht.find rs.rp key with
+  | None ->
+      Atomic.incr t.get_misses;
+      None
+  | Some item ->
+      if Item.is_expired item ~now then begin
+        (* Slow path: expiry needs the update lock. *)
+        with_mutex rs.update (fun () ->
+            match Rp_ht.find rs.rp key with
+            | Some again when Item.is_expired again ~now ->
+                ignore (rp_delete t rs key);
+                Atomic.incr t.expired
+            | Some _ | None -> ());
+        Atomic.incr t.get_misses;
+        None
+      end
+      else begin
+        Item.touch_access item ~now;
+        Atomic.incr t.get_hits;
+        Some (value_of_item ~with_cas key item)
+      end
+
+let get_lock t ls ?(with_cas = false) key =
+  let now = t.clock () in
+  Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
+      match lock_find_live t ls key ~now with
+      | None ->
+          Atomic.incr t.get_misses;
+          None
+      | Some entry ->
+          Lru.touch ls.lru entry.node;
+          Item.touch_access entry.item ~now;
+          Atomic.incr t.get_hits;
+          Some (value_of_item ~with_cas key entry.item))
+
+let get t key =
+  Atomic.incr t.cmd_get;
+  match t.state with
+  | Lock_state ls -> get_lock t ls key
+  | Rp_state rs -> get_rp t rs key
+
+let get_many t ?(with_cas = false) keys =
+  List.filter_map
+    (fun key ->
+      Atomic.incr t.cmd_get;
+      match t.state with
+      | Lock_state ls -> get_lock t ls ~with_cas key
+      | Rp_state rs -> get_rp t rs ~with_cas key)
+    keys
+
+(* --- storage commands --- *)
+
+(* [guard] inspects the current live item (if any) and decides whether the
+   store proceeds; shared by set/add/replace/cas. *)
+let fits_slab t ~key ~data =
+  Slab.class_of_size t.slab
+    (String.length key + String.length data + Item.overhead_bytes)
+  <> None
+
+let storage_command t ~key ~flags ~exptime ~data ~guard =
+  Atomic.incr t.cmd_set;
+  let now = t.clock () in
+  let exptime = absolute_exptime t exptime in
+  if not (fits_slab t ~key ~data) then Too_large
+  else
+  match t.state with
+  | Lock_state ls ->
+      Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
+          let live = lock_find_live t ls key ~now in
+          match guard (Option.map (fun e -> e.item) live) with
+          | Error result -> result
+          | Ok () ->
+              let item = Item.make ~flags ~exptime ~data ~now () in
+              lock_store t ls key item;
+              Stored)
+  | Rp_state rs ->
+      with_mutex rs.update (fun () ->
+          let live =
+            match Rp_ht.find rs.rp key with
+            | Some item when not (Item.is_expired item ~now) -> Some item
+            | Some _ | None -> None
+          in
+          match guard live with
+          | Error result -> result
+          | Ok () ->
+              let item = Item.make ~flags ~exptime ~data ~now () in
+              rp_store t rs key item;
+              Stored)
+
+let set t ~key ~flags ~exptime ~data =
+  storage_command t ~key ~flags ~exptime ~data ~guard:(fun _ -> Ok ())
+
+let add t ~key ~flags ~exptime ~data =
+  storage_command t ~key ~flags ~exptime ~data ~guard:(function
+    | Some _ -> Error Not_stored
+    | None -> Ok ())
+
+let replace t ~key ~flags ~exptime ~data =
+  storage_command t ~key ~flags ~exptime ~data ~guard:(function
+    | Some _ -> Ok ()
+    | None -> Error Not_stored)
+
+let cas t ~key ~flags ~exptime ~data ~unique =
+  storage_command t ~key ~flags ~exptime ~data ~guard:(function
+    | None -> Error Not_found
+    | Some (item : Item.t) -> if item.cas = unique then Ok () else Error Exists)
+
+(* append/prepend read the live value and store the concatenation, keeping
+   the existing flags and expiry (memcached semantics). *)
+let concat_command t ~key ~data ~build =
+  Atomic.incr t.cmd_set;
+  let now = t.clock () in
+  let perform live_item store =
+    match live_item with
+    | None -> Not_stored
+    | Some (item : Item.t) ->
+        let combined = build item.data data in
+        if not (fits_slab t ~key ~data:combined) then Too_large
+        else begin
+          let fresh =
+            Item.make ~flags:item.flags ~exptime:item.exptime ~data:combined
+              ~now ()
+          in
+          store fresh;
+          Stored
+        end
+  in
+  match t.state with
+  | Lock_state ls ->
+      Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
+          let live = lock_find_live t ls key ~now in
+          perform
+            (Option.map (fun e -> e.item) live)
+            (fun fresh -> lock_store t ls key fresh))
+  | Rp_state rs ->
+      with_mutex rs.update (fun () ->
+          let live =
+            match Rp_ht.find rs.rp key with
+            | Some item when not (Item.is_expired item ~now) -> Some item
+            | Some _ | None -> None
+          in
+          perform live (fun fresh -> rp_store t rs key fresh))
+
+let append t ~key ~data = concat_command t ~key ~data ~build:(fun old d -> old ^ d)
+let prepend t ~key ~data = concat_command t ~key ~data ~build:(fun old d -> d ^ old)
+
+let delete t key =
+  Atomic.incr t.deletes;
+  match t.state with
+  | Lock_state ls ->
+      Rp_baseline.Lock_ht.with_lock ls.table (fun () -> lock_delete t ls key)
+  | Rp_state rs -> with_mutex rs.update (fun () -> rp_delete t rs key)
+
+(* incr/decr rewrite the stored decimal string; decr saturates at zero. *)
+let counter_command t key delta ~apply =
+  let now = t.clock () in
+  let compute (item : Item.t) store =
+    match int_of_string_opt (String.trim item.data) with
+    | None -> Cnon_numeric
+    | Some n ->
+        let next = apply n delta in
+        let fresh =
+          Item.make ~flags:item.flags ~exptime:item.exptime
+            ~data:(string_of_int next) ~now ()
+        in
+        store fresh;
+        Cvalue next
+  in
+  match t.state with
+  | Lock_state ls ->
+      Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
+          match lock_find_live t ls key ~now with
+          | None -> Cnotfound
+          | Some entry -> compute entry.item (fun fresh -> lock_store t ls key fresh))
+  | Rp_state rs ->
+      with_mutex rs.update (fun () ->
+          match Rp_ht.find rs.rp key with
+          | Some item when not (Item.is_expired item ~now) ->
+              compute item (fun fresh -> rp_store t rs key fresh)
+          | Some _ | None -> Cnotfound)
+
+let incr t key delta = counter_command t key delta ~apply:(fun n d -> n + d)
+let decr t key delta = counter_command t key delta ~apply:(fun n d -> max 0 (n - d))
+
+let touch t ~key ~exptime =
+  let now = t.clock () in
+  let exptime = absolute_exptime t exptime in
+  let retouch (item : Item.t) store =
+    let fresh =
+      Item.make ~cas:item.cas ~flags:item.flags ~exptime ~data:item.data ~now ()
+    in
+    store fresh;
+    true
+  in
+  match t.state with
+  | Lock_state ls ->
+      Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
+          match lock_find_live t ls key ~now with
+          | None -> false
+          | Some entry -> retouch entry.item (fun fresh -> lock_store t ls key fresh))
+  | Rp_state rs ->
+      with_mutex rs.update (fun () ->
+          match Rp_ht.find rs.rp key with
+          | Some item when not (Item.is_expired item ~now) ->
+              retouch item (fun fresh -> rp_store t rs key fresh)
+          | Some _ | None -> false)
+
+let flush_all t =
+  match t.state with
+  | Lock_state ls ->
+      Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
+          let keys = ref [] in
+          Rp_baseline.Lock_ht.unsafe_iter ls.table ~f:(fun k _ -> keys := k :: !keys);
+          List.iter (fun k -> ignore (lock_delete t ls k)) !keys)
+  | Rp_state rs ->
+      with_mutex rs.update (fun () ->
+          let keys = Rp_ht.fold rs.rp ~init:[] ~f:(fun acc k _ -> k :: acc) in
+          List.iter (fun k -> ignore (rp_delete t rs k)) keys)
+
+let items t =
+  match t.state with
+  | Lock_state ls -> Rp_baseline.Lock_ht.length ls.table
+  | Rp_state rs -> Rp_ht.length rs.rp
+
+let bytes t = Slab.allocated_bytes t.slab
+let slab_stats t = Slab.stats t.slab
+let fragmentation t = Slab.fragmentation t.slab
+
+let evictions t = Atomic.get t.evicted
+
+let stats t =
+  [
+    ("backend", match backend t with Lock -> "lock" | Rp -> "rp");
+    ("curr_items", string_of_int (items t));
+    ("bytes", string_of_int (bytes t));
+    ("bytes_requested", string_of_int (Slab.requested_bytes t.slab));
+    ("slab_fragmentation", Printf.sprintf "%.3f" (Slab.fragmentation t.slab));
+    ("slab_classes_in_use", string_of_int (List.length (Slab.stats t.slab)));
+    ("cmd_get", string_of_int (Atomic.get t.cmd_get));
+    ("cmd_set", string_of_int (Atomic.get t.cmd_set));
+    ("get_hits", string_of_int (Atomic.get t.get_hits));
+    ("get_misses", string_of_int (Atomic.get t.get_misses));
+    ("deletes", string_of_int (Atomic.get t.deletes));
+    ("evictions", string_of_int (Atomic.get t.evicted));
+    ("expired", string_of_int (Atomic.get t.expired));
+    ( "hash_buckets",
+      string_of_int
+        (match t.state with
+        | Lock_state ls -> Rp_baseline.Lock_ht.size ls.table
+        | Rp_state rs -> Rp_ht.size rs.rp) );
+  ]

@@ -1,0 +1,80 @@
+(** The cache store: memcached semantics over a pluggable table backend.
+
+    Two backends implement the same command set:
+
+    - {!Lock}: stock memcached's discipline — one global lock around every
+      operation, GETs included (lookup + exact-LRU bump + expiry check all
+      inside the lock);
+    - {!Rp}: the paper's port — GET is a wait-free relativistic lookup that
+      copies the value inside the read-side critical section and bumps an
+      atomic access timestamp instead of LRU list pointers; expiry and
+      eviction fall back to the locked slow path; updates serialize on a
+      store mutex and use safe relativistic memory reclamation (the table's
+      deferred reclamation), with CLOCK-style second-chance eviction
+      replacing the exact LRU. *)
+
+type backend = Lock | Rp
+
+type t
+
+type stored_result =
+  | Stored
+  | Not_stored
+  | Exists
+  | Not_found
+  | Too_large  (** bigger than the largest slab chunk (1 MiB) *)
+
+type counter_result = Cnotfound | Cnon_numeric | Cvalue of int
+
+val create :
+  ?backend:backend ->
+  ?max_bytes:int ->
+  ?initial_size:int ->
+  ?auto_resize:bool ->
+  ?clock:(unit -> float) ->
+  unit ->
+  t
+(** [max_bytes] is the eviction budget (default 64 MiB); [initial_size] the
+    initial bucket count (default 1024); [auto_resize] (default true, RP
+    backend only) lets the table grow/shrink with item count; [clock] is
+    injectable for expiry tests. *)
+
+val backend : t -> backend
+
+(** {1 Commands} *)
+
+val get : t -> string -> Protocol.value option
+(** The GET path whose scalability the paper's figure 5 measures. *)
+
+val get_many : t -> ?with_cas:bool -> string list -> Protocol.value list
+
+val set : t -> key:string -> flags:int -> exptime:int -> data:string -> stored_result
+val add : t -> key:string -> flags:int -> exptime:int -> data:string -> stored_result
+val replace : t -> key:string -> flags:int -> exptime:int -> data:string -> stored_result
+val append : t -> key:string -> data:string -> stored_result
+val prepend : t -> key:string -> data:string -> stored_result
+
+val cas :
+  t -> key:string -> flags:int -> exptime:int -> data:string -> unique:int ->
+  stored_result
+
+val delete : t -> string -> bool
+val incr : t -> string -> int -> counter_result
+val decr : t -> string -> int -> counter_result
+(** [decr] saturates at 0, as memcached does. *)
+
+val touch : t -> key:string -> exptime:int -> bool
+val flush_all : t -> unit
+
+(** {1 Introspection} *)
+
+val stats : t -> (string * string) list
+val items : t -> int
+
+val bytes : t -> int
+(** Chunk bytes charged in the slab accounting (what eviction compares to
+    the budget; includes internal fragmentation, as in stock memcached). *)
+
+val slab_stats : t -> Slab.class_stats list
+val fragmentation : t -> float
+val evictions : t -> int

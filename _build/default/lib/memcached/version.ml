@@ -1,0 +1,3 @@
+(* Single source for the server identification string (shared by the text
+   and binary front ends). *)
+let string = "1.0.0-rp-hashtable"

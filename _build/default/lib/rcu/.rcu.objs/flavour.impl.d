@@ -1,0 +1,1 @@
+lib/rcu/flavour.ml: Mutex Queue Rcu Rcu_qsbr

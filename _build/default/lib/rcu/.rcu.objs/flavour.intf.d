@@ -1,0 +1,1 @@
+lib/rcu/flavour.mli: Rcu Rcu_qsbr

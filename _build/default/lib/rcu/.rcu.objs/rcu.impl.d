@@ -1,0 +1,1 @@
+lib/rcu/rcu.ml: Array Atomic Domain Format Mutex Queue Rp_sync

@@ -1,0 +1,1 @@
+lib/rcu/rcu_qsbr.ml: Array Atomic Domain Mutex Rp_sync

@@ -1,0 +1,1 @@
+lib/rcu/rcu_qsbr.mli:

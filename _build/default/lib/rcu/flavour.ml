@@ -1,0 +1,95 @@
+type t = {
+  name : string;
+  read_enter : unit -> unit;
+  read_exit : unit -> unit;
+  synchronize : unit -> unit;
+  call_rcu : (unit -> unit) -> unit;
+  barrier : unit -> unit;
+  thread_offline : unit -> unit;
+}
+
+let memb rcu =
+  {
+    name = "memb";
+    read_enter = (fun () -> Rcu.read_lock_current rcu);
+    read_exit = (fun () -> Rcu.read_unlock_current rcu);
+    synchronize = (fun () -> Rcu.synchronize rcu);
+    call_rcu = (fun cb -> Rcu.call_rcu rcu cb);
+    barrier = (fun () -> Rcu.barrier rcu);
+    (* memb readers are quiescent whenever outside a section; nothing to do *)
+    thread_offline = (fun () -> ());
+  }
+
+(* Generic amortized deferral built on a flavour's synchronize, mirroring
+   Rcu's internal queue. *)
+module Defer = struct
+  type queue = {
+    mutex : Mutex.t;
+    pending : (unit -> unit) Queue.t;
+    threshold : int;
+  }
+
+  let create () = { mutex = Mutex.create (); pending = Queue.create (); threshold = 64 }
+
+  let flush q ~synchronize =
+    Mutex.lock q.mutex;
+    let batch = Queue.create () in
+    Queue.transfer q.pending batch;
+    Mutex.unlock q.mutex;
+    if not (Queue.is_empty batch) then begin
+      synchronize ();
+      Queue.iter (fun cb -> cb ()) batch
+    end
+
+  let call q ~synchronize cb =
+    Mutex.lock q.mutex;
+    Queue.add cb q.pending;
+    let n = Queue.length q.pending in
+    Mutex.unlock q.mutex;
+    if n >= q.threshold then flush q ~synchronize
+
+  let barrier q ~synchronize =
+    let rec loop () =
+      flush q ~synchronize;
+      Mutex.lock q.mutex;
+      let n = Queue.length q.pending in
+      Mutex.unlock q.mutex;
+      if n > 0 then loop ()
+    in
+    loop ()
+end
+
+let qsbr ?(quiesce_interval = 64) q =
+  if
+    quiesce_interval < 1
+    || quiesce_interval land (quiesce_interval - 1) <> 0
+  then invalid_arg "Flavour.qsbr: quiesce_interval must be a positive power of two";
+  let mask = quiesce_interval - 1 in
+  let defer = Defer.create () in
+  let synchronize () = Rcu_qsbr.synchronize q in
+  {
+    name = "qsbr";
+    read_enter =
+      (fun () ->
+        let th = Rcu_qsbr.thread_for_current_domain q in
+        if not (Rcu_qsbr.is_online th) then Rcu_qsbr.online th;
+        Rcu_qsbr.read_lock th);
+    read_exit =
+      (fun () ->
+        Rcu_qsbr.read_unlock_auto ~mask (Rcu_qsbr.thread_for_current_domain q));
+    synchronize;
+    call_rcu = (fun cb -> Defer.call defer ~synchronize cb);
+    barrier = (fun () -> Defer.barrier defer ~synchronize);
+    thread_offline =
+      (fun () -> Rcu_qsbr.offline (Rcu_qsbr.thread_for_current_domain q));
+  }
+
+let with_read t f =
+  t.read_enter ();
+  match f () with
+  | v ->
+      t.read_exit ();
+      v
+  | exception e ->
+      t.read_exit ();
+      raise e

@@ -1,0 +1,37 @@
+(** An RCU flavour as a first-class value.
+
+    Relativistic data structures need four operations from their RCU
+    implementation: enter/leave a read-side critical section for the calling
+    domain, wait-for-readers, and deferred execution after a grace period.
+    Packaging them as closures lets one structure run on either flavour:
+
+    - {!memb} (from {!Rcu}): safe default — readers pay two sequentially
+      consistent stores per section; threads may block freely;
+    - {!qsbr} (from {!Rcu_qsbr}): kernel-RCU-like zero-cost readers — a read
+      section is pure bookkeeping, and a quiescent state is announced
+      automatically every [quiesce_interval] completed sections. Threads
+      that can block indefinitely while registered (locks, sockets) must
+      not use this flavour, exactly as with userspace QSBR libraries. *)
+
+type t = {
+  name : string;
+  read_enter : unit -> unit;  (** enter a read section, current domain *)
+  read_exit : unit -> unit;  (** leave it (and maybe auto-quiesce) *)
+  synchronize : unit -> unit;  (** wait for pre-existing readers *)
+  call_rcu : (unit -> unit) -> unit;  (** defer past a grace period *)
+  barrier : unit -> unit;  (** drain all deferred callbacks *)
+  thread_offline : unit -> unit;
+      (** The calling domain stops reading (for now): QSBR goes offline so
+          grace periods no longer wait for it — {b required} before a reader
+          domain blocks for long or exits; memb is a no-op. A later
+          [read_enter] brings the domain back online automatically. *)
+}
+
+val memb : Rcu.t -> t
+val qsbr : ?quiesce_interval:int -> Rcu_qsbr.t -> t
+(** [quiesce_interval] (default 64, must be a power of two) controls how
+    many completed read sections pass between automatic quiescent-state
+    announcements. *)
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Run a function inside a read section of the flavour. *)

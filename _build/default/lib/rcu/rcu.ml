@@ -1,0 +1,233 @@
+(* Epoch-based userspace RCU ("memb" flavour).
+
+   Reader slot protocol: ctr = 0 when quiescent, otherwise the global epoch
+   value observed at the outermost read_lock. synchronize advances the epoch
+   to E and waits, per slot, for ctr = 0 or ctr >= E. Under OCaml's seq_cst
+   atomics this single advance is a full grace period: if synchronize's scan
+   reads ctr = 0 for a slot, that slot's next read_lock stores an epoch value
+   loaded after our epoch increment, hence >= E, and every write made before
+   synchronize began (e.g. an unlink) is visible inside that later critical
+   section. *)
+
+type slot = {
+  ctr : int Atomic.t;
+  in_use : bool Atomic.t;
+  mutable owner : int;  (* domain id, meaningful while in_use *)
+  mutable nesting : int;  (* touched only by the owning domain *)
+}
+
+type reader = { slot : slot; epoch : int Atomic.t }
+
+type stats = {
+  grace_periods : int;
+  synchronize_calls : int;
+  callbacks_invoked : int;
+  readers_registered : int;
+}
+
+type t = {
+  epoch : int Atomic.t;
+  slots : slot array;
+  reg_mutex : Mutex.t;
+  gp_mutex : Mutex.t;
+  dls : reader option Domain.DLS.key;
+  cb_mutex : Mutex.t;
+  cb_queue : (unit -> unit) Queue.t;
+  cb_threshold : int;
+  gp_count : int Atomic.t;
+  sync_count : int Atomic.t;
+  cb_count : int Atomic.t;
+}
+
+let create ?(max_readers = 128) () =
+  if max_readers < 1 then invalid_arg "Rcu.create: max_readers < 1";
+  {
+    epoch = Atomic.make 1;
+    slots =
+      Array.init max_readers (fun _ ->
+          {
+            ctr = Atomic.make 0;
+            in_use = Atomic.make false;
+            owner = -1;
+            nesting = 0;
+          });
+    reg_mutex = Mutex.create ();
+    gp_mutex = Mutex.create ();
+    dls = Domain.DLS.new_key (fun () -> None);
+    cb_mutex = Mutex.create ();
+    cb_queue = Queue.create ();
+    cb_threshold = 64;
+    gp_count = Atomic.make 0;
+    sync_count = Atomic.make 0;
+    cb_count = Atomic.make 0;
+  }
+
+(* --- registration --- *)
+
+let register t =
+  Mutex.lock t.reg_mutex;
+  let rec find i =
+    if i >= Array.length t.slots then begin
+      Mutex.unlock t.reg_mutex;
+      failwith "Rcu.register: reader slots exhausted"
+    end
+    else if not (Atomic.get t.slots.(i).in_use) then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  let slot = t.slots.(i) in
+  slot.owner <- (Domain.self () :> int);
+  slot.nesting <- 0;
+  Atomic.set slot.ctr 0;
+  Atomic.set slot.in_use true;
+  Mutex.unlock t.reg_mutex;
+  { slot; epoch = t.epoch }
+
+let unregister t r =
+  if r.slot.nesting <> 0 then
+    invalid_arg "Rcu.unregister: reader inside a critical section";
+  (match Domain.DLS.get t.dls with
+  | Some cached when cached.slot == r.slot -> Domain.DLS.set t.dls None
+  | Some _ | None -> ());
+  Mutex.lock t.reg_mutex;
+  Atomic.set r.slot.ctr 0;
+  r.slot.owner <- -1;
+  Atomic.set r.slot.in_use false;
+  Mutex.unlock t.reg_mutex
+
+let reader_for_current_domain t =
+  match Domain.DLS.get t.dls with
+  | Some r -> r
+  | None ->
+      let r = register t in
+      Domain.DLS.set t.dls (Some r);
+      r
+
+let registered_readers t =
+  Array.fold_left
+    (fun acc slot -> if Atomic.get slot.in_use then acc + 1 else acc)
+    0 t.slots
+
+(* --- read-side critical sections --- *)
+
+let read_lock r =
+  let slot = r.slot in
+  if slot.nesting = 0 then Atomic.set slot.ctr (Atomic.get r.epoch);
+  slot.nesting <- slot.nesting + 1
+
+let read_unlock r =
+  let slot = r.slot in
+  if slot.nesting <= 0 then invalid_arg "Rcu.read_unlock: not in a critical section";
+  slot.nesting <- slot.nesting - 1;
+  if slot.nesting = 0 then Atomic.set slot.ctr 0
+
+let with_read r f =
+  read_lock r;
+  match f () with
+  | v ->
+      read_unlock r;
+      v
+  | exception e ->
+      read_unlock r;
+      raise e
+
+let read_lock_current t = read_lock (reader_for_current_domain t)
+let read_unlock_current t = read_unlock (reader_for_current_domain t)
+let with_read_current t f = with_read (reader_for_current_domain t) f
+let in_critical_section r = r.slot.nesting > 0
+
+(* --- publication --- *)
+
+let publish cell v = Atomic.set cell v
+let dereference cell = Atomic.get cell
+
+(* --- grace periods --- *)
+
+let check_not_reading t =
+  let self = (Domain.self () :> int) in
+  Array.iter
+    (fun slot ->
+      if Atomic.get slot.in_use && slot.owner = self && Atomic.get slot.ctr <> 0
+      then
+        invalid_arg "Rcu.synchronize: called from within a read-side critical section")
+    t.slots
+
+let synchronize t =
+  check_not_reading t;
+  Mutex.lock t.gp_mutex;
+  let new_epoch = 1 + Atomic.fetch_and_add t.epoch 1 in
+  Array.iter
+    (fun slot ->
+      if Atomic.get slot.in_use then begin
+        let backoff = Rp_sync.Backoff.create ~max_wait:256 () in
+        let rec wait () =
+          let c = Atomic.get slot.ctr in
+          if c <> 0 && c < new_epoch then begin
+            Rp_sync.Backoff.once backoff;
+            wait ()
+          end
+        in
+        wait ()
+      end)
+    t.slots;
+  Atomic.incr t.gp_count;
+  Atomic.incr t.sync_count;
+  Mutex.unlock t.gp_mutex
+
+(* --- deferred callbacks --- *)
+
+let drain_queue t =
+  Mutex.lock t.cb_mutex;
+  let pending = Queue.create () in
+  Queue.transfer t.cb_queue pending;
+  Mutex.unlock t.cb_mutex;
+  pending
+
+let flush t =
+  let pending = drain_queue t in
+  if not (Queue.is_empty pending) then begin
+    synchronize t;
+    Queue.iter
+      (fun cb ->
+        cb ();
+        Atomic.incr t.cb_count)
+      pending
+  end
+
+let call_rcu t cb =
+  Mutex.lock t.cb_mutex;
+  Queue.add cb t.cb_queue;
+  let n = Queue.length t.cb_queue in
+  Mutex.unlock t.cb_mutex;
+  if n >= t.cb_threshold then flush t
+
+let barrier t =
+  let rec loop () =
+    flush t;
+    Mutex.lock t.cb_mutex;
+    let n = Queue.length t.cb_queue in
+    Mutex.unlock t.cb_mutex;
+    if n > 0 then loop ()
+  in
+  loop ()
+
+let pending_callbacks t =
+  Mutex.lock t.cb_mutex;
+  let n = Queue.length t.cb_queue in
+  Mutex.unlock t.cb_mutex;
+  n
+
+(* --- statistics --- *)
+
+let stats t =
+  {
+    grace_periods = Atomic.get t.gp_count;
+    synchronize_calls = Atomic.get t.sync_count;
+    callbacks_invoked = Atomic.get t.cb_count;
+    readers_registered = registered_readers t;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<h>grace_periods=%d synchronize_calls=%d callbacks_invoked=%d readers=%d@]"
+    s.grace_periods s.synchronize_calls s.callbacks_invoked s.readers_registered

@@ -1,0 +1,119 @@
+(** Relativistic-programming primitives: userspace RCU.
+
+    This module provides the three primitives the paper's algorithms are
+    built from:
+
+    - {b delimited readers} ({!read_lock} / {!read_unlock}): wait-free entry
+      and exit of read-side critical sections — notification, not permission;
+    - {b pointer publication} ({!publish} / {!dereference}): ordering between
+      initialising a structure and making it reachable (the analogue of
+      [rcu_assign_pointer] / [rcu_dereference]);
+    - {b wait-for-readers} ({!synchronize}): blocks until every read-side
+      critical section that was in progress when the call began has ended.
+      Readers that begin afterwards are not waited for.
+
+    The implementation is an epoch scheme in the style of userspace RCU
+    ("memb" flavour): each registered reader owns a private slot holding an
+    atomic counter; [read_lock] stores the current global epoch into the
+    slot, [read_unlock] clears it, and [synchronize] advances the epoch and
+    waits until every slot is clear or has observed the new epoch. Because
+    OCaml's [Atomic] operations are sequentially consistent, a single epoch
+    advance per grace period suffices (the classic two-phase flip guards
+    against reorderings that cannot occur under seq_cst).
+
+    OCaml's GC performs physical reclamation, so grace periods here provide
+    {e ordering} (the resize algorithms depend on it) and {e semantic}
+    deferral via {!call_rcu} (e.g. running eviction callbacks only once no
+    reader can still observe an item). *)
+
+type t
+(** An RCU flavour: a global epoch plus a registry of reader slots.
+    Independent flavours have independent grace periods. *)
+
+type reader
+(** A per-domain reader handle. Handles must not be shared across domains. *)
+
+val create : ?max_readers:int -> unit -> t
+(** [create ()] builds a fresh flavour supporting up to [max_readers]
+    (default 128) concurrently registered reader domains. *)
+
+(** {1 Reader registration} *)
+
+val register : t -> reader
+(** Register the calling domain. Raises [Failure] if all slots are taken. *)
+
+val unregister : t -> reader -> unit
+(** Release a reader slot. The reader must not be inside a critical section. *)
+
+val reader_for_current_domain : t -> reader
+(** Return this domain's reader handle, registering it on first use
+    (stored in domain-local state). Convenient for library-internal read
+    sections where threading a handle through the API is impractical. *)
+
+val registered_readers : t -> int
+(** Number of currently registered readers. *)
+
+(** {1 Read-side critical sections} *)
+
+val read_lock : reader -> unit
+(** Enter a read-side critical section. Wait-free; nestable. *)
+
+val read_unlock : reader -> unit
+(** Leave a read-side critical section. Wait-free. *)
+
+val with_read : reader -> (unit -> 'a) -> 'a
+(** [with_read r f] runs [f] inside a read-side critical section, leaving it
+    even if [f] raises. *)
+
+val read_lock_current : t -> unit
+(** [read_lock (reader_for_current_domain t)]. *)
+
+val read_unlock_current : t -> unit
+
+val with_read_current : t -> (unit -> 'a) -> 'a
+
+val in_critical_section : reader -> bool
+(** [true] while the reader is inside a (possibly nested) critical section. *)
+
+(** {1 Publication} *)
+
+val publish : 'a Atomic.t -> 'a -> unit
+(** [publish cell v] makes [v] reachable through [cell] with release
+    semantics: all initialising writes made before the call are visible to
+    any reader that dereferences the new value. *)
+
+val dereference : 'a Atomic.t -> 'a
+(** Read a published pointer with the ordering guarantees readers need. *)
+
+(** {1 Grace periods} *)
+
+val synchronize : t -> unit
+(** Wait for all pre-existing readers: every read-side critical section that
+    was in progress when [synchronize] was called is finished when it
+    returns. Callers must not be inside a critical section of [t]
+    (deadlock); this is checked for the calling domain's own handle and
+    raises [Invalid_argument]. Concurrent calls are serialized internally. *)
+
+val call_rcu : t -> (unit -> unit) -> unit
+(** Defer a callback until after a grace period. Callbacks run on the domain
+    that triggers a flush ({!barrier}, or an internal amortized flush once
+    the pending queue exceeds a threshold), strictly after a full grace
+    period that began after the [call_rcu] call. *)
+
+val barrier : t -> unit
+(** Wait until every previously queued {!call_rcu} callback has executed. *)
+
+val pending_callbacks : t -> int
+(** Number of queued, not-yet-run callbacks. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  grace_periods : int;  (** completed grace periods *)
+  synchronize_calls : int;  (** explicit {!synchronize} invocations *)
+  callbacks_invoked : int;  (** callbacks run by the deferral machinery *)
+  readers_registered : int;  (** current registry occupancy *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,159 @@
+(* Slot protocol: ctr = 0 means offline (extended quiescent state);
+   otherwise ctr holds the last global counter value this thread observed at
+   a quiescent state. synchronize bumps the global counter to E and waits
+   per slot for ctr = 0 or ctr >= E — i.e. a quiescent state announced after
+   the grace period began. *)
+
+type slot = {
+  ctr : int Atomic.t;
+  in_use : bool Atomic.t;
+  mutable owner : int;
+  mutable nesting : int;
+  mutable sections : int;  (* completed outermost read sections *)
+}
+
+type thread = { slot : slot; gp : int Atomic.t }
+
+type t = {
+  gp : int Atomic.t;
+  slots : slot array;
+  reg_mutex : Mutex.t;
+  gp_mutex : Mutex.t;
+  dls : thread option Domain.DLS.key;
+  gp_count : int Atomic.t;
+}
+
+let create ?(max_threads = 128) () =
+  if max_threads < 1 then invalid_arg "Rcu_qsbr.create: max_threads < 1";
+  {
+    gp = Atomic.make 1;
+    slots =
+      Array.init max_threads (fun _ ->
+          {
+            ctr = Atomic.make 0;
+            in_use = Atomic.make false;
+            owner = -1;
+            nesting = 0;
+            sections = 0;
+          });
+    reg_mutex = Mutex.create ();
+    gp_mutex = Mutex.create ();
+    dls = Domain.DLS.new_key (fun () -> None);
+    gp_count = Atomic.make 0;
+  }
+
+let register t =
+  Mutex.lock t.reg_mutex;
+  let rec find i =
+    if i >= Array.length t.slots then begin
+      Mutex.unlock t.reg_mutex;
+      failwith "Rcu_qsbr.register: thread slots exhausted"
+    end
+    else if not (Atomic.get t.slots.(i).in_use) then i
+    else find (i + 1)
+  in
+  let slot = t.slots.(find 0) in
+  slot.owner <- (Domain.self () :> int);
+  slot.nesting <- 0;
+  (* Born online and quiescent as of now. *)
+  Atomic.set slot.ctr (Atomic.get t.gp);
+  Atomic.set slot.in_use true;
+  Mutex.unlock t.reg_mutex;
+  { slot; gp = t.gp }
+
+let unregister t th =
+  if th.slot.nesting <> 0 then
+    invalid_arg "Rcu_qsbr.unregister: thread inside a critical section";
+  (match Domain.DLS.get t.dls with
+  | Some cached when cached.slot == th.slot -> Domain.DLS.set t.dls None
+  | Some _ | None -> ());
+  Mutex.lock t.reg_mutex;
+  Atomic.set th.slot.ctr 0;
+  th.slot.owner <- -1;
+  Atomic.set th.slot.in_use false;
+  Mutex.unlock t.reg_mutex
+
+let thread_for_current_domain t =
+  match Domain.DLS.get t.dls with
+  | Some th -> th
+  | None ->
+      let th = register t in
+      Domain.DLS.set t.dls (Some th);
+      th
+
+let registered_threads t =
+  Array.fold_left
+    (fun acc slot -> if Atomic.get slot.in_use then acc + 1 else acc)
+    0 t.slots
+
+let is_online th = Atomic.get th.slot.ctr <> 0
+
+let read_lock th =
+  if not (is_online th) then
+    invalid_arg "Rcu_qsbr.read_lock: thread is offline";
+  th.slot.nesting <- th.slot.nesting + 1
+
+let read_unlock th =
+  if th.slot.nesting <= 0 then
+    invalid_arg "Rcu_qsbr.read_unlock: not in a critical section";
+  th.slot.nesting <- th.slot.nesting - 1
+
+let quiescent_state th =
+  if th.slot.nesting <> 0 then
+    invalid_arg "Rcu_qsbr.quiescent_state: inside a critical section";
+  Atomic.set th.slot.ctr (Atomic.get th.gp)
+
+let offline th =
+  if th.slot.nesting <> 0 then
+    invalid_arg "Rcu_qsbr.offline: inside a critical section";
+  Atomic.set th.slot.ctr 0
+
+let online th = Atomic.set th.slot.ctr (Atomic.get th.gp)
+
+let synchronize t =
+  (* The calling thread, if registered, holds no references (precondition:
+     outside any read section) — take it offline for the duration so that
+     concurrent synchronize callers blocked on the mutex don't stall each
+     other's grace periods (the classic QSBR deadlock). *)
+  let self_was_online =
+    match Domain.DLS.get t.dls with
+    | Some th when is_online th ->
+        if th.slot.nesting <> 0 then
+          invalid_arg "Rcu_qsbr.synchronize: called from within a critical section";
+        offline th;
+        Some th
+    | Some _ | None -> None
+  in
+  Mutex.lock t.gp_mutex;
+  let new_gp = 1 + Atomic.fetch_and_add t.gp 1 in
+  Array.iter
+    (fun slot ->
+      if Atomic.get slot.in_use then begin
+        let backoff = Rp_sync.Backoff.create ~max_wait:256 () in
+        let rec wait () =
+          let c = Atomic.get slot.ctr in
+          if c <> 0 && c < new_gp then begin
+            Rp_sync.Backoff.once backoff;
+            wait ()
+          end
+        in
+        wait ()
+      end)
+    t.slots;
+  Atomic.incr t.gp_count;
+  Mutex.unlock t.gp_mutex;
+  match self_was_online with Some th -> online th | None -> ()
+
+let grace_periods t = Atomic.get t.gp_count
+
+let in_critical_section th = th.slot.nesting > 0
+
+let read_unlock_auto ~mask th =
+  let slot = th.slot in
+  if slot.nesting <= 0 then
+    invalid_arg "Rcu_qsbr.read_unlock: not in a critical section";
+  slot.nesting <- slot.nesting - 1;
+  if slot.nesting = 0 then begin
+    slot.sections <- slot.sections + 1;
+    if slot.sections land mask = 0 then Atomic.set slot.ctr (Atomic.get th.gp)
+  end

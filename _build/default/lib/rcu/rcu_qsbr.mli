@@ -1,0 +1,66 @@
+(** Quiescent-state-based RCU (QSBR) — the zero-cost-reader flavour.
+
+    The paper's kernel benchmark rides on Linux RCU, whose readers cost
+    {e nothing}: no stores at all on the read side. QSBR recovers that in
+    userspace by inverting the protocol of {!Rcu}: a thread is assumed to be
+    inside a read-side critical section {e at all times}, except when it
+    explicitly announces a {b quiescent state} ({!quiescent_state}) or goes
+    {b offline} ({!offline}/{!online}). A grace period ends once every
+    registered thread has passed through a quiescent state (or is offline).
+
+    Trade-off vs. {!Rcu} ("memb"): reads are free, but every participating
+    thread {e must} announce quiescent states regularly or writers stall —
+    acceptable inside an event loop or a benchmark worker, unsuitable for
+    threads that block indefinitely (they must go offline first).
+
+    The read-side API ([read_lock]/[read_unlock]) is provided for symmetry
+    and debug assertions; both compile to nesting-count bookkeeping only. *)
+
+type t
+type thread
+
+val create : ?max_threads:int -> unit -> t
+
+val register : t -> thread
+(** Register the calling domain as a QSBR participant, initially online. *)
+
+val unregister : t -> thread -> unit
+
+val thread_for_current_domain : t -> thread
+(** This domain's handle, registering (online) on first use. *)
+
+val registered_threads : t -> int
+
+val read_lock : thread -> unit
+(** Assert-only marker: a QSBR read section costs nothing. Raises
+    [Invalid_argument] if the thread is offline. *)
+
+val read_unlock : thread -> unit
+
+val quiescent_state : thread -> unit
+(** Announce that this thread holds no RCU-protected references. Must be
+    called outside any read-side critical section ([Invalid_argument]
+    otherwise), and regularly, or grace periods stall. One atomic store. *)
+
+val offline : thread -> unit
+(** Enter an extended quiescent state (e.g. before blocking I/O). *)
+
+val online : thread -> unit
+(** Leave the extended quiescent state. *)
+
+val is_online : thread -> bool
+
+val synchronize : t -> unit
+(** Wait until every registered thread has passed a quiescent state (or is
+    offline) since this call began. The caller's own thread, if registered,
+    is treated as quiescent (it is, by virtue of calling us). *)
+
+val grace_periods : t -> int
+
+val in_critical_section : thread -> bool
+(** [true] while the thread's (bookkeeping-only) read nesting is non-zero. *)
+
+val read_unlock_auto : mask:int -> thread -> unit
+(** {!read_unlock} that additionally announces a quiescent state after every
+    [mask + 1]-th completed outermost section ([mask] must be a power of two
+    minus one). The building block of [Flavour.qsbr]'s auto-quiescence. *)

@@ -1,0 +1,1 @@
+lib/rp_baseline/chained.ml: Array List Rp_hashes

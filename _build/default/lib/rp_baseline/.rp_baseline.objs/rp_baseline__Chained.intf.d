@@ -1,0 +1,1 @@
+lib/rp_baseline/chained.mli:

@@ -1,0 +1,1 @@
+lib/rp_baseline/ddds_ht.ml: Array Atomic List Mutex Option Rp_hashes Rp_sync

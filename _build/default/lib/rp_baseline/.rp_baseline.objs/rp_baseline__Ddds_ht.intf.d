@@ -1,0 +1,1 @@
+lib/rp_baseline/ddds_ht.mli: Table_intf

@@ -1,0 +1,1 @@
+lib/rp_baseline/lock_ht.ml: Chained Mutex

@@ -1,0 +1,1 @@
+lib/rp_baseline/rp_table.ml: Flavour Rcu_qsbr Rp_ht

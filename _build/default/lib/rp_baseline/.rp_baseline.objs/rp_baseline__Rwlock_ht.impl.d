@@ -1,0 +1,1 @@
+lib/rp_baseline/rwlock_ht.ml: Chained Rp_sync

@@ -1,0 +1,1 @@
+lib/rp_baseline/table_intf.ml:

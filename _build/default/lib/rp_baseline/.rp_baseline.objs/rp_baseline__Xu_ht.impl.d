@@ -1,0 +1,1 @@
+lib/rp_baseline/xu_ht.ml: Array Atomic Mutex Rcu Rp_hashes

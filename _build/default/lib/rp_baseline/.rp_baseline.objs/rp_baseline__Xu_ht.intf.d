@@ -1,0 +1,1 @@
+lib/rp_baseline/xu_ht.mli: Table_intf

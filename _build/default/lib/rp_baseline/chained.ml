@@ -1,0 +1,71 @@
+type ('k, 'v) entry = { key : 'k; hash : int; mutable value : 'v }
+
+type ('k, 'v) t = {
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  mutable buckets : ('k, 'v) entry list array;
+  mutable count : int;
+}
+
+let create ~hash ~equal ~size () =
+  let size = Rp_hashes.Size.next_power_of_two (max 1 size) in
+  { hash; equal; buckets = Array.make size []; count = 0 }
+
+let bucket t hash = hash land (Array.length t.buckets - 1)
+
+let find t k =
+  let h = t.hash k in
+  let rec search : _ entry list -> _ = function
+    | [] -> None
+    | e :: rest ->
+        if e.hash = h && t.equal e.key k then Some e.value else search rest
+  in
+  search t.buckets.(bucket t h)
+
+let insert t k v =
+  let h = t.hash k in
+  let b = bucket t h in
+  let rec search : _ entry list -> _ = function
+    | [] -> None
+    | e :: rest -> if e.hash = h && t.equal e.key k then Some e else search rest
+  in
+  match search t.buckets.(b) with
+  | Some e -> e.value <- v
+  | None ->
+      t.buckets.(b) <- { key = k; hash = h; value = v } :: t.buckets.(b);
+      t.count <- t.count + 1
+
+let remove t k =
+  let h = t.hash k in
+  let b = bucket t h in
+  let removed = ref false in
+  let rec drop : _ entry list -> _ = function
+    | [] -> []
+    | e :: rest ->
+        if (not !removed) && e.hash = h && t.equal e.key k then begin
+          removed := true;
+          rest
+        end
+        else e :: drop rest
+  in
+  t.buckets.(b) <- drop t.buckets.(b);
+  if !removed then t.count <- t.count - 1;
+  !removed
+
+let resize t new_size =
+  let new_size = Rp_hashes.Size.next_power_of_two (max 1 new_size) in
+  if new_size <> Array.length t.buckets then begin
+    let fresh = Array.make new_size [] in
+    Array.iter
+      (List.iter (fun (e : _ entry) ->
+           let b = e.hash land (new_size - 1) in
+           fresh.(b) <- e :: fresh.(b)))
+      t.buckets;
+    t.buckets <- fresh
+  end
+
+let size t = Array.length t.buckets
+let length t = t.count
+
+let iter t ~f =
+  Array.iter (List.iter (fun e -> f e.key e.value)) t.buckets

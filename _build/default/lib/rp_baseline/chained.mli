@@ -1,0 +1,19 @@
+(** Plain (non-thread-safe) chained hash table with explicit resize.
+
+    The single-lock and rwlock baselines wrap this with their respective
+    synchronization; it performs the same bucket-array-and-chains work the
+    relativistic table does, so benchmark differences isolate the
+    synchronization cost. *)
+
+type ('k, 'v) t
+
+val create : hash:('k -> int) -> equal:('k -> 'k -> bool) -> size:int -> unit -> ('k, 'v) t
+val find : ('k, 'v) t -> 'k -> 'v option
+val insert : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite. *)
+
+val remove : ('k, 'v) t -> 'k -> bool
+val resize : ('k, 'v) t -> int -> unit
+val size : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+val iter : ('k, 'v) t -> f:('k -> 'v -> unit) -> unit

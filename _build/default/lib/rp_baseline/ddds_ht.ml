@@ -1,0 +1,167 @@
+type ('k, 'v) table = {
+  size : int;
+  buckets : ('k * int * 'v) list Atomic.t array;
+      (* immutable per-bucket lists, swapped atomically: readers snapshot a
+         bucket with one load *)
+}
+
+type ('k, 'v) t = {
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  seq : Rp_sync.Seqlock.t;
+  cur : ('k, 'v) table Atomic.t;
+  old : ('k, 'v) table option Atomic.t;
+  writer : Mutex.t;
+  count : int Atomic.t;
+  retries : int Atomic.t;
+}
+
+let name = "ddds"
+
+let make_table size =
+  { size; buckets = Array.init size (fun _ -> Atomic.make []) }
+
+let create ~hash ~equal ~size () =
+  let size = Rp_hashes.Size.next_power_of_two (max 1 size) in
+  {
+    hash;
+    equal;
+    seq = Rp_sync.Seqlock.create ();
+    cur = Atomic.make (make_table size);
+    old = Atomic.make None;
+    writer = Mutex.create ();
+    count = Atomic.make 0;
+    retries = Atomic.make 0;
+  }
+
+let bucket_list table h =
+  Atomic.get table.buckets.(h land (table.size - 1))
+
+let rec search t h k = function
+  | [] -> None
+  | (k', h', v) :: rest ->
+      if h' = h && t.equal k' k then Some v else search t h k rest
+
+(* Reader protocol: snapshot the seqlock, probe the current table, then the
+   old table if a resize is in flight, and retry when a migration step
+   overlapped. *)
+let find t k =
+  let h = t.hash k in
+  let rec attempt () =
+    let snap = Rp_sync.Seqlock.read_begin t.seq in
+    let cur = Atomic.get t.cur in
+    let result =
+      match search t h k (bucket_list cur h) with
+      | Some _ as r -> r
+      | None -> (
+          match Atomic.get t.old with
+          | Some old -> search t h k (bucket_list old h)
+          | None -> None)
+    in
+    if Rp_sync.Seqlock.read_validate t.seq snap then result
+    else begin
+      Atomic.incr t.retries;
+      attempt ()
+    end
+  in
+  attempt ()
+
+let with_writer t f =
+  Mutex.lock t.writer;
+  match f () with
+  | v ->
+      Mutex.unlock t.writer;
+      v
+  | exception e ->
+      Mutex.unlock t.writer;
+      raise e
+
+let bucket_remove t h k list =
+  let removed = ref false in
+  let rest =
+    List.filter
+      (fun (k', h', _) ->
+        if (not !removed) && h' = h && t.equal k' k then begin
+          removed := true;
+          false
+        end
+        else true)
+      list
+  in
+  (!removed, rest)
+
+(* Updates go to the current table; during a resize the key must also be
+   scrubbed from the old table so readers can't resurrect stale values. *)
+let insert t k v =
+  with_writer t (fun () ->
+      let h = t.hash k in
+      (match Atomic.get t.old with
+      | Some old ->
+          let slot = old.buckets.(h land (old.size - 1)) in
+          let removed, rest = bucket_remove t h k (Atomic.get slot) in
+          if removed then begin
+            Atomic.set slot rest;
+            Atomic.decr t.count
+          end
+      | None -> ());
+      let cur = Atomic.get t.cur in
+      let slot = cur.buckets.(h land (cur.size - 1)) in
+      let removed, rest = bucket_remove t h k (Atomic.get slot) in
+      Atomic.set slot ((k, h, v) :: rest);
+      if not removed then Atomic.incr t.count)
+
+let remove t k =
+  with_writer t (fun () ->
+      let h = t.hash k in
+      let remove_from table =
+        let slot = table.buckets.(h land (table.size - 1)) in
+        let removed, rest = bucket_remove t h k (Atomic.get slot) in
+        if removed then begin
+          Atomic.set slot rest;
+          Atomic.decr t.count
+        end;
+        removed
+      in
+      let in_cur = remove_from (Atomic.get t.cur) in
+      let in_old =
+        match Atomic.get t.old with Some old -> remove_from old | None -> false
+      in
+      in_cur || in_old)
+
+(* Resize: install an empty table of the target size as current, demote the
+   live one to old, then migrate bucket by bucket. Each migration step is a
+   seqlock write section, so overlapping readers retry (the "readers wait
+   out resizes" cost the talk describes). *)
+let resize t new_size =
+  let new_size = Rp_hashes.Size.next_power_of_two (max 1 new_size) in
+  Mutex.lock t.writer;
+  let old = Atomic.get t.cur in
+  if old.size = new_size then Mutex.unlock t.writer
+  else begin
+    let fresh = make_table new_size in
+    Rp_sync.Seqlock.write_begin t.seq;
+    Atomic.set t.old (Some old);
+    Atomic.set t.cur fresh;
+    Rp_sync.Seqlock.write_end t.seq;
+    for b = 0 to old.size - 1 do
+      Rp_sync.Seqlock.write_begin t.seq;
+      let entries = Atomic.get old.buckets.(b) in
+      Atomic.set old.buckets.(b) [];
+      List.iter
+        (fun ((_, h, _) as e) ->
+          let slot = fresh.buckets.(h land (new_size - 1)) in
+          Atomic.set slot (e :: Atomic.get slot))
+        entries;
+      Rp_sync.Seqlock.write_end t.seq
+    done;
+    Rp_sync.Seqlock.write_begin t.seq;
+    Atomic.set t.old None;
+    Rp_sync.Seqlock.write_end t.seq;
+    Mutex.unlock t.writer
+  end
+
+let size t = (Atomic.get t.cur).size
+let length t = Atomic.get t.count
+let resizing t = Option.is_some (Atomic.get t.old)
+let reader_retries t = Atomic.get t.retries
+let reader_exit _ = ()

@@ -1,0 +1,23 @@
+(** "Dynamic Dynamic Data Structures"-style resizable hash table — the
+    paper's resizable comparator, implemented as the talk characterises it:
+
+    - during a resize, readers must check {e both} the new and the old
+      table;
+    - a resize is made visible through a sequence lock: a reader whose
+      lookup overlapped a migration step retries, so readers effectively
+      wait out concurrent resizes;
+    - the common (no-resize) case still pays for the generation check and
+      the second-table test, so lookups are slower than RP even when idle —
+      and far slower while a resize is running.
+
+    Updates and resizes serialize on a writer mutex. Migration is
+    incremental (bucket at a time) so readers are never blocked for the
+    whole resize, only retried across each step. *)
+
+include Table_intf.TABLE
+
+val resizing : ('k, 'v) t -> bool
+(** [true] while a resize is migrating buckets (tests/benchmarks). *)
+
+val reader_retries : ('k, 'v) t -> int
+(** Cumulative lookup retries caused by overlapping migration steps. *)

@@ -1,0 +1,28 @@
+type ('k, 'v) t = { table : ('k, 'v) Chained.t; lock : Mutex.t }
+
+let name = "lock"
+
+let create ~hash ~equal ~size () =
+  { table = Chained.create ~hash ~equal ~size (); lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+let find t k = with_lock t (fun () -> Chained.find t.table k)
+let insert t k v = with_lock t (fun () -> Chained.insert t.table k v)
+let remove t k = with_lock t (fun () -> Chained.remove t.table k)
+let resize t n = with_lock t (fun () -> Chained.resize t.table n)
+let size t = with_lock t (fun () -> Chained.size t.table)
+let length t = with_lock t (fun () -> Chained.length t.table)
+let unsafe_find t k = Chained.find t.table k
+let unsafe_insert t k v = Chained.insert t.table k v
+let unsafe_remove t k = Chained.remove t.table k
+let unsafe_iter t ~f = Chained.iter t.table ~f
+let reader_exit _ = ()

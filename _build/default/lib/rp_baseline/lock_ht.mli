@@ -1,0 +1,18 @@
+(** Global-lock hash table: every operation, readers included, takes one
+    mutex — stock memcached's cache_lock discipline. The floor every other
+    algorithm is compared against. *)
+
+include Table_intf.TABLE
+
+val with_lock : ('k, 'v) t -> (unit -> 'a) -> 'a
+(** Run a compound operation under the table's global lock (the memcached
+    slow path uses this for eviction + insert sequences). *)
+
+val unsafe_find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup without taking the lock; only valid inside {!with_lock}. *)
+
+val unsafe_insert : ('k, 'v) t -> 'k -> 'v -> unit
+val unsafe_remove : ('k, 'v) t -> 'k -> bool
+
+val unsafe_iter : ('k, 'v) t -> f:('k -> 'v -> unit) -> unit
+(** Iterate without the lock; only valid inside {!with_lock}. *)

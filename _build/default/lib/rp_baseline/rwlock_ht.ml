@@ -1,0 +1,14 @@
+type ('k, 'v) t = { table : ('k, 'v) Chained.t; lock : Rp_sync.Rwlock.t }
+
+let name = "rwlock"
+
+let create ~hash ~equal ~size () =
+  { table = Chained.create ~hash ~equal ~size (); lock = Rp_sync.Rwlock.create () }
+
+let find t k = Rp_sync.Rwlock.with_read t.lock (fun () -> Chained.find t.table k)
+let insert t k v = Rp_sync.Rwlock.with_write t.lock (fun () -> Chained.insert t.table k v)
+let remove t k = Rp_sync.Rwlock.with_write t.lock (fun () -> Chained.remove t.table k)
+let resize t n = Rp_sync.Rwlock.with_write t.lock (fun () -> Chained.resize t.table n)
+let size t = Rp_sync.Rwlock.with_read t.lock (fun () -> Chained.size t.table)
+let length t = Rp_sync.Rwlock.with_read t.lock (fun () -> Chained.length t.table)
+let reader_exit _ = ()

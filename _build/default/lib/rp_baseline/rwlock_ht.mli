@@ -1,0 +1,8 @@
+(** Reader-writer-lock hash table — the paper's rwlock baseline.
+
+    Lookups take the read side (two shared-cache-line RMWs), updates and
+    resizes take the write side. The paper's point: even uncontended-with-
+    writers, readers serialize on the lock word's cache line and throughput
+    stays flat (or collapses) as reader threads are added. *)
+
+include Table_intf.TABLE

@@ -1,0 +1,134 @@
+type ('k, 'v) xnode = {
+  key : 'k;
+  hash : int;
+  value : 'v Atomic.t;
+  nexts : ('k, 'v) xlink Atomic.t array;  (* one linkage per side *)
+}
+
+and ('k, 'v) xlink = XNull | XNode of ('k, 'v) xnode
+
+type ('k, 'v) xtable = {
+  size : int;
+  side : int;
+  buckets : ('k, 'v) xlink Atomic.t array;
+}
+
+type ('k, 'v) t = {
+  rcu : Rcu.t;
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  active : ('k, 'v) xtable Atomic.t;
+  writer : Mutex.t;
+  count : int Atomic.t;
+}
+
+let name = "xu"
+let words_per_node = 2
+
+let make_xtable ~size ~side =
+  { size; side; buckets = Array.init size (fun _ -> Atomic.make XNull) }
+
+let create ~hash ~equal ~size () =
+  let size = Rp_hashes.Size.next_power_of_two (max 1 size) in
+  {
+    rcu = Rcu.create ();
+    hash;
+    equal;
+    active = Atomic.make (make_xtable ~size ~side:0);
+    writer = Mutex.create ();
+    count = Atomic.make 0;
+  }
+
+let rec search t ~side h k = function
+  | XNull -> None
+  | XNode n ->
+      if n.hash = h && t.equal n.key k then Some n
+      else search t ~side h k (Rcu.dereference n.nexts.(side))
+
+let find t k =
+  let h = t.hash k in
+  Rcu.with_read_current t.rcu (fun () ->
+      let xt = Rcu.dereference t.active in
+      match
+        search t ~side:xt.side h k
+          (Rcu.dereference xt.buckets.(h land (xt.size - 1)))
+      with
+      | Some n -> Some (Atomic.get n.value)
+      | None -> None)
+
+let with_writer t f =
+  Mutex.lock t.writer;
+  match f () with
+  | v ->
+      Mutex.unlock t.writer;
+      v
+  | exception e ->
+      Mutex.unlock t.writer;
+      raise e
+
+let insert t k v =
+  with_writer t (fun () ->
+      let h = t.hash k in
+      let xt = Atomic.get t.active in
+      let slot = xt.buckets.(h land (xt.size - 1)) in
+      match search t ~side:xt.side h k (Atomic.get slot) with
+      | Some n -> Atomic.set n.value v
+      | None ->
+          let nexts = [| Atomic.make XNull; Atomic.make XNull |] in
+          Atomic.set nexts.(xt.side) (Atomic.get slot);
+          let node = { key = k; hash = h; value = Atomic.make v; nexts } in
+          Rcu.publish slot (XNode node);
+          Atomic.incr t.count)
+
+let remove t k =
+  with_writer t (fun () ->
+      let h = t.hash k in
+      let xt = Atomic.get t.active in
+      let side = xt.side in
+      let rec unlink prev_link =
+        match Atomic.get prev_link with
+        | XNull -> false
+        | XNode n ->
+            if n.hash = h && t.equal n.key k then begin
+              Rcu.publish prev_link (Atomic.get n.nexts.(side));
+              Atomic.decr t.count;
+              true
+            end
+            else unlink n.nexts.(side)
+      in
+      unlink xt.buckets.(h land (xt.size - 1)))
+
+(* Build the complete alternate linkage on the inactive side, flip, wait one
+   grace period so stragglers on the old side drain before the next resize
+   may reuse those pointers. *)
+let resize t new_size =
+  let new_size = Rp_hashes.Size.next_power_of_two (max 1 new_size) in
+  with_writer t (fun () ->
+      let old = Atomic.get t.active in
+      if old.size <> new_size then begin
+        let fresh = make_xtable ~size:new_size ~side:(1 - old.side) in
+        let relink (n : _ xnode) =
+          let slot = fresh.buckets.(n.hash land (new_size - 1)) in
+          Atomic.set n.nexts.(fresh.side) (Atomic.get slot);
+          Atomic.set slot (XNode n)
+        in
+        Array.iter
+          (fun slot ->
+            let rec walk = function
+              | XNull -> ()
+              | XNode n ->
+                  (* read the old-side next before relinking *)
+                  let next = Atomic.get n.nexts.(old.side) in
+                  relink n;
+                  walk next
+            in
+            walk (Atomic.get slot))
+          old.buckets;
+        Rcu.publish t.active fresh;
+        Rcu.synchronize t.rcu
+      end)
+
+let size t = (Atomic.get t.active).size
+let length t = Atomic.get t.count
+let active_side t = (Atomic.get t.active).side
+let reader_exit _ = ()

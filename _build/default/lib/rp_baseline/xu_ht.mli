@@ -1,0 +1,19 @@
+(** Herbert Xu-style resizable relativistic hash table.
+
+    Every node carries {e two} next pointers, one per "side". Readers
+    traverse the active side lock-free (RCU-delimited). A resize builds the
+    entire alternate linkage on the inactive side — invisible to readers —
+    then flips the active table pointer and waits one grace period.
+
+    Trade-off vs. the paper's algorithm: a single publish-and-wait per
+    resize (no unzip passes), but every node pays a second pointer forever —
+    the "high memory usage" the talk calls out. *)
+
+include Table_intf.TABLE
+
+val active_side : ('k, 'v) t -> int
+(** Which pointer set readers currently follow (0 or 1); for tests. *)
+
+val words_per_node : int
+(** Pointer words each node dedicates to chain linkage (= 2), vs. 1 for the
+    unzip algorithm; used by the memory-overhead ablation. *)

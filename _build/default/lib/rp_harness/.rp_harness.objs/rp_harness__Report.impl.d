@@ -1,0 +1,1 @@
+lib/rp_harness/report.ml: Array Buffer Float List Option Printf Series String

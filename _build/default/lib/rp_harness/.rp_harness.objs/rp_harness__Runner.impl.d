@@ -1,0 +1,1 @@
+lib/rp_harness/runner.ml: Array Atomic Domain Rp_sync Unix

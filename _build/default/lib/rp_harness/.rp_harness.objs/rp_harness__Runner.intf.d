@@ -1,0 +1,1 @@
+lib/rp_harness/runner.mli: Atomic

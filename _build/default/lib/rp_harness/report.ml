@@ -1,0 +1,121 @@
+let print_table ~header ~rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c w ->
+        let cell = Option.value ~default:"" (List.nth_opt row c) in
+        Printf.printf "%s%*s" (if c = 0 then "" else "  ") w cell)
+      widths;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let format_y y =
+  if Float.abs y >= 100.0 then Printf.sprintf "%.0f" y
+  else if Float.abs y >= 1.0 then Printf.sprintf "%.2f" y
+  else Printf.sprintf "%.4f" y
+
+let print_series_table ?unit_label ~x_label series =
+  let header =
+    x_label
+    :: List.map
+         (fun (s : Series.t) ->
+           match unit_label with
+           | Some u -> Printf.sprintf "%s (%s)" s.label u
+           | None -> s.label)
+         series
+  in
+  let rows =
+    List.map
+      (fun x ->
+        string_of_int x
+        :: List.map
+             (fun s ->
+               match Series.y_at s x with
+               | Some y -> format_y y
+               | None -> "-")
+             series)
+      (Series.xs series)
+  in
+  print_table ~header ~rows
+
+let marks = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let print_ascii_chart ?(width = 60) ?(height = 16) ~title series =
+  Printf.printf "%s\n" title;
+  let all_points = List.concat_map (fun (s : Series.t) -> s.points) series in
+  match all_points with
+  | [] -> print_endline "  (no data)"
+  | _ ->
+      let max_y = List.fold_left (fun acc (_, y) -> Float.max acc y) 0.0 all_points in
+      let max_y = if max_y <= 0.0 then 1.0 else max_y in
+      let min_x = List.fold_left (fun acc (x, _) -> min acc x) max_int all_points in
+      let max_x = List.fold_left (fun acc (x, _) -> max acc x) min_int all_points in
+      let span_x = max 1 (max_x - min_x) in
+      let grid = Array.make_matrix height width ' ' in
+      List.iteri
+        (fun si (s : Series.t) ->
+          let mark = marks.(si mod Array.length marks) in
+          List.iter
+            (fun (x, y) ->
+              let col = (x - min_x) * (width - 1) / span_x in
+              let row = int_of_float (y /. max_y *. float_of_int (height - 1)) in
+              let row = height - 1 - min (height - 1) row in
+              grid.(row).(col) <- mark)
+            s.points)
+        series;
+      Array.iteri
+        (fun i row ->
+          let label =
+            if i = 0 then Printf.sprintf "%10.1f |" max_y
+            else if i = height - 1 then Printf.sprintf "%10.1f |" 0.0
+            else Printf.sprintf "%10s |" ""
+          in
+          Printf.printf "%s%s\n" label (String.init width (fun c -> row.(c))))
+        grid;
+      Printf.printf "%10s +%s\n" "" (String.make width '-');
+      Printf.printf "%10s  %-*d%*d\n" "" (width / 2) min_x (width - (width / 2)) max_x;
+      List.iteri
+        (fun si (s : Series.t) ->
+          Printf.printf "  %c = %s\n" marks.(si mod Array.length marks) s.label)
+        series
+
+let csv_of_series ~x_label series =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf x_label;
+  List.iter
+    (fun (s : Series.t) ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf s.label)
+    series;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun x ->
+      Buffer.add_string buf (string_of_int x);
+      List.iter
+        (fun s ->
+          Buffer.add_char buf ',';
+          match Series.y_at s x with
+          | Some y -> Buffer.add_string buf (Printf.sprintf "%.6f" y)
+          | None -> ())
+        series;
+      Buffer.add_char buf '\n')
+    (Series.xs series);
+  Buffer.contents buf
+
+let write_csv ~path ~x_label series =
+  let oc = open_out path in
+  output_string oc (csv_of_series ~x_label series);
+  close_out oc

@@ -1,0 +1,18 @@
+(** Plain-text rendering of figures: aligned tables and ASCII charts, plus
+    CSV export, so every benchmark prints the same rows/series the paper
+    plots. *)
+
+val print_table : header:string list -> rows:string list list -> unit
+(** Column-aligned table on stdout. *)
+
+val print_series_table :
+  ?unit_label:string -> x_label:string -> Series.t list -> unit
+(** One row per x value, one column per series. *)
+
+val print_ascii_chart :
+  ?width:int -> ?height:int -> title:string -> Series.t list -> unit
+(** Rough ASCII rendering of the curves (series are assigned distinct
+    marks). *)
+
+val csv_of_series : x_label:string -> Series.t list -> string
+val write_csv : path:string -> x_label:string -> Series.t list -> unit

@@ -1,0 +1,10 @@
+type t = { label : string; points : (int * float) list }
+
+let make ~label ~points = { label; points }
+let y_at t x = List.assoc_opt x t.points
+
+let xs series =
+  List.concat_map (fun s -> List.map fst s.points) series
+  |> List.sort_uniq compare
+
+let scale t c = { t with points = List.map (fun (x, y) -> (x, y *. c)) t.points }

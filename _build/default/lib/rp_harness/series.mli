@@ -1,0 +1,14 @@
+(** A named series of (x, y) measurements — one curve of a figure. *)
+
+type t = { label : string; points : (int * float) list }
+
+val make : label:string -> points:(int * float) list -> t
+
+val y_at : t -> int -> float option
+(** The y value at a given x, if measured. *)
+
+val xs : t list -> int list
+(** Sorted union of x values across several series. *)
+
+val scale : t -> float -> t
+(** Multiply every y by a constant (unit conversions). *)

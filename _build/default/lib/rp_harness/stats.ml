@@ -1,0 +1,69 @@
+let mean a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let sq = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+    sqrt (sq /. float_of_int (n - 1))
+  end
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    if n land 1 = 1 then sorted.(n / 2)
+    else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
+  end
+
+module Histogram = struct
+  (* Bucket i covers latencies in [2^i, 2^(i+1)) ns. *)
+  let nbuckets = 64
+
+  type t = { buckets : int array; mutable total : int; mutable sum : float }
+
+  let create () = { buckets = Array.make nbuckets 0; total = 0; sum = 0.0 }
+
+  let bucket_of ns =
+    if ns < 1.0 then 0
+    else min (nbuckets - 1) (int_of_float (Float.log2 ns))
+
+  let record t ns =
+    t.buckets.(bucket_of ns) <- t.buckets.(bucket_of ns) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. ns
+
+  let count t = t.total
+
+  let merge a b =
+    let merged = create () in
+    for i = 0 to nbuckets - 1 do
+      merged.buckets.(i) <- a.buckets.(i) + b.buckets.(i)
+    done;
+    merged.total <- a.total + b.total;
+    merged.sum <- a.sum +. b.sum;
+    merged
+
+  let percentile t p =
+    if t.total = 0 then 0.0
+    else begin
+      let target = int_of_float (ceil (float_of_int t.total *. p /. 100.0)) in
+      let target = max 1 target in
+      let rec walk i seen =
+        if i >= nbuckets then Float.pow 2.0 (float_of_int nbuckets)
+        else begin
+          let seen = seen + t.buckets.(i) in
+          if seen >= target then Float.pow 2.0 (float_of_int (i + 1))
+          else walk (i + 1) seen
+        end
+      in
+      walk 0 0
+    end
+
+  let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+end

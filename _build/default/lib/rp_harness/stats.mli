@@ -1,0 +1,22 @@
+(** Benchmark statistics: summary math and latency histograms. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+val median : float array -> float
+
+(** Log-bucketed latency histogram (nanosecond scale, powers of two). *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val record : t -> float -> unit
+  (** Record one latency sample, in nanoseconds. *)
+
+  val count : t -> int
+  val merge : t -> t -> t
+  val percentile : t -> float -> float
+  (** [percentile t 99.0] returns an upper bound (bucket boundary) on the
+      given percentile, in nanoseconds. 0 when empty. *)
+
+  val mean : t -> float
+end

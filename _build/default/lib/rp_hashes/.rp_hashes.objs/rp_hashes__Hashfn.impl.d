@@ -1,0 +1,1 @@
+lib/rp_hashes/hashfn.ml: Bytes Char Int64 String

@@ -1,0 +1,1 @@
+lib/rp_hashes/size.ml:

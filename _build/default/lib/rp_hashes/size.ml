@@ -1,0 +1,16 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let next_power_of_two n =
+  if n < 0 then invalid_arg "Size.next_power_of_two: negative";
+  let rec go p = if p >= n then p else go (p * 2) in
+  if n > max_int / 2 + 1 then invalid_arg "Size.next_power_of_two: overflow"
+  else go 1
+
+let log2 n =
+  if not (is_power_of_two n) then invalid_arg "Size.log2: not a power of two";
+  let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let bucket_of_hash ~hash ~size =
+  assert (is_power_of_two size);
+  hash land (size - 1)

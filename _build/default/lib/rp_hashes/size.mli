@@ -1,0 +1,22 @@
+(** Power-of-two table sizing helpers.
+
+    Bucket arrays are always powers of two so that the resize algorithms'
+    parent/child bucket relationship holds: when a table of size [2s] shrinks
+    to [s], old buckets [i] and [i + s] both map to new bucket [i]; when it
+    expands, old bucket [i]'s entries split between new buckets [i] and
+    [i + s]. *)
+
+val is_power_of_two : int -> bool
+(** [true] for positive powers of two. *)
+
+val next_power_of_two : int -> int
+(** Smallest power of two [>= max 1 n]. Raises [Invalid_argument] on
+    negative input or overflow. *)
+
+val log2 : int -> int
+(** [log2 n] for a positive power of two [n]. Raises [Invalid_argument]
+    otherwise. *)
+
+val bucket_of_hash : hash:int -> size:int -> int
+(** [bucket_of_hash ~hash ~size] selects a bucket by masking: [size] must be
+    a power of two. *)

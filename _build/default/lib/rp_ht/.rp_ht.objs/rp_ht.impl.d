@@ -1,0 +1,1 @@
+lib/rp_ht/rp_ht.ml: Array Atomic Flavour Mutex Option Printf Rcu Rp_hashes Rp_list Unzip

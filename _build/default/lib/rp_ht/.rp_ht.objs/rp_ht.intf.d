@@ -1,0 +1,1 @@
+lib/rp_ht/rp_ht.mli: Flavour Rcu

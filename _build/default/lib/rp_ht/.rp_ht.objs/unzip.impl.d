@@ -1,0 +1,1 @@
+lib/rp_ht/unzip.ml: Rcu Rp_list

@@ -1,0 +1,1 @@
+lib/rp_ht/unzip.mli: Rp_list

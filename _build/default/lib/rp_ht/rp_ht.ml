@@ -1,0 +1,380 @@
+open Rp_list
+
+type ('k, 'v) table = { size : int; buckets : ('k, 'v) link Atomic.t array }
+
+type resize_stats = {
+  expands : int;
+  shrinks : int;
+  unzip_passes : int;
+  unzip_splices : int;
+}
+
+type ('k, 'v) t = {
+  rcu_memb : Rcu.t option;  (* the default flavour's underlying Rcu.t *)
+  flavour : Flavour.t;
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  current : ('k, 'v) table Atomic.t;
+  writer : Mutex.t;
+  count : int Atomic.t;
+  min_size : int;
+  max_size : int;
+  mutable auto_resize : bool;
+  expands : int Atomic.t;
+  shrinks : int Atomic.t;
+  unzip_passes : int Atomic.t;
+  unzip_splices : int Atomic.t;
+}
+
+let make_table size = { size; buckets = Array.init size (fun _ -> Atomic.make Null) }
+
+let create ?rcu ?flavour ?(initial_size = 8) ?(min_size = 4)
+    ?(max_size = 1 lsl 22) ?(auto_resize = true) ~hash ~equal () =
+  let rcu_memb, flavour =
+    match flavour with
+    | Some f ->
+        if rcu <> None then
+          invalid_arg "Rp_ht.create: pass either ~rcu or ~flavour, not both";
+        (None, f)
+    | None ->
+        let r = match rcu with Some r -> r | None -> Rcu.create () in
+        (Some r, Flavour.memb r)
+  in
+  let min_size = Rp_hashes.Size.next_power_of_two (max 1 min_size) in
+  let max_size = Rp_hashes.Size.next_power_of_two (max min_size max_size) in
+  let initial_size =
+    min max_size (max min_size (Rp_hashes.Size.next_power_of_two initial_size))
+  in
+  {
+    rcu_memb;
+    flavour;
+    hash;
+    equal;
+    current = Atomic.make (make_table initial_size);
+    writer = Mutex.create ();
+    count = Atomic.make 0;
+    min_size;
+    max_size;
+    auto_resize;
+    expands = Atomic.make 0;
+    shrinks = Atomic.make 0;
+    unzip_passes = Atomic.make 0;
+    unzip_splices = Atomic.make 0;
+  }
+
+let rcu t =
+  match t.rcu_memb with
+  | Some r -> r
+  | None ->
+      invalid_arg "Rp_ht.rcu: table was built with a custom flavour"
+
+let flavour t = t.flavour
+
+(* --- read side --- *)
+
+let bucket_link table hash =
+  table.buckets.(Rp_hashes.Size.bucket_of_hash ~hash ~size:table.size)
+
+(* Hot path: no closures, no helper indirection — one atomic load per chain
+   hop, exactly the cost structure the paper measures for RP readers. *)
+let rec search_chain equal hash k = function
+  | Null -> None
+  | Node n ->
+      if n.hash = hash && equal n.key k then Some n
+      else search_chain equal hash k (Atomic.get n.next)
+
+let find_node t ~hash k table =
+  search_chain t.equal hash k (Rcu.dereference (bucket_link table hash))
+
+let find_opt_hashed t ~hash k =
+  t.flavour.Flavour.read_enter ();
+  match find_node t ~hash k (Rcu.dereference t.current) with
+  | Some n ->
+      let v = Atomic.get n.value in
+      t.flavour.Flavour.read_exit ();
+      Some v
+  | None ->
+      t.flavour.Flavour.read_exit ();
+      None
+  | exception e ->
+      (* only a user-supplied [equal] can raise *)
+      t.flavour.Flavour.read_exit ();
+      raise e
+
+let find t k = find_opt_hashed t ~hash:(t.hash k) k
+let mem t k = Option.is_some (find t k)
+
+let iter t ~f =
+  Flavour.with_read t.flavour (fun () ->
+      let table = Rcu.dereference t.current in
+      Array.iteri
+        (fun b link ->
+          iter_links
+            ~f:(fun n ->
+              (* Skip nodes merely passing through an imprecise bucket. *)
+              if Rp_hashes.Size.bucket_of_hash ~hash:n.hash ~size:table.size = b
+              then f n.key (Atomic.get n.value))
+            (Rcu.dereference link))
+        table.buckets)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t ~f:(fun k v -> acc := f !acc k v);
+  !acc
+
+let to_list t = fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc)
+
+(* --- resize: shrink --- *)
+
+let rec chain_tail = function
+  | Null -> None
+  | Node n -> (
+      match Rcu.dereference n.next with Null -> Some n | Node _ as l -> chain_tail l)
+
+(* Halve the bucket count: link sibling chains end-to-end, publish the new
+   bucket array, wait for readers once. Writer mutex held. *)
+let shrink_locked t =
+  let old = Atomic.get t.current in
+  let new_size = old.size / 2 in
+  let buckets =
+    Array.init new_size (fun i ->
+        let low = Atomic.get old.buckets.(i) in
+        let high = Atomic.get old.buckets.(i + new_size) in
+        match chain_tail low with
+        | None -> Atomic.make high
+        | Some tail ->
+            (* Readers of old bucket [i] now continue into the sibling
+               chain: an imprecise superset, which lookups tolerate. *)
+            Rcu.publish tail.next high;
+            Atomic.make low)
+  in
+  Rcu.publish t.current { size = new_size; buckets };
+  (* Once no reader can still traverse via the old bucket array, it is
+     reclaimable (the GC does the actual freeing). *)
+  t.flavour.Flavour.synchronize ();
+  Atomic.incr t.shrinks
+
+(* --- resize: expand (the unzip) --- *)
+
+(* Double the bucket count. Writer mutex held. *)
+let expand_locked t =
+  let old = Atomic.get t.current in
+  let new_size = old.size * 2 in
+  let dest (n : _ node) =
+    Rp_hashes.Size.bucket_of_hash ~hash:n.hash ~size:new_size
+  in
+  (* Each new bucket points at the first node of its parent chain that
+     belongs to it: buckets are imprecise (zipped) but complete. *)
+  let buckets =
+    Array.init new_size (fun j ->
+        let parent = Atomic.get old.buckets.(j land (old.size - 1)) in
+        match find_link ~pred:(fun n -> dest n = j) parent with
+        | Some n -> Atomic.make (Node n)
+        | None -> Atomic.make Null)
+  in
+  Rcu.publish t.current { size = new_size; buckets };
+  (* Wait for readers still traversing via the old, smaller bucket array:
+     after this, every reader entered through the new buckets. *)
+  t.flavour.Flavour.synchronize ();
+  let states =
+    Array.init old.size (fun i -> Unzip.start (Atomic.get old.buckets.(i)))
+  in
+  let live = ref true in
+  while !live do
+    live := false;
+    Array.iteri
+      (fun i state ->
+        match state with
+        | Unzip.Done -> ()
+        | Unzip.At _ -> (
+            let next_state = Unzip.step ~dest state in
+            states.(i) <- next_state;
+            match next_state with
+            | Unzip.At _ ->
+                Atomic.incr t.unzip_splices;
+                live := true
+            | Unzip.Done -> ()))
+      states;
+    if !live then begin
+      (* One grace period per pass protects readers that crossed a splice
+         point before it moved. *)
+      t.flavour.Flavour.synchronize ();
+      Atomic.incr t.unzip_passes
+    end
+  done;
+  Atomic.incr t.expands
+
+let normalize_size t n =
+  let n = Rp_hashes.Size.next_power_of_two (max 1 n) in
+  min t.max_size (max t.min_size n)
+
+let resize_locked t target =
+  let target = normalize_size t target in
+  while (Atomic.get t.current).size < target do
+    expand_locked t
+  done;
+  while (Atomic.get t.current).size > target do
+    shrink_locked t
+  done
+
+let with_writer t f =
+  Mutex.lock t.writer;
+  match f () with
+  | v ->
+      Mutex.unlock t.writer;
+      v
+  | exception e ->
+      Mutex.unlock t.writer;
+      raise e
+
+let resize t target = with_writer t (fun () -> resize_locked t target)
+
+let maybe_auto_resize t =
+  if t.auto_resize then begin
+    let table = Atomic.get t.current in
+    let n = Atomic.get t.count in
+    if n * 4 > table.size * 3 && table.size < t.max_size then expand_locked t
+    else if n * 8 < table.size && table.size > t.min_size then shrink_locked t
+  end
+
+(* --- updates --- *)
+
+let insert_locked t k v =
+  let hash = t.hash k in
+  let table = Atomic.get t.current in
+  let link = bucket_link table hash in
+  let node = make_node ~hash ~key:k ~value:v ~next:(Atomic.get link) () in
+  Rcu.publish link (Node node);
+  Atomic.incr t.count
+
+let insert t k v =
+  with_writer t (fun () ->
+      insert_locked t k v;
+      maybe_auto_resize t)
+
+let replace t k v =
+  with_writer t (fun () ->
+      let hash = t.hash k in
+      let table = Atomic.get t.current in
+      match find_node t ~hash k table with
+      | Some n -> Atomic.set n.value v
+      | None ->
+          insert_locked t k v;
+          maybe_auto_resize t)
+
+(* Unlink the newest binding of [k]; return the node. Writer mutex held.
+   The chain may be imprecise mid-resize, but resize holds the same mutex,
+   so here every chain is precise. *)
+let unlink_locked t k =
+  let hash = t.hash k in
+  let table = Atomic.get t.current in
+  let rec loop prev_link =
+    match Atomic.get prev_link with
+    | Null -> None
+    | Node n ->
+        if n.hash = hash && t.equal n.key k then begin
+          Rcu.publish prev_link (Atomic.get n.next);
+          Atomic.decr t.count;
+          Some n
+        end
+        else loop n.next
+  in
+  loop (bucket_link table hash)
+
+let remove_with ~reclaim t k =
+  let unlinked =
+    with_writer t (fun () ->
+        let u = unlink_locked t k in
+        if Option.is_some u then maybe_auto_resize t;
+        u)
+  in
+  match unlinked with
+  | None -> false
+  | Some n ->
+      reclaim t n;
+      true
+
+let remove t k =
+  remove_with t k ~reclaim:(fun t n ->
+      t.flavour.Flavour.call_rcu (fun () -> Atomic.set n.reclaimed true))
+
+let remove_sync t k =
+  remove_with t k ~reclaim:(fun t n ->
+      t.flavour.Flavour.synchronize ();
+      Atomic.set n.reclaimed true)
+
+let move t ~from_key ~to_key f =
+  let moved =
+    with_writer t (fun () ->
+        let hash = t.hash from_key in
+        let table = Atomic.get t.current in
+        match find_node t ~hash from_key table with
+        | None -> None
+        | Some n ->
+            (* Publish the destination binding first, then unlink the
+               source: no reader can observe both keys absent. *)
+            insert_locked t to_key (f (Atomic.get n.value));
+            let u = unlink_locked t from_key in
+            maybe_auto_resize t;
+            u)
+  in
+  match moved with
+  | None -> false
+  | Some n ->
+      t.flavour.Flavour.call_rcu (fun () -> Atomic.set n.reclaimed true);
+      true
+
+(* --- introspection --- *)
+
+let size t = (Atomic.get t.current).size
+let length t = Atomic.get t.count
+
+let load_factor t =
+  let table = Atomic.get t.current in
+  float_of_int (Atomic.get t.count) /. float_of_int table.size
+
+let set_auto_resize t flag = t.auto_resize <- flag
+
+let resize_stats t =
+  {
+    expands = Atomic.get t.expands;
+    shrinks = Atomic.get t.shrinks;
+    unzip_passes = Atomic.get t.unzip_passes;
+    unzip_splices = Atomic.get t.unzip_splices;
+  }
+
+let bucket_lengths t =
+  let table = Atomic.get t.current in
+  Array.map (fun link -> length_link (Atomic.get link)) table.buckets
+
+let validate t =
+  let table = Atomic.get t.current in
+  let expected = Atomic.get t.count in
+  let limit = expected + 1 in
+  let total = ref 0 in
+  let error = ref None in
+  let set_error msg = if !error = None then error := Some msg in
+  Array.iteri
+    (fun b link ->
+      let steps = ref 0 in
+      let rec walk = function
+        | Null -> ()
+        | Node n ->
+            incr steps;
+            if !steps > limit then set_error (Printf.sprintf "bucket %d: cycle or over-long chain" b)
+            else begin
+              incr total;
+              let home = Rp_hashes.Size.bucket_of_hash ~hash:n.hash ~size:table.size in
+              if home <> b then
+                set_error
+                  (Printf.sprintf "bucket %d: imprecise node (home bucket %d)" b home);
+              if Atomic.get n.reclaimed then
+                set_error (Printf.sprintf "bucket %d: reachable reclaimed node" b);
+              walk (Atomic.get n.next)
+            end
+      in
+      walk (Atomic.get link))
+    table.buckets;
+  if !total <> expected && !error = None then
+    set_error (Printf.sprintf "length mismatch: counted %d, recorded %d" !total expected);
+  match !error with None -> Ok () | Some msg -> Error msg

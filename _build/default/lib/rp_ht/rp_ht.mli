@@ -1,0 +1,144 @@
+(** Resizable, scalable, concurrent hash table via relativistic programming —
+    the paper's primary contribution.
+
+    Open chaining over relativistic linked lists. Lookups are wait-free:
+    they run inside an RCU read-side critical section, dereference the
+    current bucket array through a single published pointer, and walk the
+    chain with atomic loads only — no stores to shared memory, no locks, no
+    retries. Updates (insert / remove / move / resize) serialize on a
+    per-table mutex and order their effects with publication and
+    wait-for-readers.
+
+    Consistency guarantee (the paper's definition): a reader traversing the
+    bucket a key hashes to always observes {e every} element of that bucket.
+    During a resize a bucket may transiently be {e imprecise} — contain
+    extra elements belonging to a sibling bucket — which lookups tolerate by
+    key comparison.
+
+    Resizing (bucket counts are powers of two):
+    - {b shrink} to half: link each pair of sibling chains end-to-end,
+      publish the half-size bucket array, wait for readers once, reclaim;
+    - {b expand} to double (the "unzip"): publish a double-size bucket array
+      whose buckets point into the old chains, wait for readers, then
+      repeatedly splice interleaved runs apart — one splice per chain per
+      pass, one wait-for-readers per pass — until every chain is precise.
+
+    Larger factors are performed as repeated doublings/halvings. *)
+
+type ('k, 'v) t
+
+type resize_stats = {
+  expands : int;  (** completed expansions (each a single doubling) *)
+  shrinks : int;  (** completed shrinks (each a single halving) *)
+  unzip_passes : int;  (** total unzip passes across all expansions *)
+  unzip_splices : int;  (** total splice steps across all expansions *)
+}
+
+val create :
+  ?rcu:Rcu.t ->
+  ?flavour:Flavour.t ->
+  ?initial_size:int ->
+  ?min_size:int ->
+  ?max_size:int ->
+  ?auto_resize:bool ->
+  hash:('k -> int) ->
+  equal:('k -> 'k -> bool) ->
+  unit ->
+  ('k, 'v) t
+(** [create ~hash ~equal ()] builds an empty table.
+
+    - [rcu]: the memb-RCU instance delimiting this table's readers (fresh
+      one by default; share an instance to amortize grace periods across
+      structures);
+    - [flavour]: run the table on an explicit RCU flavour instead — e.g.
+      [Flavour.qsbr] for kernel-RCU-like zero-cost readers (every domain
+      touching the table must then respect QSBR's no-indefinite-blocking
+      rule). Mutually exclusive with [rcu];
+    - [initial_size]: initial bucket count, rounded up to a power of two
+      (default 8);
+    - [min_size] / [max_size]: clamp for resizing, rounded to powers of two
+      (defaults 4 and 2^22);
+    - [auto_resize]: when [true] (default), updates grow the table beyond
+      load factor 0.75 and shrink it below 0.125. *)
+
+val rcu : ('k, 'v) t -> Rcu.t
+(** The memb-RCU instance of a default-flavoured table. Raises
+    [Invalid_argument] when the table was built with [~flavour]. *)
+
+val flavour : ('k, 'v) t -> Flavour.t
+(** The flavour running this table's read sections and grace periods. *)
+
+(** {1 Wait-free read side} *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Wait-free lookup. Runs in a read-side critical section of the calling
+    domain (registered on first use); the value is copied out before the
+    section ends. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+val find_opt_hashed : ('k, 'v) t -> hash:int -> 'k -> 'v option
+(** {!find} with a precomputed hash (protocol servers cache hashes). *)
+
+val iter : ('k, 'v) t -> f:('k -> 'v -> unit) -> unit
+(** Iterate over a snapshot inside one read-side critical section. [f] must
+    not block and must not update this table. Bindings inserted or removed
+    concurrently may or may not be seen; bindings present throughout are
+    seen exactly once per bucket they belong to. *)
+
+val fold : ('k, 'v) t -> init:'a -> f:('a -> 'k -> 'v -> 'a) -> 'a
+
+(** {1 Updates} *)
+
+val insert : ('k, 'v) t -> 'k -> 'v -> unit
+(** Publish a new binding. If the key is already bound the new binding
+    shadows the old one (lookups return the newest). *)
+
+val replace : ('k, 'v) t -> 'k -> 'v -> unit
+(** Update an existing binding's value in place, or insert if absent. *)
+
+val remove : ('k, 'v) t -> 'k -> bool
+(** Unlink the newest binding for the key; reclamation is deferred through
+    [call_rcu]. [true] if a binding was removed. *)
+
+val remove_sync : ('k, 'v) t -> 'k -> bool
+(** Like {!remove} but blocks for a full grace period before marking the
+    node reclaimed — the paper's removal sequence, verbatim. *)
+
+val move : ('k, 'v) t -> from_key:'k -> to_key:'k -> ('v -> 'v) -> bool
+(** Atomic cross-bucket move (the previous-work primitive): rebind
+    [from_key]'s value (transformed by the function) under [to_key] such
+    that no concurrent reader observes a state where {e neither} key is
+    bound. [true] if [from_key] was bound. *)
+
+(** {1 Resizing} *)
+
+val resize : ('k, 'v) t -> int -> unit
+(** Resize to the given bucket count (rounded to a power of two, clamped to
+    [min_size]/[max_size]). Concurrent lookups proceed untouched; concurrent
+    updates wait on the writer lock. *)
+
+val size : ('k, 'v) t -> int
+(** Current bucket count. *)
+
+val length : ('k, 'v) t -> int
+(** Number of bindings (O(1); exact under quiescence). *)
+
+val load_factor : ('k, 'v) t -> float
+
+val set_auto_resize : ('k, 'v) t -> bool -> unit
+
+(** {1 Introspection (tests, benchmarks)} *)
+
+val resize_stats : ('k, 'v) t -> resize_stats
+
+val bucket_lengths : ('k, 'v) t -> int array
+(** Chain length per bucket (snapshot). *)
+
+val validate : ('k, 'v) t -> (unit, string) result
+(** Whole-table invariant check (quiescent use only): every reachable node
+    sits in the bucket its hash selects (precision), no reachable node is
+    marked reclaimed, and the O(1) length matches a full count. *)
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Snapshot of all bindings (unspecified order). *)

@@ -1,0 +1,139 @@
+type ('k, 'v) node = {
+  key : 'k;
+  hash : int;
+  value : 'v Atomic.t;
+  next : ('k, 'v) link Atomic.t;
+  reclaimed : bool Atomic.t;
+}
+
+and ('k, 'v) link = Null | Node of ('k, 'v) node
+
+let make_node ?(hash = 0) ~key ~value ~next () =
+  {
+    key;
+    hash;
+    value = Atomic.make value;
+    next = Atomic.make next;
+    reclaimed = Atomic.make false;
+  }
+
+let rec iter_links ~f = function
+  | Null -> ()
+  | Node n ->
+      f n;
+      iter_links ~f (Rcu.dereference n.next)
+
+let rec find_link ~pred = function
+  | Null -> None
+  | Node n -> if pred n then Some n else find_link ~pred (Rcu.dereference n.next)
+
+let length_link link =
+  let count = ref 0 in
+  iter_links ~f:(fun _ -> incr count) link;
+  !count
+
+type ('k, 'v) t = {
+  rcu : Rcu.t;
+  equal : 'k -> 'k -> bool;
+  head : ('k, 'v) link Atomic.t;
+  writer : Mutex.t;
+}
+
+let create ~rcu ~equal () =
+  { rcu; equal; head = Atomic.make Null; writer = Mutex.create () }
+
+let rcu t = t.rcu
+
+let find t k =
+  Rcu.with_read_current t.rcu (fun () ->
+      match find_link ~pred:(fun n -> t.equal n.key k) (Rcu.dereference t.head) with
+      | Some n -> Some (Atomic.get n.value)
+      | None -> None)
+
+let mem t k = Option.is_some (find t k)
+
+let insert t k v =
+  Mutex.lock t.writer;
+  let node = make_node ~key:k ~value:v ~next:(Atomic.get t.head) () in
+  (* Publication: the node is fully initialised before it becomes
+     reachable. *)
+  Rcu.publish t.head (Node node);
+  Mutex.unlock t.writer
+
+let replace t k v =
+  Mutex.lock t.writer;
+  let found =
+    match find_link ~pred:(fun n -> t.equal n.key k) (Atomic.get t.head) with
+    | Some n ->
+        Atomic.set n.value v;
+        true
+    | None ->
+        let node = make_node ~key:k ~value:v ~next:(Atomic.get t.head) () in
+        Rcu.publish t.head (Node node);
+        false
+  in
+  Mutex.unlock t.writer;
+  found
+
+(* Unlink the first node matching the key; return it for reclamation. The
+   writer mutex must be held. *)
+let unlink_first t k =
+  let rec loop prev_link =
+    match Atomic.get prev_link with
+    | Null -> None
+    | Node n ->
+        if t.equal n.key k then begin
+          Rcu.publish prev_link (Atomic.get n.next);
+          Some n
+        end
+        else loop n.next
+  in
+  loop t.head
+
+let remove t k =
+  Mutex.lock t.writer;
+  let unlinked = unlink_first t k in
+  Mutex.unlock t.writer;
+  match unlinked with
+  | None -> false
+  | Some n ->
+      (* Pre-existing readers may still hold a reference to [n]; only after
+         a grace period may it be treated as reclaimed. *)
+      Rcu.synchronize t.rcu;
+      Atomic.set n.reclaimed true;
+      true
+
+let remove_async t k =
+  Mutex.lock t.writer;
+  let unlinked = unlink_first t k in
+  Mutex.unlock t.writer;
+  match unlinked with
+  | None -> false
+  | Some n ->
+      Rcu.call_rcu t.rcu (fun () -> Atomic.set n.reclaimed true);
+      true
+
+let length t =
+  Rcu.with_read_current t.rcu (fun () -> length_link (Rcu.dereference t.head))
+
+let to_list t =
+  Rcu.with_read_current t.rcu (fun () ->
+      let acc = ref [] in
+      iter_links
+        ~f:(fun n -> acc := (n.key, Atomic.get n.value) :: !acc)
+        (Rcu.dereference t.head);
+      List.rev !acc)
+
+let iter t ~f =
+  Rcu.with_read_current t.rcu (fun () ->
+      iter_links ~f:(fun n -> f n.key (Atomic.get n.value)) (Rcu.dereference t.head))
+
+let head t = t.head
+
+let validate_no_reclaimed t =
+  Rcu.with_read_current t.rcu (fun () ->
+      let ok = ref true in
+      iter_links
+        ~f:(fun n -> if Atomic.get n.reclaimed then ok := false)
+        (Rcu.dereference t.head);
+      !ok)

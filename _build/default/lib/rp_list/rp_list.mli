@@ -1,0 +1,91 @@
+(** Relativistic singly-linked list.
+
+    Readers traverse with plain atomic loads and never wait. Writers
+    serialize on a per-list mutex and order their updates with publication
+    and wait-for-readers, exactly as in the paper's insertion/removal
+    examples:
+
+    - {b insert}: initialise the node's [next], then publish the node by a
+      single pointer store — readers either see it fully or not at all;
+    - {b remove}: unlink by one pointer store (all future traversals miss the
+      node), then wait for pre-existing readers before the node is considered
+      reclaimable (here, before its [reclaimed] mark is set — the GC frees
+      the memory, the mark lets tests assert use-after-free-freedom).
+
+    The node representation is exposed because the relativistic hash table
+    splices the same nodes between its bucket chains (shrink concatenates
+    chains; expand "unzips" them). *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  hash : int;  (** cached key hash; 0 for standalone lists *)
+  value : 'v Atomic.t;  (** in-place updatable payload *)
+  next : ('k, 'v) link Atomic.t;
+  reclaimed : bool Atomic.t;
+      (** set after the grace period that follows unlinking; readers must
+          never observe a node with this mark set *)
+}
+
+and ('k, 'v) link = Null | Node of ('k, 'v) node
+
+val make_node : ?hash:int -> key:'k -> value:'v -> next:('k, 'v) link -> unit -> ('k, 'v) node
+(** Allocate an unpublished node. *)
+
+(** {1 Link traversal helpers (read-side)} *)
+
+val iter_links : f:(('k, 'v) node -> unit) -> ('k, 'v) link -> unit
+(** Apply [f] to every node reachable from a link. Must run inside a
+    read-side critical section if the chain is shared. *)
+
+val find_link : pred:(('k, 'v) node -> bool) -> ('k, 'v) link -> ('k, 'v) node option
+(** First node satisfying [pred], or [None]. *)
+
+val length_link : ('k, 'v) link -> int
+
+(** {1 Standalone list} *)
+
+type ('k, 'v) t
+
+val create : rcu:Rcu.t -> equal:('k -> 'k -> bool) -> unit -> ('k, 'v) t
+(** A list whose readers are delimited by [rcu]'s critical sections and
+    whose key comparisons use [equal]. *)
+
+val rcu : ('k, 'v) t -> Rcu.t
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Wait-free lookup: runs inside a read-side critical section of the
+    list's flavour (registered for the calling domain on first use).
+    The value is copied out before the section ends. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+val insert : ('k, 'v) t -> 'k -> 'v -> unit
+(** Prepend a binding (duplicates allowed; [find] returns the newest). *)
+
+val replace : ('k, 'v) t -> 'k -> 'v -> bool
+(** Update the value of an existing binding in place; [true] if found,
+    otherwise the binding is inserted and the result is [false]. *)
+
+val remove : ('k, 'v) t -> 'k -> bool
+(** Unlink the first binding for the key. Waits for readers before marking
+    the node reclaimed. [true] if a binding was removed. *)
+
+val remove_async : ('k, 'v) t -> 'k -> bool
+(** Like {!remove} but defers the reclamation mark through [call_rcu]
+    instead of blocking for a grace period. *)
+
+val length : ('k, 'v) t -> int
+(** Number of bindings (exact under quiescence; a snapshot otherwise). *)
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Snapshot of bindings in list order. *)
+
+val iter : ('k, 'v) t -> f:('k -> 'v -> unit) -> unit
+(** Iterate inside one read-side critical section. [f] must not block. *)
+
+val head : ('k, 'v) t -> ('k, 'v) link Atomic.t
+(** The head link, for white-box tests. *)
+
+val validate_no_reclaimed : ('k, 'v) t -> bool
+(** [true] iff no reachable node carries the [reclaimed] mark — the
+    correctness invariant readers rely on. *)

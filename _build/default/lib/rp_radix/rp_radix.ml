@@ -1,0 +1,260 @@
+let stride = 6
+let fanout = 1 lsl stride
+let mask = fanout - 1
+
+(* Beyond this height the key space covers every OCaml int. *)
+let max_height = (Sys.int_size - 1 + stride - 1) / stride
+
+type 'v slot = Empty | Value of 'v | Child of 'v node
+and 'v node = { slots : 'v slot Atomic.t array }
+
+(* Root pointer and height travel together so readers see a consistent
+   pair. *)
+type 'v root_info = { height : int; root : 'v node }
+
+type 'v t = {
+  rcu_memb : Rcu.t option;
+  flavour : Flavour.t;
+  info : 'v root_info Atomic.t;
+  writer : Mutex.t;
+  count : int Atomic.t;
+}
+
+let make_node () = { slots = Array.init fanout (fun _ -> Atomic.make Empty) }
+
+let create ?rcu ?flavour () =
+  let rcu_memb, flavour =
+    match flavour with
+    | Some f ->
+        if rcu <> None then
+          invalid_arg "Rp_radix.create: pass either ~rcu or ~flavour, not both";
+        (None, f)
+    | None ->
+        let r = match rcu with Some r -> r | None -> Rcu.create () in
+        (Some r, Flavour.memb r)
+  in
+  {
+    rcu_memb;
+    flavour;
+    info = Atomic.make { height = 1; root = make_node () };
+    writer = Mutex.create ();
+    count = Atomic.make 0;
+  }
+
+let bits_of_height height = stride * height
+
+let capacity_of_height height =
+  if bits_of_height height >= Sys.int_size - 1 then max_int
+  else (1 lsl bits_of_height height) - 1
+
+let check_key k = if k < 0 then invalid_arg "Rp_radix: negative key"
+
+let index_at ~level k = (k lsr (stride * (level - 1))) land mask
+
+(* --- read side --- *)
+
+let find_in info k =
+  if k > capacity_of_height info.height then None
+  else begin
+    let rec descend node level =
+      let slot = Rcu.dereference node.slots.(index_at ~level k) in
+      if level = 1 then match slot with Value v -> Some v | Empty | Child _ -> None
+      else match slot with Child child -> descend child (level - 1) | Empty | Value _ -> None
+    in
+    descend info.root info.height
+  end
+
+let find t k =
+  check_key k;
+  t.flavour.Flavour.read_enter ();
+  match find_in (Rcu.dereference t.info) k with
+  | result ->
+      t.flavour.Flavour.read_exit ();
+      result
+  | exception e ->
+      t.flavour.Flavour.read_exit ();
+      raise e
+
+let mem t k = Option.is_some (find t k)
+
+let iter t ~f =
+  Flavour.with_read t.flavour (fun () ->
+      let info = Rcu.dereference t.info in
+      let rec walk node level prefix =
+        for idx = 0 to fanout - 1 do
+          match Rcu.dereference node.slots.(idx) with
+          | Empty -> ()
+          | Value v -> f (prefix lor idx) v
+          | Child child ->
+              walk child (level - 1) (prefix lor (idx lsl (stride * (level - 1))))
+        done
+      in
+      walk info.root info.height 0)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t ~f:(fun k v -> acc := f !acc k v);
+  !acc
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+(* --- updates (writer mutex held) --- *)
+
+(* Height needed to address key [k]. *)
+let needed_height k =
+  let rec go h = if k <= capacity_of_height h || h = max_height then h else go (h + 1) in
+  go 1
+
+(* Build a fresh path holding only [k -> v], rooted at [level]. *)
+let rec build_path k v level =
+  if level = 1 then begin
+    let node = make_node () in
+    Atomic.set node.slots.(index_at ~level:1 k) (Value v);
+    node
+  end
+  else begin
+    let node = make_node () in
+    Atomic.set node.slots.(index_at ~level k) (Child (build_path k v (level - 1)));
+    node
+  end
+
+let grow_to t target =
+  let info = Atomic.get t.info in
+  if target > info.height then begin
+    if Atomic.get t.count = 0 then
+      (* Nothing stored: replace the root outright (no empty-interior
+         wrapper chain). *)
+      Rcu.publish t.info { height = target; root = make_node () }
+    else begin
+      (* Wrap: the old root becomes slot 0 of each new level, which is
+         correct because in-capacity keys have zero high-order digits. *)
+      let rec wrap root height =
+        if height = target then { height; root }
+        else begin
+          let above = make_node () in
+          Atomic.set above.slots.(0) (Child root);
+          wrap above (height + 1)
+        end
+      in
+      Rcu.publish t.info (wrap info.root info.height)
+    end
+  end
+
+let insert t k v =
+  check_key k;
+  Mutex.lock t.writer;
+  grow_to t (needed_height k);
+  let info = Atomic.get t.info in
+  let rec descend node level =
+    let cell = node.slots.(index_at ~level k) in
+    if level = 1 then begin
+      match Atomic.get cell with
+      | Value _ -> Atomic.set cell (Value v)
+      | Empty ->
+          Rcu.publish cell (Value v);
+          Atomic.incr t.count
+      | Child _ -> assert false
+    end
+    else begin
+      match Atomic.get cell with
+      | Child child -> descend child (level - 1)
+      | Empty ->
+          (* Initialise the whole sub-path, then publish it with one
+             store. *)
+          Rcu.publish cell (Child (build_path k v (level - 1)));
+          Atomic.incr t.count
+      | Value _ -> assert false
+    end
+  in
+  descend info.root info.height;
+  Mutex.unlock t.writer
+
+let node_is_empty node =
+  let rec go i =
+    i >= fanout
+    || (match Atomic.get node.slots.(i) with
+       | Empty -> go (i + 1)
+       | Value _ | Child _ -> false)
+  in
+  go 0
+
+let remove t k =
+  check_key k;
+  Mutex.lock t.writer;
+  let info = Atomic.get t.info in
+  let removed =
+    if k > capacity_of_height info.height then false
+    else begin
+      (* [path] holds (slot-in-parent, node) pairs, deepest first, so an
+         emptied node can be unlinked from its parent bottom-up. The root
+         is never on the path and never pruned. *)
+      let rec descend node level path =
+        let cell = node.slots.(index_at ~level k) in
+        if level = 1 then begin
+          match Atomic.get cell with
+          | Value _ ->
+              Rcu.publish cell Empty;
+              Atomic.decr t.count;
+              (* Readers mid-descent may still reach an unlinked node; they
+                 find Empty and correctly miss. The GC reclaims once no
+                 reader can hold a reference. *)
+              let rec prune = function
+                | [] -> ()
+                | (parent_cell, child_node) :: rest ->
+                    if node_is_empty child_node then begin
+                      Rcu.publish parent_cell Empty;
+                      prune rest
+                    end
+              in
+              prune path;
+              true
+          | Empty | Child _ -> false
+        end
+        else begin
+          match Atomic.get cell with
+          | Child child -> descend child (level - 1) ((cell, child) :: path)
+          | Empty | Value _ -> false
+        end
+      in
+      descend info.root info.height []
+    end
+  in
+  Mutex.unlock t.writer;
+  removed
+
+(* --- introspection --- *)
+
+let length t = Atomic.get t.count
+let height t = (Atomic.get t.info).height
+let capacity t = capacity_of_height (Atomic.get t.info).height
+
+let validate t =
+  let info = Atomic.get t.info in
+  let count = ref 0 in
+  let error = ref None in
+  let set_error msg = if !error = None then error := Some msg in
+  let rec walk node level ~is_root =
+    let nonempty = ref 0 in
+    Array.iteri
+      (fun idx cell ->
+        match Atomic.get cell with
+        | Empty -> ()
+        | Value _ ->
+            incr nonempty;
+            incr count;
+            if level <> 1 then
+              set_error (Printf.sprintf "value at interior level %d" level)
+        | Child child ->
+            incr nonempty;
+            if level = 1 then set_error "child at leaf level"
+            else walk child (level - 1) ~is_root:false;
+            ignore idx)
+      node.slots;
+    if (not is_root) && !nonempty = 0 then set_error "empty interior node"
+  in
+  walk info.root info.height ~is_root:true;
+  if !count <> Atomic.get t.count && !error = None then
+    set_error
+      (Printf.sprintf "count mismatch: walked %d, recorded %d" !count
+         (Atomic.get t.count));
+  match !error with None -> Ok () | Some msg -> Error msg

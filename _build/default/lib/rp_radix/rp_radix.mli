@@ -1,0 +1,51 @@
+(** Relativistic radix tree — another structure from the paper's
+    "relativistic data structures" list, built on the same primitives.
+
+    A 64-way (6-bit stride) radix tree over non-negative integer keys, in
+    the style of the Linux kernel's radix tree (page cache, IDR). Readers
+    walk child pointers with atomic loads inside a read-side critical
+    section and never wait; writers serialize on a mutex and publish:
+
+    - {b insert}: interior nodes are created bottom-up and become reachable
+      by a single publish of the top-most new pointer;
+    - {b grow}: when a key exceeds the current height's capacity, a new
+      root is published whose slot 0 is the old root — concurrent readers
+      on the old root stay consistent because the added high-order digits
+      of any in-capacity key are zero;
+    - {b remove}: the value slot is cleared by one store; emptied interior
+      nodes are pruned bottom-up (readers mid-descent still reach them,
+      find empty slots and correctly miss; the GC reclaims them once no
+      reader can hold a reference). *)
+
+type 'v t
+
+val create : ?rcu:Rcu.t -> ?flavour:Flavour.t -> unit -> 'v t
+(** Same flavour semantics as [Rp_ht.create]. *)
+
+val find : 'v t -> int -> 'v option
+(** Wait-free lookup. Raises [Invalid_argument] on a negative key. *)
+
+val mem : 'v t -> int -> bool
+
+val insert : 'v t -> int -> 'v -> unit
+(** Insert or overwrite. Raises [Invalid_argument] on a negative key. *)
+
+val remove : 'v t -> int -> bool
+(** Clear the key's binding; prunes emptied interior nodes. *)
+
+val length : 'v t -> int
+val height : 'v t -> int
+(** Current tree height (levels of interior nodes). *)
+
+val capacity : 'v t -> int
+(** Largest key representable without growing ([64^height - 1]). *)
+
+val iter : 'v t -> f:(int -> 'v -> unit) -> unit
+(** In key order, inside one read-side critical section. *)
+
+val fold : 'v t -> init:'a -> f:('a -> int -> 'v -> 'a) -> 'a
+val to_list : 'v t -> (int * 'v) list
+
+val validate : 'v t -> (unit, string) result
+(** Quiescent invariant check: stored count matches a full walk and no
+    reachable interior node is empty (pruning invariant). *)

@@ -1,0 +1,1 @@
+lib/rp_sync/barrier_sync.mli:

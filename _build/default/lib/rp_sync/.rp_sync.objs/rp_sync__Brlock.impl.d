@@ -1,0 +1,1 @@
+lib/rp_sync/brlock.ml: Array Atomic Backoff Domain

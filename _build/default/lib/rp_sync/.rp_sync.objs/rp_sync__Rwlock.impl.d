@@ -1,0 +1,1 @@
+lib/rp_sync/rwlock.ml: Atomic Backoff Condition Mutex

@@ -1,0 +1,1 @@
+lib/rp_sync/seqlock.ml: Atomic Backoff

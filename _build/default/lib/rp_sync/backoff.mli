@@ -1,0 +1,23 @@
+(** Exponential backoff for spin loops.
+
+    Repeated failed attempts on a contended atomic should back off to reduce
+    cache-line ping-pong. A [t] value tracks the current backoff level; each
+    {!once} spins for a bounded, growing number of [Domain.cpu_relax] calls. *)
+
+type t
+
+val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+(** [create ()] returns a fresh backoff state. [min_wait] (default 1) and
+    [max_wait] (default 1024) bound the number of relax iterations per
+    {!once} call. Raises [Invalid_argument] if [min_wait < 1] or
+    [max_wait < min_wait]. *)
+
+val once : t -> unit
+(** Spin for the current wait amount, then double it (saturating at
+    [max_wait]). *)
+
+val reset : t -> unit
+(** Reset the wait amount back to [min_wait]. *)
+
+val current : t -> int
+(** Current wait amount in relax iterations (useful for tests). *)

@@ -1,0 +1,22 @@
+type t = { parties : int; arrived : int Atomic.t; phase : int Atomic.t }
+
+let create parties =
+  if parties < 1 then invalid_arg "Barrier_sync.create: parties < 1";
+  { parties; arrived = Atomic.make 0; phase = Atomic.make 0 }
+
+let parties t = t.parties
+
+let await t =
+  let my_phase = Atomic.get t.phase in
+  let n = 1 + Atomic.fetch_and_add t.arrived 1 in
+  if n = t.parties then begin
+    (* Last arrival: reset the count and release everyone. *)
+    Atomic.set t.arrived 0;
+    ignore (Atomic.fetch_and_add t.phase 1)
+  end
+  else begin
+    let backoff = Backoff.create ~max_wait:64 () in
+    while Atomic.get t.phase = my_phase do
+      Backoff.once backoff
+    done
+  end

@@ -1,0 +1,16 @@
+(** Reusable sense-reversing barrier for coordinated domain start/stop.
+
+    The benchmark harness spawns N worker domains that must begin their
+    measured loops simultaneously; each calls {!await} and proceeds only once
+    all N parties have arrived. The barrier is reusable across phases. *)
+
+type t
+
+val create : int -> t
+(** [create parties] builds a barrier for [parties] participants. Raises
+    [Invalid_argument] if [parties < 1]. *)
+
+val await : t -> unit
+(** Block (spin with backoff) until all parties have arrived at this phase. *)
+
+val parties : t -> int

@@ -1,0 +1,69 @@
+(* Each slot is a small rwlock-like counter: readers increment their slot if
+   no writer is present; the writer sets a global gate then drains slots in
+   order. Slot records are separate heap blocks, so reader counters do not
+   share cache lines. *)
+
+type t = { gate : bool Atomic.t; counts : int Atomic.t array }
+
+let create ?(slots = 16) () =
+  if slots < 1 then invalid_arg "Brlock.create: slots < 1";
+  { gate = Atomic.make false; counts = Array.init slots (fun _ -> Atomic.make 0) }
+
+let slots t = Array.length t.counts
+
+let slot_of_domain t =
+  (Domain.self () :> int) mod Array.length t.counts
+
+let read_lock t =
+  let slot = slot_of_domain t in
+  let counter = t.counts.(slot) in
+  let backoff = Backoff.create () in
+  let rec loop () =
+    ignore (Atomic.fetch_and_add counter 1);
+    if Atomic.get t.gate then begin
+      ignore (Atomic.fetch_and_add counter (-1));
+      while Atomic.get t.gate do
+        Backoff.once backoff
+      done;
+      loop ()
+    end
+  in
+  loop ();
+  slot
+
+let read_unlock t slot = ignore (Atomic.fetch_and_add t.counts.(slot) (-1))
+
+let write_lock t =
+  let backoff = Backoff.create () in
+  while not (Atomic.compare_and_set t.gate false true) do
+    Backoff.once backoff
+  done;
+  Array.iter
+    (fun counter ->
+      Backoff.reset backoff;
+      while Atomic.get counter <> 0 do
+        Backoff.once backoff
+      done)
+    t.counts
+
+let write_unlock t = Atomic.set t.gate false
+
+let with_read t f =
+  let slot = read_lock t in
+  match f () with
+  | v ->
+      read_unlock t slot;
+      v
+  | exception e ->
+      read_unlock t slot;
+      raise e
+
+let with_write t f =
+  write_lock t;
+  match f () with
+  | v ->
+      write_unlock t;
+      v
+  | exception e ->
+      write_unlock t;
+      raise e

@@ -1,0 +1,26 @@
+(** Big-reader lock: per-slot reader counters.
+
+    Readers lock only their own slot (no shared cache line between readers),
+    so read-side cost is one uncontended RMW. Writers must acquire every
+    slot, making writes expensive — the classic read-mostly trade-off, and a
+    useful comparison point between plain rwlock and RP. *)
+
+type t
+
+val create : ?slots:int -> unit -> t
+(** [create ~slots ()] builds a brlock with [slots] reader slots (default
+    16). A reader hashes its domain id onto a slot. *)
+
+val read_lock : t -> int
+(** Enter a read-side critical section; returns the slot index that must be
+    passed to {!read_unlock}. *)
+
+val read_unlock : t -> int -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a
+
+val slots : t -> int
+(** Number of reader slots. *)

@@ -1,0 +1,193 @@
+(* Spinning variant: a single atomic word.
+   - bit 0 (WRITER): a writer holds the lock.
+   - bit 1 (INTENT): a writer is waiting; readers must hold back.
+   - bits 2..: count of active readers.
+   Readers fetch-and-add READER_UNIT and back out if a writer bit was set.
+   This costs two RMWs per read-side critical section, matching the cost
+   structure the paper measures for rwlock. *)
+
+let writer_bit = 1
+let intent_bit = 2
+let reader_unit = 4
+
+type spin = { state : int Atomic.t }
+
+type blocking = {
+  mutex : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  (* active readers; -1 encodes an active writer *)
+  mutable balance : int;
+  mutable waiting_writers : int;
+}
+
+type t = Spin of spin | Blocking of blocking
+
+let create () = Spin { state = Atomic.make 0 }
+
+let create_blocking () =
+  Blocking
+    {
+      mutex = Mutex.create ();
+      can_read = Condition.create ();
+      can_write = Condition.create ();
+      balance = 0;
+      waiting_writers = 0;
+    }
+
+(* --- spinning variant --- *)
+
+let spin_read_lock s =
+  let backoff = Backoff.create () in
+  let rec loop () =
+    let prev = Atomic.fetch_and_add s.state reader_unit in
+    if prev land (writer_bit lor intent_bit) <> 0 then begin
+      (* A writer holds or wants the lock: back out and retry. *)
+      ignore (Atomic.fetch_and_add s.state (-reader_unit));
+      while Atomic.get s.state land (writer_bit lor intent_bit) <> 0 do
+        Backoff.once backoff
+      done;
+      loop ()
+    end
+  in
+  loop ()
+
+let spin_try_read_lock s =
+  let prev = Atomic.fetch_and_add s.state reader_unit in
+  if prev land (writer_bit lor intent_bit) <> 0 then begin
+    ignore (Atomic.fetch_and_add s.state (-reader_unit));
+    false
+  end
+  else true
+
+let spin_read_unlock s = ignore (Atomic.fetch_and_add s.state (-reader_unit))
+
+let spin_write_lock s =
+  let backoff = Backoff.create () in
+  (* Announce intent so readers drain, then swap intent for ownership. *)
+  let rec announce () =
+    let cur = Atomic.get s.state in
+    if cur land intent_bit <> 0 then begin
+      (* Another writer is already waiting; wait for a clean state. *)
+      Backoff.once backoff;
+      announce ()
+    end
+    else if not (Atomic.compare_and_set s.state cur (cur lor intent_bit)) then
+      announce ()
+  in
+  announce ();
+  Backoff.reset backoff;
+  let rec claim () =
+    let cur = Atomic.get s.state in
+    if cur = intent_bit then begin
+      if not (Atomic.compare_and_set s.state intent_bit writer_bit) then
+        claim ()
+    end
+    else begin
+      Backoff.once backoff;
+      claim ()
+    end
+  in
+  claim ()
+
+let spin_try_write_lock s = Atomic.compare_and_set s.state 0 writer_bit
+
+let spin_write_unlock s =
+  ignore (Atomic.fetch_and_add s.state (-writer_bit))
+
+(* --- blocking variant --- *)
+
+let blk_read_lock b =
+  Mutex.lock b.mutex;
+  while b.balance < 0 || b.waiting_writers > 0 do
+    Condition.wait b.can_read b.mutex
+  done;
+  b.balance <- b.balance + 1;
+  Mutex.unlock b.mutex
+
+let blk_try_read_lock b =
+  Mutex.lock b.mutex;
+  let ok = b.balance >= 0 && b.waiting_writers = 0 in
+  if ok then b.balance <- b.balance + 1;
+  Mutex.unlock b.mutex;
+  ok
+
+let blk_read_unlock b =
+  Mutex.lock b.mutex;
+  b.balance <- b.balance - 1;
+  if b.balance = 0 then Condition.signal b.can_write;
+  Mutex.unlock b.mutex
+
+let blk_write_lock b =
+  Mutex.lock b.mutex;
+  b.waiting_writers <- b.waiting_writers + 1;
+  while b.balance <> 0 do
+    Condition.wait b.can_write b.mutex
+  done;
+  b.waiting_writers <- b.waiting_writers - 1;
+  b.balance <- -1;
+  Mutex.unlock b.mutex
+
+let blk_try_write_lock b =
+  Mutex.lock b.mutex;
+  let ok = b.balance = 0 in
+  if ok then b.balance <- -1;
+  Mutex.unlock b.mutex;
+  ok
+
+let blk_write_unlock b =
+  Mutex.lock b.mutex;
+  b.balance <- 0;
+  Condition.signal b.can_write;
+  Condition.broadcast b.can_read;
+  Mutex.unlock b.mutex
+
+(* --- dispatch --- *)
+
+let read_lock = function
+  | Spin s -> spin_read_lock s
+  | Blocking b -> blk_read_lock b
+
+let read_unlock = function
+  | Spin s -> spin_read_unlock s
+  | Blocking b -> blk_read_unlock b
+
+let write_lock = function
+  | Spin s -> spin_write_lock s
+  | Blocking b -> blk_write_lock b
+
+let write_unlock = function
+  | Spin s -> spin_write_unlock s
+  | Blocking b -> blk_write_unlock b
+
+let try_read_lock = function
+  | Spin s -> spin_try_read_lock s
+  | Blocking b -> blk_try_read_lock b
+
+let try_write_lock = function
+  | Spin s -> spin_try_write_lock s
+  | Blocking b -> blk_try_write_lock b
+
+let readers = function
+  | Spin s -> Atomic.get s.state / reader_unit
+  | Blocking b -> if b.balance > 0 then b.balance else 0
+
+let with_read t f =
+  read_lock t;
+  match f () with
+  | v ->
+      read_unlock t;
+      v
+  | exception e ->
+      read_unlock t;
+      raise e
+
+let with_write t f =
+  write_lock t;
+  match f () with
+  | v ->
+      write_unlock t;
+      v
+  | exception e ->
+      write_unlock t;
+      raise e

@@ -1,0 +1,41 @@
+(** Reader-writer lock (the paper's baseline synchronization).
+
+    Two implementations are provided behind one interface:
+
+    - {!create} returns the *atomic-counter* variant: readers perform one
+      fetch-and-add to enter and one to leave — exactly the two shared
+      cache-line round trips the paper blames for rwlock's reader collapse.
+      Writers spin for exclusivity.
+    - {!create_blocking} returns a mutex + condition-variable variant that
+      blocks instead of spinning; useful when critical sections are long.
+
+    Writer preference: once a writer announces intent, new readers are held
+    back, preventing writer starvation. *)
+
+type t
+
+val create : unit -> t
+(** Spinning atomic-counter rwlock (the benchmark baseline). *)
+
+val create_blocking : unit -> t
+(** Mutex + condvar rwlock that parks threads instead of spinning. *)
+
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+val try_read_lock : t -> bool
+(** Single attempt to enter as reader. *)
+
+val try_write_lock : t -> bool
+(** Single attempt to enter as writer. *)
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Run a function holding the read lock, releasing on exception. *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** Run a function holding the write lock, releasing on exception. *)
+
+val readers : t -> int
+(** Snapshot of the active reader count (tests/stats only). *)

@@ -1,0 +1,26 @@
+type t = int Atomic.t
+
+let create () = Atomic.make 0
+let write_begin t = ignore (Atomic.fetch_and_add t 1)
+let write_end t = ignore (Atomic.fetch_and_add t 1)
+
+let read_begin t =
+  let backoff = Backoff.create () in
+  let rec loop () =
+    let seq = Atomic.get t in
+    if seq land 1 = 1 then begin
+      Backoff.once backoff;
+      loop ()
+    end
+    else seq
+  in
+  loop ()
+
+let read_validate t snap = Atomic.get t = snap
+
+let rec read t f =
+  let snap = read_begin t in
+  let v = f () in
+  if read_validate t snap then v else read t f
+
+let sequence t = Atomic.get t

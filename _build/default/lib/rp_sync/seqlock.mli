@@ -1,0 +1,31 @@
+(** Sequence lock.
+
+    Writers bump a sequence counter to odd on entry and even on exit; readers
+    snapshot the counter before and after reading and retry if it changed or
+    was odd. Used by the DDDS baseline to detect concurrent resizes. *)
+
+type t
+
+val create : unit -> t
+
+val write_begin : t -> unit
+(** Enter the write side (counter becomes odd). Writers must already be
+    mutually excluded by other means. *)
+
+val write_end : t -> unit
+(** Leave the write side (counter becomes even). *)
+
+val read_begin : t -> int
+(** Snapshot for a read attempt: spins until the counter is even and returns
+    it. *)
+
+val read_validate : t -> int -> bool
+(** [read_validate t snap] is [true] iff no write overlapped the read section
+    that began with [snap]. *)
+
+val read : t -> (unit -> 'a) -> 'a
+(** [read t f] runs [f] until a consistent (unconcurrent-with-write) run
+    succeeds, and returns its result. *)
+
+val sequence : t -> int
+(** Raw counter value (tests only). *)

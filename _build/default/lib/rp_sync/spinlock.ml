@@ -1,0 +1,27 @@
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+let try_acquire t = (not (Atomic.get t)) && Atomic.compare_and_set t false true
+
+let acquire t =
+  let backoff = Backoff.create () in
+  let rec loop () =
+    if not (try_acquire t) then begin
+      Backoff.once backoff;
+      loop ()
+    end
+  in
+  loop ()
+
+let release t = Atomic.set t false
+let is_locked t = Atomic.get t
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      release t;
+      raise e

@@ -1,0 +1,23 @@
+(** Test-and-test-and-set spinlock with exponential backoff.
+
+    Used where critical sections are tiny and blocking in the scheduler would
+    dominate. Not reentrant. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> unit
+(** Spin (with backoff) until the lock is obtained. *)
+
+val try_acquire : t -> bool
+(** Single attempt; [true] on success. *)
+
+val release : t -> unit
+(** Release the lock. The caller must hold it. *)
+
+val is_locked : t -> bool
+(** Observational snapshot, for tests and stats only. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** [with_lock t f] runs [f ()] holding the lock, releasing on exception. *)

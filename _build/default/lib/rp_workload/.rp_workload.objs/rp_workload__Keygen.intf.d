@@ -1,0 +1,1 @@
+lib/rp_workload/keygen.mli: Prng

@@ -1,0 +1,1 @@
+lib/rp_workload/opmix.mli:

@@ -1,0 +1,1 @@
+lib/rp_workload/prng.ml: Array Int64 Rp_hashes

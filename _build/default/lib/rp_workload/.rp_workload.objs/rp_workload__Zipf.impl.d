@@ -1,0 +1,1 @@
+lib/rp_workload/zipf.ml: Array Float Prng

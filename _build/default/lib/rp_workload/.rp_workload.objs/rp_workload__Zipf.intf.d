@@ -1,0 +1,1 @@
+lib/rp_workload/zipf.mli: Prng

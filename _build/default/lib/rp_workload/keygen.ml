@@ -1,0 +1,23 @@
+type dist = Uniform | Zipfian of float
+
+type sampler = U of int | Z of Zipf.t
+
+type t = { sampler : sampler; prng : Prng.t }
+
+let create ?(dist = Uniform) ~keyspace ~seed ~worker () =
+  if keyspace <= 0 then invalid_arg "Keygen.create: keyspace <= 0";
+  let prng = Prng.split (Prng.create ~seed) worker in
+  let sampler =
+    match dist with
+    | Uniform -> U keyspace
+    | Zipfian theta -> Z (Zipf.create ~theta ~n:keyspace ())
+  in
+  { sampler; prng }
+
+let next_key t =
+  match t.sampler with
+  | U keyspace -> Prng.below t.prng keyspace
+  | Z zipf -> Zipf.sample zipf t.prng
+
+let string_key k = Printf.sprintf "key:%010d" k
+let prng t = t.prng

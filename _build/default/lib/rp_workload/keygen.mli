@@ -1,0 +1,19 @@
+(** Key generation for benchmark workloads. *)
+
+type dist = Uniform | Zipfian of float  (** exponent *)
+
+type t
+
+val create : ?dist:dist -> keyspace:int -> seed:int -> worker:int -> unit -> t
+(** A per-worker key stream over [\[0, keyspace)] (default {!Uniform}). *)
+
+val next_key : t -> int
+(** Draw the next key. *)
+
+val string_key : int -> string
+(** Render an integer key in memcached style ("key:0000001234"); total
+    length 14 bytes, matching mc-benchmark's key format. *)
+
+val prng : t -> Prng.t
+(** The underlying PRNG (for drawing non-key randomness in the same
+    stream). *)

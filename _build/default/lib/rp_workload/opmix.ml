@@ -1,0 +1,18 @@
+type op = Lookup | Insert | Remove
+
+type t = { update_ratio : float; prng : Prng.t }
+
+let create ?(update_ratio = 0.0) ~seed ~worker () =
+  if update_ratio < 0.0 || update_ratio > 1.0 then
+    invalid_arg "Opmix.create: update_ratio outside [0, 1]";
+  { update_ratio; prng = Prng.split (Prng.create ~seed) (worker + 7919) }
+
+let next t =
+  if t.update_ratio = 0.0 then Lookup
+  else
+    let u = Prng.float t.prng in
+    if u >= t.update_ratio then Lookup
+    else if u < t.update_ratio /. 2.0 then Insert
+    else Remove
+
+let lookup_only t = t.update_ratio = 0.0

@@ -1,0 +1,18 @@
+(** Operation-mix generation: what fraction of operations read vs. update.
+
+    The paper's microbenchmarks are lookup-only with a dedicated resizer;
+    the memcached benchmark runs pure-GET and pure-SET phases. Mixed ratios
+    support the ablation benches. *)
+
+type op = Lookup | Insert | Remove
+
+type t
+
+val create : ?update_ratio:float -> seed:int -> worker:int -> unit -> t
+(** [update_ratio] in [\[0, 1\]] is the fraction of non-lookup operations,
+    split evenly between inserts and removes (default 0). *)
+
+val next : t -> op
+
+val lookup_only : t -> bool
+(** [true] when the mix can never produce an update. *)

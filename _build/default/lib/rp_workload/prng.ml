@@ -1,0 +1,27 @@
+type t = { mutable state : int }
+
+let golden = Int64.to_int 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Rp_hashes.Hashfn.splitmix64 seed }
+
+let split t i =
+  { state = Rp_hashes.Hashfn.combine t.state (Rp_hashes.Hashfn.of_int (i + 1)) }
+
+let next t =
+  t.state <- t.state + golden;
+  Rp_hashes.Hashfn.splitmix64 t.state
+
+let below t bound =
+  if bound <= 0 then invalid_arg "Prng.below: bound <= 0";
+  next t mod bound
+
+let float t = float_of_int (next t) /. float_of_int max_int
+let bool t = next t land 1 = 1
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,24 @@
+(** Deterministic per-worker pseudo-random numbers (SplitMix64).
+
+    Each benchmark worker owns a [t] seeded from (seed, worker index), so
+    runs are reproducible and workers never share mutable state. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> int -> t
+(** [split t i] derives an independent stream for worker [i]. *)
+
+val next : t -> int
+(** Next 63-bit non-negative value. *)
+
+val below : t -> int -> int
+(** Uniform in [\[0, bound)]. Raises [Invalid_argument] if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

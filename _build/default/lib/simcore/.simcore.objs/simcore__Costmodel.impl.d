@@ -1,0 +1,1 @@
+lib/simcore/costmodel.ml: List Machine Rp_harness

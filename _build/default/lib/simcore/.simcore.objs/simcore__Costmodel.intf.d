@@ -1,0 +1,1 @@
+lib/simcore/costmodel.mli: Rp_harness

@@ -1,0 +1,1 @@
+lib/simcore/predict.ml: Costmodel List Rp_harness

@@ -1,0 +1,1 @@
+lib/simcore/predict.mli: Rp_harness

@@ -1,0 +1,52 @@
+type profile = { name : string; lambda : float; sigma : float; kappa : float }
+
+let throughput p ~threads =
+  if threads < 1 then invalid_arg "Costmodel.throughput: threads < 1";
+  let n = float_of_int threads in
+  p.lambda *. n /. (1.0 +. (p.sigma *. (n -. 1.0)) +. (p.kappa *. n *. (n -. 1.0)))
+
+let series p ~threads =
+  Rp_harness.Series.make ~label:p.name
+    ~points:(List.map (fun n -> (n, throughput p ~threads:n)) threads)
+
+let with_lambda p lambda = { p with lambda }
+
+let m = Machine.default
+
+(* Read-path op times used for sigma derivations (ns). *)
+let rwlock_op_ns =
+  (* base work + 2 uncontended RMWs; contention costs enter via sigma/kappa *)
+  m.base_lookup_ns +. (2.0 *. m.local_rmw_ns)
+
+let rp_fixed ~lambda = { name = "rp"; lambda; sigma = 0.0; kappa = 0.0 }
+
+let rp_resizing ~lambda =
+  { name = "rp(resize)"; lambda; sigma = 0.0; kappa = 0.0003 }
+
+let ddds_fixed ~lambda = { name = "ddds"; lambda; sigma = 0.02; kappa = 0.0008 }
+
+let ddds_resizing ~lambda =
+  { name = "ddds(resize)"; lambda; sigma = 0.30; kappa = 0.012 }
+
+let rwlock ~lambda =
+  {
+    name = "rwlock";
+    lambda;
+    (* Both lock-word RMWs need exclusive ownership of the same line. *)
+    sigma = Machine.serial_fraction m ~shared_rmws_per_op:2 ~op_ns:rwlock_op_ns;
+    kappa = Machine.coherence_coefficient m ~invalidations_per_op:2.0 ~op_ns:rwlock_op_ns;
+  }
+
+(* memcached request ~ 2 us of protocol work around the table access; the
+   lock discipline serializes lookup + LRU bump (~15% of the request). *)
+let memcached_get_lock ~lambda =
+  { name = "default GET"; lambda; sigma = 0.45; kappa = 0.008 }
+
+let memcached_get_rp ~lambda =
+  { name = "RP GET"; lambda; sigma = 0.015; kappa = 0.0005 }
+
+let memcached_set_lock ~lambda =
+  { name = "default SET"; lambda; sigma = 0.85; kappa = 0.01 }
+
+let memcached_set_rp ~lambda =
+  { name = "RP SET"; lambda; sigma = 0.88; kappa = 0.012 }

@@ -1,0 +1,72 @@
+(** Analytical throughput model (Universal Scalability Law form).
+
+    Throughput at [n] threads:
+    {v X(n) = lambda * n / (1 + sigma*(n-1) + kappa*n*(n-1)) v}
+
+    - [lambda]: single-thread rate (ops/s). Calibrated against the {e real}
+      single-threaded measurement of each implementation on this host, so
+      absolute levels are grounded, not invented.
+    - [sigma]: serial fraction — time an op spends in work that only one
+      thread can do at once (lock word cache-line ownership, seqlock retry
+      windows). Derived from each algorithm's count of shared-line RMWs via
+      {!Machine.serial_fraction}.
+    - [kappa]: coherence coefficient — pairwise-growing cache traffic.
+
+    The derivations per algorithm live in {!profiles}; EXPERIMENTS.md
+    records the resulting curves next to the paper's. *)
+
+type profile = {
+  name : string;
+  lambda : float;  (** ops/s at one thread *)
+  sigma : float;
+  kappa : float;
+}
+
+val throughput : profile -> threads:int -> float
+
+val series : profile -> threads:int list -> Rp_harness.Series.t
+(** Curve in ops/s for the given thread counts. *)
+
+val with_lambda : profile -> float -> profile
+(** Replace the single-thread rate (calibration). *)
+
+(** {1 Algorithm profiles}
+
+    Each takes the calibrated single-thread rate [lambda] measured on the
+    real implementation. *)
+
+val rp_fixed : lambda:float -> profile
+(** RP lookups, no resize: no shared stores on the read path — sigma = 0,
+    kappa = 0 (readers touch only their own reader-slot line). *)
+
+val rp_resizing : lambda:float -> profile
+(** RP lookups under continuous resize: readers stay wait-free; they only
+    see transiently longer (zipped/linked) chains, folded into lambda by
+    calibration; residual kappa reflects churn-induced extra misses. *)
+
+val ddds_fixed : lambda:float -> profile
+(** DDDS lookups, no resize: generation check + second-table test cost sits
+    in lambda; tiny kappa for the shared generation word. *)
+
+val ddds_resizing : lambda:float -> profile
+(** DDDS under continuous resize: retries serialize readers against
+    migration steps — large sigma, visible kappa. *)
+
+val rwlock : lambda:float -> profile
+(** rwlock lookups: two RMWs on one shared cache line per lookup; the line
+    ping-pongs — sigma near saturation plus strong kappa, producing the
+    paper's reader collapse. *)
+
+val memcached_get_lock : lambda:float -> profile
+(** Stock memcached GET: global lock around lookup + LRU bump. *)
+
+val memcached_get_rp : lambda:float -> profile
+(** RP memcached GET fast path: wait-free lookup, value copied inside the
+    reader section. *)
+
+val memcached_set_lock : lambda:float -> profile
+(** Stock memcached SET: fully serialized store update. *)
+
+val memcached_set_rp : lambda:float -> profile
+(** RP memcached SET: same serialization plus publication/deferral
+    overhead — slightly below stock, as the paper reports. *)

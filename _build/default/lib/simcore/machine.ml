@@ -1,0 +1,17 @@
+type t = {
+  cacheline_transfer_ns : float;
+  local_rmw_ns : float;
+  base_lookup_ns : float;
+}
+
+let default =
+  { cacheline_transfer_ns = 60.0; local_rmw_ns = 10.0; base_lookup_ns = 80.0 }
+
+let serial_fraction t ~shared_rmws_per_op ~op_ns =
+  if op_ns <= 0.0 then invalid_arg "Machine.serial_fraction: op_ns <= 0";
+  Float.min 1.0
+    (float_of_int shared_rmws_per_op *. t.cacheline_transfer_ns /. op_ns)
+
+let coherence_coefficient t ~invalidations_per_op ~op_ns =
+  if op_ns <= 0.0 then invalid_arg "Machine.coherence_coefficient: op_ns <= 0";
+  invalidations_per_op *. t.cacheline_transfer_ns /. op_ns /. 100.0

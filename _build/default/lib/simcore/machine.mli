@@ -1,0 +1,27 @@
+(** Multicore machine cost constants and derivation helpers.
+
+    This container exposes a single core, so the paper's 1–16-thread scaling
+    curves cannot be observed directly. [Simcore] substitutes an analytical
+    model of a 16-way cache-coherent machine. The constants below are
+    textbook orders of magnitude for a mid-2000s–2010s x86 SMP (the paper's
+    testbed class); the model's {e shape} conclusions are insensitive to
+    their exact values because they enter as ratios. *)
+
+type t = {
+  cacheline_transfer_ns : float;
+      (** cost of moving a cache line between cores (invalidate + fetch) *)
+  local_rmw_ns : float;  (** atomic RMW on an already-owned line *)
+  base_lookup_ns : float;
+      (** hash + bucket fetch + short chain walk, everything cached *)
+}
+
+val default : t
+(** 60 ns line transfer, 10 ns owned-line RMW, 80 ns base lookup. *)
+
+val serial_fraction : t -> shared_rmws_per_op:int -> op_ns:float -> float
+(** Fraction of an operation spent in inherently serialized cache-line
+    ownership transfers: [shared_rmws_per_op * cacheline_transfer_ns /
+    op_ns], capped at 1. This is the USL sigma for lock-based readers. *)
+
+val coherence_coefficient : t -> invalidations_per_op:float -> op_ns:float -> float
+(** USL kappa: pairwise-growing coherence traffic per op. *)

@@ -1,0 +1,59 @@
+let default_threads = [ 1; 2; 4; 8; 16 ]
+let mc_processes = List.init 12 (fun i -> i + 1)
+
+let curves threads profiles =
+  List.map (fun p -> Costmodel.series p ~threads) profiles
+
+let relabel label (s : Rp_harness.Series.t) = { s with label }
+
+let fig1 ?(threads = default_threads) ?lambda_rp_memb ~lambda_rp ~lambda_ddds
+    ~lambda_rwlock () =
+  let memb_curve =
+    match lambda_rp_memb with
+    | None -> []
+    | Some lambda ->
+        (* memb readers store only to their own reader slot: linear scaling
+           like RP proper, at the flavour's lower single-thread rate. *)
+        [ relabel "rp-memb" (Costmodel.series (Costmodel.rp_fixed ~lambda) ~threads) ]
+  in
+  curves threads
+    [
+      Costmodel.rp_fixed ~lambda:lambda_rp;
+      Costmodel.ddds_fixed ~lambda:lambda_ddds;
+      Costmodel.rwlock ~lambda:lambda_rwlock;
+    ]
+  @ memb_curve
+
+let fig2 ?(threads = default_threads) ~lambda_rp ~lambda_ddds () =
+  curves threads
+    [
+      Costmodel.rp_resizing ~lambda:lambda_rp;
+      Costmodel.ddds_resizing ~lambda:lambda_ddds;
+    ]
+
+let fig3 ?(threads = default_threads) ~lambda_8k ~lambda_16k ~lambda_resize () =
+  [
+    relabel "8k" (Costmodel.series (Costmodel.rp_fixed ~lambda:lambda_8k) ~threads);
+    relabel "16k" (Costmodel.series (Costmodel.rp_fixed ~lambda:lambda_16k) ~threads);
+    relabel "resize"
+      (Costmodel.series (Costmodel.rp_resizing ~lambda:lambda_resize) ~threads);
+  ]
+
+let fig4 ?(threads = default_threads) ~lambda_8k ~lambda_16k ~lambda_resize () =
+  [
+    relabel "8k" (Costmodel.series (Costmodel.ddds_fixed ~lambda:lambda_8k) ~threads);
+    relabel "16k"
+      (Costmodel.series (Costmodel.ddds_fixed ~lambda:lambda_16k) ~threads);
+    relabel "resize"
+      (Costmodel.series (Costmodel.ddds_resizing ~lambda:lambda_resize) ~threads);
+  ]
+
+let fig5 ?(processes = mc_processes) ~lambda_get_rp ~lambda_get_lock
+    ~lambda_set_lock ~lambda_set_rp () =
+  curves processes
+    [
+      Costmodel.memcached_get_rp ~lambda:lambda_get_rp;
+      Costmodel.memcached_get_lock ~lambda:lambda_get_lock;
+      Costmodel.memcached_set_lock ~lambda:lambda_set_lock;
+      Costmodel.memcached_set_rp ~lambda:lambda_set_rp;
+    ]

@@ -1,0 +1,55 @@
+(** Predicted multi-thread curves for each paper figure, given single-thread
+    rates calibrated on the real implementations. *)
+
+val default_threads : int list
+(** The paper's x axis: 1, 2, 4, 8, 16. *)
+
+val mc_processes : int list
+(** The memcached figure's x axis: 1 .. 12. *)
+
+val fig1 :
+  ?threads:int list ->
+  ?lambda_rp_memb:float ->
+  lambda_rp:float ->
+  lambda_ddds:float ->
+  lambda_rwlock:float ->
+  unit ->
+  Rp_harness.Series.t list
+(** Fixed-size baseline: RP vs DDDS vs rwlock; optionally also the
+    memb-flavoured RP curve (paper's RP = kernel RCU = the QSBR-like one). *)
+
+val fig2 :
+  ?threads:int list ->
+  lambda_rp:float ->
+  lambda_ddds:float ->
+  unit ->
+  Rp_harness.Series.t list
+(** Continuous resizing: RP vs DDDS. *)
+
+val fig3 :
+  ?threads:int list ->
+  lambda_8k:float ->
+  lambda_16k:float ->
+  lambda_resize:float ->
+  unit ->
+  Rp_harness.Series.t list
+(** RP: fixed 8k vs fixed 16k vs continuous resize. *)
+
+val fig4 :
+  ?threads:int list ->
+  lambda_8k:float ->
+  lambda_16k:float ->
+  lambda_resize:float ->
+  unit ->
+  Rp_harness.Series.t list
+(** DDDS: fixed 8k vs fixed 16k vs continuous resize. *)
+
+val fig5 :
+  ?processes:int list ->
+  lambda_get_rp:float ->
+  lambda_get_lock:float ->
+  lambda_set_lock:float ->
+  lambda_set_rp:float ->
+  unit ->
+  Rp_harness.Series.t list
+(** memcached: RP GET, default GET, default SET, RP SET. *)

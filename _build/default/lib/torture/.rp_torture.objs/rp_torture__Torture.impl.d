@@ -1,0 +1,1 @@
+lib/torture/torture.ml: Array Atomic Format Int Rp_baseline Rp_harness Rp_hashes Rp_workload Unix

@@ -1,0 +1,1 @@
+lib/torture/torture.mli: Format

@@ -1,0 +1,175 @@
+type config = {
+  table : string;
+  duration : float;
+  readers : int;
+  writers : int;
+  resizers : int;
+  resident_keys : int;
+  churn_keys : int;
+  small_size : int;
+  large_size : int;
+  fault_injection : bool;
+  seed : int;
+}
+
+let default_config =
+  {
+    table = "rp";
+    duration = 0.5;
+    readers = 2;
+    writers = 1;
+    resizers = 1;
+    resident_keys = 1024;
+    churn_keys = 512;
+    small_size = 128;
+    large_size = 4096;
+    fault_injection = false;
+    seed = 1;
+  }
+
+let table_names = [ "rp"; "rp-qsbr"; "rp-fixed"; "ddds"; "rwlock"; "lock"; "xu" ]
+
+let table_of_name = function
+  | "rp" -> (module Rp_baseline.Rp_table.Resizable : Rp_baseline.Table_intf.TABLE)
+  | "rp-qsbr" -> (module Rp_baseline.Rp_table.Qsbr)
+  | "rp-fixed" -> (module Rp_baseline.Rp_table.Fixed)
+  | "ddds" -> (module Rp_baseline.Ddds_ht)
+  | "rwlock" -> (module Rp_baseline.Rwlock_ht)
+  | "lock" -> (module Rp_baseline.Lock_ht)
+  | "xu" -> (module Rp_baseline.Xu_ht)
+  | name -> invalid_arg ("Torture.run: unknown table " ^ name)
+
+type report = {
+  reader_checks : int;
+  missing_resident : int;
+  wrong_value : int;
+  writer_ops : int;
+  resize_flips : int;
+  elapsed : float;
+}
+
+let violations r = r.missing_resident + r.wrong_value
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>reader checks:     %d@,missing residents: %d@,wrong values:      %d@,\
+     writer ops:        %d@,resize flips:      %d@,elapsed:           %.2f s@,\
+     verdict:           %s@]"
+    r.reader_checks r.missing_resident r.wrong_value r.writer_ops
+    r.resize_flips r.elapsed
+    (if violations r = 0 then "PASS" else "FAIL")
+
+(* Resident values are key*3+1; churn values are key*5+2: a wrong pairing is
+   detectable from the value alone. *)
+let resident_value k = (k * 3) + 1
+let churn_value k = (k * 5) + 2
+
+let validate_config config =
+  if config.duration <= 0.0 then invalid_arg "Torture.run: duration <= 0";
+  if config.readers < 1 then invalid_arg "Torture.run: readers < 1";
+  if config.writers < 0 || config.resizers < 0 then
+    invalid_arg "Torture.run: negative worker count";
+  if config.resident_keys < 1 then invalid_arg "Torture.run: no resident keys";
+  if config.table = "rp-fixed" && config.resizers > 0 then
+    invalid_arg "Torture.run: rp-fixed cannot host resizers";
+  ignore (table_of_name config.table)
+
+let run config =
+  validate_config config;
+  let (module T : Rp_baseline.Table_intf.TABLE) = table_of_name config.table in
+  let t =
+    T.create ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal
+      ~size:config.small_size ()
+  in
+  for k = 0 to config.resident_keys - 1 do
+    T.insert t k (resident_value k)
+  done;
+  let missing = Atomic.make 0 in
+  let wrong = Atomic.make 0 in
+  let flips = Atomic.make 0 in
+  let churn_base = config.resident_keys in
+
+  let maybe_fault prng =
+    if config.fault_injection && Rp_workload.Prng.below prng 64 = 0 then
+      Unix.sleepf (float_of_int (Rp_workload.Prng.below prng 1000) *. 1e-6)
+  in
+
+  (* Oracle reader: resident keys must always be present and correct; churn
+     keys may miss but must never carry a foreign value. *)
+  let reader index ~stop =
+    let prng = Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:config.seed) index in
+    let checks = ref 0 in
+    while not (Atomic.get stop) do
+      let resident = Rp_workload.Prng.below prng 4 > 0 in
+      if resident then begin
+        let k = Rp_workload.Prng.below prng config.resident_keys in
+        match T.find t k with
+        | Some v when v = resident_value k -> ()
+        | Some _ -> Atomic.incr wrong
+        | None -> Atomic.incr missing
+      end
+      else if config.churn_keys > 0 then begin
+        let k = churn_base + Rp_workload.Prng.below prng config.churn_keys in
+        match T.find t k with
+        | Some v when v = churn_value k -> ()
+        | Some _ -> Atomic.incr wrong
+        | None -> () (* legitimately absent *)
+      end;
+      incr checks
+    done;
+    T.reader_exit t;
+    !checks
+  in
+
+  let writer index ~stop =
+    let prng =
+      Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:(config.seed + 7)) index
+    in
+    let ops = ref 0 in
+    while (not (Atomic.get stop)) && config.churn_keys > 0 do
+      let k = churn_base + Rp_workload.Prng.below prng config.churn_keys in
+      if Rp_workload.Prng.bool prng then T.insert t k (churn_value k)
+      else ignore (T.remove t k);
+      maybe_fault prng;
+      incr ops
+    done;
+    !ops
+  in
+
+  let resizer index ~stop =
+    let prng =
+      Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:(config.seed + 13)) index
+    in
+    while not (Atomic.get stop) do
+      T.resize t config.large_size;
+      T.resize t config.small_size;
+      ignore (Atomic.fetch_and_add flips 2);
+      maybe_fault prng
+    done;
+    0
+  in
+
+  let workers =
+    Array.concat
+      [
+        Array.init config.readers (fun i ~stop -> reader i ~stop);
+        Array.init config.writers (fun i ~stop -> writer i ~stop);
+        Array.init config.resizers (fun i ~stop -> resizer i ~stop);
+      ]
+  in
+  let outcome = Rp_harness.Runner.run ~duration:config.duration ~workers () in
+  let reader_checks =
+    Array.fold_left ( + ) 0 (Array.sub outcome.per_worker_ops 0 config.readers)
+  in
+  let writer_ops =
+    Array.fold_left ( + ) 0
+      (Array.sub outcome.per_worker_ops config.readers config.writers)
+  in
+  {
+    reader_checks;
+    missing_resident = Atomic.get missing;
+    wrong_value = Atomic.get wrong;
+    writer_ops;
+    resize_flips = Atomic.get flips;
+    elapsed = outcome.elapsed;
+  }

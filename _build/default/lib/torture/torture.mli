@@ -1,0 +1,50 @@
+(** rcutorture-style stress harness for the hash-table implementations.
+
+    The oracle is the paper's consistency guarantee: a set of {e resident}
+    keys is inserted before the run and never touched again, so every lookup
+    of a resident key must succeed with the right value at every instant —
+    while writer domains churn a disjoint key range, resizer domains flip
+    the table between its size bounds, and (optionally) a fault injector
+    adds random stalls to stretch grace periods and shift interleavings.
+
+    A churn-range oracle also runs: values are derived from keys, so a
+    lookup that returns a {e wrong} value (as opposed to a miss, which is
+    legitimate for churned keys) is a violation. *)
+
+type config = {
+  table : string;  (** implementation under test; see {!table_names} *)
+  duration : float;  (** seconds *)
+  readers : int;
+  writers : int;
+  resizers : int;
+  resident_keys : int;
+  churn_keys : int;
+  small_size : int;  (** resizers flip between these bucket counts *)
+  large_size : int;
+  fault_injection : bool;
+      (** writers/resizers sleep at random points (1 in 64 ops, <=1 ms) *)
+  seed : int;
+}
+
+val default_config : config
+(** rp table, 0.5 s, 2 readers / 1 writer / 1 resizer, 1024 resident keys. *)
+
+val table_names : string list
+(** Valid values for [config.table]: "rp", "rp-qsbr", "rp-fixed" (no
+    resizers), "ddds", "rwlock", "lock", "xu". *)
+
+type report = {
+  reader_checks : int;  (** lookups performed by the oracle readers *)
+  missing_resident : int;  (** resident key not found — a violation *)
+  wrong_value : int;  (** any key bound to a wrong value — a violation *)
+  writer_ops : int;
+  resize_flips : int;
+  elapsed : float;
+}
+
+val violations : report -> int
+val pp_report : Format.formatter -> report -> unit
+
+val run : config -> report
+(** Raises [Invalid_argument] on an unknown table name or a non-positive
+    worker/duration configuration. *)

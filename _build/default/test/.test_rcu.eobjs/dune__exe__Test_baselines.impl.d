@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Atomic Domain Fun Gen Hashtbl Int List Printf QCheck QCheck_alcotest Rp_baseline Rp_hashes String Test

@@ -1,0 +1,1 @@
+test/test_binary.ml: Alcotest Binary_client Binary_protocol Binary_server Client Filename Gen List Memcached Option Printf QCheck QCheck_alcotest Server Store String Unix

@@ -1,0 +1,1 @@
+test/test_concurrent.ml: Alcotest Atomic Domain Fun Int List Memcached Option Printf Rcu Rp_baseline Rp_hashes Rp_ht Rp_workload String Unix

@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Float List Memcached Rp_baseline Rp_figures Rp_harness Rp_workload String

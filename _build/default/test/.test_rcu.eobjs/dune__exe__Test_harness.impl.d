@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Atomic Domain Filename List Rp_harness String Sys Unix

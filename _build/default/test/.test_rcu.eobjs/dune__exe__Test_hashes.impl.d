@@ -1,0 +1,1 @@
+test/test_hashes.ml: Alcotest Array Bytes List Printf QCheck QCheck_alcotest Rp_hashes String

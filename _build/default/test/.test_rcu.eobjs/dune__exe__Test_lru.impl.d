@@ -1,0 +1,1 @@
+test/test_lru.ml: Alcotest Atomic Gen Hashtbl Item List Lru Memcached QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Gen List Memcached Protocol QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_qsbr.ml: Alcotest Atomic Domain Flavour Int List Rcu Rcu_qsbr Rp_hashes Rp_ht Rp_workload Unix

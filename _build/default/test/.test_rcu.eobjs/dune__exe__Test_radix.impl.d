@@ -1,0 +1,1 @@
+test/test_radix.ml: Alcotest Atomic Domain Flavour Gen Hashtbl List QCheck QCheck_alcotest Rcu_qsbr Rp_radix Rp_workload

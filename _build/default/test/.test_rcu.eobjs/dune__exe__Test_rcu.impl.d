@@ -1,0 +1,1 @@
+test/test_rcu.ml: Alcotest Atomic Domain Format QCheck QCheck_alcotest Rcu String Unix

@@ -1,0 +1,1 @@
+test/test_rp_ht.ml: Alcotest Array Fun Gen Hashtbl Int List Printf QCheck QCheck_alcotest Rcu Rp_hashes Rp_ht String

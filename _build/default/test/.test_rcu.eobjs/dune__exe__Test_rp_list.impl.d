@@ -1,0 +1,1 @@
+test/test_rp_list.ml: Alcotest Atomic Domain Fun Int List Printf QCheck QCheck_alcotest Rcu Rp_list String

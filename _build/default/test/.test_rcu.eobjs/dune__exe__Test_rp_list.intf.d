@@ -1,0 +1,1 @@
+test/test_rp_list.mli:

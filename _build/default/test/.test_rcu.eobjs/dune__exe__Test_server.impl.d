@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Bytes Char Client Filename List Memcached Option Printf Protocol Server Store String Unix

@@ -1,0 +1,1 @@
+test/test_simcore.ml: Alcotest Float List Option QCheck QCheck_alcotest Rp_harness Simcore

@@ -1,0 +1,1 @@
+test/test_slab.ml: Alcotest Array Binary_protocol Binary_server Gen List Memcached Option Protocol QCheck QCheck_alcotest Server Slab Store String

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Gen Hashtbl Item List Memcached Option Printf Protocol QCheck QCheck_alcotest Slab Store String

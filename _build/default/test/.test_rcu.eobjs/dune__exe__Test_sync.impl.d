@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Atomic Domain Gen List QCheck QCheck_alcotest Rp_sync

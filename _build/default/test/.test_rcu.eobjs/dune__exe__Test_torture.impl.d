@@ -1,0 +1,1 @@
+test/test_torture.ml: Alcotest Format Rp_torture String

@@ -1,0 +1,1 @@
+test/test_unzip.ml: Alcotest Atomic Gen Int List Printf QCheck QCheck_alcotest Rp_hashes Rp_ht Rp_list String Unzip

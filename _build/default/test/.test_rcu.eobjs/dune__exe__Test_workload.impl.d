@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun Printf QCheck QCheck_alcotest Rp_workload String

@@ -1,0 +1,247 @@
+(* Cross-module concurrency torture tests (rcutorture-flavoured).
+
+   These run real domains and verify the paper's consistency guarantee under
+   adversarial interleavings: resident keys must be visible to every lookup
+   at every moment, across resizes and writer churn, on every table
+   implementation. *)
+
+let duration = 0.4
+
+(* Generic torture: [threads] readers verify resident keys while a resizer
+   flips sizes and a writer churns a disjoint key range. *)
+let torture (module T : Rp_baseline.Table_intf.TABLE) ~with_resize () =
+  let resident = 512 in
+  let t = T.create ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ~size:256 () in
+  for i = 0 to resident - 1 do
+    T.insert t i (i * 3)
+  done;
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let reader seed =
+    Domain.spawn (fun () ->
+        let prng = Rp_workload.Prng.create ~seed in
+        let checks = ref 0 in
+        while not (Atomic.get stop) do
+          let k = Rp_workload.Prng.below prng resident in
+          (match T.find t k with
+          | Some v when v = k * 3 -> ()
+          | Some _ | None -> Atomic.incr violations);
+          incr checks
+        done;
+        T.reader_exit t;
+        !checks)
+  in
+  let writer =
+    Domain.spawn (fun () ->
+        let prng = Rp_workload.Prng.create ~seed:99 in
+        while not (Atomic.get stop) do
+          let k = resident + Rp_workload.Prng.below prng 256 in
+          if Rp_workload.Prng.bool prng then T.insert t k k
+          else ignore (T.remove t k)
+        done)
+  in
+  let resizer =
+    if with_resize then
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get stop) do
+               T.resize t 2048;
+               T.resize t 128
+             done))
+    else None
+  in
+  let readers = List.init 2 (fun i -> reader (i + 1)) in
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  let checks = List.fold_left (fun acc d -> acc + Domain.join d) 0 readers in
+  Domain.join writer;
+  Option.iter Domain.join resizer;
+  Alcotest.(check int) "no lookup violations" 0 (Atomic.get violations);
+  Alcotest.(check bool) "made progress" true (checks > 0)
+
+let rp_table = (module Rp_baseline.Rp_table.Resizable : Rp_baseline.Table_intf.TABLE)
+let qsbr_table = (module Rp_baseline.Rp_table.Qsbr : Rp_baseline.Table_intf.TABLE)
+let ddds_table = (module Rp_baseline.Ddds_ht : Rp_baseline.Table_intf.TABLE)
+let rwlock_table = (module Rp_baseline.Rwlock_ht : Rp_baseline.Table_intf.TABLE)
+let lock_table = (module Rp_baseline.Lock_ht : Rp_baseline.Table_intf.TABLE)
+let xu_table = (module Rp_baseline.Xu_ht : Rp_baseline.Table_intf.TABLE)
+
+(* RP-specific: whole-table invariant must hold after the dust settles. *)
+let test_rp_invariants_after_torture () =
+  let t =
+    Rp_ht.create ~initial_size:128 ~auto_resize:false
+      ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
+  in
+  for i = 0 to 511 do
+    Rp_ht.insert t i i
+  done;
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let prng = Rp_workload.Prng.create ~seed:5 in
+        while not (Atomic.get stop) do
+          let k = 1000 + Rp_workload.Prng.below prng 500 in
+          if Rp_workload.Prng.bool prng then Rp_ht.insert t k k
+          else ignore (Rp_ht.remove t k)
+        done)
+  in
+  let resizer =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Rp_ht.resize t 4096;
+          Rp_ht.resize t 64
+        done)
+  in
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  Domain.join writer;
+  Domain.join resizer;
+  Rcu.barrier (Rp_ht.rcu t);
+  (match Rp_ht.validate t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "post-torture invariant: %s" msg);
+  let stats = Rp_ht.resize_stats t in
+  Alcotest.(check bool) "resizes happened" true (stats.expands > 0 && stats.shrinks > 0)
+
+(* The atomic-move guarantee: a reader looking for "the entry" under either
+   key must never find both absent. *)
+let test_move_never_neither () =
+  let t =
+    Rp_ht.create ~initial_size:64 ~auto_resize:false ~hash:Rp_hashes.Hashfn.of_int
+      ~equal:Int.equal ()
+  in
+  let key_a = 1 and key_b = 2 in
+  Rp_ht.insert t key_a "payload";
+  let stop = Atomic.make false in
+  let neither = Atomic.make 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          (* Check B first, then A: a mover going A->B could be missed by
+             checking A first, B later only if the move were non-atomic in
+             the never-neither sense. Check both orders. *)
+          let b_then_a = Rp_ht.find t key_b = None && Rp_ht.find t key_a = None in
+          let a_then_b = Rp_ht.find t key_a = None && Rp_ht.find t key_b = None in
+          if a_then_b || b_then_a then Atomic.incr neither
+        done)
+  in
+  for _ = 1 to 2000 do
+    ignore (Rp_ht.move t ~from_key:key_a ~to_key:key_b Fun.id);
+    ignore (Rp_ht.move t ~from_key:key_b ~to_key:key_a Fun.id)
+  done;
+  Atomic.set stop true;
+  Domain.join reader;
+  Alcotest.(check int) "never both absent" 0 (Atomic.get neither)
+
+(* Value updates via replace must be atomic: readers see old or new, never
+   an interleaving. *)
+let test_replace_is_atomic () =
+  let t =
+    Rp_ht.create ~initial_size:16 ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
+  in
+  Rp_ht.insert t 1 (0, 0);
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          match Rp_ht.find t 1 with
+          | Some (a, b) -> if b <> a * 7 then Atomic.incr torn
+          | None -> Atomic.incr torn
+        done)
+  in
+  for i = 1 to 50_000 do
+    Rp_ht.replace t 1 (i, i * 7)
+  done;
+  Atomic.set stop true;
+  Domain.join reader;
+  Alcotest.(check int) "no torn values" 0 (Atomic.get torn)
+
+(* Store-level concurrency: GETs across domains while SETs and deletes run;
+   hits must return intact values. *)
+let store_torture backend () =
+  let store =
+    Memcached.Store.create ~backend ~initial_size:256 ~auto_resize:true ()
+  in
+  let keyspace = 512 in
+  for i = 0 to keyspace - 1 do
+    ignore
+      (Memcached.Store.set store
+         ~key:(Rp_workload.Keygen.string_key i)
+         ~flags:i ~exptime:0
+         ~data:(Printf.sprintf "value-%d" i))
+  done;
+  let stop = Atomic.make false in
+  let corrupt = Atomic.make 0 in
+  let reader seed =
+    Domain.spawn (fun () ->
+        let prng = Rp_workload.Prng.create ~seed in
+        while not (Atomic.get stop) do
+          let i = Rp_workload.Prng.below prng keyspace in
+          match Memcached.Store.get store (Rp_workload.Keygen.string_key i) with
+          | Some v ->
+              (* Flags and data travel together; a mismatch is a torn read. *)
+              let expected_prefix = "value-" in
+              if
+                String.length v.vdata < String.length expected_prefix
+                || String.sub v.vdata 0 (String.length expected_prefix)
+                   <> expected_prefix
+              then Atomic.incr corrupt
+          | None -> () (* deleted by the churn writer: legitimate miss *)
+        done)
+  in
+  let writer =
+    Domain.spawn (fun () ->
+        let prng = Rp_workload.Prng.create ~seed:31 in
+        while not (Atomic.get stop) do
+          let i = Rp_workload.Prng.below prng keyspace in
+          let key = Rp_workload.Keygen.string_key i in
+          if Rp_workload.Prng.below prng 10 = 0 then
+            ignore (Memcached.Store.delete store key)
+          else
+            ignore
+              (Memcached.Store.set store ~key ~flags:i ~exptime:0
+                 ~data:(Printf.sprintf "value-%d!" i))
+        done)
+  in
+  let readers = List.init 2 (fun i -> reader (50 + i)) in
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  Domain.join writer;
+  Alcotest.(check int) "no corrupt values" 0 (Atomic.get corrupt)
+
+let () =
+  Alcotest.run "concurrent"
+    [
+      ( "table torture (fixed size)",
+        [
+          Alcotest.test_case "rp" `Slow (torture rp_table ~with_resize:false);
+          Alcotest.test_case "rp-qsbr" `Slow (torture qsbr_table ~with_resize:false);
+          Alcotest.test_case "ddds" `Slow (torture ddds_table ~with_resize:false);
+          Alcotest.test_case "rwlock" `Slow (torture rwlock_table ~with_resize:false);
+          Alcotest.test_case "lock" `Slow (torture lock_table ~with_resize:false);
+          Alcotest.test_case "xu" `Slow (torture xu_table ~with_resize:false);
+        ] );
+      ( "table torture (continuous resize)",
+        [
+          Alcotest.test_case "rp" `Slow (torture rp_table ~with_resize:true);
+          Alcotest.test_case "rp-qsbr" `Slow (torture qsbr_table ~with_resize:true);
+          Alcotest.test_case "ddds" `Slow (torture ddds_table ~with_resize:true);
+          Alcotest.test_case "xu" `Slow (torture xu_table ~with_resize:true);
+        ] );
+      ( "rp specifics",
+        [
+          Alcotest.test_case "invariants after torture" `Slow
+            test_rp_invariants_after_torture;
+          Alcotest.test_case "move never leaves neither key" `Slow
+            test_move_never_neither;
+          Alcotest.test_case "replace is atomic" `Slow test_replace_is_atomic;
+        ] );
+      ( "memcached store",
+        [
+          Alcotest.test_case "rp backend" `Slow (store_torture Memcached.Store.Rp);
+          Alcotest.test_case "lock backend" `Slow
+            (store_torture Memcached.Store.Lock);
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* Exact-LRU list and cache items. *)
+
+open Memcached
+
+let test_lru_order () =
+  let l = Lru.create () in
+  let a = Lru.push_front l "a" in
+  let _b = Lru.push_front l "b" in
+  let _c = Lru.push_front l "c" in
+  Alcotest.(check (list string)) "MRU first" [ "c"; "b"; "a" ] (Lru.to_list l);
+  Alcotest.(check int) "length" 3 (Lru.length l);
+  Lru.touch l a;
+  Alcotest.(check (list string)) "touch moves to front" [ "a"; "c"; "b" ]
+    (Lru.to_list l);
+  Alcotest.(check (option string)) "peek back" (Some "b") (Lru.peek_back l)
+
+let test_lru_pop_back () =
+  let l = Lru.create () in
+  ignore (Lru.push_front l 1);
+  ignore (Lru.push_front l 2);
+  Alcotest.(check (option int)) "LRU evicted first" (Some 1) (Lru.pop_back l);
+  Alcotest.(check (option int)) "then next" (Some 2) (Lru.pop_back l);
+  Alcotest.(check (option int)) "then empty" None (Lru.pop_back l);
+  Alcotest.(check int) "empty length" 0 (Lru.length l)
+
+let test_lru_remove_idempotent () =
+  let l = Lru.create () in
+  let a = Lru.push_front l "a" in
+  let b = Lru.push_front l "b" in
+  Lru.remove l a;
+  Lru.remove l a;
+  Alcotest.(check (list string)) "a removed once" [ "b" ] (Lru.to_list l);
+  Alcotest.(check int) "length consistent" 1 (Lru.length l);
+  (* Touch after remove must not resurrect. *)
+  Lru.touch l a;
+  Alcotest.(check (list string)) "no resurrection" [ "b" ] (Lru.to_list l);
+  Alcotest.(check string) "key accessor" "b" (Lru.key b)
+
+let test_lru_remove_middle () =
+  let l = Lru.create () in
+  ignore (Lru.push_front l 1);
+  let mid = Lru.push_front l 2 in
+  ignore (Lru.push_front l 3);
+  Lru.remove l mid;
+  Alcotest.(check (list int)) "middle gone" [ 3; 1 ] (Lru.to_list l)
+
+(* Model-based: LRU list vs a reference implemented on plain lists. *)
+let prop_lru_model =
+  QCheck.Test.make ~name:"lru matches list model" ~count:200
+    QCheck.(list_of_size Gen.(int_bound 60) (pair (int_bound 2) (int_bound 9)))
+    (fun ops ->
+      let l = Lru.create () in
+      let handles = Hashtbl.create 16 in
+      let model = ref [] in
+      List.iter
+        (fun (kind, k) ->
+          match kind with
+          | 0 ->
+              (* push_front (fresh key only, as the store guarantees) *)
+              if not (Hashtbl.mem handles k) then begin
+                Hashtbl.replace handles k (Lru.push_front l k);
+                model := k :: !model
+              end
+          | 1 -> (
+              match Hashtbl.find_opt handles k with
+              | Some node ->
+                  Lru.touch l node;
+                  if List.mem k !model then
+                    model := k :: List.filter (fun x -> x <> k) !model
+              | None -> ())
+          | _ -> (
+              match Hashtbl.find_opt handles k with
+              | Some node ->
+                  Lru.remove l node;
+                  Hashtbl.remove handles k;
+                  model := List.filter (fun x -> x <> k) !model
+              | None -> ()))
+        ops;
+      Lru.to_list l = !model && Lru.length l = List.length !model)
+
+let test_item_expiry () =
+  let item = Item.make ~flags:0 ~exptime:100.0 ~data:"x" ~now:50.0 () in
+  Alcotest.(check bool) "before expiry" false (Item.is_expired item ~now:99.9);
+  Alcotest.(check bool) "at expiry" true (Item.is_expired item ~now:100.0);
+  Alcotest.(check bool) "after expiry" true (Item.is_expired item ~now:200.0);
+  let eternal = Item.make ~flags:0 ~exptime:0.0 ~data:"x" ~now:50.0 () in
+  Alcotest.(check bool) "exptime 0 never expires" false
+    (Item.is_expired eternal ~now:1e12)
+
+let test_item_cas_unique () =
+  let a = Item.make ~flags:0 ~exptime:0.0 ~data:"x" ~now:0.0 () in
+  let b = Item.make ~flags:0 ~exptime:0.0 ~data:"x" ~now:0.0 () in
+  Alcotest.(check bool) "fresh items get distinct cas" true (a.cas <> b.cas);
+  let pinned = Item.make ~cas:a.cas ~flags:0 ~exptime:0.0 ~data:"y" ~now:0.0 () in
+  Alcotest.(check int) "cas pinnable" a.cas pinned.cas
+
+let test_item_touch_access () =
+  let item = Item.make ~flags:0 ~exptime:0.0 ~data:"x" ~now:1.0 () in
+  Alcotest.(check (float 1e-9)) "initial access" 1.0 (Atomic.get item.last_access);
+  Item.touch_access item ~now:9.0;
+  Alcotest.(check (float 1e-9)) "bumped" 9.0 (Atomic.get item.last_access)
+
+let test_item_size_accounting () =
+  let item = Item.make ~flags:0 ~exptime:0.0 ~data:"abcd" ~now:0.0 () in
+  Alcotest.(check int) "key + data + overhead"
+    (3 + 4 + Item.overhead_bytes)
+    (Item.size_bytes ~key:"key" item)
+
+let () =
+  Alcotest.run "lru_item"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "order and touch" `Quick test_lru_order;
+          Alcotest.test_case "pop back" `Quick test_lru_pop_back;
+          Alcotest.test_case "remove idempotent" `Quick test_lru_remove_idempotent;
+          Alcotest.test_case "remove middle" `Quick test_lru_remove_middle;
+          QCheck_alcotest.to_alcotest prop_lru_model;
+        ] );
+      ( "item",
+        [
+          Alcotest.test_case "expiry" `Quick test_item_expiry;
+          Alcotest.test_case "cas uniqueness" `Quick test_item_cas_unique;
+          Alcotest.test_case "touch access" `Quick test_item_touch_access;
+          Alcotest.test_case "size accounting" `Quick test_item_size_accounting;
+        ] );
+    ]

@@ -1,0 +1,401 @@
+(* memcached text protocol: encoding, incremental parsing, error recovery,
+   and request/response round trips. *)
+
+open Memcached
+
+let parse_one input =
+  let p = Protocol.Parser.create () in
+  Protocol.Parser.feed p input;
+  Protocol.Parser.next p
+
+let storage ?(flags = 0) ?(exptime = 0) ?(noreply = false) key data : Protocol.storage =
+  { key; flags; exptime; noreply; data }
+
+let test_parse_get () =
+  match parse_one "get foo\r\n" with
+  | Some (Ok (Protocol.Get [ "foo" ])) -> ()
+  | _ -> Alcotest.fail "get foo misparsed"
+
+let test_parse_multi_get () =
+  match parse_one "get a b c\r\n" with
+  | Some (Ok (Protocol.Get [ "a"; "b"; "c" ])) -> ()
+  | _ -> Alcotest.fail "multi-key get misparsed"
+
+let test_parse_gets () =
+  match parse_one "gets k1 k2\r\n" with
+  | Some (Ok (Protocol.Gets [ "k1"; "k2" ])) -> ()
+  | _ -> Alcotest.fail "gets misparsed"
+
+let test_parse_set () =
+  match parse_one "set foo 7 0 5\r\nhello\r\n" with
+  | Some (Ok (Protocol.Set s)) ->
+      Alcotest.(check string) "key" "foo" s.key;
+      Alcotest.(check int) "flags" 7 s.flags;
+      Alcotest.(check int) "exptime" 0 s.exptime;
+      Alcotest.(check bool) "noreply" false s.noreply;
+      Alcotest.(check string) "data" "hello" s.data
+  | _ -> Alcotest.fail "set misparsed"
+
+let test_parse_set_noreply () =
+  match parse_one "set foo 0 60 2 noreply\r\nhi\r\n" with
+  | Some (Ok (Protocol.Set s)) ->
+      Alcotest.(check bool) "noreply" true s.noreply;
+      Alcotest.(check int) "exptime" 60 s.exptime
+  | _ -> Alcotest.fail "set noreply misparsed"
+
+let test_parse_cas () =
+  match parse_one "cas foo 0 0 2 99\r\nhi\r\n" with
+  | Some (Ok (Protocol.Cas (s, 99))) -> Alcotest.(check string) "data" "hi" s.data
+  | _ -> Alcotest.fail "cas misparsed"
+
+let test_parse_data_with_crlf_bytes () =
+  (* The data block is length-delimited: embedded CRLF must survive. *)
+  match parse_one "set k 0 0 9\r\nab\r\ncd\r\n!\r\n" with
+  | Some (Ok (Protocol.Set s)) -> Alcotest.(check string) "binary-ish data" "ab\r\ncd\r\n!" s.data
+  | _ -> Alcotest.fail "embedded CRLF mishandled"
+
+let test_parse_delete_incr_decr_touch () =
+  (match parse_one "delete foo\r\n" with
+  | Some (Ok (Protocol.Delete { key = "foo"; noreply = false })) -> ()
+  | _ -> Alcotest.fail "delete misparsed");
+  (match parse_one "delete foo noreply\r\n" with
+  | Some (Ok (Protocol.Delete { noreply = true; _ })) -> ()
+  | _ -> Alcotest.fail "delete noreply misparsed");
+  (match parse_one "incr counter 5\r\n" with
+  | Some (Ok (Protocol.Incr { key = "counter"; delta = 5; noreply = false })) -> ()
+  | _ -> Alcotest.fail "incr misparsed");
+  (match parse_one "decr counter 2 noreply\r\n" with
+  | Some (Ok (Protocol.Decr { delta = 2; noreply = true; _ })) -> ()
+  | _ -> Alcotest.fail "decr misparsed");
+  match parse_one "touch foo 300\r\n" with
+  | Some (Ok (Protocol.Touch { exptime = 300; _ })) -> ()
+  | _ -> Alcotest.fail "touch misparsed"
+
+let test_parse_admin () =
+  (match parse_one "stats\r\n" with
+  | Some (Ok Protocol.Stats) -> ()
+  | _ -> Alcotest.fail "stats misparsed");
+  (match parse_one "flush_all\r\n" with
+  | Some (Ok (Protocol.Flush_all { noreply = false })) -> ()
+  | _ -> Alcotest.fail "flush_all misparsed");
+  (match parse_one "version\r\n" with
+  | Some (Ok Protocol.Version) -> ()
+  | _ -> Alcotest.fail "version misparsed");
+  match parse_one "quit\r\n" with
+  | Some (Ok Protocol.Quit) -> ()
+  | _ -> Alcotest.fail "quit misparsed"
+
+let test_parse_errors () =
+  (match parse_one "bogus command\r\n" with
+  | Some (Error "ERROR") -> ()
+  | _ -> Alcotest.fail "unknown verb should be ERROR");
+  (match parse_one "set foo bar baz qux\r\n" with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "malformed set accepted");
+  (match parse_one "get\r\n" with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "get without keys accepted");
+  (match parse_one "incr k notanumber\r\n" with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "non-numeric delta accepted");
+  match parse_one "set k 0 0 3\r\nabcd\r\n" with
+  | Some (Error "bad data chunk") -> ()
+  | other ->
+      Alcotest.failf "unterminated data chunk accepted: %s"
+        (match other with
+        | None -> "None"
+        | Some (Ok _) -> "Ok"
+        | Some (Error e) -> e)
+
+let test_parser_resyncs_after_error () =
+  let p = Protocol.Parser.create () in
+  Protocol.Parser.feed p "garbage here\r\nget ok\r\n";
+  (match Protocol.Parser.next p with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "garbage not rejected");
+  match Protocol.Parser.next p with
+  | Some (Ok (Protocol.Get [ "ok" ])) -> ()
+  | _ -> Alcotest.fail "parser did not resync"
+
+let test_incremental_byte_feeding () =
+  let p = Protocol.Parser.create () in
+  let full = "set incr-key 3 0 5\r\nworld\r\nget incr-key\r\n" in
+  let results = ref [] in
+  String.iter
+    (fun c ->
+      Protocol.Parser.feed p (String.make 1 c);
+      let rec drain () =
+        match Protocol.Parser.next p with
+        | Some r ->
+            results := r :: !results;
+            drain ()
+        | None -> ()
+      in
+      drain ())
+    full;
+  match List.rev !results with
+  | [ Ok (Protocol.Set s); Ok (Protocol.Get [ "incr-key" ]) ] ->
+      Alcotest.(check string) "data" "world" s.data
+  | _ -> Alcotest.failf "byte-at-a-time parse produced %d results" (List.length !results)
+
+let test_pipelined_requests () =
+  let p = Protocol.Parser.create () in
+  Protocol.Parser.feed p "get a\r\nget b\r\nset c 0 0 1\r\nx\r\n";
+  let seen = ref 0 in
+  let rec drain () =
+    match Protocol.Parser.next p with
+    | Some (Ok _) ->
+        incr seen;
+        drain ()
+    | Some (Error e) -> Alcotest.failf "unexpected error: %s" e
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "three pipelined requests" 3 !seen;
+  Alcotest.(check int) "buffer drained" 0 (Protocol.Parser.buffered_bytes p)
+
+let test_key_validation () =
+  Alcotest.(check bool) "normal key" true (Protocol.request_key_valid "foo:123");
+  Alcotest.(check bool) "empty" false (Protocol.request_key_valid "");
+  Alcotest.(check bool) "space" false (Protocol.request_key_valid "a b");
+  Alcotest.(check bool) "control char" false (Protocol.request_key_valid "a\nb");
+  Alcotest.(check bool) "250 bytes ok" true
+    (Protocol.request_key_valid (String.make 250 'k'));
+  Alcotest.(check bool) "251 bytes too long" false
+    (Protocol.request_key_valid (String.make 251 'k'))
+
+(* Round trip: encode_request then parse yields the original request. *)
+let requests_for_roundtrip : Protocol.request list =
+  [
+    Protocol.Get [ "alpha" ];
+    Protocol.Get [ "a"; "b"; "c" ];
+    Protocol.Gets [ "x" ];
+    Protocol.Set (storage "k" "value");
+    Protocol.Add (storage ~flags:9 "k" "v");
+    Protocol.Replace (storage ~exptime:120 "k" "v");
+    Protocol.Append (storage "k" "suffix");
+    Protocol.Prepend (storage "k" "prefix");
+    Protocol.Cas (storage "k" "v", 1234);
+    Protocol.Delete { key = "k"; noreply = false };
+    Protocol.Incr { key = "k"; delta = 3; noreply = false };
+    Protocol.Decr { key = "k"; delta = 1; noreply = true };
+    Protocol.Touch { key = "k"; exptime = 30; noreply = false };
+    Protocol.Stats;
+    Protocol.Flush_all { noreply = false };
+    Protocol.Version;
+    Protocol.Quit;
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun request ->
+      match parse_one (Protocol.encode_request request) with
+      | Some (Ok parsed) ->
+          if parsed <> request then
+            Alcotest.failf "round trip changed: %s"
+              (Protocol.encode_request request)
+      | Some (Error e) ->
+          Alcotest.failf "round trip error %s on %s" e
+            (Protocol.encode_request request)
+      | None ->
+          Alcotest.failf "round trip incomplete on %s"
+            (Protocol.encode_request request))
+    requests_for_roundtrip
+
+let responses_for_roundtrip : Protocol.response list =
+  [
+    Protocol.Values [];
+    Protocol.Values
+      [ { vkey = "k"; vflags = 3; vdata = "hello"; vcas = None } ];
+    Protocol.Values
+      [
+        { vkey = "a"; vflags = 0; vdata = "1"; vcas = Some 7 };
+        { vkey = "b"; vflags = 1; vdata = "two\r\nlines"; vcas = Some 8 };
+      ];
+    Protocol.Stored;
+    Protocol.Not_stored;
+    Protocol.Exists;
+    Protocol.Not_found;
+    Protocol.Deleted;
+    Protocol.Touched;
+    Protocol.Ok_reply;
+    Protocol.Version_reply "1.2.3";
+    Protocol.Number 42;
+    Protocol.Stats_reply [ ("cmd_get", "10"); ("uptime", "3 days") ];
+    Protocol.Client_error "bad data chunk";
+    Protocol.Server_error "out of memory";
+    Protocol.Error_reply;
+  ]
+
+let test_response_roundtrip () =
+  List.iter
+    (fun response ->
+      let rp = Protocol.Response_parser.create () in
+      Protocol.Response_parser.feed rp (Protocol.encode_response response);
+      match Protocol.Response_parser.next rp with
+      | Some (Ok parsed) ->
+          if parsed <> response then
+            Alcotest.failf "response round trip changed: %s"
+              (Protocol.encode_response response)
+      | Some (Error e) -> Alcotest.failf "response round trip error: %s" e
+      | None ->
+          Alcotest.failf "response round trip incomplete: %s"
+            (Protocol.encode_response response))
+    responses_for_roundtrip
+
+let test_response_incremental () =
+  let rp = Protocol.Response_parser.create () in
+  let encoded =
+    Protocol.encode_response
+      (Protocol.Values [ { vkey = "k"; vflags = 0; vdata = "abcdef"; vcas = None } ])
+  in
+  String.iteri
+    (fun i c ->
+      Protocol.Response_parser.feed rp (String.make 1 c);
+      match Protocol.Response_parser.next rp with
+      | Some (Ok (Protocol.Values [ v ])) ->
+          if i <> String.length encoded - 1 then
+            Alcotest.fail "value completed early";
+          Alcotest.(check string) "data" "abcdef" v.vdata
+      | Some (Ok _) | Some (Error _) ->
+          if i <> String.length encoded - 1 then () else Alcotest.fail "wrong result"
+      | None -> ())
+    encoded
+
+(* Property: arbitrary binary payloads survive the storage round trip. *)
+let prop_binary_data_roundtrip =
+  QCheck.Test.make ~name:"set data round trips any bytes" ~count:300
+    QCheck.(string_of_size Gen.(int_bound 200))
+    (fun data ->
+      let request = Protocol.Set (storage "key" data) in
+      match parse_one (Protocol.encode_request request) with
+      | Some (Ok (Protocol.Set s)) -> s.data = data
+      | _ -> false)
+
+let prop_values_roundtrip =
+  QCheck.Test.make ~name:"VALUE payloads round trip any bytes" ~count:300
+    QCheck.(pair (string_of_size Gen.(int_bound 100)) small_nat)
+    (fun (data, flags) ->
+      let response =
+        Protocol.Values [ { vkey = "k"; vflags = flags; vdata = data; vcas = None } ]
+      in
+      let rp = Protocol.Response_parser.create () in
+      Protocol.Response_parser.feed rp (Protocol.encode_response response);
+      match Protocol.Response_parser.next rp with
+      | Some (Ok parsed) -> parsed = response
+      | _ -> false)
+
+(* --- fuzzing --- *)
+
+(* Arbitrary bytes must never crash the parser; it must either produce
+   results or wait for more input, and buffered bytes stay bounded by what
+   was fed. *)
+let prop_parser_never_crashes =
+  QCheck.Test.make ~name:"request parser survives arbitrary bytes" ~count:500
+    QCheck.(string_of_size Gen.(int_bound 300))
+    (fun garbage ->
+      let p = Protocol.Parser.create () in
+      Protocol.Parser.feed p garbage;
+      let rec drain budget =
+        if budget = 0 then true
+        else
+          match Protocol.Parser.next p with
+          | Some _ -> drain (budget - 1)
+          | None -> true
+      in
+      drain 1000 && Protocol.Parser.buffered_bytes p <= String.length garbage)
+
+let prop_response_parser_never_crashes =
+  QCheck.Test.make ~name:"response parser survives arbitrary bytes" ~count:500
+    QCheck.(string_of_size Gen.(int_bound 300))
+    (fun garbage ->
+      let p = Protocol.Response_parser.create () in
+      Protocol.Response_parser.feed p garbage;
+      let rec drain budget =
+        if budget = 0 then true
+        else
+          match Protocol.Response_parser.next p with
+          | Some _ -> drain (budget - 1)
+          | None -> true
+      in
+      drain 1000)
+
+(* Splitting a valid request stream at arbitrary points must not change the
+   parse. *)
+let prop_split_invariance =
+  QCheck.Test.make ~name:"parse is split-invariant" ~count:300
+    QCheck.(pair (string_of_size Gen.(int_bound 60)) (int_bound 100))
+    (fun (data, split_seed) ->
+      let stream =
+        Protocol.encode_request (Protocol.Set (storage "k" data))
+        ^ Protocol.encode_request (Protocol.Get [ "k" ])
+      in
+      let parse_with_splits chunk_of =
+        let p = Protocol.Parser.create () in
+        let results = ref [] in
+        let rec feed_from i =
+          if i < String.length stream then begin
+            let len = min (chunk_of i) (String.length stream - i) in
+            Protocol.Parser.feed p (String.sub stream i len);
+            let rec drain () =
+              match Protocol.Parser.next p with
+              | Some r ->
+                  results := r :: !results;
+                  drain ()
+              | None -> ()
+            in
+            drain ();
+            feed_from (i + len)
+          end
+        in
+        feed_from 0;
+        List.rev !results
+      in
+      let whole = parse_with_splits (fun _ -> String.length stream) in
+      let chopped = parse_with_splits (fun i -> 1 + ((i + split_seed) mod 7)) in
+      whole = chopped)
+
+let fuzz_tests =
+  List.map (QCheck_alcotest.to_alcotest ~long:false)
+    [
+      prop_parser_never_crashes;
+      prop_response_parser_never_crashes;
+      prop_split_invariance;
+    ]
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "request parsing",
+        [
+          Alcotest.test_case "get" `Quick test_parse_get;
+          Alcotest.test_case "multi get" `Quick test_parse_multi_get;
+          Alcotest.test_case "gets" `Quick test_parse_gets;
+          Alcotest.test_case "set" `Quick test_parse_set;
+          Alcotest.test_case "set noreply" `Quick test_parse_set_noreply;
+          Alcotest.test_case "cas" `Quick test_parse_cas;
+          Alcotest.test_case "data with CRLF bytes" `Quick
+            test_parse_data_with_crlf_bytes;
+          Alcotest.test_case "delete/incr/decr/touch" `Quick
+            test_parse_delete_incr_decr_touch;
+          Alcotest.test_case "admin commands" `Quick test_parse_admin;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "resync after error" `Quick
+            test_parser_resyncs_after_error;
+          Alcotest.test_case "byte-at-a-time" `Quick test_incremental_byte_feeding;
+          Alcotest.test_case "pipelining" `Quick test_pipelined_requests;
+          Alcotest.test_case "key validation" `Quick test_key_validation;
+        ] );
+      ( "round trips",
+        [
+          Alcotest.test_case "requests" `Quick test_request_roundtrip;
+          Alcotest.test_case "responses" `Quick test_response_roundtrip;
+          Alcotest.test_case "incremental response" `Quick test_response_incremental;
+          QCheck_alcotest.to_alcotest prop_binary_data_roundtrip;
+          QCheck_alcotest.to_alcotest prop_values_roundtrip;
+        ] );
+      ("fuzz", fuzz_tests);
+    ]

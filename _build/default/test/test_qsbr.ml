@@ -1,0 +1,235 @@
+(* QSBR RCU flavour: registration, online/offline, quiescent states, grace
+   periods, the Flavour abstraction, and the QSBR-flavoured table. *)
+
+let test_register_online () =
+  let q = Rcu_qsbr.create () in
+  Alcotest.(check int) "empty" 0 (Rcu_qsbr.registered_threads q);
+  let th = Rcu_qsbr.register q in
+  Alcotest.(check int) "one" 1 (Rcu_qsbr.registered_threads q);
+  Alcotest.(check bool) "born online" true (Rcu_qsbr.is_online th);
+  Rcu_qsbr.offline th;
+  Alcotest.(check bool) "offline" false (Rcu_qsbr.is_online th);
+  Rcu_qsbr.online th;
+  Alcotest.(check bool) "online again" true (Rcu_qsbr.is_online th);
+  Rcu_qsbr.unregister q th;
+  Alcotest.(check int) "drained" 0 (Rcu_qsbr.registered_threads q)
+
+let test_read_sections_bookkeeping () =
+  let q = Rcu_qsbr.create () in
+  let th = Rcu_qsbr.register q in
+  Rcu_qsbr.read_lock th;
+  Rcu_qsbr.read_lock th;
+  Alcotest.(check bool) "nested" true (Rcu_qsbr.in_critical_section th);
+  Alcotest.check_raises "quiescent inside section rejected"
+    (Invalid_argument "Rcu_qsbr.quiescent_state: inside a critical section")
+    (fun () -> Rcu_qsbr.quiescent_state th);
+  Rcu_qsbr.read_unlock th;
+  Rcu_qsbr.read_unlock th;
+  Alcotest.(check bool) "outside" false (Rcu_qsbr.in_critical_section th);
+  Rcu_qsbr.quiescent_state th;
+  Rcu_qsbr.unregister q th
+
+let test_read_lock_offline_rejected () =
+  let q = Rcu_qsbr.create () in
+  let th = Rcu_qsbr.register q in
+  Rcu_qsbr.offline th;
+  Alcotest.check_raises "offline read rejected"
+    (Invalid_argument "Rcu_qsbr.read_lock: thread is offline") (fun () ->
+      Rcu_qsbr.read_lock th);
+  Rcu_qsbr.unregister q th
+
+(* synchronize must wait for a non-quiescing online thread and release once
+   it announces a quiescent state. *)
+let test_synchronize_waits_for_quiescence () =
+  let q = Rcu_qsbr.create () in
+  let ready = Atomic.make false in
+  let quiesce = Atomic.make false in
+  let sync_done = Atomic.make false in
+  let participant =
+    Domain.spawn (fun () ->
+        let th = Rcu_qsbr.register q in
+        Atomic.set ready true;
+        while not (Atomic.get quiesce) do
+          Domain.cpu_relax ()
+        done;
+        Rcu_qsbr.quiescent_state th;
+        (* Stay registered until the grace period completes. *)
+        while not (Atomic.get sync_done) do
+          Rcu_qsbr.quiescent_state th;
+          Domain.cpu_relax ()
+        done;
+        Rcu_qsbr.unregister q th)
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  let syncer =
+    Domain.spawn (fun () ->
+        Rcu_qsbr.synchronize q;
+        Atomic.set sync_done true)
+  in
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "blocked until quiescent state" false
+    (Atomic.get sync_done);
+  Atomic.set quiesce true;
+  Domain.join syncer;
+  Alcotest.(check bool) "released" true (Atomic.get sync_done);
+  Domain.join participant;
+  Alcotest.(check int) "one grace period" 1 (Rcu_qsbr.grace_periods q)
+
+let test_synchronize_skips_offline () =
+  let q = Rcu_qsbr.create () in
+  let parked = Atomic.make false in
+  let release = Atomic.make false in
+  let participant =
+    Domain.spawn (fun () ->
+        let th = Rcu_qsbr.register q in
+        Rcu_qsbr.offline th;
+        Atomic.set parked true;
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        Rcu_qsbr.unregister q th)
+  in
+  while not (Atomic.get parked) do
+    Domain.cpu_relax ()
+  done;
+  (* Offline threads are in an extended quiescent state: no waiting. *)
+  Rcu_qsbr.synchronize q;
+  Atomic.set release true;
+  Domain.join participant
+
+let test_flavour_memb_roundtrip () =
+  let rcu = Rcu.create () in
+  let f = Flavour.memb rcu in
+  Alcotest.(check string) "name" "memb" f.Flavour.name;
+  Flavour.with_read f (fun () -> ());
+  f.Flavour.synchronize ();
+  let fired = ref false in
+  f.Flavour.call_rcu (fun () -> fired := true);
+  f.Flavour.barrier ();
+  Alcotest.(check bool) "callback fired" true !fired;
+  f.Flavour.thread_offline ()
+
+let test_flavour_qsbr_roundtrip () =
+  let q = Rcu_qsbr.create () in
+  let f = Flavour.qsbr ~quiesce_interval:4 q in
+  Alcotest.(check string) "name" "qsbr" f.Flavour.name;
+  for _ = 1 to 10 do
+    Flavour.with_read f (fun () -> ())
+  done;
+  f.Flavour.synchronize ();
+  let fired = ref false in
+  f.Flavour.call_rcu (fun () -> fired := true);
+  f.Flavour.barrier ();
+  Alcotest.(check bool) "callback fired" true !fired;
+  (* Offline then transparently back online on the next read. *)
+  f.Flavour.thread_offline ();
+  Flavour.with_read f (fun () -> ());
+  f.Flavour.synchronize ()
+
+let test_flavour_qsbr_validation () =
+  let q = Rcu_qsbr.create () in
+  Alcotest.check_raises "non-power-of-two interval"
+    (Invalid_argument "Flavour.qsbr: quiesce_interval must be a positive power of two")
+    (fun () -> ignore (Flavour.qsbr ~quiesce_interval:3 q))
+
+let make_qsbr_table () =
+  let q = Rcu_qsbr.create () in
+  Rp_ht.create
+    ~flavour:(Flavour.qsbr ~quiesce_interval:8 q)
+    ~initial_size:64 ~auto_resize:false ~hash:Rp_hashes.Hashfn.of_int
+    ~equal:Int.equal ()
+
+let test_qsbr_table_basics () =
+  let t = make_qsbr_table () in
+  for i = 0 to 199 do
+    Rp_ht.insert t i (i * 2)
+  done;
+  for i = 0 to 199 do
+    Alcotest.(check (option int)) "find" (Some (i * 2)) (Rp_ht.find t i)
+  done;
+  Alcotest.check_raises "rcu accessor refuses custom flavour"
+    (Invalid_argument "Rp_ht.rcu: table was built with a custom flavour")
+    (fun () -> ignore (Rp_ht.rcu t));
+  Alcotest.(check string) "flavour name" "qsbr"
+    (Rp_ht.flavour t).Flavour.name
+
+let test_qsbr_table_resize_under_readers () =
+  let t = make_qsbr_table () in
+  let resident = 512 in
+  for i = 0 to resident - 1 do
+    Rp_ht.insert t i i
+  done;
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let readers =
+    List.init 2 (fun seed ->
+        Domain.spawn (fun () ->
+            let prng = Rp_workload.Prng.create ~seed in
+            while not (Atomic.get stop) do
+              let k = Rp_workload.Prng.below prng resident in
+              if Rp_ht.find t k <> Some k then Atomic.incr violations
+            done;
+            (* Mandatory for QSBR: stop stalling grace periods on exit. *)
+            (Rp_ht.flavour t).Flavour.thread_offline ()))
+  in
+  for _ = 1 to 25 do
+    Rp_ht.resize t 2048;
+    Rp_ht.resize t 64
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  (Rp_ht.flavour t).Flavour.barrier ();
+  Alcotest.(check int) "no violations under qsbr resize" 0 (Atomic.get violations);
+  (match Rp_ht.validate t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invariant: %s" msg);
+  let stats = Rp_ht.resize_stats t in
+  Alcotest.(check bool) "resizes completed" true
+    (stats.expands = 25 * 5 && stats.shrinks = 25 * 5)
+
+let test_create_rejects_both () =
+  let q = Rcu_qsbr.create () in
+  Alcotest.check_raises "rcu and flavour together"
+    (Invalid_argument "Rp_ht.create: pass either ~rcu or ~flavour, not both")
+    (fun () ->
+      ignore
+        (Rp_ht.create ~rcu:(Rcu.create ())
+           ~flavour:(Flavour.qsbr q)
+           ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
+          : (int, int) Rp_ht.t))
+
+let () =
+  Alcotest.run "qsbr"
+    [
+      ( "thread lifecycle",
+        [
+          Alcotest.test_case "register/online/offline" `Quick test_register_online;
+          Alcotest.test_case "read-section bookkeeping" `Quick
+            test_read_sections_bookkeeping;
+          Alcotest.test_case "offline read rejected" `Quick
+            test_read_lock_offline_rejected;
+        ] );
+      ( "grace periods",
+        [
+          Alcotest.test_case "waits for quiescence" `Quick
+            test_synchronize_waits_for_quiescence;
+          Alcotest.test_case "skips offline threads" `Quick
+            test_synchronize_skips_offline;
+        ] );
+      ( "flavour",
+        [
+          Alcotest.test_case "memb round trip" `Quick test_flavour_memb_roundtrip;
+          Alcotest.test_case "qsbr round trip" `Quick test_flavour_qsbr_roundtrip;
+          Alcotest.test_case "qsbr validation" `Quick test_flavour_qsbr_validation;
+        ] );
+      ( "qsbr table",
+        [
+          Alcotest.test_case "basics" `Quick test_qsbr_table_basics;
+          Alcotest.test_case "resize under readers" `Slow
+            test_qsbr_table_resize_under_readers;
+          Alcotest.test_case "create rejects rcu+flavour" `Quick
+            test_create_rejects_both;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+(* Relativistic radix tree: functional battery, growth/pruning invariants,
+   model-based properties, concurrent readers under growth and churn. *)
+
+let test_empty () =
+  let t = Rp_radix.create () in
+  Alcotest.(check (option string)) "find on empty" None (Rp_radix.find t 0);
+  Alcotest.(check int) "length" 0 (Rp_radix.length t);
+  Alcotest.(check int) "height" 1 (Rp_radix.height t);
+  Alcotest.(check int) "capacity" 63 (Rp_radix.capacity t)
+
+let test_insert_find () =
+  let t = Rp_radix.create () in
+  Rp_radix.insert t 0 "zero";
+  Rp_radix.insert t 42 "answer";
+  Rp_radix.insert t 63 "max-at-h1";
+  Alcotest.(check (option string)) "find 0" (Some "zero") (Rp_radix.find t 0);
+  Alcotest.(check (option string)) "find 42" (Some "answer") (Rp_radix.find t 42);
+  Alcotest.(check (option string)) "find 63" (Some "max-at-h1") (Rp_radix.find t 63);
+  Alcotest.(check (option string)) "miss" None (Rp_radix.find t 7);
+  Alcotest.(check int) "length" 3 (Rp_radix.length t);
+  Alcotest.(check bool) "mem" true (Rp_radix.mem t 42)
+
+let test_overwrite () =
+  let t = Rp_radix.create () in
+  Rp_radix.insert t 5 "a";
+  Rp_radix.insert t 5 "b";
+  Alcotest.(check (option string)) "overwritten" (Some "b") (Rp_radix.find t 5);
+  Alcotest.(check int) "count stable" 1 (Rp_radix.length t)
+
+let test_growth () =
+  let t = Rp_radix.create () in
+  Rp_radix.insert t 1 "small";
+  Alcotest.(check int) "height 1" 1 (Rp_radix.height t);
+  Rp_radix.insert t 100 "needs h2";
+  Alcotest.(check int) "grew to 2" 2 (Rp_radix.height t);
+  Alcotest.(check (option string)) "old key survives growth" (Some "small")
+    (Rp_radix.find t 1);
+  Rp_radix.insert t 1_000_000 "needs h4";
+  Alcotest.(check int) "grew to 4" 4 (Rp_radix.height t);
+  Alcotest.(check (option string)) "all reachable" (Some "needs h2")
+    (Rp_radix.find t 100);
+  Alcotest.(check (option string)) "beyond-capacity key misses cleanly" None
+    (Rp_radix.find t max_int);
+  (match Rp_radix.validate t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant: %s" m)
+
+let test_growth_of_empty_tree () =
+  let t = Rp_radix.create () in
+  Rp_radix.insert t 1_000_000 "deep";
+  Alcotest.(check (option string)) "stored" (Some "deep") (Rp_radix.find t 1_000_000);
+  (* An empty tree grows by root replacement: no empty-interior chain. *)
+  match Rp_radix.validate t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant: %s" m
+
+let test_remove_and_prune () =
+  let t = Rp_radix.create () in
+  Rp_radix.insert t 100_000 "deep";
+  Rp_radix.insert t 3 "shallow";
+  Alcotest.(check bool) "remove deep" true (Rp_radix.remove t 100_000);
+  Alcotest.(check bool) "remove again" false (Rp_radix.remove t 100_000);
+  Alcotest.(check (option string)) "gone" None (Rp_radix.find t 100_000);
+  Alcotest.(check (option string)) "other survives" (Some "shallow")
+    (Rp_radix.find t 3);
+  Alcotest.(check int) "length" 1 (Rp_radix.length t);
+  (* Pruning must have removed the emptied deep path. *)
+  (match Rp_radix.validate t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "pruning invariant: %s" m);
+  Alcotest.(check bool) "remove beyond capacity is false" false
+    (Rp_radix.remove t max_int)
+
+let test_negative_key_rejected () =
+  let t = Rp_radix.create () in
+  Alcotest.check_raises "find" (Invalid_argument "Rp_radix: negative key")
+    (fun () -> ignore (Rp_radix.find t (-1)));
+  Alcotest.check_raises "insert" (Invalid_argument "Rp_radix: negative key")
+    (fun () -> Rp_radix.insert t (-1) "x")
+
+let test_iter_order () =
+  let t = Rp_radix.create () in
+  List.iter (fun k -> Rp_radix.insert t k (string_of_int k)) [ 500; 3; 77; 64; 0 ];
+  Alcotest.(check (list (pair int string)))
+    "key order"
+    [ (0, "0"); (3, "3"); (64, "64"); (77, "77"); (500, "500") ]
+    (Rp_radix.to_list t);
+  let sum = Rp_radix.fold t ~init:0 ~f:(fun acc k _ -> acc + k) in
+  Alcotest.(check int) "fold" (500 + 3 + 77 + 64 + 0) sum
+
+let test_qsbr_flavoured () =
+  let q = Rcu_qsbr.create () in
+  let t = Rp_radix.create ~flavour:(Flavour.qsbr q) () in
+  for i = 0 to 999 do
+    Rp_radix.insert t (i * 17) i
+  done;
+  for i = 0 to 999 do
+    Alcotest.(check (option int)) "qsbr find" (Some i) (Rp_radix.find t (i * 17))
+  done
+
+(* Model-based property: tree matches Hashtbl under random op sequences. *)
+let prop_matches_model =
+  QCheck.Test.make ~name:"radix matches model" ~count:200
+    QCheck.(
+      list_of_size Gen.(int_bound 100)
+        (pair (int_bound 2) (int_bound 1_000_000)))
+    (fun ops ->
+      let t = Rp_radix.create () in
+      let model = Hashtbl.create 32 in
+      List.iter
+        (fun (kind, k) ->
+          match kind with
+          | 0 | 1 ->
+              Rp_radix.insert t k k;
+              Hashtbl.replace model k k
+          | _ ->
+              let a = Rp_radix.remove t k in
+              let b = Hashtbl.mem model k in
+              Hashtbl.remove model k;
+              if a <> b then QCheck.Test.fail_reportf "remove %d: %b vs %b" k a b)
+        ops;
+      (match Rp_radix.validate t with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_reportf "invariant: %s" m);
+      Hashtbl.fold (fun k v acc -> acc && Rp_radix.find t k = Some v) model true
+      && Rp_radix.length t = Hashtbl.length model)
+
+let prop_to_list_sorted =
+  QCheck.Test.make ~name:"to_list is key-sorted and complete" ~count:200
+    QCheck.(list_of_size Gen.(int_bound 50) (int_bound 100_000))
+    (fun keys ->
+      let t = Rp_radix.create () in
+      List.iter (fun k -> Rp_radix.insert t k k) keys;
+      let listed = Rp_radix.to_list t in
+      let expected =
+        List.sort_uniq compare keys |> List.map (fun k -> (k, k))
+      in
+      listed = expected)
+
+(* Concurrency: readers verify resident keys while a writer grows the tree
+   through several heights and churns disjoint keys. *)
+let test_concurrent_growth () =
+  let t = Rp_radix.create () in
+  let resident = 256 in
+  for i = 0 to resident - 1 do
+    Rp_radix.insert t i (i * 3)
+  done;
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let readers =
+    List.init 2 (fun seed ->
+        Domain.spawn (fun () ->
+            let prng = Rp_workload.Prng.create ~seed in
+            while not (Atomic.get stop) do
+              let k = Rp_workload.Prng.below prng resident in
+              match Rp_radix.find t k with
+              | Some v when v = k * 3 -> ()
+              | Some _ | None -> Atomic.incr violations
+            done))
+  in
+  (* Writer: repeatedly deepen the tree and churn deep keys. *)
+  for round = 1 to 50 do
+    let deep = round * 1_000_003 in
+    Rp_radix.insert t deep deep;
+    ignore (Rp_radix.remove t deep)
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  Alcotest.(check int) "no violations during growth" 0 (Atomic.get violations);
+  match Rp_radix.validate t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant: %s" m
+
+let () =
+  Alcotest.run "radix"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/find" `Quick test_insert_find;
+          Alcotest.test_case "overwrite" `Quick test_overwrite;
+          Alcotest.test_case "iter order" `Quick test_iter_order;
+          Alcotest.test_case "negative keys rejected" `Quick
+            test_negative_key_rejected;
+          Alcotest.test_case "qsbr flavoured" `Quick test_qsbr_flavoured;
+        ] );
+      ( "growth and pruning",
+        [
+          Alcotest.test_case "growth preserves" `Quick test_growth;
+          Alcotest.test_case "growth of empty tree" `Quick test_growth_of_empty_tree;
+          Alcotest.test_case "remove and prune" `Quick test_remove_and_prune;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_matches_model;
+          QCheck_alcotest.to_alcotest prop_to_list_sorted;
+        ] );
+      ( "concurrency",
+        [ Alcotest.test_case "readers during growth" `Slow test_concurrent_growth ] );
+    ]

@@ -1,0 +1,347 @@
+(* Unit and property tests for the resizable relativistic hash table. *)
+
+let make ?(initial_size = 8) ?(auto_resize = false) () =
+  Rp_ht.create ~initial_size ~auto_resize ~hash:Rp_hashes.Hashfn.of_int
+    ~equal:Int.equal ()
+
+let make_str ?(initial_size = 8) ?(auto_resize = false) () =
+  Rp_ht.create ~initial_size ~auto_resize ~hash:Rp_hashes.Hashfn.fnv1a_string
+    ~equal:String.equal ()
+
+let check_valid t =
+  match Rp_ht.validate t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invariant violated: %s" msg
+
+let test_empty () =
+  let t = make () in
+  Alcotest.(check (option int)) "find on empty" None (Rp_ht.find t 42);
+  Alcotest.(check int) "length" 0 (Rp_ht.length t);
+  Alcotest.(check int) "size" 8 (Rp_ht.size t);
+  check_valid t
+
+let test_insert_find () =
+  let t = make () in
+  Rp_ht.insert t 1 "one";
+  Rp_ht.insert t 2 "two";
+  Rp_ht.insert t 3 "three";
+  Alcotest.(check (option string)) "find 1" (Some "one") (Rp_ht.find t 1);
+  Alcotest.(check (option string)) "find 2" (Some "two") (Rp_ht.find t 2);
+  Alcotest.(check (option string)) "find 3" (Some "three") (Rp_ht.find t 3);
+  Alcotest.(check (option string)) "find 4" None (Rp_ht.find t 4);
+  Alcotest.(check int) "length" 3 (Rp_ht.length t);
+  check_valid t
+
+let test_insert_shadows () =
+  let t = make () in
+  Rp_ht.insert t 7 "old";
+  Rp_ht.insert t 7 "new";
+  Alcotest.(check (option string)) "newest wins" (Some "new") (Rp_ht.find t 7);
+  Alcotest.(check int) "both bindings counted" 2 (Rp_ht.length t);
+  Alcotest.(check bool) "remove newest" true (Rp_ht.remove t 7);
+  Alcotest.(check (option string)) "old resurfaces" (Some "old") (Rp_ht.find t 7);
+  check_valid t
+
+let test_replace () =
+  let t = make () in
+  Rp_ht.replace t 7 "a";
+  Rp_ht.replace t 7 "b";
+  Alcotest.(check (option string)) "replaced" (Some "b") (Rp_ht.find t 7);
+  Alcotest.(check int) "single binding" 1 (Rp_ht.length t);
+  check_valid t
+
+let test_remove () =
+  let t = make () in
+  for i = 0 to 9 do
+    Rp_ht.insert t i (string_of_int i)
+  done;
+  Alcotest.(check bool) "remove present" true (Rp_ht.remove t 5);
+  Alcotest.(check bool) "remove absent" false (Rp_ht.remove t 5);
+  Alcotest.(check (option string)) "gone" None (Rp_ht.find t 5);
+  Alcotest.(check int) "length" 9 (Rp_ht.length t);
+  Rcu.barrier (Rp_ht.rcu t);
+  check_valid t
+
+let test_remove_sync () =
+  let t = make () in
+  Rp_ht.insert t 1 "x";
+  Alcotest.(check bool) "removed" true (Rp_ht.remove_sync t 1);
+  Alcotest.(check (option string)) "gone" None (Rp_ht.find t 1);
+  check_valid t
+
+let test_expand_preserves () =
+  let t = make ~initial_size:4 () in
+  for i = 0 to 99 do
+    Rp_ht.insert t i (string_of_int (i * i))
+  done;
+  Rp_ht.resize t 64;
+  Alcotest.(check int) "size" 64 (Rp_ht.size t);
+  for i = 0 to 99 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "find %d after expand" i)
+      (Some (string_of_int (i * i)))
+      (Rp_ht.find t i)
+  done;
+  check_valid t;
+  let stats = Rp_ht.resize_stats t in
+  Alcotest.(check int) "expands" 4 stats.expands
+
+let test_shrink_preserves () =
+  let t = make ~initial_size:64 () in
+  for i = 0 to 99 do
+    Rp_ht.insert t i (string_of_int (i * 7))
+  done;
+  Rp_ht.resize t 4;
+  Alcotest.(check int) "size" 4 (Rp_ht.size t);
+  for i = 0 to 99 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "find %d after shrink" i)
+      (Some (string_of_int (i * 7)))
+      (Rp_ht.find t i)
+  done;
+  check_valid t;
+  let stats = Rp_ht.resize_stats t in
+  Alcotest.(check int) "shrinks" 4 stats.shrinks
+
+let test_resize_roundtrip () =
+  let t = make_str ~initial_size:8 () in
+  for i = 0 to 199 do
+    Rp_ht.insert t (Printf.sprintf "key-%d" i) i
+  done;
+  Rp_ht.resize t 256;
+  check_valid t;
+  Rp_ht.resize t 8;
+  check_valid t;
+  Rp_ht.resize t 128;
+  check_valid t;
+  for i = 0 to 199 do
+    Alcotest.(check (option int))
+      "value survives round trips" (Some i)
+      (Rp_ht.find t (Printf.sprintf "key-%d" i))
+  done
+
+let test_resize_clamps () =
+  let t =
+    Rp_ht.create ~initial_size:16 ~min_size:8 ~max_size:32 ~auto_resize:false
+      ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
+  in
+  Rp_ht.resize t 1;
+  Alcotest.(check int) "clamped to min" 8 (Rp_ht.size t);
+  Rp_ht.resize t 4096;
+  Alcotest.(check int) "clamped to max" 32 (Rp_ht.size t)
+
+let test_auto_resize_grows () =
+  let t =
+    Rp_ht.create ~initial_size:4 ~auto_resize:true ~hash:Rp_hashes.Hashfn.of_int
+      ~equal:Int.equal ()
+  in
+  for i = 0 to 999 do
+    Rp_ht.insert t i i
+  done;
+  Alcotest.(check bool) "table grew" true (Rp_ht.size t >= 1024);
+  check_valid t
+
+let test_auto_resize_shrinks () =
+  let t =
+    Rp_ht.create ~initial_size:4 ~min_size:4 ~auto_resize:true
+      ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
+  in
+  for i = 0 to 999 do
+    Rp_ht.insert t i i
+  done;
+  let grown = Rp_ht.size t in
+  for i = 0 to 999 do
+    ignore (Rp_ht.remove t i)
+  done;
+  Rcu.barrier (Rp_ht.rcu t);
+  Alcotest.(check bool) "table shrank" true (Rp_ht.size t < grown);
+  check_valid t
+
+let test_move () =
+  let t = make () in
+  Rp_ht.insert t 1 "payload";
+  Alcotest.(check bool) "moved" true (Rp_ht.move t ~from_key:1 ~to_key:2 Fun.id);
+  Alcotest.(check (option string)) "source gone" None (Rp_ht.find t 1);
+  Alcotest.(check (option string)) "dest bound" (Some "payload") (Rp_ht.find t 2);
+  Alcotest.(check bool) "move absent" false (Rp_ht.move t ~from_key:1 ~to_key:3 Fun.id);
+  Rcu.barrier (Rp_ht.rcu t);
+  check_valid t
+
+let test_move_transforms () =
+  let t = make () in
+  Rp_ht.insert t 1 "abc";
+  ignore (Rp_ht.move t ~from_key:1 ~to_key:9 String.uppercase_ascii);
+  Alcotest.(check (option string)) "transformed" (Some "ABC") (Rp_ht.find t 9);
+  Rcu.barrier (Rp_ht.rcu t);
+  check_valid t
+
+let test_iter_fold () =
+  let t = make () in
+  for i = 0 to 49 do
+    Rp_ht.insert t i i
+  done;
+  let sum = Rp_ht.fold t ~init:0 ~f:(fun acc _ v -> acc + v) in
+  Alcotest.(check int) "fold sum" (49 * 50 / 2) sum;
+  let seen = ref 0 in
+  Rp_ht.iter t ~f:(fun _ _ -> incr seen);
+  Alcotest.(check int) "iter count" 50 !seen
+
+let test_iter_no_duplicates_after_resize () =
+  let t = make ~initial_size:4 () in
+  for i = 0 to 99 do
+    Rp_ht.insert t i i
+  done;
+  Rp_ht.resize t 128;
+  let seen = Hashtbl.create 128 in
+  Rp_ht.iter t ~f:(fun k _ ->
+      if Hashtbl.mem seen k then Alcotest.failf "key %d seen twice" k;
+      Hashtbl.add seen k ());
+  Alcotest.(check int) "all seen" 100 (Hashtbl.length seen)
+
+let test_bucket_lengths () =
+  let t = make ~initial_size:8 () in
+  for i = 0 to 79 do
+    Rp_ht.insert t i i
+  done;
+  let lengths = Rp_ht.bucket_lengths t in
+  Alcotest.(check int) "bucket count" 8 (Array.length lengths);
+  Alcotest.(check int) "total" 80 (Array.fold_left ( + ) 0 lengths)
+
+let test_find_opt_hashed () =
+  let t = make_str () in
+  Rp_ht.insert t "hello" 5;
+  let hash = Rp_hashes.Hashfn.fnv1a_string "hello" in
+  Alcotest.(check (option int)) "hashed find" (Some 5)
+    (Rp_ht.find_opt_hashed t ~hash "hello")
+
+let test_load_factor () =
+  let t = make ~initial_size:16 () in
+  for i = 0 to 7 do
+    Rp_ht.insert t i i
+  done;
+  Alcotest.(check (float 1e-9)) "load factor" 0.5 (Rp_ht.load_factor t)
+
+(* --- model-based property tests --- *)
+
+type op = Insert of int * int | Remove of int | Replace of int * int | Resize of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun k v -> Insert (k, v)) (int_bound 100) (int_bound 1000));
+        (2, map (fun k -> Remove k) (int_bound 100));
+        (2, map2 (fun k v -> Replace (k, v)) (int_bound 100) (int_bound 1000));
+        (1, map (fun s -> Resize (1 lsl s)) (int_bound 8));
+      ])
+
+let show_op = function
+  | Insert (k, v) -> Printf.sprintf "Insert (%d, %d)" k v
+  | Remove k -> Printf.sprintf "Remove %d" k
+  | Replace (k, v) -> Printf.sprintf "Replace (%d, %d)" k v
+  | Resize n -> Printf.sprintf "Resize %d" n
+
+(* Reference model: newest-first association list. *)
+let model_apply model = function
+  | Insert (k, v) -> (k, v) :: model
+  | Remove k ->
+      let rec drop_first = function
+        | [] -> []
+        | (k', _) :: rest when k' = k -> rest
+        | kv :: rest -> kv :: drop_first rest
+      in
+      drop_first model
+  | Replace (k, v) ->
+      (* replace updates only the newest (first) binding, or inserts *)
+      if List.mem_assoc k model then begin
+        let rec update = function
+          | [] -> []
+          | (k', _) :: rest when k' = k -> (k', v) :: rest
+          | kv :: rest -> kv :: update rest
+        in
+        update model
+      end
+      else (k, v) :: model
+  | Resize _ -> model
+
+let table_apply t = function
+  | Insert (k, v) -> Rp_ht.insert t k v
+  | Remove k -> ignore (Rp_ht.remove t k)
+  | Replace (k, v) -> Rp_ht.replace t k v
+  | Resize n -> Rp_ht.resize t n
+
+let prop_matches_model =
+  QCheck.Test.make ~name:"table matches model under random ops" ~count:200
+    (QCheck.make ~print:(fun l -> String.concat "; " (List.map show_op l))
+       QCheck.Gen.(list_size (int_bound 80) op_gen))
+    (fun ops ->
+      let t = make ~initial_size:4 () in
+      let model = List.fold_left model_apply [] ops in
+      List.iter (table_apply t) ops;
+      Rcu.barrier (Rp_ht.rcu t);
+      (match Rp_ht.validate t with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "invariant: %s" msg);
+      List.for_all
+        (fun k ->
+          let expected = List.assoc_opt k model in
+          let got = Rp_ht.find t k in
+          if expected <> got then
+            QCheck.Test.fail_reportf "key %d: model %s, table %s" k
+              (match expected with Some v -> string_of_int v | None -> "None")
+              (match got with Some v -> string_of_int v | None -> "None")
+          else true)
+        (List.init 101 Fun.id))
+
+let prop_resize_preserves_all =
+  QCheck.Test.make ~name:"any resize sequence preserves contents" ~count:100
+    QCheck.(pair (list_of_size Gen.(int_range 1 6) (int_range 0 9)) (int_range 0 50))
+    (fun (size_exps, n_keys) ->
+      let t = make ~initial_size:8 () in
+      for i = 0 to n_keys - 1 do
+        Rp_ht.insert t i i
+      done;
+      List.iter (fun e -> Rp_ht.resize t (1 lsl e)) size_exps;
+      (match Rp_ht.validate t with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "invariant: %s" msg);
+      List.for_all (fun i -> Rp_ht.find t i = Some i) (List.init n_keys Fun.id))
+
+let qcheck_tests =
+  List.map (QCheck_alcotest.to_alcotest ~long:false)
+    [ prop_matches_model; prop_resize_preserves_all ]
+
+let () =
+  Alcotest.run "rp_ht"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "empty table" `Quick test_empty;
+          Alcotest.test_case "insert and find" `Quick test_insert_find;
+          Alcotest.test_case "insert shadows" `Quick test_insert_shadows;
+          Alcotest.test_case "replace" `Quick test_replace;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "remove_sync" `Quick test_remove_sync;
+          Alcotest.test_case "iter and fold" `Quick test_iter_fold;
+          Alcotest.test_case "bucket lengths" `Quick test_bucket_lengths;
+          Alcotest.test_case "find_opt_hashed" `Quick test_find_opt_hashed;
+          Alcotest.test_case "load factor" `Quick test_load_factor;
+        ] );
+      ( "resize",
+        [
+          Alcotest.test_case "expand preserves contents" `Quick test_expand_preserves;
+          Alcotest.test_case "shrink preserves contents" `Quick test_shrink_preserves;
+          Alcotest.test_case "resize round trips" `Quick test_resize_roundtrip;
+          Alcotest.test_case "resize clamps to bounds" `Quick test_resize_clamps;
+          Alcotest.test_case "auto-resize grows" `Quick test_auto_resize_grows;
+          Alcotest.test_case "auto-resize shrinks" `Quick test_auto_resize_shrinks;
+          Alcotest.test_case "iter sees no duplicates after resize" `Quick
+            test_iter_no_duplicates_after_resize;
+        ] );
+      ( "move",
+        [
+          Alcotest.test_case "move rebinds" `Quick test_move;
+          Alcotest.test_case "move transforms value" `Quick test_move_transforms;
+        ] );
+      ("properties", qcheck_tests);
+    ]

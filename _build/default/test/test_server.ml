@@ -1,0 +1,242 @@
+(* Server dispatch (pure) and full socket integration via the client. *)
+
+open Memcached
+
+let make_store () = Store.create ~backend:Store.Rp ~initial_size:64 ()
+
+let storage ?(flags = 0) ?(exptime = 0) ?(noreply = false) key data :
+    Protocol.storage =
+  { key; flags; exptime; noreply; data }
+
+let test_dispatch_set_get () =
+  let store = make_store () in
+  (match Server.handle store (Protocol.Set (storage "k" "v")) with
+  | Some Protocol.Stored -> ()
+  | _ -> Alcotest.fail "set not stored");
+  match Server.handle store (Protocol.Get [ "k"; "ghost" ]) with
+  | Some (Protocol.Values [ v ]) ->
+      Alcotest.(check string) "value" "v" v.vdata;
+      Alcotest.(check string) "key echoed" "k" v.vkey
+  | _ -> Alcotest.fail "get wrong"
+
+let test_dispatch_noreply () =
+  let store = make_store () in
+  Alcotest.(check bool) "noreply set suppressed" true
+    (Server.handle store (Protocol.Set (storage ~noreply:true "k" "v")) = None);
+  Alcotest.(check bool) "stored anyway" true (Store.get store "k" <> None);
+  Alcotest.(check bool) "noreply delete suppressed" true
+    (Server.handle store (Protocol.Delete { key = "k"; noreply = true }) = None)
+
+let test_dispatch_delete () =
+  let store = make_store () in
+  ignore (Server.handle store (Protocol.Set (storage "k" "v")));
+  (match Server.handle store (Protocol.Delete { key = "k"; noreply = false }) with
+  | Some Protocol.Deleted -> ()
+  | _ -> Alcotest.fail "delete should report Deleted");
+  match Server.handle store (Protocol.Delete { key = "k"; noreply = false }) with
+  | Some Protocol.Not_found -> ()
+  | _ -> Alcotest.fail "second delete should report Not_found"
+
+let test_dispatch_counters () =
+  let store = make_store () in
+  ignore (Server.handle store (Protocol.Set (storage "c" "5")));
+  (match Server.handle store (Protocol.Incr { key = "c"; delta = 2; noreply = false }) with
+  | Some (Protocol.Number 7) -> ()
+  | _ -> Alcotest.fail "incr wrong");
+  (match Server.handle store (Protocol.Incr { key = "ghost"; delta = 1; noreply = false }) with
+  | Some Protocol.Not_found -> ()
+  | _ -> Alcotest.fail "incr on absent wrong");
+  ignore (Server.handle store (Protocol.Set (storage "s" "text")));
+  match Server.handle store (Protocol.Incr { key = "s"; delta = 1; noreply = false }) with
+  | Some (Protocol.Client_error _) -> ()
+  | _ -> Alcotest.fail "incr on non-numeric should be CLIENT_ERROR"
+
+let test_dispatch_gets_cas_flow () =
+  let store = make_store () in
+  ignore (Server.handle store (Protocol.Set (storage "k" "v1")));
+  let unique =
+    match Server.handle store (Protocol.Gets [ "k" ]) with
+    | Some (Protocol.Values [ { vcas = Some c; _ } ]) -> c
+    | _ -> Alcotest.fail "gets lost cas"
+  in
+  (match Server.handle store (Protocol.Cas (storage "k" "v2", unique)) with
+  | Some Protocol.Stored -> ()
+  | _ -> Alcotest.fail "cas with fresh unique failed");
+  match Server.handle store (Protocol.Cas (storage "k" "v3", unique)) with
+  | Some Protocol.Exists -> ()
+  | _ -> Alcotest.fail "stale cas accepted"
+
+let test_dispatch_admin () =
+  let store = make_store () in
+  (match Server.handle store Protocol.Version with
+  | Some (Protocol.Version_reply v) ->
+      Alcotest.(check string) "version string" Server.version_string v
+  | _ -> Alcotest.fail "version wrong");
+  (match Server.handle store Protocol.Stats with
+  | Some (Protocol.Stats_reply kvs) ->
+      Alcotest.(check bool) "stats non-empty" true (List.length kvs > 0)
+  | _ -> Alcotest.fail "stats wrong");
+  ignore (Server.handle store (Protocol.Set (storage "k" "v")));
+  (match Server.handle store (Protocol.Flush_all { noreply = false }) with
+  | Some Protocol.Ok_reply -> ()
+  | _ -> Alcotest.fail "flush_all wrong");
+  Alcotest.(check int) "flushed" 0 (Store.items store);
+  Alcotest.(check bool) "quit closes" true (Server.handle store Protocol.Quit = None)
+
+(* --- socket integration --- *)
+
+let with_server f =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-mc-test-%d.sock" (Unix.getpid ()))
+  in
+  let store = make_store () in
+  let server = Server.start ~store (Server.Unix_socket path) in
+  let finish () = Server.stop server in
+  (match f (Server.Unix_socket path) store with
+  | () -> finish ()
+  | exception e ->
+      finish ();
+      raise e)
+
+let test_socket_roundtrip () =
+  with_server (fun addr _store ->
+      let client = Client.connect addr in
+      Alcotest.(check bool) "set" true (Client.set client ~key:"k" ~data:"hello" ());
+      (match Client.get client "k" with
+      | Some v -> Alcotest.(check string) "get" "hello" v.vdata
+      | None -> Alcotest.fail "get missed");
+      Alcotest.(check (option string)) "miss" None
+        (Option.map (fun (v : Protocol.value) -> v.vdata) (Client.get client "ghost"));
+      Alcotest.(check bool) "delete" true (Client.delete client "k");
+      Alcotest.(check bool) "delete again" false (Client.delete client "k");
+      Client.close client)
+
+let test_socket_counters_and_touch () =
+  with_server (fun addr _store ->
+      let client = Client.connect addr in
+      ignore (Client.set client ~key:"c" ~data:"41" ());
+      Alcotest.(check (option int)) "incr" (Some 42) (Client.incr client "c" 1);
+      Alcotest.(check (option int)) "decr" (Some 40) (Client.decr client "c" 2);
+      Alcotest.(check (option int)) "incr absent" None (Client.incr client "ghost" 1);
+      Alcotest.(check bool) "touch" true (Client.touch client ~key:"c" ~exptime:100);
+      Client.close client)
+
+let test_socket_large_value () =
+  with_server (fun addr _store ->
+      let client = Client.connect addr in
+      (* Larger than the server's 16 KiB read buffer: exercises incremental
+         parsing across multiple reads. *)
+      let big = String.init 100_000 (fun i -> Char.chr (33 + (i mod 90))) in
+      Alcotest.(check bool) "set big" true (Client.set client ~key:"big" ~data:big ());
+      (match Client.get client "big" with
+      | Some v -> Alcotest.(check int) "big length" 100_000 (String.length v.vdata)
+      | None -> Alcotest.fail "big value lost");
+      (match Client.get client "big" with
+      | Some v -> Alcotest.(check bool) "big content intact" true (v.vdata = big)
+      | None -> Alcotest.fail "big value lost on re-read");
+      Client.close client)
+
+let test_socket_multi_clients () =
+  with_server (fun addr _store ->
+      let clients = List.init 4 (fun _ -> Client.connect addr) in
+      List.iteri
+        (fun i c ->
+          Alcotest.(check bool) "set" true
+            (Client.set c ~key:(Printf.sprintf "k%d" i) ~data:(string_of_int i) ()))
+        clients;
+      (* Every client sees every other client's writes. *)
+      List.iter
+        (fun c ->
+          for i = 0 to 3 do
+            match Client.get c (Printf.sprintf "k%d" i) with
+            | Some v -> Alcotest.(check string) "cross visibility" (string_of_int i) v.vdata
+            | None -> Alcotest.fail "cross-client value missing"
+          done)
+        clients;
+      List.iter Client.close clients)
+
+let test_socket_multi_get () =
+  with_server (fun addr _store ->
+      let client = Client.connect addr in
+      ignore (Client.set client ~key:"a" ~data:"1" ());
+      ignore (Client.set client ~key:"b" ~data:"2" ());
+      let values = Client.get_many client [ "a"; "ghost"; "b" ] in
+      Alcotest.(check (list string)) "present values" [ "1"; "2" ]
+        (List.map (fun (v : Protocol.value) -> v.vdata) values);
+      Client.close client)
+
+let test_socket_stats_and_version () =
+  with_server (fun addr _store ->
+      let client = Client.connect addr in
+      Alcotest.(check string) "version" Server.version_string (Client.version client);
+      let stats = Client.stats client in
+      Alcotest.(check bool) "stats has backend" true
+        (List.mem_assoc "backend" stats);
+      Client.flush_all client;
+      Client.close client)
+
+let test_socket_protocol_error_keeps_connection () =
+  with_server (fun addr _store ->
+      (* Send garbage, then a valid request on the same connection. *)
+      let client = Client.connect addr in
+      (match Client.request client (Protocol.Get [ "placeholder" ]) with
+      | Protocol.Values [] -> ()
+      | _ -> Alcotest.fail "warmup failed");
+      Client.close client;
+      (* Raw socket: garbage line then valid get. *)
+      let path = match addr with Server.Unix_socket p -> p | Server.Tcp _ -> assert false in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let send s = ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s)) in
+      send "not a command\r\nversion\r\n";
+      let buf = Bytes.create 4096 in
+      let rec read_all acc =
+        if
+          (* Stop once we have both the error reply and the version. *)
+          let s = acc in
+          String.length s > 0
+          && String.split_on_char '\n' s |> List.length >= 3
+        then acc
+        else begin
+          let n = Unix.read fd buf 0 4096 in
+          if n = 0 then acc else read_all (acc ^ Bytes.sub_string buf 0 n)
+        end
+      in
+      let reply = read_all "" in
+      Unix.close fd;
+      Alcotest.(check bool) "error reported" true
+        (String.length reply >= 5 && String.sub reply 0 5 = "ERROR");
+      Alcotest.(check bool) "connection survived to serve version" true
+        (let needle = "VERSION" in
+         let rec find i =
+           i + String.length needle <= String.length reply
+           && (String.sub reply i (String.length needle) = needle || find (i + 1))
+         in
+         find 0))
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "dispatch",
+        [
+          Alcotest.test_case "set/get" `Quick test_dispatch_set_get;
+          Alcotest.test_case "noreply" `Quick test_dispatch_noreply;
+          Alcotest.test_case "delete" `Quick test_dispatch_delete;
+          Alcotest.test_case "counters" `Quick test_dispatch_counters;
+          Alcotest.test_case "gets/cas flow" `Quick test_dispatch_gets_cas_flow;
+          Alcotest.test_case "admin" `Quick test_dispatch_admin;
+        ] );
+      ( "socket integration",
+        [
+          Alcotest.test_case "round trip" `Quick test_socket_roundtrip;
+          Alcotest.test_case "counters and touch" `Quick
+            test_socket_counters_and_touch;
+          Alcotest.test_case "large value" `Quick test_socket_large_value;
+          Alcotest.test_case "multiple clients" `Quick test_socket_multi_clients;
+          Alcotest.test_case "multi get" `Quick test_socket_multi_get;
+          Alcotest.test_case "stats and version" `Quick test_socket_stats_and_version;
+          Alcotest.test_case "protocol error keeps connection" `Quick
+            test_socket_protocol_error_keeps_connection;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* Cost model: USL math, profile derivations, figure-shape predictions.
+
+   These tests pin the qualitative claims the projections rest on: RP scales
+   linearly, rwlock collapses, DDDS sits between, and the memcached GET gap
+   widens with process count. *)
+
+let tput p n = Simcore.Costmodel.throughput p ~threads:n
+
+let test_usl_formula () =
+  (* sigma = kappa = 0: perfectly linear. *)
+  let p = { Simcore.Costmodel.name = "ideal"; lambda = 10.0; sigma = 0.0; kappa = 0.0 } in
+  Alcotest.(check (float 1e-9)) "1 thread" 10.0 (tput p 1);
+  Alcotest.(check (float 1e-9)) "16 threads" 160.0 (tput p 16);
+  (* Pure serial fraction: Amdahl saturation at lambda/sigma. *)
+  let s = { p with Simcore.Costmodel.name = "serial"; sigma = 1.0 } in
+  Alcotest.(check (float 1e-9)) "fully serial stays at lambda" 10.0 (tput s 16)
+
+let test_usl_validation () =
+  let p = Simcore.Costmodel.rp_fixed ~lambda:1.0 in
+  Alcotest.check_raises "threads < 1"
+    (Invalid_argument "Costmodel.throughput: threads < 1") (fun () ->
+      ignore (tput p 0))
+
+let test_rp_linear () =
+  let p = Simcore.Costmodel.rp_fixed ~lambda:1e7 in
+  Alcotest.(check (float 1.0)) "16x at 16 threads" 1.6e8 (tput p 16)
+
+let test_rwlock_collapses () =
+  let p = Simcore.Costmodel.rwlock ~lambda:1e7 in
+  (* The paper's rwlock curve is flat-to-declining: 16 threads must deliver
+     less than 2x one thread, and no more than at 4 threads. *)
+  Alcotest.(check bool) "no meaningful scaling" true (tput p 16 < 2.0 *. tput p 1);
+  Alcotest.(check bool) "declines past saturation" true (tput p 16 <= tput p 4 *. 1.1)
+
+let test_orderings_fig1 () =
+  (* Same single-thread rate: at 16 threads RP > DDDS > rwlock. *)
+  let lambda = 1e7 in
+  let rp = tput (Simcore.Costmodel.rp_fixed ~lambda) 16 in
+  let ddds = tput (Simcore.Costmodel.ddds_fixed ~lambda) 16 in
+  let rwl = tput (Simcore.Costmodel.rwlock ~lambda) 16 in
+  Alcotest.(check bool) "rp > ddds" true (rp > ddds);
+  Alcotest.(check bool) "ddds > rwlock" true (ddds > rwl);
+  Alcotest.(check bool) "ddds still scales" true (ddds > 5.0 *. lambda)
+
+let test_orderings_fig2 () =
+  let lambda = 1e7 in
+  let rp = Simcore.Costmodel.rp_resizing ~lambda in
+  let ddds = Simcore.Costmodel.ddds_resizing ~lambda in
+  (* RP under resize keeps near-linear scaling; DDDS flattens hard. *)
+  Alcotest.(check bool) "rp near-linear" true (tput rp 16 > 12.0 *. lambda);
+  Alcotest.(check bool) "ddds heavily degraded" true (tput ddds 16 < 6.0 *. lambda);
+  Alcotest.(check bool) "rp dominates" true (tput rp 16 > 3.0 *. tput ddds 16)
+
+let test_memcached_profiles () =
+  let lambda = 1e5 in
+  let rp_get = Simcore.Costmodel.memcached_get_rp ~lambda in
+  let lock_get = Simcore.Costmodel.memcached_get_lock ~lambda in
+  let lock_set = Simcore.Costmodel.memcached_set_lock ~lambda in
+  let rp_set = Simcore.Costmodel.memcached_set_rp ~lambda in
+  (* GET gap grows with workers (paper fig 5). *)
+  let gap n = tput rp_get n /. tput lock_get n in
+  Alcotest.(check bool) "gap widens" true (gap 12 > gap 2 && gap 2 > 1.0);
+  (* SET paths both saturate; RP SET at or slightly below default SET. *)
+  Alcotest.(check bool) "sets saturate" true
+    (tput lock_set 12 < 2.0 *. lambda && tput rp_set 12 < 2.0 *. lambda);
+  Alcotest.(check bool) "rp set <= default set" true (tput rp_set 12 <= tput lock_set 12)
+
+let test_machine_derivations () =
+  let m = Simcore.Machine.default in
+  let sigma =
+    Simcore.Machine.serial_fraction m ~shared_rmws_per_op:2 ~op_ns:100.0
+  in
+  Alcotest.(check bool) "sigma in (0, 1]" true (sigma > 0.0 && sigma <= 1.0);
+  (* 2 transfers at 60ns each over a 100ns op saturates the cap. *)
+  Alcotest.(check (float 1e-9)) "capped at 1" 1.0 sigma;
+  let sigma_light =
+    Simcore.Machine.serial_fraction m ~shared_rmws_per_op:1 ~op_ns:600.0
+  in
+  Alcotest.(check (float 1e-9)) "uncapped value" 0.1 sigma_light;
+  Alcotest.check_raises "op_ns <= 0"
+    (Invalid_argument "Machine.serial_fraction: op_ns <= 0") (fun () ->
+      ignore (Simcore.Machine.serial_fraction m ~shared_rmws_per_op:1 ~op_ns:0.0))
+
+let test_with_lambda () =
+  let p = Simcore.Costmodel.rp_fixed ~lambda:1.0 in
+  let p2 = Simcore.Costmodel.with_lambda p 5.0 in
+  Alcotest.(check (float 1e-9)) "lambda replaced" 5.0 (tput p2 1);
+  Alcotest.(check string) "name kept" p.Simcore.Costmodel.name
+    p2.Simcore.Costmodel.name
+
+let test_series_shape () =
+  let s =
+    Simcore.Costmodel.series (Simcore.Costmodel.rp_fixed ~lambda:2.0)
+      ~threads:[ 1; 2; 4 ]
+  in
+  Alcotest.(check string) "label" "rp" s.Rp_harness.Series.label;
+  Alcotest.(check (list int)) "xs" [ 1; 2; 4 ] (List.map fst s.Rp_harness.Series.points)
+
+let test_predict_fig1_structure () =
+  let series =
+    Simcore.Predict.fig1 ~lambda_rp:1e7 ~lambda_ddds:1e7 ~lambda_rwlock:1e7 ()
+  in
+  Alcotest.(check int) "three curves" 3 (List.length series);
+  Alcotest.(check (list string)) "labels" [ "rp"; "ddds"; "rwlock" ]
+    (List.map (fun (s : Rp_harness.Series.t) -> s.label) series);
+  List.iter
+    (fun (s : Rp_harness.Series.t) ->
+      Alcotest.(check (list int)) "paper's x axis" [ 1; 2; 4; 8; 16 ]
+        (List.map fst s.points))
+    series
+
+let test_predict_fig3_ordering () =
+  (* 16k tables have shorter chains: calibrated lambdas reflect that, and
+     the model must keep the ordering 16k > 8k > resize at every x. *)
+  let series =
+    Simcore.Predict.fig3 ~lambda_8k:1.0e7 ~lambda_16k:1.15e7 ~lambda_resize:0.85e7 ()
+  in
+  let y label x =
+    let s = List.find (fun (s : Rp_harness.Series.t) -> s.label = label) series in
+    Option.get (Rp_harness.Series.y_at s x)
+  in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "16k >= 8k" true (y "16k" x >= y "8k" x);
+      Alcotest.(check bool) "8k >= resize" true (y "8k" x >= y "resize" x))
+    [ 1; 2; 4; 8; 16 ]
+
+let test_predict_fig5_structure () =
+  let series =
+    Simcore.Predict.fig5 ~lambda_get_rp:5e5 ~lambda_get_lock:5e5
+      ~lambda_set_lock:2e5 ~lambda_set_rp:2e5 ()
+  in
+  Alcotest.(check int) "four curves" 4 (List.length series);
+  List.iter
+    (fun (s : Rp_harness.Series.t) ->
+      Alcotest.(check int) "12 points" 12 (List.length s.points))
+    series
+
+let prop_throughput_positive =
+  QCheck.Test.make ~name:"throughput positive and finite" ~count:300
+    QCheck.(
+      quad (float_range 1.0 1e9) (float_range 0.0 1.0) (float_range 0.0 0.1)
+        (int_range 1 64))
+    (fun (lambda, sigma, kappa, n) ->
+      let p = { Simcore.Costmodel.name = "q"; lambda; sigma; kappa } in
+      let x = tput p n in
+      x > 0.0 && Float.is_finite x && x <= lambda *. float_of_int n +. 1e-6)
+
+let () =
+  Alcotest.run "simcore"
+    [
+      ( "usl",
+        [
+          Alcotest.test_case "formula" `Quick test_usl_formula;
+          Alcotest.test_case "validation" `Quick test_usl_validation;
+          Alcotest.test_case "with_lambda" `Quick test_with_lambda;
+          Alcotest.test_case "series shape" `Quick test_series_shape;
+          QCheck_alcotest.to_alcotest prop_throughput_positive;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "rp linear" `Quick test_rp_linear;
+          Alcotest.test_case "rwlock collapses" `Quick test_rwlock_collapses;
+          Alcotest.test_case "fig1 orderings" `Quick test_orderings_fig1;
+          Alcotest.test_case "fig2 orderings" `Quick test_orderings_fig2;
+          Alcotest.test_case "memcached profiles" `Quick test_memcached_profiles;
+          Alcotest.test_case "machine derivations" `Quick test_machine_derivations;
+        ] );
+      ( "predict",
+        [
+          Alcotest.test_case "fig1 structure" `Quick test_predict_fig1_structure;
+          Alcotest.test_case "fig3 ordering" `Quick test_predict_fig3_ordering;
+          Alcotest.test_case "fig5 structure" `Quick test_predict_fig5_structure;
+        ] );
+    ]

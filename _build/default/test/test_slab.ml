@@ -1,0 +1,204 @@
+(* Slab-class accounting: size ladder, class selection, charge/refund
+   bookkeeping, fragmentation, oversize rejection — and the store-level
+   behaviours it drives. *)
+
+open Memcached
+
+let test_default_ladder () =
+  let slab = Slab.create () in
+  let sizes = Slab.chunk_sizes slab in
+  Alcotest.(check int) "base chunk" 96 sizes.(0);
+  Alcotest.(check int) "max chunk" (1 lsl 20) sizes.(Array.length sizes - 1);
+  Alcotest.(check bool) "several classes" true (Slab.class_count slab > 20);
+  (* Strictly increasing and 8-byte aligned (except possibly the max). *)
+  Array.iteri
+    (fun i size ->
+      if i > 0 && size <= sizes.(i - 1) then Alcotest.fail "ladder not increasing";
+      if i < Array.length sizes - 1 && size land 7 <> 0 then
+        Alcotest.failf "chunk %d not 8-byte aligned" size)
+    sizes
+
+let test_growth_factor_bounded () =
+  let slab = Slab.create ~growth_factor:1.25 () in
+  let sizes = Slab.chunk_sizes slab in
+  for i = 1 to Array.length sizes - 2 do
+    let ratio = float_of_int sizes.(i) /. float_of_int sizes.(i - 1) in
+    if ratio > 1.35 then
+      Alcotest.failf "growth %d -> %d exceeds factor headroom" sizes.(i - 1) sizes.(i)
+  done
+
+let test_class_selection () =
+  let slab = Slab.create () in
+  (match Slab.class_of_size slab 1 with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "tiny item not in class 0");
+  (match Slab.class_of_size slab 96 with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "exact base size not in class 0");
+  (match Slab.class_of_size slab 97 with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "97 bytes not in class 1");
+  (match Slab.class_of_size slab (1 lsl 20) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "max-size item refused");
+  Alcotest.(check bool) "oversize refused" true
+    (Slab.class_of_size slab ((1 lsl 20) + 1) = None)
+
+let test_charge_refund_roundtrip () =
+  let slab = Slab.create () in
+  Alcotest.(check int) "empty allocated" 0 (Slab.allocated_bytes slab);
+  let chunk = Option.get (Slab.charge slab 100) in
+  Alcotest.(check bool) "chunk covers size" true (chunk >= 100);
+  Alcotest.(check int) "allocated = chunk" chunk (Slab.allocated_bytes slab);
+  Alcotest.(check int) "requested = size" 100 (Slab.requested_bytes slab);
+  Alcotest.(check bool) "fragmentation positive" true (Slab.fragmentation slab > 0.0);
+  Slab.refund slab 100;
+  Alcotest.(check int) "allocated back to 0" 0 (Slab.allocated_bytes slab);
+  Alcotest.(check int) "requested back to 0" 0 (Slab.requested_bytes slab);
+  Alcotest.(check (float 1e-9)) "fragmentation 0 when empty" 0.0
+    (Slab.fragmentation slab)
+
+let test_charge_oversize () =
+  let slab = Slab.create () in
+  Alcotest.(check bool) "oversize charge refused" true
+    (Slab.charge slab (2 lsl 20) = None);
+  Alcotest.(check int) "nothing accounted" 0 (Slab.allocated_bytes slab)
+
+let test_stats_per_class () =
+  let slab = Slab.create () in
+  ignore (Slab.charge slab 50);
+  ignore (Slab.charge slab 60);
+  ignore (Slab.charge slab 500);
+  let stats = Slab.stats slab in
+  Alcotest.(check int) "two classes in use" 2 (List.length stats);
+  let small = List.hd stats in
+  Alcotest.(check int) "small class chunks" 2 small.Slab.used_chunks;
+  Alcotest.(check int) "small class bytes" 110 small.Slab.used_bytes
+
+let test_validation () =
+  Alcotest.check_raises "factor <= 1"
+    (Invalid_argument "Slab.create: growth_factor <= 1") (fun () ->
+      ignore (Slab.create ~growth_factor:1.0 ()));
+  Alcotest.check_raises "base <= 0"
+    (Invalid_argument "Slab.create: base_chunk <= 0") (fun () ->
+      ignore (Slab.create ~base_chunk:0 ()))
+
+let prop_charge_refund_balance =
+  QCheck.Test.make ~name:"interleaved charges/refunds balance to zero" ~count:200
+    QCheck.(list_of_size Gen.(int_bound 60) (int_range 1 100_000))
+    (fun sizes ->
+      let slab = Slab.create () in
+      List.iter (fun size -> ignore (Slab.charge slab size)) sizes;
+      let allocated = Slab.allocated_bytes slab in
+      let requested = Slab.requested_bytes slab in
+      let expected_requested = List.fold_left ( + ) 0 sizes in
+      List.iter (fun size -> Slab.refund slab size) sizes;
+      allocated >= requested
+      && requested = expected_requested
+      && Slab.allocated_bytes slab = 0
+      && Slab.requested_bytes slab = 0)
+
+let prop_chunk_covers =
+  QCheck.Test.make ~name:"selected chunk always covers the item" ~count:500
+    QCheck.(int_range 1 (1 lsl 20))
+    (fun size ->
+      let slab = Slab.create () in
+      match Slab.class_of_size slab size with
+      | None -> false
+      | Some cls ->
+          let chunk = Slab.chunk_size_of slab cls in
+          chunk >= size && (cls = 0 || Slab.chunk_size_of slab (cls - 1) < size))
+
+(* --- store-level behaviour driven by the slab --- *)
+
+let test_store_rejects_oversize () =
+  let store = Store.create ~backend:Store.Rp () in
+  let result =
+    Store.set store ~key:"big" ~flags:0 ~exptime:0 ~data:(String.make (2 lsl 20) 'x')
+  in
+  Alcotest.(check bool) "too large" true (result = Store.Too_large);
+  Alcotest.(check int) "nothing stored" 0 (Store.items store)
+
+let test_store_append_cannot_exceed_max () =
+  let store = Store.create ~backend:Store.Lock () in
+  let half = String.make (600 * 1024) 'a' in
+  Alcotest.(check bool) "first half stored" true
+    (Store.set store ~key:"k" ~flags:0 ~exptime:0 ~data:half = Store.Stored);
+  Alcotest.(check bool) "append past 1MiB refused" true
+    (Store.append store ~key:"k" ~data:half = Store.Too_large);
+  (match Store.get store "k" with
+  | Some v -> Alcotest.(check int) "original intact" (600 * 1024) (String.length v.vdata)
+  | None -> Alcotest.fail "original lost")
+
+let test_store_reports_fragmentation () =
+  let store = Store.create ~backend:Store.Rp () in
+  ignore (Store.set store ~key:"k" ~flags:0 ~exptime:0 ~data:"tiny");
+  Alcotest.(check bool) "bytes >= requested" true
+    (Store.bytes store > String.length "tiny");
+  Alcotest.(check bool) "fragmentation reported" true
+    (Store.fragmentation store > 0.0);
+  Alcotest.(check int) "one class in use" 1 (List.length (Store.slab_stats store));
+  let stats = Store.stats store in
+  Alcotest.(check bool) "stats expose slab rows" true
+    (List.mem_assoc "slab_fragmentation" stats
+    && List.mem_assoc "bytes_requested" stats)
+
+let test_server_maps_too_large () =
+  let store = Store.create ~backend:Store.Rp () in
+  let big : Protocol.storage =
+    {
+      key = "k";
+      flags = 0;
+      exptime = 0;
+      noreply = false;
+      data = String.make (2 lsl 20) 'x';
+    }
+  in
+  (match Server.handle store (Protocol.Set big) with
+  | Some (Protocol.Server_error _) -> ()
+  | _ -> Alcotest.fail "text protocol should report SERVER_ERROR");
+  let breq : Binary_protocol.request =
+    {
+      opcode = Binary_protocol.Set;
+      key = "k";
+      value = String.make (2 lsl 20) 'x';
+      extras = Binary_protocol.set_extras ~flags:0 ~exptime:0;
+      opaque = 0;
+      cas = 0;
+    }
+  in
+  match Binary_server.handle store breq with
+  | [ r ] ->
+      Alcotest.(check bool) "binary maps to Value_too_large" true
+        (r.status = Binary_protocol.Value_too_large)
+  | _ -> Alcotest.fail "binary reply shape"
+
+let () =
+  Alcotest.run "slab"
+    [
+      ( "ladder",
+        [
+          Alcotest.test_case "default ladder" `Quick test_default_ladder;
+          Alcotest.test_case "growth bounded" `Quick test_growth_factor_bounded;
+          Alcotest.test_case "class selection" `Quick test_class_selection;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "charge/refund round trip" `Quick
+            test_charge_refund_roundtrip;
+          Alcotest.test_case "oversize charge" `Quick test_charge_oversize;
+          Alcotest.test_case "per-class stats" `Quick test_stats_per_class;
+          QCheck_alcotest.to_alcotest prop_charge_refund_balance;
+          QCheck_alcotest.to_alcotest prop_chunk_covers;
+        ] );
+      ( "store integration",
+        [
+          Alcotest.test_case "oversize rejected" `Quick test_store_rejects_oversize;
+          Alcotest.test_case "append bounded" `Quick
+            test_store_append_cannot_exceed_max;
+          Alcotest.test_case "fragmentation reported" `Quick
+            test_store_reports_fragmentation;
+          Alcotest.test_case "protocol mapping" `Quick test_server_maps_too_large;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+(* Store semantics, exercised identically on both backends with an injected
+   clock: get/set/add/replace/cas, append/prepend, counters, expiry,
+   eviction (exact LRU vs CLOCK second chance), flush, stats. *)
+
+open Memcached
+
+let backends = [ ("lock", Store.Lock); ("rp", Store.Rp) ]
+
+(* A controllable clock. *)
+let make_store ?(max_bytes = 1 lsl 30) backend =
+  let now = ref 1_000_000_000.0 in
+  let store =
+    Store.create ~backend ~max_bytes ~initial_size:64 ~clock:(fun () -> !now) ()
+  in
+  (store, now)
+
+let set_ok store key data =
+  match Store.set store ~key ~flags:0 ~exptime:0 ~data with
+  | Store.Stored -> ()
+  | _ -> Alcotest.failf "set %s failed" key
+
+let get_data store key =
+  Option.map (fun (v : Protocol.value) -> v.vdata) (Store.get store key)
+
+let test_get_set backend () =
+  let store, _ = make_store backend in
+  Alcotest.(check (option string)) "miss on empty" None (get_data store "k");
+  set_ok store "k" "v1";
+  Alcotest.(check (option string)) "hit" (Some "v1") (get_data store "k");
+  set_ok store "k" "v2";
+  Alcotest.(check (option string)) "overwrite" (Some "v2") (get_data store "k");
+  Alcotest.(check int) "one item" 1 (Store.items store)
+
+let test_flags_roundtrip backend () =
+  let store, _ = make_store backend in
+  ignore (Store.set store ~key:"k" ~flags:1234 ~exptime:0 ~data:"v");
+  match Store.get store "k" with
+  | Some v -> Alcotest.(check int) "flags preserved" 1234 v.vflags
+  | None -> Alcotest.fail "missing"
+
+let test_add_replace backend () =
+  let store, _ = make_store backend in
+  Alcotest.(check bool) "add to empty stores" true
+    (Store.add store ~key:"k" ~flags:0 ~exptime:0 ~data:"a" = Store.Stored);
+  Alcotest.(check bool) "add to existing refuses" true
+    (Store.add store ~key:"k" ~flags:0 ~exptime:0 ~data:"b" = Store.Not_stored);
+  Alcotest.(check (option string)) "value untouched" (Some "a") (get_data store "k");
+  Alcotest.(check bool) "replace existing stores" true
+    (Store.replace store ~key:"k" ~flags:0 ~exptime:0 ~data:"c" = Store.Stored);
+  Alcotest.(check bool) "replace absent refuses" true
+    (Store.replace store ~key:"nope" ~flags:0 ~exptime:0 ~data:"d"
+    = Store.Not_stored)
+
+let test_cas backend () =
+  let store, _ = make_store backend in
+  set_ok store "k" "v";
+  let unique =
+    match Store.get_many store ~with_cas:true [ "k" ] with
+    | [ { vcas = Some c; _ } ] -> c
+    | _ -> Alcotest.fail "gets lost cas"
+  in
+  Alcotest.(check bool) "cas with stale unique" true
+    (Store.cas store ~key:"k" ~flags:0 ~exptime:0 ~data:"x" ~unique:(unique + 1)
+    = Store.Exists);
+  Alcotest.(check bool) "cas with right unique" true
+    (Store.cas store ~key:"k" ~flags:0 ~exptime:0 ~data:"y" ~unique = Store.Stored);
+  Alcotest.(check (option string)) "cas applied" (Some "y") (get_data store "k");
+  Alcotest.(check bool) "cas absent key" true
+    (Store.cas store ~key:"ghost" ~flags:0 ~exptime:0 ~data:"z" ~unique
+    = Store.Not_found)
+
+let test_append_prepend backend () =
+  let store, _ = make_store backend in
+  Alcotest.(check bool) "append absent refuses" true
+    (Store.append store ~key:"k" ~data:"x" = Store.Not_stored);
+  set_ok store "k" "mid";
+  Alcotest.(check bool) "append" true (Store.append store ~key:"k" ~data:"post" = Store.Stored);
+  Alcotest.(check bool) "prepend" true (Store.prepend store ~key:"k" ~data:"pre" = Store.Stored);
+  Alcotest.(check (option string)) "concatenated" (Some "premidpost")
+    (get_data store "k")
+
+let test_delete backend () =
+  let store, _ = make_store backend in
+  set_ok store "k" "v";
+  Alcotest.(check bool) "delete present" true (Store.delete store "k");
+  Alcotest.(check bool) "delete absent" false (Store.delete store "k");
+  Alcotest.(check (option string)) "gone" None (get_data store "k");
+  Alcotest.(check int) "empty" 0 (Store.items store)
+
+let test_counters backend () =
+  let store, _ = make_store backend in
+  set_ok store "c" "10";
+  Alcotest.(check bool) "incr" true (Store.incr store "c" 5 = Store.Cvalue 15);
+  Alcotest.(check bool) "decr" true (Store.decr store "c" 3 = Store.Cvalue 12);
+  Alcotest.(check bool) "decr saturates at 0" true
+    (Store.decr store "c" 100 = Store.Cvalue 0);
+  Alcotest.(check (option string)) "stored as string" (Some "0") (get_data store "c");
+  Alcotest.(check bool) "incr absent" true (Store.incr store "ghost" 1 = Store.Cnotfound);
+  set_ok store "s" "not-a-number";
+  Alcotest.(check bool) "incr non-numeric" true
+    (Store.incr store "s" 1 = Store.Cnon_numeric)
+
+let test_expiry backend () =
+  let store, now = make_store backend in
+  (* Relative expiry: 60 seconds. *)
+  ignore (Store.set store ~key:"k" ~flags:0 ~exptime:60 ~data:"v");
+  Alcotest.(check (option string)) "alive" (Some "v") (get_data store "k");
+  now := !now +. 59.0;
+  Alcotest.(check (option string)) "still alive at 59s" (Some "v") (get_data store "k");
+  now := !now +. 2.0;
+  Alcotest.(check (option string)) "expired at 61s" None (get_data store "k");
+  (* The expired item must eventually leave the store (lazy deletion). *)
+  Alcotest.(check int) "reaped" 0 (Store.items store)
+
+let test_expiry_absolute backend () =
+  let store, now = make_store backend in
+  (* Values beyond 30 days are absolute Unix timestamps. *)
+  let absolute = int_of_float !now + 100 in
+  ignore (Store.set store ~key:"k" ~flags:0 ~exptime:absolute ~data:"v");
+  Alcotest.(check (option string)) "alive" (Some "v") (get_data store "k");
+  now := float_of_int (absolute + 1);
+  Alcotest.(check (option string)) "expired at absolute time" None
+    (get_data store "k")
+
+let test_expired_key_is_storable backend () =
+  let store, now = make_store backend in
+  ignore (Store.set store ~key:"k" ~flags:0 ~exptime:10 ~data:"old");
+  now := !now +. 11.0;
+  (* add treats the expired binding as absent. *)
+  Alcotest.(check bool) "add over expired" true
+    (Store.add store ~key:"k" ~flags:0 ~exptime:0 ~data:"new" = Store.Stored);
+  Alcotest.(check (option string)) "new value" (Some "new") (get_data store "k")
+
+let test_touch backend () =
+  let store, now = make_store backend in
+  ignore (Store.set store ~key:"k" ~flags:7 ~exptime:10 ~data:"v");
+  Alcotest.(check bool) "touch extends" true (Store.touch store ~key:"k" ~exptime:100);
+  now := !now +. 50.0;
+  Alcotest.(check (option string)) "alive past old expiry" (Some "v")
+    (get_data store "k");
+  Alcotest.(check bool) "touch absent" false
+    (Store.touch store ~key:"ghost" ~exptime:100)
+
+let test_flush_all backend () =
+  let store, _ = make_store backend in
+  for i = 0 to 9 do
+    set_ok store (Printf.sprintf "k%d" i) "v"
+  done;
+  Store.flush_all store;
+  Alcotest.(check int) "emptied" 0 (Store.items store);
+  Alcotest.(check int) "bytes zeroed" 0 (Store.bytes store);
+  Alcotest.(check (option string)) "all gone" None (get_data store "k3")
+
+(* Eviction budgets are in slab-chunk bytes, like stock memcached: compute
+   the chunk an item of this size lands in. *)
+let chunk_for item_size =
+  let slab = Slab.create () in
+  match Slab.class_of_size slab item_size with
+  | Some cls -> Slab.chunk_size_of slab cls
+  | None -> Alcotest.fail "item larger than any slab class"
+
+let test_eviction_on_budget backend () =
+  (* Budget fits ~8 items of this size; inserting 50 must evict, never
+     grow past budget, and keep the most recent key resident. *)
+  let item_size = chunk_for (3 + 100 + Item.overhead_bytes) in
+  let store, _ = make_store ~max_bytes:(8 * item_size) backend in
+  for i = 0 to 49 do
+    ignore
+      (Store.set store
+         ~key:(Printf.sprintf "k%02d" i)
+         ~flags:0 ~exptime:0 ~data:(String.make 100 'x'))
+  done;
+  Alcotest.(check bool) "evictions happened" true (Store.evictions store > 0);
+  Alcotest.(check bool) "within budget" true (Store.bytes store <= 8 * item_size);
+  Alcotest.(check (option string)) "newest survives"
+    (Some (String.make 100 'x'))
+    (get_data store "k49")
+
+let test_lock_eviction_is_lru () =
+  (* Exact LRU: with budget for 4 items, GETting an old key protects it. *)
+  let item_size = chunk_for (2 + 10 + Item.overhead_bytes) in
+  let store, _ = make_store ~max_bytes:(4 * item_size) Store.Lock in
+  List.iter (fun k -> set_ok store k (String.make 10 'v')) [ "k0"; "k1"; "k2"; "k3" ];
+  (* Bump k0 so k1 becomes the LRU victim. *)
+  ignore (Store.get store "k0");
+  set_ok store "k4" (String.make 10 'v');
+  Alcotest.(check (option string)) "bumped key survives"
+    (Some (String.make 10 'v'))
+    (get_data store "k0");
+  Alcotest.(check (option string)) "LRU victim evicted" None (get_data store "k1")
+
+let test_rp_eviction_second_chance () =
+  (* CLOCK approximation: a key touched since enqueue gets a second chance. *)
+  let item_size = chunk_for (2 + 10 + Item.overhead_bytes) in
+  let store, now = make_store ~max_bytes:(4 * item_size) Store.Rp in
+  List.iter (fun k -> set_ok store k (String.make 10 'v')) [ "k0"; "k1"; "k2"; "k3" ];
+  now := !now +. 1.0;
+  ignore (Store.get store "k0");
+  set_ok store "k4" (String.make 10 'v');
+  Alcotest.(check (option string)) "recently used key survives"
+    (Some (String.make 10 'v'))
+    (get_data store "k0");
+  Alcotest.(check bool) "something was evicted" true (Store.evictions store > 0)
+
+let test_stats backend () =
+  let store, _ = make_store backend in
+  set_ok store "k" "v";
+  ignore (Store.get store "k");
+  ignore (Store.get store "ghost");
+  let stats = Store.stats store in
+  let get key = List.assoc key stats in
+  Alcotest.(check string) "hits" "1" (get "get_hits");
+  Alcotest.(check string) "misses" "1" (get "get_misses");
+  Alcotest.(check string) "curr_items" "1" (get "curr_items");
+  Alcotest.(check string) "backend name"
+    (match backend with Store.Lock -> "lock" | Store.Rp -> "rp")
+    (get "backend");
+  Alcotest.(check bool) "bytes positive" true (int_of_string (get "bytes") > 0)
+
+let test_get_many backend () =
+  let store, _ = make_store backend in
+  set_ok store "a" "1";
+  set_ok store "b" "2";
+  let values = Store.get_many store [ "a"; "ghost"; "b" ] in
+  Alcotest.(check (list (pair string string)))
+    "present keys in order"
+    [ ("a", "1"); ("b", "2") ]
+    (List.map (fun (v : Protocol.value) -> (v.vkey, v.vdata)) values)
+
+(* Model-based: both backends against Hashtbl (no expiry, no eviction). *)
+let model_property name backend =
+  QCheck.Test.make
+    ~name:(name ^ " store matches model")
+    ~count:100
+    QCheck.(
+      list_of_size Gen.(int_bound 60)
+        (triple (int_bound 3) (int_bound 15) (string_of_size Gen.(int_bound 20))))
+    (fun ops ->
+      let store, _ = make_store backend in
+      let model : (string, string) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (kind, k, data) ->
+          let key = Printf.sprintf "key%d" k in
+          match kind with
+          | 0 ->
+              ignore (Store.set store ~key ~flags:0 ~exptime:0 ~data);
+              Hashtbl.replace model key data
+          | 1 ->
+              let a = Store.delete store key in
+              let b = Hashtbl.mem model key in
+              Hashtbl.remove model key;
+              if a <> b then QCheck.Test.fail_reportf "delete %s: %b vs %b" key a b
+          | 2 ->
+              if Store.add store ~key ~flags:0 ~exptime:0 ~data = Store.Stored
+              then
+                if Hashtbl.mem model key then
+                  QCheck.Test.fail_reportf "add clobbered %s" key
+                else Hashtbl.replace model key data
+          | _ ->
+              let got = get_data store key in
+              let want = Hashtbl.find_opt model key in
+              if got <> want then QCheck.Test.fail_reportf "get %s mismatch" key)
+        ops;
+      Store.items store = Hashtbl.length model)
+
+let () =
+  let per_backend test =
+    List.map (fun (name, b) -> Alcotest.test_case name `Quick (test b)) backends
+  in
+  Alcotest.run "store"
+    [
+      ("get/set", per_backend test_get_set);
+      ("flags", per_backend test_flags_roundtrip);
+      ("add/replace", per_backend test_add_replace);
+      ("cas", per_backend test_cas);
+      ("append/prepend", per_backend test_append_prepend);
+      ("delete", per_backend test_delete);
+      ("counters", per_backend test_counters);
+      ("expiry", per_backend test_expiry);
+      ("absolute expiry", per_backend test_expiry_absolute);
+      ("expired storable", per_backend test_expired_key_is_storable);
+      ("touch", per_backend test_touch);
+      ("flush_all", per_backend test_flush_all);
+      ("eviction budget", per_backend test_eviction_on_budget);
+      ( "eviction policy",
+        [
+          Alcotest.test_case "lock backend exact LRU" `Quick test_lock_eviction_is_lru;
+          Alcotest.test_case "rp backend second chance" `Quick
+            test_rp_eviction_second_chance;
+        ] );
+      ("stats", per_backend test_stats);
+      ("get_many", per_backend test_get_many);
+      ( "model",
+        List.map (fun (n, b) -> QCheck_alcotest.to_alcotest (model_property n b)) backends
+      );
+    ]

@@ -1,0 +1,93 @@
+(* The torture harness itself: clean runs report zero violations on every
+   implementation; configuration validation; report arithmetic. *)
+
+let quick table ~resizers =
+  {
+    Rp_torture.Torture.default_config with
+    table;
+    duration = 0.25;
+    readers = 2;
+    writers = 1;
+    resizers;
+    resident_keys = 256;
+    churn_keys = 128;
+    small_size = 64;
+    large_size = 1024;
+  }
+
+let run_clean table ~resizers () =
+  let report = Rp_torture.Torture.run (quick table ~resizers) in
+  Alcotest.(check int) "no violations" 0 (Rp_torture.Torture.violations report);
+  Alcotest.(check bool) "readers progressed" true (report.reader_checks > 0);
+  if resizers > 0 then
+    Alcotest.(check bool) "resizes happened" true (report.resize_flips > 0)
+
+let test_fault_injection () =
+  let config = { (quick "rp" ~resizers:1) with fault_injection = true } in
+  let report = Rp_torture.Torture.run config in
+  Alcotest.(check int) "no violations with faults" 0
+    (Rp_torture.Torture.violations report)
+
+let test_no_writers_or_resizers () =
+  let config = { (quick "rp" ~resizers:0) with writers = 0 } in
+  let report = Rp_torture.Torture.run config in
+  Alcotest.(check int) "quiet run clean" 0 (Rp_torture.Torture.violations report);
+  Alcotest.(check int) "no writer ops" 0 report.writer_ops;
+  Alcotest.(check int) "no flips" 0 report.resize_flips
+
+let test_validation () =
+  let bad f = Alcotest.(check bool) "rejected" true (match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+  in
+  bad (fun () -> Rp_torture.Torture.run { Rp_torture.Torture.default_config with table = "nope" });
+  bad (fun () -> Rp_torture.Torture.run { Rp_torture.Torture.default_config with duration = 0.0 });
+  bad (fun () -> Rp_torture.Torture.run { Rp_torture.Torture.default_config with readers = 0 });
+  bad (fun () ->
+      Rp_torture.Torture.run
+        { Rp_torture.Torture.default_config with table = "rp-fixed"; resizers = 1 })
+
+let test_report_rendering () =
+  let report =
+    {
+      Rp_torture.Torture.reader_checks = 10;
+      missing_resident = 0;
+      wrong_value = 0;
+      writer_ops = 5;
+      resize_flips = 2;
+      elapsed = 1.0;
+    }
+  in
+  let s = Format.asprintf "%a" Rp_torture.Torture.pp_report report in
+  Alcotest.(check bool) "mentions PASS" true
+    (String.length s > 0
+    &&
+    let rec find i =
+      i + 4 <= String.length s && (String.sub s i 4 = "PASS" || find (i + 1))
+    in
+    find 0)
+
+let () =
+  Alcotest.run "torture"
+    [
+      ( "clean runs",
+        [
+          Alcotest.test_case "rp" `Slow (run_clean "rp" ~resizers:1);
+          Alcotest.test_case "rp-qsbr" `Slow (run_clean "rp-qsbr" ~resizers:1);
+          Alcotest.test_case "rp-fixed" `Slow (run_clean "rp-fixed" ~resizers:0);
+          Alcotest.test_case "ddds" `Slow (run_clean "ddds" ~resizers:1);
+          Alcotest.test_case "rwlock" `Slow (run_clean "rwlock" ~resizers:1);
+          Alcotest.test_case "lock" `Slow (run_clean "lock" ~resizers:1);
+          Alcotest.test_case "xu" `Slow (run_clean "xu" ~resizers:1);
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "fault injection" `Slow test_fault_injection;
+          Alcotest.test_case "quiet run" `Slow test_no_writers_or_resizers;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "report rendering" `Quick test_report_rendering;
+        ] );
+    ]

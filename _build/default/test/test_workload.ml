@@ -1,0 +1,237 @@
+(* Workload generators: PRNG determinism, Zipf distribution shape, key
+   generation, operation mixes. *)
+
+let test_prng_deterministic () =
+  let a = Rp_workload.Prng.create ~seed:42 in
+  let b = Rp_workload.Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rp_workload.Prng.next a)
+      (Rp_workload.Prng.next b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Rp_workload.Prng.create ~seed:1 in
+  let b = Rp_workload.Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Rp_workload.Prng.next a = Rp_workload.Prng.next b then incr same
+  done;
+  Alcotest.(check int) "streams differ" 0 !same
+
+let test_prng_split_independent () =
+  let base = Rp_workload.Prng.create ~seed:7 in
+  let w0 = Rp_workload.Prng.split base 0 in
+  let w1 = Rp_workload.Prng.split base 1 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Rp_workload.Prng.next w0 = Rp_workload.Prng.next w1 then incr same
+  done;
+  Alcotest.(check int) "worker streams differ" 0 !same
+
+let test_prng_below_range () =
+  let prng = Rp_workload.Prng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Rp_workload.Prng.below prng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "below out of range: %d" v
+  done;
+  Alcotest.check_raises "bound <= 0" (Invalid_argument "Prng.below: bound <= 0")
+    (fun () -> ignore (Rp_workload.Prng.below prng 0))
+
+let test_prng_float_range () =
+  let prng = Rp_workload.Prng.create ~seed:4 in
+  for _ = 1 to 10_000 do
+    let f = Rp_workload.Prng.float prng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_prng_uniformity () =
+  let prng = Rp_workload.Prng.create ~seed:5 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rp_workload.Prng.below prng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if abs (c - (n / 10)) > n / 50 then
+        Alcotest.failf "bucket %d count %d deviates too much" i c)
+    buckets
+
+let test_shuffle_permutes () =
+  let prng = Rp_workload.Prng.create ~seed:6 in
+  let a = Array.init 100 Fun.id in
+  Rp_workload.Prng.shuffle prng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 100 Fun.id) sorted;
+  Alcotest.(check bool) "order changed" true (a <> Array.init 100 Fun.id)
+
+let test_zipf_pmf_decreasing () =
+  let z = Rp_workload.Zipf.create ~theta:0.99 ~n:100 () in
+  for i = 0 to 98 do
+    if Rp_workload.Zipf.pmf z i < Rp_workload.Zipf.pmf z (i + 1) then
+      Alcotest.failf "pmf not decreasing at %d" i
+  done
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Rp_workload.Zipf.create ~n:50 () in
+  let total = ref 0.0 in
+  for i = 0 to 49 do
+    total := !total +. Rp_workload.Zipf.pmf z i
+  done;
+  Alcotest.(check (float 1e-9)) "pmf sums to 1" 1.0 !total
+
+let test_zipf_skew () =
+  let z = Rp_workload.Zipf.create ~theta:0.99 ~n:1000 () in
+  let prng = Rp_workload.Prng.create ~seed:8 in
+  let top10 = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rp_workload.Zipf.sample z prng < 10 then incr top10
+  done;
+  (* With theta=0.99 and n=1000, the top-10 ranks carry ~39% of the mass. *)
+  let frac = float_of_int !top10 /. float_of_int n in
+  if frac < 0.3 || frac > 0.5 then
+    Alcotest.failf "top-10 mass %.3f outside [0.3, 0.5]" frac
+
+let test_zipf_theta_zero_uniform () =
+  let z = Rp_workload.Zipf.create ~theta:0.0 ~n:10 () in
+  for i = 0 to 9 do
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "uniform pmf rank %d" i)
+      0.1
+      (Rp_workload.Zipf.pmf z i)
+  done
+
+let test_zipf_validation () =
+  Alcotest.check_raises "n <= 0" (Invalid_argument "Zipf.create: n <= 0") (fun () ->
+      ignore (Rp_workload.Zipf.create ~n:0 ()));
+  Alcotest.check_raises "theta < 0" (Invalid_argument "Zipf.create: theta < 0")
+    (fun () -> ignore (Rp_workload.Zipf.create ~theta:(-1.0) ~n:5 ()))
+
+let test_zipf_sample_range () =
+  let z = Rp_workload.Zipf.create ~n:37 () in
+  let prng = Rp_workload.Prng.create ~seed:9 in
+  for _ = 1 to 10_000 do
+    let s = Rp_workload.Zipf.sample z prng in
+    if s < 0 || s >= 37 then Alcotest.failf "sample out of range: %d" s
+  done
+
+let test_keygen_uniform_range () =
+  let kg = Rp_workload.Keygen.create ~keyspace:100 ~seed:1 ~worker:0 () in
+  for _ = 1 to 1000 do
+    let k = Rp_workload.Keygen.next_key kg in
+    if k < 0 || k >= 100 then Alcotest.failf "key out of range: %d" k
+  done
+
+let test_keygen_zipfian () =
+  let kg =
+    Rp_workload.Keygen.create
+      ~dist:(Rp_workload.Keygen.Zipfian 0.99)
+      ~keyspace:1000 ~seed:1 ~worker:0 ()
+  in
+  let top = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rp_workload.Keygen.next_key kg < 10 then incr top
+  done;
+  Alcotest.(check bool) "skewed towards low ranks" true (!top > 2000)
+
+let test_string_key_format () =
+  Alcotest.(check string) "mc-benchmark format" "key:0000001234"
+    (Rp_workload.Keygen.string_key 1234);
+  Alcotest.(check int) "fixed width" 14
+    (String.length (Rp_workload.Keygen.string_key 0))
+
+let test_opmix_lookup_only () =
+  let mix = Rp_workload.Opmix.create ~seed:1 ~worker:0 () in
+  Alcotest.(check bool) "lookup_only" true (Rp_workload.Opmix.lookup_only mix);
+  for _ = 1 to 100 do
+    match Rp_workload.Opmix.next mix with
+    | Rp_workload.Opmix.Lookup -> ()
+    | Rp_workload.Opmix.Insert | Rp_workload.Opmix.Remove ->
+        Alcotest.fail "update from lookup-only mix"
+  done
+
+let test_opmix_ratio () =
+  let mix = Rp_workload.Opmix.create ~update_ratio:0.3 ~seed:1 ~worker:0 () in
+  Alcotest.(check bool) "not lookup_only" false (Rp_workload.Opmix.lookup_only mix);
+  let updates = ref 0 and inserts = ref 0 and removes = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    match Rp_workload.Opmix.next mix with
+    | Rp_workload.Opmix.Lookup -> ()
+    | Rp_workload.Opmix.Insert ->
+        incr updates;
+        incr inserts
+    | Rp_workload.Opmix.Remove ->
+        incr updates;
+        incr removes
+  done;
+  let frac = float_of_int !updates /. float_of_int n in
+  if frac < 0.27 || frac > 0.33 then Alcotest.failf "update fraction %.3f" frac;
+  (* Updates split roughly evenly between insert and remove. *)
+  let ins_frac = float_of_int !inserts /. float_of_int !updates in
+  if ins_frac < 0.45 || ins_frac > 0.55 then
+    Alcotest.failf "insert share of updates %.3f" ins_frac
+
+let test_opmix_validation () =
+  Alcotest.check_raises "ratio > 1"
+    (Invalid_argument "Opmix.create: update_ratio outside [0, 1]") (fun () ->
+      ignore (Rp_workload.Opmix.create ~update_ratio:1.5 ~seed:1 ~worker:0 ()))
+
+let prop_below_in_range =
+  QCheck.Test.make ~name:"Prng.below always within bound" ~count:500
+    QCheck.(pair (int_range 0 10_000) (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let prng = Rp_workload.Prng.create ~seed in
+      let v = Rp_workload.Prng.below prng bound in
+      v >= 0 && v < bound)
+
+let prop_zipf_samples_in_range =
+  QCheck.Test.make ~name:"Zipf samples within [0, n)" ~count:200
+    QCheck.(pair (int_range 1 500) (int_range 0 1000))
+    (fun (n, seed) ->
+      let z = Rp_workload.Zipf.create ~n () in
+      let prng = Rp_workload.Prng.create ~seed in
+      let s = Rp_workload.Zipf.sample z prng in
+      s >= 0 && s < n)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "below range" `Quick test_prng_below_range;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+          QCheck_alcotest.to_alcotest prop_below_in_range;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "pmf decreasing" `Quick test_zipf_pmf_decreasing;
+          Alcotest.test_case "pmf sums to one" `Quick test_zipf_pmf_sums_to_one;
+          Alcotest.test_case "skew mass" `Quick test_zipf_skew;
+          Alcotest.test_case "theta zero is uniform" `Quick
+            test_zipf_theta_zero_uniform;
+          Alcotest.test_case "validation" `Quick test_zipf_validation;
+          Alcotest.test_case "sample range" `Quick test_zipf_sample_range;
+          QCheck_alcotest.to_alcotest prop_zipf_samples_in_range;
+        ] );
+      ( "keygen",
+        [
+          Alcotest.test_case "uniform range" `Quick test_keygen_uniform_range;
+          Alcotest.test_case "zipfian skew" `Quick test_keygen_zipfian;
+          Alcotest.test_case "string key format" `Quick test_string_key_format;
+        ] );
+      ( "opmix",
+        [
+          Alcotest.test_case "lookup only" `Quick test_opmix_lookup_only;
+          Alcotest.test_case "update ratio" `Quick test_opmix_ratio;
+          Alcotest.test_case "validation" `Quick test_opmix_validation;
+        ] );
+    ]
