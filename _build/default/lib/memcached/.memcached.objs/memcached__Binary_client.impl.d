@@ -1,1 +1,1 @@
-lib/memcached/binary_client.ml: Binary_protocol Bytes List Response_parser Server String Unix
+lib/memcached/binary_client.ml: Binary_protocol Bytes Io List Response_parser Server String Unix

@@ -1,1 +1,1 @@
-lib/memcached/client.ml: Bytes Protocol Server Unix
+lib/memcached/client.ml: Bytes Io Protocol Rp_sync Server Unix

@@ -1,0 +1,1 @@
+lib/memcached/io.ml: Bytes Lazy Rp_fault Sys Unix

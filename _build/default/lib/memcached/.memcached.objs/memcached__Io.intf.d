@@ -1,0 +1,1 @@
+lib/memcached/io.mli: Bytes Unix

@@ -1,1 +1,1 @@
-lib/memcached/server.ml: Atomic Binary_protocol Binary_server Bytes List Protocol Store String Thread Unix Version
+lib/memcached/server.ml: Atomic Binary_protocol Binary_server Bytes Hashtbl Io List Mutex Protocol Rp_fault Store String Thread Unix Version

@@ -7,6 +7,7 @@ type t = {
 }
 
 let connect (addr : Server.address) =
+  Io.ignore_sigpipe ();
   let domain, sockaddr =
     match addr with
     | Server.Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
@@ -18,20 +19,12 @@ let connect (addr : Server.address) =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let write_all fd s =
-  let bytes = Bytes.of_string s in
-  let len = Bytes.length bytes in
-  let rec go off =
-    if off < len then go (off + Unix.write fd bytes off (len - off))
-  in
-  go 0
-
 let rec read_response t =
   match Response_parser.next t.parser with
   | Some (Ok response) -> response
   | Some (Error msg) -> failwith ("Binary_client: protocol error: " ^ msg)
   | None ->
-      let n = Unix.read t.fd t.buf 0 (Bytes.length t.buf) in
+      let n = Io.read t.fd t.buf in
       if n = 0 then failwith "Binary_client: connection closed";
       Response_parser.feed t.parser (Bytes.sub_string t.buf 0 n);
       read_response t
@@ -40,7 +33,7 @@ let make_request ?(key = "") ?(value = "") ?(extras = "") ?(cas = 0) opcode =
   { opcode; key; value; extras; opaque = 0xCAFE; cas }
 
 let request t req =
-  write_all t.fd (encode_request req);
+  Io.write_all t.fd (encode_request req);
   let response = read_response t in
   if response.r_opaque <> req.opaque then
     failwith "Binary_client: opaque mismatch";
@@ -99,7 +92,7 @@ let noop t = ignore (request t (make_request Noop))
 let flush_all t = ignore (request t (make_request Flush))
 
 let stats t =
-  write_all t.fd (encode_request (make_request Stat));
+  Io.write_all t.fd (encode_request (make_request Stat));
   let rec collect acc =
     let r = read_response t in
     if r.r_key = "" then List.rev acc else collect ((r.r_key, r.r_value) :: acc)

@@ -1,42 +1,85 @@
+exception Disconnected of string
+
 type t = {
-  fd : Unix.file_descr;
-  parser : Protocol.Response_parser.t;
+  addr : Server.address;
+  retries : int;
+  mutable fd : Unix.file_descr;
+  mutable parser : Protocol.Response_parser.t;
   buf : Bytes.t;
 }
 
-let connect (addr : Server.address) =
+let open_fd (addr : Server.address) =
   let domain, sockaddr =
     match addr with
     | Server.Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
     | Server.Tcp port -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
   in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-  Unix.connect fd sockaddr;
-  { fd; parser = Protocol.Response_parser.create (); buf = Bytes.create 16384 }
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let connect ?(retries = 0) (addr : Server.address) =
+  Io.ignore_sigpipe ();
+  {
+    addr;
+    retries;
+    fd = open_fd addr;
+    parser = Protocol.Response_parser.create ();
+    buf = Bytes.create 16384;
+  }
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let write_all fd s =
-  let bytes = Bytes.of_string s in
-  let len = Bytes.length bytes in
-  let rec go off =
-    if off < len then go (off + Unix.write fd bytes off (len - off))
-  in
-  go 0
+(* Any half-parsed response from the dead connection is garbage: the
+   parser is replaced wholesale on reconnect. *)
+let reconnect t =
+  close t;
+  t.parser <- Protocol.Response_parser.create ();
+  t.fd <- open_fd t.addr
 
 let rec read_response t =
   match Protocol.Response_parser.next t.parser with
   | Some (Ok response) -> response
   | Some (Error msg) -> failwith ("Memcached.Client: protocol error: " ^ msg)
   | None ->
-      let n = Unix.read t.fd t.buf 0 (Bytes.length t.buf) in
-      if n = 0 then failwith "Memcached.Client: connection closed";
+      let n = Io.read t.fd t.buf in
+      if n = 0 then raise (Disconnected "connection closed by server");
       Protocol.Response_parser.feed t.parser (Bytes.sub_string t.buf 0 n);
       read_response t
 
-let request t req =
-  write_all t.fd (Protocol.encode_request req);
+(* Connection-level failures worth a reconnect; protocol garbage is not. *)
+let retryable = function
+  | Disconnected _ -> true
+  | Unix.Unix_error
+      ( ( Unix.ECONNRESET | Unix.ECONNREFUSED | Unix.ECONNABORTED | Unix.EPIPE
+        | Unix.ENOTCONN | Unix.ENOENT | Unix.EBADF ),
+        _,
+        _ ) ->
+      true
+  | _ -> false
+
+let attempt_request t req =
+  Io.write_all ~fault:"client.write.partial" t.fd (Protocol.encode_request req);
   read_response t
+
+(* Retrying re-sends the request verbatim, so a non-idempotent command may
+   execute twice when the failure hit after the server applied it — the
+   standard at-least-once caveat of any reconnecting cache client. *)
+let request t req =
+  let backoff = Rp_sync.Backoff.create ~max_wait:256 () in
+  let rec attempt n =
+    match attempt_request t req with
+    | response -> response
+    | exception e when retryable e && n < t.retries ->
+        Unix.sleepf (float_of_int (Rp_sync.Backoff.current backoff) *. 1e-4);
+        Rp_sync.Backoff.once backoff;
+        (try reconnect t with Unix.Unix_error _ -> ());
+        attempt (n + 1)
+  in
+  attempt 0
 
 let get t key =
   match request t (Protocol.Get [ key ]) with

@@ -2,7 +2,20 @@
 
 type t
 
-val connect : Server.address -> t
+exception Disconnected of string
+(** The server closed the connection mid-request (raised only once the
+    retry budget, if any, is exhausted). *)
+
+val connect : ?retries:int -> Server.address -> t
+(** [connect ~retries addr] opens a connection. When [retries > 0]
+    (default 0), a request that fails on a connection-level error —
+    server closed the socket, reset, refused — reconnects with
+    {!Rp_sync.Backoff}-paced delays and re-sends the request, up to
+    [retries] attempts, before letting the error escape. Re-sending makes
+    delivery at-least-once: a non-idempotent command (incr, append, cas)
+    can execute twice if the connection died after the server applied it
+    but before the reply arrived. *)
+
 val close : t -> unit
 
 val get : t -> string -> Protocol.value option

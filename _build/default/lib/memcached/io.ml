@@ -1,0 +1,69 @@
+exception Timeout
+
+(* Writing to a peer-closed socket must surface as EPIPE, not kill the
+   process (stock memcached ignores SIGPIPE the same way). Forced once by
+   every socket-endpoint constructor. *)
+let ignore_sigpipe_once =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
+let ignore_sigpipe () = Lazy.force ignore_sigpipe_once
+
+(* Wait until [fd] is ready in the given direction, or until [deadline]
+   (absolute; None = forever). EINTR during the wait restarts it. *)
+let wait_ready ~for_write ?deadline fd =
+  let rec go () =
+    let budget =
+      match deadline with
+      | None -> -1.0
+      | Some d ->
+          let left = d -. Unix.gettimeofday () in
+          if left <= 0.0 then raise Timeout;
+          left
+    in
+    let r, w = if for_write then ([], [ fd ]) else ([ fd ], []) in
+    match Unix.select r w [] budget with
+    | [], [], _ when deadline <> None -> raise Timeout
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let write_all ?(fault = "") ?deadline fd s =
+  let bytes = Bytes.unsafe_of_string s in
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then begin
+      let want = len - off in
+      let want = if fault = "" then want else Rp_fault.io_cap fault want in
+      match Unix.write fd bytes off want with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          wait_ready ~for_write:true ?deadline fd;
+          go off
+    end
+  in
+  go 0
+
+let read ?(fault = "") ?timeout fd buf =
+  let want = Bytes.length buf in
+  let want = if fault = "" then want else Rp_fault.io_cap fault want in
+  let deadline =
+    match timeout with
+    | Some t when t > 0.0 -> Some (Unix.gettimeofday () +. t)
+    | Some _ | None -> None
+  in
+  (* A blocking read would ignore the idle budget, so wait explicitly when
+     one is set. *)
+  if deadline <> None then wait_ready ~for_write:false ?deadline fd;
+  let rec go () =
+    match Unix.read fd buf 0 want with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        wait_ready ~for_write:false ?deadline fd;
+        go ()
+  in
+  go ()

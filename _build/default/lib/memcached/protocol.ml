@@ -158,6 +158,26 @@ module Inbuf = struct
         t.pos <- i + 2;
         Some line
 
+  (* Drop buffered bytes up to and including the next CRLF. Returns
+     [true] once a CRLF was consumed; [false] when the buffer ran dry
+     first (a trailing '\r' is kept so a CRLF split across feed chunks
+     is still recognised). *)
+  let discard_line t =
+    let len = String.length t.data in
+    let rec find i =
+      if i + 1 >= len then None
+      else if t.data.[i] = '\r' && t.data.[i + 1] = '\n' then Some i
+      else find (i + 1)
+    in
+    match find t.pos with
+    | Some i ->
+        t.pos <- i + 2;
+        true
+    | None ->
+        t.data <- (if len > t.pos && t.data.[len - 1] = '\r' then "\r" else "");
+        t.pos <- 0;
+        false
+
   (* [n] data bytes followed by CRLF. *)
   let take_block t n =
     if available t < n + 2 then None
@@ -184,11 +204,13 @@ module Parser = struct
     cas : int option;
   }
 
-  type state = Await_line | Await_data of pending
+  type state = Await_line | Await_data of pending | Discard_line
 
-  type t = { inbuf : Inbuf.t; mutable state : state }
+  type t = { inbuf : Inbuf.t; max_line : int; mutable state : state }
 
-  let create () = { inbuf = Inbuf.create (); state = Await_line }
+  let create ?(max_line = 8192) () =
+    if max_line < 1 then invalid_arg "Protocol.Parser.create: max_line < 1";
+    { inbuf = Inbuf.create (); max_line; state = Await_line }
   let feed t s = Inbuf.feed t.inbuf s
   let buffered_bytes t = Inbuf.available t.inbuf
 
@@ -314,11 +336,29 @@ module Parser = struct
     match t.state with
     | Await_line -> (
         match Inbuf.take_line t.inbuf with
-        | None -> None
-        | Some line -> (
-            match parse_line t line with
-            | Some result -> Some result
-            | None -> next t (* storage header consumed; try for the data *)))
+        | None ->
+            (* No CRLF in the buffer. If the partial line has already
+               outgrown the bound, report once and start discarding, so a
+               client streaming an endless line cannot balloon the buffer. *)
+            if Inbuf.available t.inbuf > t.max_line then begin
+              t.state <- Discard_line;
+              ignore (Inbuf.discard_line t.inbuf);
+              Some (Error "line too long")
+            end
+            else None
+        | Some line ->
+            if String.length line > t.max_line then Some (Error "line too long")
+            else (
+              match parse_line t line with
+              | Some result -> Some result
+              | None -> next t (* storage header consumed; try for the data *)))
+    | Discard_line ->
+        (* Resynchronise at the next CRLF, dropping everything before it. *)
+        if Inbuf.discard_line t.inbuf then begin
+          t.state <- Await_line;
+          next t
+        end
+        else None
     | Await_data pending -> (
         match Inbuf.take_block t.inbuf pending.bytes with
         | None -> None

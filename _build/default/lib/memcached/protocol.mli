@@ -62,7 +62,13 @@ val request_key_valid : string -> bool
 module Parser : sig
   type t
 
-  val create : unit -> t
+  (** [create ?max_line ()] builds a parser. [max_line] (default 8192)
+      bounds command-line buffering: a line that exceeds it — terminated
+      or not — yields [Error "line too long"] exactly once, the
+      oversized bytes are dropped without being buffered, and parsing
+      resynchronises at the next CRLF. Data blocks of an announced
+      length are not affected. *)
+  val create : ?max_line:int -> unit -> t
   val feed : t -> string -> unit
 
   val next : t -> (request, string) result option

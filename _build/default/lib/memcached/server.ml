@@ -68,25 +68,46 @@ let handle store (request : Protocol.request) : Protocol.response option =
 
 type address = Unix_socket of string | Tcp of int
 
+type config = {
+  max_connections : int;
+  idle_timeout : float;
+  write_timeout : float;
+}
+
+let default_config =
+  { max_connections = 1024; idle_timeout = 0.0; write_timeout = 30.0 }
+
 type t = {
   addr : address;
+  config : config;
   listen_fd : Unix.file_descr;
   accept_thread : Thread.t;
   running : bool Atomic.t;
+  (* Live connections, keyed by a private id. The accept loop registers
+     entries; each connection thread removes (and closes) its own under
+     the same mutex, so [stop] can shutdown every live fd without racing
+     a close-then-reuse. *)
+  conns : (int, Unix.file_descr * Thread.t) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  rejected : int Atomic.t;
 }
 
-let write_all fd s =
-  let bytes = Bytes.of_string s in
-  let len = Bytes.length bytes in
-  let rec go off =
-    if off < len then begin
-      let n = Unix.write fd bytes off (len - off) in
-      go (off + n)
-    end
+let send config fd s =
+  let deadline =
+    if config.write_timeout > 0.0 then
+      Some (Unix.gettimeofday () +. config.write_timeout)
+    else None
   in
-  go 0
+  Io.write_all ~fault:"server.write.partial" ?deadline fd s
 
-let serve_text store fd buf ~initial =
+let recv config fd buf =
+  Rp_fault.point "server.conn.reset";
+  let timeout =
+    if config.idle_timeout > 0.0 then Some config.idle_timeout else None
+  in
+  Io.read ~fault:"server.read.split" ?timeout fd buf
+
+let serve_text config store fd buf ~initial =
   let parser = Protocol.Parser.create () in
   Protocol.Parser.feed parser initial;
   let closing = ref false in
@@ -99,12 +120,12 @@ let serve_text store fd buf ~initial =
             if msg = "ERROR" then Protocol.Error_reply
             else Protocol.Client_error msg
           in
-          write_all fd (Protocol.encode_response reply);
+          send config fd (Protocol.encode_response reply);
           go ()
       | Some (Ok Protocol.Quit) -> closing := true
       | Some (Ok request) ->
           (match handle store request with
-          | Some response -> write_all fd (Protocol.encode_response response)
+          | Some response -> send config fd (Protocol.encode_response response)
           | None -> ());
           go ()
     in
@@ -112,7 +133,7 @@ let serve_text store fd buf ~initial =
   in
   drain ();
   while not !closing do
-    let n = Unix.read fd buf 0 (Bytes.length buf) in
+    let n = recv config fd buf in
     if n = 0 then closing := true
     else begin
       Protocol.Parser.feed parser (Bytes.sub_string buf 0 n);
@@ -120,7 +141,7 @@ let serve_text store fd buf ~initial =
     end
   done
 
-let serve_binary store fd buf ~initial =
+let serve_binary config store fd buf ~initial =
   let parser = Binary_protocol.Parser.create () in
   Binary_protocol.Parser.feed parser initial;
   let closing = ref false in
@@ -135,7 +156,7 @@ let serve_binary store fd buf ~initial =
       | Some (Ok request) ->
           List.iter
             (fun response ->
-              write_all fd (Binary_protocol.encode_response response))
+              send config fd (Binary_protocol.encode_response response))
             (Binary_server.handle store request);
           if Binary_server.quit_requested request then closing := true else go ()
     in
@@ -143,7 +164,7 @@ let serve_binary store fd buf ~initial =
   in
   drain ();
   while not !closing do
-    let n = Unix.read fd buf 0 (Bytes.length buf) in
+    let n = recv config fd buf in
     if n = 0 then closing := true
     else begin
       Binary_protocol.Parser.feed parser (Bytes.sub_string buf 0 n);
@@ -152,21 +173,81 @@ let serve_binary store fd buf ~initial =
   done
 
 (* Protocol auto-detection, as in stock memcached: the first byte of a
-   connection decides (0x80 = binary request magic, anything else = text). *)
-let serve_connection store fd =
+   connection decides (0x80 = binary request magic, anything else = text).
+   An idle timeout, an injected tear, or any socket error closes the
+   connection; the fd itself is closed by the registry cleanup in
+   [spawn_connection]. *)
+let serve_connection config store fd =
   let buf = Bytes.create 16384 in
+  try
+    let n = recv config fd buf in
+    if n > 0 then begin
+      let initial = Bytes.sub_string buf 0 n in
+      if initial.[0] = Binary_protocol.magic_request_byte then
+        serve_binary config store fd buf ~initial
+      else serve_text config store fd buf ~initial
+    end
+  with
+  | Unix.Unix_error _ | End_of_file | Io.Timeout -> ()
+  | Rp_fault.Injected _ -> ()
+
+let reject fd =
   (try
-     let n = Unix.read fd buf 0 (Bytes.length buf) in
-     if n > 0 then begin
-       let initial = Bytes.sub_string buf 0 n in
-       if initial.[0] = Binary_protocol.magic_request_byte then
-         serve_binary store fd buf ~initial
-       else serve_text store fd buf ~initial
-     end
-   with Unix.Unix_error _ | End_of_file -> ());
+     Io.write_all fd
+       (Protocol.encode_response (Protocol.Server_error "too many connections"))
+   with Unix.Unix_error _ | Rp_fault.Injected _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let start ~store addr =
+let spawn_connection t store id fd =
+  (* Hold [ready] until the registry entry exists, so the thread's cleanup
+     can never run before its registration. *)
+  let ready = Mutex.create () in
+  Mutex.lock ready;
+  let thread =
+    Thread.create
+      (fun () ->
+        Mutex.lock ready;
+        Mutex.unlock ready;
+        serve_connection t.config store fd;
+        Mutex.lock t.conns_mutex;
+        Hashtbl.remove t.conns id;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Mutex.unlock t.conns_mutex)
+      ()
+  in
+  Mutex.lock t.conns_mutex;
+  Hashtbl.add t.conns id (fd, thread);
+  Mutex.unlock t.conns_mutex;
+  Mutex.unlock ready
+
+let accept_loop t store =
+  let next_id = ref 0 in
+  while Atomic.get t.running do
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        if not (Atomic.get t.running) then (
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          Mutex.lock t.conns_mutex;
+          let live = Hashtbl.length t.conns in
+          Mutex.unlock t.conns_mutex;
+          if live >= t.config.max_connections then begin
+            Atomic.incr t.rejected;
+            reject fd
+          end
+          else begin
+            let id = !next_id in
+            incr next_id;
+            spawn_connection t store id fd
+          end
+        end
+    | exception Unix.Unix_error _ -> ()
+  done
+
+let start ~store ?(config = default_config) addr =
+  if config.max_connections < 1 then
+    invalid_arg "Server.start: max_connections < 1";
+  Io.ignore_sigpipe ();
   let domain, sockaddr =
     match addr with
     | Unix_socket path ->
@@ -178,26 +259,49 @@ let start ~store addr =
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   Unix.bind listen_fd sockaddr;
   Unix.listen listen_fd 64;
-  let running = Atomic.make true in
-  let accept_thread =
-    Thread.create
-      (fun () ->
-        while Atomic.get running do
-          match Unix.accept listen_fd with
-          | fd, _ -> ignore (Thread.create (fun () -> serve_connection store fd) ())
-          | exception Unix.Unix_error _ -> ()
-        done)
-      ()
+  let t =
+    {
+      addr;
+      config;
+      listen_fd;
+      accept_thread = Thread.self ();  (* placeholder, replaced below *)
+      running = Atomic.make true;
+      conns = Hashtbl.create 64;
+      conns_mutex = Mutex.create ();
+      rejected = Atomic.make 0;
+    }
   in
-  { addr; listen_fd; accept_thread; running }
+  let t = { t with accept_thread = Thread.create (fun () -> accept_loop t store) () } in
+  t
 
 let stop t =
   Atomic.set t.running false;
   (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   Thread.join t.accept_thread;
+  (* Wake every in-flight connection thread, then drain them. Shutdown runs
+     under the registry mutex so it cannot race a thread's close-and-remove
+     (and thus can never hit a recycled descriptor). *)
+  Mutex.lock t.conns_mutex;
+  let threads =
+    Hashtbl.fold
+      (fun _ (fd, thread) acc ->
+        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        thread :: acc)
+      t.conns []
+  in
+  Mutex.unlock t.conns_mutex;
+  List.iter Thread.join threads;
   match t.addr with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | Tcp _ -> ()
+
+let active_connections t =
+  Mutex.lock t.conns_mutex;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conns_mutex;
+  n
+
+let rejected_connections t = Atomic.get t.rejected
 
 let address t = t.addr

@@ -15,12 +15,37 @@ type t
 
 type address = Unix_socket of string | Tcp of int
 
-val start : store:Store.t -> address -> t
+type config = {
+  max_connections : int;
+      (** beyond this many live connections, new ones are rejected with
+          [SERVER_ERROR too many connections] and closed *)
+  idle_timeout : float;
+      (** seconds a connection may sit without sending bytes before the
+          server closes it; [0.] disables (default) *)
+  write_timeout : float;
+      (** seconds a single response write may block before the connection
+          is dropped; [0.] disables (default 30) *)
+}
+
+val default_config : config
+(** 1024 connections, no idle timeout, 30 s write timeout. *)
+
+val start : store:Store.t -> ?config:config -> address -> t
 (** Start listening and serving connections (accept loop and per-connection
-    handlers run on background threads). *)
+    handlers run on background threads). Connection I/O runs through the
+    failpoint sites ["server.read.split"], ["server.write.partial"], and
+    ["server.conn.reset"] (see {!Rp_fault}), so tests can split reads,
+    shorten writes, or tear connections. *)
 
 val stop : t -> unit
-(** Close the listener and wait for the accept loop to exit. Established
-    connections finish their current request and close. *)
+(** Close the listener, wait for the accept loop to exit, then shut down
+    and drain every in-flight connection thread: when [stop] returns, no
+    server thread is left running. *)
+
+val active_connections : t -> int
+(** Currently live connections. *)
+
+val rejected_connections : t -> int
+(** Connections turned away by the [max_connections] cap so far. *)
 
 val address : t -> address

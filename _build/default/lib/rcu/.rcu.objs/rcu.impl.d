@@ -1,1 +1,1 @@
-lib/rcu/rcu.ml: Array Atomic Domain Format Mutex Queue Rp_sync
+lib/rcu/rcu.ml: Array Atomic Domain Format Mutex Queue Rp_fault Rp_sync Unix

@@ -18,11 +18,22 @@ type slot = {
 
 type reader = { slot : slot; epoch : int Atomic.t }
 
+exception Too_many_readers
+
 type stats = {
   grace_periods : int;
   synchronize_calls : int;
   callbacks_invoked : int;
   readers_registered : int;
+}
+
+type stall_report = {
+  slot_index : int;
+  owner_domain : int;
+  nesting : int;
+  slot_epoch : int;
+  target_epoch : int;
+  waited : float;
 }
 
 type t = {
@@ -37,9 +48,13 @@ type t = {
   gp_count : int Atomic.t;
   sync_count : int Atomic.t;
   cb_count : int Atomic.t;
+  mutable stall_budget : float option;
+  mutable stall_handler : (stall_report -> unit) option;
+  stall_count : int Atomic.t;
+  mutable last_stall : stall_report option;
 }
 
-let create ?(max_readers = 128) () =
+let create ?(max_readers = 128) ?stall_budget () =
   if max_readers < 1 then invalid_arg "Rcu.create: max_readers < 1";
   {
     epoch = Atomic.make 1;
@@ -60,6 +75,10 @@ let create ?(max_readers = 128) () =
     gp_count = Atomic.make 0;
     sync_count = Atomic.make 0;
     cb_count = Atomic.make 0;
+    stall_budget;
+    stall_handler = None;
+    stall_count = Atomic.make 0;
+    last_stall = None;
   }
 
 (* --- registration --- *)
@@ -69,7 +88,7 @@ let register t =
   let rec find i =
     if i >= Array.length t.slots then begin
       Mutex.unlock t.reg_mutex;
-      failwith "Rcu.register: reader slots exhausted"
+      raise Too_many_readers
     end
     else if not (Atomic.get t.slots.(i).in_use) then i
     else find (i + 1)
@@ -152,24 +171,67 @@ let check_not_reading t =
         invalid_arg "Rcu.synchronize: called from within a read-side critical section")
     t.slots
 
-let synchronize t =
-  check_not_reading t;
-  Mutex.lock t.gp_mutex;
-  let new_epoch = 1 + Atomic.fetch_and_add t.epoch 1 in
-  Array.iter
-    (fun slot ->
+(* Watchdog: called from the scan's wait loop once the per-slot wait
+   exceeds the budget. Reports once per slot per grace period (like Linux
+   RCU CPU-stall warnings, minus the repeat timer). [nesting] is owned by
+   the stuck reader's domain; the racy read is fine for diagnostics. *)
+let report_stall t ~slot_index ~slot ~slot_epoch ~target_epoch ~waited =
+  let report =
+    {
+      slot_index;
+      owner_domain = slot.owner;
+      nesting = slot.nesting;
+      slot_epoch;
+      target_epoch;
+      waited;
+    }
+  in
+  t.last_stall <- Some report;
+  Atomic.incr t.stall_count;
+  match t.stall_handler with
+  | Some f -> ( try f report with _ -> ())
+  | None -> ()
+
+let scan_slots t ~new_epoch =
+  Array.iteri
+    (fun i slot ->
       if Atomic.get slot.in_use then begin
+        Rp_fault.point "rcu.synchronize.scan";
         let backoff = Rp_sync.Backoff.create ~max_wait:256 () in
+        let started = ref 0.0 in
+        let reported = ref false in
         let rec wait () =
           let c = Atomic.get slot.ctr in
           if c <> 0 && c < new_epoch then begin
+            (match t.stall_budget with
+            | Some budget when not !reported ->
+                let now = Unix.gettimeofday () in
+                if !started = 0.0 then started := now
+                else if now -. !started >= budget then begin
+                  reported := true;
+                  report_stall t ~slot_index:i ~slot ~slot_epoch:c
+                    ~target_epoch:new_epoch ~waited:(now -. !started)
+                end
+            | Some _ | None -> ());
             Rp_sync.Backoff.once backoff;
             wait ()
           end
         in
         wait ()
       end)
-    t.slots;
+    t.slots
+
+let synchronize t =
+  check_not_reading t;
+  Rp_fault.point "rcu.synchronize.pre";
+  Mutex.lock t.gp_mutex;
+  let new_epoch = 1 + Atomic.fetch_and_add t.epoch 1 in
+  (* The scan can raise via the failpoint; never leave gp_mutex held. *)
+  (match scan_slots t ~new_epoch with
+  | () -> ()
+  | exception e ->
+      Mutex.unlock t.gp_mutex;
+      raise e);
   Atomic.incr t.gp_count;
   Atomic.incr t.sync_count;
   Mutex.unlock t.gp_mutex
@@ -195,6 +257,7 @@ let flush t =
   end
 
 let call_rcu t cb =
+  Rp_fault.point "rcu.call_rcu.enqueue";
   Mutex.lock t.cb_mutex;
   Queue.add cb t.cb_queue;
   let n = Queue.length t.cb_queue in
@@ -216,6 +279,25 @@ let pending_callbacks t =
   let n = Queue.length t.cb_queue in
   Mutex.unlock t.cb_mutex;
   n
+
+(* --- stall watchdog configuration --- *)
+
+let set_stall_budget t budget =
+  (match budget with
+  | Some b when b <= 0.0 -> invalid_arg "Rcu.set_stall_budget: budget <= 0"
+  | _ -> ());
+  t.stall_budget <- budget
+
+let stall_budget t = t.stall_budget
+let set_stall_handler t handler = t.stall_handler <- handler
+let stall_count t = Atomic.get t.stall_count
+let last_stall t = t.last_stall
+
+let pp_stall_report ppf r =
+  Format.fprintf ppf
+    "@[<h>rcu stall: slot %d owned by domain %d (nesting %d) pinned at epoch \
+     %d < %d after %.3fs@]"
+    r.slot_index r.owner_domain r.nesting r.slot_epoch r.target_epoch r.waited
 
 (* --- statistics --- *)
 

@@ -33,14 +33,22 @@ type t
 type reader
 (** A per-domain reader handle. Handles must not be shared across domains. *)
 
-val create : ?max_readers:int -> unit -> t
+exception Too_many_readers
+(** Raised by {!register} (and so by the implicit registration in
+    {!reader_for_current_domain}) when every reader slot is occupied.
+    Unregistering any reader frees its slot for reuse. *)
+
+val create : ?max_readers:int -> ?stall_budget:float -> unit -> t
 (** [create ()] builds a fresh flavour supporting up to [max_readers]
-    (default 128) concurrently registered reader domains. *)
+    (default 128) concurrently registered reader domains. [stall_budget]
+    arms the grace-period stall watchdog (see {!section-stalls}); by
+    default it is off. *)
 
 (** {1 Reader registration} *)
 
 val register : t -> reader
-(** Register the calling domain. Raises [Failure] if all slots are taken. *)
+(** Register the calling domain. Raises {!Too_many_readers} if all slots
+    are taken. *)
 
 val unregister : t -> reader -> unit
 (** Release a reader slot. The reader must not be inside a critical section. *)
@@ -105,6 +113,43 @@ val barrier : t -> unit
 
 val pending_callbacks : t -> int
 (** Number of queued, not-yet-run callbacks. *)
+
+(** {1:stalls Grace-period stall watchdog}
+
+    The userspace analogue of Linux's RCU CPU-stall warning: when a
+    {!synchronize} has waited longer than the configured budget on one
+    reader slot, the flavour records a {!stall_report} naming the stuck
+    slot, its owner domain, and the epoch it is pinned at — the three
+    facts needed to find a reader sleeping (or looping) inside a read-side
+    critical section. Detection never aborts the grace period; the wait
+    continues until the reader actually leaves. Each offending slot is
+    reported at most once per grace period. *)
+
+type stall_report = {
+  slot_index : int;  (** index of the stuck slot in the registry *)
+  owner_domain : int;  (** domain id that registered the slot *)
+  nesting : int;  (** read-side nesting depth (racy snapshot) *)
+  slot_epoch : int;  (** epoch the slot observed at its read_lock *)
+  target_epoch : int;  (** epoch the grace period is waiting for *)
+  waited : float;  (** seconds waited when the report was made *)
+}
+
+val set_stall_budget : t -> float option -> unit
+(** Set or clear the per-slot wait budget, in seconds. Raises
+    [Invalid_argument] on a non-positive budget. *)
+
+val stall_budget : t -> float option
+
+val set_stall_handler : t -> (stall_report -> unit) option -> unit
+(** Callback invoked (on the synchronizing domain, with no internal locks
+    held beyond the grace-period mutex) each time a stall is detected.
+    Exceptions it raises are swallowed. *)
+
+val stall_count : t -> int
+(** Total stalls detected over the flavour's lifetime. *)
+
+val last_stall : t -> stall_report option
+val pp_stall_report : Format.formatter -> stall_report -> unit
 
 (** {1 Statistics} *)
 

@@ -1,1 +1,1 @@
-lib/rp_ht/rp_ht.ml: Array Atomic Flavour Mutex Option Printf Rcu Rp_hashes Rp_list Unzip
+lib/rp_ht/rp_ht.ml: Array Atomic Flavour Mutex Option Printf Rcu Rp_fault Rp_hashes Rp_list Unzip

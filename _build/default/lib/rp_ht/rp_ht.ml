@@ -7,6 +7,16 @@ type resize_stats = {
   shrinks : int;
   unzip_passes : int;
   unzip_splices : int;
+  recoveries : int;
+}
+
+(* A resizer that died mid-unzip (fault injection, async exception) leaves
+   the remaining per-chain splice state here, under the writer mutex. The
+   table is imprecise but complete — readers are fine — and the next writer
+   finishes the job before doing anything else. *)
+type ('k, 'v) pending_unzip = {
+  pu_new_size : int;
+  pu_states : ('k, 'v) Unzip.state array;
 }
 
 type ('k, 'v) t = {
@@ -24,6 +34,8 @@ type ('k, 'v) t = {
   shrinks : int Atomic.t;
   unzip_passes : int Atomic.t;
   unzip_splices : int Atomic.t;
+  recoveries : int Atomic.t;
+  mutable pending : ('k, 'v) pending_unzip option;  (* writer mutex *)
 }
 
 let make_table size = { size; buckets = Array.init size (fun _ -> Atomic.make Null) }
@@ -60,6 +72,8 @@ let create ?rcu ?flavour ?(initial_size = 8) ?(min_size = 4)
     shrinks = Atomic.make 0;
     unzip_passes = Atomic.make 0;
     unzip_splices = Atomic.make 0;
+    recoveries = Atomic.make 0;
+    pending = None;
   }
 
 let rcu t =
@@ -132,8 +146,15 @@ let rec chain_tail = function
       match Rcu.dereference n.next with Null -> Some n | Node _ as l -> chain_tail l)
 
 (* Halve the bucket count: link sibling chains end-to-end, publish the new
-   bucket array, wait for readers once. Writer mutex held. *)
+   bucket array, wait for readers once. Writer mutex held.
+
+   Crash safety: once the half-size array is published its chains are
+   already precise (bucket i holds exactly old buckets i and i+new_size),
+   so a failure after publication loses only the final grace period —
+   which, with GC reclamation, defers nothing unsafe. No poisoning
+   needed. *)
 let shrink_locked t =
+  Rp_fault.point "rp_ht.shrink.pre";
   let old = Atomic.get t.current in
   let new_size = old.size / 2 in
   let buckets =
@@ -156,8 +177,65 @@ let shrink_locked t =
 
 (* --- resize: expand (the unzip) --- *)
 
+(* Run unzip passes over [states] until every chain is precise. Writer
+   mutex held. If anything raises mid-way (the "rp_ht.unzip.splice"
+   failpoint, or a failpoint inside synchronize), the remaining states are
+   parked in [t.pending] before the exception escapes: the table stays
+   imprecise-but-correct and {!recover_locked} finishes the job later. *)
+let run_unzip t ~new_size states =
+  let dest (n : _ node) =
+    Rp_hashes.Size.bucket_of_hash ~hash:n.hash ~size:new_size
+  in
+  try
+    let live = ref true in
+    while !live do
+      live := false;
+      Array.iteri
+        (fun i state ->
+          match state with
+          | Unzip.Done -> ()
+          | Unzip.At _ -> (
+              Rp_fault.point "rp_ht.unzip.splice";
+              let next_state = Unzip.step ~dest state in
+              states.(i) <- next_state;
+              match next_state with
+              | Unzip.At _ ->
+                  Atomic.incr t.unzip_splices;
+                  live := true
+              | Unzip.Done -> ()))
+        states;
+      if !live then begin
+        (* One grace period per pass protects readers that crossed a splice
+           point before it moved. *)
+        t.flavour.Flavour.synchronize ();
+        Atomic.incr t.unzip_passes
+      end
+    done
+  with e ->
+    t.pending <- Some { pu_new_size = new_size; pu_states = states };
+    raise e
+
+(* Finish an unzip a crashed resizer left behind. Writer mutex held; must
+   run before any update touches the chains, which are only guaranteed
+   precise once the unzip completes. *)
+let recover_locked t =
+  match t.pending with
+  | None -> ()
+  | Some { pu_new_size; pu_states } ->
+      t.pending <- None;
+      (* The crash may have split a pass from its closing grace period;
+         re-establish it before splicing further. *)
+      (match t.flavour.Flavour.synchronize () with
+      | () -> ()
+      | exception e ->
+          t.pending <- Some { pu_new_size; pu_states };
+          raise e);
+      run_unzip t ~new_size:pu_new_size pu_states;
+      Atomic.incr t.recoveries
+
 (* Double the bucket count. Writer mutex held. *)
 let expand_locked t =
+  Rp_fault.point "rp_ht.expand.pre";
   let old = Atomic.get t.current in
   let new_size = old.size * 2 in
   let dest (n : _ node) =
@@ -173,35 +251,18 @@ let expand_locked t =
         | None -> Atomic.make Null)
   in
   Rcu.publish t.current { size = new_size; buckets };
-  (* Wait for readers still traversing via the old, smaller bucket array:
-     after this, every reader entered through the new buckets. *)
-  t.flavour.Flavour.synchronize ();
   let states =
     Array.init old.size (fun i -> Unzip.start (Atomic.get old.buckets.(i)))
   in
-  let live = ref true in
-  while !live do
-    live := false;
-    Array.iteri
-      (fun i state ->
-        match state with
-        | Unzip.Done -> ()
-        | Unzip.At _ -> (
-            let next_state = Unzip.step ~dest state in
-            states.(i) <- next_state;
-            match next_state with
-            | Unzip.At _ ->
-                Atomic.incr t.unzip_splices;
-                live := true
-            | Unzip.Done -> ()))
-      states;
-    if !live then begin
-      (* One grace period per pass protects readers that crossed a splice
-         point before it moved. *)
-      t.flavour.Flavour.synchronize ();
-      Atomic.incr t.unzip_passes
-    end
-  done;
+  (* Wait for readers still traversing via the old, smaller bucket array:
+     after this, every reader entered through the new buckets. From here
+     on the table is published, so a crash must park the unzip state. *)
+  (match t.flavour.Flavour.synchronize () with
+  | () -> ()
+  | exception e ->
+      t.pending <- Some { pu_new_size = new_size; pu_states = states };
+      raise e);
+  run_unzip t ~new_size states;
   Atomic.incr t.expands
 
 let normalize_size t n =
@@ -217,9 +278,14 @@ let resize_locked t target =
     shrink_locked t
   done
 
+(* Every writer entry point recovers any interrupted unzip first: updates
+   below assume precise chains, which only a completed unzip guarantees. *)
 let with_writer t f =
   Mutex.lock t.writer;
-  match f () with
+  match
+    recover_locked t;
+    f ()
+  with
   | v ->
       Mutex.unlock t.writer;
       v
@@ -341,7 +407,14 @@ let resize_stats t =
     shrinks = Atomic.get t.shrinks;
     unzip_passes = Atomic.get t.unzip_passes;
     unzip_splices = Atomic.get t.unzip_splices;
+    recoveries = Atomic.get t.recoveries;
   }
+
+let recovery_pending t =
+  Mutex.lock t.writer;
+  let p = Option.is_some t.pending in
+  Mutex.unlock t.writer;
+  p
 
 let bucket_lengths t =
   let table = Atomic.get t.current in

@@ -32,6 +32,8 @@ type resize_stats = {
   shrinks : int;  (** completed shrinks (each a single halving) *)
   unzip_passes : int;  (** total unzip passes across all expansions *)
   unzip_splices : int;  (** total splice steps across all expansions *)
+  recoveries : int;
+      (** interrupted unzips completed on behalf of a crashed resizer *)
 }
 
 val create :
@@ -127,6 +129,20 @@ val length : ('k, 'v) t -> int
 val load_factor : ('k, 'v) t -> float
 
 val set_auto_resize : ('k, 'v) t -> bool -> unit
+
+(** {1 Crash recovery}
+
+    Resizes carry failpoints (["rp_ht.expand.pre"], ["rp_ht.shrink.pre"],
+    ["rp_ht.unzip.splice"] — see {!Rp_fault}) so fault-injection tests can
+    kill a resizer mid-unzip. A killed resizer releases the writer mutex
+    with the table {e imprecise but complete}: readers still find every
+    binding (the paper's guarantee holds throughout), and the interrupted
+    unzip is parked on the table. The next write operation — insert,
+    remove, replace, move, or resize — first completes the parked unzip
+    (counted in [resize_stats.recoveries]) before touching any chain. *)
+
+val recovery_pending : ('k, 'v) t -> bool
+(** [true] while an interrupted unzip is parked awaiting the next writer. *)
 
 (** {1 Introspection (tests, benchmarks)} *)
 

@@ -1,1 +1,1 @@
-lib/torture/torture.ml: Array Atomic Format Int Rp_baseline Rp_harness Rp_hashes Rp_workload Unix
+lib/torture/torture.ml: Array Atomic Filename Format Fun Int List Memcached Printf Rcu Rp_baseline Rp_fault Rp_harness Rp_hashes Rp_ht Rp_workload Unix

@@ -1,5 +1,6 @@
 type config = {
   table : string;
+  scenario : string;
   duration : float;
   readers : int;
   writers : int;
@@ -15,6 +16,7 @@ type config = {
 let default_config =
   {
     table = "rp";
+    scenario = "steady";
     duration = 0.5;
     readers = 2;
     writers = 1;
@@ -28,6 +30,7 @@ let default_config =
   }
 
 let table_names = [ "rp"; "rp-qsbr"; "rp-fixed"; "ddds"; "rwlock"; "lock"; "xu" ]
+let scenario_names = [ "steady"; "crash_resizer"; "stalled_reader"; "torn_io" ]
 
 let table_of_name = function
   | "rp" -> (module Rp_baseline.Rp_table.Resizable : Rp_baseline.Table_intf.TABLE)
@@ -45,6 +48,9 @@ type report = {
   wrong_value : int;
   writer_ops : int;
   resize_flips : int;
+  faults_injected : int;
+  stalls_detected : int;
+  recoveries : int;
   elapsed : float;
 }
 
@@ -53,10 +59,11 @@ let violations r = r.missing_resident + r.wrong_value
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>reader checks:     %d@,missing residents: %d@,wrong values:      %d@,\
-     writer ops:        %d@,resize flips:      %d@,elapsed:           %.2f s@,\
+     writer ops:        %d@,resize flips:      %d@,faults injected:   %d@,\
+     stalls detected:   %d@,recoveries:        %d@,elapsed:           %.2f s@,\
      verdict:           %s@]"
     r.reader_checks r.missing_resident r.wrong_value r.writer_ops
-    r.resize_flips r.elapsed
+    r.resize_flips r.faults_injected r.stalls_detected r.recoveries r.elapsed
     (if violations r = 0 then "PASS" else "FAIL")
 
 (* Resident values are key*3+1; churn values are key*5+2: a wrong pairing is
@@ -65,17 +72,47 @@ let resident_value k = (k * 3) + 1
 let churn_value k = (k * 5) + 2
 
 let validate_config config =
+  if not (List.mem config.scenario scenario_names) then
+    invalid_arg ("Torture.run: unknown scenario " ^ config.scenario);
   if config.duration <= 0.0 then invalid_arg "Torture.run: duration <= 0";
   if config.readers < 1 then invalid_arg "Torture.run: readers < 1";
   if config.writers < 0 || config.resizers < 0 then
     invalid_arg "Torture.run: negative worker count";
   if config.resident_keys < 1 then invalid_arg "Torture.run: no resident keys";
+  if config.scenario <> "steady" && config.table <> "rp" then
+    invalid_arg
+      ("Torture.run: scenario " ^ config.scenario ^ " runs on the rp table only");
   if config.table = "rp-fixed" && config.resizers > 0 then
     invalid_arg "Torture.run: rp-fixed cannot host resizers";
   ignore (table_of_name config.table)
 
-let run config =
-  validate_config config;
+(* Sites armed (with [Yield]/[Delay]) when [fault_injection] is on, to
+   stretch grace periods and shift interleavings without changing
+   semantics. Disarmed — and only these — after the run. *)
+let perturbation_sites =
+  [
+    ("rcu.synchronize.scan", Rp_fault.Probability 0.02, Rp_fault.Yield);
+    ("rcu.call_rcu.enqueue", Rp_fault.Probability 0.02, Rp_fault.Yield);
+    ("rp_ht.unzip.splice", Rp_fault.Probability 0.05, Rp_fault.Yield);
+    ("rcu.synchronize.pre", Rp_fault.Probability 0.01, Rp_fault.Delay 5e-5);
+  ]
+
+let arm_perturbations seed =
+  List.iter
+    (fun (site, trigger, action) -> Rp_fault.arm ~seed site ~trigger ~action)
+    perturbation_sites
+
+let disarm_perturbations () =
+  List.iter (fun (site, _, _) -> Rp_fault.disarm site) perturbation_sites
+
+let perturbation_fires () =
+  List.fold_left
+    (fun acc (site, _, _) -> acc + Rp_fault.fires site)
+    0 perturbation_sites
+
+(* --- steady scenario: any table behind the TABLE signature --- *)
+
+let run_steady config =
   let (module T : Rp_baseline.Table_intf.TABLE) = table_of_name config.table in
   let t =
     T.create ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal
@@ -87,11 +124,15 @@ let run config =
   let missing = Atomic.make 0 in
   let wrong = Atomic.make 0 in
   let flips = Atomic.make 0 in
+  let injected = Atomic.make 0 in
   let churn_base = config.resident_keys in
 
+  if config.fault_injection then arm_perturbations config.seed;
   let maybe_fault prng =
-    if config.fault_injection && Rp_workload.Prng.below prng 64 = 0 then
+    if config.fault_injection && Rp_workload.Prng.below prng 64 = 0 then begin
+      Atomic.incr injected;
       Unix.sleepf (float_of_int (Rp_workload.Prng.below prng 1000) *. 1e-6)
+    end
   in
 
   (* Oracle reader: resident keys must always be present and correct; churn
@@ -157,7 +198,15 @@ let run config =
         Array.init config.resizers (fun i ~stop -> resizer i ~stop);
       ]
   in
-  let outcome = Rp_harness.Runner.run ~duration:config.duration ~workers () in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> if config.fault_injection then disarm_perturbations ())
+      (fun () -> Rp_harness.Runner.run ~duration:config.duration ~workers ())
+  in
+  let faults =
+    Atomic.get injected
+    + if config.fault_injection then perturbation_fires () else 0
+  in
   let reader_checks =
     Array.fold_left ( + ) 0 (Array.sub outcome.per_worker_ops 0 config.readers)
   in
@@ -171,5 +220,386 @@ let run config =
     wrong_value = Atomic.get wrong;
     writer_ops;
     resize_flips = Atomic.get flips;
+    faults_injected = faults;
+    stalls_detected = 0;
+    recoveries = 0;
     elapsed = outcome.elapsed;
   }
+
+(* --- crash_resizer scenario: kill resizers mid-unzip, writers recover --- *)
+
+let splice_site = "rp_ht.unzip.splice"
+
+let run_crash_resizer config =
+  let t =
+    Rp_ht.create ~initial_size:config.small_size ~auto_resize:false
+      ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
+  in
+  for k = 0 to config.resident_keys - 1 do
+    Rp_ht.replace t k (resident_value k)
+  done;
+  let missing = Atomic.make 0 in
+  let wrong = Atomic.make 0 in
+  let flips = Atomic.make 0 in
+  let churn_base = config.resident_keys in
+  if config.fault_injection then arm_perturbations config.seed;
+  (* Every splice evaluation may "crash" the resizer: the raise unwinds
+     out of [Rp_ht.resize] leaving the interrupted unzip parked on the
+     table (imprecise but complete). The next writer op completes it. *)
+  Rp_fault.arm ~seed:config.seed splice_site
+    ~trigger:(Rp_fault.Probability 0.02) ~action:Rp_fault.Raise;
+
+  let reader index ~stop =
+    let prng = Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:config.seed) index in
+    let checks = ref 0 in
+    while not (Atomic.get stop) do
+      let resident = Rp_workload.Prng.below prng 4 > 0 in
+      if resident then begin
+        let k = Rp_workload.Prng.below prng config.resident_keys in
+        match Rp_ht.find t k with
+        | Some v when v = resident_value k -> ()
+        | Some _ -> Atomic.incr wrong
+        | None -> Atomic.incr missing
+      end
+      else if config.churn_keys > 0 then begin
+        let k = churn_base + Rp_workload.Prng.below prng config.churn_keys in
+        match Rp_ht.find t k with
+        | Some v when v = churn_value k -> ()
+        | Some _ -> Atomic.incr wrong
+        | None -> ()
+      end;
+      incr checks
+    done;
+    !checks
+  in
+
+  let writer index ~stop =
+    let prng =
+      Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:(config.seed + 7)) index
+    in
+    let ops = ref 0 in
+    while (not (Atomic.get stop)) && config.churn_keys > 0 do
+      let k = churn_base + Rp_workload.Prng.below prng config.churn_keys in
+      (* A writer completing a parked unzip walks the splice site too, so
+         it can be "crashed" just like a resizer; the next op recovers. *)
+      (try
+         if Rp_workload.Prng.bool prng then Rp_ht.replace t k (churn_value k)
+         else ignore (Rp_ht.remove t k)
+       with Rp_fault.Injected _ -> ());
+      incr ops
+    done;
+    !ops
+  in
+
+  let resizer _index ~stop =
+    while not (Atomic.get stop) do
+      (try
+         Rp_ht.resize t config.large_size;
+         Atomic.incr flips
+       with Rp_fault.Injected _ -> ());
+      (try
+         Rp_ht.resize t config.small_size;
+         Atomic.incr flips
+       with Rp_fault.Injected _ -> ())
+    done;
+    0
+  in
+
+  let workers =
+    Array.concat
+      [
+        Array.init config.readers (fun i ~stop -> reader i ~stop);
+        Array.init config.writers (fun i ~stop -> writer i ~stop);
+        Array.init (max 1 config.resizers) (fun i ~stop -> resizer i ~stop);
+      ]
+  in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        Rp_fault.disarm splice_site;
+        if config.fault_injection then disarm_perturbations ())
+      (fun () -> Rp_harness.Runner.run ~duration:config.duration ~workers ())
+  in
+  let faults =
+    Rp_fault.fires splice_site
+    + if config.fault_injection then perturbation_fires () else 0
+  in
+  (* A plain writer op must complete any unzip still parked by the last
+     crash; afterwards the quiescent table must validate precisely. *)
+  Rp_ht.replace t 0 (resident_value 0);
+  let wrong_total =
+    Atomic.get wrong
+    + (if Rp_ht.recovery_pending t then 1 else 0)
+    + (match Rp_ht.validate t with Ok () -> 0 | Error _ -> 1)
+  in
+  let stats = Rp_ht.resize_stats t in
+  let reader_checks =
+    Array.fold_left ( + ) 0 (Array.sub outcome.per_worker_ops 0 config.readers)
+  in
+  let writer_ops =
+    Array.fold_left ( + ) 0
+      (Array.sub outcome.per_worker_ops config.readers config.writers)
+  in
+  {
+    reader_checks;
+    missing_resident = Atomic.get missing;
+    wrong_value = wrong_total;
+    writer_ops;
+    resize_flips = Atomic.get flips;
+    faults_injected = faults;
+    stalls_detected = 0;
+    recoveries = stats.Rp_ht.recoveries;
+    elapsed = outcome.elapsed;
+  }
+
+(* --- stalled_reader scenario: park a reader, catch it with the watchdog --- *)
+
+let run_stalled_reader config =
+  let t =
+    Rp_ht.create ~initial_size:config.small_size ~auto_resize:false
+      ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
+  in
+  let rcu = Rp_ht.rcu t in
+  let budget = 0.02 in
+  Rcu.set_stall_budget rcu (Some budget);
+  let handler_calls = Atomic.make 0 in
+  Rcu.set_stall_handler rcu (Some (fun _report -> Atomic.incr handler_calls));
+  for k = 0 to config.resident_keys - 1 do
+    Rp_ht.replace t k (resident_value k)
+  done;
+  let missing = Atomic.make 0 in
+  let wrong = Atomic.make 0 in
+  let flips = Atomic.make 0 in
+  let churn_base = config.resident_keys in
+  if config.fault_injection then arm_perturbations config.seed;
+
+  let reader index ~stop =
+    let prng = Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:config.seed) index in
+    let checks = ref 0 in
+    while not (Atomic.get stop) do
+      let k = Rp_workload.Prng.below prng config.resident_keys in
+      (match Rp_ht.find t k with
+      | Some v when v = resident_value k -> ()
+      | Some _ -> Atomic.incr wrong
+      | None -> Atomic.incr missing);
+      incr checks
+    done;
+    !checks
+  in
+
+  let writer index ~stop =
+    let prng =
+      Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:(config.seed + 7)) index
+    in
+    let ops = ref 0 in
+    while (not (Atomic.get stop)) && config.churn_keys > 0 do
+      let k = churn_base + Rp_workload.Prng.below prng config.churn_keys in
+      if Rp_workload.Prng.bool prng then Rp_ht.replace t k (churn_value k)
+      else ignore (Rp_ht.remove t k);
+      incr ops
+    done;
+    !ops
+  in
+
+  let resizer _index ~stop =
+    while not (Atomic.get stop) do
+      Rp_ht.resize t config.large_size;
+      Rp_ht.resize t config.small_size;
+      ignore (Atomic.fetch_and_add flips 2)
+    done;
+    0
+  in
+
+  (* The culprit: periodically naps inside a read-side critical section for
+     several times the stall budget, so any overlapping grace period trips
+     the watchdog. Naps are spaced out so most grace periods stay fast. *)
+  let parker ~stop =
+    let r = Rcu.register rcu in
+    let parks = ref 0 in
+    while not (Atomic.get stop) do
+      Rcu.read_lock r;
+      Unix.sleepf (4.0 *. budget);
+      Rcu.read_unlock r;
+      incr parks;
+      Unix.sleepf budget
+    done;
+    Rcu.unregister rcu r;
+    !parks
+  in
+
+  let workers =
+    Array.concat
+      [
+        Array.init config.readers (fun i ~stop -> reader i ~stop);
+        Array.init config.writers (fun i ~stop -> writer i ~stop);
+        Array.init (max 1 config.resizers) (fun i ~stop -> resizer i ~stop);
+        [| (fun ~stop -> parker ~stop) |];
+      ]
+  in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        if config.fault_injection then disarm_perturbations ();
+        Rcu.set_stall_handler rcu None;
+        Rcu.set_stall_budget rcu None)
+      (fun () -> Rp_harness.Runner.run ~duration:config.duration ~workers ())
+  in
+  let parks = outcome.per_worker_ops.(Array.length workers - 1) in
+  let reader_checks =
+    Array.fold_left ( + ) 0 (Array.sub outcome.per_worker_ops 0 config.readers)
+  in
+  let writer_ops =
+    Array.fold_left ( + ) 0
+      (Array.sub outcome.per_worker_ops config.readers config.writers)
+  in
+  {
+    reader_checks;
+    missing_resident = Atomic.get missing;
+    wrong_value = Atomic.get wrong;
+    writer_ops;
+    resize_flips = Atomic.get flips;
+    faults_injected =
+      (parks + if config.fault_injection then perturbation_fires () else 0);
+    stalls_detected = Rcu.stall_count rcu;
+    recoveries = (Rp_ht.resize_stats t).Rp_ht.recoveries;
+    elapsed = outcome.elapsed;
+  }
+
+(* --- torn_io scenario: memcached over a torn-up socket --- *)
+
+let torn_sites =
+  [
+    ("server.read.split", Rp_fault.Probability 0.25, Rp_fault.Truncate_io 5);
+    ("server.write.partial", Rp_fault.Probability 0.25, Rp_fault.Truncate_io 7);
+    ("client.write.partial", Rp_fault.Probability 0.25, Rp_fault.Truncate_io 7);
+    ("server.conn.reset", Rp_fault.Probability 0.02, Rp_fault.Raise);
+  ]
+
+let run_torn_io config =
+  let store = Memcached.Store.create ~backend:Memcached.Store.Rp () in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-torture-%d.sock" (Unix.getpid ()))
+  in
+  let addr = Memcached.Server.Unix_socket path in
+  let server = Memcached.Server.start ~store addr in
+  let key_name k = "tk" ^ string_of_int k in
+  let missing = Atomic.make 0 in
+  let wrong = Atomic.make 0 in
+  let churn_base = config.resident_keys in
+  (* Seed resident keys over clean I/O, then tear the transport up. *)
+  let seeder = Memcached.Client.connect ~retries:4 addr in
+  for k = 0 to config.resident_keys - 1 do
+    if
+      not
+        (Memcached.Client.set seeder ~key:(key_name k)
+           ~data:(string_of_int (resident_value k))
+           ())
+    then Atomic.incr missing
+  done;
+  Memcached.Client.close seeder;
+  if config.fault_injection then arm_perturbations config.seed;
+  List.iter
+    (fun (site, trigger, action) ->
+      Rp_fault.arm ~seed:config.seed site ~trigger ~action)
+    torn_sites;
+
+  let fresh_client () = Memcached.Client.connect ~retries:8 addr in
+  let transient = function
+    | Memcached.Client.Disconnected _ | Unix.Unix_error _ | End_of_file
+    | Failure _ ->
+        true
+    | _ -> false
+  in
+  let client_worker role index ~stop =
+    let prng =
+      Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:(config.seed + 31)) index
+    in
+    let c = ref (fresh_client ()) in
+    let ops = ref 0 in
+    while not (Atomic.get stop) do
+      (try
+         match role with
+         | `Get ->
+             let k = Rp_workload.Prng.below prng config.resident_keys in
+             (match Memcached.Client.get !c (key_name k) with
+             | Some v when v.Memcached.Protocol.vdata = string_of_int (resident_value k)
+               ->
+                 ()
+             | Some _ -> Atomic.incr wrong
+             | None -> Atomic.incr missing)
+         | `Set ->
+             let k =
+               churn_base + Rp_workload.Prng.below prng (max 1 config.churn_keys)
+             in
+             if Rp_workload.Prng.bool prng then
+               ignore
+                 (Memcached.Client.set !c ~key:(key_name k)
+                    ~data:(string_of_int (churn_value k))
+                    ())
+             else (
+               match Memcached.Client.get !c (key_name k) with
+               | Some v
+                 when v.Memcached.Protocol.vdata = string_of_int (churn_value k) ->
+                   ()
+               | Some _ -> Atomic.incr wrong
+               | None -> ())
+       with e when transient e ->
+         (* Retry budget exhausted on a dead connection: replace it and
+            keep going — availability, not consistency, took the hit. *)
+         (try Memcached.Client.close !c with _ -> ());
+         (try c := fresh_client () with _ -> Unix.sleepf 0.01));
+      incr ops
+    done;
+    (try Memcached.Client.close !c with _ -> ());
+    !ops
+  in
+
+  let workers =
+    Array.concat
+      [
+        Array.init config.readers (fun i ~stop -> client_worker `Get i ~stop);
+        Array.init (max 1 config.writers) (fun i ~stop ->
+            client_worker `Set (i + 100) ~stop);
+      ]
+  in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun (site, _, _) -> Rp_fault.disarm site) torn_sites;
+        if config.fault_injection then disarm_perturbations ();
+        Memcached.Server.stop server)
+      (fun () -> Rp_harness.Runner.run ~duration:config.duration ~workers ())
+  in
+  let faults =
+    List.fold_left (fun acc (site, _, _) -> acc + Rp_fault.fires site) 0 torn_sites
+    + if config.fault_injection then perturbation_fires () else 0
+  in
+  let reader_checks =
+    Array.fold_left ( + ) 0 (Array.sub outcome.per_worker_ops 0 config.readers)
+  in
+  let writer_ops =
+    Array.fold_left ( + ) 0
+      (Array.sub outcome.per_worker_ops config.readers
+         (Array.length workers - config.readers))
+  in
+  {
+    reader_checks;
+    missing_resident = Atomic.get missing;
+    wrong_value = Atomic.get wrong;
+    writer_ops;
+    resize_flips = 0;
+    faults_injected = faults;
+    stalls_detected = 0;
+    recoveries = 0;
+    elapsed = outcome.elapsed;
+  }
+
+let run config =
+  validate_config config;
+  match config.scenario with
+  | "steady" -> run_steady config
+  | "crash_resizer" -> run_crash_resizer config
+  | "stalled_reader" -> run_stalled_reader config
+  | "torn_io" -> run_torn_io config
+  | _ -> assert false

@@ -9,10 +9,29 @@
 
     A churn-range oracle also runs: values are derived from keys, so a
     lookup that returns a {e wrong} value (as opposed to a miss, which is
-    legitimate for churned keys) is a violation. *)
+    legitimate for churned keys) is a violation.
+
+    Beyond the classic "steady" run, three fault scenarios (driven by the
+    {!Rp_fault} failpoint plane) attack specific robustness claims:
+
+    - {b crash_resizer}: resizers are killed mid-unzip (the
+      ["rp_ht.unzip.splice"] site raises); the table is left imprecise but
+      complete, readers must stay violation-free throughout, and subsequent
+      writer ops must complete the interrupted unzips
+      ([report.recoveries]).
+    - {b stalled_reader}: a dedicated domain naps inside read-side critical
+      sections for several times the grace-period stall budget; the {!Rcu}
+      stall watchdog must detect and attribute it
+      ([report.stalls_detected]) while grace periods still complete.
+    - {b torn_io}: a memcached server/client pair runs over a transport
+      with injected short writes, split reads, and connection resets;
+      retrying clients must still observe every resident key correctly.
+
+    The crash/stall/torn scenarios run on the rp table only. *)
 
 type config = {
   table : string;  (** implementation under test; see {!table_names} *)
+  scenario : string;  (** see {!scenario_names}; "steady" is the classic run *)
   duration : float;  (** seconds *)
   readers : int;
   writers : int;
@@ -22,16 +41,23 @@ type config = {
   small_size : int;  (** resizers flip between these bucket counts *)
   large_size : int;
   fault_injection : bool;
-      (** writers/resizers sleep at random points (1 in 64 ops, <=1 ms) *)
+      (** adds random stalls (writers/resizers sleep at 1 in 64 ops,
+          <=1 ms) and arms [Yield]/[Delay] perturbation failpoints inside
+          Rcu and Rp_ht for the duration of the run *)
   seed : int;
 }
 
 val default_config : config
-(** rp table, 0.5 s, 2 readers / 1 writer / 1 resizer, 1024 resident keys. *)
+(** rp table, steady scenario, 0.5 s, 2 readers / 1 writer / 1 resizer,
+    1024 resident keys. *)
 
 val table_names : string list
 (** Valid values for [config.table]: "rp", "rp-qsbr", "rp-fixed" (no
     resizers), "ddds", "rwlock", "lock", "xu". *)
+
+val scenario_names : string list
+(** Valid values for [config.scenario]: "steady", "crash_resizer",
+    "stalled_reader", "torn_io". *)
 
 type report = {
   reader_checks : int;  (** lookups performed by the oracle readers *)
@@ -39,6 +65,10 @@ type report = {
   wrong_value : int;  (** any key bound to a wrong value — a violation *)
   writer_ops : int;
   resize_flips : int;
+  faults_injected : int;
+      (** failpoint fires plus random stalls/parks injected this run *)
+  stalls_detected : int;  (** grace-period stall watchdog reports *)
+  recoveries : int;  (** interrupted unzips completed by later writers *)
   elapsed : float;
 }
 
@@ -46,5 +76,7 @@ val violations : report -> int
 val pp_report : Format.formatter -> report -> unit
 
 val run : config -> report
-(** Raises [Invalid_argument] on an unknown table name or a non-positive
-    worker/duration configuration. *)
+(** Raises [Invalid_argument] on an unknown table or scenario name, a
+    non-positive worker/duration configuration, or a non-rp table paired
+    with a fault scenario. Failpoint sites armed by the run are disarmed
+    (and only those) before it returns. *)

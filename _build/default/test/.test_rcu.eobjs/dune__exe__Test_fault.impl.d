@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Fun List Rp_fault Unix

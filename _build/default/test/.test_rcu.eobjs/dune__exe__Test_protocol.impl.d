@@ -1,1 +1,1 @@
-test/test_protocol.ml: Alcotest Gen List Memcached Protocol QCheck QCheck_alcotest String
+test/test_protocol.ml: Alcotest Gen List Memcached Option Printf Protocol QCheck QCheck_alcotest Result String

@@ -1,1 +1,1 @@
-test/test_server.ml: Alcotest Bytes Char Client Filename List Memcached Option Printf Protocol Server Store String Unix
+test/test_server.ml: Alcotest Bytes Char Client Filename Fun List Memcached Option Printf Protocol Rp_fault Server Store String Unix

@@ -1,1 +1,1 @@
-test/test_torture.ml: Alcotest Format Rp_torture String
+test/test_torture.ml: Alcotest Format Rp_fault Rp_torture String

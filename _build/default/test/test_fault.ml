@@ -1,0 +1,160 @@
+(* The failpoint plane itself: trigger semantics, counter accounting,
+   determinism under a fixed seed, reset between runs, I/O capping. *)
+
+let site = "test.fault.site"
+
+let with_clean f =
+  Rp_fault.reset ();
+  Fun.protect ~finally:Rp_fault.reset f
+
+let test_unarmed_noop () =
+  with_clean (fun () ->
+      Rp_fault.point "never.mentioned";
+      Alcotest.(check bool) "not armed" false (Rp_fault.armed "never.mentioned");
+      Alcotest.(check int) "no hits" 0 (Rp_fault.hits "never.mentioned");
+      Alcotest.(check int) "io passes through" 4096
+        (Rp_fault.io_cap "never.mentioned" 4096))
+
+let test_every_nth () =
+  with_clean (fun () ->
+      Rp_fault.arm site ~trigger:(Rp_fault.Every 3) ~action:Rp_fault.Yield;
+      for _ = 1 to 10 do
+        Rp_fault.point site
+      done;
+      Alcotest.(check int) "all evaluations counted" 10 (Rp_fault.hits site);
+      Alcotest.(check int) "every third fired" 3 (Rp_fault.fires site))
+
+let test_always_raises () =
+  with_clean (fun () ->
+      Rp_fault.arm site ~trigger:Rp_fault.Always ~action:Rp_fault.Raise;
+      Alcotest.check_raises "raises the site name" (Rp_fault.Injected site)
+        (fun () -> Rp_fault.point site);
+      Alcotest.(check int) "fired once" 1 (Rp_fault.fires site))
+
+let test_one_shot () =
+  with_clean (fun () ->
+      Rp_fault.arm site ~trigger:Rp_fault.One_shot ~action:Rp_fault.Yield;
+      Rp_fault.point site;
+      Alcotest.(check bool) "self-disarmed" false (Rp_fault.armed site);
+      for _ = 1 to 5 do
+        Rp_fault.point site
+      done;
+      Alcotest.(check int) "fired exactly once" 1 (Rp_fault.fires site))
+
+let probability_pattern ~seed n =
+  Rp_fault.reset ();
+  Rp_fault.arm ~seed site ~trigger:(Rp_fault.Probability 0.3)
+    ~action:Rp_fault.Raise;
+  let pattern =
+    List.init n (fun _ ->
+        match Rp_fault.point site with () -> false | exception Rp_fault.Injected _ -> true)
+  in
+  (pattern, Rp_fault.fires site)
+
+let test_probability_deterministic () =
+  with_clean (fun () ->
+      let p1, f1 = probability_pattern ~seed:42 200 in
+      let p2, f2 = probability_pattern ~seed:42 200 in
+      Alcotest.(check (list bool)) "same seed, same fire pattern" p1 p2;
+      Alcotest.(check int) "same fire count" f1 f2;
+      Alcotest.(check bool) "fires a plausible fraction" true (f1 > 20 && f1 < 140);
+      let p3, _ = probability_pattern ~seed:43 200 in
+      Alcotest.(check bool) "different seed differs" true (p1 <> p3))
+
+let test_rearm_zeroes_counters () =
+  with_clean (fun () ->
+      Rp_fault.arm site ~trigger:Rp_fault.Always ~action:Rp_fault.Yield;
+      for _ = 1 to 4 do
+        Rp_fault.point site
+      done;
+      Rp_fault.arm site ~trigger:Rp_fault.Always ~action:Rp_fault.Yield;
+      Alcotest.(check int) "hits zeroed" 0 (Rp_fault.hits site);
+      Alcotest.(check int) "fires zeroed" 0 (Rp_fault.fires site))
+
+let test_disarm_keeps_counters () =
+  with_clean (fun () ->
+      Rp_fault.arm site ~trigger:Rp_fault.Always ~action:Rp_fault.Yield;
+      Rp_fault.point site;
+      Rp_fault.disarm site;
+      Rp_fault.point site;
+      Alcotest.(check bool) "disarmed" false (Rp_fault.armed site);
+      Alcotest.(check int) "counters survive disarm" 1 (Rp_fault.hits site);
+      Rp_fault.disarm "never.armed" (* unknown sites ignored *))
+
+let test_reset_forgets_everything () =
+  with_clean (fun () ->
+      Rp_fault.arm site ~trigger:Rp_fault.Always ~action:Rp_fault.Yield;
+      Rp_fault.point site;
+      Rp_fault.reset ();
+      Alcotest.(check (list string)) "no armed sites" [] (Rp_fault.armed_sites ());
+      Alcotest.(check int) "counters forgotten" 0 (Rp_fault.hits site))
+
+let test_armed_sites_sorted () =
+  with_clean (fun () ->
+      Rp_fault.arm "b.site" ~trigger:Rp_fault.Always ~action:Rp_fault.Yield;
+      Rp_fault.arm "a.site" ~trigger:Rp_fault.Always ~action:Rp_fault.Yield;
+      Alcotest.(check (list string)) "sorted" [ "a.site"; "b.site" ]
+        (Rp_fault.armed_sites ()))
+
+let test_io_cap () =
+  with_clean (fun () ->
+      Rp_fault.arm site ~trigger:Rp_fault.Always ~action:(Rp_fault.Truncate_io 5);
+      Alcotest.(check int) "capped" 5 (Rp_fault.io_cap site 4096);
+      Alcotest.(check int) "short request untouched" 3 (Rp_fault.io_cap site 3);
+      Rp_fault.arm site ~trigger:Rp_fault.Always ~action:(Rp_fault.Truncate_io 0);
+      Alcotest.(check int) "always progresses" 1 (Rp_fault.io_cap site 4096);
+      Rp_fault.arm site ~trigger:(Rp_fault.Every 2) ~action:(Rp_fault.Truncate_io 5);
+      Alcotest.(check int) "miss passes through" 4096 (Rp_fault.io_cap site 4096);
+      Alcotest.(check int) "hit caps" 5 (Rp_fault.io_cap site 4096))
+
+let test_arm_validation () =
+  with_clean (fun () ->
+      let bad f =
+        Alcotest.(check bool) "rejected" true
+          (match f () with exception Invalid_argument _ -> true | _ -> false)
+      in
+      bad (fun () ->
+          Rp_fault.arm site ~trigger:(Rp_fault.Every 0) ~action:Rp_fault.Yield);
+      bad (fun () ->
+          Rp_fault.arm site ~trigger:(Rp_fault.Probability (-0.1))
+            ~action:Rp_fault.Yield);
+      bad (fun () ->
+          Rp_fault.arm site ~trigger:(Rp_fault.Probability 1.5)
+            ~action:Rp_fault.Yield))
+
+let test_delay_actually_delays () =
+  with_clean (fun () ->
+      Rp_fault.arm site ~trigger:Rp_fault.Always ~action:(Rp_fault.Delay 0.02);
+      let t0 = Unix.gettimeofday () in
+      Rp_fault.point site;
+      Alcotest.(check bool) "slept" true (Unix.gettimeofday () -. t0 >= 0.015))
+
+let () =
+  Alcotest.run "rp_fault"
+    [
+      ( "triggers",
+        [
+          Alcotest.test_case "unarmed is a no-op" `Quick test_unarmed_noop;
+          Alcotest.test_case "every nth" `Quick test_every_nth;
+          Alcotest.test_case "always + raise" `Quick test_always_raises;
+          Alcotest.test_case "one shot" `Quick test_one_shot;
+          Alcotest.test_case "probability deterministic under seed" `Quick
+            test_probability_deterministic;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "re-arm zeroes counters" `Quick
+            test_rearm_zeroes_counters;
+          Alcotest.test_case "disarm keeps counters" `Quick
+            test_disarm_keeps_counters;
+          Alcotest.test_case "reset forgets everything" `Quick
+            test_reset_forgets_everything;
+          Alcotest.test_case "armed_sites sorted" `Quick test_armed_sites_sorted;
+          Alcotest.test_case "arm validation" `Quick test_arm_validation;
+        ] );
+      ( "actions",
+        [
+          Alcotest.test_case "io_cap" `Quick test_io_cap;
+          Alcotest.test_case "delay" `Quick test_delay_actually_delays;
+        ] );
+    ]

@@ -363,6 +363,78 @@ let fuzz_tests =
       prop_split_invariance;
     ]
 
+(* --- bounded line buffering --- *)
+
+let test_oversized_line_rejected () =
+  let p = Protocol.Parser.create ~max_line:64 () in
+  (* Multi-chunk garbage line far beyond the bound, then a valid command. *)
+  let chunk = String.make 1024 'x' in
+  for _ = 1 to 3 do
+    Protocol.Parser.feed p chunk
+  done;
+  (match Protocol.Parser.next p with
+  | Some (Error "line too long") -> ()
+  | _ -> Alcotest.fail "expected line-too-long error");
+  Alcotest.(check bool) "oversized bytes not retained" true
+    (Protocol.Parser.buffered_bytes p <= 64);
+  Alcotest.(check (option bool)) "waits for resync" None
+    (Option.map Result.is_ok (Protocol.Parser.next p));
+  Protocol.Parser.feed p (String.make 100 'y' ^ "\r\nget ok\r\n");
+  (match Protocol.Parser.next p with
+  | Some (Ok (Protocol.Get [ "ok" ])) -> ()
+  | _ -> Alcotest.fail "parser did not resynchronise at the next CRLF")
+
+let test_oversized_multi_mb_garbage () =
+  let p = Protocol.Parser.create () in
+  (* Several MB with no CRLF anywhere: one error, bounded memory. *)
+  let mb = String.make (1024 * 1024) 'z' in
+  let errors = ref 0 in
+  for _ = 1 to 4 do
+    Protocol.Parser.feed p mb;
+    match Protocol.Parser.next p with
+    | Some (Error "line too long") -> incr errors
+    | Some _ -> Alcotest.fail "garbage parsed as a request"
+    | None -> ()
+  done;
+  Alcotest.(check int) "reported exactly once" 1 !errors;
+  Alcotest.(check bool) "buffer stays bounded" true
+    (Protocol.Parser.buffered_bytes p < 16 * 1024);
+  Protocol.Parser.feed p "\r\nversion\r\n";
+  match Protocol.Parser.next p with
+  | Some (Ok Protocol.Version) -> ()
+  | _ -> Alcotest.fail "no recovery after multi-MB garbage"
+
+let test_oversized_terminated_line () =
+  let p = Protocol.Parser.create ~max_line:32 () in
+  Protocol.Parser.feed p ("get " ^ String.make 100 'k' ^ "\r\nstats\r\n");
+  (match Protocol.Parser.next p with
+  | Some (Error "line too long") -> ()
+  | _ -> Alcotest.fail "terminated oversized line accepted");
+  match Protocol.Parser.next p with
+  | Some (Ok Protocol.Stats) -> ()
+  | _ -> Alcotest.fail "next command lost"
+
+let test_crlf_split_across_discard_chunks () =
+  let p = Protocol.Parser.create ~max_line:16 () in
+  Protocol.Parser.feed p (String.make 40 'a' ^ "\r");
+  (match Protocol.Parser.next p with
+  | Some (Error "line too long") -> ()
+  | _ -> Alcotest.fail "expected line-too-long error");
+  (* The terminator arrives split across chunks: '\r' above, '\n' now. *)
+  Protocol.Parser.feed p "\nversion\r\n";
+  match Protocol.Parser.next p with
+  | Some (Ok Protocol.Version) -> ()
+  | _ -> Alcotest.fail "CRLF split across discard boundary missed"
+
+let test_max_line_leaves_data_blocks_alone () =
+  let p = Protocol.Parser.create ~max_line:64 () in
+  let data = String.make 4096 'd' in
+  Protocol.Parser.feed p (Printf.sprintf "set big 0 0 %d\r\n%s\r\n" 4096 data);
+  match Protocol.Parser.next p with
+  | Some (Ok (Protocol.Set s)) ->
+      Alcotest.(check int) "data block intact" 4096 (String.length s.Protocol.data)
+  | _ -> Alcotest.fail "data block larger than max_line rejected"
+
 let () =
   Alcotest.run "protocol"
     [
@@ -388,6 +460,16 @@ let () =
           Alcotest.test_case "byte-at-a-time" `Quick test_incremental_byte_feeding;
           Alcotest.test_case "pipelining" `Quick test_pipelined_requests;
           Alcotest.test_case "key validation" `Quick test_key_validation;
+          Alcotest.test_case "oversized line rejected" `Quick
+            test_oversized_line_rejected;
+          Alcotest.test_case "multi-MB garbage" `Quick
+            test_oversized_multi_mb_garbage;
+          Alcotest.test_case "oversized terminated line" `Quick
+            test_oversized_terminated_line;
+          Alcotest.test_case "CRLF split across discard" `Quick
+            test_crlf_split_across_discard_chunks;
+          Alcotest.test_case "data blocks unaffected" `Quick
+            test_max_line_leaves_data_blocks_alone;
         ] );
       ( "round trips",
         [

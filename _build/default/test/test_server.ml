@@ -85,22 +85,22 @@ let test_dispatch_admin () =
 
 (* --- socket integration --- *)
 
-let with_server f =
+let with_server ?config f =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "rp-mc-test-%d.sock" (Unix.getpid ()))
   in
   let store = make_store () in
-  let server = Server.start ~store (Server.Unix_socket path) in
+  let server = Server.start ~store ?config (Server.Unix_socket path) in
   let finish () = Server.stop server in
-  (match f (Server.Unix_socket path) store with
+  (match f ~server (Server.Unix_socket path) store with
   | () -> finish ()
   | exception e ->
       finish ();
       raise e)
 
 let test_socket_roundtrip () =
-  with_server (fun addr _store ->
+  with_server (fun ~server:_ addr _store ->
       let client = Client.connect addr in
       Alcotest.(check bool) "set" true (Client.set client ~key:"k" ~data:"hello" ());
       (match Client.get client "k" with
@@ -113,7 +113,7 @@ let test_socket_roundtrip () =
       Client.close client)
 
 let test_socket_counters_and_touch () =
-  with_server (fun addr _store ->
+  with_server (fun ~server:_ addr _store ->
       let client = Client.connect addr in
       ignore (Client.set client ~key:"c" ~data:"41" ());
       Alcotest.(check (option int)) "incr" (Some 42) (Client.incr client "c" 1);
@@ -123,7 +123,7 @@ let test_socket_counters_and_touch () =
       Client.close client)
 
 let test_socket_large_value () =
-  with_server (fun addr _store ->
+  with_server (fun ~server:_ addr _store ->
       let client = Client.connect addr in
       (* Larger than the server's 16 KiB read buffer: exercises incremental
          parsing across multiple reads. *)
@@ -138,7 +138,7 @@ let test_socket_large_value () =
       Client.close client)
 
 let test_socket_multi_clients () =
-  with_server (fun addr _store ->
+  with_server (fun ~server:_ addr _store ->
       let clients = List.init 4 (fun _ -> Client.connect addr) in
       List.iteri
         (fun i c ->
@@ -157,7 +157,7 @@ let test_socket_multi_clients () =
       List.iter Client.close clients)
 
 let test_socket_multi_get () =
-  with_server (fun addr _store ->
+  with_server (fun ~server:_ addr _store ->
       let client = Client.connect addr in
       ignore (Client.set client ~key:"a" ~data:"1" ());
       ignore (Client.set client ~key:"b" ~data:"2" ());
@@ -167,7 +167,7 @@ let test_socket_multi_get () =
       Client.close client)
 
 let test_socket_stats_and_version () =
-  with_server (fun addr _store ->
+  with_server (fun ~server:_ addr _store ->
       let client = Client.connect addr in
       Alcotest.(check string) "version" Server.version_string (Client.version client);
       let stats = Client.stats client in
@@ -177,7 +177,7 @@ let test_socket_stats_and_version () =
       Client.close client)
 
 let test_socket_protocol_error_keeps_connection () =
-  with_server (fun addr _store ->
+  with_server (fun ~server:_ addr _store ->
       (* Send garbage, then a valid request on the same connection. *)
       let client = Client.connect addr in
       (match Client.request client (Protocol.Get [ "placeholder" ]) with
@@ -215,6 +215,117 @@ let test_socket_protocol_error_keeps_connection () =
          in
          find 0))
 
+(* --- hardening: connection cap, timeouts, fault tolerance, drain --- *)
+
+let test_max_connections_cap () =
+  let config = { Server.default_config with max_connections = 1 } in
+  with_server ~config (fun ~server addr _store ->
+      let c1 = Client.connect addr in
+      Alcotest.(check bool) "first client served" true
+        (Client.set c1 ~key:"k" ~data:"v" ());
+      (* Second connection must be turned away with SERVER_ERROR. *)
+      let path = match addr with Server.Unix_socket p -> p | _ -> assert false in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let buf = Bytes.create 4096 in
+      let rec read_all acc =
+        match Unix.read fd buf 0 4096 with
+        | 0 -> acc
+        | n -> read_all (acc ^ Bytes.sub_string buf 0 n)
+        | exception Unix.Unix_error _ -> acc
+      in
+      let reply = read_all "" in
+      Unix.close fd;
+      Alcotest.(check bool) "rejected with SERVER_ERROR" true
+        (String.length reply >= 12 && String.sub reply 0 12 = "SERVER_ERROR");
+      Alcotest.(check bool) "rejection counted" true
+        (Server.rejected_connections server >= 1);
+      (* The first connection is unaffected by the rejection. *)
+      (match Client.get c1 "k" with
+      | Some v -> Alcotest.(check string) "still served" "v" v.vdata
+      | None -> Alcotest.fail "existing connection broken by rejection");
+      Client.close c1)
+
+let test_idle_timeout_closes_connection () =
+  let config = { Server.default_config with idle_timeout = 0.05 } in
+  with_server ~config (fun ~server:_ addr _store ->
+      let c = Client.connect addr in
+      Alcotest.(check bool) "first op" true (Client.set c ~key:"k" ~data:"v" ());
+      Unix.sleepf 0.2;
+      (* The server timed the connection out while we slept. *)
+      Alcotest.(check bool) "idle connection dropped" true
+        (match Client.get c "k" with
+        | _ -> false
+        | exception (Client.Disconnected _ | Unix.Unix_error _) -> true);
+      Client.close c;
+      (* A retrying client rides the drop transparently. *)
+      let c2 = Client.connect ~retries:2 addr in
+      ignore (Client.set c2 ~key:"k2" ~data:"w" ());
+      Unix.sleepf 0.2;
+      (match Client.get c2 "k2" with
+      | Some v -> Alcotest.(check string) "reconnect and retry" "w" v.vdata
+      | None -> Alcotest.fail "value lost across reconnect");
+      Client.close c2)
+
+let test_torn_writes_still_correct () =
+  with_server (fun ~server:_ addr _store ->
+      let c = Client.connect addr in
+      let big = String.init 20_000 (fun i -> Char.chr (33 + (i mod 90))) in
+      Alcotest.(check bool) "set big" true (Client.set c ~key:"big" ~data:big ());
+      Rp_fault.arm "server.write.partial" ~trigger:Rp_fault.Always
+        ~action:(Rp_fault.Truncate_io 3);
+      Fun.protect
+        ~finally:(fun () -> Rp_fault.disarm "server.write.partial")
+        (fun () ->
+          match Client.get c "big" with
+          | Some v ->
+              Alcotest.(check bool) "payload intact over 3-byte writes" true
+                (v.vdata = big)
+          | None -> Alcotest.fail "value lost under torn writes");
+      Alcotest.(check bool) "writes were actually torn" true
+        (Rp_fault.fires "server.write.partial" > 100);
+      Client.close c)
+
+let test_conn_reset_with_client_retry () =
+  with_server (fun ~server:_ addr _store ->
+      let c = Client.connect ~retries:4 addr in
+      Alcotest.(check bool) "seed" true (Client.set c ~key:"k" ~data:"v" ());
+      Rp_fault.arm "server.conn.reset" ~trigger:Rp_fault.One_shot
+        ~action:Rp_fault.Raise;
+      Fun.protect
+        ~finally:(fun () -> Rp_fault.disarm "server.conn.reset")
+        (fun () ->
+          (* The one-shot reset tears the connection at the server's next
+             read; the retrying client reconnects and completes both ops. *)
+          ignore (Client.set c ~key:"k2" ~data:"w" ());
+          (match Client.get c "k" with
+          | Some v -> Alcotest.(check string) "survived the reset" "v" v.vdata
+          | None -> Alcotest.fail "value lost across injected reset");
+          Alcotest.(check int) "reset fired" 1 (Rp_fault.fires "server.conn.reset"));
+      Client.close c)
+
+let test_stop_drains_connections () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-mc-drain-%d.sock" (Unix.getpid ()))
+  in
+  let store = make_store () in
+  let server = Server.start ~store (Server.Unix_socket path) in
+  let clients =
+    List.init 3 (fun _ -> Client.connect (Server.Unix_socket path))
+  in
+  List.iteri
+    (fun i c ->
+      ignore (Client.set c ~key:(Printf.sprintf "k%d" i) ~data:"v" ()))
+    clients;
+  Alcotest.(check bool) "connections live" true
+    (Server.active_connections server >= 1);
+  (* stop must shut down and join every connection thread. *)
+  Server.stop server;
+  Alcotest.(check int) "all connections drained" 0
+    (Server.active_connections server);
+  List.iter (fun c -> try Client.close c with _ -> ()) clients
+
 let () =
   Alcotest.run "server"
     [
@@ -238,5 +349,14 @@ let () =
           Alcotest.test_case "stats and version" `Quick test_socket_stats_and_version;
           Alcotest.test_case "protocol error keeps connection" `Quick
             test_socket_protocol_error_keeps_connection;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "max connections cap" `Quick test_max_connections_cap;
+          Alcotest.test_case "idle timeout" `Quick test_idle_timeout_closes_connection;
+          Alcotest.test_case "torn writes" `Quick test_torn_writes_still_correct;
+          Alcotest.test_case "conn reset + retry" `Quick
+            test_conn_reset_with_client_retry;
+          Alcotest.test_case "stop drains" `Quick test_stop_drains_connections;
         ] );
     ]

@@ -22,6 +22,18 @@ let run_clean table ~resizers () =
   if resizers > 0 then
     Alcotest.(check bool) "resizes happened" true (report.resize_flips > 0)
 
+(* Every implementation must survive the perturbation failpoints: the
+   injected yields/delays change timing only, never semantics. *)
+let run_faulted table ~resizers () =
+  let config =
+    { (quick table ~resizers) with fault_injection = true; duration = 0.15 }
+  in
+  let report = Rp_torture.Torture.run config in
+  Alcotest.(check int) "no violations with faults" 0
+    (Rp_torture.Torture.violations report);
+  Alcotest.(check bool) "no armed sites left behind" true
+    (Rp_fault.armed_sites () = [])
+
 let test_fault_injection () =
   let config = { (quick "rp" ~resizers:1) with fault_injection = true } in
   let report = Rp_torture.Torture.run config in
@@ -47,6 +59,66 @@ let test_validation () =
       Rp_torture.Torture.run
         { Rp_torture.Torture.default_config with table = "rp-fixed"; resizers = 1 })
 
+let test_scenario_crash_resizer () =
+  let config =
+    {
+      (quick "rp" ~resizers:2) with
+      scenario = "crash_resizer";
+      duration = 0.4;
+    }
+  in
+  let report = Rp_torture.Torture.run config in
+  Alcotest.(check int) "no violations under resizer crashes" 0
+    (Rp_torture.Torture.violations report);
+  Alcotest.(check bool) "resizers were killed" true (report.faults_injected > 0);
+  Alcotest.(check bool) "writers completed interrupted unzips" true
+    (report.recoveries >= 1)
+
+let test_scenario_stalled_reader () =
+  let config =
+    { (quick "rp" ~resizers:1) with scenario = "stalled_reader"; duration = 0.4 }
+  in
+  let report = Rp_torture.Torture.run config in
+  Alcotest.(check int) "no violations with a stalled reader" 0
+    (Rp_torture.Torture.violations report);
+  Alcotest.(check bool) "watchdog fired" true (report.stalls_detected >= 1)
+
+let test_scenario_torn_io () =
+  let config =
+    {
+      (quick "rp" ~resizers:0) with
+      scenario = "torn_io";
+      duration = 0.3;
+      resident_keys = 32;
+      churn_keys = 32;
+    }
+  in
+  let report = Rp_torture.Torture.run config in
+  Alcotest.(check int) "no violations over torn transport" 0
+    (Rp_torture.Torture.violations report);
+  Alcotest.(check bool) "faults were injected" true (report.faults_injected > 0);
+  Alcotest.(check bool) "clients made progress" true (report.reader_checks > 0)
+
+let test_scenario_validation () =
+  let bad f =
+    Alcotest.(check bool) "rejected" true
+      (match f () with exception Invalid_argument _ -> true | _ -> false)
+  in
+  bad (fun () ->
+      Rp_torture.Torture.run
+        { Rp_torture.Torture.default_config with scenario = "nope" });
+  bad (fun () ->
+      Rp_torture.Torture.run
+        {
+          Rp_torture.Torture.default_config with
+          scenario = "crash_resizer";
+          table = "lock";
+        });
+  Alcotest.(check (list string))
+    "scenario names"
+    [ "steady"; "crash_resizer"; "stalled_reader"; "torn_io" ]
+    Rp_torture.Torture.scenario_names
+
 let test_report_rendering () =
   let report =
     {
@@ -55,6 +127,9 @@ let test_report_rendering () =
       wrong_value = 0;
       writer_ops = 5;
       resize_flips = 2;
+      faults_injected = 3;
+      stalls_detected = 0;
+      recoveries = 1;
       elapsed = 1.0;
     }
   in
@@ -80,10 +155,27 @@ let () =
           Alcotest.test_case "lock" `Slow (run_clean "lock" ~resizers:1);
           Alcotest.test_case "xu" `Slow (run_clean "xu" ~resizers:1);
         ] );
+      ( "fault matrix",
+        [
+          Alcotest.test_case "rp" `Slow (run_faulted "rp" ~resizers:1);
+          Alcotest.test_case "rp-qsbr" `Slow (run_faulted "rp-qsbr" ~resizers:1);
+          Alcotest.test_case "rp-fixed" `Slow (run_faulted "rp-fixed" ~resizers:0);
+          Alcotest.test_case "ddds" `Slow (run_faulted "ddds" ~resizers:1);
+          Alcotest.test_case "rwlock" `Slow (run_faulted "rwlock" ~resizers:1);
+          Alcotest.test_case "lock" `Slow (run_faulted "lock" ~resizers:1);
+          Alcotest.test_case "xu" `Slow (run_faulted "xu" ~resizers:1);
+        ] );
       ( "modes",
         [
           Alcotest.test_case "fault injection" `Slow test_fault_injection;
           Alcotest.test_case "quiet run" `Slow test_no_writers_or_resizers;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "crash_resizer" `Slow test_scenario_crash_resizer;
+          Alcotest.test_case "stalled_reader" `Slow test_scenario_stalled_reader;
+          Alcotest.test_case "torn_io" `Slow test_scenario_torn_io;
+          Alcotest.test_case "scenario validation" `Quick test_scenario_validation;
         ] );
       ( "config",
         [

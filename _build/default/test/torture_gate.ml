@@ -1,0 +1,65 @@
+(* Fault-injected torture gate, run by `dune build @torture` (and wired
+   into @runtest). Budget: well under two seconds of run time total —
+   each scenario gets one short, seeded, fault-injected burst; any oracle
+   violation fails the build. *)
+
+let base =
+  {
+    Rp_torture.Torture.default_config with
+    duration = 0.12;
+    readers = 2;
+    writers = 1;
+    resizers = 1;
+    resident_keys = 128;
+    churn_keys = 64;
+    small_size = 32;
+    large_size = 256;
+    fault_injection = true;
+    seed = 2026;
+  }
+
+let failures = ref 0
+
+let run name config =
+  let report = Rp_torture.Torture.run config in
+  let violations = Rp_torture.Torture.violations report in
+  Printf.printf "%-32s checks=%d faults=%d stalls=%d recoveries=%d %s\n%!" name
+    report.reader_checks report.faults_injected report.stalls_detected
+    report.recoveries
+    (if violations = 0 then "ok" else Printf.sprintf "FAIL (%d violations)" violations);
+  if violations > 0 then incr failures;
+  report
+
+let () =
+  (* steady, faults on, across the rp flavours (baselines have their own
+     clean-run coverage in the alcotest suite). *)
+  ignore (run "steady/rp" base);
+  ignore (run "steady/rp-qsbr" { base with table = "rp-qsbr" });
+  ignore
+    (run "steady/rp-fixed" { base with table = "rp-fixed"; resizers = 0 });
+  let crash = run "crash_resizer" { base with scenario = "crash_resizer" } in
+  if crash.faults_injected = 0 then begin
+    Printf.printf "crash_resizer: no faults fired\n%!";
+    incr failures
+  end;
+  let stalled =
+    run "stalled_reader"
+      { base with scenario = "stalled_reader"; duration = 0.2 }
+  in
+  if stalled.stalls_detected = 0 then begin
+    Printf.printf "stalled_reader: watchdog never fired\n%!";
+    incr failures
+  end;
+  let torn =
+    run "torn_io"
+      { base with scenario = "torn_io"; resident_keys = 32; churn_keys = 32 }
+  in
+  if torn.faults_injected = 0 then begin
+    Printf.printf "torn_io: no faults fired\n%!";
+    incr failures
+  end;
+  if !failures > 0 then begin
+    Printf.printf "torture gate: %d scenario(s) failed\n%!" !failures;
+    exit 1
+  end;
+  print_endline "torture gate: all scenarios clean"

@@ -11,6 +11,18 @@ let table_arg =
     & opt (enum (List.map (fun n -> (n, n)) Rp_torture.Torture.table_names)) "rp"
     & info [ "table" ] ~docv:"TABLE" ~doc)
 
+let scenario_arg =
+  let doc =
+    "Fault scenario: " ^ String.concat ", " Rp_torture.Torture.scenario_names
+    ^ ". The crash/stall/torn scenarios require --table rp."
+  in
+  Arg.(
+    value
+    & opt
+        (enum (List.map (fun n -> (n, n)) Rp_torture.Torture.scenario_names))
+        "steady"
+    & info [ "scenario" ] ~docv:"SCENARIO" ~doc)
+
 let duration_arg =
   Arg.(value & opt float 2.0 & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc:"Run time.")
 
@@ -34,11 +46,12 @@ let faults_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
-let run table duration readers writers resizers resident churn faults seed =
+let run table scenario duration readers writers resizers resident churn faults seed =
   let config =
     {
       Rp_torture.Torture.default_config with
       table;
+      scenario;
       duration;
       readers;
       writers;
@@ -49,8 +62,9 @@ let run table duration readers writers resizers resident churn faults seed =
       seed;
     }
   in
-  Printf.printf "torturing %s for %.1fs: %d readers, %d writers, %d resizers%s\n%!"
-    table duration readers writers config.resizers
+  Printf.printf
+    "torturing %s (%s) for %.1fs: %d readers, %d writers, %d resizers%s\n%!"
+    table scenario duration readers writers config.resizers
     (if faults then " (+fault injection)" else "");
   let report = Rp_torture.Torture.run config in
   Format.printf "%a@." Rp_torture.Torture.pp_report report;
@@ -60,7 +74,7 @@ let cmd =
   let doc = "stress-test the relativistic hash table and its baselines" in
   Cmd.v (Cmd.info "rp_torture" ~doc)
     Term.(
-      const run $ table_arg $ duration_arg $ readers_arg $ writers_arg
+      const run $ table_arg $ scenario_arg $ duration_arg $ readers_arg $ writers_arg
       $ resizers_arg $ resident_arg $ churn_arg $ faults_arg $ seed_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -15,8 +15,7 @@ let test_slots_exhaust () =
   let rcu = Rcu.create ~max_readers:2 () in
   let r1 = Rcu.register rcu in
   let r2 = Rcu.register rcu in
-  Alcotest.check_raises "third reader refused"
-    (Failure "Rcu.register: reader slots exhausted") (fun () ->
+  Alcotest.check_raises "third reader refused" Rcu.Too_many_readers (fun () ->
       ignore (Rcu.register rcu));
   Rcu.unregister rcu r1;
   (* A freed slot is reusable. *)
@@ -271,6 +270,61 @@ let prop_many_grace_periods =
       let s = Rcu.stats rcu in
       s.grace_periods = n && s.synchronize_calls = n)
 
+(* --- grace-period stall watchdog --- *)
+
+let test_stall_watchdog_detects_parked_reader () =
+  let rcu = Rcu.create ~stall_budget:0.02 () in
+  let handler_reports = Atomic.make 0 in
+  Rcu.set_stall_handler rcu (Some (fun _ -> Atomic.incr handler_reports));
+  let parked = Atomic.make false in
+  let parker =
+    Domain.spawn (fun () ->
+        let r = Rcu.register rcu in
+        Rcu.read_lock r;
+        Atomic.set parked true;
+        Unix.sleepf 0.12;
+        Rcu.read_unlock r;
+        Rcu.unregister rcu r;
+        (Domain.self () :> int))
+  in
+  while not (Atomic.get parked) do
+    Domain.cpu_relax ()
+  done;
+  Rcu.synchronize rcu;
+  let parker_id = Domain.join parker in
+  Alcotest.(check bool) "stall detected" true (Rcu.stall_count rcu >= 1);
+  Alcotest.(check int) "once per slot per grace period" 1 (Rcu.stall_count rcu);
+  Alcotest.(check int) "handler invoked" 1 (Atomic.get handler_reports);
+  match Rcu.last_stall rcu with
+  | None -> Alcotest.fail "no stall report recorded"
+  | Some r ->
+      Alcotest.(check int) "names the parked domain" parker_id r.Rcu.owner_domain;
+      Alcotest.(check bool) "inside a read section" true (r.Rcu.nesting >= 1);
+      Alcotest.(check bool) "waited past the budget" true (r.Rcu.waited >= 0.02);
+      let rendered = Format.asprintf "%a" Rcu.pp_stall_report r in
+      Alcotest.(check bool) "report renders" true (String.length rendered > 0)
+
+let test_stall_budget_validation () =
+  let rcu = Rcu.create () in
+  Alcotest.(check (option (float 1e-9))) "off by default" None (Rcu.stall_budget rcu);
+  Alcotest.check_raises "non-positive budget rejected"
+    (Invalid_argument "Rcu.set_stall_budget: budget <= 0") (fun () ->
+      Rcu.set_stall_budget rcu (Some 0.0));
+  Rcu.set_stall_budget rcu (Some 1.5);
+  Alcotest.(check (option (float 1e-9))) "set" (Some 1.5) (Rcu.stall_budget rcu);
+  Rcu.set_stall_budget rcu None;
+  Alcotest.(check (option (float 1e-9))) "cleared" None (Rcu.stall_budget rcu)
+
+let test_no_stall_under_budget () =
+  let rcu = Rcu.create ~stall_budget:5.0 () in
+  let r = Rcu.register rcu in
+  Rcu.read_lock r;
+  Rcu.read_unlock r;
+  Rcu.synchronize rcu;
+  Rcu.unregister rcu r;
+  Alcotest.(check int) "no stalls" 0 (Rcu.stall_count rcu);
+  Alcotest.(check bool) "no report" true (Rcu.last_stall rcu = None)
+
 let () =
   Alcotest.run "rcu"
     [
@@ -308,6 +362,13 @@ let () =
           Alcotest.test_case "amortized flush" `Quick test_call_rcu_amortized_flush;
           Alcotest.test_case "run after grace period" `Quick
             test_callbacks_run_after_grace_period;
+        ] );
+      ( "stall watchdog",
+        [
+          Alcotest.test_case "detects parked reader" `Slow
+            test_stall_watchdog_detects_parked_reader;
+          Alcotest.test_case "budget validation" `Quick test_stall_budget_validation;
+          Alcotest.test_case "quiet under budget" `Quick test_no_stall_under_budget;
         ] );
       ( "stats",
         [
