@@ -7,7 +7,12 @@
    Part 2 — the paper's figures: each prints measured (this host) and
    cost-model-projected (16-way) series; see lib/figures.
 
-   Usage: main.exe [--quick] [--micro-only | --figures-only] *)
+   Part 3 — --smoke: a sub-second burst over the rp table and the
+   memcached store that dumps their Rp_obs registry snapshots into
+   BENCH_smoke.json (the @bench-smoke alias, wired into @runtest), so
+   every test run leaves a machine-readable metrics report behind.
+
+   Usage: main.exe [--quick] [--micro-only | --figures-only | --smoke] *)
 
 open Bechamel
 open Toolkit
@@ -232,11 +237,69 @@ let run_micro ~quota =
       print_newline ())
     all_micro_tests
 
+(* --- smoke run: exercise the stack briefly, leave a metrics report --- *)
+
+let smoke_keys = 8192
+
+let run_smoke () =
+  let started = Unix.gettimeofday () in
+  (* Table burst: fill, resize both ways, look everything up, drain half. *)
+  let reg = Rp_obs.Registry.create () in
+  let table =
+    Rp_ht.create ~initial_size:64 ~auto_resize:false
+      ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
+  in
+  Rp_ht.observe table reg;
+  Rcu.observe (Rp_ht.rcu table) reg;
+  for i = 0 to smoke_keys - 1 do
+    Rp_ht.insert table i i
+  done;
+  Rp_ht.resize table 1024;
+  Rp_ht.resize table 64;
+  let hits = ref 0 in
+  for i = 0 to smoke_keys - 1 do
+    if Rp_ht.find table i <> None then incr hits
+  done;
+  for i = 0 to (smoke_keys / 2) - 1 do
+    ignore (Rp_ht.remove table i)
+  done;
+  Rcu.synchronize (Rp_ht.rcu table);
+  (* Store burst: sets, hits, misses, deletes through the memcached path. *)
+  let store = Memcached.Store.create ~backend:Memcached.Store.Rp () in
+  for i = 0 to 255 do
+    ignore
+      (Memcached.Store.set store
+         ~key:(Printf.sprintf "key:%04d" i)
+         ~flags:0 ~exptime:0 ~data:(String.make 64 'x'))
+  done;
+  for i = 0 to 511 do
+    ignore (Memcached.Store.get store (Printf.sprintf "key:%04d" i))
+  done;
+  for i = 0 to 63 do
+    ignore (Memcached.Store.delete store (Printf.sprintf "key:%04d" i))
+  done;
+  let elapsed = Unix.gettimeofday () -. started in
+  let oc = open_out "BENCH_smoke.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"smoke\",\n  \"elapsed\": %.3f,\n  \
+     \"lookup_hits\": %d,\n  \"trace_events\": %d,\n  \"table\": %s,\n  \
+     \"store\": %s\n}\n"
+    elapsed !hits
+    (Rp_obs.Trace.emitted Rp_obs.Trace.default)
+    (Rp_obs.Registry.to_json reg)
+    (Rp_obs.Registry.to_json (Memcached.Store.registry store));
+  close_out oc;
+  Printf.printf "smoke: %d/%d lookups hit, %.0f ms, report in BENCH_smoke.json\n"
+    !hits smoke_keys (elapsed *. 1e3);
+  if !hits <> smoke_keys then exit 1
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let micro_only = List.mem "--micro-only" args in
   let figures_only = List.mem "--figures-only" args in
+  if List.mem "--smoke" args then run_smoke ()
+  else begin
   let options =
     if quick then Rp_figures.Figures.quick_options
     else Rp_figures.Figures.default_options
@@ -249,4 +312,5 @@ let () =
     Rp_figures.Figures.run_all options;
     if not quick then Rp_figures.Ablations.run_all ();
     Printf.printf "\nCSV series written under %s/\n" csv_dir
+  end
   end

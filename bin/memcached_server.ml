@@ -22,7 +22,14 @@ let max_bytes_arg =
   let doc = "Eviction budget in megabytes." in
   Arg.(value & opt int 64 & info [ "m"; "memory" ] ~docv:"MB" ~doc)
 
-let run backend port socket max_mb =
+let metrics_port_arg =
+  let doc =
+    "Serve Prometheus text exposition on 127.0.0.1:$(docv) (0 = OS-assigned)."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT" ~doc)
+
+let run backend port socket max_mb metrics_port =
   let store =
     Memcached.Store.create ~backend ~max_bytes:(max_mb * 1024 * 1024) ()
   in
@@ -35,6 +42,18 @@ let run backend port socket max_mb =
   (match address with
   | Memcached.Server.Tcp p -> Printf.printf "listening on 127.0.0.1:%d\n%!" p
   | Memcached.Server.Unix_socket path -> Printf.printf "listening on %s\n%!" path);
+  let metrics =
+    Option.map
+      (fun p ->
+        let m =
+          Memcached.Metrics_http.start
+            ~registry:(Memcached.Store.registry store) p
+        in
+        Printf.printf "metrics on http://127.0.0.1:%d/metrics\n%!"
+          (Memcached.Metrics_http.port m);
+        m)
+      metrics_port
+  in
   let stop = ref false in
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
   Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
@@ -42,11 +61,14 @@ let run backend port socket max_mb =
     Unix.sleepf 0.2
   done;
   print_endline "shutting down";
+  Option.iter Memcached.Metrics_http.stop metrics;
   Memcached.Server.stop server
 
 let cmd =
   let doc = "mini-memcached with a relativistic hash table" in
   Cmd.v (Cmd.info "memcached_server" ~doc)
-    Term.(const run $ backend_arg $ port_arg $ socket_arg $ max_bytes_arg)
+    Term.(
+      const run $ backend_arg $ port_arg $ socket_arg $ max_bytes_arg
+      $ metrics_port_arg)
 
 let () = exit (Cmd.eval cmd)

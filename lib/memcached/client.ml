@@ -133,8 +133,8 @@ let touch t ~key ~exptime =
   | Protocol.Not_found -> false
   | _ -> failwith "Memcached.Client.touch: unexpected response"
 
-let stats t =
-  match request t Protocol.Stats with
+let stats ?arg t =
+  match request t (Protocol.Stats arg) with
   | Protocol.Stats_reply kvs -> kvs
   | _ -> failwith "Memcached.Client.stats: unexpected response"
 

@@ -30,7 +30,10 @@ val delete : t -> string -> bool
 val incr : t -> string -> int -> int option
 val decr : t -> string -> int -> int option
 val touch : t -> key:string -> exptime:int -> bool
-val stats : t -> (string * string) list
+val stats : ?arg:string -> t -> (string * string) list
+(** [stats t] sends [stats]; [stats ~arg:"rp" t] sends [stats rp] and
+    returns the relativistic-stack instrument lines only. *)
+
 val version : t -> string
 val flush_all : t -> unit
 

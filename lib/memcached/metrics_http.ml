@@ -1,0 +1,69 @@
+(* Minimal HTTP/1.0 exposition endpoint: every request, whatever its path,
+   gets the registry rendered as Prometheus text. One thread per connection
+   is fine — scrapers poll at second granularity. *)
+
+type t = {
+  listen_fd : Unix.file_descr;
+  accept_thread : Thread.t;
+  running : bool Atomic.t;
+  port : int;
+}
+
+let content_type = "text/plain; version=0.0.4"
+
+let respond fd body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 200 OK\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      content_type (String.length body)
+  in
+  try Io.write_all fd (head ^ body)
+  with Unix.Unix_error _ | Io.Timeout | Rp_fault.Injected _ -> ()
+
+let serve registry fd =
+  let buf = Bytes.create 4096 in
+  (* Read one request line; we don't care about headers or path. *)
+  (try ignore (Io.read fd buf) with
+  | Unix.Unix_error _ | End_of_file | Io.Timeout | Rp_fault.Injected _ -> ());
+  respond fd (Rp_obs.Registry.to_prometheus registry);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t registry =
+  while Atomic.get t.running do
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        if not (Atomic.get t.running) then (
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        else ignore (Thread.create (fun () -> serve registry fd) ())
+    | exception Unix.Unix_error _ -> ()
+  done
+
+let start ~registry port =
+  Io.ignore_sigpipe ();
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen listen_fd 16;
+  (* port 0 lets the OS pick; report the bound port for tests *)
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let t =
+    {
+      listen_fd;
+      accept_thread = Thread.self ();
+      running = Atomic.make true;
+      port;
+    }
+  in
+  { t with accept_thread = Thread.create (fun () -> accept_loop t registry) () }
+
+let port t = t.port
+
+let stop t =
+  Atomic.set t.running false;
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Thread.join t.accept_thread

@@ -1,0 +1,15 @@
+(** Prometheus scrape endpoint: a minimal HTTP/1.0 server that answers
+    every request with {!Rp_obs.Registry.to_prometheus} of the registry it
+    was started with (text exposition format 0.0.4). Backs the memcached
+    server binary's [--metrics-port] flag. *)
+
+type t
+
+val start : registry:Rp_obs.Registry.t -> int -> t
+(** [start ~registry port] binds [127.0.0.1:port] ([0] = OS-assigned; see
+    {!port}) and serves scrapes on a background thread. *)
+
+val port : t -> int
+(** The bound port (useful with [start ~registry 0]). *)
+
+val stop : t -> unit

@@ -19,7 +19,7 @@ type request =
   | Incr of { key : string; delta : int; noreply : bool }
   | Decr of { key : string; delta : int; noreply : bool }
   | Touch of { key : string; exptime : int; noreply : bool }
-  | Stats
+  | Stats of string option
   | Flush_all of { noreply : bool }
   | Version
   | Quit
@@ -76,7 +76,8 @@ let encode_request = function
       Printf.sprintf "touch %s %d%s%s" key exptime
         (if noreply then " noreply" else "")
         crlf
-  | Stats -> "stats" ^ crlf
+  | Stats None -> "stats" ^ crlf
+  | Stats (Some arg) -> "stats " ^ arg ^ crlf
   | Flush_all { noreply } ->
       Printf.sprintf "flush_all%s%s" (if noreply then " noreply" else "") crlf
   | Version -> "version" ^ crlf
@@ -322,7 +323,11 @@ module Parser = struct
                 | Some e -> Some (Ok (Touch { key; exptime = e; noreply = true }))
                 | None -> Some (Error "bad touch"))
             | _ -> Some (Error "bad touch"))
-        | "stats" -> Some (Ok Stats)
+        | "stats" -> (
+            match args with
+            | [] -> Some (Ok (Stats None))
+            | [ arg ] -> Some (Ok (Stats (Some arg)))
+            | _ -> Some (Error "bad stats"))
         | "flush_all" -> (
             match args with
             | [] -> Some (Ok (Flush_all { noreply = false }))

@@ -27,7 +27,9 @@ type request =
   | Incr of { key : string; delta : int; noreply : bool }
   | Decr of { key : string; delta : int; noreply : bool }
   | Touch of { key : string; exptime : int; noreply : bool }
-  | Stats
+  | Stats of string option
+      (** [stats] or [stats <arg>]; the server understands [stats rp]
+          (relativistic-stack metrics only) *)
   | Flush_all of { noreply : bool }
   | Version
   | Quit

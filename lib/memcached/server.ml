@@ -59,7 +59,11 @@ let handle store (request : Protocol.request) : Protocol.response option =
         else Protocol.Not_found
       in
       if noreply then None else Some r
-  | Protocol.Stats -> Some (Protocol.Stats_reply (Store.stats store))
+  | Protocol.Stats None -> Some (Protocol.Stats_reply (Store.stats store))
+  | Protocol.Stats (Some "rp") ->
+      Some (Protocol.Stats_reply (Store.rp_stats store))
+  | Protocol.Stats (Some arg) ->
+      Some (Protocol.Client_error ("unknown stats argument: " ^ arg))
   | Protocol.Flush_all { noreply } ->
       Store.flush_all store;
       if noreply then None else Some Protocol.Ok_reply
@@ -89,6 +93,7 @@ type t = {
      a close-then-reuse. *)
   conns : (int, Unix.file_descr * Thread.t) Hashtbl.t;
   conns_mutex : Mutex.t;
+  accepted : int Atomic.t;
   rejected : int Atomic.t;
 }
 
@@ -199,6 +204,8 @@ let reject fd =
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let spawn_connection t store id fd =
+  Atomic.incr t.accepted;
+  Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:id "server.conn.accept";
   (* Hold [ready] until the registry entry exists, so the thread's cleanup
      can never run before its registration. *)
   let ready = Mutex.create () in
@@ -209,6 +216,7 @@ let spawn_connection t store id fd =
         Mutex.lock ready;
         Mutex.unlock ready;
         serve_connection t.config store fd;
+        Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:id "server.conn.drop";
         Mutex.lock t.conns_mutex;
         Hashtbl.remove t.conns id;
         (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -233,6 +241,7 @@ let accept_loop t store =
           Mutex.unlock t.conns_mutex;
           if live >= t.config.max_connections then begin
             Atomic.incr t.rejected;
+            Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:(-1) "server.conn.drop";
             reject fd
           end
           else begin
@@ -268,10 +277,23 @@ let start ~store ?(config = default_config) addr =
       running = Atomic.make true;
       conns = Hashtbl.create 64;
       conns_mutex = Mutex.create ();
+      accepted = Atomic.make 0;
       rejected = Atomic.make 0;
     }
   in
   let t = { t with accept_thread = Thread.create (fun () -> accept_loop t store) () } in
+  let reg = Store.registry store in
+  let fn c () = float_of_int (Atomic.get c) in
+  Rp_obs.Registry.fn_counter reg ~help:"connections accepted"
+    "server_connections_accepted_total" (fn t.accepted);
+  Rp_obs.Registry.fn_counter reg ~help:"connections rejected at the cap"
+    "server_connections_rejected_total" (fn t.rejected);
+  Rp_obs.Registry.gauge reg ~help:"live connections" "server_connections_active"
+    (fun () ->
+      Mutex.lock t.conns_mutex;
+      let n = Hashtbl.length t.conns in
+      Mutex.unlock t.conns_mutex;
+      float_of_int n);
   t
 
 let stop t =

@@ -27,14 +27,17 @@ type t = {
   max_bytes : int;
   slab : Slab.t;  (* chunk-level accounting; eviction compares chunk bytes *)
   clock : unit -> float;
-  (* counters *)
-  get_hits : int Atomic.t;
-  get_misses : int Atomic.t;
-  cmd_get : int Atomic.t;
-  cmd_set : int Atomic.t;
-  deletes : int Atomic.t;
-  evicted : int Atomic.t;
-  expired : int Atomic.t;
+  (* striped counters, registered in [registry] under their stats names.
+     GET-path counters ride the wait-free lookup, so they must never be a
+     shared atomic RMW. *)
+  registry : Rp_obs.Registry.t;
+  get_hits : Rp_obs.Counter.t;
+  get_misses : Rp_obs.Counter.t;
+  cmd_get : Rp_obs.Counter.t;
+  cmd_set : Rp_obs.Counter.t;
+  deletes : Rp_obs.Counter.t;
+  evicted : Rp_obs.Counter.t;
+  expired : Rp_obs.Counter.t;
 }
 
 let hash_key = Rp_hashes.Hashfn.fnv1a_string
@@ -62,21 +65,56 @@ let create ?(backend = Rp) ?(max_bytes = 64 * 1024 * 1024) ?(initial_size = 1024
             clockq = Queue.create ();
           }
   in
-  {
-    state;
-    max_bytes;
-    slab = Slab.create ();
-    clock;
-    get_hits = Atomic.make 0;
-    get_misses = Atomic.make 0;
-    cmd_get = Atomic.make 0;
-    cmd_set = Atomic.make 0;
-    deletes = Atomic.make 0;
-    evicted = Atomic.make 0;
-    expired = Atomic.make 0;
-  }
+  let registry = Rp_obs.Registry.create () in
+  let counter name help = Rp_obs.Registry.counter registry ~help name in
+  let t =
+    {
+      state;
+      max_bytes;
+      slab = Slab.create ();
+      clock;
+      registry;
+      get_hits = counter "get_hits" "GETs that found a live item";
+      get_misses = counter "get_misses" "GETs that missed or hit an expired item";
+      cmd_get = counter "cmd_get" "GET commands (one per key)";
+      cmd_set = counter "cmd_set" "storage commands";
+      deletes = counter "deletes" "DELETE commands";
+      evicted = counter "evictions" "items evicted to fit the byte budget";
+      expired = counter "expired" "items dropped on expiry";
+    }
+  in
+  (* Gauges read live store state; histograms and table/RCU counters come
+     from the layers below via their observe hooks. *)
+  let gauge name help f = Rp_obs.Registry.gauge registry ~help name f in
+  gauge "curr_items" "live items"
+    (fun () ->
+      float_of_int
+        (match t.state with
+        | Lock_state ls -> Rp_baseline.Lock_ht.length ls.table
+        | Rp_state rs -> Rp_ht.length rs.rp));
+  gauge "bytes" "chunk bytes charged in the slab accounting"
+    (fun () -> float_of_int (Slab.allocated_bytes t.slab));
+  gauge "bytes_requested" "payload bytes before slab rounding"
+    (fun () -> float_of_int (Slab.requested_bytes t.slab));
+  gauge "slab_fragmentation" "1 - requested/allocated"
+    (fun () -> Slab.fragmentation t.slab);
+  gauge "slab_classes_in_use" "slab classes with at least one chunk"
+    (fun () -> float_of_int (List.length (Slab.stats t.slab)));
+  gauge "hash_buckets" "current bucket count of the backing table"
+    (fun () ->
+      float_of_int
+        (match t.state with
+        | Lock_state ls -> Rp_baseline.Lock_ht.size ls.table
+        | Rp_state rs -> Rp_ht.size rs.rp));
+  (match t.state with
+  | Rp_state rs ->
+      Rp_ht.observe rs.rp registry;
+      Rcu.observe (Rp_ht.rcu rs.rp) registry
+  | Lock_state _ -> ());
+  t
 
 let backend t = match t.state with Lock_state _ -> Lock | Rp_state _ -> Rp
+let registry t = t.registry
 
 (* Protocol exptime: 0 = never, negative = already expired, small values are
    relative seconds, large ones absolute Unix time. *)
@@ -106,7 +144,7 @@ let lock_find_live t ls key ~now =
         ignore (Rp_baseline.Lock_ht.unsafe_remove ls.table key);
         Lru.remove ls.lru entry.node;
         Slab.refund t.slab (Item.size_bytes ~key entry.item);
-        Atomic.incr t.expired;
+        Rp_obs.Counter.incr t.expired;
         None
       end
       else Some entry
@@ -135,7 +173,7 @@ let lock_store t ls key (item : Item.t) =
         | Some entry ->
             ignore (Rp_baseline.Lock_ht.unsafe_remove ls.table victim);
             Slab.refund t.slab (Item.size_bytes ~key:victim entry.item);
-            Atomic.incr t.evicted)
+            Rp_obs.Counter.incr t.evicted)
   done
 
 (* --- Rp backend primitives (update mutex held by callers below) --- *)
@@ -164,7 +202,7 @@ let rp_evict_until_fits t rs =
             if last > seen_access then Queue.add (key, last) rs.clockq
             else begin
               ignore (rp_delete t rs key);
-              Atomic.incr t.evicted
+              Rp_obs.Counter.incr t.evicted
             end)
   done
 
@@ -196,7 +234,7 @@ let get_rp t rs ?(with_cas = false) key =
      table's read-side critical section. *)
   match Rp_ht.find rs.rp key with
   | None ->
-      Atomic.incr t.get_misses;
+      Rp_obs.Counter.incr t.get_misses;
       None
   | Some item ->
       if Item.is_expired item ~now then begin
@@ -205,14 +243,14 @@ let get_rp t rs ?(with_cas = false) key =
             match Rp_ht.find rs.rp key with
             | Some again when Item.is_expired again ~now ->
                 ignore (rp_delete t rs key);
-                Atomic.incr t.expired
+                Rp_obs.Counter.incr t.expired
             | Some _ | None -> ());
-        Atomic.incr t.get_misses;
+        Rp_obs.Counter.incr t.get_misses;
         None
       end
       else begin
         Item.touch_access item ~now;
-        Atomic.incr t.get_hits;
+        Rp_obs.Counter.incr t.get_hits;
         Some (value_of_item ~with_cas key item)
       end
 
@@ -221,16 +259,16 @@ let get_lock t ls ?(with_cas = false) key =
   Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
       match lock_find_live t ls key ~now with
       | None ->
-          Atomic.incr t.get_misses;
+          Rp_obs.Counter.incr t.get_misses;
           None
       | Some entry ->
           Lru.touch ls.lru entry.node;
           Item.touch_access entry.item ~now;
-          Atomic.incr t.get_hits;
+          Rp_obs.Counter.incr t.get_hits;
           Some (value_of_item ~with_cas key entry.item))
 
 let get t key =
-  Atomic.incr t.cmd_get;
+  Rp_obs.Counter.incr t.cmd_get;
   match t.state with
   | Lock_state ls -> get_lock t ls key
   | Rp_state rs -> get_rp t rs key
@@ -238,7 +276,7 @@ let get t key =
 let get_many t ?(with_cas = false) keys =
   List.filter_map
     (fun key ->
-      Atomic.incr t.cmd_get;
+      Rp_obs.Counter.incr t.cmd_get;
       match t.state with
       | Lock_state ls -> get_lock t ls ~with_cas key
       | Rp_state rs -> get_rp t rs ~with_cas key)
@@ -254,7 +292,7 @@ let fits_slab t ~key ~data =
   <> None
 
 let storage_command t ~key ~flags ~exptime ~data ~guard =
-  Atomic.incr t.cmd_set;
+  Rp_obs.Counter.incr t.cmd_set;
   let now = t.clock () in
   let exptime = absolute_exptime t exptime in
   if not (fits_slab t ~key ~data) then Too_large
@@ -304,7 +342,7 @@ let cas t ~key ~flags ~exptime ~data ~unique =
 (* append/prepend read the live value and store the concatenation, keeping
    the existing flags and expiry (memcached semantics). *)
 let concat_command t ~key ~data ~build =
-  Atomic.incr t.cmd_set;
+  Rp_obs.Counter.incr t.cmd_set;
   let now = t.clock () in
   let perform live_item store =
     match live_item with
@@ -341,7 +379,7 @@ let append t ~key ~data = concat_command t ~key ~data ~build:(fun old d -> old ^
 let prepend t ~key ~data = concat_command t ~key ~data ~build:(fun old d -> d ^ old)
 
 let delete t key =
-  Atomic.incr t.deletes;
+  Rp_obs.Counter.incr t.deletes;
   match t.state with
   | Lock_state ls ->
       Rp_baseline.Lock_ht.with_lock ls.table (fun () -> lock_delete t ls key)
@@ -422,26 +460,17 @@ let bytes t = Slab.allocated_bytes t.slab
 let slab_stats t = Slab.stats t.slab
 let fragmentation t = Slab.fragmentation t.slab
 
-let evictions t = Atomic.get t.evicted
+let evictions t = Rp_obs.Counter.read t.evicted
+
+(* "stats rp" filter: relativistic-stack instruments only. *)
+let rp_instrument name =
+  let has_prefix p =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  has_prefix "rp_ht_" || has_prefix "rcu_"
 
 let stats t =
-  [
-    ("backend", match backend t with Lock -> "lock" | Rp -> "rp");
-    ("curr_items", string_of_int (items t));
-    ("bytes", string_of_int (bytes t));
-    ("bytes_requested", string_of_int (Slab.requested_bytes t.slab));
-    ("slab_fragmentation", Printf.sprintf "%.3f" (Slab.fragmentation t.slab));
-    ("slab_classes_in_use", string_of_int (List.length (Slab.stats t.slab)));
-    ("cmd_get", string_of_int (Atomic.get t.cmd_get));
-    ("cmd_set", string_of_int (Atomic.get t.cmd_set));
-    ("get_hits", string_of_int (Atomic.get t.get_hits));
-    ("get_misses", string_of_int (Atomic.get t.get_misses));
-    ("deletes", string_of_int (Atomic.get t.deletes));
-    ("evictions", string_of_int (Atomic.get t.evicted));
-    ("expired", string_of_int (Atomic.get t.expired));
-    ( "hash_buckets",
-      string_of_int
-        (match t.state with
-        | Lock_state ls -> Rp_baseline.Lock_ht.size ls.table
-        | Rp_state rs -> Rp_ht.size rs.rp) );
-  ]
+  ("backend", match backend t with Lock -> "lock" | Rp -> "rp")
+  :: Rp_obs.Registry.to_stats ~filter:(fun n -> not (rp_instrument n)) t.registry
+
+let rp_stats t = Rp_obs.Registry.to_stats ~filter:rp_instrument t.registry

@@ -66,9 +66,29 @@ val decr : t -> string -> int -> counter_result
 val touch : t -> key:string -> exptime:int -> bool
 val flush_all : t -> unit
 
-(** {1 Introspection} *)
+(** {1 Introspection}
+
+    Command counters ([cmd_get], [cmd_set], [get_hits], [get_misses],
+    [deletes], [evictions], [expired]) are striped {!Rp_obs.Counter}s — the
+    GET-path ones ride the wait-free lookup as unsynchronized stores. They
+    live in a per-store {!Rp_obs.Registry} together with store gauges
+    ([curr_items], [bytes], …) and, for the {!Rp} backend, the full
+    [rp_ht_*] / [rcu_*] instrument set of the backing table and its RCU
+    instance. *)
+
+val registry : t -> Rp_obs.Registry.t
+(** The store's instrument registry (for Prometheus exposition or report
+    files). *)
 
 val stats : t -> (string * string) list
+(** memcached [stats] lines: [backend] plus every store-level instrument
+    (the [rp_ht_*]/[rcu_*] internals are left to {!rp_stats}). *)
+
+val rp_stats : t -> (string * string) list
+(** [stats rp] lines: the relativistic-stack instruments only ([rp_ht_*]
+    lookup/insert/resize counters and histogram, [rcu_*] grace-period
+    counters and latency histogram). Empty for the {!Lock} backend. *)
+
 val items : t -> int
 
 val bytes : t -> int

@@ -52,6 +52,7 @@ type t = {
   mutable stall_handler : (stall_report -> unit) option;
   stall_count : int Atomic.t;
   mutable last_stall : stall_report option;
+  gp_hist : Rp_obs.Histogram.t;  (* grace-period latency, ns *)
 }
 
 let create ?(max_readers = 128) ?stall_budget () =
@@ -79,6 +80,7 @@ let create ?(max_readers = 128) ?stall_budget () =
     stall_handler = None;
     stall_count = Atomic.make 0;
     last_stall = None;
+    gp_hist = Rp_obs.Histogram.create ();
   }
 
 (* --- registration --- *)
@@ -224,8 +226,10 @@ let scan_slots t ~new_epoch =
 let synchronize t =
   check_not_reading t;
   Rp_fault.point "rcu.synchronize.pre";
+  let started = Unix.gettimeofday () in
   Mutex.lock t.gp_mutex;
   let new_epoch = 1 + Atomic.fetch_and_add t.epoch 1 in
+  Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_epoch "rcu.gp_begin";
   (* The scan can raise via the failpoint; never leave gp_mutex held. *)
   (match scan_slots t ~new_epoch with
   | () -> ()
@@ -234,7 +238,10 @@ let synchronize t =
       raise e);
   Atomic.incr t.gp_count;
   Atomic.incr t.sync_count;
-  Mutex.unlock t.gp_mutex
+  Mutex.unlock t.gp_mutex;
+  Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_epoch "rcu.gp_end";
+  Rp_obs.Histogram.observe_span t.gp_hist ~start:started
+    ~stop:(Unix.gettimeofday ())
 
 (* --- deferred callbacks --- *)
 
@@ -313,3 +320,29 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "@[<h>grace_periods=%d synchronize_calls=%d callbacks_invoked=%d readers=%d@]"
     s.grace_periods s.synchronize_calls s.callbacks_invoked s.readers_registered
+
+(* --- observability --- *)
+
+let grace_period_hist t = t.gp_hist
+
+let observe ?(prefix = "rcu") t reg =
+  let name suffix = prefix ^ "_" ^ suffix in
+  let fn c () = float_of_int (Atomic.get c) in
+  Rp_obs.Registry.fn_counter reg ~help:"completed grace periods"
+    (name "grace_periods_total") (fn t.gp_count);
+  Rp_obs.Registry.fn_counter reg ~help:"explicit synchronize calls"
+    (name "synchronize_total") (fn t.sync_count);
+  Rp_obs.Registry.fn_counter reg ~help:"deferred callbacks invoked"
+    (name "callbacks_total") (fn t.cb_count);
+  Rp_obs.Registry.fn_counter reg
+    ~help:"grace-period stalls detected by the watchdog"
+    (name "stalls_total") (fn t.stall_count);
+  Rp_obs.Registry.gauge reg ~help:"currently registered reader slots"
+    (name "readers")
+    (fun () -> float_of_int (registered_readers t));
+  Rp_obs.Registry.gauge reg ~help:"queued not-yet-run callbacks"
+    (name "callbacks_pending")
+    (fun () -> float_of_int (pending_callbacks t));
+  Rp_obs.Registry.register_histogram reg
+    ~help:"grace-period latency in nanoseconds"
+    (name "grace_period_ns") t.gp_hist

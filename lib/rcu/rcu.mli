@@ -162,3 +162,21 @@ type stats = {
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Observability}
+
+    Every flavour records grace-period latency into a striped
+    {!Rp_obs.Histogram} and emits ["rcu.gp_begin"] / ["rcu.gp_end"]
+    events (with the target epoch as argument) into
+    {!Rp_obs.Trace.default}. *)
+
+val observe : ?prefix:string -> t -> Rp_obs.Registry.t -> unit
+(** Register this flavour's instruments under [prefix] (default
+    ["rcu"]): [<prefix>_grace_periods_total], [<prefix>_synchronize_total],
+    [<prefix>_callbacks_total], [<prefix>_stalls_total] (the watchdog
+    surface), [<prefix>_readers], [<prefix>_callbacks_pending], and the
+    [<prefix>_grace_period_ns] latency histogram. *)
+
+val grace_period_hist : t -> Rp_obs.Histogram.t
+(** The grace-period latency histogram (nanoseconds per
+    {!synchronize}). *)

@@ -127,16 +127,28 @@ let perform name = function
   | Raise -> raise (Injected name)
   | Truncate_io _ -> ()
 
+(* Fires are rare, armed-only events: worth a trace-ring entry each so a
+   torture run's timeline shows exactly where faults landed. *)
+let trace_fire name =
+  Rp_obs.Trace.emit Rp_obs.Trace.default ("fault." ^ name)
+
 let point name =
   if Atomic.get armed_count > 0 then
-    match evaluate name with None -> () | Some action -> perform name action
+    match evaluate name with
+    | None -> ()
+    | Some action ->
+        trace_fire name;
+        perform name action
 
 let io_cap name len =
   if Atomic.get armed_count = 0 then len
   else
     match evaluate name with
     | None -> len
-    | Some (Truncate_io cap) -> max 1 (min cap len)
+    | Some (Truncate_io cap) ->
+        trace_fire name;
+        max 1 (min cap len)
     | Some action ->
+        trace_fire name;
         perform name action;
         len

@@ -36,6 +36,12 @@ type ('k, 'v) t = {
   unzip_splices : int Atomic.t;
   recoveries : int Atomic.t;
   mutable pending : ('k, 'v) pending_unzip option;  (* writer mutex *)
+  (* striped instruments: the lookup counter sits on the wait-free read
+     path, so it must never be a shared atomic RMW *)
+  obs_lookups : Rp_obs.Counter.t;
+  obs_inserts : Rp_obs.Counter.t;
+  obs_deletes : Rp_obs.Counter.t;
+  resize_hist : Rp_obs.Histogram.t;  (* per expand/shrink duration, ns *)
 }
 
 let make_table size = { size; buckets = Array.init size (fun _ -> Atomic.make Null) }
@@ -74,6 +80,10 @@ let create ?rcu ?flavour ?(initial_size = 8) ?(min_size = 4)
     unzip_splices = Atomic.make 0;
     recoveries = Atomic.make 0;
     pending = None;
+    obs_lookups = Rp_obs.Counter.create ();
+    obs_inserts = Rp_obs.Counter.create ();
+    obs_deletes = Rp_obs.Counter.create ();
+    resize_hist = Rp_obs.Histogram.create ();
   }
 
 let rcu t =
@@ -101,6 +111,7 @@ let find_node t ~hash k table =
   search_chain t.equal hash k (Rcu.dereference (bucket_link table hash))
 
 let find_opt_hashed t ~hash k =
+  Rp_obs.Counter.incr t.obs_lookups;
   t.flavour.Flavour.read_enter ();
   match find_node t ~hash k (Rcu.dereference t.current) with
   | Some n ->
@@ -155,6 +166,7 @@ let rec chain_tail = function
    needed. *)
 let shrink_locked t =
   Rp_fault.point "rp_ht.shrink.pre";
+  let started = Unix.gettimeofday () in
   let old = Atomic.get t.current in
   let new_size = old.size / 2 in
   let buckets =
@@ -173,7 +185,10 @@ let shrink_locked t =
   (* Once no reader can still traverse via the old bucket array, it is
      reclaimable (the GC does the actual freeing). *)
   t.flavour.Flavour.synchronize ();
-  Atomic.incr t.shrinks
+  Atomic.incr t.shrinks;
+  Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_size "rp_ht.shrink";
+  Rp_obs.Histogram.observe_span t.resize_hist ~start:started
+    ~stop:(Unix.gettimeofday ())
 
 (* --- resize: expand (the unzip) --- *)
 
@@ -208,7 +223,9 @@ let run_unzip t ~new_size states =
         (* One grace period per pass protects readers that crossed a splice
            point before it moved. *)
         t.flavour.Flavour.synchronize ();
-        Atomic.incr t.unzip_passes
+        Atomic.incr t.unzip_passes;
+        Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_size
+          "rp_ht.unzip_pass"
       end
     done
   with e ->
@@ -231,11 +248,14 @@ let recover_locked t =
           t.pending <- Some { pu_new_size; pu_states };
           raise e);
       run_unzip t ~new_size:pu_new_size pu_states;
-      Atomic.incr t.recoveries
+      Atomic.incr t.recoveries;
+      Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:pu_new_size
+        "rp_ht.recovery"
 
 (* Double the bucket count. Writer mutex held. *)
 let expand_locked t =
   Rp_fault.point "rp_ht.expand.pre";
+  let started = Unix.gettimeofday () in
   let old = Atomic.get t.current in
   let new_size = old.size * 2 in
   let dest (n : _ node) =
@@ -263,7 +283,10 @@ let expand_locked t =
       t.pending <- Some { pu_new_size = new_size; pu_states = states };
       raise e);
   run_unzip t ~new_size states;
-  Atomic.incr t.expands
+  Atomic.incr t.expands;
+  Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_size "rp_ht.expand";
+  Rp_obs.Histogram.observe_span t.resize_hist ~start:started
+    ~stop:(Unix.gettimeofday ())
 
 let normalize_size t n =
   let n = Rp_hashes.Size.next_power_of_two (max 1 n) in
@@ -311,7 +334,8 @@ let insert_locked t k v =
   let link = bucket_link table hash in
   let node = make_node ~hash ~key:k ~value:v ~next:(Atomic.get link) () in
   Rcu.publish link (Node node);
-  Atomic.incr t.count
+  Atomic.incr t.count;
+  Rp_obs.Counter.incr t.obs_inserts
 
 let insert t k v =
   with_writer t (fun () ->
@@ -341,6 +365,7 @@ let unlink_locked t k =
         if n.hash = hash && t.equal n.key k then begin
           Rcu.publish prev_link (Atomic.get n.next);
           Atomic.decr t.count;
+          Rp_obs.Counter.incr t.obs_deletes;
           Some n
         end
         else loop n.next
@@ -415,6 +440,38 @@ let recovery_pending t =
   let p = Option.is_some t.pending in
   Mutex.unlock t.writer;
   p
+
+(* --- observability --- *)
+
+let observe ?(prefix = "rp_ht") t reg =
+  let name suffix = prefix ^ "_" ^ suffix in
+  let fn c () = float_of_int (Atomic.get c) in
+  Rp_obs.Registry.register_counter reg ~help:"wait-free lookups"
+    (name "lookups_total") t.obs_lookups;
+  Rp_obs.Registry.register_counter reg ~help:"node insertions"
+    (name "inserts_total") t.obs_inserts;
+  Rp_obs.Registry.register_counter reg ~help:"node unlinks"
+    (name "deletes_total") t.obs_deletes;
+  Rp_obs.Registry.fn_counter reg ~help:"table expansions"
+    (name "expands_total") (fn t.expands);
+  Rp_obs.Registry.fn_counter reg ~help:"table shrinks" (name "shrinks_total")
+    (fn t.shrinks);
+  Rp_obs.Registry.fn_counter reg ~help:"unzip passes over all chains"
+    (name "unzip_passes_total") (fn t.unzip_passes);
+  Rp_obs.Registry.fn_counter reg ~help:"individual chain splices"
+    (name "unzip_splices_total") (fn t.unzip_splices);
+  Rp_obs.Registry.fn_counter reg
+    ~help:"interrupted unzips completed by a later writer"
+    (name "recoveries_total") (fn t.recoveries);
+  Rp_obs.Registry.gauge reg ~help:"current bucket count" (name "buckets")
+    (fun () -> float_of_int (Atomic.get t.current).size);
+  Rp_obs.Registry.gauge reg ~help:"current item count" (name "items")
+    (fun () -> float_of_int (Atomic.get t.count));
+  Rp_obs.Registry.register_histogram reg
+    ~help:"expand/shrink duration in nanoseconds"
+    (name "resize_ns") t.resize_hist
+
+let lookups t = Rp_obs.Counter.read t.obs_lookups
 
 let bucket_lengths t =
   let table = Atomic.get t.current in

@@ -158,3 +158,25 @@ val validate : ('k, 'v) t -> (unit, string) result
 
 val to_list : ('k, 'v) t -> ('k * 'v) list
 (** Snapshot of all bindings (unspecified order). *)
+
+(** {1 Observability}
+
+    Every table counts lookups, inserts, and deletes with striped
+    {!Rp_obs.Counter}s — the lookup count rides the wait-free read path
+    as a single unsynchronized store, never a shared atomic RMW — and
+    records expand/shrink durations into a striped histogram. Resize
+    milestones (["rp_ht.expand"], ["rp_ht.shrink"], ["rp_ht.unzip_pass"],
+    ["rp_ht.recovery"], each with the new bucket count as argument) go to
+    {!Rp_obs.Trace.default}. *)
+
+val observe : ?prefix:string -> ('k, 'v) t -> Rp_obs.Registry.t -> unit
+(** Register this table's instruments under [prefix] (default ["rp_ht"]):
+    [<prefix>_lookups_total], [<prefix>_inserts_total],
+    [<prefix>_deletes_total], [<prefix>_expands_total],
+    [<prefix>_shrinks_total], [<prefix>_unzip_passes_total],
+    [<prefix>_unzip_splices_total], [<prefix>_recoveries_total],
+    [<prefix>_buckets], [<prefix>_items], and the [<prefix>_resize_ns]
+    histogram. *)
+
+val lookups : ('k, 'v) t -> int
+(** Lifetime {!find} count (striped sum; see {!Rp_obs.Counter.read}). *)

@@ -1,0 +1,48 @@
+(** Fixed 64-bucket power-of-two histogram with striped recording.
+
+    Bucket [i] (for [i >= 1]) covers values in [2{^i-1}, 2{^i}); bucket 0
+    holds zero and negatives. Recording touches only the calling domain's
+    private row ({!Stripe}), so it is a few plain stores — safe on hot
+    paths. Values are raw non-negative integers; the convention in this
+    repo is nanoseconds for latencies and bytes for sizes. *)
+
+type t
+
+val buckets : int
+(** 64. *)
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Record one value into the calling domain's stripe. No-op while the
+    plane is disabled. *)
+
+val observe_span : t -> start:float -> stop:float -> unit
+(** Record a wall-clock span (seconds, e.g. from [Unix.gettimeofday]) as
+    nanoseconds. *)
+
+val bucket_of_value : int -> int
+val upper_bound : int -> int
+(** Inclusive upper bound of a bucket ([max_int] for the last). *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  count : int;  (** total observations *)
+  sum : int;  (** sum of observed values *)
+  max : int;  (** largest observed value *)
+  counts : int array;  (** per-bucket counts, merged over stripes *)
+}
+
+val snapshot : t -> snapshot
+(** Merge all stripes. Relaxed like {!Counter.read}: may trail concurrent
+    recordings, exact once recorders have synchronized with the caller. *)
+
+val percentile : snapshot -> float -> int
+(** [percentile s q] (with [q] in [0, 1]) returns the upper bound of the
+    bucket containing the q-quantile observation — within a factor of two
+    of the true value. 0 when empty. *)
+
+val mean : snapshot -> float
+val reset : t -> unit
+(** For tests; racy against concurrent recording. *)

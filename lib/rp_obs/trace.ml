@@ -1,0 +1,68 @@
+(* Lock-free trace ring: a fixed-capacity circular buffer of timestamped
+   control-plane events (grace periods, unzip passes, recoveries,
+   failpoint fires, connection lifecycle). A writer reserves a sequence
+   number with one fetch-and-add and publishes an immutable event record
+   into its slot with one atomic store; the newest [capacity] events win.
+   Readers take a snapshot by collecting whatever each slot holds — every
+   event read is internally consistent (the record is immutable), and the
+   snapshot is ordered by sequence number. *)
+
+type event = {
+  seq : int;  (* global order of emission *)
+  time : float;  (* Unix.gettimeofday at emission *)
+  domain : int;  (* emitting domain id *)
+  kind : string;
+  arg : int;
+}
+
+type t = { mask : int; head : int Atomic.t; slots : event option Atomic.t array }
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let create ?(capacity = 1024) () =
+  if capacity < 2 then invalid_arg "Trace.create: capacity < 2";
+  let capacity = next_pow2 capacity 2 in
+  {
+    mask = capacity - 1;
+    head = Atomic.make 0;
+    slots = Array.init capacity (fun _ -> Atomic.make None);
+  }
+
+let capacity t = t.mask + 1
+let emitted t = Atomic.get t.head
+
+let emit t ?(arg = 0) kind =
+  if Stripe.is_enabled () then begin
+    let seq = Atomic.fetch_and_add t.head 1 in
+    let e =
+      {
+        seq;
+        time = Unix.gettimeofday ();
+        domain = (Domain.self () :> int);
+        kind;
+        arg;
+      }
+    in
+    Atomic.set t.slots.(seq land t.mask) (Some e)
+  end
+
+let snapshot t =
+  let head = Atomic.get t.head in
+  let events = ref [] in
+  Array.iter
+    (fun slot ->
+      match Atomic.get slot with
+      | Some e when e.seq < head -> events := e :: !events
+      | Some _ | None -> ())
+    t.slots;
+  List.sort (fun a b -> compare a.seq b.seq) !events
+
+let clear t =
+  Array.iter (fun slot -> Atomic.set slot None) t.slots
+
+let pp_event ppf e =
+  Format.fprintf ppf "@[<h>#%d %.6f d%d %s(%d)@]" e.seq e.time e.domain e.kind
+    e.arg
+
+(* The process-wide ring every subsystem emits into by default. *)
+let default = create ~capacity:1024 ()

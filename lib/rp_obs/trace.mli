@@ -1,0 +1,44 @@
+(** Lock-free trace ring for control-plane events.
+
+    A fixed-capacity circular buffer of timestamped events — grace-period
+    begin/end, unzip passes, recoveries, failpoint fires, connection
+    accept/drop. Emission is one atomic fetch-and-add (sequence
+    reservation) plus one atomic store of an immutable record; the newest
+    [capacity] events survive. Emission is rare control-plane work, so a
+    shared RMW is acceptable here (unlike {!Counter}). *)
+
+type event = {
+  seq : int;  (** global emission order, starting at 0 *)
+  time : float;  (** [Unix.gettimeofday] at emission *)
+  domain : int;  (** emitting domain id *)
+  kind : string;  (** e.g. ["rcu.gp_begin"], ["server.conn.accept"] *)
+  arg : int;  (** event-specific payload (epoch, size, connection id…) *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 1024) is rounded up to a power of two; at least 2. *)
+
+val default : t
+(** The process-wide ring that [Rcu], [Rp_ht], [Rp_fault], and the
+    memcached server emit into. *)
+
+val emit : t -> ?arg:int -> string -> unit
+(** Record one event. Wait-free apart from the sequence fetch-and-add.
+    No-op while the plane is disabled ({!Stripe.set_enabled}). *)
+
+val snapshot : t -> event list
+(** The ring's current contents in ascending [seq] order. Every returned
+    event is internally consistent (records are immutable); under
+    concurrent emission the list may have seq gaps where a writer had
+    reserved a slot but not yet published. *)
+
+val emitted : t -> int
+(** Events emitted over the ring's lifetime (= the next seq). *)
+
+val capacity : t -> int
+val clear : t -> unit
+(** Drop all buffered events (sequence numbering continues). *)
+
+val pp_event : Format.formatter -> event -> unit

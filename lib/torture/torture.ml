@@ -52,7 +52,16 @@ type report = {
   stalls_detected : int;
   recoveries : int;
   elapsed : float;
+  metrics : (string * string) list;
 }
+
+(* Scenario-level assertions (stalls, recoveries) read the same registry
+   the metrics snapshot renders, so what a run reports is exactly what a
+   scrape would have shown. *)
+let metric_int reg name =
+  match Rp_obs.Registry.value reg name with
+  | Some v -> int_of_float v
+  | None -> 0
 
 let violations r = r.missing_resident + r.wrong_value
 
@@ -224,6 +233,7 @@ let run_steady config =
     stalls_detected = 0;
     recoveries = 0;
     elapsed = outcome.elapsed;
+    metrics = [];
   }
 
 (* --- crash_resizer scenario: kill resizers mid-unzip, writers recover --- *)
@@ -235,6 +245,9 @@ let run_crash_resizer config =
     Rp_ht.create ~initial_size:config.small_size ~auto_resize:false
       ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
   in
+  let reg = Rp_obs.Registry.create () in
+  Rp_ht.observe t reg;
+  Rcu.observe (Rp_ht.rcu t) reg;
   for k = 0 to config.resident_keys - 1 do
     Rp_ht.replace t k (resident_value k)
   done;
@@ -332,7 +345,6 @@ let run_crash_resizer config =
     + (if Rp_ht.recovery_pending t then 1 else 0)
     + (match Rp_ht.validate t with Ok () -> 0 | Error _ -> 1)
   in
-  let stats = Rp_ht.resize_stats t in
   let reader_checks =
     Array.fold_left ( + ) 0 (Array.sub outcome.per_worker_ops 0 config.readers)
   in
@@ -348,8 +360,9 @@ let run_crash_resizer config =
     resize_flips = Atomic.get flips;
     faults_injected = faults;
     stalls_detected = 0;
-    recoveries = stats.Rp_ht.recoveries;
+    recoveries = metric_int reg "rp_ht_recoveries_total";
     elapsed = outcome.elapsed;
+    metrics = Rp_obs.Registry.to_stats reg;
   }
 
 (* --- stalled_reader scenario: park a reader, catch it with the watchdog --- *)
@@ -360,6 +373,9 @@ let run_stalled_reader config =
       ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
   in
   let rcu = Rp_ht.rcu t in
+  let reg = Rp_obs.Registry.create () in
+  Rp_ht.observe t reg;
+  Rcu.observe rcu reg;
   let budget = 0.02 in
   Rcu.set_stall_budget rcu (Some budget);
   let handler_calls = Atomic.make 0 in
@@ -460,9 +476,10 @@ let run_stalled_reader config =
     resize_flips = Atomic.get flips;
     faults_injected =
       (parks + if config.fault_injection then perturbation_fires () else 0);
-    stalls_detected = Rcu.stall_count rcu;
-    recoveries = (Rp_ht.resize_stats t).Rp_ht.recoveries;
+    stalls_detected = metric_int reg "rcu_stalls_total";
+    recoveries = metric_int reg "rp_ht_recoveries_total";
     elapsed = outcome.elapsed;
+    metrics = Rp_obs.Registry.to_stats reg;
   }
 
 (* --- torn_io scenario: memcached over a torn-up socket --- *)
@@ -593,6 +610,7 @@ let run_torn_io config =
     stalls_detected = 0;
     recoveries = 0;
     elapsed = outcome.elapsed;
+    metrics = Rp_obs.Registry.to_stats (Memcached.Store.registry store);
   }
 
 let run config =

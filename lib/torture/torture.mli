@@ -70,6 +70,13 @@ type report = {
   stalls_detected : int;  (** grace-period stall watchdog reports *)
   recoveries : int;  (** interrupted unzips completed by later writers *)
   elapsed : float;
+  metrics : (string * string) list;
+      (** end-of-run {!Rp_obs.Registry} snapshot of the structures under
+          test ([rp_ht_*]/[rcu_*] for the fault scenarios, the store
+          registry for torn_io; empty for steady, whose tables hide behind
+          the backend-agnostic TABLE signature). [stalls_detected] and
+          [recoveries] above are read from this same registry, so report
+          assertions and metric exports share one API. *)
 }
 
 val violations : report -> int

@@ -73,8 +73,11 @@ let test_parse_delete_incr_decr_touch () =
 
 let test_parse_admin () =
   (match parse_one "stats\r\n" with
-  | Some (Ok Protocol.Stats) -> ()
+  | Some (Ok (Protocol.Stats None)) -> ()
   | _ -> Alcotest.fail "stats misparsed");
+  (match parse_one "stats rp\r\n" with
+  | Some (Ok (Protocol.Stats (Some "rp"))) -> ()
+  | _ -> Alcotest.fail "stats rp misparsed");
   (match parse_one "flush_all\r\n" with
   | Some (Ok (Protocol.Flush_all { noreply = false })) -> ()
   | _ -> Alcotest.fail "flush_all misparsed");
@@ -180,7 +183,8 @@ let requests_for_roundtrip : Protocol.request list =
     Protocol.Incr { key = "k"; delta = 3; noreply = false };
     Protocol.Decr { key = "k"; delta = 1; noreply = true };
     Protocol.Touch { key = "k"; exptime = 30; noreply = false };
-    Protocol.Stats;
+    Protocol.Stats None;
+    Protocol.Stats (Some "rp");
     Protocol.Flush_all { noreply = false };
     Protocol.Version;
     Protocol.Quit;
@@ -411,7 +415,7 @@ let test_oversized_terminated_line () =
   | Some (Error "line too long") -> ()
   | _ -> Alcotest.fail "terminated oversized line accepted");
   match Protocol.Parser.next p with
-  | Some (Ok Protocol.Stats) -> ()
+  | Some (Ok (Protocol.Stats None)) -> ()
   | _ -> Alcotest.fail "next command lost"
 
 let test_crlf_split_across_discard_chunks () =

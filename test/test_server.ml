@@ -72,7 +72,7 @@ let test_dispatch_admin () =
   | Some (Protocol.Version_reply v) ->
       Alcotest.(check string) "version string" Server.version_string v
   | _ -> Alcotest.fail "version wrong");
-  (match Server.handle store Protocol.Stats with
+  (match Server.handle store (Protocol.Stats None) with
   | Some (Protocol.Stats_reply kvs) ->
       Alcotest.(check bool) "stats non-empty" true (List.length kvs > 0)
   | _ -> Alcotest.fail "stats wrong");

@@ -131,6 +131,7 @@ let test_report_rendering () =
       stalls_detected = 0;
       recoveries = 1;
       elapsed = 1.0;
+      metrics = [ ("rp_ht_lookups_total", "10") ];
     }
   in
   let s = Format.asprintf "%a" Rp_torture.Torture.pp_report report in

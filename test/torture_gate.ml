@@ -19,6 +19,7 @@ let base =
   }
 
 let failures = ref 0
+let reports : (string * Rp_torture.Torture.report) list ref = ref []
 
 let run name config =
   let report = Rp_torture.Torture.run config in
@@ -28,7 +29,42 @@ let run name config =
     report.recoveries
     (if violations = 0 then "ok" else Printf.sprintf "FAIL (%d violations)" violations);
   if violations > 0 then incr failures;
+  reports := (name, report) :: !reports;
   report
+
+(* One JSON object per scenario: the report summary plus the end-of-run
+   registry snapshot (every rendered metric value is numeric, so they are
+   emitted bare). *)
+let report_json buf (r : Rp_torture.Torture.report) =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"reader_checks\":%d,\"violations\":%d,\"writer_ops\":%d,\
+        \"resize_flips\":%d,\"faults_injected\":%d,\"stalls_detected\":%d,\
+        \"recoveries\":%d,\"elapsed\":%.3f,\"metrics\":{"
+       r.reader_checks
+       (Rp_torture.Torture.violations r)
+       r.writer_ops r.resize_flips r.faults_injected r.stalls_detected
+       r.recoveries r.elapsed);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%S:%s" k v))
+    r.metrics;
+  Buffer.add_string buf "}}"
+
+let write_report_file path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  List.iteri
+    (fun i (name, r) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "  %S: " name);
+      report_json buf r)
+    (List.rev !reports);
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
 
 let () =
   (* steady, faults on, across the rp flavours (baselines have their own
@@ -58,6 +94,9 @@ let () =
     Printf.printf "torn_io: no faults fired\n%!";
     incr failures
   end;
+  (match Sys.argv with
+  | [| _; "-o"; path |] -> write_report_file path
+  | _ -> ());
   if !failures > 0 then begin
     Printf.printf "torture gate: %d scenario(s) failed\n%!" !failures;
     exit 1
