@@ -293,12 +293,95 @@ let run_smoke () =
     !hits smoke_keys (elapsed *. 1e3);
   if !hits <> smoke_keys then exit 1
 
+(* --- server smoke: pipelined GETs over the wire, both serving planes --- *)
+
+let run_server_bench () =
+  let keyspace = 1024 and value_size = 64 in
+  let duration = 0.15 and pipeline = 32 and connections = 2 in
+  let bench label mode workers =
+    let rcu_mode =
+      match mode with
+      | Memcached.Server.Event_loop -> Memcached.Store.Qsbr
+      | Memcached.Server.Threaded -> Memcached.Store.Memb
+    in
+    let store =
+      Memcached.Store.create ~backend:Memcached.Store.Rp ~rcu_mode
+        ~initial_size:4096 ()
+    in
+    let path =
+      Printf.sprintf "/tmp/rp-bench-server-%d-%s.sock" (Unix.getpid ()) label
+    in
+    let config = { Memcached.Server.default_config with mode; workers } in
+    let server =
+      Memcached.Server.start ~store ~config
+        (Memcached.Server.Unix_socket path)
+    in
+    Fun.protect
+      ~finally:(fun () -> Memcached.Server.stop server)
+      (fun () ->
+        let addr = Memcached.Server.address server in
+        Memcached.Mc_benchmark.socket_prefill addr ~keyspace ~value_size;
+        let r =
+          Memcached.Mc_benchmark.run_socket addr
+            {
+              Memcached.Mc_benchmark.connections;
+              pipeline;
+              sduration = duration;
+              skeyspace = keyspace;
+              svalue_size = value_size;
+              sseed = 42;
+            }
+        in
+        (label, Memcached.Server.workers server, r))
+  in
+  let runs =
+    [
+      bench "event-loop-w1" Memcached.Server.Event_loop 1;
+      bench "event-loop-w2" Memcached.Server.Event_loop 2;
+      bench "event-loop-w4" Memcached.Server.Event_loop 4;
+      bench "threaded" Memcached.Server.Threaded 0;
+    ]
+  in
+  let oc = open_out "BENCH_server.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"server-pipelined-get\",\n  \"pipeline\": %d,\n  \
+     \"connections\": %d,\n  \"keyspace\": %d,\n  \"value_size\": %d,\n  \
+     \"runs\": [\n"
+    pipeline connections keyspace value_size;
+  List.iteri
+    (fun i (label, workers, (r : Memcached.Mc_benchmark.result)) ->
+      Printf.fprintf oc
+        "    {\"label\": \"%s\", \"workers\": %d, \"requests\": %d, \
+         \"elapsed\": %.3f, \"rps\": %.0f, \"hits\": %d, \"misses\": %d}%s\n"
+        label workers r.requests r.elapsed r.requests_per_second r.hits
+        r.misses
+        (if i = 3 then "" else ","))
+    runs;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  List.iter
+    (fun (label, _, (r : Memcached.Mc_benchmark.result)) ->
+      Printf.printf "server %-14s %8.0f req/s (%d reqs, %d misses)\n" label
+        r.requests_per_second r.requests r.misses)
+    runs;
+  print_endline "server bench report in BENCH_server.json";
+  (* Gate: every pipelined GET must round-trip and hit. *)
+  if
+    List.exists
+      (fun (_, _, (r : Memcached.Mc_benchmark.result)) ->
+        r.requests = 0 || r.misses > 0)
+      runs
+  then exit 1
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let micro_only = List.mem "--micro-only" args in
   let figures_only = List.mem "--figures-only" args in
-  if List.mem "--smoke" args then run_smoke ()
+  if List.mem "--smoke" args then begin
+    run_smoke ();
+    run_server_bench ()
+  end
   else begin
   let options =
     if quick then Rp_figures.Figures.quick_options

@@ -60,6 +60,13 @@ let mode_arg =
     & opt (conv (parse, print)) Memcached.Mc_benchmark.Get_only
     & info [ "mode" ] ~docv:"MODE" ~doc)
 
+let pipeline_arg =
+  let doc =
+    "Pipeline depth for --socket GET runs: write $(docv) GETs per batch and \
+     drain the responses in bulk (mc-benchmark's -P). 1 = request-response."
+  in
+  Arg.(value & opt int 1 & info [ "P"; "pipeline" ] ~docv:"N" ~doc)
+
 let print_result (r : Memcached.Mc_benchmark.result) =
   Printf.printf "requests:    %d\n" r.requests;
   Printf.printf "elapsed:     %.3f s\n" r.elapsed;
@@ -107,8 +114,29 @@ let run_socket path workers duration keyspace value_size mode =
   Printf.printf "elapsed:     %.3f s\n" outcome.elapsed;
   Printf.printf "throughput:  %.0f req/s\n" (Rp_harness.Runner.throughput outcome)
 
-let run backend socket workers duration keyspace value_size mode =
+(* Pipelined socket mode: batches of GETs per write, responses drained in
+   bulk — the workload the event-loop plane coalesces. *)
+let run_socket_pipelined path workers duration keyspace value_size pipeline =
+  let addr = Memcached.Server.Unix_socket path in
+  Memcached.Mc_benchmark.socket_prefill addr ~keyspace ~value_size;
+  print_result
+    (Memcached.Mc_benchmark.run_socket addr
+       {
+         Memcached.Mc_benchmark.connections = workers;
+         pipeline;
+         sduration = duration;
+         skeyspace = keyspace;
+         svalue_size = value_size;
+         sseed = 42;
+       })
+
+let run backend socket workers duration keyspace value_size mode pipeline =
   match socket with
+  | Some path when pipeline > 1 ->
+      (match mode with
+      | Memcached.Mc_benchmark.Get_only -> ()
+      | _ -> prerr_endline "note: --pipeline > 1 implies a pure-GET workload");
+      run_socket_pipelined path workers duration keyspace value_size pipeline
   | Some path -> run_socket path workers duration keyspace value_size mode
   | None ->
       let config =
@@ -128,6 +156,6 @@ let cmd =
   Cmd.v (Cmd.info "mc_benchmark" ~doc)
     Term.(
       const run $ backend_arg $ socket_arg $ workers_arg $ duration_arg
-      $ keyspace_arg $ value_size_arg $ mode_arg)
+      $ keyspace_arg $ value_size_arg $ mode_arg $ pipeline_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -29,19 +29,59 @@ let metrics_port_arg =
   Arg.(
     value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT" ~doc)
 
-let run backend port socket max_mb metrics_port =
+let mode_arg =
+  let event_loop =
+    ( Memcached.Server.Event_loop,
+      Arg.info [ "event-loop" ]
+        ~doc:
+          "Serve with the sharded event-loop plane (worker domains, \
+           pipelined batching, QSBR GET fast path on the rp backend)." )
+  in
+  let threaded =
+    ( Memcached.Server.Threaded,
+      Arg.info [ "threaded" ]
+        ~doc:"Serve with one blocking thread per connection (default)." )
+  in
+  Arg.(value & vflag Memcached.Server.Threaded [ event_loop; threaded ])
+
+let workers_arg =
+  let doc =
+    "Event-loop worker domains (0 = one per recommended domain). Ignored \
+     under --threaded."
+  in
+  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc)
+
+let run backend port socket max_mb metrics_port mode workers =
+  let rcu_mode =
+    (* The event loop's worker domains follow QSBR discipline, unlocking
+       the zero-cost GET read sections; the threaded plane keeps the
+       blocking-tolerant memb flavour. *)
+    match (mode, backend) with
+    | Memcached.Server.Event_loop, Memcached.Store.Rp -> Memcached.Store.Qsbr
+    | _ -> Memcached.Store.Memb
+  in
   let store =
-    Memcached.Store.create ~backend ~max_bytes:(max_mb * 1024 * 1024) ()
+    Memcached.Store.create ~backend ~rcu_mode ~max_bytes:(max_mb * 1024 * 1024)
+      ()
   in
   let address =
     match port with
     | Some p -> Memcached.Server.Tcp p
     | None -> Memcached.Server.Unix_socket socket
   in
-  let server = Memcached.Server.start ~store address in
+  let config = { Memcached.Server.default_config with mode; workers } in
+  let server = Memcached.Server.start ~store ~config address in
   (match address with
   | Memcached.Server.Tcp p -> Printf.printf "listening on 127.0.0.1:%d\n%!" p
   | Memcached.Server.Unix_socket path -> Printf.printf "listening on %s\n%!" path);
+  (match mode with
+  | Memcached.Server.Event_loop ->
+      Printf.printf "event-loop plane: %d worker domain(s), rcu %s\n%!"
+        (Memcached.Server.workers server)
+        (match rcu_mode with
+        | Memcached.Store.Qsbr -> "qsbr"
+        | Memcached.Store.Memb -> "memb")
+  | Memcached.Server.Threaded -> ());
   let metrics =
     Option.map
       (fun p ->
@@ -69,6 +109,6 @@ let cmd =
   Cmd.v (Cmd.info "memcached_server" ~doc)
     Term.(
       const run $ backend_arg $ port_arg $ socket_arg $ max_bytes_arg
-      $ metrics_port_arg)
+      $ metrics_port_arg $ mode_arg $ workers_arg)
 
 let () = exit (Cmd.eval cmd)

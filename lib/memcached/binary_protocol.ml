@@ -203,6 +203,38 @@ let encode_response (r : response) =
     ~status_or_vbucket:(status_to_int r.status) ~key:r.r_key ~extras:r.r_extras
     ~value:r.r_value ~opaque:r.r_opaque ~cas:r.r_cas
 
+(* Buffer-native frame rendering: the event-loop workers coalesce every
+   response of a pipelined batch into one caller-owned buffer without
+   allocating a frame string per response. *)
+let add_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_u32 buf v =
+  add_u16 buf ((v lsr 16) land 0xffff);
+  add_u16 buf (v land 0xffff)
+
+let add_u64 buf v =
+  add_u32 buf ((v lsr 32) land 0xffffffff);
+  add_u32 buf (v land 0xffffffff)
+
+let encode_response_into buf (r : response) =
+  let key_len = String.length r.r_key in
+  let extras_len = String.length r.r_extras in
+  let body_len = key_len + extras_len + String.length r.r_value in
+  Buffer.add_char buf (Char.chr magic_response);
+  Buffer.add_char buf (Char.chr (opcode_to_byte r.r_opcode));
+  add_u16 buf key_len;
+  Buffer.add_char buf (Char.chr extras_len);
+  Buffer.add_char buf '\x00' (* data type *);
+  add_u16 buf (status_to_int r.status);
+  add_u32 buf body_len;
+  add_u32 buf r.r_opaque;
+  add_u64 buf r.r_cas;
+  Buffer.add_string buf r.r_extras;
+  Buffer.add_string buf r.r_key;
+  Buffer.add_string buf r.r_value
+
 (* --- incremental frame decoding --- *)
 
 module Frame = struct

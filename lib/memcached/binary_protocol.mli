@@ -90,6 +90,11 @@ val parse_u64 : string -> int -> int
 val encode_request : request -> string
 val encode_response : response -> string
 
+val encode_response_into : Buffer.t -> response -> unit
+(** Render a response frame into a caller-owned buffer (identical bytes to
+    {!encode_response}); used by the event-loop workers to coalesce a
+    pipelined batch into a single write. *)
+
 (** Incremental request parser (server side). *)
 module Parser : sig
   type t

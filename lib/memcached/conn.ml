@@ -1,0 +1,172 @@
+(* Per-connection state machine for the event-loop plane.
+
+   A connection owns a fixed read buffer, an incremental protocol parser
+   (text or binary, decided by the first byte, as in stock memcached), and
+   a reusable output buffer. One poll wakeup drains *all* complete
+   pipelined requests buffered on the socket, dispatches them as a batch,
+   and coalesces every response into a single write — no per-command
+   syscall, no per-command response string. Partial writes park the
+   remainder in [pending]; the worker then polls the fd for writability
+   and stops reading until the backlog drains (backpressure). *)
+
+type proto =
+  | Detect
+  | Text of Protocol.Parser.t
+  | Binary of Binary_protocol.Parser.t
+
+type t = {
+  fd : Unix.file_descr;
+  id : int;
+  rbuf : Bytes.t;
+  out : Buffer.t;
+  mutable pending : string;  (* rendered but unwritten response bytes *)
+  mutable pending_off : int;
+  mutable proto : proto;
+  mutable closing : bool;  (* flush remaining output, then close *)
+  mutable last_active : float;
+  reads : Rp_obs.Counter.t;  (* read(2) calls that moved bytes *)
+  writes : Rp_obs.Counter.t;  (* write(2) calls that moved bytes *)
+}
+
+(* Above this, a drained output buffer releases its storage instead of
+   pinning the high-water mark for the connection's lifetime. *)
+let out_retain_bytes = 262_144
+
+let create ~id ~buffer_size ~reads ~writes fd =
+  {
+    fd;
+    id;
+    rbuf = Bytes.create buffer_size;
+    out = Buffer.create 256;
+    pending = "";
+    pending_off = 0;
+    proto = Detect;
+    closing = false;
+    last_active = Unix.gettimeofday ();
+    reads;
+    writes;
+  }
+
+let fd t = t.fd
+let id t = t.id
+let closing t = t.closing
+let last_active t = t.last_active
+let wants_write t = t.pending <> "" || Buffer.length t.out > 0
+
+let feed t s =
+  match t.proto with
+  | Detect ->
+      if s <> "" then
+        if s.[0] = Binary_protocol.magic_request_byte then begin
+          let p = Binary_protocol.Parser.create () in
+          Binary_protocol.Parser.feed p s;
+          t.proto <- Binary p
+        end
+        else begin
+          let p = Protocol.Parser.create () in
+          Protocol.Parser.feed p s;
+          t.proto <- Text p
+        end
+  | Text p -> Protocol.Parser.feed p s
+  | Binary p -> Binary_protocol.Parser.feed p s
+
+(* Drain the socket until it would block (or EOF), feeding the parser.
+   Raises like any socket read (Unix_error, injected faults); the worker
+   treats that as a torn connection. *)
+let fill t =
+  let rec go () =
+    match Io.read_nonblock ~fault:"server.read.split" t.fd t.rbuf with
+    | `Would_block -> `Ok
+    | `Eof -> `Eof
+    | `Data n ->
+        Rp_obs.Counter.incr t.reads;
+        t.last_active <- Unix.gettimeofday ();
+        feed t (Bytes.sub_string t.rbuf 0 n);
+        go ()
+  in
+  go ()
+
+(* Execute every complete request buffered in the parser, rendering
+   responses into [t.out]. Returns the batch size (dispatched commands,
+   protocol errors included). *)
+let dispatch t store =
+  match t.proto with
+  | Detect -> 0
+  | Text p ->
+      let rec go n =
+        if t.closing then n
+        else
+          match Protocol.Parser.next p with
+          | None -> n
+          | Some (Error msg) ->
+              let reply =
+                if msg = "ERROR" then Protocol.Error_reply
+                else Protocol.Client_error msg
+              in
+              Protocol.encode_response_into t.out reply;
+              go (n + 1)
+          | Some (Ok Protocol.Quit) ->
+              t.closing <- true;
+              n + 1
+          | Some (Ok request) ->
+              (match Dispatch.handle store request with
+              | Some response -> Protocol.encode_response_into t.out response
+              | None -> ());
+              go (n + 1)
+      in
+      go 0
+  | Binary p ->
+      let rec go n =
+        if t.closing then n
+        else
+          match Binary_protocol.Parser.next p with
+          | None -> n
+          | Some (Error _) ->
+              (* Binary framing errors are unrecoverable: flush what was
+                 already rendered, then drop, as stock memcached does. *)
+              t.closing <- true;
+              n
+          | Some (Ok request) ->
+              List.iter
+                (fun response ->
+                  Binary_protocol.encode_response_into t.out response)
+                (Binary_server.handle store request);
+              if Binary_server.quit_requested request then t.closing <- true;
+              go (n + 1)
+      in
+      go 0
+
+(* Push pending then freshly rendered bytes. [`Want_write] means the
+   socket backed up: the worker polls for writability. Socket errors and
+   injected tears report [`Closed]. *)
+let flush t =
+  let rec push () =
+    if t.pending <> "" then
+      match
+        Io.write_nonblock ~fault:"server.write.partial" t.fd t.pending
+          ~off:t.pending_off
+      with
+      | `Would_block -> `Want_write
+      | `Wrote n ->
+          Rp_obs.Counter.incr t.writes;
+          let off = t.pending_off + n in
+          if off >= String.length t.pending then begin
+            t.pending <- "";
+            t.pending_off <- 0;
+            push ()
+          end
+          else begin
+            t.pending_off <- off;
+            push ()
+          end
+    else if Buffer.length t.out > 0 then begin
+      let s = Buffer.contents t.out in
+      if Buffer.length t.out > out_retain_bytes then Buffer.reset t.out
+      else Buffer.clear t.out;
+      t.pending <- s;
+      t.pending_off <- 0;
+      push ()
+    end
+    else `Done
+  in
+  try push () with Unix.Unix_error _ | Rp_fault.Injected _ -> `Closed

@@ -1,0 +1,47 @@
+(** Per-connection state machine for the event-loop plane.
+
+    Owns the read buffer, the incremental protocol parser (text/binary by
+    first-byte sniffing), and a reusable output buffer. One poll wakeup
+    drains every complete pipelined request, dispatches them as a batch,
+    and coalesces the responses into a single write. *)
+
+type t
+
+val create :
+  id:int ->
+  buffer_size:int ->
+  reads:Rp_obs.Counter.t ->
+  writes:Rp_obs.Counter.t ->
+  Unix.file_descr ->
+  t
+(** The fd must already be non-blocking. [buffer_size] sizes the read
+    buffer ({!Server.config.read_buffer_size}); [reads]/[writes] count
+    data-moving syscalls. *)
+
+val fd : t -> Unix.file_descr
+val id : t -> int
+
+val closing : t -> bool
+(** The connection asked to close (quit, binary framing error): flush any
+    remaining output, then drop. *)
+
+val last_active : t -> float
+(** Wall-clock instant of the last byte received (idle-timeout sweeps). *)
+
+val wants_write : t -> bool
+(** Unflushed response bytes exist: poll for writability and stop reading
+    until they drain. *)
+
+val fill : t -> [ `Eof | `Ok ]
+(** Read until the socket would block, feeding the parser. Raises like a
+    socket read ([Unix.Unix_error], {!Rp_fault.Injected}); the worker
+    treats that as a torn connection. Runs through the
+    ["server.read.split"] failpoint. *)
+
+val dispatch : t -> Store.t -> int
+(** Execute every complete buffered request, rendering responses into the
+    output buffer; returns the batch size. *)
+
+val flush : t -> [ `Closed | `Done | `Want_write ]
+(** Write coalesced responses. Runs through ["server.write.partial"];
+    errors and injected tears report [`Closed]. *)

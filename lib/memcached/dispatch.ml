@@ -1,0 +1,72 @@
+(* Text-protocol request dispatch, shared by the threaded server, the
+   event-loop workers, and the in-process benchmark loopback. *)
+
+let stored_reply : Store.stored_result -> Protocol.response = function
+  | Store.Stored -> Protocol.Stored
+  | Store.Not_stored -> Protocol.Not_stored
+  | Store.Exists -> Protocol.Exists
+  | Store.Not_found -> Protocol.Not_found
+  | Store.Too_large -> Protocol.Server_error "object too large for cache"
+
+let handle store (request : Protocol.request) : Protocol.response option =
+  match request with
+  | Protocol.Get keys -> Some (Protocol.Values (Store.get_many store keys))
+  | Protocol.Gets keys ->
+      Some (Protocol.Values (Store.get_many store ~with_cas:true keys))
+  | Protocol.Set { key; flags; exptime; noreply; data } ->
+      let r = Store.set store ~key ~flags ~exptime ~data in
+      if noreply then None else Some (stored_reply r)
+  | Protocol.Add { key; flags; exptime; noreply; data } ->
+      let r = Store.add store ~key ~flags ~exptime ~data in
+      if noreply then None else Some (stored_reply r)
+  | Protocol.Replace { key; flags; exptime; noreply; data } ->
+      let r = Store.replace store ~key ~flags ~exptime ~data in
+      if noreply then None else Some (stored_reply r)
+  | Protocol.Append { key; noreply; data; _ } ->
+      let r = Store.append store ~key ~data in
+      if noreply then None else Some (stored_reply r)
+  | Protocol.Prepend { key; noreply; data; _ } ->
+      let r = Store.prepend store ~key ~data in
+      if noreply then None else Some (stored_reply r)
+  | Protocol.Cas ({ key; flags; exptime; noreply; data }, unique) ->
+      let r = Store.cas store ~key ~flags ~exptime ~data ~unique in
+      if noreply then None else Some (stored_reply r)
+  | Protocol.Delete { key; noreply } ->
+      let r = if Store.delete store key then Protocol.Deleted else Protocol.Not_found in
+      if noreply then None else Some r
+  | Protocol.Incr { key; delta; noreply } -> (
+      match Store.incr store key delta with
+      | Store.Cvalue n -> if noreply then None else Some (Protocol.Number n)
+      | Store.Cnotfound -> if noreply then None else Some Protocol.Not_found
+      | Store.Cnon_numeric ->
+          if noreply then None
+          else
+            Some
+              (Protocol.Client_error
+                 "cannot increment or decrement non-numeric value"))
+  | Protocol.Decr { key; delta; noreply } -> (
+      match Store.decr store key delta with
+      | Store.Cvalue n -> if noreply then None else Some (Protocol.Number n)
+      | Store.Cnotfound -> if noreply then None else Some Protocol.Not_found
+      | Store.Cnon_numeric ->
+          if noreply then None
+          else
+            Some
+              (Protocol.Client_error
+                 "cannot increment or decrement non-numeric value"))
+  | Protocol.Touch { key; exptime; noreply } ->
+      let r =
+        if Store.touch store ~key ~exptime then Protocol.Touched
+        else Protocol.Not_found
+      in
+      if noreply then None else Some r
+  | Protocol.Stats None -> Some (Protocol.Stats_reply (Store.stats store))
+  | Protocol.Stats (Some "rp") ->
+      Some (Protocol.Stats_reply (Store.rp_stats store))
+  | Protocol.Stats (Some arg) ->
+      Some (Protocol.Client_error ("unknown stats argument: " ^ arg))
+  | Protocol.Flush_all { noreply } ->
+      Store.flush_all store;
+      if noreply then None else Some Protocol.Ok_reply
+  | Protocol.Version -> Some (Protocol.Version_reply Version.string)
+  | Protocol.Quit -> None

@@ -1,0 +1,39 @@
+(** Sharded event-loop network plane.
+
+    [workers] domains each own a private poll set; accepted sockets are
+    sharded onto the least-loaded worker. A wakeup drains every complete
+    pipelined request on a socket, dispatches them as one batch, and
+    coalesces the responses into a single write. Workers follow QSBR
+    discipline: one registration per domain, offline around the poll
+    wait, so GET read sections stay zero-cost and a parked worker never
+    stalls a grace period.
+
+    {!Server} owns listening/accepting (and the connection cap); this
+    module owns serving. *)
+
+type config = {
+  workers : int;  (** worker domains; [>= 1] (resolved by the caller) *)
+  idle_timeout : float;  (** seconds; [<= 0] disables the idle sweep *)
+  read_buffer_size : int;  (** per-connection read buffer, bytes *)
+}
+
+type t
+
+val create : store:Store.t -> config -> t
+(** Spawn the worker domains and register the plane's instruments
+    ([server_worker_wakeups_total], [server_batch_requests],
+    [server_read_syscalls_total], [server_write_syscalls_total],
+    [server_event_workers], per-worker connection gauges) in the store's
+    registry. *)
+
+val submit : t -> id:int -> Unix.file_descr -> unit
+(** Hand an accepted socket to the least-loaded worker. Ownership
+    transfers: the worker makes it non-blocking, serves it, and closes
+    it. [id] tags ["server.conn.*"] trace events. *)
+
+val live_connections : t -> int
+val worker_count : t -> int
+
+val stop : t -> unit
+(** Stop every worker, close all owned sockets (inbox stragglers
+    included) and the wake pipes, and join the domains. *)

@@ -47,6 +47,42 @@ let write_all ?(fault = "") ?deadline fd s =
   in
   go 0
 
+(* --- non-blocking variants (event-loop plane) ---
+
+   These never wait: the caller's poll set decides when to try again. EINTR
+   is retried inline; EAGAIN/EWOULDBLOCK surfaces as [`Would_block]. The
+   same failpoint sites as the blocking path apply, so torture scenarios
+   can tear or shrink event-loop I/O identically. *)
+
+let read_nonblock ?(fault = "") fd buf =
+  let want = Bytes.length buf in
+  let want = if fault = "" then want else Rp_fault.io_cap fault want in
+  let rec go () =
+    match Unix.read fd buf 0 want with
+    | 0 -> `Eof
+    | n -> `Data n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        `Would_block
+  in
+  go ()
+
+let write_nonblock ?(fault = "") fd s ~off =
+  let len = String.length s - off in
+  let want = if fault = "" then len else Rp_fault.io_cap fault len in
+  let rec go () =
+    match Unix.write_substring fd s off want with
+    | n -> `Wrote n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        `Would_block
+  in
+  go ()
+
+let set_tcp_nodelay fd =
+  (* Best-effort: meaningless (and an error) on AF_UNIX sockets. *)
+  try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+
 let read ?(fault = "") ?timeout fd buf =
   let want = Bytes.length buf in
   let want = if fault = "" then want else Rp_fault.io_cap fault want in

@@ -29,3 +29,23 @@ val read : ?fault:string -> ?timeout:float -> Unix.file_descr -> Bytes.t -> int
     [fault] as in {!write_all} ([Truncate_io] caps the request, splitting
     reads). [timeout] is a relative idle budget in seconds; if no data
     arrives in time, raises {!Timeout}. *)
+
+(** {1 Non-blocking variants (event-loop plane)}
+
+    These never wait for readiness — the caller's poll set decides when to
+    retry. EINTR is retried inline; EAGAIN/EWOULDBLOCK surfaces as
+    [`Would_block]. The same failpoint sites as the blocking path apply. *)
+
+val read_nonblock :
+  ?fault:string -> Unix.file_descr -> Bytes.t -> [ `Data of int | `Eof | `Would_block ]
+(** One read attempt into [buf] from offset 0. [`Data n] delivered [n > 0]
+    bytes; [`Eof] means the peer closed. *)
+
+val write_nonblock :
+  ?fault:string -> Unix.file_descr -> string -> off:int -> [ `Wrote of int | `Would_block ]
+(** One write attempt of [s] from [off] to the end. [`Wrote n] may be
+    short; the caller keeps the remainder. *)
+
+val set_tcp_nodelay : Unix.file_descr -> unit
+(** Disable Nagle on a TCP socket (best-effort no-op elsewhere), so small
+    pipelined responses are not held back for coalescing timers. *)

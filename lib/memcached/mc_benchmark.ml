@@ -115,3 +115,142 @@ let run_backend ~backend config =
   let store = Store.create ~backend ~initial_size:16_384 () in
   prefill store ~keyspace:config.keyspace ~value_size:config.value_size;
   run ~store config
+
+(* ---------------------------------------------------------------------- *)
+(* Pipelined socket load (mc-benchmark -P): real sockets, real kernel.    *)
+(* ---------------------------------------------------------------------- *)
+
+type socket_config = {
+  connections : int;
+  pipeline : int;
+  sduration : float;
+  skeyspace : int;
+  svalue_size : int;
+  sseed : int;
+}
+
+let default_socket_config =
+  {
+    connections = 1;
+    pipeline = 16;
+    sduration = 1.0;
+    skeyspace = 10_000;
+    svalue_size = 100;
+    sseed = 42;
+  }
+
+let connect addr =
+  match addr with
+  | Server.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | Server.Tcp port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Io.set_tcp_nodelay fd;
+      fd
+
+(* Read until [n] responses came back, handing each to [consume]. *)
+let await_responses rp fd rbuf n consume =
+  let remaining = ref n in
+  while !remaining > 0 do
+    match Protocol.Response_parser.next rp with
+    | Some (Ok response) ->
+        consume response;
+        decr remaining
+    | Some (Error msg) ->
+        failwith ("mc_benchmark: socket response parse error: " ^ msg)
+    | None ->
+        let got = Unix.read fd rbuf 0 (Bytes.length rbuf) in
+        if got = 0 then failwith "mc_benchmark: server closed the connection";
+        Protocol.Response_parser.feed rp (Bytes.sub_string rbuf 0 got)
+  done
+
+(* Prefill over the wire (batches of pipelined SETs), never by touching the
+   store directly — a QSBR-mode store must only ever be driven from the
+   server's worker domains. *)
+let socket_prefill addr ~keyspace ~value_size =
+  let fd = connect addr in
+  let rp = Protocol.Response_parser.create () in
+  let rbuf = Bytes.create 65536 in
+  let batch = Buffer.create 8192 in
+  let i = ref 0 in
+  (try
+     while !i < keyspace do
+       let n = min 128 (keyspace - !i) in
+       Buffer.clear batch;
+       for j = !i to !i + n - 1 do
+         Buffer.add_string batch
+           (Protocol.encode_request
+              (Protocol.Set
+                 {
+                   key = Rp_workload.Keygen.string_key j;
+                   flags = 0;
+                   exptime = 0;
+                   noreply = false;
+                   data = value_for ~size:value_size j;
+                 }))
+       done;
+       Io.write_all fd (Buffer.contents batch);
+       await_responses rp fd rbuf n (function
+         | Protocol.Stored -> ()
+         | other ->
+             failwith
+               ("mc_benchmark: prefill expected STORED, got "
+               ^ String.trim (Protocol.encode_response other)));
+       i := !i + n
+     done
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.close fd
+
+let socket_worker addr config index ~stop ~hits ~misses =
+  let fd = connect addr in
+  let keygen =
+    Rp_workload.Keygen.create ~keyspace:config.skeyspace ~seed:config.sseed
+      ~worker:index ()
+  in
+  let rp = Protocol.Response_parser.create () in
+  let rbuf = Bytes.create 65536 in
+  let batch = Buffer.create (config.pipeline * 32) in
+  let my_hits = ref 0 and my_misses = ref 0 in
+  let one_batch () =
+    Buffer.clear batch;
+    for _ = 1 to config.pipeline do
+      let key =
+        Rp_workload.Keygen.string_key (Rp_workload.Keygen.next_key keygen)
+      in
+      Buffer.add_string batch (Protocol.encode_request (Protocol.Get [ key ]))
+    done;
+    Io.write_all fd (Buffer.contents batch);
+    await_responses rp fd rbuf config.pipeline (function
+      | Protocol.Values [] -> incr my_misses
+      | Protocol.Values _ -> incr my_hits
+      | _ -> ())
+  in
+  let batches = Rp_harness.Runner.loop_until_stop ~stop ~f:one_batch in
+  ignore (Atomic.fetch_and_add hits !my_hits);
+  ignore (Atomic.fetch_and_add misses !my_misses);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  batches * config.pipeline
+
+let run_socket addr config =
+  if config.connections < 1 then
+    invalid_arg "Mc_benchmark.run_socket: connections < 1";
+  if config.pipeline < 1 then invalid_arg "Mc_benchmark.run_socket: pipeline < 1";
+  Io.ignore_sigpipe ();
+  let hits = Atomic.make 0 and misses = Atomic.make 0 in
+  let workers =
+    Array.init config.connections (fun i ~stop ->
+        socket_worker addr config i ~stop ~hits ~misses)
+  in
+  let outcome = Rp_harness.Runner.run ~duration:config.sduration ~workers () in
+  {
+    requests = Rp_harness.Runner.total_ops outcome;
+    elapsed = outcome.elapsed;
+    requests_per_second = Rp_harness.Runner.throughput outcome;
+    hits = Atomic.get hits;
+    misses = Atomic.get misses;
+  }

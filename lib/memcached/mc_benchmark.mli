@@ -38,3 +38,32 @@ val run : store:Store.t -> config -> result
 val run_backend :
   backend:Store.backend -> config -> result
 (** Convenience: build a store, prefill it, run. *)
+
+(** {1 Pipelined socket load}
+
+    The wire-level companion to {!run}: real sockets against a running
+    {!Server}, [pipeline] GETs per write (mc-benchmark's [-P]), responses
+    drained in bulk — the workload the event-loop plane's batch dispatch
+    exists for. One client domain per connection. *)
+
+type socket_config = {
+  connections : int;  (** concurrent client connections (one domain each) *)
+  pipeline : int;  (** GETs per batch written before draining responses *)
+  sduration : float;  (** seconds *)
+  skeyspace : int;
+  svalue_size : int;
+  sseed : int;
+}
+
+val default_socket_config : socket_config
+(** 1 connection, pipeline 16, 1 s, 10k keys, 100 B values. *)
+
+val socket_prefill :
+  Server.address -> keyspace:int -> value_size:int -> unit
+(** Populate every key over the wire (pipelined SETs on one connection) —
+    never by touching the store in-process, so it is safe against a
+    QSBR-mode store, whose participants are the server's worker domains. *)
+
+val run_socket : Server.address -> socket_config -> result
+(** Drive a running server with pipelined GETs; {!result.requests} counts
+    individual GETs, not batches. *)

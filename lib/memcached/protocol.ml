@@ -83,44 +83,68 @@ let encode_request = function
   | Version -> "version" ^ crlf
   | Quit -> "quit" ^ crlf
 
-let encode_response = function
+(* Renders straight into a caller-owned buffer so a pipelined batch of
+   responses coalesces without one string allocation per command. *)
+let encode_response_into buf = function
   | Values values ->
-      let buf = Buffer.create 128 in
       List.iter
         (fun { vkey; vflags; vdata; vcas } ->
+          Buffer.add_string buf "VALUE ";
+          Buffer.add_string buf vkey;
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int vflags);
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int (String.length vdata));
           (match vcas with
-          | None ->
-              Buffer.add_string buf
-                (Printf.sprintf "VALUE %s %d %d%s" vkey vflags
-                   (String.length vdata) crlf)
+          | None -> ()
           | Some cas ->
-              Buffer.add_string buf
-                (Printf.sprintf "VALUE %s %d %d %d%s" vkey vflags
-                   (String.length vdata) cas crlf));
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf (string_of_int cas));
+          Buffer.add_string buf crlf;
           Buffer.add_string buf vdata;
           Buffer.add_string buf crlf)
         values;
-      Buffer.add_string buf ("END" ^ crlf);
-      Buffer.contents buf
-  | Stored -> "STORED" ^ crlf
-  | Not_stored -> "NOT_STORED" ^ crlf
-  | Exists -> "EXISTS" ^ crlf
-  | Not_found -> "NOT_FOUND" ^ crlf
-  | Deleted -> "DELETED" ^ crlf
-  | Touched -> "TOUCHED" ^ crlf
-  | Ok_reply -> "OK" ^ crlf
-  | Version_reply v -> "VERSION " ^ v ^ crlf
-  | Number n -> string_of_int n ^ crlf
+      Buffer.add_string buf "END";
+      Buffer.add_string buf crlf
+  | Stored -> Buffer.add_string buf ("STORED" ^ crlf)
+  | Not_stored -> Buffer.add_string buf ("NOT_STORED" ^ crlf)
+  | Exists -> Buffer.add_string buf ("EXISTS" ^ crlf)
+  | Not_found -> Buffer.add_string buf ("NOT_FOUND" ^ crlf)
+  | Deleted -> Buffer.add_string buf ("DELETED" ^ crlf)
+  | Touched -> Buffer.add_string buf ("TOUCHED" ^ crlf)
+  | Ok_reply -> Buffer.add_string buf ("OK" ^ crlf)
+  | Version_reply v ->
+      Buffer.add_string buf "VERSION ";
+      Buffer.add_string buf v;
+      Buffer.add_string buf crlf
+  | Number n ->
+      Buffer.add_string buf (string_of_int n);
+      Buffer.add_string buf crlf
   | Stats_reply stats ->
-      let buf = Buffer.create 128 in
       List.iter
-        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "STAT %s %s%s" k v crlf))
+        (fun (k, v) ->
+          Buffer.add_string buf "STAT ";
+          Buffer.add_string buf k;
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf v;
+          Buffer.add_string buf crlf)
         stats;
-      Buffer.add_string buf ("END" ^ crlf);
-      Buffer.contents buf
-  | Client_error msg -> "CLIENT_ERROR " ^ msg ^ crlf
-  | Server_error msg -> "SERVER_ERROR " ^ msg ^ crlf
-  | Error_reply -> "ERROR" ^ crlf
+      Buffer.add_string buf "END";
+      Buffer.add_string buf crlf
+  | Client_error msg ->
+      Buffer.add_string buf "CLIENT_ERROR ";
+      Buffer.add_string buf msg;
+      Buffer.add_string buf crlf
+  | Server_error msg ->
+      Buffer.add_string buf "SERVER_ERROR ";
+      Buffer.add_string buf msg;
+      Buffer.add_string buf crlf
+  | Error_reply -> Buffer.add_string buf ("ERROR" ^ crlf)
+
+let encode_response response =
+  let buf = Buffer.create 128 in
+  encode_response_into buf response;
+  Buffer.contents buf
 
 (* --- shared incremental buffer --- *)
 

@@ -55,6 +55,11 @@ type response =
 val encode_request : request -> string
 val encode_response : response -> string
 
+val encode_response_into : Buffer.t -> response -> unit
+(** Render a response into a caller-owned buffer. The event-loop workers
+    coalesce a whole pipelined batch this way — one reusable buffer, one
+    socket write, no per-command response string. *)
+
 val request_key_valid : string -> bool
 (** memcached key rules: 1–250 bytes, no spaces or control characters. *)
 

@@ -1,100 +1,67 @@
 let version_string = Version.string
 
-let stored_reply : Store.stored_result -> Protocol.response = function
-  | Store.Stored -> Protocol.Stored
-  | Store.Not_stored -> Protocol.Not_stored
-  | Store.Exists -> Protocol.Exists
-  | Store.Not_found -> Protocol.Not_found
-  | Store.Too_large -> Protocol.Server_error "object too large for cache"
-
-let handle store (request : Protocol.request) : Protocol.response option =
-  match request with
-  | Protocol.Get keys -> Some (Protocol.Values (Store.get_many store keys))
-  | Protocol.Gets keys ->
-      Some (Protocol.Values (Store.get_many store ~with_cas:true keys))
-  | Protocol.Set { key; flags; exptime; noreply; data } ->
-      let r = Store.set store ~key ~flags ~exptime ~data in
-      if noreply then None else Some (stored_reply r)
-  | Protocol.Add { key; flags; exptime; noreply; data } ->
-      let r = Store.add store ~key ~flags ~exptime ~data in
-      if noreply then None else Some (stored_reply r)
-  | Protocol.Replace { key; flags; exptime; noreply; data } ->
-      let r = Store.replace store ~key ~flags ~exptime ~data in
-      if noreply then None else Some (stored_reply r)
-  | Protocol.Append { key; noreply; data; _ } ->
-      let r = Store.append store ~key ~data in
-      if noreply then None else Some (stored_reply r)
-  | Protocol.Prepend { key; noreply; data; _ } ->
-      let r = Store.prepend store ~key ~data in
-      if noreply then None else Some (stored_reply r)
-  | Protocol.Cas ({ key; flags; exptime; noreply; data }, unique) ->
-      let r = Store.cas store ~key ~flags ~exptime ~data ~unique in
-      if noreply then None else Some (stored_reply r)
-  | Protocol.Delete { key; noreply } ->
-      let r = if Store.delete store key then Protocol.Deleted else Protocol.Not_found in
-      if noreply then None else Some r
-  | Protocol.Incr { key; delta; noreply } -> (
-      match Store.incr store key delta with
-      | Store.Cvalue n -> if noreply then None else Some (Protocol.Number n)
-      | Store.Cnotfound -> if noreply then None else Some Protocol.Not_found
-      | Store.Cnon_numeric ->
-          if noreply then None
-          else
-            Some
-              (Protocol.Client_error
-                 "cannot increment or decrement non-numeric value"))
-  | Protocol.Decr { key; delta; noreply } -> (
-      match Store.decr store key delta with
-      | Store.Cvalue n -> if noreply then None else Some (Protocol.Number n)
-      | Store.Cnotfound -> if noreply then None else Some Protocol.Not_found
-      | Store.Cnon_numeric ->
-          if noreply then None
-          else
-            Some
-              (Protocol.Client_error
-                 "cannot increment or decrement non-numeric value"))
-  | Protocol.Touch { key; exptime; noreply } ->
-      let r =
-        if Store.touch store ~key ~exptime then Protocol.Touched
-        else Protocol.Not_found
-      in
-      if noreply then None else Some r
-  | Protocol.Stats None -> Some (Protocol.Stats_reply (Store.stats store))
-  | Protocol.Stats (Some "rp") ->
-      Some (Protocol.Stats_reply (Store.rp_stats store))
-  | Protocol.Stats (Some arg) ->
-      Some (Protocol.Client_error ("unknown stats argument: " ^ arg))
-  | Protocol.Flush_all { noreply } ->
-      Store.flush_all store;
-      if noreply then None else Some Protocol.Ok_reply
-  | Protocol.Version -> Some (Protocol.Version_reply version_string)
-  | Protocol.Quit -> None
+(* Kept as the stable public name; the implementation lives in Dispatch so
+   the event-loop plane can reach it without a module cycle. *)
+let handle = Dispatch.handle
 
 type address = Unix_socket of string | Tcp of int
+type mode = Threaded | Event_loop
 
 type config = {
   max_connections : int;
   idle_timeout : float;
   write_timeout : float;
+  listen_backlog : int;
+  read_buffer_size : int;
+  tcp_nodelay : bool;
+  mode : mode;
+  workers : int;
 }
 
 let default_config =
-  { max_connections = 1024; idle_timeout = 0.0; write_timeout = 30.0 }
+  {
+    max_connections = 1024;
+    idle_timeout = 0.0;
+    write_timeout = 30.0;
+    listen_backlog = 64;
+    read_buffer_size = 16384;
+    tcp_nodelay = true;
+    mode = Threaded;
+    workers = 0;
+  }
 
-type t = {
-  addr : address;
-  config : config;
-  listen_fd : Unix.file_descr;
-  accept_thread : Thread.t;
-  running : bool Atomic.t;
+let effective_workers config =
+  if config.workers > 0 then config.workers
+  else Domain.recommended_domain_count ()
+
+(* ---------------------------------------------------------------------- *)
+(* Threaded plane: one thread per connection, blocking I/O.               *)
+(* ---------------------------------------------------------------------- *)
+
+type threaded = {
   (* Live connections, keyed by a private id. The accept loop registers
      entries; each connection thread removes (and closes) its own under
      the same mutex, so [stop] can shutdown every live fd without racing
      a close-then-reuse. *)
   conns : (int, Unix.file_descr * Thread.t) Hashtbl.t;
   conns_mutex : Mutex.t;
+  (* Read buffers outlive connections: a finished thread parks its buffer
+     here and the next accept reuses it instead of allocating
+     [read_buffer_size] fresh bytes per connection. *)
+  mutable buffer_pool : Bytes.t list;
+}
+
+type plane = Threads of threaded | Evloop of Evloop.t
+
+type t = {
+  addr : address;
+  config : config;
+  listen_fd : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  running : bool Atomic.t;
   accepted : int Atomic.t;
   rejected : int Atomic.t;
+  plane : plane;
 }
 
 let send config fd s =
@@ -129,7 +96,7 @@ let serve_text config store fd buf ~initial =
           go ()
       | Some (Ok Protocol.Quit) -> closing := true
       | Some (Ok request) ->
-          (match handle store request with
+          (match Dispatch.handle store request with
           | Some response -> send config fd (Protocol.encode_response response)
           | None -> ());
           go ()
@@ -177,24 +144,48 @@ let serve_binary config store fd buf ~initial =
     end
   done
 
+let take_buffer t th =
+  Mutex.lock th.conns_mutex;
+  let buf =
+    match th.buffer_pool with
+    | b :: rest when Bytes.length b = t.config.read_buffer_size ->
+        th.buffer_pool <- rest;
+        Some b
+    | _ ->
+        (* Size changed or pool empty: drop any stale pool. *)
+        if th.buffer_pool <> [] then th.buffer_pool <- [];
+        None
+  in
+  Mutex.unlock th.conns_mutex;
+  match buf with
+  | Some b -> b
+  | None -> Bytes.create t.config.read_buffer_size
+
+let return_buffer th buf =
+  Mutex.lock th.conns_mutex;
+  (* A handful of parked buffers is plenty; beyond that let them collect. *)
+  if List.length th.buffer_pool < 64 then th.buffer_pool <- buf :: th.buffer_pool;
+  Mutex.unlock th.conns_mutex
+
 (* Protocol auto-detection, as in stock memcached: the first byte of a
    connection decides (0x80 = binary request magic, anything else = text).
    An idle timeout, an injected tear, or any socket error closes the
    connection; the fd itself is closed by the registry cleanup in
    [spawn_connection]. *)
-let serve_connection config store fd =
-  let buf = Bytes.create 16384 in
-  try
-    let n = recv config fd buf in
-    if n > 0 then begin
-      let initial = Bytes.sub_string buf 0 n in
-      if initial.[0] = Binary_protocol.magic_request_byte then
-        serve_binary config store fd buf ~initial
-      else serve_text config store fd buf ~initial
-    end
-  with
+let serve_connection t th store fd =
+  let buf = take_buffer t th in
+  (try
+     let n = recv t.config fd buf in
+     if n > 0 then begin
+       let initial = Bytes.sub_string buf 0 n in
+       if initial.[0] = Binary_protocol.magic_request_byte then
+         serve_binary t.config store fd buf ~initial
+       else serve_text t.config store fd buf ~initial
+     end
+   with
   | Unix.Unix_error _ | End_of_file | Io.Timeout -> ()
-  | Rp_fault.Injected _ -> ()
+  | Rp_fault.Injected _ -> ());
+  return_buffer th buf
 
 let reject fd =
   (try
@@ -203,9 +194,7 @@ let reject fd =
    with Unix.Unix_error _ | Rp_fault.Injected _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let spawn_connection t store id fd =
-  Atomic.incr t.accepted;
-  Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:id "server.conn.accept";
+let spawn_connection t th store id fd =
   (* Hold [ready] until the registry entry exists, so the thread's cleanup
      can never run before its registration. *)
   let ready = Mutex.create () in
@@ -215,18 +204,27 @@ let spawn_connection t store id fd =
       (fun () ->
         Mutex.lock ready;
         Mutex.unlock ready;
-        serve_connection t.config store fd;
+        serve_connection t th store fd;
         Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:id "server.conn.drop";
-        Mutex.lock t.conns_mutex;
-        Hashtbl.remove t.conns id;
+        Mutex.lock th.conns_mutex;
+        Hashtbl.remove th.conns id;
         (try Unix.close fd with Unix.Unix_error _ -> ());
-        Mutex.unlock t.conns_mutex)
+        Mutex.unlock th.conns_mutex)
       ()
   in
-  Mutex.lock t.conns_mutex;
-  Hashtbl.add t.conns id (fd, thread);
-  Mutex.unlock t.conns_mutex;
+  Mutex.lock th.conns_mutex;
+  Hashtbl.add th.conns id (fd, thread);
+  Mutex.unlock th.conns_mutex;
   Mutex.unlock ready
+
+let live t =
+  match t.plane with
+  | Threads th ->
+      Mutex.lock th.conns_mutex;
+      let n = Hashtbl.length th.conns in
+      Mutex.unlock th.conns_mutex;
+      n
+  | Evloop ev -> Evloop.live_connections ev
 
 let accept_loop t store =
   let next_id = ref 0 in
@@ -235,20 +233,20 @@ let accept_loop t store =
     | fd, _ ->
         if not (Atomic.get t.running) then (
           try Unix.close fd with Unix.Unix_error _ -> ())
+        else if live t >= t.config.max_connections then begin
+          Atomic.incr t.rejected;
+          Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:(-1) "server.conn.drop";
+          reject fd
+        end
         else begin
-          Mutex.lock t.conns_mutex;
-          let live = Hashtbl.length t.conns in
-          Mutex.unlock t.conns_mutex;
-          if live >= t.config.max_connections then begin
-            Atomic.incr t.rejected;
-            Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:(-1) "server.conn.drop";
-            reject fd
-          end
-          else begin
-            let id = !next_id in
-            incr next_id;
-            spawn_connection t store id fd
-          end
+          let id = !next_id in
+          incr next_id;
+          Atomic.incr t.accepted;
+          if t.config.tcp_nodelay then Io.set_tcp_nodelay fd;
+          Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:id "server.conn.accept";
+          match t.plane with
+          | Threads th -> spawn_connection t th store id fd
+          | Evloop ev -> Evloop.submit ev ~id fd
         end
     | exception Unix.Unix_error _ -> ()
   done
@@ -256,6 +254,10 @@ let accept_loop t store =
 let start ~store ?(config = default_config) addr =
   if config.max_connections < 1 then
     invalid_arg "Server.start: max_connections < 1";
+  if config.listen_backlog < 1 then
+    invalid_arg "Server.start: listen_backlog < 1";
+  if config.read_buffer_size < 1 then
+    invalid_arg "Server.start: read_buffer_size < 1";
   Io.ignore_sigpipe ();
   let domain, sockaddr =
     match addr with
@@ -267,21 +269,38 @@ let start ~store ?(config = default_config) addr =
   let listen_fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   Unix.bind listen_fd sockaddr;
-  Unix.listen listen_fd 64;
+  Unix.listen listen_fd config.listen_backlog;
+  let plane =
+    match config.mode with
+    | Threaded ->
+        Threads
+          {
+            conns = Hashtbl.create 64;
+            conns_mutex = Mutex.create ();
+            buffer_pool = [];
+          }
+    | Event_loop ->
+        Evloop
+          (Evloop.create ~store
+             {
+               Evloop.workers = effective_workers config;
+               idle_timeout = config.idle_timeout;
+               read_buffer_size = config.read_buffer_size;
+             })
+  in
   let t =
     {
       addr;
       config;
       listen_fd;
-      accept_thread = Thread.self ();  (* placeholder, replaced below *)
+      accept_thread = None;
       running = Atomic.make true;
-      conns = Hashtbl.create 64;
-      conns_mutex = Mutex.create ();
       accepted = Atomic.make 0;
       rejected = Atomic.make 0;
+      plane;
     }
   in
-  let t = { t with accept_thread = Thread.create (fun () -> accept_loop t store) () } in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t store) ());
   let reg = Store.registry store in
   let fn c () = float_of_int (Atomic.get c) in
   Rp_obs.Registry.fn_counter reg ~help:"connections accepted"
@@ -289,41 +308,37 @@ let start ~store ?(config = default_config) addr =
   Rp_obs.Registry.fn_counter reg ~help:"connections rejected at the cap"
     "server_connections_rejected_total" (fn t.rejected);
   Rp_obs.Registry.gauge reg ~help:"live connections" "server_connections_active"
-    (fun () ->
-      Mutex.lock t.conns_mutex;
-      let n = Hashtbl.length t.conns in
-      Mutex.unlock t.conns_mutex;
-      float_of_int n);
+    (fun () -> float_of_int (live t));
   t
 
 let stop t =
   Atomic.set t.running false;
   (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  Thread.join t.accept_thread;
-  (* Wake every in-flight connection thread, then drain them. Shutdown runs
-     under the registry mutex so it cannot race a thread's close-and-remove
-     (and thus can never hit a recycled descriptor). *)
-  Mutex.lock t.conns_mutex;
-  let threads =
-    Hashtbl.fold
-      (fun _ (fd, thread) acc ->
-        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-        thread :: acc)
-      t.conns []
-  in
-  Mutex.unlock t.conns_mutex;
-  List.iter Thread.join threads;
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (match t.plane with
+  | Threads th ->
+      (* Wake every in-flight connection thread, then drain them. Shutdown
+         runs under the registry mutex so it cannot race a thread's
+         close-and-remove (and thus can never hit a recycled descriptor). *)
+      Mutex.lock th.conns_mutex;
+      let threads =
+        Hashtbl.fold
+          (fun _ (fd, thread) acc ->
+            (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+            thread :: acc)
+          th.conns []
+      in
+      Mutex.unlock th.conns_mutex;
+      List.iter Thread.join threads
+  | Evloop ev -> Evloop.stop ev);
   match t.addr with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | Tcp _ -> ()
 
-let active_connections t =
-  Mutex.lock t.conns_mutex;
-  let n = Hashtbl.length t.conns in
-  Mutex.unlock t.conns_mutex;
-  n
-
+let active_connections t = live t
 let rejected_connections t = Atomic.get t.rejected
-
 let address t = t.addr
+
+let workers t =
+  match t.plane with Threads _ -> 0 | Evloop ev -> Evloop.worker_count ev

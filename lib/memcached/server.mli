@@ -1,9 +1,16 @@
 (** memcached server: request dispatch plus a socket front end.
 
-    {!handle} is the pure dispatch used by both the socket server and the
-    in-process benchmark loopback; the socket server runs one thread per
-    connection (reads bytes, feeds the protocol parser, executes, writes
-    responses). *)
+    {!handle} is the pure dispatch used by both socket planes and the
+    in-process benchmark loopback. Two serving planes share one accept
+    loop and one config:
+
+    - {!Threaded} (default): one thread per connection, blocking I/O —
+      simple, torture-hardened, and immune to a slow connection stalling
+      others;
+    - {!Event_loop}: the sharded event-loop plane ({!Evloop}) — worker
+      domains with private poll sets, pipelined batch dispatch, coalesced
+      writes, and per-worker QSBR discipline for zero-cost GET read
+      sections (pair it with a {!Store.rcu_mode} [Qsbr] store). *)
 
 val version_string : string
 
@@ -14,6 +21,7 @@ val handle : Store.t -> Protocol.request -> Protocol.response option
 type t
 
 type address = Unix_socket of string | Tcp of int
+type mode = Threaded | Event_loop
 
 type config = {
   max_connections : int;
@@ -24,23 +32,38 @@ type config = {
           server closes it; [0.] disables (default) *)
   write_timeout : float;
       (** seconds a single response write may block before the connection
-          is dropped; [0.] disables (default 30) *)
+          is dropped; [0.] disables (default 30; threaded plane only —
+          the event loop parks pending bytes and polls for writability) *)
+  listen_backlog : int;  (** [listen(2)] backlog (default 64) *)
+  read_buffer_size : int;
+      (** per-connection read buffer in bytes (default 16 KiB); the
+          threaded plane pools these across connections *)
+  tcp_nodelay : bool;
+      (** disable Nagle on accepted TCP sockets (default [true]) so
+          pipelined responses aren't held back by coalescing timers *)
+  mode : mode;  (** serving plane (default {!Threaded}) *)
+  workers : int;
+      (** event-loop worker domains; [0] (default) means
+          [Domain.recommended_domain_count ()] *)
 }
 
 val default_config : config
-(** 1024 connections, no idle timeout, 30 s write timeout. *)
+(** 1024 connections, no idle timeout, 30 s write timeout, backlog 64,
+    16 KiB buffers, TCP_NODELAY on, threaded mode. *)
 
 val start : store:Store.t -> ?config:config -> address -> t
-(** Start listening and serving connections (accept loop and per-connection
-    handlers run on background threads). Connection I/O runs through the
-    failpoint sites ["server.read.split"], ["server.write.partial"], and
-    ["server.conn.reset"] (see {!Rp_fault}), so tests can split reads,
-    shorten writes, or tear connections. *)
+(** Start listening and serving connections (the accept loop runs on a
+    background thread; connection service runs on per-connection threads
+    or event-loop worker domains, by [config.mode]). Connection I/O runs
+    through the failpoint sites ["server.read.split"],
+    ["server.write.partial"], and ["server.conn.reset"] (see {!Rp_fault})
+    on both planes, so tests can split reads, shorten writes, or tear
+    connections. *)
 
 val stop : t -> unit
 (** Close the listener, wait for the accept loop to exit, then shut down
-    and drain every in-flight connection thread: when [stop] returns, no
-    server thread is left running. *)
+    and drain every in-flight connection thread or worker domain: when
+    [stop] returns, no server thread or domain is left running. *)
 
 val active_connections : t -> int
 (** Currently live connections. *)
@@ -49,3 +72,7 @@ val rejected_connections : t -> int
 (** Connections turned away by the [max_connections] cap so far. *)
 
 val address : t -> address
+
+val workers : t -> int
+(** Event-loop worker domains serving this instance; [0] on the threaded
+    plane. *)

@@ -1,4 +1,5 @@
 type backend = Lock | Rp
+type rcu_mode = Memb | Qsbr
 
 type stored_result = Stored | Not_stored | Exists | Not_found | Too_large
 type counter_result = Cnotfound | Cnon_numeric | Cvalue of int
@@ -24,6 +25,11 @@ type state = Lock_state of lock_state | Rp_state of rp_state
 
 type t = {
   state : state;
+  (* Some when the Rp backend runs on the QSBR flavour (zero-cost read
+     sections). Readers must then respect QSBR discipline: the event-loop
+     workers go offline around their poll wait, and the update lock below
+     is acquired with a quiescing spin. *)
+  qsbr : Rcu_qsbr.t option;
   max_bytes : int;
   slab : Slab.t;  (* chunk-level accounting; eviction compares chunk bytes *)
   clock : unit -> float;
@@ -43,8 +49,11 @@ type t = {
 let hash_key = Rp_hashes.Hashfn.fnv1a_string
 let month_seconds = 60. *. 60. *. 24. *. 30.
 
-let create ?(backend = Rp) ?(max_bytes = 64 * 1024 * 1024) ?(initial_size = 1024)
-    ?(auto_resize = true) ?(clock = Unix.gettimeofday) () =
+let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
+    ?(initial_size = 1024) ?(auto_resize = true) ?(clock = Unix.gettimeofday) () =
+  let qsbr =
+    match (backend, rcu_mode) with Rp, Qsbr -> Some (Rcu_qsbr.create ()) | _ -> None
+  in
   let state =
     match backend with
     | Lock ->
@@ -56,20 +65,23 @@ let create ?(backend = Rp) ?(max_bytes = 64 * 1024 * 1024) ?(initial_size = 1024
             lru = Lru.create ();
           }
     | Rp ->
-        Rp_state
-          {
-            rp =
+        let rp =
+          match qsbr with
+          | Some q ->
+              Rp_ht.create ~flavour:(Flavour.qsbr q) ~initial_size ~auto_resize
+                ~hash:hash_key ~equal:String.equal ()
+          | None ->
               Rp_ht.create ~initial_size ~auto_resize ~hash:hash_key
-                ~equal:String.equal ();
-            update = Mutex.create ();
-            clockq = Queue.create ();
-          }
+                ~equal:String.equal ()
+        in
+        Rp_state { rp; update = Mutex.create (); clockq = Queue.create () }
   in
   let registry = Rp_obs.Registry.create () in
   let counter name help = Rp_obs.Registry.counter registry ~help name in
   let t =
     {
       state;
+      qsbr;
       max_bytes;
       slab = Slab.create ();
       clock;
@@ -107,14 +119,33 @@ let create ?(backend = Rp) ?(max_bytes = 64 * 1024 * 1024) ?(initial_size = 1024
         | Lock_state ls -> Rp_baseline.Lock_ht.size ls.table
         | Rp_state rs -> Rp_ht.size rs.rp));
   (match t.state with
-  | Rp_state rs ->
+  | Rp_state rs -> (
       Rp_ht.observe rs.rp registry;
-      Rcu.observe (Rp_ht.rcu rs.rp) registry
+      match qsbr with
+      | None -> Rcu.observe (Rp_ht.rcu rs.rp) registry
+      | Some q ->
+          (* Flavoured tables have no memb instance; expose the QSBR
+             grace-period counter and participant count instead. *)
+          Rp_obs.Registry.fn_counter registry
+            ~help:"QSBR grace periods completed" "rcu_grace_periods_total"
+            (fun () -> float_of_int (Rcu_qsbr.grace_periods q));
+          Rp_obs.Registry.gauge registry
+            ~help:"QSBR participant threads registered" "rcu_qsbr_threads"
+            (fun () -> float_of_int (Rcu_qsbr.registered_threads q)))
   | Lock_state _ -> ());
   t
 
 let backend t = match t.state with Lock_state _ -> Lock | Rp_state _ -> Rp
+let rcu_mode t = match t.qsbr with Some _ -> Qsbr | None -> Memb
 let registry t = t.registry
+
+(* Take the calling domain's QSBR reader offline (no-op for memb / Lock):
+   event-loop workers call this before blocking in poll so grace periods
+   never wait on a sleeping worker; the next read section re-onlines. *)
+let reader_offline t =
+  match t.state with
+  | Rp_state rs -> (Rp_ht.flavour rs.rp).Flavour.thread_offline ()
+  | Lock_state _ -> ()
 
 (* Protocol exptime: 0 = never, negative = already expired, small values are
    relative seconds, large ones absolute Unix time. *)
@@ -216,19 +247,53 @@ let rp_store t rs key (item : Item.t) =
   ignore (Slab.charge t.slab (Item.size_bytes ~key item));
   rp_evict_until_fits t rs
 
-let with_mutex m f =
-  Mutex.lock m;
+(* Acquire the update mutex. Under QSBR a plain blocking lock could
+   deadlock: the holder may be inside wait-for-readers (a resize pass or a
+   deferred-reclamation flush) while we sit here online and non-quiescent,
+   so it would wait on us forever. Spin with try_lock instead, announcing
+   a quiescent state each round (we hold no RCU-protected references while
+   asking for the writer lock). *)
+let with_update t (rs : rp_state) f =
+  (match t.qsbr with
+  | None -> Mutex.lock rs.update
+  | Some q ->
+      if not (Mutex.try_lock rs.update) then begin
+        let th = Rcu_qsbr.thread_for_current_domain q in
+        let can_quiesce =
+          Rcu_qsbr.is_online th && not (Rcu_qsbr.in_critical_section th)
+        in
+        let rec spin () =
+          if not (Mutex.try_lock rs.update) then begin
+            if can_quiesce then Rcu_qsbr.quiescent_state th;
+            Domain.cpu_relax ();
+            spin ()
+          end
+        in
+        spin ()
+      end);
   match f () with
   | v ->
-      Mutex.unlock m;
+      Mutex.unlock rs.update;
       v
   | exception e ->
-      Mutex.unlock m;
+      Mutex.unlock rs.update;
       raise e
 
 (* --- GET --- *)
 
-let get_rp t rs ?(with_cas = false) key =
+let rp_expire_if_dead t rs ~now key =
+  with_update t rs (fun () ->
+      match Rp_ht.find rs.rp key with
+      | Some again when Item.is_expired again ~now ->
+          ignore (rp_delete t rs key);
+          Rp_obs.Counter.incr t.expired
+      | Some _ | None -> ())
+
+(* [expired_acc]: when the caller holds a batch-wide read section open it
+   must not take the update lock inline (the holder could be waiting for
+   readers — us included). Expired keys are collected and reaped by the
+   caller after the section closes. *)
+let get_rp t rs ?(with_cas = false) ?expired_acc key =
   let now = t.clock () in
   (* Fast path: wait-free lookup; the value is copied out inside the
      table's read-side critical section. *)
@@ -239,12 +304,9 @@ let get_rp t rs ?(with_cas = false) key =
   | Some item ->
       if Item.is_expired item ~now then begin
         (* Slow path: expiry needs the update lock. *)
-        with_mutex rs.update (fun () ->
-            match Rp_ht.find rs.rp key with
-            | Some again when Item.is_expired again ~now ->
-                ignore (rp_delete t rs key);
-                Rp_obs.Counter.incr t.expired
-            | Some _ | None -> ());
+        (match expired_acc with
+        | Some acc -> acc := key :: !acc
+        | None -> rp_expire_if_dead t rs ~now key);
         Rp_obs.Counter.incr t.get_misses;
         None
       end
@@ -273,14 +335,37 @@ let get t key =
   | Lock_state ls -> get_lock t ls key
   | Rp_state rs -> get_rp t rs key
 
+(* The multiget fast path the event loop's batch dispatch hits: one
+   [cmd_get] add for the whole batch and — on the Rp backend — one
+   read-side critical section spanning every lookup (inner sections nest
+   for free), instead of a counter bump and section per key. *)
 let get_many t ?(with_cas = false) keys =
-  List.filter_map
-    (fun key ->
-      Rp_obs.Counter.incr t.cmd_get;
-      match t.state with
-      | Lock_state ls -> get_lock t ls ~with_cas key
-      | Rp_state rs -> get_rp t rs ~with_cas key)
-    keys
+  Rp_obs.Counter.add t.cmd_get (List.length keys);
+  match t.state with
+  | Lock_state ls -> List.filter_map (fun key -> get_lock t ls ~with_cas key) keys
+  | Rp_state rs ->
+      let expired_acc = ref [] in
+      let values =
+        Flavour.with_read (Rp_ht.flavour rs.rp) (fun () ->
+            List.filter_map
+              (fun key -> get_rp t rs ~with_cas ~expired_acc key)
+              keys)
+      in
+      (match !expired_acc with
+      | [] -> ()
+      | dead ->
+          (* Reap outside the batch read section, one lock for all. *)
+          let now = t.clock () in
+          with_update t rs (fun () ->
+              List.iter
+                (fun key ->
+                  match Rp_ht.find rs.rp key with
+                  | Some again when Item.is_expired again ~now ->
+                      ignore (rp_delete t rs key);
+                      Rp_obs.Counter.incr t.expired
+                  | Some _ | None -> ())
+                dead));
+      values
 
 (* --- storage commands --- *)
 
@@ -308,7 +393,7 @@ let storage_command t ~key ~flags ~exptime ~data ~guard =
               lock_store t ls key item;
               Stored)
   | Rp_state rs ->
-      with_mutex rs.update (fun () ->
+      with_update t rs (fun () ->
           let live =
             match Rp_ht.find rs.rp key with
             | Some item when not (Item.is_expired item ~now) -> Some item
@@ -367,7 +452,7 @@ let concat_command t ~key ~data ~build =
             (Option.map (fun e -> e.item) live)
             (fun fresh -> lock_store t ls key fresh))
   | Rp_state rs ->
-      with_mutex rs.update (fun () ->
+      with_update t rs (fun () ->
           let live =
             match Rp_ht.find rs.rp key with
             | Some item when not (Item.is_expired item ~now) -> Some item
@@ -383,7 +468,7 @@ let delete t key =
   match t.state with
   | Lock_state ls ->
       Rp_baseline.Lock_ht.with_lock ls.table (fun () -> lock_delete t ls key)
-  | Rp_state rs -> with_mutex rs.update (fun () -> rp_delete t rs key)
+  | Rp_state rs -> with_update t rs (fun () -> rp_delete t rs key)
 
 (* incr/decr rewrite the stored decimal string; decr saturates at zero. *)
 let counter_command t key delta ~apply =
@@ -407,7 +492,7 @@ let counter_command t key delta ~apply =
           | None -> Cnotfound
           | Some entry -> compute entry.item (fun fresh -> lock_store t ls key fresh))
   | Rp_state rs ->
-      with_mutex rs.update (fun () ->
+      with_update t rs (fun () ->
           match Rp_ht.find rs.rp key with
           | Some item when not (Item.is_expired item ~now) ->
               compute item (fun fresh -> rp_store t rs key fresh)
@@ -433,7 +518,7 @@ let touch t ~key ~exptime =
           | None -> false
           | Some entry -> retouch entry.item (fun fresh -> lock_store t ls key fresh))
   | Rp_state rs ->
-      with_mutex rs.update (fun () ->
+      with_update t rs (fun () ->
           match Rp_ht.find rs.rp key with
           | Some item when not (Item.is_expired item ~now) ->
               retouch item (fun fresh -> rp_store t rs key fresh)
@@ -447,7 +532,7 @@ let flush_all t =
           Rp_baseline.Lock_ht.unsafe_iter ls.table ~f:(fun k _ -> keys := k :: !keys);
           List.iter (fun k -> ignore (lock_delete t ls k)) !keys)
   | Rp_state rs ->
-      with_mutex rs.update (fun () ->
+      with_update t rs (fun () ->
           let keys = Rp_ht.fold rs.rp ~init:[] ~f:(fun acc k _ -> k :: acc) in
           List.iter (fun k -> ignore (rp_delete t rs k)) keys)
 

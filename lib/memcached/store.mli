@@ -15,6 +15,16 @@
 
 type backend = Lock | Rp
 
+type rcu_mode =
+  | Memb  (** safe default: readers pay two stores per section, any thread
+              may touch the store at any time *)
+  | Qsbr
+      (** kernel-RCU-like zero-cost read sections for the {!Rp} backend
+          (the event-loop serving plane's configuration). Every domain
+          that touches the store becomes a QSBR participant and must
+          quiesce regularly or go offline ({!reader_offline}) before
+          blocking — exactly the discipline {!Evloop} workers follow. *)
+
 type t
 
 type stored_result =
@@ -28,6 +38,7 @@ type counter_result = Cnotfound | Cnon_numeric | Cvalue of int
 
 val create :
   ?backend:backend ->
+  ?rcu_mode:rcu_mode ->
   ?max_bytes:int ->
   ?initial_size:int ->
   ?auto_resize:bool ->
@@ -37,9 +48,18 @@ val create :
 (** [max_bytes] is the eviction budget (default 64 MiB); [initial_size] the
     initial bucket count (default 1024); [auto_resize] (default true, RP
     backend only) lets the table grow/shrink with item count; [clock] is
-    injectable for expiry tests. *)
+    injectable for expiry tests. [rcu_mode] (default {!Memb}) selects the
+    RCU flavour backing the {!Rp} table; {!Qsbr} makes every GET a
+    zero-cost read section but obliges callers to QSBR discipline. *)
 
 val backend : t -> backend
+val rcu_mode : t -> rcu_mode
+
+val reader_offline : t -> unit
+(** Take the calling domain's reader offline (extended quiescent state) so
+    grace periods stop waiting for it — required before a {!Qsbr}-mode
+    domain blocks (poll wait, long sleep). The next store access brings it
+    back online automatically. No-op for {!Memb} and the {!Lock} backend. *)
 
 (** {1 Commands} *)
 
@@ -47,6 +67,11 @@ val get : t -> string -> Protocol.value option
 (** The GET path whose scalability the paper's figure 5 measures. *)
 
 val get_many : t -> ?with_cas:bool -> string list -> Protocol.value list
+(** Batch lookup — the multiget fast path the event loop's batch dispatch
+    hits: one [cmd_get] counter add for the whole batch and, on the {!Rp}
+    backend, a single read-side critical section spanning every key.
+    Expired items encountered inside the batch are reaped under one
+    update-lock acquisition after the section closes. *)
 
 val set : t -> key:string -> flags:int -> exptime:int -> data:string -> stored_result
 val add : t -> key:string -> flags:int -> exptime:int -> data:string -> stored_result

@@ -83,15 +83,27 @@ let test_dispatch_admin () =
   Alcotest.(check int) "flushed" 0 (Store.items store);
   Alcotest.(check bool) "quit closes" true (Server.handle store Protocol.Quit = None)
 
-(* --- socket integration --- *)
+(* --- socket integration ---
 
-let with_server ?config f =
+   Every socket test runs against both serving planes: the threaded
+   fallback (memb-flavoured store) and the sharded event loop (QSBR
+   store, the paper configuration). A "plane" bundles the server config
+   with the store's RCU mode. *)
+
+let threaded_plane = ("threaded", Server.default_config, Store.Memb)
+
+let ev_plane =
+  ( "event-loop",
+    { Server.default_config with Server.mode = Server.Event_loop; workers = 2 },
+    Store.Qsbr )
+
+let with_server ?(config = Server.default_config) ?(rcu_mode = Store.Memb) f =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "rp-mc-test-%d.sock" (Unix.getpid ()))
   in
-  let store = make_store () in
-  let server = Server.start ~store ?config (Server.Unix_socket path) in
+  let store = Store.create ~backend:Store.Rp ~rcu_mode ~initial_size:64 () in
+  let server = Server.start ~store ~config (Server.Unix_socket path) in
   let finish () = Server.stop server in
   (match f ~server (Server.Unix_socket path) store with
   | () -> finish ()
@@ -99,8 +111,10 @@ let with_server ?config f =
       finish ();
       raise e)
 
-let test_socket_roundtrip () =
-  with_server (fun ~server:_ addr _store ->
+let with_plane (_, config, rcu_mode) f = with_server ~config ~rcu_mode f
+
+let test_socket_roundtrip plane () =
+  with_plane plane (fun ~server:_ addr _store ->
       let client = Client.connect addr in
       Alcotest.(check bool) "set" true (Client.set client ~key:"k" ~data:"hello" ());
       (match Client.get client "k" with
@@ -112,8 +126,8 @@ let test_socket_roundtrip () =
       Alcotest.(check bool) "delete again" false (Client.delete client "k");
       Client.close client)
 
-let test_socket_counters_and_touch () =
-  with_server (fun ~server:_ addr _store ->
+let test_socket_counters_and_touch plane () =
+  with_plane plane (fun ~server:_ addr _store ->
       let client = Client.connect addr in
       ignore (Client.set client ~key:"c" ~data:"41" ());
       Alcotest.(check (option int)) "incr" (Some 42) (Client.incr client "c" 1);
@@ -122,8 +136,8 @@ let test_socket_counters_and_touch () =
       Alcotest.(check bool) "touch" true (Client.touch client ~key:"c" ~exptime:100);
       Client.close client)
 
-let test_socket_large_value () =
-  with_server (fun ~server:_ addr _store ->
+let test_socket_large_value plane () =
+  with_plane plane (fun ~server:_ addr _store ->
       let client = Client.connect addr in
       (* Larger than the server's 16 KiB read buffer: exercises incremental
          parsing across multiple reads. *)
@@ -137,8 +151,8 @@ let test_socket_large_value () =
       | None -> Alcotest.fail "big value lost on re-read");
       Client.close client)
 
-let test_socket_multi_clients () =
-  with_server (fun ~server:_ addr _store ->
+let test_socket_multi_clients plane () =
+  with_plane plane (fun ~server:_ addr _store ->
       let clients = List.init 4 (fun _ -> Client.connect addr) in
       List.iteri
         (fun i c ->
@@ -156,8 +170,8 @@ let test_socket_multi_clients () =
         clients;
       List.iter Client.close clients)
 
-let test_socket_multi_get () =
-  with_server (fun ~server:_ addr _store ->
+let test_socket_multi_get plane () =
+  with_plane plane (fun ~server:_ addr _store ->
       let client = Client.connect addr in
       ignore (Client.set client ~key:"a" ~data:"1" ());
       ignore (Client.set client ~key:"b" ~data:"2" ());
@@ -166,8 +180,8 @@ let test_socket_multi_get () =
         (List.map (fun (v : Protocol.value) -> v.vdata) values);
       Client.close client)
 
-let test_socket_stats_and_version () =
-  with_server (fun ~server:_ addr _store ->
+let test_socket_stats_and_version plane () =
+  with_plane plane (fun ~server:_ addr _store ->
       let client = Client.connect addr in
       Alcotest.(check string) "version" Server.version_string (Client.version client);
       let stats = Client.stats client in
@@ -176,8 +190,8 @@ let test_socket_stats_and_version () =
       Client.flush_all client;
       Client.close client)
 
-let test_socket_protocol_error_keeps_connection () =
-  with_server (fun ~server:_ addr _store ->
+let test_socket_protocol_error_keeps_connection plane () =
+  with_plane plane (fun ~server:_ addr _store ->
       (* Send garbage, then a valid request on the same connection. *)
       let client = Client.connect addr in
       (match Client.request client (Protocol.Get [ "placeholder" ]) with
@@ -217,9 +231,9 @@ let test_socket_protocol_error_keeps_connection () =
 
 (* --- hardening: connection cap, timeouts, fault tolerance, drain --- *)
 
-let test_max_connections_cap () =
-  let config = { Server.default_config with max_connections = 1 } in
-  with_server ~config (fun ~server addr _store ->
+let test_max_connections_cap (_, config, rcu_mode) () =
+  let config = { config with Server.max_connections = 1 } in
+  with_server ~config ~rcu_mode (fun ~server addr _store ->
       let c1 = Client.connect addr in
       Alcotest.(check bool) "first client served" true
         (Client.set c1 ~key:"k" ~data:"v" ());
@@ -246,9 +260,9 @@ let test_max_connections_cap () =
       | None -> Alcotest.fail "existing connection broken by rejection");
       Client.close c1)
 
-let test_idle_timeout_closes_connection () =
-  let config = { Server.default_config with idle_timeout = 0.05 } in
-  with_server ~config (fun ~server:_ addr _store ->
+let test_idle_timeout_closes_connection (_, config, rcu_mode) () =
+  let config = { config with Server.idle_timeout = 0.05 } in
+  with_server ~config ~rcu_mode (fun ~server:_ addr _store ->
       let c = Client.connect addr in
       Alcotest.(check bool) "first op" true (Client.set c ~key:"k" ~data:"v" ());
       Unix.sleepf 0.2;
@@ -267,8 +281,8 @@ let test_idle_timeout_closes_connection () =
       | None -> Alcotest.fail "value lost across reconnect");
       Client.close c2)
 
-let test_torn_writes_still_correct () =
-  with_server (fun ~server:_ addr _store ->
+let test_torn_writes_still_correct plane () =
+  with_plane plane (fun ~server:_ addr _store ->
       let c = Client.connect addr in
       let big = String.init 20_000 (fun i -> Char.chr (33 + (i mod 90))) in
       Alcotest.(check bool) "set big" true (Client.set c ~key:"big" ~data:big ());
@@ -286,8 +300,8 @@ let test_torn_writes_still_correct () =
         (Rp_fault.fires "server.write.partial" > 100);
       Client.close c)
 
-let test_conn_reset_with_client_retry () =
-  with_server (fun ~server:_ addr _store ->
+let test_conn_reset_with_client_retry plane () =
+  with_plane plane (fun ~server:_ addr _store ->
       let c = Client.connect ~retries:4 addr in
       Alcotest.(check bool) "seed" true (Client.set c ~key:"k" ~data:"v" ());
       Rp_fault.arm "server.conn.reset" ~trigger:Rp_fault.One_shot
@@ -304,13 +318,13 @@ let test_conn_reset_with_client_retry () =
           Alcotest.(check int) "reset fired" 1 (Rp_fault.fires "server.conn.reset"));
       Client.close c)
 
-let test_stop_drains_connections () =
+let test_stop_drains_connections (_, config, rcu_mode) () =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "rp-mc-drain-%d.sock" (Unix.getpid ()))
   in
-  let store = make_store () in
-  let server = Server.start ~store (Server.Unix_socket path) in
+  let store = Store.create ~backend:Store.Rp ~rcu_mode ~initial_size:64 () in
+  let server = Server.start ~store ~config (Server.Unix_socket path) in
   let clients =
     List.init 3 (fun _ -> Client.connect (Server.Unix_socket path))
   in
@@ -326,6 +340,213 @@ let test_stop_drains_connections () =
     (Server.active_connections server);
   List.iter (fun c -> try Client.close c with _ -> ()) clients
 
+(* --- pipelining: many requests per segment, segments splitting requests --- *)
+
+let connect_raw addr =
+  let path =
+    match addr with Server.Unix_socket p -> p | Server.Tcp _ -> assert false
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < Bytes.length b do
+    off := !off + Unix.write fd b !off (Bytes.length b - !off)
+  done
+
+let recv_exactly fd len =
+  let buf = Bytes.create len in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.read fd buf !off (len - !off) in
+    if n = 0 then failwith "server closed early";
+    off := !off + n
+  done;
+  Bytes.to_string buf
+
+let enc = Protocol.encode_response
+
+let value key data : Protocol.value =
+  { vkey = key; vflags = 0; vdata = data; vcas = None }
+
+(* Six commands; responses must come back complete, in order, on the
+   right connection — regardless of how the request bytes were framed. *)
+let pipeline_request =
+  String.concat ""
+    [
+      "set a 0 0 1\r\n1\r\n";
+      "set b 0 0 1\r\n2\r\n";
+      "get a\r\n";
+      "get b\r\n";
+      "get a b\r\n";
+      "incr ghost 1\r\n";
+    ]
+
+let pipeline_expected =
+  String.concat ""
+    [
+      enc Protocol.Stored;
+      enc Protocol.Stored;
+      enc (Protocol.Values [ value "a" "1" ]);
+      enc (Protocol.Values [ value "b" "2" ]);
+      enc (Protocol.Values [ value "a" "1"; value "b" "2" ]);
+      enc Protocol.Not_found;
+    ]
+
+let test_pipelined_single_segment plane () =
+  with_plane plane (fun ~server:_ addr _store ->
+      let fd = connect_raw addr in
+      (* Everything in one write: the server must drain all six requests
+         from one wakeup and answer each. *)
+      send_all fd pipeline_request;
+      let got = recv_exactly fd (String.length pipeline_expected) in
+      Unix.close fd;
+      Alcotest.(check string) "batched responses in order" pipeline_expected got)
+
+let test_pipelined_split_segments plane () =
+  with_plane plane (fun ~server:_ addr _store ->
+      let fd = connect_raw addr in
+      (* Same stream, dribbled 4 bytes at a time: every command and data
+         block straddles segment boundaries. *)
+      let len = String.length pipeline_request in
+      let off = ref 0 in
+      while !off < len do
+        let n = min 4 (len - !off) in
+        send_all fd (String.sub pipeline_request !off n);
+        off := !off + n;
+        Unix.sleepf 0.001
+      done;
+      let got = recv_exactly fd (String.length pipeline_expected) in
+      Unix.close fd;
+      Alcotest.(check string) "split stream same responses" pipeline_expected
+        got)
+
+let test_binary_frame_straddles_reads plane () =
+  with_plane plane (fun ~server:_ addr _store ->
+      let fd = connect_raw addr in
+      let set_req =
+        Binary_protocol.encode_request
+          {
+            opcode = Binary_protocol.Set;
+            key = "bk";
+            value = "bv";
+            extras = Binary_protocol.set_extras ~flags:0 ~exptime:0;
+            opaque = 1;
+            cas = 0;
+          }
+      in
+      let get_req =
+        Binary_protocol.encode_request
+          {
+            opcode = Binary_protocol.Get;
+            key = "bk";
+            value = "";
+            extras = "";
+            opaque = 2;
+            cas = 0;
+          }
+      in
+      let stream = set_req ^ get_req in
+      (* First write ends inside the SET frame's 24-byte header. *)
+      send_all fd (String.sub stream 0 10);
+      Unix.sleepf 0.02;
+      send_all fd (String.sub stream 10 (String.length stream - 10));
+      let rp = Binary_protocol.Response_parser.create () in
+      let buf = Bytes.create 4096 in
+      let responses = ref [] in
+      while List.length !responses < 2 do
+        match Binary_protocol.Response_parser.next rp with
+        | Some (Ok r) -> responses := r :: !responses
+        | Some (Error msg) ->
+            Alcotest.fail ("binary response parse error: " ^ msg)
+        | None ->
+            let n = Unix.read fd buf 0 4096 in
+            if n = 0 then Alcotest.fail "server closed mid-binary";
+            Binary_protocol.Response_parser.feed rp (Bytes.sub_string buf 0 n)
+      done;
+      Unix.close fd;
+      match List.rev !responses with
+      | [ (set_r : Binary_protocol.response); get_r ] ->
+          Alcotest.(check int) "set status ok" 0
+            (Binary_protocol.status_to_int set_r.status);
+          Alcotest.(check int) "get status ok" 0
+            (Binary_protocol.status_to_int get_r.status);
+          Alcotest.(check string) "get value" "bv" get_r.r_value;
+          Alcotest.(check int) "opaque echoed" 2 get_r.r_opaque
+      | _ -> assert false)
+
+(* Sharded routing: several connections fire pipelined bursts for their
+   own key before any response is read; each must get back exactly its
+   own values, in order — nothing crossed between workers. *)
+let test_multiworker_routing () =
+  let config =
+    { Server.default_config with Server.mode = Server.Event_loop; workers = 4 }
+  in
+  with_server ~config ~rcu_mode:Store.Qsbr (fun ~server addr _store ->
+      Alcotest.(check int) "worker domains" 4 (Server.workers server);
+      let n = 8 and reps = 25 in
+      let fds = Array.init n (fun _ -> connect_raw addr) in
+      Array.iteri
+        (fun i fd ->
+          let data = Printf.sprintf "val%d" i in
+          send_all fd
+            (Printf.sprintf "set rk%d 0 0 %d\r\n%s\r\n" i
+               (String.length data) data);
+          let expect = enc Protocol.Stored in
+          Alcotest.(check string) "seed stored" expect
+            (recv_exactly fd (String.length expect)))
+        fds;
+      Array.iteri
+        (fun i fd ->
+          send_all fd
+            (String.concat ""
+               (List.init reps (fun _ -> Printf.sprintf "get rk%d\r\n" i))))
+        fds;
+      Array.iteri
+        (fun i fd ->
+          let one =
+            enc
+              (Protocol.Values
+                 [
+                   value (Printf.sprintf "rk%d" i) (Printf.sprintf "val%d" i);
+                 ])
+          in
+          let expected = String.concat "" (List.init reps (fun _ -> one)) in
+          let got = recv_exactly fd (String.length expected) in
+          Alcotest.(check bool)
+            (Printf.sprintf "connection %d got only its own values" i)
+            true (got = expected))
+        fds;
+      Array.iter Unix.close fds)
+
+let socket_cases plane =
+  let tc name f = Alcotest.test_case name `Quick (f plane) in
+  [
+    tc "round trip" test_socket_roundtrip;
+    tc "counters and touch" test_socket_counters_and_touch;
+    tc "large value" test_socket_large_value;
+    tc "multiple clients" test_socket_multi_clients;
+    tc "multi get" test_socket_multi_get;
+    tc "stats and version" test_socket_stats_and_version;
+    tc "protocol error keeps connection" test_socket_protocol_error_keeps_connection;
+    tc "pipelined single segment" test_pipelined_single_segment;
+    tc "pipelined split segments" test_pipelined_split_segments;
+    tc "binary frame straddles reads" test_binary_frame_straddles_reads;
+  ]
+
+let hardening_cases plane =
+  let tc name f = Alcotest.test_case name `Quick (f plane) in
+  [
+    tc "max connections cap" test_max_connections_cap;
+    tc "idle timeout" test_idle_timeout_closes_connection;
+    tc "torn writes" test_torn_writes_still_correct;
+    tc "conn reset + retry" test_conn_reset_with_client_retry;
+    tc "stop drains" test_stop_drains_connections;
+  ]
+
 let () =
   Alcotest.run "server"
     [
@@ -338,25 +559,13 @@ let () =
           Alcotest.test_case "gets/cas flow" `Quick test_dispatch_gets_cas_flow;
           Alcotest.test_case "admin" `Quick test_dispatch_admin;
         ] );
-      ( "socket integration",
+      ("socket integration (threaded)", socket_cases threaded_plane);
+      ("socket integration (event loop)", socket_cases ev_plane);
+      ("hardening (threaded)", hardening_cases threaded_plane);
+      ("hardening (event loop)", hardening_cases ev_plane);
+      ( "event-loop sharding",
         [
-          Alcotest.test_case "round trip" `Quick test_socket_roundtrip;
-          Alcotest.test_case "counters and touch" `Quick
-            test_socket_counters_and_touch;
-          Alcotest.test_case "large value" `Quick test_socket_large_value;
-          Alcotest.test_case "multiple clients" `Quick test_socket_multi_clients;
-          Alcotest.test_case "multi get" `Quick test_socket_multi_get;
-          Alcotest.test_case "stats and version" `Quick test_socket_stats_and_version;
-          Alcotest.test_case "protocol error keeps connection" `Quick
-            test_socket_protocol_error_keeps_connection;
-        ] );
-      ( "hardening",
-        [
-          Alcotest.test_case "max connections cap" `Quick test_max_connections_cap;
-          Alcotest.test_case "idle timeout" `Quick test_idle_timeout_closes_connection;
-          Alcotest.test_case "torn writes" `Quick test_torn_writes_still_correct;
-          Alcotest.test_case "conn reset + retry" `Quick
-            test_conn_reset_with_client_retry;
-          Alcotest.test_case "stop drains" `Quick test_stop_drains_connections;
+          Alcotest.test_case "multi-worker response routing" `Quick
+            test_multiworker_routing;
         ] );
     ]
