@@ -293,6 +293,138 @@ let run_smoke () =
     !hits smoke_keys (elapsed *. 1e3);
   if !hits <> smoke_keys then exit 1
 
+(* --- persistence smoke: snapshot/replay throughput, GET tail impact --- *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+(* Per-op GET latency sampled in batches (gettimeofday is microsecond
+   resolution; a single rp GET is well below that), p99 over samples. *)
+let get_p99_ns store ~keyspace ~samples ~batch ~until =
+  let lat = Array.make samples 0.0 in
+  let k = ref 0 in
+  let i = ref 0 in
+  let min_done = ref false in
+  while (not !min_done) || not (until ()) do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to batch do
+      k := (!k + 1) mod keyspace;
+      ignore (Memcached.Store.get store (Printf.sprintf "key:%06d" !k))
+    done;
+    let t1 = Unix.gettimeofday () in
+    lat.(!i mod samples) <- (t1 -. t0) /. float_of_int batch *. 1e9;
+    incr i;
+    if !i >= samples then min_done := true
+  done;
+  let n = min !i samples in
+  let sorted = Array.sub lat 0 n in
+  Array.sort compare sorted;
+  sorted.(min (n - 1) (int_of_float (0.99 *. float_of_int n)))
+
+let run_persist_bench () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-bench-persist-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let items = 16_384 and value_size = 256 in
+  let store =
+    Memcached.Store.create ~backend:Memcached.Store.Rp ~initial_size:4096 ()
+  in
+  let p =
+    Memcached.Persist.attach ~aof:true ~fsync:Rp_persist.Oplog.Never ~dir store
+  in
+  for i = 0 to items - 1 do
+    ignore
+      (Memcached.Store.set store
+         ~key:(Printf.sprintf "key:%06d" i)
+         ~flags:0 ~exptime:0 ~data:(String.make value_size 'x'))
+  done;
+  (* Baseline GET tail, nothing running in the background. *)
+  let p99_off =
+    get_p99_ns store ~keyspace:items ~samples:400 ~batch:64 ~until:(fun () -> true)
+  in
+  (* Snapshot throughput: one full walk streamed to disk. *)
+  let t0 = Unix.gettimeofday () in
+  let snap_records =
+    match Memcached.Persist.snapshot_now p with
+    | Ok n -> n
+    | Error e ->
+        Printf.printf "persist bench: snapshot failed: %s\n" e;
+        exit 1
+  in
+  let snap_elapsed = Unix.gettimeofday () -. t0 in
+  let snap_bytes =
+    match List.rev (Rp_persist.Snapshot.files ~dir) with
+    | (_, path) :: _ -> (Unix.stat path).Unix.st_size
+    | [] -> 0
+  in
+  (* GET tail again, now with the snapshot walk (a relativistic reader on
+     its own domain) racing the measurement loop. *)
+  let snap_done = Atomic.make false in
+  let snapper =
+    Thread.create
+      (fun () ->
+        ignore (Memcached.Persist.snapshot_now p);
+        Atomic.set snap_done true)
+      ()
+  in
+  let p99_on =
+    get_p99_ns store ~keyspace:items ~samples:400 ~batch:64 ~until:(fun () ->
+        Atomic.get snap_done)
+  in
+  Thread.join snapper;
+  let gp_p99_ns =
+    match
+      List.assoc_opt "rcu_grace_period_ns_p99"
+        (Rp_obs.Registry.to_stats (Memcached.Store.registry store))
+    with
+    | Some v -> int_of_string v
+    | None -> 0
+  in
+  Memcached.Persist.stop p;
+  (* Warm restart: recovery (snapshot stream + log replay) into a fresh
+     store, timed end to end. *)
+  let t0 = Unix.gettimeofday () in
+  let store2 =
+    Memcached.Store.create ~backend:Memcached.Store.Rp ~initial_size:4096 ()
+  in
+  let p2 = Memcached.Persist.attach ~aof:false ~dir store2 in
+  let replay_elapsed = Unix.gettimeofday () -. t0 in
+  let r = Memcached.Persist.recovery p2 in
+  let replayed = r.Memcached.Persist.snapshot_records + r.Memcached.Persist.log_records in
+  let recovered_items = Memcached.Store.items store2 in
+  Memcached.Persist.stop p2;
+  rm_rf dir;
+  let snapshot_mb_s = float_of_int snap_bytes /. 1e6 /. snap_elapsed in
+  let replay_ops_s = float_of_int replayed /. replay_elapsed in
+  let oc = open_out "BENCH_persist.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"persist\",\n  \"items\": %d,\n  \
+     \"value_size\": %d,\n  \"snapshot_records\": %d,\n  \
+     \"snapshot_bytes\": %d,\n  \"snapshot_elapsed\": %.4f,\n  \
+     \"snapshot_mb_per_s\": %.1f,\n  \"replay_records\": %d,\n  \
+     \"replay_elapsed\": %.4f,\n  \"replay_ops_per_s\": %.0f,\n  \
+     \"get_p99_ns_snapshot_off\": %.0f,\n  \
+     \"get_p99_ns_snapshot_on\": %.0f,\n  \
+     \"rcu_grace_period_ns_p99\": %d\n}\n"
+    items value_size snap_records snap_bytes snap_elapsed snapshot_mb_s
+    replayed replay_elapsed replay_ops_s p99_off p99_on gp_p99_ns;
+  close_out oc;
+  Printf.printf
+    "persist: snapshot %.1f MB/s, replay %.0f ops/s, GET p99 %.0f -> %.0f ns \
+     under snapshot, report in BENCH_persist.json\n"
+    snapshot_mb_s replay_ops_s p99_off p99_on;
+  (* Gate: the warm restart must reproduce the dataset. *)
+  if recovered_items <> items then begin
+    Printf.printf "persist bench: recovered %d/%d items\n" recovered_items items;
+    exit 1
+  end
+
 (* --- server smoke: pipelined GETs over the wire, both serving planes --- *)
 
 let run_server_bench () =
@@ -380,6 +512,7 @@ let () =
   let figures_only = List.mem "--figures-only" args in
   if List.mem "--smoke" args then begin
     run_smoke ();
+    run_persist_bench ();
     run_server_bench ()
   end
   else begin

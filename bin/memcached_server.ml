@@ -51,7 +51,48 @@ let workers_arg =
   in
   Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc)
 
-let run backend port socket max_mb metrics_port mode workers =
+let data_dir_arg =
+  let doc =
+    "Directory for crash-safe persistence (snapshots + append-only op \
+     log). On startup the newest valid snapshot is loaded and the op-log \
+     tail replayed (warm restart); omitted, the store is purely in-memory."
+  in
+  Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR" ~doc)
+
+let snapshot_interval_arg =
+  let doc =
+    "Seconds between background snapshots of the live table (0 disables \
+     periodic snapshots; the op log still makes every write durable)."
+  in
+  Arg.(
+    value & opt float 60. & info [ "snapshot-interval" ] ~docv:"SECONDS" ~doc)
+
+let aof_arg =
+  let doc =
+    "Record every mutation in the append-only op log (requires \
+     --data-dir). With --aof=false only snapshots persist, so writes \
+     since the last snapshot are lost on a crash."
+  in
+  Arg.(value & opt bool true & info [ "aof" ] ~docv:"BOOL" ~doc)
+
+let fsync_policy_arg =
+  let doc =
+    "Op-log durability: 'always' (fsync inside every ack), 'every:<ms>' \
+     (group commit), or 'never' (leave it to the kernel)."
+  in
+  let parse s =
+    Result.map_error
+      (fun e -> `Msg e)
+      (Rp_persist.Oplog.policy_of_string s)
+  in
+  let print fmt p = Format.pp_print_string fmt (Rp_persist.Oplog.policy_name p) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Rp_persist.Oplog.Always
+    & info [ "fsync-policy" ] ~docv:"POLICY" ~doc)
+
+let run backend port socket max_mb metrics_port mode workers data_dir
+    snapshot_interval aof fsync_policy =
   let rcu_mode =
     (* The event loop's worker domains follow QSBR discipline, unlocking
        the zero-cost GET read sections; the threaded plane keeps the
@@ -63,6 +104,30 @@ let run backend port socket max_mb metrics_port mode workers =
   let store =
     Memcached.Store.create ~backend ~rcu_mode ~max_bytes:(max_mb * 1024 * 1024)
       ()
+  in
+  (* Recovery must finish before the listeners open: replay goes through
+     the normal update path and must not interleave with client writes. *)
+  let persist =
+    Option.map
+      (fun dir ->
+        let snapshot_interval =
+          if snapshot_interval > 0. then Some snapshot_interval else None
+        in
+        let p =
+          Memcached.Persist.attach ?snapshot_interval ~aof ~fsync:fsync_policy
+            ~dir store
+        in
+        let r = Memcached.Persist.recovery p in
+        Printf.printf
+          "persistence in %s: recovered %d snapshot + %d log records%s\n%!"
+          dir r.Memcached.Persist.snapshot_records
+          r.Memcached.Persist.log_records
+          (if r.Memcached.Persist.log_truncated_bytes > 0 then
+             Printf.sprintf " (torn tail: %d bytes truncated)"
+               r.Memcached.Persist.log_truncated_bytes
+           else "");
+        p)
+      data_dir
   in
   let address =
     match port with
@@ -102,13 +167,15 @@ let run backend port socket max_mb metrics_port mode workers =
   done;
   print_endline "shutting down";
   Option.iter Memcached.Metrics_http.stop metrics;
-  Memcached.Server.stop server
+  Memcached.Server.stop server;
+  Option.iter Memcached.Persist.stop persist
 
 let cmd =
   let doc = "mini-memcached with a relativistic hash table" in
   Cmd.v (Cmd.info "memcached_server" ~doc)
     Term.(
       const run $ backend_arg $ port_arg $ socket_arg $ max_bytes_arg
-      $ metrics_port_arg $ mode_arg $ workers_arg)
+      $ metrics_port_arg $ mode_arg $ workers_arg $ data_dir_arg
+      $ snapshot_interval_arg $ aof_arg $ fsync_policy_arg)
 
 let () = exit (Cmd.eval cmd)

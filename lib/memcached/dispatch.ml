@@ -63,6 +63,8 @@ let handle store (request : Protocol.request) : Protocol.response option =
   | Protocol.Stats None -> Some (Protocol.Stats_reply (Store.stats store))
   | Protocol.Stats (Some "rp") ->
       Some (Protocol.Stats_reply (Store.rp_stats store))
+  | Protocol.Stats (Some "persist") ->
+      Some (Protocol.Stats_reply (Store.persist_stats store))
   | Protocol.Stats (Some arg) ->
       Some (Protocol.Client_error ("unknown stats argument: " ^ arg))
   | Protocol.Flush_all { noreply } ->

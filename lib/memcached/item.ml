@@ -14,6 +14,13 @@ let make ?cas ~flags ~exptime ~data ~now () =
   let cas = match cas with Some c -> c | None -> Atomic.fetch_and_add next_cas 1 in
   { flags; exptime; data; cas; created = now; last_access = Atomic.make now }
 
+(* Replayed items keep their original CAS; push the allocator past them so
+   post-recovery items never collide with a restored version. *)
+let rec note_restored_cas cas =
+  let cur = Atomic.get next_cas in
+  if cas >= cur && not (Atomic.compare_and_set next_cas cur (cas + 1)) then
+    note_restored_cas cas
+
 let is_expired t ~now = t.exptime > 0.0 && t.exptime <= now
 let touch_access t ~now = Atomic.set t.last_access now
 let size_bytes ~key t = String.length key + String.length t.data + overhead_bytes

@@ -16,6 +16,11 @@ type t = {
 val make :
   ?cas:int -> flags:int -> exptime:float -> data:string -> now:float -> unit -> t
 
+val note_restored_cas : int -> unit
+(** Tell the CAS allocator a recovered item carries [cas], so versions
+    minted after a warm restart stay unique (monotonic past any replayed
+    value). Thread-safe. *)
+
 val is_expired : t -> now:float -> bool
 
 val touch_access : t -> now:float -> unit

@@ -1,0 +1,280 @@
+module P = Rp_persist
+
+type recovery = {
+  snapshot_gen : int option;
+  snapshot_records : int;
+  log_records : int;
+  log_bad_records : int;
+  log_segments : int;
+  log_truncated_bytes : int;
+}
+
+type t = {
+  store : Store.t;
+  dir : string;
+  log : P.Oplog.t option;
+  interval : float option;
+  recovered : recovery;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable stop_requested : bool;
+  mutable stopped : bool;  (* snapshot domain has exited *)
+  mutable request_seq : int;  (* snapshot_now tickets *)
+  mutable complete_seq : int;
+  mutable last_result : (int, string) result;
+  (* snapshot-domain-private state *)
+  mutable next_gen : int;
+  mutable next_deadline : float;
+  (* instruments, registered in the store's registry as persist_... *)
+  snapshots : int Atomic.t;
+  snapshot_errors : int Atomic.t;
+  mutable last_records : int;
+  walk_restarts : int Atomic.t;
+  compactions : int Atomic.t;
+  appends : Rp_obs.Counter.t;
+  snapshot_hist : Rp_obs.Histogram.t;
+  mutable domain : unit Domain.t option;
+}
+
+let recovery t = t.recovered
+let log_gen t = Option.map P.Oplog.gen t.log
+
+let record_of_item key (item : Item.t) =
+  P.Record.Set
+    {
+      op = P.Record.Tset;
+      key;
+      flags = item.flags;
+      exptime = item.exptime;
+      cas = item.cas;
+      data = item.data;
+    }
+
+(* Delete every snapshot and segment older than the generation just
+   published — they are fully covered by it. The failpoint models a crash
+   in the window between publishing the snapshot and pruning the log;
+   recovery then simply replays more than it strictly needs to. *)
+let compact t ~keep_gen =
+  Rp_fault.point "persist.compact.pre";
+  let prune (g, path) =
+    if g < keep_gen then try Sys.remove path with Sys_error _ -> ()
+  in
+  List.iter prune (P.Snapshot.files ~dir:t.dir);
+  List.iter prune (P.Oplog.segments ~dir:t.dir);
+  P.Fsutil.fsync_dir t.dir;
+  Atomic.incr t.compactions
+
+(* Runs on the snapshot domain only (next_gen/next_deadline are its). *)
+let do_snapshot t =
+  let gen = t.next_gen in
+  t.next_gen <- gen + 1;
+  (* Rotate first: from here on, concurrent mutations land in segment
+     [gen], which recovery replays on top of snapshot [gen]. *)
+  (match t.log with Some log -> P.Oplog.rotate log ~gen | None -> ());
+  let started = Unix.gettimeofday () in
+  let count =
+    P.Snapshot.write ~dir:t.dir ~gen ~iter:(fun emit ->
+        let now = Store.now t.store in
+        let restarts =
+          Store.iter_items t.store ~f:(fun key item ->
+              if not (Item.is_expired item ~now) then
+                emit (record_of_item key item))
+        in
+        Atomic.set t.walk_restarts (Atomic.get t.walk_restarts + restarts);
+        (* Walk done, read sections closed: go offline so the fsync and
+           rename below never hold up a grace period. *)
+        Store.reader_offline t.store)
+  in
+  Rp_obs.Histogram.observe_span t.snapshot_hist ~start:started
+    ~stop:(Unix.gettimeofday ());
+  Atomic.incr t.snapshots;
+  t.last_records <- count;
+  compact t ~keep_gen:gen;
+  count
+
+let snapshot_loop t =
+  let finished = ref false in
+  while not !finished do
+    Mutex.lock t.mutex;
+    let stop = t.stop_requested in
+    let serving = t.request_seq in
+    Mutex.unlock t.mutex;
+    if stop then finished := true
+    else begin
+      let due =
+        match t.interval with
+        | Some _ -> Unix.gettimeofday () >= t.next_deadline
+        | None -> false
+      in
+      if serving > t.complete_seq || due then begin
+        let result =
+          match do_snapshot t with
+          | n -> Ok n
+          | exception e ->
+              Atomic.incr t.snapshot_errors;
+              Error (Printexc.to_string e)
+        in
+        (match t.interval with
+        | Some dt -> t.next_deadline <- Unix.gettimeofday () +. dt
+        | None -> ());
+        Mutex.lock t.mutex;
+        t.last_result <- result;
+        if serving > t.complete_seq then t.complete_seq <- serving;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex
+      end;
+      (match t.log with Some log -> P.Oplog.tick log | None -> ());
+      (* Never sleep as an online QSBR reader: a parked snapshot domain
+         must not stall anyone's grace period. *)
+      Store.reader_offline t.store;
+      Unix.sleepf 0.02
+    end
+  done;
+  Store.reader_offline t.store;
+  Mutex.lock t.mutex;
+  t.stopped <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let register_instruments t =
+  let reg = Store.registry t.store in
+  let fn c () = float_of_int (Atomic.get c) in
+  Rp_obs.Registry.gauge reg ~help:"1 when a persistence manager is attached"
+    "persist_enabled" (fun () -> 1.);
+  Rp_obs.Registry.gauge reg ~help:"1 when the op log is recording"
+    "persist_aof_enabled" (fun () -> if t.log = None then 0. else 1.);
+  Rp_obs.Registry.gauge reg ~help:"current op-log segment generation"
+    "persist_log_gen" (fun () ->
+      match t.log with None -> 0. | Some l -> float_of_int (P.Oplog.gen l));
+  Rp_obs.Registry.register_counter reg ~help:"op records appended to the log"
+    "persist_log_appends_total" t.appends;
+  Rp_obs.Registry.fn_counter reg ~help:"snapshots published"
+    "persist_snapshots_total" (fn t.snapshots);
+  Rp_obs.Registry.fn_counter reg ~help:"snapshot attempts that failed"
+    "persist_snapshot_errors_total" (fn t.snapshot_errors);
+  Rp_obs.Registry.fn_counter reg
+    ~help:"snapshot walks restarted by a concurrent shrink"
+    "persist_walk_restarts_total" (fn t.walk_restarts);
+  Rp_obs.Registry.fn_counter reg ~help:"compaction passes after snapshots"
+    "persist_compactions_total" (fn t.compactions);
+  Rp_obs.Registry.gauge reg ~help:"records in the last published snapshot"
+    "persist_snapshot_records" (fun () -> float_of_int t.last_records);
+  Rp_obs.Registry.register_histogram reg
+    ~help:"snapshot wall time in nanoseconds" "persist_snapshot_ns"
+    t.snapshot_hist;
+  Rp_obs.Registry.gauge reg ~help:"records restored from the snapshot"
+    "persist_recovered_snapshot_records" (fun () ->
+      float_of_int t.recovered.snapshot_records);
+  Rp_obs.Registry.gauge reg ~help:"op records replayed from the log"
+    "persist_recovered_log_records" (fun () ->
+      float_of_int t.recovered.log_records);
+  Rp_obs.Registry.gauge reg
+    ~help:"torn-tail bytes truncated from the newest segment"
+    "persist_recovered_log_truncated_bytes" (fun () ->
+      float_of_int t.recovered.log_truncated_bytes);
+  Rp_obs.Registry.gauge reg ~help:"undecodable records skipped during replay"
+    "persist_recovered_log_bad_records" (fun () ->
+      float_of_int t.recovered.log_bad_records)
+
+let attach ?snapshot_interval ?(aof = true) ?(fsync = P.Oplog.Always) ~dir
+    store =
+  P.Fsutil.mkdir_p dir;
+  (* Recovery first: snapshot, then the log tail on top of it. *)
+  let snap =
+    P.Snapshot.load_newest ~dir ~f:(fun r -> Store.restore store r)
+  in
+  let from_gen = match snap with Some (g, _) -> g | None -> 0 in
+  let rr = P.Oplog.replay ~dir ~from_gen ~f:(fun r -> Store.restore store r) in
+  let recovered =
+    {
+      snapshot_gen = Option.map fst snap;
+      snapshot_records = (match snap with Some (_, n) -> n | None -> 0);
+      log_records = rr.P.Oplog.records;
+      log_bad_records = rr.P.Oplog.bad_records;
+      log_segments = rr.P.Oplog.segments;
+      log_truncated_bytes = rr.P.Oplog.truncated_bytes;
+    }
+  in
+  (* Generations stay monotonic across restarts: past everything on disk,
+     valid or not. *)
+  let max_gen =
+    List.fold_left
+      (fun acc (g, _) -> max acc g)
+      0
+      (P.Snapshot.files ~dir @ P.Oplog.segments ~dir)
+  in
+  let log_start_gen = max_gen + 1 in
+  let log =
+    if aof then Some (P.Oplog.open_ ~dir ~gen:log_start_gen ~fsync) else None
+  in
+  let t =
+    {
+      store;
+      dir;
+      log;
+      interval = snapshot_interval;
+      recovered;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      stop_requested = false;
+      stopped = false;
+      request_seq = 0;
+      complete_seq = 0;
+      last_result = Ok 0;
+      next_gen = log_start_gen + 1;
+      next_deadline =
+        (match snapshot_interval with
+        | Some dt -> Unix.gettimeofday () +. dt
+        | None -> infinity);
+      snapshots = Atomic.make 0;
+      snapshot_errors = Atomic.make 0;
+      last_records = 0;
+      walk_restarts = Atomic.make 0;
+      compactions = Atomic.make 0;
+      appends = Rp_obs.Counter.create ();
+      snapshot_hist = Rp_obs.Histogram.create ();
+      domain = None;
+    }
+  in
+  (match log with
+  | Some l ->
+      Store.set_persist_hook store
+        (Some
+           (fun r ->
+             P.Oplog.append l r;
+             Rp_obs.Counter.incr t.appends))
+  | None -> ());
+  register_instruments t;
+  t.domain <- Some (Domain.spawn (fun () -> snapshot_loop t));
+  t
+
+let snapshot_now t =
+  Mutex.lock t.mutex;
+  t.request_seq <- t.request_seq + 1;
+  let ticket = t.request_seq in
+  while t.complete_seq < ticket && not t.stopped do
+    Condition.wait t.cond t.mutex
+  done;
+  let result =
+    if t.complete_seq < ticket then Error "persistence manager stopped"
+    else t.last_result
+  in
+  Mutex.unlock t.mutex;
+  result
+
+let halt t ~graceful =
+  Mutex.lock t.mutex;
+  let already = t.stop_requested in
+  t.stop_requested <- true;
+  Mutex.unlock t.mutex;
+  if not already then begin
+    Store.set_persist_hook t.store None;
+    (match t.domain with Some d -> Domain.join d | None -> ());
+    t.domain <- None;
+    match t.log with
+    | Some l -> if graceful then P.Oplog.close l
+    | None -> ()
+  end
+
+let stop t = halt t ~graceful:true
+let crash_for_testing t = halt t ~graceful:false

@@ -1,0 +1,80 @@
+(** The persistence manager: glues {!Store} to {!Rp_persist}.
+
+    One [attach] per store directory gives the store crash safety:
+
+    - {b Warm restart}: recovery runs first — the newest valid snapshot
+      is streamed into the store, then every op-log segment from that
+      snapshot's generation on is replayed (the newest segment's torn
+      tail, if a crash left one, is truncated away). Only then does the
+      op-log hook go live.
+    - {b Op log}: every acknowledged mutation is appended (inside the
+      store's serialization lock) as a state-based record; fsync policy
+      per {!Rp_persist.Oplog.fsync_policy}.
+    - {b Snapshots}: a dedicated background domain walks the live table
+      as a plain relativistic reader ({!Store.iter_items} — bounded read
+      sections, no locks against writers) and streams an atomic snapshot
+      file. The op log is rotated to the snapshot's generation {e before}
+      the walk, so every mutation racing the walk lands in a segment that
+      replay applies on top of the snapshot; state-based records make the
+      duplicates harmless. After a successful snapshot, older snapshots
+      and segments are compacted away.
+
+    Everything is observable: [persist_*] instruments land in the
+    store's registry (so they reach [stats persist], the Prometheus
+    endpoint, and report JSON).
+
+    Expiry and eviction are deliberately {e not} logged: dropping a dead
+    or evicted item is a local decision the next run re-derives (expiry
+    from absolute timestamps, eviction from its own budget), so a
+    recovered store may transiently exceed the byte budget until its
+    first eviction sweep. *)
+
+type t
+
+type recovery = {
+  snapshot_gen : int option;  (** generation restored from, if any *)
+  snapshot_records : int;
+  log_records : int;  (** op records replayed on top of the snapshot *)
+  log_bad_records : int;
+  log_segments : int;
+  log_truncated_bytes : int;  (** torn tail cut from the newest segment *)
+}
+
+val attach :
+  ?snapshot_interval:float ->
+  ?aof:bool ->
+  ?fsync:Rp_persist.Oplog.fsync_policy ->
+  dir:string ->
+  Store.t ->
+  t
+(** Recover [dir] into the store, start the op log (unless [aof:false];
+    default [true]) with [fsync] (default [Always]), install the
+    mutation hook, register instruments, and spawn the snapshot domain.
+    [snapshot_interval] (seconds) enables periodic snapshots; omitted,
+    snapshots only happen via {!snapshot_now}. Attach at most once per
+    store (instrument names collide otherwise), and before serving
+    traffic (recovery applies records through the normal update path,
+    but concurrent client mutations would interleave with replay). *)
+
+val recovery : t -> recovery
+(** What recovery found at {!attach} time. *)
+
+val snapshot_now : t -> (int, string) result
+(** Ask the snapshot domain for an immediate snapshot and wait for it:
+    [Ok records_written] or the failure ([Error] leaves the previous
+    snapshot generation in place — snapshots are atomic). *)
+
+val log_gen : t -> int option
+(** Current op-log segment generation ([None] when [aof:false]). *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop the snapshot domain, sync and close the op
+    log, uninstall the hook. Idempotent. No final snapshot is taken —
+    the synced log already covers everything. *)
+
+val crash_for_testing : t -> unit
+(** Simulate the process dying mid-flight ([kill -9]) as far as this
+    manager can from inside one process: stop the snapshot domain and
+    uninstall the hook {e without} syncing, flushing, or closing the op
+    log cleanly. Torture scenarios follow this with direct file-level
+    damage (torn tails) before re-attaching a fresh store. *)

@@ -25,6 +25,10 @@ type state = Lock_state of lock_state | Rp_state of rp_state
 
 type t = {
   state : state;
+  (* Persistence hook, installed by [Persist.attach]: called with the op
+     record of every acknowledged mutation, inside the store's
+     serialization lock, so the op log's order is the store's order. *)
+  mutable persist_hook : (Rp_persist.Record.t -> unit) option;
   (* Some when the Rp backend runs on the QSBR flavour (zero-cost read
      sections). Readers must then respect QSBR discipline: the event-loop
      workers go offline around their poll wait, and the update lock below
@@ -44,10 +48,10 @@ type t = {
   deletes : Rp_obs.Counter.t;
   evicted : Rp_obs.Counter.t;
   expired : Rp_obs.Counter.t;
+  clock_chances : Rp_obs.Counter.t;
 }
 
 let hash_key = Rp_hashes.Hashfn.fnv1a_string
-let month_seconds = 60. *. 60. *. 24. *. 30.
 
 let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
     ?(initial_size = 1024) ?(auto_resize = true) ?(clock = Unix.gettimeofday) () =
@@ -81,6 +85,7 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
   let t =
     {
       state;
+      persist_hook = None;
       qsbr;
       max_bytes;
       slab = Slab.create ();
@@ -93,6 +98,9 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
       deletes = counter "deletes" "DELETE commands";
       evicted = counter "evictions" "items evicted to fit the byte budget";
       expired = counter "expired" "items dropped on expiry";
+      clock_chances =
+        counter "clock_second_chances"
+          "CLOCK eviction second chances granted to recently-touched items";
     }
   in
   (* Gauges read live store state; histograms and table/RCU counters come
@@ -147,15 +155,21 @@ let reader_offline t =
   | Rp_state rs -> (Rp_ht.flavour rs.rp).Flavour.thread_offline ()
   | Lock_state _ -> ()
 
-(* Protocol exptime: 0 = never, negative = already expired, small values are
-   relative seconds, large ones absolute Unix time. *)
+(* memcached's REALTIME_MAXDELTA: protocol exptimes up to 30 days are
+   relative seconds; anything larger is an absolute Unix timestamp. *)
+let realtime_maxdelta = 30 * 24 * 60 * 60
+
+(* Protocol exptime -> absolute Unix seconds, resolved once here at the
+   original operation. The persistence log stores this absolute value, so
+   replay after a restart re-expires items at the same wall-clock instant
+   no matter when recovery runs — a relative offset re-applied at replay
+   time would silently extend every TTL by the downtime. *)
 let absolute_exptime t exptime =
-  if exptime = 0 then 0.0
+  if exptime = 0 then 0.0 (* never expires *)
   else if exptime < 0 then epsilon_float (* expired since the dawn of time *)
-  else begin
-    let e = float_of_int exptime in
-    if e <= month_seconds then t.clock () +. e else e
-  end
+  else if exptime <= realtime_maxdelta then
+    t.clock () +. float_of_int exptime (* relative seconds from now *)
+  else float_of_int exptime (* already an absolute Unix time *)
 
 let value_of_item ?(with_cas = false) key (item : Item.t) : Protocol.value =
   {
@@ -164,6 +178,34 @@ let value_of_item ?(with_cas = false) key (item : Item.t) : Protocol.value =
     vdata = item.data;
     vcas = (if with_cas then Some item.cas else None);
   }
+
+(* --- persistence hook --- *)
+
+let set_persist_hook t hook = t.persist_hook <- hook
+let now t = t.clock ()
+
+(* Callers invoke these while holding the backend's serialization lock
+   (the Lock backend's table lock / the Rp backend's update mutex), which
+   is what makes the log a linearization of the store's own history. *)
+let record t r = match t.persist_hook with None -> () | Some h -> h r
+
+let record_set t ~op key (item : Item.t) =
+  match t.persist_hook with
+  | None -> ()
+  | Some h ->
+      (* State-based record: the resulting item, not the command's
+         arguments — replay is idempotent and convergent (see
+         [Rp_persist.Record]). *)
+      h
+        (Rp_persist.Record.Set
+           {
+             op;
+             key;
+             flags = item.flags;
+             exptime = item.exptime;
+             cas = item.cas;
+             data = item.data;
+           })
 
 (* --- Lock backend primitives (global lock held by callers below) --- *)
 
@@ -218,19 +260,30 @@ let rp_delete t rs key =
       true
 
 (* CLOCK second-chance eviction: pop (key, last_access at enqueue); a key
-   touched since its enqueue gets requeued once with the newer stamp. *)
+   touched since its enqueue gets requeued with the newer stamp — but only
+   while the sweep's second-chance budget lasts. The budget is the queue
+   length when the sweep starts, so every loop turn either frees memory,
+   drops a stale entry, or spends a chance: a sweep over a table of
+   all-hot keys (readers re-touching every item faster than we pop)
+   terminates after at most 2x the queue length instead of spinning
+   unboundedly under the update mutex. Once the budget is gone the sweep
+   degrades to FIFO, which still frees memory. *)
 let rp_evict_until_fits t rs =
-  let attempts = ref (2 * (Queue.length rs.clockq + 1)) in
-  while Slab.allocated_bytes t.slab > t.max_bytes && !attempts > 0 do
-    decr attempts;
+  let chances = ref (Queue.length rs.clockq) in
+  let exhausted = ref false in
+  while (not !exhausted) && Slab.allocated_bytes t.slab > t.max_bytes do
     match Queue.take_opt rs.clockq with
-    | None -> attempts := 0
+    | None -> exhausted := true
     | Some (key, seen_access) -> (
         match Rp_ht.find rs.rp key with
         | None -> () (* already deleted *)
         | Some item ->
             let last = Atomic.get item.last_access in
-            if last > seen_access then Queue.add (key, last) rs.clockq
+            if last > seen_access && !chances > 0 then begin
+              decr chances;
+              Rp_obs.Counter.incr t.clock_chances;
+              Queue.add (key, last) rs.clockq
+            end
             else begin
               ignore (rp_delete t rs key);
               Rp_obs.Counter.incr t.evicted
@@ -376,7 +429,7 @@ let fits_slab t ~key ~data =
     (String.length key + String.length data + Item.overhead_bytes)
   <> None
 
-let storage_command t ~key ~flags ~exptime ~data ~guard =
+let storage_command t ~op ~key ~flags ~exptime ~data ~guard =
   Rp_obs.Counter.incr t.cmd_set;
   let now = t.clock () in
   let exptime = absolute_exptime t exptime in
@@ -391,6 +444,7 @@ let storage_command t ~key ~flags ~exptime ~data ~guard =
           | Ok () ->
               let item = Item.make ~flags ~exptime ~data ~now () in
               lock_store t ls key item;
+              record_set t ~op key item;
               Stored)
   | Rp_state rs ->
       with_update t rs (fun () ->
@@ -404,29 +458,34 @@ let storage_command t ~key ~flags ~exptime ~data ~guard =
           | Ok () ->
               let item = Item.make ~flags ~exptime ~data ~now () in
               rp_store t rs key item;
+              record_set t ~op key item;
               Stored)
 
 let set t ~key ~flags ~exptime ~data =
-  storage_command t ~key ~flags ~exptime ~data ~guard:(fun _ -> Ok ())
+  storage_command t ~op:Rp_persist.Record.Tset ~key ~flags ~exptime ~data
+    ~guard:(fun _ -> Ok ())
 
 let add t ~key ~flags ~exptime ~data =
-  storage_command t ~key ~flags ~exptime ~data ~guard:(function
+  storage_command t ~op:Rp_persist.Record.Tadd ~key ~flags ~exptime ~data
+    ~guard:(function
     | Some _ -> Error Not_stored
     | None -> Ok ())
 
 let replace t ~key ~flags ~exptime ~data =
-  storage_command t ~key ~flags ~exptime ~data ~guard:(function
+  storage_command t ~op:Rp_persist.Record.Treplace ~key ~flags ~exptime ~data
+    ~guard:(function
     | Some _ -> Ok ()
     | None -> Error Not_stored)
 
 let cas t ~key ~flags ~exptime ~data ~unique =
-  storage_command t ~key ~flags ~exptime ~data ~guard:(function
+  storage_command t ~op:Rp_persist.Record.Tcas ~key ~flags ~exptime ~data
+    ~guard:(function
     | None -> Error Not_found
     | Some (item : Item.t) -> if item.cas = unique then Ok () else Error Exists)
 
 (* append/prepend read the live value and store the concatenation, keeping
    the existing flags and expiry (memcached semantics). *)
-let concat_command t ~key ~data ~build =
+let concat_command t ~op ~key ~data ~build =
   Rp_obs.Counter.incr t.cmd_set;
   let now = t.clock () in
   let perform live_item store =
@@ -441,6 +500,7 @@ let concat_command t ~key ~data ~build =
               ~now ()
           in
           store fresh;
+          record_set t ~op key fresh;
           Stored
         end
   in
@@ -460,20 +520,30 @@ let concat_command t ~key ~data ~build =
           in
           perform live (fun fresh -> rp_store t rs key fresh))
 
-let append t ~key ~data = concat_command t ~key ~data ~build:(fun old d -> old ^ d)
-let prepend t ~key ~data = concat_command t ~key ~data ~build:(fun old d -> d ^ old)
+let append t ~key ~data =
+  concat_command t ~op:Rp_persist.Record.Tappend ~key ~data
+    ~build:(fun old d -> old ^ d)
+
+let prepend t ~key ~data =
+  concat_command t ~op:Rp_persist.Record.Tprepend ~key ~data
+    ~build:(fun old d -> d ^ old)
 
 let delete t key =
   Rp_obs.Counter.incr t.deletes;
+  let perform deleted =
+    if deleted then record t (Rp_persist.Record.Delete key);
+    deleted
+  in
   match t.state with
   | Lock_state ls ->
-      Rp_baseline.Lock_ht.with_lock ls.table (fun () -> lock_delete t ls key)
-  | Rp_state rs -> with_update t rs (fun () -> rp_delete t rs key)
+      Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
+          perform (lock_delete t ls key))
+  | Rp_state rs -> with_update t rs (fun () -> perform (rp_delete t rs key))
 
 (* incr/decr rewrite the stored decimal string; decr saturates at zero. *)
-let counter_command t key delta ~apply =
+let counter_command t ~op key delta ~apply =
   let now = t.clock () in
-  let compute (item : Item.t) store =
+  let compute key (item : Item.t) store =
     match int_of_string_opt (String.trim item.data) with
     | None -> Cnon_numeric
     | Some n ->
@@ -483,6 +553,9 @@ let counter_command t key delta ~apply =
             ~data:(string_of_int next) ~now ()
         in
         store fresh;
+        (* Logged as the produced value, not the delta: replaying an incr
+           against a snapshot that already absorbed it must not double. *)
+        record_set t ~op key fresh;
         Cvalue next
   in
   match t.state with
@@ -490,16 +563,22 @@ let counter_command t key delta ~apply =
       Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
           match lock_find_live t ls key ~now with
           | None -> Cnotfound
-          | Some entry -> compute entry.item (fun fresh -> lock_store t ls key fresh))
+          | Some entry ->
+              compute key entry.item (fun fresh -> lock_store t ls key fresh))
   | Rp_state rs ->
       with_update t rs (fun () ->
           match Rp_ht.find rs.rp key with
           | Some item when not (Item.is_expired item ~now) ->
-              compute item (fun fresh -> rp_store t rs key fresh)
+              compute key item (fun fresh -> rp_store t rs key fresh)
           | Some _ | None -> Cnotfound)
 
-let incr t key delta = counter_command t key delta ~apply:(fun n d -> n + d)
-let decr t key delta = counter_command t key delta ~apply:(fun n d -> max 0 (n - d))
+let incr t key delta =
+  counter_command t ~op:Rp_persist.Record.Tincr key delta
+    ~apply:(fun n d -> n + d)
+
+let decr t key delta =
+  counter_command t ~op:Rp_persist.Record.Tdecr key delta
+    ~apply:(fun n d -> max 0 (n - d))
 
 let touch t ~key ~exptime =
   let now = t.clock () in
@@ -509,6 +588,7 @@ let touch t ~key ~exptime =
       Item.make ~cas:item.cas ~flags:item.flags ~exptime ~data:item.data ~now ()
     in
     store fresh;
+    record_set t ~op:Rp_persist.Record.Ttouch key fresh;
     true
   in
   match t.state with
@@ -524,22 +604,76 @@ let touch t ~key ~exptime =
               retouch item (fun fresh -> rp_store t rs key fresh)
           | Some _ | None -> false)
 
-let flush_all t =
+let flush_all_with t ~log =
+  let finish () = if log then record t Rp_persist.Record.Flush_all in
   match t.state with
   | Lock_state ls ->
       Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
           let keys = ref [] in
           Rp_baseline.Lock_ht.unsafe_iter ls.table ~f:(fun k _ -> keys := k :: !keys);
-          List.iter (fun k -> ignore (lock_delete t ls k)) !keys)
+          List.iter (fun k -> ignore (lock_delete t ls k)) !keys;
+          finish ())
   | Rp_state rs ->
       with_update t rs (fun () ->
           let keys = Rp_ht.fold rs.rp ~init:[] ~f:(fun acc k _ -> k :: acc) in
-          List.iter (fun k -> ignore (rp_delete t rs k)) keys)
+          List.iter (fun k -> ignore (rp_delete t rs k)) keys;
+          finish ())
+
+let flush_all t = flush_all_with t ~log:true
 
 let items t =
   match t.state with
   | Lock_state ls -> Rp_baseline.Lock_ht.length ls.table
   | Rp_state rs -> Rp_ht.length rs.rp
+
+(* --- persistence plumbing (see [Persist] for the manager) --- *)
+
+(* The snapshotter's walk. On the Rp backend this is the whole point of
+   the design: a batched relativistic read (bounded read sections, never
+   the update mutex), so a multi-second walk over a large table neither
+   blocks writers nor extends any grace period beyond one batch. The Lock
+   backend has no choice but to hold its global lock. *)
+let iter_items t ~f =
+  match t.state with
+  | Lock_state ls ->
+      Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
+          Rp_baseline.Lock_ht.unsafe_iter ls.table ~f:(fun k e -> f k e.item));
+      0
+  | Rp_state rs -> Rp_ht.iter_batched rs.rp ~f
+
+(* Apply a recovered record: same primitives as the live commands, but no
+   persistence hook (recovery must not re-log itself) and no command
+   counters (a warm restart is not client traffic). Already-expired items
+   are dropped rather than stored — deterministic, since records carry
+   absolute expiry times. *)
+let restore t r =
+  match r with
+  | Rp_persist.Record.Set { key; flags; exptime; cas; data; _ } ->
+      Item.note_restored_cas cas;
+      let now = t.clock () in
+      let item = Item.make ~cas ~flags ~exptime ~data ~now () in
+      if Item.is_expired item ~now then
+        ignore
+          (match t.state with
+          | Lock_state ls ->
+              Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
+                  lock_delete t ls key)
+          | Rp_state rs -> with_update t rs (fun () -> rp_delete t rs key))
+      else begin
+        match t.state with
+        | Lock_state ls ->
+            Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
+                lock_store t ls key item)
+        | Rp_state rs -> with_update t rs (fun () -> rp_store t rs key item)
+      end
+  | Rp_persist.Record.Delete key ->
+      ignore
+        (match t.state with
+        | Lock_state ls ->
+            Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
+                lock_delete t ls key)
+        | Rp_state rs -> with_update t rs (fun () -> rp_delete t rs key))
+  | Rp_persist.Record.Flush_all -> flush_all_with t ~log:false
 
 let bytes t = Slab.allocated_bytes t.slab
 let slab_stats t = Slab.stats t.slab
@@ -547,15 +681,22 @@ let fragmentation t = Slab.fragmentation t.slab
 
 let evictions t = Rp_obs.Counter.read t.evicted
 
+let has_prefix p name =
+  String.length name >= String.length p && String.sub name 0 (String.length p) = p
+
 (* "stats rp" filter: relativistic-stack instruments only. *)
-let rp_instrument name =
-  let has_prefix p =
-    String.length name >= String.length p && String.sub name 0 (String.length p) = p
-  in
-  has_prefix "rp_ht_" || has_prefix "rcu_"
+let rp_instrument name = has_prefix "rp_ht_" name || has_prefix "rcu_" name
+
+(* "stats persist" filter: everything [Persist.attach] registers. *)
+let persist_instrument name = has_prefix "persist_" name
 
 let stats t =
   ("backend", match backend t with Lock -> "lock" | Rp -> "rp")
-  :: Rp_obs.Registry.to_stats ~filter:(fun n -> not (rp_instrument n)) t.registry
+  :: Rp_obs.Registry.to_stats
+       ~filter:(fun n -> not (rp_instrument n || persist_instrument n))
+       t.registry
 
 let rp_stats t = Rp_obs.Registry.to_stats ~filter:rp_instrument t.registry
+
+let persist_stats t =
+  Rp_obs.Registry.to_stats ~filter:persist_instrument t.registry

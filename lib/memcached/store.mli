@@ -91,6 +91,37 @@ val decr : t -> string -> int -> counter_result
 val touch : t -> key:string -> exptime:int -> bool
 val flush_all : t -> unit
 
+(** {1 Persistence plumbing}
+
+    The hooks the {!Persist} manager builds on. The store itself never
+    touches a disk: it reports every acknowledged mutation as a
+    state-based {!Rp_persist.Record.t} (called inside the backend's
+    serialization lock, so log order is store order) and can walk and
+    restore itself on request. *)
+
+val set_persist_hook : t -> (Rp_persist.Record.t -> unit) option -> unit
+(** Install (or clear) the mutation hook. The hook runs with the update
+    lock held and must be quick aside from its own I/O; an exception it
+    raises fails the triggering command after the in-memory effect — the
+    client then sees an error, i.e. an unknown outcome. *)
+
+val iter_items : t -> f:(string -> Item.t -> unit) -> int
+(** Walk every live binding. On the {!Rp} backend this is
+    {!Rp_ht.iter_batched}: bounded read-side critical sections with
+    re-entry between batches, so the walk never blocks writers nor
+    extends a grace period beyond one batch; bindings may be seen twice
+    across a concurrent expansion, and the walk restarts on a concurrent
+    shrink (the return value counts restarts). The {!Lock} backend walks
+    under its global lock (returns 0). *)
+
+val restore : t -> Rp_persist.Record.t -> unit
+(** Apply a recovered record: no hook re-entry, no command counters;
+    expired records delete rather than store. CAS values are preserved
+    and {!Item.note_restored_cas} keeps future allocations unique. *)
+
+val now : t -> float
+(** The store's (injectable) clock. *)
+
 (** {1 Introspection}
 
     Command counters ([cmd_get], [cmd_set], [get_hits], [get_misses],
@@ -113,6 +144,10 @@ val rp_stats : t -> (string * string) list
 (** [stats rp] lines: the relativistic-stack instruments only ([rp_ht_*]
     lookup/insert/resize counters and histogram, [rcu_*] grace-period
     counters and latency histogram). Empty for the {!Lock} backend. *)
+
+val persist_stats : t -> (string * string) list
+(** [stats persist] lines: every [persist_*] instrument the {!Persist}
+    manager registered. Empty when persistence is not attached. *)
 
 val items : t -> int
 

@@ -142,6 +142,46 @@ let iter t ~f =
             (Rcu.dereference link))
         table.buckets)
 
+(* Bounded read sections: the table's bucket index for a key depends only
+   on (hash, size), so a walk that has covered [0, b) at size s misses
+   nothing at any later size s' >= s — expansion sends keys from bucket i
+   only to i or i + s (both >= i; re-emitting i + s for visited i is the
+   documented duplicate). Only a size *drop* below a size we already
+   walked at can relocate unvisited keys behind the cursor, and we detect
+   that on the table we actually dereference, inside the read section —
+   no separate counter to race against. *)
+let iter_batched ?(batch = 64) t ~f =
+  let batch = max 1 batch in
+  let restarts = ref 0 in
+  let finished = ref false in
+  let b = ref 0 in
+  let max_size = ref 0 in
+  while not !finished do
+    Flavour.with_read t.flavour (fun () ->
+        let table = Rcu.dereference t.current in
+        if table.size < !max_size then begin
+          incr restarts;
+          b := 0;
+          max_size := table.size
+        end
+        else begin
+          max_size := table.size;
+          let stop = min table.size (!b + batch) in
+          for i = !b to stop - 1 do
+            iter_links
+              ~f:(fun n ->
+                if
+                  Rp_hashes.Size.bucket_of_hash ~hash:n.hash ~size:table.size
+                  = i
+                then f n.key (Atomic.get n.value))
+              (Rcu.dereference table.buckets.(i))
+          done;
+          b := stop;
+          if stop >= table.size then finished := true
+        end)
+  done;
+  !restarts
+
 let fold t ~init ~f =
   let acc = ref init in
   iter t ~f:(fun k v -> acc := f !acc k v);

@@ -90,6 +90,22 @@ val iter : ('k, 'v) t -> f:('k -> 'v -> unit) -> unit
 
 val fold : ('k, 'v) t -> init:'a -> f:('a -> 'k -> 'v -> 'a) -> 'a
 
+val iter_batched : ?batch:int -> ('k, 'v) t -> f:('k -> 'v -> unit) -> int
+(** Like {!iter}, but each read-side critical section covers at most
+    [batch] buckets (default 64), re-entering between batches — so a walk
+    over a huge table never extends a grace period beyond one batch's
+    worth of work. Built for long-running background readers such as the
+    persistence snapshotter.
+
+    Because the walk spans many read sections, it is {e not} a single
+    snapshot. Guarantees: a binding present for the whole walk is seen at
+    least once (possibly more than once if the table expands mid-walk —
+    callers must tolerate duplicates); concurrent inserts/removes may or
+    may not be seen. A concurrent {e shrink} can move unvisited keys below
+    the cursor, so the walk watches the bucket-array size it dereferences
+    and restarts from bucket 0 whenever the size drops below a previously
+    observed size. Returns the number of such restarts. *)
+
 (** {1 Updates} *)
 
 val insert : ('k, 'v) t -> 'k -> 'v -> unit

@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum
+    framing every persisted record, so recovery can tell a torn or
+    corrupted record from a valid one without trusting file lengths. *)
+
+val string : string -> int
+(** CRC-32 of a whole string. Result fits in 32 bits. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** [update crc s ~pos ~len] extends [crc] (a previous {!string}/[update]
+    result, or 0 for an empty prefix) over [s.[pos .. pos+len-1]]. *)

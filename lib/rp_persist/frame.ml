@@ -1,0 +1,33 @@
+let header_bytes = 8
+let max_payload = 64 * 1024 * 1024
+
+let add buf payload =
+  let len = String.length payload in
+  if len > max_payload then invalid_arg "Frame.add: payload too large";
+  let hdr = Bytes.create header_bytes in
+  Bytes.set_int32_be hdr 0 (Int32.of_int len);
+  Bytes.set_int32_be hdr 4 (Int32.of_int (Crc32.string payload));
+  Buffer.add_bytes buf hdr;
+  Buffer.add_string buf payload
+
+type read_result = Record of string | End | Torn of int
+
+let u32_be s off =
+  Int32.to_int (Bytes.get_int32_be s off) land 0xFFFFFFFF
+
+let read ic =
+  let off = pos_in ic in
+  let total = in_channel_length ic in
+  let remaining = total - off in
+  if remaining = 0 then End
+  else if remaining < header_bytes then Torn off
+  else begin
+    let hdr = Bytes.create header_bytes in
+    really_input ic hdr 0 header_bytes;
+    let len = u32_be hdr 0 in
+    let crc = u32_be hdr 4 in
+    if len > max_payload || len > remaining - header_bytes then Torn off
+    else
+      let payload = really_input_string ic len in
+      if Crc32.string payload <> crc then Torn off else Record payload
+  end

@@ -1,0 +1,29 @@
+(** Length-prefixed, CRC-framed records — the on-disk unit of both the
+    snapshot files and the append-only op log.
+
+    A frame is [[u32 payload_len][u32 crc32(payload)][payload]], both
+    integers big-endian. A reader that hits end-of-file mid-frame, an
+    implausible length, or a CRC mismatch reports {e torn} with the byte
+    offset where the bad frame starts: crash recovery truncates the file
+    there and treats everything before it as the durable prefix. *)
+
+val header_bytes : int
+(** 8. *)
+
+val max_payload : int
+(** Upper bound on a single frame's payload (64 MiB). Larger lengths in a
+    header are treated as corruption, so a flipped length byte cannot make
+    recovery try to allocate gigabytes. *)
+
+val add : Buffer.t -> string -> unit
+(** Append one frame holding [payload] to the buffer. Raises
+    [Invalid_argument] beyond {!max_payload}. *)
+
+type read_result =
+  | Record of string  (** next frame's payload, CRC-verified *)
+  | End  (** clean end-of-file at a frame boundary *)
+  | Torn of int  (** partial or corrupt frame starting at this offset *)
+
+val read : in_channel -> read_result
+(** Read the next frame. The channel position is advanced past the frame
+    on [Record], and is unspecified after [End]/[Torn] (use the offset). *)

@@ -1,0 +1,56 @@
+let rec retry_write fd s pos len =
+  match Unix.write_substring fd s pos len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_write fd s pos len
+
+let write_all ?fault fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    let want = len - !pos in
+    let allowed =
+      match fault with Some site -> Rp_fault.io_cap site want | None -> want
+    in
+    let written = ref 0 in
+    while !written < allowed do
+      written := !written + retry_write fd s (!pos + !written) (allowed - !written)
+    done;
+    pos := !pos + allowed;
+    (* A capped transfer models a crash immediately after the partial
+       write: the tail of this record never reaches the disk. *)
+    if allowed < want then
+      raise (Rp_fault.Injected (Option.get fault))
+  done
+
+let fsync fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      fsync fd;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let scan_gen_files ~dir ~prefix ~suffix =
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  let plen = String.length prefix and slen = String.length suffix in
+  Array.to_list entries
+  |> List.filter_map (fun name ->
+         let n = String.length name in
+         if
+           n > plen + slen
+           && String.sub name 0 plen = prefix
+           && String.sub name (n - slen) slen = suffix
+         then
+           match int_of_string_opt (String.sub name plen (n - plen - slen)) with
+           | Some gen -> Some (gen, Filename.concat dir name)
+           | None -> None
+         else None)
+  |> List.sort compare

@@ -1,0 +1,20 @@
+(** Shared file plumbing for the persistence plane. *)
+
+val write_all : ?fault:string -> Unix.file_descr -> string -> unit
+(** Write the whole string, retrying [EINTR] and short writes. [fault]
+    names an {!Rp_fault.io_cap} site consulted before each chunk: a
+    [Truncate_io] there writes only the capped prefix and then raises
+    {!Rp_fault.Injected} — modelling a crash that tore the final record. *)
+
+val fsync : Unix.file_descr -> unit
+(** [Unix.fsync], swallowing [Unix_error] (e.g. fds that cannot sync). *)
+
+val fsync_dir : string -> unit
+(** fsync a directory so a just-renamed file is durable (best effort). *)
+
+val mkdir_p : string -> unit
+
+val scan_gen_files : dir:string -> prefix:string -> suffix:string -> (int * string) list
+(** Files in [dir] named [<prefix><digits><suffix>], as
+    [(generation, absolute path)], sorted ascending by generation.
+    Empty if the directory does not exist. *)

@@ -1,0 +1,187 @@
+let magic = "RPLOG1:"
+let filename ~gen = Printf.sprintf "oplog-%010d.rplog" gen
+let fault_site = "persist.log.append"
+
+type fsync_policy = Always | Every of float | Never
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "always" -> Ok Always
+  | "never" -> Ok Never
+  | s when String.length s > 6 && String.sub s 0 6 = "every:" -> (
+      match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+      | Some ms when ms > 0 -> Ok (Every (float_of_int ms /. 1000.))
+      | Some _ | None -> Error "fsync interval must be a positive ms count")
+  | _ -> Error (Printf.sprintf "unknown fsync policy %S" s)
+
+let policy_name = function
+  | Always -> "always"
+  | Never -> "never"
+  | Every dt -> Printf.sprintf "every:%d" (int_of_float (dt *. 1000.))
+
+type t = {
+  dir : string;
+  policy : fsync_policy;
+  mutex : Mutex.t;
+  mutable fd : Unix.file_descr;
+  mutable gen : int;
+  pending : Buffer.t;  (* frames written but not yet handed to the OS *)
+  mutable last_sync : float;
+  mutable closed : bool;
+}
+
+let pending_cap = 64 * 1024
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Callers hold t.mutex for everything below. *)
+
+let flush_locked t =
+  if Buffer.length t.pending > 0 then begin
+    let data = Buffer.contents t.pending in
+    Buffer.clear t.pending;
+    Fsutil.write_all ~fault:fault_site t.fd data
+  end
+
+let sync_locked t =
+  flush_locked t;
+  Fsutil.fsync t.fd;
+  t.last_sync <- Unix.gettimeofday ()
+
+let open_segment ~dir ~gen =
+  Fsutil.mkdir_p dir;
+  let path = Filename.concat dir (filename ~gen) in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size = 0 then begin
+    let buf = Buffer.create 32 in
+    Frame.add buf (magic ^ string_of_int gen);
+    Fsutil.write_all fd (Buffer.contents buf);
+    Fsutil.fsync fd;
+    Fsutil.fsync_dir dir
+  end;
+  fd
+
+let open_ ~dir ~gen ~fsync =
+  {
+    dir;
+    policy = fsync;
+    mutex = Mutex.create ();
+    fd = open_segment ~dir ~gen;
+    gen;
+    pending = Buffer.create 4096;
+    last_sync = Unix.gettimeofday ();
+    closed = false;
+  }
+
+let gen t = t.gen
+
+let append t record =
+  with_lock t (fun () ->
+      if t.closed then invalid_arg "Oplog.append: closed";
+      Frame.add t.pending (Record.encode record);
+      match t.policy with
+      | Always -> sync_locked t
+      | Every dt ->
+          if
+            Buffer.length t.pending >= pending_cap
+            || Unix.gettimeofday () -. t.last_sync >= dt
+          then sync_locked t
+      | Never -> if Buffer.length t.pending >= pending_cap then flush_locked t)
+
+let sync t = with_lock t (fun () -> if not t.closed then sync_locked t)
+
+let tick t =
+  with_lock t (fun () ->
+      match t.policy with
+      | Every dt
+        when (not t.closed)
+             && (Buffer.length t.pending > 0
+                || Unix.gettimeofday () -. t.last_sync >= dt) ->
+          sync_locked t
+      | _ -> ())
+
+let rotate t ~gen =
+  with_lock t (fun () ->
+      if t.closed then invalid_arg "Oplog.rotate: closed";
+      sync_locked t;
+      (try Unix.close t.fd with Unix.Unix_error _ -> ());
+      t.fd <- open_segment ~dir:t.dir ~gen;
+      t.gen <- gen)
+
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        (try sync_locked t with _ -> ());
+        (try Unix.close t.fd with Unix.Unix_error _ -> ());
+        t.closed <- true
+      end)
+
+let segments ~dir = Fsutil.scan_gen_files ~dir ~prefix:"oplog-" ~suffix:".rplog"
+
+type replay_result = {
+  records : int;
+  bad_records : int;
+  segments : int;
+  truncated_bytes : int;
+}
+
+let truncate_tail path off =
+  let size = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.ftruncate fd off;
+      Fsutil.fsync fd);
+  size - off
+
+let replay ~dir ~from_gen ~f =
+  let segs =
+    List.filter (fun (g, _) -> g >= from_gen) (segments ~dir)
+  in
+  let last_index = List.length segs - 1 in
+  let records = ref 0 and bad = ref 0 and truncated = ref 0 in
+  List.iteri
+    (fun i (seg_gen, path) ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let header_ok =
+            match Frame.read ic with
+            | Frame.Record p -> p = magic ^ string_of_int seg_gen
+            | Frame.End | Frame.Torn _ -> false
+          in
+          if not header_ok then begin
+            (* Unreadable header: an empty/garbled newest segment is a
+               crash during segment creation — reset it entirely. *)
+            if i = last_index then truncated := !truncated + truncate_tail path 0
+          end
+          else
+            let rec loop () =
+              match Frame.read ic with
+              | Frame.End -> ()
+              | Frame.Torn off ->
+                  if i = last_index then
+                    truncated := !truncated + truncate_tail path off
+              | Frame.Record payload ->
+                  (match Record.decode payload with
+                  | Ok r ->
+                      f r;
+                      incr records
+                  | Error _ -> incr bad);
+                  loop ()
+            in
+            loop ()))
+    segs;
+  {
+    records = !records;
+    bad_records = !bad;
+    segments = List.length segs;
+    truncated_bytes = !truncated;
+  }

@@ -1,0 +1,70 @@
+(** Append-only operation log with group commit and rotation.
+
+    The log is a sequence of segment files [oplog-<gen>.rplog], each
+    opened by a header frame ["RPLOG1:<gen>"] and followed by one
+    {!Frame} per {!Record.t}. Generations tie segments to snapshots:
+    the manager rotates to generation [G+1] {e before} walking snapshot
+    [G+1], so every mutation concurrent with the walk lands in a segment
+    that recovery replays on top of it.
+
+    Durability is the fsync policy's business, not the append path's:
+    [Always] fsyncs inside every {!append} (an acked op is a durable
+    op), [Every dt] group-commits — appends write to the OS and a timer
+    or the next append fsyncs at most every [dt] seconds — and [Never]
+    leaves syncing to the kernel. Appends route their file writes
+    through the ["persist.log.append"] {!Rp_fault.io_cap} site, so a
+    fault plan can tear the final record exactly as a crash would. *)
+
+type fsync_policy = Always | Every of float  (** seconds *) | Never
+
+val policy_of_string : string -> (fsync_policy, string) result
+(** ["always"], ["never"], or ["every:<ms>"] (e.g. ["every:100"]). *)
+
+val policy_name : fsync_policy -> string
+
+type t
+
+val filename : gen:int -> string
+(** [oplog-<gen, zero-padded>.rplog]. *)
+
+val open_ : dir:string -> gen:int -> fsync:fsync_policy -> t
+(** Open (creating if needed) the segment for [gen] in append mode; an
+    empty file gets its header frame written immediately. *)
+
+val gen : t -> int
+
+val append : t -> Record.t -> unit
+(** Thread-safe. Frames and writes the record; fsyncs per policy. *)
+
+val sync : t -> unit
+(** Flush buffered frames and fsync, regardless of policy. *)
+
+val tick : t -> unit
+(** Periodic heartbeat for [Every _]: flushes buffered frames and
+    fsyncs when the policy's interval has elapsed. No-op otherwise. *)
+
+val rotate : t -> gen:int -> unit
+(** Sync and close the current segment, then start a fresh one for
+    [gen] (with its header frame already durable). *)
+
+val close : t -> unit
+
+val segments : dir:string -> (int * string) list
+(** Log segments in [dir], [(gen, path)] ascending by gen. *)
+
+type replay_result = {
+  records : int;  (** records successfully decoded and applied *)
+  bad_records : int;  (** CRC-valid frames {!Record.decode} rejected *)
+  segments : int;  (** segment files visited *)
+  truncated_bytes : int;
+      (** torn tail cut (ftruncate) from the {e newest} segment *)
+}
+
+val replay :
+  dir:string -> from_gen:int -> f:(Record.t -> unit) -> replay_result
+(** Stream records from every segment with generation [>= from_gen],
+    oldest first, through [f]. A torn frame in the newest segment is a
+    crashed in-flight append: the file is truncated back to the last
+    whole frame so the reopened log continues cleanly. A torn frame in
+    an older segment abandons the rest of that segment only — framing
+    is lost to its end, but later segments are independent files. *)

@@ -1,0 +1,14 @@
+(** rp_persist: crash-safe persistence plane.
+
+    Storage-agnostic building blocks — CRC framing, op records, atomic
+    snapshots, an append-only log. The glue that walks a live
+    relativistic hash table and feeds these (the {e snapshot-as-reader}
+    protocol) lives with the store, in [Memcached.Persist]; this library
+    never learns what an item is. *)
+
+module Crc32 = Crc32
+module Frame = Frame
+module Record = Record
+module Snapshot = Snapshot
+module Oplog = Oplog
+module Fsutil = Fsutil

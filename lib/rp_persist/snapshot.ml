@@ -1,0 +1,105 @@
+let magic = "RPSNAP1:"
+let trailer_magic = "RPSNAP-END:"
+let filename ~gen = Printf.sprintf "snapshot-%010d.rpsnap" gen
+
+(* Flush the buffer to disk whenever it grows past this, so snapshotting
+   a large table needs bounded memory, not a full in-core copy. *)
+let flush_threshold = 256 * 1024
+
+let write ~dir ~gen ~iter =
+  Fsutil.mkdir_p dir;
+  let final = Filename.concat dir (filename ~gen) in
+  let tmp = final ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let buf = Buffer.create flush_threshold in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      Fsutil.write_all fd (Buffer.contents buf);
+      Buffer.clear buf
+    end
+  in
+  let count = ref 0 in
+  match
+    Frame.add buf (magic ^ string_of_int gen);
+    iter (fun r ->
+        Rp_fault.point "persist.snapshot.record";
+        Frame.add buf (Record.encode r);
+        incr count;
+        if Buffer.length buf >= flush_threshold then flush ());
+    Frame.add buf (trailer_magic ^ string_of_int !count);
+    flush ();
+    Fsutil.fsync fd;
+    Unix.close fd;
+    Rp_fault.point "persist.snapshot.rename";
+    Unix.rename tmp final;
+    Fsutil.fsync_dir dir
+  with
+  | () -> !count
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let files ~dir = Fsutil.scan_gen_files ~dir ~prefix:"snapshot-" ~suffix:".rpsnap"
+
+let parse_tagged ~tag payload =
+  let tlen = String.length tag in
+  if String.length payload > tlen && String.sub payload 0 tlen = tag then
+    int_of_string_opt (String.sub payload tlen (String.length payload - tlen))
+  else None
+
+(* Walk every frame of [path]; [f] sees the decoded records. Shared by
+   validation (f = ignore) and the real load. *)
+let scan path ~f =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header =
+        match Frame.read ic with
+        | Frame.Record p -> p
+        | Frame.End | Frame.Torn _ -> ""
+      in
+      match parse_tagged ~tag:magic header with
+      | None -> Error "bad snapshot header"
+      | Some gen ->
+          let count = ref 0 in
+          let rec loop () =
+            match Frame.read ic with
+            | Frame.End -> Error "missing snapshot trailer"
+            | Frame.Torn off -> Error (Printf.sprintf "torn frame at %d" off)
+            | Frame.Record payload -> (
+                match parse_tagged ~tag:trailer_magic payload with
+                | Some n ->
+                    if n <> !count then
+                      Error
+                        (Printf.sprintf "trailer count %d <> %d records" n
+                           !count)
+                    else if Frame.read ic <> Frame.End then
+                      Error "frames after trailer"
+                    else Ok (gen, !count)
+                | None -> (
+                    match Record.decode payload with
+                    | Ok r ->
+                        f r;
+                        incr count;
+                        loop ()
+                    | Error msg -> Error ("bad record: " ^ msg)))
+          in
+          loop ())
+
+let validate path = try scan path ~f:ignore with Sys_error msg -> Error msg
+
+let load_newest ~dir ~f =
+  let rec try_newest = function
+    | [] -> None
+    | (_, path) :: older -> (
+        match validate path with
+        | Error _ -> try_newest older
+        | Ok _ -> (
+            (* Validated in full above; a second pass streams it for real. *)
+            match scan path ~f with
+            | Ok (gen, count) -> Some (gen, count)
+            | Error _ | (exception Sys_error _) -> try_newest older))
+  in
+  try_newest (List.rev (files ~dir))

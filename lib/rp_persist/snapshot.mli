@@ -1,0 +1,37 @@
+(** Atomic, CRC-framed snapshot files.
+
+    A snapshot is a stream of {!Frame}s: a header frame ["RPSNAP1:<gen>"],
+    one frame per {!Record.t}, and a trailer frame ["RPSNAP-END:<count>"].
+    The trailer doubles as a completeness witness — a crash mid-write
+    leaves a file without it, which {!load} rejects wholesale. Writes go
+    to [<name>.tmp] and are published with fsync + rename + directory
+    fsync, so a snapshot either exists in full or not at all.
+
+    Fault sites: ["persist.snapshot.record"] fires before each record
+    frame is buffered, ["persist.snapshot.rename"] fires after the tmp
+    file is durable but before the rename — the window where a crash
+    loses the whole snapshot but the previous generation survives. *)
+
+val filename : gen:int -> string
+(** [snapshot-<gen, zero-padded>.rpsnap]. *)
+
+val write :
+  dir:string -> gen:int -> iter:((Record.t -> unit) -> unit) -> int
+(** Stream every record produced by [iter] into [dir/filename ~gen] and
+    publish it atomically; returns the record count. On any failure the
+    tmp file is removed and the exception re-raised — [dir] never holds
+    a partial snapshot under its final name. *)
+
+val files : dir:string -> (int * string) list
+(** Snapshot files present in [dir], [(gen, path)] ascending by gen. *)
+
+val validate : string -> (int * int, string) result
+(** Cheap full scan of a snapshot file: [Ok (gen, count)] iff framing,
+    CRCs, record encoding, and the trailer count all check out. *)
+
+val load_newest : dir:string -> f:(Record.t -> unit) -> (int * int) option
+(** Find the newest snapshot in [dir] that passes {!validate}, then
+    stream its records through [f]. Returns [Some (gen, count)], or
+    [None] when no valid snapshot exists (invalid ones are skipped, not
+    deleted). Validation runs as a separate first pass so [f] never sees
+    records from a snapshot that later turns out to be torn. *)

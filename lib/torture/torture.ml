@@ -30,7 +30,8 @@ let default_config =
   }
 
 let table_names = [ "rp"; "rp-qsbr"; "rp-fixed"; "ddds"; "rwlock"; "lock"; "xu" ]
-let scenario_names = [ "steady"; "crash_resizer"; "stalled_reader"; "torn_io" ]
+let scenario_names =
+  [ "steady"; "crash_resizer"; "stalled_reader"; "torn_io"; "crash_recovery" ]
 
 let table_of_name = function
   | "rp" -> (module Rp_baseline.Rp_table.Resizable : Rp_baseline.Table_intf.TABLE)
@@ -613,6 +614,207 @@ let run_torn_io config =
     metrics = Rp_obs.Registry.to_stats (Memcached.Store.registry store);
   }
 
+(* --- crash_recovery scenario: kill -9 mid-snapshot, warm-restart, diff ---
+
+   Writers mutate disjoint key ranges of a persisted store (fsync=always,
+   so every acknowledged op is durable before the ack) while a dedicated
+   worker takes snapshot after snapshot. The run ends with a staged
+   process death: a failpoint "crashes" the snapshotter mid-walk, the
+   manager is torn down without any graceful sync, and the newest log
+   segment gets a torn tail appended — everything a [kill -9] leaves
+   behind. A fresh store then warm-restarts from the directory and must
+   match the writers' tracked models {e exactly}: durable-acked sets and
+   deletes survive, nothing resurrects, nothing is invented. *)
+
+let snapshot_record_site = "persist.snapshot.record"
+
+let run_crash_recovery config =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-torture-persist-%d" (Unix.getpid ()))
+  in
+  (* Stale files from a previous crashed run would pollute recovery. *)
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+  let make_store () =
+    (* Budget far above the working set: eviction is not logged, so this
+       scenario keeps it out of the durable-equality oracle. *)
+    Memcached.Store.create ~backend:Memcached.Store.Rp
+      ~max_bytes:(256 * 1024 * 1024) ()
+  in
+  let store = make_store () in
+  let persist =
+    Memcached.Persist.attach ~aof:true ~fsync:Rp_persist.Oplog.Always ~dir
+      store
+  in
+  if config.fault_injection then arm_perturbations config.seed;
+  let key_name i j = Printf.sprintf "pk%d:%d" i j in
+  let range = max 1 config.churn_keys in
+  let writers_n = max 1 config.writers in
+  (* Per-writer models: each writer owns its range, so a plain Hashtbl per
+     writer (touched only by that writer until the join) is race-free. *)
+  let models = Array.init writers_n (fun _ -> Hashtbl.create 64) in
+  let snapshots_ok = Atomic.make 0 in
+
+  let writer index ~stop =
+    let model = models.(index) in
+    let prng =
+      Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:(config.seed + 7)) index
+    in
+    let ops = ref 0 in
+    while not (Atomic.get stop) do
+      let j = Rp_workload.Prng.below prng range in
+      let key = key_name index j in
+      if Rp_workload.Prng.below prng 4 > 0 then begin
+        let data = Printf.sprintf "%d:%d:%d" index j !ops in
+        match
+          Memcached.Store.set store ~key ~flags:0 ~exptime:0 ~data
+        with
+        | Memcached.Store.Stored -> Hashtbl.replace model key data
+        | _ -> ()
+      end
+      else begin
+        (* Acked either way: afterwards the key is durably absent. *)
+        ignore (Memcached.Store.delete store key);
+        Hashtbl.remove model key
+      end;
+      incr ops
+    done;
+    !ops
+  in
+
+  (* Background reads keep the relativistic fast path busy while the
+     snapshot walk shares its read sections with them. *)
+  let reader index ~stop =
+    let prng = Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:config.seed) index in
+    let checks = ref 0 in
+    while not (Atomic.get stop) do
+      let i = Rp_workload.Prng.below prng writers_n in
+      let j = Rp_workload.Prng.below prng range in
+      ignore (Memcached.Store.get store (key_name i j));
+      incr checks
+    done;
+    !checks
+  in
+
+  let snapshotter ~stop =
+    let n = ref 0 in
+    while not (Atomic.get stop) do
+      (match Memcached.Persist.snapshot_now persist with
+      | Ok _ -> Atomic.incr snapshots_ok
+      | Error _ -> ());
+      incr n;
+      Unix.sleepf 0.005
+    done;
+    !n
+  in
+
+  let workers =
+    Array.concat
+      [
+        Array.init config.readers (fun i ~stop -> reader i ~stop);
+        Array.init writers_n (fun i ~stop -> writer i ~stop);
+        [| (fun ~stop -> snapshotter ~stop) |];
+      ]
+  in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        if config.fault_injection then disarm_perturbations ())
+      (fun () -> Rp_harness.Runner.run ~duration:config.duration ~workers ())
+  in
+
+  (* Stage the kill -9: crash the next snapshot mid-walk (after the op log
+     has already rotated — the window where a real death loses the
+     in-flight snapshot but must lose nothing else)... *)
+  Rp_fault.arm ~seed:config.seed snapshot_record_site
+    ~trigger:(Rp_fault.Every 10) ~action:Rp_fault.Raise;
+  let crash_failed_snapshot =
+    match Memcached.Persist.snapshot_now persist with
+    | Error _ -> 1
+    | Ok _ -> 0 (* tiny table: walk ended before the 10th record *)
+  in
+  Rp_fault.disarm snapshot_record_site;
+  (* ...kill the manager with no graceful sync or close... *)
+  Memcached.Persist.crash_for_testing persist;
+  (* ...and leave a torn half-written record at the newest segment's tail,
+     as the interrupted append of a dying process would. *)
+  let torn_bytes =
+    match List.rev (Rp_persist.Oplog.segments ~dir) with
+    | [] -> 0
+    | (_, path) :: _ ->
+        let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+        let garbage = "\x00\x00\x40\x00torn!" in
+        let n = Unix.write_substring fd garbage 0 (String.length garbage) in
+        Unix.close fd;
+        n
+  in
+
+  (* Warm restart into a fresh store; recovery must reassemble the exact
+     durable state. *)
+  let store2 = make_store () in
+  let persist2 = Memcached.Persist.attach ~aof:true ~dir store2 in
+  let recovery = Memcached.Persist.recovery persist2 in
+  let missing = ref 0 and wrong = ref 0 and checked = ref 0 in
+  let expected = ref 0 in
+  Array.iter
+    (fun model ->
+      expected := !expected + Hashtbl.length model;
+      Hashtbl.iter
+        (fun key data ->
+          incr checked;
+          match Memcached.Store.get store2 key with
+          | Some v when v.Memcached.Protocol.vdata = data -> ()
+          | Some _ -> incr wrong
+          | None -> incr missing)
+        model)
+    models;
+  (* No resurrections either: the recovered store holds exactly the model
+     keys (every extra item counts as a wrong value). *)
+  let extra = Memcached.Store.items store2 - !expected + !missing in
+  if extra > 0 then wrong := !wrong + extra;
+  let metrics =
+    List.filter
+      (fun (name, _) ->
+        String.length name < 18 || String.sub name 0 18 <> "persist_recovered_")
+      (Memcached.Store.persist_stats store)
+    @ List.filter
+        (fun (name, _) ->
+          String.length name >= 18 && String.sub name 0 18 = "persist_recovered_")
+        (Memcached.Store.persist_stats store2)
+  in
+  Memcached.Persist.stop persist2;
+  let reader_checks =
+    !checked
+    + Array.fold_left ( + ) 0 (Array.sub outcome.per_worker_ops 0 config.readers)
+  in
+  let writer_ops =
+    Array.fold_left ( + ) 0
+      (Array.sub outcome.per_worker_ops config.readers writers_n)
+  in
+  {
+    reader_checks;
+    missing_resident = !missing;
+    wrong_value =
+      !wrong
+      + (if recovery.Memcached.Persist.log_truncated_bytes < torn_bytes then 1
+         else 0);
+    writer_ops;
+    resize_flips = 0;
+    faults_injected =
+      Rp_fault.fires snapshot_record_site
+      + crash_failed_snapshot + (if torn_bytes > 0 then 1 else 0)
+      + (if config.fault_injection then perturbation_fires () else 0);
+    stalls_detected = 0;
+    (* "recoveries" here = durable recovery points exercised: snapshots
+       published during the run, plus the warm restart itself. *)
+    recoveries = Atomic.get snapshots_ok + 1;
+    elapsed = outcome.elapsed;
+    metrics;
+  }
+
 let run config =
   validate_config config;
   match config.scenario with
@@ -620,4 +822,5 @@ let run config =
   | "crash_resizer" -> run_crash_resizer config
   | "stalled_reader" -> run_stalled_reader config
   | "torn_io" -> run_torn_io config
+  | "crash_recovery" -> run_crash_recovery config
   | _ -> assert false

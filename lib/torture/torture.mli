@@ -26,8 +26,15 @@
     - {b torn_io}: a memcached server/client pair runs over a transport
       with injected short writes, split reads, and connection resets;
       retrying clients must still observe every resident key correctly.
+    - {b crash_recovery}: writers mutate a persisted store (op log,
+      [fsync=always]) under repeated concurrent snapshots; the run ends
+      with a staged [kill -9] — a failpoint crashes the snapshotter
+      mid-walk, the manager dies without syncing, the newest log segment
+      gets a torn tail — and a warm restart into a fresh store must
+      reproduce the writers' tracked models exactly (acked ops survive,
+      nothing resurrects).
 
-    The crash/stall/torn scenarios run on the rp table only. *)
+    The crash/stall/torn/recovery scenarios run on the rp table only. *)
 
 type config = {
   table : string;  (** implementation under test; see {!table_names} *)
@@ -57,7 +64,7 @@ val table_names : string list
 
 val scenario_names : string list
 (** Valid values for [config.scenario]: "steady", "crash_resizer",
-    "stalled_reader", "torn_io". *)
+    "stalled_reader", "torn_io", "crash_recovery". *)
 
 type report = {
   reader_checks : int;  (** lookups performed by the oracle readers *)
@@ -68,7 +75,10 @@ type report = {
   faults_injected : int;
       (** failpoint fires plus random stalls/parks injected this run *)
   stalls_detected : int;  (** grace-period stall watchdog reports *)
-  recoveries : int;  (** interrupted unzips completed by later writers *)
+  recoveries : int;
+      (** interrupted unzips completed by later writers; for
+          crash_recovery, durable recovery points exercised (snapshots
+          published plus the warm restart) *)
   elapsed : float;
   metrics : (string * string) list;
       (** end-of-run {!Rp_obs.Registry} snapshot of the structures under

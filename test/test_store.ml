@@ -7,10 +7,11 @@ open Memcached
 let backends = [ ("lock", Store.Lock); ("rp", Store.Rp) ]
 
 (* A controllable clock. *)
-let make_store ?(max_bytes = 1 lsl 30) backend =
+let make_store ?(max_bytes = 1 lsl 30) ?rcu_mode backend =
   let now = ref 1_000_000_000.0 in
   let store =
-    Store.create ~backend ~max_bytes ~initial_size:64 ~clock:(fun () -> !now) ()
+    Store.create ~backend ?rcu_mode ~max_bytes ~initial_size:64
+      ~clock:(fun () -> !now) ()
   in
   (store, now)
 
@@ -202,6 +203,113 @@ let test_rp_eviction_second_chance () =
     (get_data store "k0");
   Alcotest.(check bool) "something was evicted" true (Store.evictions store > 0)
 
+let stat store key =
+  match List.assoc_opt key (Store.stats store) with
+  | Some v -> int_of_string v
+  | None -> Alcotest.failf "missing stat %s" key
+
+let test_clock_budget_all_hot () =
+  (* Regression: when every resident key is hot, each sweep's second
+     chances are bounded by the queue length at sweep start, so eviction
+     degrades to FIFO instead of requeueing forever. *)
+  let item_size = chunk_for (2 + 10 + Item.overhead_bytes) in
+  let store, now = make_store ~max_bytes:(4 * item_size) Store.Rp in
+  List.iter (fun k -> set_ok store k (String.make 10 'v')) [ "k0"; "k1"; "k2"; "k3" ];
+  now := !now +. 1.0;
+  List.iter (fun k -> ignore (Store.get store k)) [ "k0"; "k1"; "k2"; "k3" ];
+  set_ok store "k4" (String.make 10 'v');
+  Alcotest.(check bool) "eviction made room" true (Store.evictions store > 0);
+  Alcotest.(check bool) "within budget" true (Store.bytes store <= 4 * item_size);
+  Alcotest.(check bool) "second chances were granted" true
+    (stat store "clock_second_chances" > 0);
+  Alcotest.(check bool) "budget bounds the chances" true
+    (stat store "clock_second_chances" <= 5);
+  (* The hot residents kept their seats; the one cold key (k4, never
+     touched since insert) was the FIFO victim once the chances ran out. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string)) (k ^ " kept by its second chance")
+        (Some (String.make 10 'v'))
+        (get_data store k))
+    [ "k0"; "k1"; "k2"; "k3" ]
+
+(* Qsbr-mode coverage: the expiry and eviction slow paths run locked
+   update-side code (synchronize included) from the mutating caller, which
+   under QSBR is itself a registered reader — the single-threaded tests
+   would hang on any missed quiescent state. *)
+
+let test_qsbr_expiry () =
+  let store, now = make_store ~rcu_mode:Store.Qsbr Store.Rp in
+  Alcotest.(check bool) "qsbr mode" true (Store.rcu_mode store = Store.Qsbr);
+  ignore (Store.set store ~key:"k" ~flags:0 ~exptime:60 ~data:"v");
+  now := !now +. 61.0;
+  Alcotest.(check (option string)) "expired" None (get_data store "k");
+  Alcotest.(check int) "reaped" 0 (Store.items store);
+  Alcotest.(check bool) "expired counter moved" true (stat store "expired" > 0);
+  Store.reader_offline store
+
+let test_qsbr_eviction () =
+  let item_size = chunk_for (3 + 100 + Item.overhead_bytes) in
+  let store, _ = make_store ~rcu_mode:Store.Qsbr ~max_bytes:(8 * item_size) Store.Rp in
+  for i = 0 to 49 do
+    ignore
+      (Store.set store
+         ~key:(Printf.sprintf "k%02d" i)
+         ~flags:0 ~exptime:0 ~data:(String.make 100 'x'))
+  done;
+  Alcotest.(check bool) "evictions happened" true (Store.evictions store > 0);
+  Alcotest.(check bool) "eviction counter in stats" true (stat store "evictions" > 0);
+  Alcotest.(check bool) "within budget" true (Store.bytes store <= 8 * item_size);
+  Alcotest.(check (option string)) "newest survives"
+    (Some (String.make 100 'x'))
+    (get_data store "k49");
+  Store.reader_offline store
+
+(* The memcached 30-day rule, pinned at the boundary: REALTIME_MAXDELTA
+   seconds is still a relative offset, one more is an absolute Unix
+   timestamp (which, in 1970 terms, is long past). *)
+let realtime_maxdelta = 30 * 24 * 60 * 60
+
+let test_exptime_threshold backend () =
+  let store, now = make_store backend in
+  ignore
+    (Store.set store ~key:"rel" ~flags:0 ~exptime:realtime_maxdelta ~data:"v");
+  ignore
+    (Store.set store ~key:"abs" ~flags:0 ~exptime:(realtime_maxdelta + 1) ~data:"v");
+  Alcotest.(check (option string)) "30d is relative: alive" (Some "v")
+    (get_data store "rel");
+  Alcotest.(check (option string)) "30d+1s is absolute: long expired" None
+    (get_data store "abs");
+  now := !now +. float_of_int realtime_maxdelta +. 1.0;
+  Alcotest.(check (option string)) "relative deadline enforced" None
+    (get_data store "rel")
+
+let test_exptime_logged_absolute backend () =
+  (* Replay determinism: the persist hook must see expiry as the absolute
+     Unix seconds computed once at op time, never a relative offset. *)
+  let store, now = make_store backend in
+  let last = ref None in
+  Store.set_persist_hook store (Some (fun r -> last := Some r));
+  let logged_exptime exptime =
+    ignore (Store.set store ~key:"k" ~flags:0 ~exptime ~data:"v");
+    match !last with
+    | Some (Rp_persist.Record.Set { exptime = e; _ }) -> e
+    | _ -> Alcotest.fail "set not logged"
+  in
+  Alcotest.(check (float 0.)) "0 stays 0 (never expires)" 0. (logged_exptime 0);
+  Alcotest.(check (float 0.)) "relative becomes now + offset" (!now +. 60.)
+    (logged_exptime 60);
+  Alcotest.(check (float 0.)) "boundary is still relative"
+    (!now +. float_of_int realtime_maxdelta)
+    (logged_exptime realtime_maxdelta);
+  Alcotest.(check (float 0.)) "past the boundary is absolute"
+    (float_of_int (realtime_maxdelta + 1))
+    (logged_exptime (realtime_maxdelta + 1));
+  Alcotest.(check bool) "negative is expired, not 'never'" true
+    (let e = logged_exptime (-1) in
+     e > 0. && e < 1.);
+  Store.set_persist_hook store None
+
 let test_stats backend () =
   let store, _ = make_store backend in
   set_ok store "k" "v";
@@ -287,7 +395,16 @@ let () =
           Alcotest.test_case "lock backend exact LRU" `Quick test_lock_eviction_is_lru;
           Alcotest.test_case "rp backend second chance" `Quick
             test_rp_eviction_second_chance;
+          Alcotest.test_case "second chances bounded per sweep" `Quick
+            test_clock_budget_all_hot;
         ] );
+      ( "qsbr mode",
+        [
+          Alcotest.test_case "expiry" `Quick test_qsbr_expiry;
+          Alcotest.test_case "eviction" `Quick test_qsbr_eviction;
+        ] );
+      ("exptime threshold", per_backend test_exptime_threshold);
+      ("exptime logged absolute", per_backend test_exptime_logged_absolute);
       ("stats", per_backend test_stats);
       ("get_many", per_backend test_get_many);
       ( "model",

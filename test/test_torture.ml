@@ -116,7 +116,7 @@ let test_scenario_validation () =
         });
   Alcotest.(check (list string))
     "scenario names"
-    [ "steady"; "crash_resizer"; "stalled_reader"; "torn_io" ]
+    [ "steady"; "crash_resizer"; "stalled_reader"; "torn_io"; "crash_recovery" ]
     Rp_torture.Torture.scenario_names
 
 let test_report_rendering () =

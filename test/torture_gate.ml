@@ -94,6 +94,20 @@ let () =
     Printf.printf "torn_io: no faults fired\n%!";
     incr failures
   end;
+  let recovered =
+    run "crash_recovery"
+      { base with scenario = "crash_recovery"; duration = 0.2; churn_keys = 96 }
+  in
+  (* The oracle (exact model equality after the staged kill -9) is covered
+     by violations; also insist the durable machinery actually ran. *)
+  if recovered.recoveries < 2 then begin
+    Printf.printf "crash_recovery: no snapshot published during the run\n%!";
+    incr failures
+  end;
+  if recovered.faults_injected = 0 then begin
+    Printf.printf "crash_recovery: staged crash never fired\n%!";
+    incr failures
+  end;
   (match Sys.argv with
   | [| _; "-o"; path |] -> write_report_file path
   | _ -> ());
