@@ -1,0 +1,41 @@
+(* Trend gate CLI: compare fresh BENCH_*.json reports against committed
+   baselines and exit non-zero on any gated regression. Driven by the
+   @bench-smoke alias; usage:
+
+     trend_gate <baseline.json> <fresh.json> [<baseline> <fresh> ...]
+
+   Each report names its own benchmark ("benchmark" field), which selects
+   the committed rule set (Rp_harness.Trend.rules_for). *)
+
+open Rp_harness
+
+let rec pairs = function
+  | [] -> []
+  | b :: f :: rest -> (b, f) :: pairs rest
+  | [ _ ] ->
+      prerr_endline "usage: trend_gate <baseline.json> <fresh.json> ...";
+      exit 2
+
+let () =
+  let argv = List.tl (Array.to_list Sys.argv) in
+  if argv = [] then begin
+    prerr_endline "usage: trend_gate <baseline.json> <fresh.json> ...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun (baseline_path, fresh_path) ->
+      let baseline = Trend.parse_file baseline_path in
+      let fresh = Trend.parse_file fresh_path in
+      let name = Trend.benchmark_name baseline in
+      let rules = Trend.rules_for name in
+      match Trend.gate ~rules ~baseline ~fresh with
+      | [] ->
+          Printf.printf "trend gate %-22s ok (%d rules, baseline %s)\n" name
+            (List.length rules) baseline_path
+      | failures ->
+          failed := true;
+          Printf.printf "trend gate %-22s FAILED:\n%s\n" name
+            (Trend.report_failures failures))
+    (pairs argv);
+  if !failed then exit 1

@@ -91,8 +91,32 @@ let fsync_policy_arg =
     & opt (conv (parse, print)) Rp_persist.Oplog.Always
     & info [ "fsync-policy" ] ~docv:"POLICY" ~doc)
 
+let trace_sample_arg =
+  let doc =
+    "Head-sample 1 request in $(docv) for detailed flight-recorder spans \
+     (1 = trace every request; request-level spans and the slow-request \
+     tail trigger stay on regardless)."
+  in
+  Arg.(value & opt int 1024 & info [ "trace-sample" ] ~docv:"N" ~doc)
+
+let trace_slow_ms_arg =
+  let doc =
+    "Tail-trigger latency budget: a request slower than $(docv) ms is \
+     force-retained in the slow-request log with its span breakdown."
+  in
+  Arg.(value & opt float 100. & info [ "trace-slow-ms" ] ~docv:"MS" ~doc)
+
+let trace_buffer_arg =
+  let doc =
+    "Flight-recorder ring size per worker domain, in span records (rounded \
+     up to a power of two; the default keeps the ring L2-resident)."
+  in
+  Arg.(value & opt int 1024 & info [ "trace-buffer" ] ~docv:"RECORDS" ~doc)
+
 let run backend port socket max_mb metrics_port mode workers data_dir
-    snapshot_interval aof fsync_policy =
+    snapshot_interval aof fsync_policy trace_sample trace_slow_ms trace_buffer =
+  Rp_trace.configure ~sample:trace_sample ~slow_ms:trace_slow_ms
+    ~buffer:trace_buffer ();
   let rcu_mode =
     (* The event loop's worker domains follow QSBR discipline, unlocking
        the zero-cost GET read sections; the threaded plane keeps the
@@ -176,6 +200,7 @@ let cmd =
     Term.(
       const run $ backend_arg $ port_arg $ socket_arg $ max_bytes_arg
       $ metrics_port_arg $ mode_arg $ workers_arg $ data_dir_arg
-      $ snapshot_interval_arg $ aof_arg $ fsync_policy_arg)
+      $ snapshot_interval_arg $ aof_arg $ fsync_policy_arg
+      $ trace_sample_arg $ trace_slow_ms_arg $ trace_buffer_arg)
 
 let () = exit (Cmd.eval cmd)

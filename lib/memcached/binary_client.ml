@@ -87,14 +87,27 @@ let touch t ~key ~exptime =
   (request t (make_request ~key ~extras:(touch_extras ~exptime) Touch)).status
   = Ok_status
 
+let gat t ~key ~exptime =
+  let r = request t (make_request ~key ~extras:(touch_extras ~exptime) GAT) in
+  match r.status with
+  | Ok_status ->
+      let flags =
+        if String.length r.r_extras >= 4 then parse_u32 r.r_extras 0 else 0
+      in
+      Some (r.r_value, flags)
+  | _ -> None
+
 let version t = (request t (make_request Version)).r_value
 let noop t = ignore (request t (make_request Noop))
 let flush_all t = ignore (request t (make_request Flush))
 
-let stats t =
-  Io.write_all t.fd (encode_request (make_request Stat));
+let stats ?(key = "") t =
+  Io.write_all t.fd (encode_request (make_request ~key Stat));
   let rec collect acc =
     let r = read_response t in
-    if r.r_key = "" then List.rev acc else collect ((r.r_key, r.r_value) :: acc)
+    if r.status <> Ok_status then
+      failwith "Binary_client.stats: error status"
+    else if r.r_key = "" then List.rev acc
+    else collect ((r.r_key, r.r_value) :: acc)
   in
   collect []

@@ -22,10 +22,18 @@ val delete : t -> string -> bool
 val incr : t -> ?initial:int -> string -> int -> int option
 val decr : t -> ?initial:int -> string -> int -> int option
 val touch : t -> key:string -> exptime:int -> bool
+
+val gat : t -> key:string -> exptime:int -> (string * int) option
+(** Get-and-touch: [Some (value, flags)] with the expiry bumped. *)
+
 val version : t -> string
 val noop : t -> unit
 val flush_all : t -> unit
-val stats : t -> (string * string) list
+
+val stats : ?key:string -> t -> (string * string) list
+(** [stats t] is the default section; [~key:"rp"], [~key:"persist"], and
+    [~key:"trace"] select the named sections (raises [Failure] on an
+    unknown section). *)
 
 val request : t -> Binary_protocol.request -> Binary_protocol.response
 (** Send any request expecting exactly one response frame. *)

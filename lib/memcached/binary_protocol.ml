@@ -17,6 +17,8 @@ type opcode =
   | Prepend
   | Stat
   | Touch
+  | GAT
+  | GATQ
 
 let opcode_to_byte = function
   | Get -> 0x00
@@ -37,6 +39,8 @@ let opcode_to_byte = function
   | Prepend -> 0x0f
   | Stat -> 0x10
   | Touch -> 0x1c
+  | GAT -> 0x1d
+  | GATQ -> 0x1e
 
 let opcode_of_byte = function
   | 0x00 -> Some Get
@@ -57,9 +61,11 @@ let opcode_of_byte = function
   | 0x0f -> Some Prepend
   | 0x10 -> Some Stat
   | 0x1c -> Some Touch
+  | 0x1d -> Some GAT
+  | 0x1e -> Some GATQ
   | _ -> None
 
-let opcode_is_quiet = function GetQ | GetKQ -> true | _ -> false
+let opcode_is_quiet = function GetQ | GetKQ | GATQ -> true | _ -> false
 
 type status =
   | Ok_status

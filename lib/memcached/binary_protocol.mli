@@ -3,9 +3,9 @@
     Complements {!Protocol} (text): real memcached deployments speak both,
     auto-detected by the first byte of a connection (0x80 = binary request
     magic). Covers the operation set our store implements: Get/GetQ/GetK,
-    Set/Add/Replace, Delete, Incr/Decr, Append/Prepend, Touch, Flush, Noop,
-    Version, Stat, Quit — including the quiet variants' suppress-on-miss
-    semantics.
+    Set/Add/Replace, Delete, Incr/Decr, Append/Prepend, Touch, GAT/GATQ,
+    Flush, Noop, Version, Stat (keyed: [rp], [persist], [trace]), Quit —
+    including the quiet variants' suppress-on-miss semantics.
 
     Integers are big-endian on the wire. CAS values are 64-bit on the wire
     but OCaml ints internally (we never generate values above 62 bits). *)
@@ -29,6 +29,8 @@ type opcode =
   | Prepend
   | Stat
   | Touch
+  | GAT  (** get-and-touch: extras carry the new exptime *)
+  | GATQ  (** quiet get-and-touch: silent on a miss *)
 
 val opcode_to_byte : opcode -> int
 val opcode_of_byte : int -> opcode option

@@ -68,6 +68,28 @@ let handle_storage store (request : request) op =
     | other -> [ reply request ~status:(stored_status other) ]
   end
 
+(* Get-and-touch: bump the exptime, then serve the value like a get.
+   A concurrent delete between the two steps reads as a miss, which is
+   also what a client racing a delete could legitimately observe. *)
+let handle_gat store (request : request) ~quiet =
+  if String.length request.extras <> 4 then
+    [ reply request ~status:Invalid_arguments ]
+  else begin
+    let exptime = parse_u32 request.extras 0 in
+    if not (Store.touch store ~key:request.key ~exptime) then
+      if quiet then [] else [ reply request ~status:Key_not_found ]
+    else
+      match Store.get store request.key with
+      | Some v ->
+          [
+            reply request ~value:v.Protocol.vdata
+              ~extras:(get_response_extras ~flags:v.Protocol.vflags)
+              ~cas:(Option.value ~default:0 v.Protocol.vcas);
+          ]
+      | None ->
+          if quiet then [] else [ reply request ~status:Key_not_found ]
+  end
+
 let handle_counter store (request : request) ~decrement =
   if String.length request.extras <> 20 then
     [ reply request ~status:Invalid_arguments ]
@@ -127,10 +149,22 @@ let handle store (request : request) : response list =
       [ reply request ]
   | Noop -> [ reply request ]
   | Version -> [ reply request ~value:Version.string ]
-  | Stat ->
-      (* One response per stat, then an empty-key terminator. *)
-      List.map
-        (fun (k, v) -> reply request ~key:k ~value:v)
-        (Store.stats store)
-      @ [ reply request ]
+  | GAT -> handle_gat store request ~quiet:false
+  | GATQ -> handle_gat store request ~quiet:true
+  | Stat -> (
+      (* The key selects the section, as [stats <arg>] does in text:
+         one response per stat, then an empty-key terminator. *)
+      let section =
+        match request.key with
+        | "" -> Some (Store.stats store)
+        | "rp" -> Some (Store.rp_stats store)
+        | "persist" -> Some (Store.persist_stats store)
+        | "trace" -> Some (Store.trace_stats store)
+        | _ -> None
+      in
+      match section with
+      | None -> [ reply request ~status:Invalid_arguments ]
+      | Some stats ->
+          List.map (fun (k, v) -> reply request ~key:k ~value:v) stats
+          @ [ reply request ])
   | Quit -> []

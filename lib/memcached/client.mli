@@ -34,6 +34,10 @@ val stats : ?arg:string -> t -> (string * string) list
 (** [stats t] sends [stats]; [stats ~arg:"rp" t] sends [stats rp] and
     returns the relativistic-stack instrument lines only. *)
 
+val trace_dump : ?max_events:int -> t -> string
+(** Send [trace dump [n]] and return the server's flight-recorder export
+    (one line of Chrome trace-event JSON). *)
+
 val version : t -> string
 val flush_all : t -> unit
 

@@ -14,6 +14,16 @@ type proto =
   | Text of Protocol.Parser.t
   | Binary of Binary_protocol.Parser.t
 
+(* Flight-recorder span names (request tier: every request gets a B/E
+   pair so the tail trigger has a substrate; the conn.* spans bracket
+   the batch so request spans nest under their dispatch). *)
+let k_fill = Rp_trace.intern "conn.fill"
+let k_batch = Rp_trace.intern "conn.dispatch"
+let k_flush = Rp_trace.intern "conn.flush"
+let k_req = Rp_trace.intern "req.text"
+let k_req_bin = Rp_trace.intern "req.binary"
+let k_encode = Rp_trace.intern "conn.encode"
+
 type t = {
   fd : Unix.file_descr;
   id : int;
@@ -84,7 +94,7 @@ let fill t =
         feed t (Bytes.sub_string t.rbuf 0 n);
         go ()
   in
-  go ()
+  Rp_trace.with_span ~arg:t.id k_fill go
 
 (* Execute every complete request buffered in the parser, rendering
    responses into [t.out]. Returns the batch size (dispatched commands,
@@ -109,12 +119,17 @@ let dispatch t store =
               t.closing <- true;
               n + 1
           | Some (Ok request) ->
+              Rp_trace.request_begin ~arg:t.id k_req;
               (match Dispatch.handle store request with
-              | Some response -> Protocol.encode_response_into t.out response
+              | Some response ->
+                  let enc = Rp_trace.span_begin_sampled k_encode in
+                  Protocol.encode_response_into t.out response;
+                  Rp_trace.span_end_sampled k_encode enc
               | None -> ());
+              Rp_trace.request_end ();
               go (n + 1)
       in
-      go 0
+      Rp_trace.with_span ~arg:t.id k_batch (fun () -> go 0)
   | Binary p ->
       let rec go n =
         if t.closing then n
@@ -127,19 +142,23 @@ let dispatch t store =
               t.closing <- true;
               n
           | Some (Ok request) ->
+              Rp_trace.request_begin ~arg:t.id k_req_bin;
               List.iter
                 (fun response ->
                   Binary_protocol.encode_response_into t.out response)
                 (Binary_server.handle store request);
+              Rp_trace.request_end ();
               if Binary_server.quit_requested request then t.closing <- true;
               go (n + 1)
       in
-      go 0
+      Rp_trace.with_span ~arg:t.id k_batch (fun () -> go 0)
 
 (* Push pending then freshly rendered bytes. [`Want_write] means the
    socket backed up: the worker polls for writability. Socket errors and
    injected tears report [`Closed]. *)
 let flush t =
+  let had_output = wants_write t in
+  let span = if had_output then Rp_trace.span_begin ~arg:t.id k_flush else -1 in
   let rec push () =
     if t.pending <> "" then
       match
@@ -169,4 +188,8 @@ let flush t =
     end
     else `Done
   in
-  try push () with Unix.Unix_error _ | Rp_fault.Injected _ -> `Closed
+  let verdict =
+    try push () with Unix.Unix_error _ | Rp_fault.Injected _ -> `Closed
+  in
+  Rp_trace.span_end ~arg:t.id k_flush span;
+  verdict

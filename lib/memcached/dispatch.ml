@@ -65,8 +65,12 @@ let handle store (request : Protocol.request) : Protocol.response option =
       Some (Protocol.Stats_reply (Store.rp_stats store))
   | Protocol.Stats (Some "persist") ->
       Some (Protocol.Stats_reply (Store.persist_stats store))
+  | Protocol.Stats (Some "trace") ->
+      Some (Protocol.Stats_reply (Store.trace_stats store))
   | Protocol.Stats (Some arg) ->
       Some (Protocol.Client_error ("unknown stats argument: " ^ arg))
+  | Protocol.Trace_dump max_events ->
+      Some (Protocol.Trace_json (Rp_trace.export_json ?max_events ()))
   | Protocol.Flush_all { noreply } ->
       Store.flush_all store;
       if noreply then None else Some Protocol.Ok_reply

@@ -20,6 +20,9 @@ type config = {
   read_buffer_size : int;
 }
 
+let k_wakeup = Rp_trace.intern "evloop.wakeup"
+let k_adopt = Rp_trace.intern "evloop.adopt"
+
 type worker = {
   index : int;
   wake_r : Unix.file_descr;
@@ -136,9 +139,14 @@ let worker_loop t w =
     | exception Unix.Unix_error (Unix.EBADF, _, _) -> sweep_bad t w conns
     | readable, writable, _ ->
         Rp_obs.Counter.incr t.wakeups;
+        let wakeup_span =
+          if readable = [] && writable = [] then -1
+          else Rp_trace.span_begin ~arg:w.index k_wakeup
+        in
         if List.mem w.wake_r readable then begin
           (try ignore (Unix.read w.wake_r scratch 0 (Bytes.length scratch))
            with Unix.Unix_error _ -> ());
+          Rp_trace.instant ~arg:w.index k_adopt;
           adopt t w conns
         end;
         List.iter
@@ -161,6 +169,7 @@ let worker_loop t w =
                   | `Keep -> ()
                   | `Close -> drop t w conns conn))
           readable;
+        Rp_trace.span_end ~arg:w.index k_wakeup wakeup_span;
         if t.config.idle_timeout > 0.0 then sweep_idle t w conns
   done;
   let leftovers = Hashtbl.fold (fun _ conn acc -> conn :: acc) conns [] in

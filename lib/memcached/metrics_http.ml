@@ -1,6 +1,9 @@
-(* Minimal HTTP/1.0 exposition endpoint: every request, whatever its path,
-   gets the registry rendered as Prometheus text. One thread per connection
-   is fine — scrapers poll at second granularity. *)
+(* Minimal HTTP/1.0 exposition endpoint. One thread per connection is
+   fine — scrapers poll at second granularity. Routes:
+     /metrics (or /)  Prometheus text
+     /json            the registry as JSON
+     /trace           the flight recorder as Chrome trace-event JSON
+   anything else is a 404. *)
 
 type t = {
   listen_fd : Unix.file_descr;
@@ -9,23 +12,47 @@ type t = {
   port : int;
 }
 
-let content_type = "text/plain; version=0.0.4"
+let prometheus_type = "text/plain; version=0.0.4"
+let json_type = "application/json"
 
-let respond fd body =
+let respond fd ~status ~content_type body =
   let head =
     Printf.sprintf
-      "HTTP/1.0 200 OK\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
-      content_type (String.length body)
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status content_type (String.length body)
   in
   try Io.write_all fd (head ^ body)
   with Unix.Unix_error _ | Io.Timeout | Rp_fault.Injected _ -> ()
 
+(* The path from a "GET /path HTTP/1.x" request line, query string
+   stripped. Anything unparseable routes like "/" (the scrape default). *)
+let request_path data =
+  match String.split_on_char ' ' data with
+  | _meth :: target :: _ when String.length target > 0 && target.[0] = '/' ->
+      (match String.index_opt target '?' with
+      | Some q -> String.sub target 0 q
+      | None -> target)
+  | _ -> "/"
+
 let serve registry fd =
   let buf = Bytes.create 4096 in
-  (* Read one request line; we don't care about headers or path. *)
-  (try ignore (Io.read fd buf) with
-  | Unix.Unix_error _ | End_of_file | Io.Timeout | Rp_fault.Injected _ -> ());
-  respond fd (Rp_obs.Registry.to_prometheus registry);
+  let n =
+    try Io.read fd buf with
+    | Unix.Unix_error _ | End_of_file | Io.Timeout | Rp_fault.Injected _ -> 0
+  in
+  (match request_path (Bytes.sub_string buf 0 n) with
+  | "/" | "/metrics" ->
+      respond fd ~status:"200 OK" ~content_type:prometheus_type
+        (Rp_obs.Registry.to_prometheus registry)
+  | "/json" ->
+      respond fd ~status:"200 OK" ~content_type:json_type
+        (Rp_obs.Registry.to_json registry)
+  | "/trace" ->
+      respond fd ~status:"200 OK" ~content_type:json_type
+        (Rp_trace.export_json ())
+  | path ->
+      respond fd ~status:"404 Not Found" ~content_type:"text/plain"
+        (Printf.sprintf "no such endpoint: %s\n" path));
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_loop t registry =

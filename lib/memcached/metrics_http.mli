@@ -1,7 +1,12 @@
-(** Prometheus scrape endpoint: a minimal HTTP/1.0 server that answers
-    every request with {!Rp_obs.Registry.to_prometheus} of the registry it
-    was started with (text exposition format 0.0.4). Backs the memcached
-    server binary's [--metrics-port] flag. *)
+(** Observability endpoint: a minimal HTTP/1.0 server routing
+    - [/] and [/metrics] to {!Rp_obs.Registry.to_prometheus} of the
+      registry it was started with (text exposition format 0.0.4,
+      [text/plain; version=0.0.4]);
+    - [/json] to {!Rp_obs.Registry.to_json} ([application/json]);
+    - [/trace] to {!Rp_trace.export_json} — the flight recorder as
+      Chrome trace-event / Perfetto JSON ([application/json]);
+    - anything else to a 404.
+    Backs the memcached server binary's [--metrics-port] flag. *)
 
 type t
 

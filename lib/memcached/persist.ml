@@ -54,14 +54,19 @@ let record_of_item key (item : Item.t) =
    published — they are fully covered by it. The failpoint models a crash
    in the window between publishing the snapshot and pruning the log;
    recovery then simply replays more than it strictly needs to. *)
+let k_snapshot = Rp_trace.intern "persist.snapshot"
+let k_walk = Rp_trace.intern "persist.snapshot_walk"
+let k_compact = Rp_trace.intern "persist.compact"
+
 let compact t ~keep_gen =
   Rp_fault.point "persist.compact.pre";
   let prune (g, path) =
     if g < keep_gen then try Sys.remove path with Sys_error _ -> ()
   in
-  List.iter prune (P.Snapshot.files ~dir:t.dir);
-  List.iter prune (P.Oplog.segments ~dir:t.dir);
-  P.Fsutil.fsync_dir t.dir;
+  Rp_trace.with_span ~arg:keep_gen k_compact (fun () ->
+      List.iter prune (P.Snapshot.files ~dir:t.dir);
+      List.iter prune (P.Oplog.segments ~dir:t.dir);
+      P.Fsutil.fsync_dir t.dir);
   Atomic.incr t.compactions
 
 (* Runs on the snapshot domain only (next_gen/next_deadline are its). *)
@@ -72,19 +77,23 @@ let do_snapshot t =
      [gen], which recovery replays on top of snapshot [gen]. *)
   (match t.log with Some log -> P.Oplog.rotate log ~gen | None -> ());
   let started = Unix.gettimeofday () in
+  let snap_span = Rp_trace.span_begin ~arg:gen k_snapshot in
   let count =
     P.Snapshot.write ~dir:t.dir ~gen ~iter:(fun emit ->
         let now = Store.now t.store in
+        let walk_span = Rp_trace.span_begin ~arg:gen k_walk in
         let restarts =
           Store.iter_items t.store ~f:(fun key item ->
               if not (Item.is_expired item ~now) then
                 emit (record_of_item key item))
         in
+        Rp_trace.span_end ~arg:restarts k_walk walk_span;
         Atomic.set t.walk_restarts (Atomic.get t.walk_restarts + restarts);
         (* Walk done, read sections closed: go offline so the fsync and
            rename below never hold up a grace period. *)
         Store.reader_offline t.store)
   in
+  Rp_trace.span_end ~arg:gen k_snapshot snap_span;
   Rp_obs.Histogram.observe_span t.snapshot_hist ~start:started
     ~stop:(Unix.gettimeofday ());
   Atomic.incr t.snapshots;

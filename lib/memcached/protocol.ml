@@ -20,6 +20,7 @@ type request =
   | Decr of { key : string; delta : int; noreply : bool }
   | Touch of { key : string; exptime : int; noreply : bool }
   | Stats of string option
+  | Trace_dump of int option  (** [trace dump [n]]: flight-recorder export *)
   | Flush_all of { noreply : bool }
   | Version
   | Quit
@@ -38,6 +39,8 @@ type response =
   | Version_reply of string
   | Number of int
   | Stats_reply of (string * string) list
+  | Trace_json of string
+      (** one line of trace-event JSON, terminated by [END] *)
   | Client_error of string
   | Server_error of string
   | Error_reply
@@ -78,6 +81,8 @@ let encode_request = function
         crlf
   | Stats None -> "stats" ^ crlf
   | Stats (Some arg) -> "stats " ^ arg ^ crlf
+  | Trace_dump None -> "trace dump" ^ crlf
+  | Trace_dump (Some n) -> Printf.sprintf "trace dump %d%s" n crlf
   | Flush_all { noreply } ->
       Printf.sprintf "flush_all%s%s" (if noreply then " noreply" else "") crlf
   | Version -> "version" ^ crlf
@@ -129,6 +134,11 @@ let encode_response_into buf = function
           Buffer.add_string buf v;
           Buffer.add_string buf crlf)
         stats;
+      Buffer.add_string buf "END";
+      Buffer.add_string buf crlf
+  | Trace_json json ->
+      Buffer.add_string buf json;
+      Buffer.add_string buf crlf;
       Buffer.add_string buf "END";
       Buffer.add_string buf crlf
   | Client_error msg ->
@@ -352,6 +362,14 @@ module Parser = struct
             | [] -> Some (Ok (Stats None))
             | [ arg ] -> Some (Ok (Stats (Some arg)))
             | _ -> Some (Error "bad stats"))
+        | "trace" -> (
+            match args with
+            | [ "dump" ] -> Some (Ok (Trace_dump None))
+            | [ "dump"; n ] -> (
+                match int_arg n with
+                | Some n when n > 0 -> Some (Ok (Trace_dump (Some n)))
+                | _ -> Some (Error "bad trace dump count"))
+            | _ -> Some (Error "bad trace"))
         | "flush_all" -> (
             match args with
             | [] -> Some (Ok (Flush_all { noreply = false }))
@@ -405,6 +423,7 @@ module Response_parser = struct
     | In_values of value list
     | Value_data of { vkey : string; vflags : int; bytes : int; vcas : int option; acc : value list }
     | In_stats of (string * string) list
+    | In_trace of string  (* the JSON line; awaiting its END *)
 
   type t = { inbuf : Inbuf.t; mutable state : state }
 
@@ -430,6 +449,10 @@ module Response_parser = struct
     | Start -> (
         match Inbuf.take_line t.inbuf with
         | None -> None
+        | Some line when String.length line > 0 && line.[0] = '{' ->
+            (* trace dump: one line of JSON, then END *)
+            t.state <- In_trace line;
+            next t
         | Some line -> (
             let parts =
               String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
@@ -512,4 +535,13 @@ module Response_parser = struct
             | _ ->
                 t.state <- Start;
                 Some (Error ("unexpected line in STAT stream: " ^ line))))
+    | In_trace json -> (
+        match Inbuf.take_line t.inbuf with
+        | None -> None
+        | Some "END" ->
+            t.state <- Start;
+            Some (Ok (Trace_json json))
+        | Some line ->
+            t.state <- Start;
+            Some (Error ("unexpected line after trace JSON: " ^ line)))
 end

@@ -29,7 +29,11 @@ type request =
   | Touch of { key : string; exptime : int; noreply : bool }
   | Stats of string option
       (** [stats] or [stats <arg>]; the server understands [stats rp]
-          (relativistic-stack metrics only) *)
+          (relativistic-stack metrics), [stats persist], and
+          [stats trace] (flight-recorder state) *)
+  | Trace_dump of int option
+      (** [trace dump [n]]: export the flight recorder's newest [n]
+          events (all, when omitted) as Chrome trace-event JSON *)
   | Flush_all of { noreply : bool }
   | Version
   | Quit
@@ -48,6 +52,8 @@ type response =
   | Version_reply of string
   | Number of int
   | Stats_reply of (string * string) list
+  | Trace_json of string
+      (** [trace dump] reply: one line of trace-event JSON, then [END] *)
   | Client_error of string
   | Server_error of string
   | Error_reply

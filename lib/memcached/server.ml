@@ -34,6 +34,10 @@ let effective_workers config =
   if config.workers > 0 then config.workers
   else Domain.recommended_domain_count ()
 
+let k_accept = Rp_trace.intern "server.accept"
+let k_req = Rp_trace.intern "req.text"
+let k_req_bin = Rp_trace.intern "req.binary"
+
 (* ---------------------------------------------------------------------- *)
 (* Threaded plane: one thread per connection, blocking I/O.               *)
 (* ---------------------------------------------------------------------- *)
@@ -96,9 +100,15 @@ let serve_text config store fd buf ~initial =
           go ()
       | Some (Ok Protocol.Quit) -> closing := true
       | Some (Ok request) ->
+          (* Request-tier spans on the threaded plane share domain 0's
+             ring across connection threads; interleavings are tolerated
+             (flight-recorder semantics), the event-loop plane is the
+             one with exact per-domain nesting. *)
+          Rp_trace.request_begin k_req;
           (match Dispatch.handle store request with
           | Some response -> send config fd (Protocol.encode_response response)
           | None -> ());
+          Rp_trace.request_end ();
           go ()
     in
     go ()
@@ -126,10 +136,12 @@ let serve_binary config store fd buf ~initial =
              as stock memcached does. *)
           closing := true
       | Some (Ok request) ->
+          Rp_trace.request_begin k_req_bin;
           List.iter
             (fun response ->
               send config fd (Binary_protocol.encode_response response))
             (Binary_server.handle store request);
+          Rp_trace.request_end ();
           if Binary_server.quit_requested request then closing := true else go ()
     in
     go ()
@@ -244,6 +256,7 @@ let accept_loop t store =
           Atomic.incr t.accepted;
           if t.config.tcp_nodelay then Io.set_tcp_nodelay fd;
           Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:id "server.conn.accept";
+          Rp_trace.instant ~arg:id k_accept;
           match t.plane with
           | Threads th -> spawn_connection t th store id fd
           | Evloop ev -> Evloop.submit ev ~id fd

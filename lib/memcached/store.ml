@@ -49,7 +49,15 @@ type t = {
   evicted : Rp_obs.Counter.t;
   expired : Rp_obs.Counter.t;
   clock_chances : Rp_obs.Counter.t;
+  evict_sweep_us : Rp_obs.Histogram.t;  (* CLOCK sweep wall time, us *)
 }
+
+(* Flight-recorder span names. The read-section and update spans are
+   detail-tier (recorded only inside a head-sampled request); the CLOCK
+   sweep is control-tier — rare and worth seeing unconditionally. *)
+let k_read_section = Rp_trace.intern "store.read_section"
+let k_update = Rp_trace.intern "store.update"
+let k_evict_sweep = Rp_trace.intern "store.evict_sweep"
 
 let hash_key = Rp_hashes.Hashfn.fnv1a_string
 
@@ -101,8 +109,15 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
       clock_chances =
         counter "clock_second_chances"
           "CLOCK eviction second chances granted to recently-touched items";
+      evict_sweep_us =
+        Rp_obs.Registry.histogram registry
+          ~help:
+            "wall time of CLOCK eviction sweeps, microseconds (second \
+             chances included)"
+          "eviction_sweep_us";
     }
   in
+  Rp_trace.register_instruments registry;
   (* Gauges read live store state; histograms and table/RCU counters come
      from the layers below via their observe hooks. *)
   let gauge name help f = Rp_obs.Registry.gauge registry ~help name f in
@@ -269,26 +284,35 @@ let rp_delete t rs key =
    unboundedly under the update mutex. Once the budget is gone the sweep
    degrades to FIFO, which still frees memory. *)
 let rp_evict_until_fits t rs =
-  let chances = ref (Queue.length rs.clockq) in
-  let exhausted = ref false in
-  while (not !exhausted) && Slab.allocated_bytes t.slab > t.max_bytes do
-    match Queue.take_opt rs.clockq with
-    | None -> exhausted := true
-    | Some (key, seen_access) -> (
-        match Rp_ht.find rs.rp key with
-        | None -> () (* already deleted *)
-        | Some item ->
-            let last = Atomic.get item.last_access in
-            if last > seen_access && !chances > 0 then begin
-              decr chances;
-              Rp_obs.Counter.incr t.clock_chances;
-              Queue.add (key, last) rs.clockq
-            end
-            else begin
-              ignore (rp_delete t rs key);
-              Rp_obs.Counter.incr t.evicted
-            end)
-  done
+  if Slab.allocated_bytes t.slab > t.max_bytes then begin
+    (* Time the whole sweep, second-chance requeues included: its tail is
+       the CLOCK degradation the all-hot torture worries about. *)
+    let sweep_start = Rp_trace.now_ns () in
+    let sweep_span = Rp_trace.span_begin k_evict_sweep in
+    let chances = ref (Queue.length rs.clockq) in
+    let exhausted = ref false in
+    while (not !exhausted) && Slab.allocated_bytes t.slab > t.max_bytes do
+      match Queue.take_opt rs.clockq with
+      | None -> exhausted := true
+      | Some (key, seen_access) -> (
+          match Rp_ht.find rs.rp key with
+          | None -> () (* already deleted *)
+          | Some item ->
+              let last = Atomic.get item.last_access in
+              if last > seen_access && !chances > 0 then begin
+                decr chances;
+                Rp_obs.Counter.incr t.clock_chances;
+                Queue.add (key, last) rs.clockq
+              end
+              else begin
+                ignore (rp_delete t rs key);
+                Rp_obs.Counter.incr t.evicted
+              end)
+    done;
+    Rp_trace.span_end k_evict_sweep sweep_span;
+    Rp_obs.Histogram.observe t.evict_sweep_us
+      ((Rp_trace.now_ns () - sweep_start) / 1000)
+  end
 
 let rp_store t rs key (item : Item.t) =
   (match Rp_ht.find rs.rp key with
@@ -307,6 +331,7 @@ let rp_store t rs key (item : Item.t) =
    a quiescent state each round (we hold no RCU-protected references while
    asking for the writer lock). *)
 let with_update t (rs : rp_state) f =
+  let span = Rp_trace.span_begin_sampled k_update in
   (match t.qsbr with
   | None -> Mutex.lock rs.update
   | Some q ->
@@ -327,9 +352,11 @@ let with_update t (rs : rp_state) f =
   match f () with
   | v ->
       Mutex.unlock rs.update;
+      Rp_trace.span_end_sampled k_update span;
       v
   | exception e ->
       Mutex.unlock rs.update;
+      Rp_trace.span_end_sampled k_update span;
       raise e
 
 (* --- GET --- *)
@@ -398,12 +425,14 @@ let get_many t ?(with_cas = false) keys =
   | Lock_state ls -> List.filter_map (fun key -> get_lock t ls ~with_cas key) keys
   | Rp_state rs ->
       let expired_acc = ref [] in
+      let section = Rp_trace.span_begin_sampled ~arg:(List.length keys) k_read_section in
       let values =
         Flavour.with_read (Rp_ht.flavour rs.rp) (fun () ->
             List.filter_map
               (fun key -> get_rp t rs ~with_cas ~expired_acc key)
               keys)
       in
+      Rp_trace.span_end_sampled k_read_section section;
       (match !expired_acc with
       | [] -> ()
       | dead ->
@@ -690,13 +719,22 @@ let rp_instrument name = has_prefix "rp_ht_" name || has_prefix "rcu_" name
 (* "stats persist" filter: everything [Persist.attach] registers. *)
 let persist_instrument name = has_prefix "persist_" name
 
+(* "stats trace" filter: the flight recorder's registry instruments. *)
+let trace_instrument name = has_prefix "trace_" name
+
 let stats t =
   ("backend", match backend t with Lock -> "lock" | Rp -> "rp")
   :: Rp_obs.Registry.to_stats
-       ~filter:(fun n -> not (rp_instrument n || persist_instrument n))
+       ~filter:(fun n ->
+         not (rp_instrument n || persist_instrument n || trace_instrument n))
        t.registry
 
 let rp_stats t = Rp_obs.Registry.to_stats ~filter:rp_instrument t.registry
 
 let persist_stats t =
   Rp_obs.Registry.to_stats ~filter:persist_instrument t.registry
+
+(* "stats trace": live flight-recorder state (sample rate, span and drop
+   counts, retained slow requests). One recorder serves the process, so
+   the section reads [Rp_trace] directly rather than the registry. *)
+let trace_stats (_ : t) = Rp_trace.stats_kv ()

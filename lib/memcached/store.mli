@@ -149,6 +149,11 @@ val persist_stats : t -> (string * string) list
 (** [stats persist] lines: every [persist_*] instrument the {!Persist}
     manager registered. Empty when persistence is not attached. *)
 
+val trace_stats : t -> (string * string) list
+(** [stats trace] lines: the flight recorder's live state — sample rate,
+    spans recorded/dropped, sampled-request percentage, retained slow
+    requests ({!Rp_trace.stats_kv}; process-wide). *)
+
 val items : t -> int
 
 val bytes : t -> int

@@ -190,6 +190,7 @@ let report_stall t ~slot_index ~slot ~slot_epoch ~target_epoch ~waited =
   in
   t.last_stall <- Some report;
   Atomic.incr t.stall_count;
+  Rp_trace.instant ~arg:slot_index (Rp_trace.intern "rcu.stall");
   match t.stall_handler with
   | Some f -> ( try f report with _ -> ())
   | None -> ()
@@ -223,10 +224,13 @@ let scan_slots t ~new_epoch =
       end)
     t.slots
 
+let k_gp = Rp_trace.intern "rcu.gp"
+
 let synchronize t =
   check_not_reading t;
   Rp_fault.point "rcu.synchronize.pre";
   let started = Unix.gettimeofday () in
+  let gp_span = Rp_trace.span_begin k_gp in
   Mutex.lock t.gp_mutex;
   let new_epoch = 1 + Atomic.fetch_and_add t.epoch 1 in
   Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_epoch "rcu.gp_begin";
@@ -235,11 +239,13 @@ let synchronize t =
   | () -> ()
   | exception e ->
       Mutex.unlock t.gp_mutex;
+      Rp_trace.span_end ~arg:new_epoch k_gp gp_span;
       raise e);
   Atomic.incr t.gp_count;
   Atomic.incr t.sync_count;
   Mutex.unlock t.gp_mutex;
   Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_epoch "rcu.gp_end";
+  Rp_trace.span_end ~arg:new_epoch k_gp gp_span;
   Rp_obs.Histogram.observe_span t.gp_hist ~start:started
     ~stop:(Unix.gettimeofday ())
 

@@ -110,11 +110,14 @@ let offline th =
 
 let online th = Atomic.set th.slot.ctr (Atomic.get th.gp)
 
+let k_gp = Rp_trace.intern "qsbr.gp"
+
 let synchronize t =
   (* The calling thread, if registered, holds no references (precondition:
      outside any read section) — take it offline for the duration so that
      concurrent synchronize callers blocked on the mutex don't stall each
      other's grace periods (the classic QSBR deadlock). *)
+  let gp_span = Rp_trace.span_begin k_gp in
   let self_was_online =
     match Domain.DLS.get t.dls with
     | Some th when is_online th ->
@@ -142,6 +145,7 @@ let synchronize t =
     t.slots;
   Atomic.incr t.gp_count;
   Mutex.unlock t.gp_mutex;
+  Rp_trace.span_end ~arg:new_gp k_gp gp_span;
   match self_was_online with Some th -> online th | None -> ()
 
 let grace_periods t = Atomic.get t.gp_count

@@ -1,0 +1,326 @@
+(* Bench trend gating: parse two report files (committed baseline, fresh
+   run), flatten them to dotted metric paths, and compare the metrics a
+   rule set names. No JSON dependency — the reports are machine-written,
+   so a small recursive-descent parser covers them. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+(* --- parsing --- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let fail_at c msg =
+  raise (Parse_error (Printf.sprintf "%s at byte %d" msg c.pos))
+
+let skip_ws c =
+  while
+    c.pos < String.length c.s
+    && (match c.s.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail_at c (Printf.sprintf "expected '%c'" ch)
+
+let parse_string_body c =
+  (* c.pos is just past the opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if c.pos >= String.length c.s then fail_at c "unterminated string"
+    else
+      match c.s.[c.pos] with
+      | '"' -> c.pos <- c.pos + 1
+      | '\\' ->
+          if c.pos + 1 >= String.length c.s then fail_at c "bad escape";
+          (match c.s.[c.pos + 1] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              (* Pass the raw escape through: report files never carry
+                 unicode escapes, but don't crash on one. *)
+              if c.pos + 5 >= String.length c.s then fail_at c "bad \\u";
+              Buffer.add_string buf (String.sub c.s c.pos 6);
+              c.pos <- c.pos + 4
+          | ch -> fail_at c (Printf.sprintf "bad escape '\\%c'" ch));
+          c.pos <- c.pos + 2;
+          go ()
+      | ch ->
+          Buffer.add_char buf ch;
+          c.pos <- c.pos + 1;
+          go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let is_num_char = function
+  | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+  | _ -> false
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail_at c "unexpected end of input"
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then (
+        c.pos <- c.pos + 1;
+        Obj [])
+      else begin
+        let rec members acc =
+          skip_ws c;
+          expect c '"';
+          let key = parse_string_body c in
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              c.pos <- c.pos + 1;
+              List.rev ((key, v) :: acc)
+          | _ -> fail_at c "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then (
+        c.pos <- c.pos + 1;
+        List [])
+      else begin
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              elements (v :: acc)
+          | Some ']' ->
+              c.pos <- c.pos + 1;
+              List.rev (v :: acc)
+          | _ -> fail_at c "expected ',' or ']'"
+        in
+        List (elements [])
+      end
+  | Some '"' ->
+      c.pos <- c.pos + 1;
+      Str (parse_string_body c)
+  | Some 't' when c.pos + 4 <= String.length c.s
+                  && String.sub c.s c.pos 4 = "true" ->
+      c.pos <- c.pos + 4;
+      Bool true
+  | Some 'f' when c.pos + 5 <= String.length c.s
+                  && String.sub c.s c.pos 5 = "false" ->
+      c.pos <- c.pos + 5;
+      Bool false
+  | Some 'n' when c.pos + 4 <= String.length c.s
+                  && String.sub c.s c.pos 4 = "null" ->
+      c.pos <- c.pos + 4;
+      Null
+  | Some ch when is_num_char ch ->
+      let start = c.pos in
+      while
+        c.pos < String.length c.s && is_num_char c.s.[c.pos]
+      do
+        c.pos <- c.pos + 1
+      done;
+      let text = String.sub c.s start (c.pos - start) in
+      (match float_of_string_opt text with
+      | Some f -> Num f
+      | None -> fail_at c (Printf.sprintf "bad number %S" text))
+  | Some ch -> fail_at c (Printf.sprintf "unexpected '%c'" ch)
+
+let parse s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail_at c "trailing bytes";
+  v
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* --- flattening --- *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+(* Dotted metric paths. An array element that is an object with a string
+   "label" is addressed by that label (the server report's runs array);
+   others by index. *)
+let flatten json =
+  let out = ref [] in
+  let rec go prefix v =
+    let path key = if prefix = "" then key else prefix ^ "." ^ key in
+    match v with
+    | Num f -> out := (prefix, f) :: !out
+    | Bool b -> out := (prefix, if b then 1. else 0.) :: !out
+    | Obj kvs -> List.iter (fun (k, v) -> go (path k) v) kvs
+    | List elems ->
+        List.iteri
+          (fun i e ->
+            let key =
+              match member "label" e with
+              | Some (Str label) -> label
+              | _ -> string_of_int i
+            in
+            go (path key) e)
+          elems
+    | Str _ | Null -> ()
+  in
+  go "" json;
+  List.rev !out
+
+(* --- gating --- *)
+
+type direction = Higher_better | Lower_better | Exact | Exact_zero
+
+type rule = {
+  metric : string;  (* flattened path, or a ".../*/..." glob on one level *)
+  direction : direction;
+  max_regression : float;
+}
+
+let rule ?(max_regression = 0.25) metric direction =
+  { metric; direction; max_regression }
+
+(* "runs.*.rps" matches "runs.event-loop-w1.rps": '*' spans one path
+   segment. *)
+let path_matches ~pattern path =
+  let pp = String.split_on_char '.' pattern in
+  let sp = String.split_on_char '.' path in
+  List.length pp = List.length sp
+  && List.for_all2 (fun p s -> p = "*" || p = s) pp sp
+
+type failure = {
+  f_metric : string;
+  f_baseline : float option;
+  f_fresh : float option;
+  f_reason : string;
+}
+
+let check_metric rule ~metric ~baseline ~fresh =
+  let fail reason =
+    Some { f_metric = metric; f_baseline = baseline; f_fresh = fresh;
+           f_reason = reason }
+  in
+  match (baseline, fresh) with
+  | _, None -> fail "metric missing from fresh report"
+  | None, Some _ -> None (* baseline predates the metric: not gated *)
+  | Some b, Some f -> (
+      match rule.direction with
+      | Exact_zero -> if f <> 0. then fail "must be exactly zero" else None
+      | Exact ->
+          if f <> b then fail (Printf.sprintf "must equal baseline %g" b)
+          else None
+      | Higher_better ->
+          if b > 0. && f < b *. (1. -. rule.max_regression) then
+            fail
+              (Printf.sprintf "regressed >%.0f%% below baseline"
+                 (rule.max_regression *. 100.))
+          else None
+      | Lower_better ->
+          if b > 0. && f > b *. (1. +. rule.max_regression) then
+            fail
+              (Printf.sprintf "regressed >%.0f%% above baseline"
+                 (rule.max_regression *. 100.))
+          else None)
+
+let gate ~rules ~baseline ~fresh =
+  let base_metrics = flatten baseline in
+  let fresh_metrics = flatten fresh in
+  List.concat_map
+    (fun r ->
+      (* Expand the rule over every baseline metric it matches; a rule
+         matching nothing in the baseline is itself a failure (the gate
+         silently checking nothing is how regressions slip through). *)
+      let matched =
+        List.filter (fun (p, _) -> path_matches ~pattern:r.metric p)
+          base_metrics
+      in
+      if matched = [] && r.direction <> Exact_zero then
+        [
+          {
+            f_metric = r.metric;
+            f_baseline = None;
+            f_fresh = None;
+            f_reason = "rule matches no baseline metric";
+          };
+        ]
+      else if matched = [] then
+        (* Exact_zero with no baseline anchor: check the fresh side. *)
+        List.filter_map
+          (fun (p, f) ->
+            check_metric r ~metric:p ~baseline:(Some 0.) ~fresh:(Some f))
+          (List.filter (fun (p, _) -> path_matches ~pattern:r.metric p)
+             fresh_metrics)
+      else
+        List.filter_map
+          (fun (p, b) ->
+            check_metric r ~metric:p ~baseline:(Some b)
+              ~fresh:(List.assoc_opt p fresh_metrics))
+          matched)
+    rules
+
+let report_failures failures =
+  String.concat "\n"
+    (List.map
+       (fun f ->
+         let num = function None -> "-" | Some v -> Printf.sprintf "%g" v in
+         Printf.sprintf "  %-40s baseline=%-12s fresh=%-12s %s" f.f_metric
+           (num f.f_baseline) (num f.f_fresh) f.f_reason)
+       failures)
+
+(* --- per-benchmark rule sets --- *)
+
+(* Committed baselines carry deliberate headroom (throughputs well under
+   a healthy run), so the honest 25% gate trips on real regressions, not
+   scheduler noise. *)
+let rules_for = function
+  | "smoke" ->
+      [
+        rule "lookup_hits" Exact;
+        rule "store.trace_spans_total" Higher_better ~max_regression:0.9;
+      ]
+  | "server-pipelined-get" ->
+      [ rule "runs.*.rps" Higher_better; rule "runs.*.misses" Exact_zero ]
+  | "persist" ->
+      [
+        rule "snapshot_mb_per_s" Higher_better;
+        rule "replay_ops_per_s" Higher_better;
+        rule "get_p99_ns_snapshot_on" Lower_better;
+      ]
+  | name -> invalid_arg ("Trend.rules_for: unknown benchmark " ^ name)
+
+let benchmark_name json =
+  match member "benchmark" json with
+  | Some (Str name) -> name
+  | _ -> raise (Parse_error "report has no \"benchmark\" field")

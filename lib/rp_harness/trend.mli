@@ -1,0 +1,74 @@
+(** Bench trend gating: compare a fresh benchmark report against a
+    committed baseline and fail on regressions.
+
+    Reports are the BENCH_*.json files the smoke benches write; baselines
+    are committed copies with deliberate headroom (throughput floors well
+    under a healthy run) so the 25% default gate trips on real
+    regressions, not scheduler noise. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+val parse : string -> json
+(** Parse a JSON document (raises {!Parse_error}). *)
+
+val parse_file : string -> json
+
+val member : string -> json -> json option
+(** Object field lookup ([None] on non-objects too). *)
+
+val flatten : json -> (string * float) list
+(** Numeric leaves as dotted paths, in document order. Booleans flatten
+    to 0/1; strings and nulls are skipped. An array element that is an
+    object with a string ["label"] field is addressed by that label
+    (["runs.event-loop-w1.rps"]); other elements by index. *)
+
+(** {1 Gating} *)
+
+type direction =
+  | Higher_better  (** fail when fresh < baseline × (1 − max_regression) *)
+  | Lower_better  (** fail when fresh > baseline × (1 + max_regression) *)
+  | Exact  (** fail on any difference from the baseline *)
+  | Exact_zero  (** fail unless fresh is exactly 0 (miss counters) *)
+
+type rule = {
+  metric : string;
+      (** flattened path; a ["*"] segment matches any one segment *)
+  direction : direction;
+  max_regression : float;
+}
+
+val rule : ?max_regression:float -> string -> direction -> rule
+(** [max_regression] defaults to 0.25. *)
+
+type failure = {
+  f_metric : string;
+  f_baseline : float option;
+  f_fresh : float option;
+  f_reason : string;
+}
+
+val gate : rules:rule list -> baseline:json -> fresh:json -> failure list
+(** Every rule is expanded over the baseline's matching metrics and each
+    checked against the fresh report. A metric present in the baseline
+    but missing from the fresh report fails; a rule matching nothing in
+    the baseline fails too (a gate silently checking nothing is how
+    regressions slip through). Empty result = gate passes. *)
+
+val report_failures : failure list -> string
+(** Human-readable failure table, one line per failure. *)
+
+val rules_for : string -> rule list
+(** The committed rule set for a benchmark name ([smoke],
+    [server-pipelined-get], [persist]); raises [Invalid_argument] on an
+    unknown name. *)
+
+val benchmark_name : json -> string
+(** The report's ["benchmark"] field (raises {!Parse_error} if absent). *)

@@ -110,20 +110,34 @@ let rec search_chain equal hash k = function
 let find_node t ~hash k table =
   search_chain t.equal hash k (Rcu.dereference (bucket_link table hash))
 
+(* Flight-recorder span names. Lookup spans are detail-tier: they record
+   only while the emitting domain is inside a head-sampled request, so
+   the unsampled hot path pays one atomic load and a branch. *)
+let k_lookup = Rp_trace.intern "rp_ht.lookup"
+let k_insert = Rp_trace.intern "rp_ht.insert"
+let k_expand = Rp_trace.intern "rp_ht.expand"
+let k_shrink = Rp_trace.intern "rp_ht.shrink"
+let k_unzip = Rp_trace.intern "rp_ht.unzip_pass"
+let k_recovery = Rp_trace.intern "rp_ht.recovery"
+
 let find_opt_hashed t ~hash k =
   Rp_obs.Counter.incr t.obs_lookups;
+  let span = Rp_trace.span_begin_sampled k_lookup in
   t.flavour.Flavour.read_enter ();
   match find_node t ~hash k (Rcu.dereference t.current) with
   | Some n ->
       let v = Atomic.get n.value in
       t.flavour.Flavour.read_exit ();
+      Rp_trace.span_end_sampled ~arg:1 k_lookup span;
       Some v
   | None ->
       t.flavour.Flavour.read_exit ();
+      Rp_trace.span_end_sampled k_lookup span;
       None
   | exception e ->
       (* only a user-supplied [equal] can raise *)
       t.flavour.Flavour.read_exit ();
+      Rp_trace.span_end_sampled k_lookup span;
       raise e
 
 let find t k = find_opt_hashed t ~hash:(t.hash k) k
@@ -207,6 +221,7 @@ let rec chain_tail = function
 let shrink_locked t =
   Rp_fault.point "rp_ht.shrink.pre";
   let started = Unix.gettimeofday () in
+  let shrink_span = Rp_trace.span_begin k_shrink in
   let old = Atomic.get t.current in
   let new_size = old.size / 2 in
   let buckets =
@@ -227,6 +242,7 @@ let shrink_locked t =
   t.flavour.Flavour.synchronize ();
   Atomic.incr t.shrinks;
   Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_size "rp_ht.shrink";
+  Rp_trace.span_end ~arg:new_size k_shrink shrink_span;
   Rp_obs.Histogram.observe_span t.resize_hist ~start:started
     ~stop:(Unix.gettimeofday ())
 
@@ -262,7 +278,9 @@ let run_unzip t ~new_size states =
       if !live then begin
         (* One grace period per pass protects readers that crossed a splice
            point before it moved. *)
+        let pass_span = Rp_trace.span_begin ~arg:new_size k_unzip in
         t.flavour.Flavour.synchronize ();
+        Rp_trace.span_end ~arg:new_size k_unzip pass_span;
         Atomic.incr t.unzip_passes;
         Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_size
           "rp_ht.unzip_pass"
@@ -289,6 +307,7 @@ let recover_locked t =
           raise e);
       run_unzip t ~new_size:pu_new_size pu_states;
       Atomic.incr t.recoveries;
+      Rp_trace.instant ~arg:pu_new_size k_recovery;
       Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:pu_new_size
         "rp_ht.recovery"
 
@@ -296,6 +315,7 @@ let recover_locked t =
 let expand_locked t =
   Rp_fault.point "rp_ht.expand.pre";
   let started = Unix.gettimeofday () in
+  let expand_span = Rp_trace.span_begin k_expand in
   let old = Atomic.get t.current in
   let new_size = old.size * 2 in
   let dest (n : _ node) =
@@ -325,6 +345,7 @@ let expand_locked t =
   run_unzip t ~new_size states;
   Atomic.incr t.expands;
   Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_size "rp_ht.expand";
+  Rp_trace.span_end ~arg:new_size k_expand expand_span;
   Rp_obs.Histogram.observe_span t.resize_hist ~start:started
     ~stop:(Unix.gettimeofday ())
 
@@ -369,13 +390,15 @@ let maybe_auto_resize t =
 (* --- updates --- *)
 
 let insert_locked t k v =
+  let span = Rp_trace.span_begin_sampled k_insert in
   let hash = t.hash k in
   let table = Atomic.get t.current in
   let link = bucket_link table hash in
   let node = make_node ~hash ~key:k ~value:v ~next:(Atomic.get link) () in
   Rcu.publish link (Node node);
   Atomic.incr t.count;
-  Rp_obs.Counter.incr t.obs_inserts
+  Rp_obs.Counter.incr t.obs_inserts;
+  Rp_trace.span_end_sampled k_insert span
 
 let insert t k v =
   with_writer t (fun () ->

@@ -2,6 +2,13 @@ let magic = "RPLOG1:"
 let filename ~gen = Printf.sprintf "oplog-%010d.rplog" gen
 let fault_site = "persist.log.append"
 
+(* Flight-recorder spans. Append and fsync are detail-tier: they sit
+   inside the request that triggered them (the group-commit cliff a slow
+   SET usually hides behind); rotation is control-tier. *)
+let k_append = Rp_trace.intern "persist.append"
+let k_fsync = Rp_trace.intern "persist.fsync"
+let k_rotate = Rp_trace.intern "persist.rotate"
+
 type fsync_policy = Always | Every of float | Never
 
 let policy_of_string s =
@@ -46,8 +53,10 @@ let flush_locked t =
   end
 
 let sync_locked t =
+  let span = Rp_trace.span_begin_sampled k_fsync in
   flush_locked t;
   Fsutil.fsync t.fd;
+  Rp_trace.span_end_sampled k_fsync span;
   t.last_sync <- Unix.gettimeofday ()
 
 let open_segment ~dir ~gen =
@@ -81,17 +90,22 @@ let open_ ~dir ~gen ~fsync =
 let gen t = t.gen
 
 let append t record =
-  with_lock t (fun () ->
-      if t.closed then invalid_arg "Oplog.append: closed";
-      Frame.add t.pending (Record.encode record);
-      match t.policy with
-      | Always -> sync_locked t
-      | Every dt ->
-          if
-            Buffer.length t.pending >= pending_cap
-            || Unix.gettimeofday () -. t.last_sync >= dt
-          then sync_locked t
-      | Never -> if Buffer.length t.pending >= pending_cap then flush_locked t)
+  let span = Rp_trace.span_begin_sampled k_append in
+  Fun.protect
+    ~finally:(fun () -> Rp_trace.span_end_sampled k_append span)
+    (fun () ->
+      with_lock t (fun () ->
+          if t.closed then invalid_arg "Oplog.append: closed";
+          Frame.add t.pending (Record.encode record);
+          match t.policy with
+          | Always -> sync_locked t
+          | Every dt ->
+              if
+                Buffer.length t.pending >= pending_cap
+                || Unix.gettimeofday () -. t.last_sync >= dt
+              then sync_locked t
+          | Never ->
+              if Buffer.length t.pending >= pending_cap then flush_locked t))
 
 let sync t = with_lock t (fun () -> if not t.closed then sync_locked t)
 
@@ -106,12 +120,13 @@ let tick t =
       | _ -> ())
 
 let rotate t ~gen =
-  with_lock t (fun () ->
-      if t.closed then invalid_arg "Oplog.rotate: closed";
-      sync_locked t;
-      (try Unix.close t.fd with Unix.Unix_error _ -> ());
-      t.fd <- open_segment ~dir:t.dir ~gen;
-      t.gen <- gen)
+  Rp_trace.with_span ~arg:gen k_rotate (fun () ->
+      with_lock t (fun () ->
+          if t.closed then invalid_arg "Oplog.rotate: closed";
+          sync_locked t;
+          (try Unix.close t.fd with Unix.Unix_error _ -> ());
+          t.fd <- open_segment ~dir:t.dir ~gen;
+          t.gen <- gen))
 
 let close t =
   with_lock t (fun () ->

@@ -1,0 +1,59 @@
+/* Clocks for the flight recorder.
+
+   Two time sources:
+
+   - rp_trace_now_ns: CLOCK_MONOTONIC in nanoseconds as a tagged OCaml
+     int. 62 bits of nanoseconds cover ~73 years of uptime. The vDSO
+     makes the call a few tens of nanoseconds — fine for the request
+     tier and control spans, too expensive to pay twice per table
+     lookup.
+
+   - rp_trace_now_ticks: the CPU cycle counter (TSC on x86-64, CNTVCT
+     on aarch64), a handful of nanoseconds per read. Records stamp
+     ticks; the OCaml side calibrates ticks against CLOCK_MONOTONIC
+     and converts on the cold decode path. Both counters are
+     constant-rate and synchronized across cores on every machine this
+     targets (invariant TSC / architectural counter); the fallback for
+     anything else is the monotonic clock itself, which just makes the
+     calibration a unit conversion. */
+
+#include <caml/mlvalues.h>
+#include <stdint.h>
+#include <time.h>
+
+static intnat monotonic_ns(void)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return (intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec;
+}
+
+CAMLprim value rp_trace_now_ns(value unit)
+{
+  (void)unit;
+  return Val_long(monotonic_ns());
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+static inline uint64_t cycle_ticks(void) { return __rdtsc(); }
+#elif defined(__aarch64__)
+static inline uint64_t cycle_ticks(void)
+{
+  uint64_t v;
+  __asm__ __volatile__("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+}
+#else
+static inline uint64_t cycle_ticks(void) { return (uint64_t)monotonic_ns(); }
+#endif
+
+CAMLprim value rp_trace_now_ticks(value unit)
+{
+  (void)unit;
+  return Val_long((intnat)cycle_ticks());
+}

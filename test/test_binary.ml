@@ -22,6 +22,7 @@ let test_opcode_bytes () =
       [
         Get; Set; Add; Replace; Delete; Increment; Decrement; Quit; Flush;
         GetQ; Noop; Version; GetK; GetKQ; Append; Prepend; Stat; Touch;
+        GAT; GATQ;
       ];
   Alcotest.(check (option reject)) "unknown opcode" None
     (Binary_protocol.opcode_of_byte 0x42 |> Option.map (fun _ -> ()))
@@ -204,6 +205,96 @@ let test_dispatch_stat_terminator () =
   Alcotest.(check string) "empty terminator" "" last.r_key;
   Alcotest.(check string) "empty terminator value" "" last.r_value
 
+let test_dispatch_stat_sections () =
+  let store = make_store () in
+  let section key =
+    let replies =
+      Binary_server.handle store (request Binary_protocol.Stat ~key)
+    in
+    List.filter_map
+      (fun (r : Binary_protocol.response) ->
+        if r.r_key = "" then None else Some (r.r_key, r.r_value))
+      replies
+  in
+  (* rp: the store is on the Rp backend, so the section is populated. *)
+  Alcotest.(check bool) "stats rp non-empty" true (section "rp" <> []);
+  Alcotest.(check bool) "rp_ht stats present" true
+    (List.exists (fun (k, _) -> String.length k >= 5 && String.sub k 0 5 = "rp_ht")
+       (section "rp"));
+  (* persist: not attached — empty section, but still a clean terminator. *)
+  (match
+     Binary_server.handle store (request Binary_protocol.Stat ~key:"persist")
+   with
+  | [ last ] -> Alcotest.(check string) "bare terminator" "" last.r_key
+  | _ -> Alcotest.fail "persist section shape");
+  (* trace: the flight recorder always reports its state. *)
+  Alcotest.(check bool) "stats trace has sample rate" true
+    (List.mem_assoc "trace_sample" (section "trace"));
+  (* unknown section: a single error reply. *)
+  match
+    Binary_server.handle store (request Binary_protocol.Stat ~key:"bogus")
+  with
+  | [ r ] ->
+      Alcotest.(check bool) "unknown section rejected" true
+        (r.status = Binary_protocol.Invalid_arguments)
+  | _ -> Alcotest.fail "unknown section shape"
+
+let test_dispatch_touch_gat () =
+  let store = make_store () in
+  ignore
+    (Binary_server.handle store
+       (request Binary_protocol.Set ~key:"g" ~value:"gv"
+          ~extras:(Binary_protocol.set_extras ~flags:9 ~exptime:0)));
+  (* touch round trip *)
+  (match
+     Binary_server.handle store
+       (request Binary_protocol.Touch ~key:"g"
+          ~extras:(Binary_protocol.touch_extras ~exptime:3600))
+   with
+  | [ r ] ->
+      Alcotest.(check bool) "touch ok" true (r.status = Binary_protocol.Ok_status)
+  | _ -> Alcotest.fail "touch shape");
+  (match
+     Binary_server.handle store
+       (request Binary_protocol.Touch ~key:"ghost"
+          ~extras:(Binary_protocol.touch_extras ~exptime:3600))
+   with
+  | [ r ] ->
+      Alcotest.(check bool) "touch miss" true
+        (r.status = Binary_protocol.Key_not_found)
+  | _ -> Alcotest.fail "touch miss shape");
+  (* GAT returns the value + flags like a get *)
+  (match
+     Binary_server.handle store
+       (request Binary_protocol.GAT ~key:"g"
+          ~extras:(Binary_protocol.touch_extras ~exptime:3600))
+   with
+  | [ r ] ->
+      Alcotest.(check string) "gat value" "gv" r.r_value;
+      Alcotest.(check int) "gat flags" 9 (Binary_protocol.parse_u32 r.r_extras 0)
+  | _ -> Alcotest.fail "gat shape");
+  (* loud GAT miss vs silent GATQ miss *)
+  (match
+     Binary_server.handle store
+       (request Binary_protocol.GAT ~key:"ghost"
+          ~extras:(Binary_protocol.touch_extras ~exptime:60))
+   with
+  | [ r ] ->
+      Alcotest.(check bool) "gat miss" true
+        (r.status = Binary_protocol.Key_not_found)
+  | _ -> Alcotest.fail "gat miss shape");
+  Alcotest.(check int) "gatq miss is silent" 0
+    (List.length
+       (Binary_server.handle store
+          (request Binary_protocol.GATQ ~key:"ghost"
+             ~extras:(Binary_protocol.touch_extras ~exptime:60))));
+  (* malformed extras *)
+  match Binary_server.handle store (request Binary_protocol.GAT ~key:"g") with
+  | [ r ] ->
+      Alcotest.(check bool) "gat without extras rejected" true
+        (r.status = Binary_protocol.Invalid_arguments)
+  | _ -> Alcotest.fail "bad gat shape"
+
 let test_dispatch_misc () =
   let store = make_store () in
   (match Binary_server.handle store (request Binary_protocol.Version) with
@@ -250,6 +341,17 @@ let test_socket_binary_roundtrip () =
         (Binary_client.get c "ghost" |> Option.map (fun _ -> ()));
       Alcotest.(check bool) "delete" true (Binary_client.delete c "bk");
       Alcotest.(check bool) "delete again" false (Binary_client.delete c "bk");
+      Alcotest.(check bool) "set for touch" true
+        (Binary_client.set c ~key:"tk" ~data:"tv" () = Binary_protocol.Ok_status);
+      Alcotest.(check bool) "touch over socket" true
+        (Binary_client.touch c ~key:"tk" ~exptime:3600);
+      Alcotest.(check bool) "touch miss over socket" false
+        (Binary_client.touch c ~key:"ghost" ~exptime:3600);
+      (match Binary_client.gat c ~key:"tk" ~exptime:60 with
+      | Some (v, _) -> Alcotest.(check string) "gat over socket" "tv" v
+      | None -> Alcotest.fail "gat missed");
+      Alcotest.(check (option reject)) "gat miss over socket" None
+        (Binary_client.gat c ~key:"ghost" ~exptime:60 |> Option.map (fun _ -> ()));
       Alcotest.(check string) "version" Server.version_string (Binary_client.version c);
       Binary_client.noop c;
       Binary_client.close c)
@@ -265,6 +367,9 @@ let test_socket_binary_counters_and_stats () =
       let stats = Binary_client.stats c in
       Alcotest.(check bool) "stats non-empty" true (List.length stats > 0);
       Alcotest.(check bool) "has backend stat" true (List.mem_assoc "backend" stats);
+      let trace = Binary_client.stats ~key:"trace" c in
+      Alcotest.(check bool) "keyed trace section" true
+        (List.mem_assoc "trace_enabled" trace);
       Binary_client.close c)
 
 let test_socket_both_protocols_share_store () =
@@ -338,6 +443,8 @@ let () =
           Alcotest.test_case "cas via set" `Quick test_dispatch_cas_via_set;
           Alcotest.test_case "counter seeding" `Quick test_dispatch_counter_seeding;
           Alcotest.test_case "stat terminator" `Quick test_dispatch_stat_terminator;
+          Alcotest.test_case "stat sections" `Quick test_dispatch_stat_sections;
+          Alcotest.test_case "touch and gat" `Quick test_dispatch_touch_gat;
           Alcotest.test_case "misc + validation" `Quick test_dispatch_misc;
         ] );
       ( "socket",

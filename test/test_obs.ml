@@ -288,39 +288,66 @@ let test_metrics_http () =
       Fun.protect
         ~finally:(fun () -> Memcached.Metrics_http.stop endpoint)
         (fun () ->
-          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-          Unix.connect fd
-            (Unix.ADDR_INET
-               (Unix.inet_addr_loopback, Memcached.Metrics_http.port endpoint));
-          let out = "GET /metrics HTTP/1.0\r\n\r\n" in
-          ignore (Unix.write_substring fd out 0 (String.length out));
-          let buf = Buffer.create 4096 in
-          let chunk = Bytes.create 4096 in
-          let rec drain () =
-            match Unix.read fd chunk 0 (Bytes.length chunk) with
-            | 0 -> ()
-            | n ->
-                Buffer.add_subbytes buf chunk 0 n;
-                drain ()
-            | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+          let fetch path =
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd
+              (Unix.ADDR_INET
+                 (Unix.inet_addr_loopback, Memcached.Metrics_http.port endpoint));
+            let out = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+            ignore (Unix.write_substring fd out 0 (String.length out));
+            let buf = Buffer.create 4096 in
+            let chunk = Bytes.create 4096 in
+            let rec drain () =
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> ()
+              | n ->
+                  Buffer.add_subbytes buf chunk 0 n;
+                  drain ()
+              | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+            in
+            drain ();
+            Unix.close fd;
+            Buffer.contents buf
           in
-          drain ();
-          Unix.close fd;
-          let body = Buffer.contents buf in
-          let has sub =
+          let has body sub =
             let rec find i =
               i + String.length sub <= String.length body
               && (String.sub body i (String.length sub) = sub || find (i + 1))
             in
             find 0
           in
-          Alcotest.(check bool) "HTTP 200" true (has "HTTP/1.0 200 OK");
-          Alcotest.(check bool) "exposition content type" true
-            (has "text/plain; version=0.0.4");
+          let metrics = fetch "/metrics" in
+          Alcotest.(check bool) "/metrics is 200" true
+            (has metrics "HTTP/1.0 200 OK");
+          Alcotest.(check bool) "/metrics exposition content type" true
+            (has metrics "text/plain; version=0.0.4");
           Alcotest.(check bool) "store counter exposed" true
-            (has "# TYPE cmd_set counter");
+            (has metrics "# TYPE cmd_set counter");
           Alcotest.(check bool) "table histogram exposed" true
-            (has "# TYPE rp_ht_resize_ns histogram")))
+            (has metrics "# TYPE rp_ht_resize_ns histogram");
+          (* Each endpoint routes to its own representation and
+             Content-Type; anything else is a 404, not a default page. *)
+          let root = fetch "/" in
+          Alcotest.(check bool) "/ aliases /metrics" true
+            (has root "text/plain; version=0.0.4");
+          let json = fetch "/json" in
+          Alcotest.(check bool) "/json is 200" true (has json "HTTP/1.0 200 OK");
+          Alcotest.(check bool) "/json content type" true
+            (has json "Content-Type: application/json");
+          Alcotest.(check bool) "/json carries the registry" true
+            (has json "\"cmd_set\"");
+          let trace = fetch "/trace" in
+          Alcotest.(check bool) "/trace is 200" true
+            (has trace "HTTP/1.0 200 OK");
+          Alcotest.(check bool) "/trace content type" true
+            (has trace "Content-Type: application/json");
+          Alcotest.(check bool) "/trace is a perfetto document" true
+            (has trace "\"traceEvents\"");
+          let missing = fetch "/nope" in
+          Alcotest.(check bool) "unknown path is 404" true
+            (has missing "HTTP/1.0 404 Not Found");
+          Alcotest.(check bool) "404 names the path" true
+            (has missing "no such endpoint: /nope")))
 
 (* --- read-path overhead guard --- *)
 

@@ -231,7 +231,13 @@ let test_clock_budget_all_hot () =
       Alcotest.(check (option string)) (k ^ " kept by its second chance")
         (Some (String.make 10 'v'))
         (get_data store k))
-    [ "k0"; "k1"; "k2"; "k3" ]
+    [ "k0"; "k1"; "k2"; "k3" ];
+  (* The sweep-latency histogram saw the all-hot sweep — the worst case
+     it exists to expose (every resident requeued before the evict). *)
+  Alcotest.(check bool) "eviction_sweep_us populated" true
+    (stat store "eviction_sweep_us_count" > 0);
+  Alcotest.(check bool) "sweep latency non-negative" true
+    (stat store "eviction_sweep_us_sum" >= 0)
 
 (* Qsbr-mode coverage: the expiry and eviction slow paths run locked
    update-side code (synchronize included) from the mutating caller, which
