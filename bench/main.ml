@@ -505,6 +505,105 @@ let run_server_bench () =
       runs
   then exit 1
 
+(* --- guard smoke: GET service level and recovery time under full shed --- *)
+
+let run_guard_bench () =
+  let keyspace = 1024 and value_size = 64 in
+  let store =
+    Memcached.Store.create ~backend:Memcached.Store.Rp ~initial_size:4096 ()
+  in
+  let guard = Memcached.Guard.install ~interval:0.005 store in
+  (* The storm is simulated at the pressure layer: a bench-driven source
+     pins the ladder wherever the measurement needs it, so the numbers
+     isolate the guard's cost rather than a load generator's. *)
+  let pressure = ref 0.0 in
+  Rp_guard.add_source guard ~name:"bench" (fun () -> !pressure);
+  let path = Printf.sprintf "/tmp/rp-bench-guard-%d.sock" (Unix.getpid ()) in
+  let server =
+    Memcached.Server.start ~store (Memcached.Server.Unix_socket path)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Rp_guard.stop guard;
+      Memcached.Server.stop server)
+    (fun () ->
+      let addr = Memcached.Server.address server in
+      Memcached.Mc_benchmark.socket_prefill addr ~keyspace ~value_size;
+      Rp_guard.start guard;
+      let await st deadline =
+        let t0 = Unix.gettimeofday () in
+        let rec poll () =
+          if Rp_guard.state guard = st then true
+          else if Unix.gettimeofday () -. t0 > deadline then false
+          else begin
+            Thread.yield ();
+            poll ()
+          end
+        in
+        poll ()
+      in
+      pressure := 0.90;
+      if not (await Rp_guard.Shed 2.0) then begin
+        Printf.printf "guard bench: ladder never reached Shed\n";
+        exit 1
+      end;
+      (* Mutations at full shed: every one must come back as an
+         overloaded fast-fail, not an ack and not a hang. *)
+      let c = Memcached.Client.connect addr in
+      let sheds = ref 0 in
+      for i = 0 to 255 do
+        match
+          Memcached.Client.try_set c
+            ~key:(Printf.sprintf "shed:%d" i)
+            ~data:"x" ()
+        with
+        | `Overloaded _ -> incr sheds
+        | `Stored | `Not_stored -> ()
+      done;
+      Memcached.Client.close c;
+      (* The service level that matters under overload: pipelined GETs
+         while the guard sheds everything else. *)
+      let r =
+        Memcached.Mc_benchmark.run_socket addr
+          {
+            Memcached.Mc_benchmark.connections = 2;
+            pipeline = 32;
+            sduration = 0.15;
+            skeyspace = keyspace;
+            svalue_size = value_size;
+            sseed = 42;
+          }
+      in
+      (* Time-to-recover: pressure vanishes; how long until Healthy. *)
+      let t0 = Unix.gettimeofday () in
+      pressure := 0.0;
+      let recovered = await Rp_guard.Healthy 2.0 in
+      let recover_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      if not recovered then begin
+        Printf.printf "guard bench: ladder never recovered to Healthy\n";
+        exit 1
+      end;
+      let oc = open_out "BENCH_guard.json" in
+      Printf.fprintf oc
+        "{\n  \"benchmark\": \"guard\",\n  \"keyspace\": %d,\n  \
+         \"value_size\": %d,\n  \"shed_get_rps\": %.0f,\n  \
+         \"get_requests\": %d,\n  \"get_misses\": %d,\n  \
+         \"shed_total\": %d,\n  \"shed_attempts\": 256,\n  \
+         \"recover_ms\": %.2f,\n  \"transitions\": %d\n}\n"
+        keyspace value_size r.Memcached.Mc_benchmark.requests_per_second
+        r.Memcached.Mc_benchmark.requests r.Memcached.Mc_benchmark.misses
+        (Rp_guard.shed_total guard)
+        recover_ms (Rp_guard.transitions guard);
+      close_out oc;
+      Printf.printf
+        "guard: %8.0f GET req/s at full shed (%d reqs, %d misses), %d/256 \
+         sets shed, recovered in %.1f ms, report in BENCH_guard.json\n"
+        r.Memcached.Mc_benchmark.requests_per_second
+        r.Memcached.Mc_benchmark.requests r.Memcached.Mc_benchmark.misses
+        !sheds recover_ms;
+      (* Gate: shedding must actually have happened, and GETs survived. *)
+      if !sheds = 0 || r.Memcached.Mc_benchmark.misses > 0 then exit 1)
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
@@ -513,7 +612,8 @@ let () =
   if List.mem "--smoke" args then begin
     run_smoke ();
     run_persist_bench ();
-    run_server_bench ()
+    run_server_bench ();
+    run_guard_bench ()
   end
   else begin
   let options =

@@ -91,6 +91,57 @@ let fsync_policy_arg =
     & opt (conv (parse, print)) Rp_persist.Oplog.Always
     & info [ "fsync-policy" ] ~docv:"POLICY" ~doc)
 
+let guard_arg =
+  let doc =
+    "Run the overload guard: a background sweeper samples pressure \
+     (memory, connections, disk, RCU stalls) and walks the \
+     Healthy/Throttle/Shed/Emergency ladder — shedding mutations, \
+     widening trace sampling, pausing snapshots, and refusing new \
+     connections as pressure demands."
+  in
+  Arg.(value & opt bool true & info [ "guard" ] ~docv:"BOOL" ~doc)
+
+let shed_watermarks_arg =
+  let doc =
+    "Shed-rung watermarks as HIGH:LOW occupancy fractions with \
+     hysteresis (enter Shed at HIGH, leave below LOW). Throttle and \
+     Emergency rungs are derived around them."
+  in
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Rp_guard.watermarks_of_string s)
+  in
+  let print fmt (w : Rp_guard.watermarks) =
+    Format.fprintf fmt "%.2f:%.2f" w.shed_up w.shed_down
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Rp_guard.default_watermarks
+    & info [ "shed-watermarks" ] ~docv:"HIGH:LOW" ~doc)
+
+let max_inflight_arg =
+  let doc =
+    "Admission cap below --max-connections: past $(docv) live \
+     connections, new ones are refused with 'SERVER_ERROR overloaded' \
+     (0 disables)."
+  in
+  Arg.(value & opt int 0 & info [ "max-inflight" ] ~docv:"N" ~doc)
+
+let conn_write_cap_arg =
+  let doc =
+    "Event-loop plane: per-connection pending-write cap in bytes — a \
+     client that stops draining its socket has its pipeline parked once \
+     this many response bytes are queued (0 = unlimited)."
+  in
+  Arg.(value & opt int 1_048_576 & info [ "conn-write-cap" ] ~docv:"BYTES" ~doc)
+
+let oplog_max_mb_arg =
+  let doc =
+    "Rotate the op log once the live segment exceeds $(docv) MB; \
+     obsolete segments are archived as *.old-N and pruned (0 = rotate \
+     only at snapshots)."
+  in
+  Arg.(value & opt int 0 & info [ "oplog-max-mb" ] ~docv:"MB" ~doc)
+
 let trace_sample_arg =
   let doc =
     "Head-sample 1 request in $(docv) for detailed flight-recorder spans \
@@ -114,7 +165,9 @@ let trace_buffer_arg =
   Arg.(value & opt int 1024 & info [ "trace-buffer" ] ~docv:"RECORDS" ~doc)
 
 let run backend port socket max_mb metrics_port mode workers data_dir
-    snapshot_interval aof fsync_policy trace_sample trace_slow_ms trace_buffer =
+    snapshot_interval aof fsync_policy guard_enabled shed_watermarks
+    max_inflight conn_write_cap oplog_max_mb trace_sample trace_slow_ms
+    trace_buffer =
   Rp_trace.configure ~sample:trace_sample ~slow_ms:trace_slow_ms
     ~buffer:trace_buffer ();
   let rcu_mode =
@@ -129,6 +182,13 @@ let run backend port socket max_mb metrics_port mode workers data_dir
     Memcached.Store.create ~backend ~rcu_mode ~max_bytes:(max_mb * 1024 * 1024)
       ()
   in
+  (* The guard attaches before persistence so the post-recovery eviction
+     sweep and every later transition are observable from the start. *)
+  let guard =
+    if guard_enabled then
+      Some (Memcached.Guard.install ~watermarks:shed_watermarks store)
+    else None
+  in
   (* Recovery must finish before the listeners open: replay goes through
      the normal update path and must not interleave with client writes. *)
   let persist =
@@ -139,7 +199,7 @@ let run backend port socket max_mb metrics_port mode workers data_dir
         in
         let p =
           Memcached.Persist.attach ?snapshot_interval ~aof ~fsync:fsync_policy
-            ~dir store
+            ~oplog_max_mb ~dir store
         in
         let r = Memcached.Persist.recovery p in
         Printf.printf
@@ -150,6 +210,20 @@ let run backend port socket max_mb metrics_port mode workers data_dir
              Printf.sprintf " (torn tail: %d bytes truncated)"
                r.Memcached.Persist.log_truncated_bytes
            else "");
+        if r.Memcached.Persist.post_recovery_evictions > 0 then
+          Printf.printf
+            "post-recovery sweep: evicted %d records over the memory budget\n%!"
+            r.Memcached.Persist.post_recovery_evictions;
+        (* With size rotation on, sustained log growth past a few
+           segments' worth means compaction is losing the race — let it
+           feed disk pressure. Without rotation, growth is unbounded by
+           design, so only append failures count. *)
+        Option.iter
+          (fun g ->
+            Memcached.Guard.watch_persist g
+              ~log_budget_mb:(if oplog_max_mb > 0 then 4 * oplog_max_mb else 0)
+              p)
+          guard;
         p)
       data_dir
   in
@@ -158,8 +232,23 @@ let run backend port socket max_mb metrics_port mode workers data_dir
     | Some p -> Memcached.Server.Tcp p
     | None -> Memcached.Server.Unix_socket socket
   in
-  let config = { Memcached.Server.default_config with mode; workers } in
+  let config =
+    {
+      Memcached.Server.default_config with
+      mode;
+      workers;
+      max_inflight;
+      conn_write_cap;
+    }
+  in
   let server = Memcached.Server.start ~store ~config address in
+  Option.iter
+    (fun g ->
+      Memcached.Guard.watch_server g server;
+      Rp_guard.start g;
+      Printf.printf "overload guard on: shed at %.2f, recover below %.2f\n%!"
+        shed_watermarks.Rp_guard.shed_up shed_watermarks.Rp_guard.shed_down)
+    guard;
   (match address with
   | Memcached.Server.Tcp p -> Printf.printf "listening on 127.0.0.1:%d\n%!" p
   | Memcached.Server.Unix_socket path -> Printf.printf "listening on %s\n%!" path);
@@ -190,6 +279,7 @@ let run backend port socket max_mb metrics_port mode workers data_dir
     Unix.sleepf 0.2
   done;
   print_endline "shutting down";
+  Option.iter Rp_guard.stop guard;
   Option.iter Memcached.Metrics_http.stop metrics;
   Memcached.Server.stop server;
   Option.iter Memcached.Persist.stop persist
@@ -200,7 +290,9 @@ let cmd =
     Term.(
       const run $ backend_arg $ port_arg $ socket_arg $ max_bytes_arg
       $ metrics_port_arg $ mode_arg $ workers_arg $ data_dir_arg
-      $ snapshot_interval_arg $ aof_arg $ fsync_policy_arg
-      $ trace_sample_arg $ trace_slow_ms_arg $ trace_buffer_arg)
+      $ snapshot_interval_arg $ aof_arg $ fsync_policy_arg $ guard_arg
+      $ shed_watermarks_arg $ max_inflight_arg $ conn_write_cap_arg
+      $ oplog_max_mb_arg $ trace_sample_arg $ trace_slow_ms_arg
+      $ trace_buffer_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -75,6 +75,7 @@ type status =
   | Invalid_arguments
   | Item_not_stored
   | Non_numeric_value
+  | Busy  (** 0x0085 — mutation shed by the overload guard *)
   | Unknown_command
 
 let status_to_int = function
@@ -85,6 +86,7 @@ let status_to_int = function
   | Invalid_arguments -> 0x0004
   | Item_not_stored -> 0x0005
   | Non_numeric_value -> 0x0006
+  | Busy -> 0x0085
   | Unknown_command -> 0x0081
 
 let status_of_int = function
@@ -95,6 +97,7 @@ let status_of_int = function
   | 0x0004 -> Invalid_arguments
   | 0x0005 -> Item_not_stored
   | 0x0006 -> Non_numeric_value
+  | 0x0085 -> Busy
   | _ -> Unknown_command
 
 type request = {

@@ -44,6 +44,7 @@ type status =
   | Invalid_arguments
   | Item_not_stored
   | Non_numeric_value
+  | Busy  (** 0x0085 — mutation shed by the overload guard *)
   | Unknown_command
 
 val status_to_int : status -> int

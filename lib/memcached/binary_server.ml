@@ -114,7 +114,26 @@ let handle_counter store (request : request) ~decrement =
         end
   end
 
+(* Mirror of {!Dispatch.sheddable}: the opcodes the overload guard may
+   fast-fail. Gets (quiet or not) always go through. *)
+let sheddable_opcode = function
+  | Set | Add | Replace | Delete | Increment | Decrement | Append | Prepend
+  | Touch | Flush ->
+      true
+  | Get | GetQ | GetK | GetKQ | GAT | GATQ | Noop | Version | Stat | Quit ->
+      false
+
+let shed store (request : request) =
+  match Store.guard store with
+  | Some g when sheddable_opcode request.opcode && not (Rp_guard.admit_mutation g)
+    ->
+      Rp_guard.note_shed g;
+      true
+  | _ -> false
+
 let handle store (request : request) : response list =
+  if shed store request then [ reply request ~status:Busy ]
+  else
   match request.opcode with
   | Get -> handle_get store request ~with_key:false ~quiet:false
   | GetQ -> handle_get store request ~with_key:false ~quiet:true
@@ -160,6 +179,7 @@ let handle store (request : request) : response list =
         | "rp" -> Some (Store.rp_stats store)
         | "persist" -> Some (Store.persist_stats store)
         | "trace" -> Some (Store.trace_stats store)
+        | "guard" -> Some (Store.guard_stats store)
         | _ -> None
       in
       match section with

@@ -108,6 +108,17 @@ let storage_request t build ?(flags = 0) ?(exptime = 0) ~key ~data () =
 let set t = storage_request t (fun s -> Protocol.Set s)
 let add t = storage_request t (fun s -> Protocol.Add s)
 
+(* Overload-aware storage: surfaces guard shedding ([SERVER_ERROR
+   overloaded]) as a value instead of an exception, so storm/bench
+   workers can count sheds and carry on. *)
+let try_set t ?(flags = 0) ?(exptime = 0) ~key ~data () =
+  let s : Protocol.storage = { key; flags; exptime; noreply = false; data } in
+  match request t (Protocol.Set s) with
+  | Protocol.Stored -> `Stored
+  | Protocol.Not_stored | Protocol.Exists | Protocol.Not_found -> `Not_stored
+  | Protocol.Server_error msg -> `Overloaded msg
+  | _ -> failwith "Memcached.Client.try_set: unexpected storage response"
+
 let cas t ?(flags = 0) ?(exptime = 0) ~key ~data ~unique () =
   request t (Protocol.Cas ({ key; flags; exptime; noreply = false; data }, unique))
 

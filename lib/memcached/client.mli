@@ -25,6 +25,20 @@ val gets : t -> string -> Protocol.value option
 
 val set : t -> ?flags:int -> ?exptime:int -> key:string -> data:string -> unit -> bool
 val add : t -> ?flags:int -> ?exptime:int -> key:string -> data:string -> unit -> bool
+
+val try_set :
+  t ->
+  ?flags:int ->
+  ?exptime:int ->
+  key:string ->
+  data:string ->
+  unit ->
+  [ `Stored | `Not_stored | `Overloaded of string ]
+(** Like {!set}, but a [SERVER_ERROR] reply (the guard shedding the
+    mutation under overload) comes back as [`Overloaded msg] instead of
+    an exception — for load generators that must keep offering work while
+    the server sheds. *)
+
 val cas : t -> ?flags:int -> ?exptime:int -> key:string -> data:string -> unique:int -> unit -> Protocol.response
 val delete : t -> string -> bool
 val incr : t -> string -> int -> int option

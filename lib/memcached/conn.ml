@@ -34,6 +34,8 @@ type t = {
   mutable proto : proto;
   mutable closing : bool;  (* flush remaining output, then close *)
   mutable last_active : float;
+  mutable last_progress : float;  (* last write(2) that moved bytes *)
+  mutable backlog : bool;  (* parser holds requests the write cap deferred *)
   reads : Rp_obs.Counter.t;  (* read(2) calls that moved bytes *)
   writes : Rp_obs.Counter.t;  (* write(2) calls that moved bytes *)
 }
@@ -53,6 +55,8 @@ let create ~id ~buffer_size ~reads ~writes fd =
     proto = Detect;
     closing = false;
     last_active = Unix.gettimeofday ();
+    last_progress = Unix.gettimeofday ();
+    backlog = false;
     reads;
     writes;
   }
@@ -62,6 +66,16 @@ let id t = t.id
 let closing t = t.closing
 let last_active t = t.last_active
 let wants_write t = t.pending <> "" || Buffer.length t.out > 0
+let has_backlog t = t.backlog
+
+let pending_bytes t =
+  String.length t.pending - t.pending_off + Buffer.length t.out
+
+(* Slow-client deadline base: the later of "last byte we received" and
+   "last byte the peer drained". A long-idle keepalive connection is not
+   slow (nothing owed to it); a connection we owe bytes that accepts none
+   is. *)
+let no_progress_since t = Float.max t.last_active t.last_progress
 
 let feed t s =
   match t.proto with
@@ -98,16 +112,26 @@ let fill t =
 
 (* Execute every complete request buffered in the parser, rendering
    responses into [t.out]. Returns the batch size (dispatched commands,
-   protocol errors included). *)
-let dispatch t store =
+   protocol errors included). [max_out] caps the rendered-but-unwritten
+   bytes: past it, remaining parsed requests stay in the parser
+   ([has_backlog] goes true) until a flush makes room — one pipelining
+   client that never reads can pin at most ~cap of coalescer memory. *)
+let dispatch ?(max_out = max_int) t store =
+  let over_cap () = pending_bytes t >= max_out in
   match t.proto with
   | Detect -> 0
   | Text p ->
       let rec go n =
         if t.closing then n
+        else if over_cap () then begin
+          t.backlog <- true;
+          n
+        end
         else
           match Protocol.Parser.next p with
-          | None -> n
+          | None ->
+              t.backlog <- false;
+              n
           | Some (Error msg) ->
               let reply =
                 if msg = "ERROR" then Protocol.Error_reply
@@ -133,9 +157,15 @@ let dispatch t store =
   | Binary p ->
       let rec go n =
         if t.closing then n
+        else if over_cap () then begin
+          t.backlog <- true;
+          n
+        end
         else
           match Binary_protocol.Parser.next p with
-          | None -> n
+          | None ->
+              t.backlog <- false;
+              n
           | Some (Error _) ->
               (* Binary framing errors are unrecoverable: flush what was
                  already rendered, then drop, as stock memcached does. *)
@@ -168,6 +198,7 @@ let flush t =
       | `Would_block -> `Want_write
       | `Wrote n ->
           Rp_obs.Counter.incr t.writes;
+          t.last_progress <- Unix.gettimeofday ();
           let off = t.pending_off + n in
           if off >= String.length t.pending then begin
             t.pending <- "";

@@ -32,15 +32,30 @@ val wants_write : t -> bool
 (** Unflushed response bytes exist: poll for writability and stop reading
     until they drain. *)
 
+val pending_bytes : t -> int
+(** Rendered-but-unwritten response bytes (parked remainder + output
+    buffer) — what the slow-client write cap measures. *)
+
+val has_backlog : t -> bool
+(** The parser holds complete requests that {!dispatch}'s write cap
+    deferred; re-dispatch after a flush makes room. *)
+
+val no_progress_since : t -> float
+(** Wall-clock instant of this connection's last sign of life in either
+    direction (byte received or byte drained) — the slow-client kill
+    deadline is measured from here. *)
+
 val fill : t -> [ `Eof | `Ok ]
 (** Read until the socket would block, feeding the parser. Raises like a
     socket read ([Unix.Unix_error], {!Rp_fault.Injected}); the worker
     treats that as a torn connection. Runs through the
     ["server.read.split"] failpoint. *)
 
-val dispatch : t -> Store.t -> int
+val dispatch : ?max_out:int -> t -> Store.t -> int
 (** Execute every complete buffered request, rendering responses into the
-    output buffer; returns the batch size. *)
+    output buffer; returns the batch size. [max_out] (default unlimited)
+    stops rendering once {!pending_bytes} reaches it, leaving the rest in
+    the parser ({!has_backlog}). *)
 
 val flush : t -> [ `Closed | `Done | `Want_write ]
 (** Write coalesced responses. Runs through ["server.write.partial"];

@@ -8,7 +8,46 @@ let stored_reply : Store.stored_result -> Protocol.response = function
   | Store.Not_found -> Protocol.Not_found
   | Store.Too_large -> Protocol.Server_error "object too large for cache"
 
+(* Load shedding: mutations are fast-failed here — before the writer
+   lock, before the op log — while GETs ride the wait-free read path no
+   matter how deep the overload. Shed noreply mutations die silently
+   (the protocol has no error channel for them). *)
+let sheddable : Protocol.request -> bool = function
+  | Protocol.Set _ | Protocol.Add _ | Protocol.Replace _ | Protocol.Append _
+  | Protocol.Prepend _ | Protocol.Cas _ | Protocol.Delete _ | Protocol.Incr _
+  | Protocol.Decr _ | Protocol.Touch _ | Protocol.Flush_all _ ->
+      true
+  | Protocol.Get _ | Protocol.Gets _ | Protocol.Stats _
+  | Protocol.Trace_dump _ | Protocol.Version | Protocol.Quit ->
+      false
+
+let request_noreply : Protocol.request -> bool = function
+  | Protocol.Set { noreply; _ }
+  | Protocol.Add { noreply; _ }
+  | Protocol.Replace { noreply; _ }
+  | Protocol.Append { noreply; _ }
+  | Protocol.Prepend { noreply; _ }
+  | Protocol.Cas ({ noreply; _ }, _)
+  | Protocol.Delete { noreply; _ }
+  | Protocol.Incr { noreply; _ }
+  | Protocol.Decr { noreply; _ }
+  | Protocol.Touch { noreply; _ }
+  | Protocol.Flush_all { noreply } ->
+      noreply
+  | _ -> false
+
+let shed store (request : Protocol.request) =
+  match Store.guard store with
+  | Some g when sheddable request && not (Rp_guard.admit_mutation g) ->
+      Rp_guard.note_shed g;
+      true
+  | _ -> false
+
 let handle store (request : Protocol.request) : Protocol.response option =
+  if shed store request then
+    if request_noreply request then None
+    else Some (Protocol.Server_error "overloaded")
+  else
   match request with
   | Protocol.Get keys -> Some (Protocol.Values (Store.get_many store keys))
   | Protocol.Gets keys ->
@@ -67,6 +106,8 @@ let handle store (request : Protocol.request) : Protocol.response option =
       Some (Protocol.Stats_reply (Store.persist_stats store))
   | Protocol.Stats (Some "trace") ->
       Some (Protocol.Stats_reply (Store.trace_stats store))
+  | Protocol.Stats (Some "guard") ->
+      Some (Protocol.Stats_reply (Store.guard_stats store))
   | Protocol.Stats (Some arg) ->
       Some (Protocol.Client_error ("unknown stats argument: " ^ arg))
   | Protocol.Trace_dump max_events ->

@@ -18,6 +18,8 @@ type config = {
   workers : int;  (* resolved by the caller; >= 1 *)
   idle_timeout : float;
   read_buffer_size : int;
+  conn_write_cap : int;  (* per-conn pending-write byte cap; 0 = unlimited *)
+  drain_deadline : float;  (* kill a no-progress backed-up conn after this *)
 }
 
 let k_wakeup = Rp_trace.intern "evloop.wakeup"
@@ -43,7 +45,11 @@ type t = {
   batches : Rp_obs.Histogram.t;
   reads : Rp_obs.Counter.t;
   writes : Rp_obs.Counter.t;
+  slow_kills : Rp_obs.Counter.t;
 }
+
+let write_cap t =
+  if t.config.conn_write_cap > 0 then t.config.conn_write_cap else max_int
 
 let wake w =
   try ignore (Unix.write_substring w.wake_w "x" 0 1)
@@ -76,18 +82,36 @@ let adopt t w conns =
       Hashtbl.replace conns fd conn)
     !adopted
 
+(* Flush, then keep re-dispatching requests the write cap deferred as
+   long as the socket keeps accepting bytes. Terminates: every turn
+   either drains the backlog flag or ends in [`Want_write]/[`Done]. *)
+let pump t conn =
+  let rec go () =
+    match Conn.flush conn with
+    | `Closed -> `Close
+    | `Want_write -> `Keep
+    | `Done ->
+        if Conn.closing conn then `Close
+        else if Conn.has_backlog conn then begin
+          let batch = Conn.dispatch ~max_out:(write_cap t) conn t.store in
+          if batch > 0 then Rp_obs.Histogram.observe t.batches batch;
+          go ()
+        end
+        else `Keep
+  in
+  go ()
+
 (* One readable wakeup: drain the socket, dispatch the whole batch,
    coalesce the responses into one flush. *)
 let on_readable t conn =
   match
     Rp_fault.point "server.conn.reset";
     let eof = Conn.fill conn in
-    let batch = Conn.dispatch conn t.store in
+    let batch = Conn.dispatch ~max_out:(write_cap t) conn t.store in
     if batch > 0 then Rp_obs.Histogram.observe t.batches batch;
-    match Conn.flush conn with
-    | `Closed -> `Close
-    | `Want_write -> if eof = `Eof then `Close else `Keep
-    | `Done -> if eof = `Eof || Conn.closing conn then `Close else `Keep
+    match pump t conn with
+    | `Close -> `Close
+    | `Keep -> if eof = `Eof then `Close else `Keep
   with
   | verdict -> verdict
   | exception (Unix.Unix_error _ | End_of_file | Rp_fault.Injected _) -> `Close
@@ -103,6 +127,32 @@ let sweep_idle t w conns =
       conns []
   in
   List.iter (fun conn -> drop t w conns conn) stale
+
+(* Slow-client defense: a connection we owe bytes that has made no
+   progress in either direction for a whole drain deadline is dead
+   weight pinning coalescer memory — kill it. Healthy-but-slow peers
+   are safe: any drained byte resets the clock. *)
+let sweep_slow t w conns =
+  if t.config.drain_deadline > 0.0 then begin
+    let now = Unix.gettimeofday () in
+    let hung =
+      Hashtbl.fold
+        (fun _ conn acc ->
+          if
+            Conn.wants_write conn
+            && now -. Conn.no_progress_since conn > t.config.drain_deadline
+          then conn :: acc
+          else acc)
+        conns []
+    in
+    List.iter
+      (fun conn ->
+        Rp_obs.Counter.incr t.slow_kills;
+        Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:(Conn.id conn)
+          "server.conn.slow_kill";
+        drop t w conns conn)
+      hung
+  end
 
 (* Defensive: a select EBADF means a descriptor went bad under us; evict
    whichever connections no longer stat rather than spinning. *)
@@ -129,8 +179,21 @@ let worker_loop t w =
         else rset := fd :: !rset)
       conns;
     let timeout =
-      if t.config.idle_timeout > 0.0 then Float.min t.config.idle_timeout 0.25
-      else -1.0
+      let base =
+        if t.config.idle_timeout > 0.0 then
+          Float.min t.config.idle_timeout 0.25
+        else -1.0
+      in
+      (* With a backed-up connection and a drain deadline armed, the
+         worker must wake on its own: the hung socket may never become
+         writable, and only the sweep can kill it. *)
+      if t.config.drain_deadline > 0.0 && !wset <> [] then begin
+        let tick =
+          Float.max 0.01 (Float.min 0.05 (t.config.drain_deadline /. 4.))
+        in
+        if base < 0.0 then tick else Float.min base tick
+      end
+      else base
     in
     (* Parked workers must not stall QSBR grace periods. *)
     Store.reader_offline t.store;
@@ -154,10 +217,9 @@ let worker_loop t w =
             match Hashtbl.find_opt conns fd with
             | None -> ()
             | Some conn -> (
-                match Conn.flush conn with
-                | `Closed -> drop t w conns conn
-                | `Done -> if Conn.closing conn then drop t w conns conn
-                | `Want_write -> ()))
+                match pump t conn with
+                | `Close -> drop t w conns conn
+                | `Keep -> ()))
           writable;
         List.iter
           (fun fd ->
@@ -170,6 +232,7 @@ let worker_loop t w =
                   | `Close -> drop t w conns conn))
           readable;
         Rp_trace.span_end ~arg:w.index k_wakeup wakeup_span;
+        sweep_slow t w conns;
         if t.config.idle_timeout > 0.0 then sweep_idle t w conns
   done;
   let leftovers = Hashtbl.fold (fun _ conn acc -> conn :: acc) conns [] in
@@ -196,6 +259,11 @@ let create ~store (config : config) =
   let writes =
     Rp_obs.Registry.counter reg ~help:"server write(2) calls that moved data"
       "server_write_syscalls_total"
+  in
+  let slow_kills =
+    Rp_obs.Registry.counter reg
+      ~help:"connections killed for making no drain progress"
+      "guard_slow_client_kills_total"
   in
   Rp_obs.Registry.gauge reg ~help:"event-loop worker domains"
     "server_event_workers"
@@ -226,6 +294,7 @@ let create ~store (config : config) =
       batches;
       reads;
       writes;
+      slow_kills;
     }
   in
   Array.iter

@@ -15,6 +15,14 @@ type config = {
   workers : int;  (** worker domains; [>= 1] (resolved by the caller) *)
   idle_timeout : float;  (** seconds; [<= 0] disables the idle sweep *)
   read_buffer_size : int;  (** per-connection read buffer, bytes *)
+  conn_write_cap : int;
+      (** per-connection pending-write byte cap: past it the worker stops
+          rendering (requests stay parsed-but-deferred) so one
+          non-draining client can't pin coalescer memory. [0] = unlimited *)
+  drain_deadline : float;
+      (** kill a backed-up connection that makes no progress in either
+          direction for this many seconds ([guard_slow_client_kills_total]
+          counts them). [<= 0] disables the kill sweep *)
 }
 
 type t

@@ -1,0 +1,39 @@
+(** Wires the generic {!Rp_guard} degradation ladder into this stack.
+
+    {!install} creates the guard, feeds it the store-level pressure
+    sources, registers its actuators, and attaches it to the store (so
+    {!Dispatch}/{!Binary_server} start consulting it). {!watch_server}
+    and {!watch_persist} add the sources that need those subsystems.
+    Call in startup order — install, attach persistence, start the
+    server, watch both — then {!Rp_guard.start} the sweeper. *)
+
+val install :
+  ?watermarks:Rp_guard.watermarks ->
+  ?interval:float ->
+  ?stall_window:float ->
+  Store.t ->
+  Rp_guard.t
+(** Create a guard and attach it to [store]:
+    - ["mem"] source — [Store.bytes / Store.max_bytes];
+    - ["rcu"] source — Shed-level pressure while the RCU stall watchdog's
+      counter has moved within [stall_window] seconds (default 1);
+    - adaptive trace sampling — head-sample 16x more often (1-in-N/16)
+      whenever the ladder leaves [Healthy];
+    - Emergency actuator — an immediate {!Store.evict_to_budget} sweep;
+    - [guard_*] instruments in the store registry.
+
+    The sweeper is {e not} started; call {!Rp_guard.start} once all
+    sources are wired. *)
+
+val watch_server : Rp_guard.t -> Server.t -> unit
+(** Add the ["conns"] admission source: live connections over the
+    server's admission capacity. *)
+
+val watch_persist :
+  Rp_guard.t -> ?error_window:float -> ?log_budget_mb:int -> Persist.t -> unit
+(** Add the ["disk"] source — Emergency-latch pressure (2.0) while an
+    op-log append has failed within [error_window] seconds (default 1),
+    plus op-log growth against [log_budget_mb] (0 = ignore growth) — and
+    the Emergency actuators: pause periodic snapshots and relax
+    [fsync Always] to group commit ([Every 0.1]) until the ladder leaves
+    [Emergency]. *)

@@ -38,23 +38,37 @@ type recovery = {
   log_bad_records : int;
   log_segments : int;
   log_truncated_bytes : int;  (** torn tail cut from the newest segment *)
+  post_recovery_evictions : int;
+      (** items evicted to bring a recovered over-budget heap back under
+          [max_bytes] before serving traffic *)
 }
 
 val attach :
   ?snapshot_interval:float ->
   ?aof:bool ->
   ?fsync:Rp_persist.Oplog.fsync_policy ->
+  ?oplog_max_mb:int ->
+  ?archive_keep:int ->
   dir:string ->
   Store.t ->
   t
-(** Recover [dir] into the store, start the op log (unless [aof:false];
-    default [true]) with [fsync] (default [Always]), install the
-    mutation hook, register instruments, and spawn the snapshot domain.
-    [snapshot_interval] (seconds) enables periodic snapshots; omitted,
-    snapshots only happen via {!snapshot_now}. Attach at most once per
-    store (instrument names collide otherwise), and before serving
+(** Recover [dir] into the store, run the post-recovery eviction sweep,
+    start the op log (unless [aof:false]; default [true]) with [fsync]
+    (default [Always]), install the mutation hook, register instruments,
+    and spawn the snapshot domain. [snapshot_interval] (seconds) enables
+    periodic snapshots; omitted, snapshots only happen via
+    {!snapshot_now}. A positive [oplog_max_mb] (default 0 = unbounded)
+    rotates op-log segments by size as well as by snapshot. Compaction
+    archives superseded files as [<name>.old-<gen>] and keeps the newest
+    [archive_keep] (default 2) archived generations. Attach at most once
+    per store (instrument names collide otherwise), and before serving
     traffic (recovery applies records through the normal update path,
-    but concurrent client mutations would interleave with replay). *)
+    but concurrent client mutations would interleave with replay).
+
+    An op-log append that fails (disk full, injected fault) does {e not}
+    fail the mutation: the record is dropped, durability degrades, and
+    the failure is latched for {!append_errors} /
+    {!last_append_error_age} — the guard plane's disk-pressure signal. *)
 
 val recovery : t -> recovery
 (** What recovery found at {!attach} time. *)
@@ -66,6 +80,27 @@ val snapshot_now : t -> (int, string) result
 
 val log_gen : t -> int option
 (** Current op-log segment generation ([None] when [aof:false]). *)
+
+val oplog_bytes : t -> int
+(** Total op-log bytes: on-disk segments plus unflushed frames. *)
+
+val append_errors : t -> int
+(** Op-log appends that failed (and were swallowed) so far. *)
+
+val last_append_error_age : t -> float option
+(** Seconds since the most recent append failure; [None] once an append
+    has succeeded again (or if none ever failed). *)
+
+val set_paused : t -> bool -> unit
+(** Suspend/resume {e periodic} snapshots (the guard's Emergency
+    actuator). {!snapshot_now} still works while paused. *)
+
+val paused : t -> bool
+
+val set_fsync_policy : t -> Rp_persist.Oplog.fsync_policy -> unit
+(** Swap the op log's fsync policy live (no-op when [aof:false]). *)
+
+val fsync_policy : t -> Rp_persist.Oplog.fsync_policy option
 
 val stop : t -> unit
 (** Graceful shutdown: stop the snapshot domain, sync and close the op

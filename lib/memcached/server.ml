@@ -9,6 +9,7 @@ type mode = Threaded | Event_loop
 
 type config = {
   max_connections : int;
+  max_inflight : int;  (* admission cap below max_connections; 0 = off *)
   idle_timeout : float;
   write_timeout : float;
   listen_backlog : int;
@@ -16,11 +17,14 @@ type config = {
   tcp_nodelay : bool;
   mode : mode;
   workers : int;
+  conn_write_cap : int;  (* evloop per-conn pending-write bytes; 0 = off *)
+  drain_deadline : float;  (* evloop slow-client kill deadline; <= 0 = off *)
 }
 
 let default_config =
   {
     max_connections = 1024;
+    max_inflight = 0;
     idle_timeout = 0.0;
     write_timeout = 30.0;
     listen_backlog = 64;
@@ -28,6 +32,8 @@ let default_config =
     tcp_nodelay = true;
     mode = Threaded;
     workers = 0;
+    conn_write_cap = 1_048_576;
+    drain_deadline = 30.0;
   }
 
 let effective_workers config =
@@ -199,10 +205,9 @@ let serve_connection t th store fd =
   | Rp_fault.Injected _ -> ());
   return_buffer th buf
 
-let reject fd =
+let reject fd msg =
   (try
-     Io.write_all fd
-       (Protocol.encode_response (Protocol.Server_error "too many connections"))
+     Io.write_all fd (Protocol.encode_response (Protocol.Server_error msg))
    with Unix.Unix_error _ | Rp_fault.Injected _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -238,6 +243,28 @@ let live t =
       n
   | Evloop ev -> Evloop.live_connections ev
 
+(* The admission cap: [max_inflight] (when set) trims below
+   [max_connections] — the guard plane's knob for "the workers are
+   saturated; new sockets only add queueing". *)
+let admission_cap config =
+  if config.max_inflight > 0 then
+    min config.max_inflight config.max_connections
+  else config.max_connections
+
+(* What (if anything) to refuse this accept with. Emergency closes the
+   door entirely: established connections keep their wait-free GETs, but
+   new sockets would only deepen the overload. *)
+let refusal t store =
+  if live t >= admission_cap t.config then
+    Some
+      (if t.config.max_inflight > 0 && live t < t.config.max_connections then
+         "overloaded"
+       else "too many connections")
+  else
+    match Store.guard store with
+    | Some g when not (Rp_guard.accepting g) -> Some "overloaded"
+    | _ -> None
+
 let accept_loop t store =
   let next_id = ref 0 in
   while Atomic.get t.running do
@@ -245,21 +272,24 @@ let accept_loop t store =
     | fd, _ ->
         if not (Atomic.get t.running) then (
           try Unix.close fd with Unix.Unix_error _ -> ())
-        else if live t >= t.config.max_connections then begin
-          Atomic.incr t.rejected;
-          Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:(-1) "server.conn.drop";
-          reject fd
-        end
         else begin
-          let id = !next_id in
-          incr next_id;
-          Atomic.incr t.accepted;
-          if t.config.tcp_nodelay then Io.set_tcp_nodelay fd;
-          Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:id "server.conn.accept";
-          Rp_trace.instant ~arg:id k_accept;
-          match t.plane with
-          | Threads th -> spawn_connection t th store id fd
-          | Evloop ev -> Evloop.submit ev ~id fd
+          match refusal t store with
+          | Some msg ->
+              Atomic.incr t.rejected;
+              Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:(-1)
+                "server.conn.drop";
+              reject fd msg
+          | None -> (
+              let id = !next_id in
+              incr next_id;
+              Atomic.incr t.accepted;
+              if t.config.tcp_nodelay then Io.set_tcp_nodelay fd;
+              Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:id
+                "server.conn.accept";
+              Rp_trace.instant ~arg:id k_accept;
+              match t.plane with
+              | Threads th -> spawn_connection t th store id fd
+              | Evloop ev -> Evloop.submit ev ~id fd)
         end
     | exception Unix.Unix_error _ -> ()
   done
@@ -299,6 +329,8 @@ let start ~store ?(config = default_config) addr =
                Evloop.workers = effective_workers config;
                idle_timeout = config.idle_timeout;
                read_buffer_size = config.read_buffer_size;
+               conn_write_cap = config.conn_write_cap;
+               drain_deadline = config.drain_deadline;
              })
   in
   let t =
@@ -350,6 +382,7 @@ let stop t =
   | Tcp _ -> ()
 
 let active_connections t = live t
+let capacity t = admission_cap t.config
 let rejected_connections t = Atomic.get t.rejected
 let address t = t.addr
 

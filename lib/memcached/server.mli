@@ -27,6 +27,10 @@ type config = {
   max_connections : int;
       (** beyond this many live connections, new ones are rejected with
           [SERVER_ERROR too many connections] and closed *)
+  max_inflight : int;
+      (** admission cap {e below} [max_connections]: past it new
+          connections are rejected with [SERVER_ERROR overloaded] (the
+          hard cap keeps its own message). [0] (default) disables *)
   idle_timeout : float;
       (** seconds a connection may sit without sending bytes before the
           server closes it; [0.] disables (default) *)
@@ -45,11 +49,25 @@ type config = {
   workers : int;
       (** event-loop worker domains; [0] (default) means
           [Domain.recommended_domain_count ()] *)
+  conn_write_cap : int;
+      (** event-loop plane: per-connection pending-write byte cap
+          (default 1 MiB; [0] = unlimited). See
+          {!Evloop.config.conn_write_cap} *)
+  drain_deadline : float;
+      (** event-loop plane: kill a backed-up connection making no
+          progress for this many seconds (default 30; [<= 0] disables).
+          See {!Evloop.config.drain_deadline} *)
 }
 
 val default_config : config
-(** 1024 connections, no idle timeout, 30 s write timeout, backlog 64,
-    16 KiB buffers, TCP_NODELAY on, threaded mode. *)
+(** 1024 connections, no inflight cap, no idle timeout, 30 s write
+    timeout, backlog 64, 16 KiB buffers, TCP_NODELAY on, threaded mode,
+    1 MiB write cap, 30 s drain deadline.
+
+    When a {!Store.guard} is attached and in [Emergency], new connections
+    are refused with [SERVER_ERROR overloaded] regardless of the caps —
+    established connections keep serving (GETs stay wait-free; mutations
+    shed in {!handle}). *)
 
 val start : store:Store.t -> ?config:config -> address -> t
 (** Start listening and serving connections (the accept loop runs on a
@@ -67,6 +85,11 @@ val stop : t -> unit
 
 val active_connections : t -> int
 (** Currently live connections. *)
+
+val capacity : t -> int
+(** The effective admission cap: [max_inflight] when set, else
+    [max_connections] — the denominator of the guard's connection
+    pressure. *)
 
 val rejected_connections : t -> int
 (** Connections turned away by the [max_connections] cap so far. *)

@@ -34,6 +34,9 @@ type t = {
      workers go offline around their poll wait, and the update lock below
      is acquired with a quiescing spin. *)
   qsbr : Rcu_qsbr.t option;
+  (* Overload guard, attached by [Guard.install]: dispatch consults it to
+     shed mutations; [guard_stats] renders its live ladder state. *)
+  mutable guard : Rp_guard.t option;
   max_bytes : int;
   slab : Slab.t;  (* chunk-level accounting; eviction compares chunk bytes *)
   clock : unit -> float;
@@ -95,6 +98,7 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
       state;
       persist_hook = None;
       qsbr;
+      guard = None;
       max_bytes;
       slab = Slab.create ();
       clock;
@@ -161,6 +165,9 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
 let backend t = match t.state with Lock_state _ -> Lock | Rp_state _ -> Rp
 let rcu_mode t = match t.qsbr with Some _ -> Qsbr | None -> Memb
 let registry t = t.registry
+let max_bytes t = t.max_bytes
+let set_guard t g = t.guard <- g
+let guard t = t.guard
 
 (* Take the calling domain's QSBR reader offline (no-op for memb / Lock):
    event-loop workers call this before blocking in poll so grace periods
@@ -246,11 +253,7 @@ let lock_delete t ls key =
       Slab.refund t.slab (Item.size_bytes ~key entry.item);
       true
 
-let lock_store t ls key (item : Item.t) =
-  ignore (lock_delete t ls key);
-  let node = Lru.push_front ls.lru key in
-  Rp_baseline.Lock_ht.unsafe_insert ls.table key { item; node };
-  ignore (Slab.charge t.slab (Item.size_bytes ~key item));
+let lock_evict_until_fits t ls =
   let exhausted = ref false in
   while (not !exhausted) && Slab.allocated_bytes t.slab > t.max_bytes do
     match Lru.pop_back ls.lru with
@@ -263,6 +266,16 @@ let lock_store t ls key (item : Item.t) =
             Slab.refund t.slab (Item.size_bytes ~key:victim entry.item);
             Rp_obs.Counter.incr t.evicted)
   done
+
+(* [evict:false] defers budget enforcement to a later sweep — recovery
+   replay uses it so mid-replay eviction can't churn items a later log
+   record would have refreshed or deleted anyway. *)
+let lock_store ?(evict = true) t ls key (item : Item.t) =
+  ignore (lock_delete t ls key);
+  let node = Lru.push_front ls.lru key in
+  Rp_baseline.Lock_ht.unsafe_insert ls.table key { item; node };
+  ignore (Slab.charge t.slab (Item.size_bytes ~key item));
+  if evict then lock_evict_until_fits t ls
 
 (* --- Rp backend primitives (update mutex held by callers below) --- *)
 
@@ -314,7 +327,7 @@ let rp_evict_until_fits t rs =
       ((Rp_trace.now_ns () - sweep_start) / 1000)
   end
 
-let rp_store t rs key (item : Item.t) =
+let rp_store ?(evict = true) t rs key (item : Item.t) =
   (match Rp_ht.find rs.rp key with
   | Some old -> Slab.refund t.slab (Item.size_bytes ~key old)
   | None -> Queue.add (key, Atomic.get item.last_access) rs.clockq);
@@ -322,7 +335,7 @@ let rp_store t rs key (item : Item.t) =
      torn one; the unlinked old item is reclaimed after a grace period. *)
   Rp_ht.replace rs.rp key item;
   ignore (Slab.charge t.slab (Item.size_bytes ~key item));
-  rp_evict_until_fits t rs
+  if evict then rp_evict_until_fits t rs
 
 (* Acquire the update mutex. Under QSBR a plain blocking lock could
    deadlock: the holder may be inside wait-for-readers (a resize pass or a
@@ -689,11 +702,15 @@ let restore t r =
                   lock_delete t ls key)
           | Rp_state rs -> with_update t rs (fun () -> rp_delete t rs key))
       else begin
+        (* No inline eviction: replay may overshoot the budget; the
+           post-recovery sweep in {!Persist.attach} settles the heap once
+           the full recovered state is known. *)
         match t.state with
         | Lock_state ls ->
             Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
-                lock_store t ls key item)
-        | Rp_state rs -> with_update t rs (fun () -> rp_store t rs key item)
+                lock_store ~evict:false t ls key item)
+        | Rp_state rs ->
+            with_update t rs (fun () -> rp_store ~evict:false t rs key item)
       end
   | Rp_persist.Record.Delete key ->
       ignore
@@ -710,6 +727,19 @@ let fragmentation t = Slab.fragmentation t.slab
 
 let evictions t = Rp_obs.Counter.read t.evicted
 
+(* On-demand budget sweep: bring the heap back under [max_bytes] now
+   instead of waiting for the next store to trigger eviction. Used by
+   post-recovery attach (a restarted node must not serve over budget) and
+   as the guard's Emergency actuator. Returns the number evicted. *)
+let evict_to_budget t =
+  let before = Rp_obs.Counter.read t.evicted in
+  (match t.state with
+  | Lock_state ls ->
+      Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
+          lock_evict_until_fits t ls)
+  | Rp_state rs -> with_update t rs (fun () -> rp_evict_until_fits t rs));
+  Rp_obs.Counter.read t.evicted - before
+
 let has_prefix p name =
   String.length name >= String.length p && String.sub name 0 (String.length p) = p
 
@@ -722,11 +752,16 @@ let persist_instrument name = has_prefix "persist_" name
 (* "stats trace" filter: the flight recorder's registry instruments. *)
 let trace_instrument name = has_prefix "trace_" name
 
+(* "stats guard" filter: everything [Guard.install] registers. *)
+let guard_instrument name = has_prefix "guard_" name
+
 let stats t =
   ("backend", match backend t with Lock -> "lock" | Rp -> "rp")
   :: Rp_obs.Registry.to_stats
        ~filter:(fun n ->
-         not (rp_instrument n || persist_instrument n || trace_instrument n))
+         not
+           (rp_instrument n || persist_instrument n || trace_instrument n
+          || guard_instrument n))
        t.registry
 
 let rp_stats t = Rp_obs.Registry.to_stats ~filter:rp_instrument t.registry
@@ -738,3 +773,17 @@ let persist_stats t =
    counts, retained slow requests). One recorder serves the process, so
    the section reads [Rp_trace] directly rather than the registry. *)
 let trace_stats (_ : t) = Rp_trace.stats_kv ()
+
+(* "stats guard": the live ladder first (state name, per-source
+   pressures), then the registered guard_* instruments (shed counter,
+   slow-client kills from the evloop, ...). *)
+let guard_stats t =
+  match t.guard with
+  | None -> [ ("guard_enabled", "0") ]
+  | Some g ->
+      let live = ("guard_enabled", "1") :: Rp_guard.stats_kv g in
+      let seen = List.map fst live in
+      live
+      @ Rp_obs.Registry.to_stats
+          ~filter:(fun n -> guard_instrument n && not (List.mem n seen))
+          t.registry

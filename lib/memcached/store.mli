@@ -122,6 +122,23 @@ val restore : t -> Rp_persist.Record.t -> unit
 val now : t -> float
 (** The store's (injectable) clock. *)
 
+(** {1 Overload guard plumbing}
+
+    The {!Guard} wiring module attaches an {!Rp_guard.t}; {!Dispatch} and
+    {!Binary_server} consult it to shed mutations, and the guard's
+    Emergency actuators call back into {!evict_to_budget}. *)
+
+val set_guard : t -> Rp_guard.t option -> unit
+val guard : t -> Rp_guard.t option
+
+val max_bytes : t -> int
+(** The eviction budget this store was created with. *)
+
+val evict_to_budget : t -> int
+(** Synchronous eviction sweep: evict (LRU / CLOCK per backend) until
+    [bytes t <= max_bytes t]. Returns the number of items evicted (0 when
+    already under budget). Takes the backend's serialization lock. *)
+
 (** {1 Introspection}
 
     Command counters ([cmd_get], [cmd_set], [get_hits], [get_misses],
@@ -153,6 +170,11 @@ val trace_stats : t -> (string * string) list
 (** [stats trace] lines: the flight recorder's live state — sample rate,
     spans recorded/dropped, sampled-request percentage, retained slow
     requests ({!Rp_trace.stats_kv}; process-wide). *)
+
+val guard_stats : t -> (string * string) list
+(** [stats guard] lines: the overload guard's live ladder state plus
+    every [guard_*] instrument. A single disabled marker when no guard
+    is attached. *)
 
 val items : t -> int
 

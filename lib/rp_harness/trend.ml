@@ -318,6 +318,19 @@ let rules_for = function
         rule "replay_ops_per_s" Higher_better;
         rule "get_p99_ns_snapshot_on" Lower_better;
       ]
+  | "guard" ->
+      [
+        (* GETs must keep flowing at full-shed: throughput-gated like the
+           server lane, and not one may error or miss. *)
+        rule "shed_get_rps" Higher_better;
+        rule "get_misses" Exact_zero;
+        (* Near-total regression bound = "must be at least one": the
+           interesting failure is shedding silently not happening. *)
+        rule "shed_total" Higher_better ~max_regression:0.99;
+        (* Storm over -> Healthy; the generous multiple absorbs scheduler
+           noise on a number that is a few sweep intervals long. *)
+        rule "recover_ms" Lower_better ~max_regression:4.0;
+      ]
   | name -> invalid_arg ("Trend.rules_for: unknown benchmark " ^ name)
 
 let benchmark_name json =

@@ -28,10 +28,12 @@ let policy_name = function
 
 type t = {
   dir : string;
-  policy : fsync_policy;
+  mutable policy : fsync_policy;
+  max_bytes : int;  (* 0 = no size-based rotation *)
   mutex : Mutex.t;
   mutable fd : Unix.file_descr;
   mutable gen : int;
+  mutable seg_bytes : int;  (* framed bytes queued/written this segment *)
   pending : Buffer.t;  (* frames written but not yet handed to the OS *)
   mutable last_sync : float;
   mutable closed : bool;
@@ -75,19 +77,33 @@ let open_segment ~dir ~gen =
   end;
   fd
 
-let open_ ~dir ~gen ~fsync =
+let open_ ?(max_bytes = 0) ~dir ~gen ~fsync () =
+  let fd = open_segment ~dir ~gen in
   {
     dir;
     policy = fsync;
+    max_bytes;
     mutex = Mutex.create ();
-    fd = open_segment ~dir ~gen;
+    fd;
     gen;
+    seg_bytes = (Unix.fstat fd).Unix.st_size;
     pending = Buffer.create 4096;
     last_sync = Unix.gettimeofday ();
     closed = false;
   }
 
 let gen t = t.gen
+let bytes t = t.seg_bytes
+let policy t = t.policy
+let set_policy t p = with_lock t (fun () -> t.policy <- p)
+
+let rotate_locked t ~gen =
+  Rp_trace.with_span ~arg:gen k_rotate (fun () ->
+      sync_locked t;
+      (try Unix.close t.fd with Unix.Unix_error _ -> ());
+      t.fd <- open_segment ~dir:t.dir ~gen;
+      t.seg_bytes <- (Unix.fstat t.fd).Unix.st_size;
+      t.gen <- gen)
 
 let append t record =
   let span = Rp_trace.span_begin_sampled k_append in
@@ -96,7 +112,15 @@ let append t record =
     (fun () ->
       with_lock t (fun () ->
           if t.closed then invalid_arg "Oplog.append: closed";
+          let before = Buffer.length t.pending in
           Frame.add t.pending (Record.encode record);
+          t.seg_bytes <- t.seg_bytes + (Buffer.length t.pending - before);
+          (* Size-based rotation: a segment past its cap closes durably —
+             the record that tipped it included — and generation G+1
+             opens. The manager learns of the jump through {!gen} at its
+             next snapshot. *)
+          if t.max_bytes > 0 && t.seg_bytes >= t.max_bytes then
+            rotate_locked t ~gen:(t.gen + 1);
           match t.policy with
           | Always -> sync_locked t
           | Every dt ->
@@ -120,13 +144,9 @@ let tick t =
       | _ -> ())
 
 let rotate t ~gen =
-  Rp_trace.with_span ~arg:gen k_rotate (fun () ->
-      with_lock t (fun () ->
-          if t.closed then invalid_arg "Oplog.rotate: closed";
-          sync_locked t;
-          (try Unix.close t.fd with Unix.Unix_error _ -> ());
-          t.fd <- open_segment ~dir:t.dir ~gen;
-          t.gen <- gen))
+  with_lock t (fun () ->
+      if t.closed then invalid_arg "Oplog.rotate: closed";
+      rotate_locked t ~gen)
 
 let close t =
   with_lock t (fun () ->

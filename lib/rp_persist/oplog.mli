@@ -27,11 +27,24 @@ type t
 val filename : gen:int -> string
 (** [oplog-<gen, zero-padded>.rplog]. *)
 
-val open_ : dir:string -> gen:int -> fsync:fsync_policy -> t
+val open_ :
+  ?max_bytes:int -> dir:string -> gen:int -> fsync:fsync_policy -> unit -> t
 (** Open (creating if needed) the segment for [gen] in append mode; an
-    empty file gets its header frame written immediately. *)
+    empty file gets its header frame written immediately. A positive
+    [max_bytes] (default 0 = unbounded) enables size-based rotation:
+    an append that pushes the segment past the cap closes it durably
+    and opens generation [gen+1] in place. *)
 
 val gen : t -> int
+
+val bytes : t -> int
+(** Framed bytes in the current segment (including not-yet-flushed). *)
+
+val policy : t -> fsync_policy
+
+val set_policy : t -> fsync_policy -> unit
+(** Swap the fsync policy live — the guard plane's Emergency actuator
+    (Always -> Every) and its reversal. *)
 
 val append : t -> Record.t -> unit
 (** Thread-safe. Frames and writes the record; fsyncs per policy. *)

@@ -31,7 +31,16 @@ let default_config =
 
 let table_names = [ "rp"; "rp-qsbr"; "rp-fixed"; "ddds"; "rwlock"; "lock"; "xu" ]
 let scenario_names =
-  [ "steady"; "crash_resizer"; "stalled_reader"; "torn_io"; "crash_recovery" ]
+  [
+    "steady";
+    "crash_resizer";
+    "stalled_reader";
+    "torn_io";
+    "crash_recovery";
+    "overload_storm";
+    "slow_client";
+    "disk_full";
+  ]
 
 let table_of_name = function
   | "rp" -> (module Rp_baseline.Rp_table.Resizable : Rp_baseline.Table_intf.TABLE)
@@ -815,6 +824,492 @@ let run_crash_recovery config =
     metrics;
   }
 
+(* --- overload_storm scenario: flood of mutations against the guard ---
+
+   A small fleet of storm writers and a couple of oracle GET readers sit
+   on persistent connections sized so that connection pressure lands in
+   the guard's Shed band. The ladder must climb, mutations must come
+   back as [SERVER_ERROR overloaded] (counted, never crashed on), GETs
+   must stay error-free throughout, and once the storm stops the ladder
+   must walk back to Healthy within a few sweeps. The transitions must
+   be visible from the outside: [stats guard] lines and control-tier
+   ["guard.state"] events in the flight-recorder export. *)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let await_healthy guard ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec poll () =
+    if Rp_guard.state guard = Rp_guard.Healthy then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.005;
+      poll ()
+    end
+  in
+  poll ()
+
+let run_overload_storm config =
+  let store = Memcached.Store.create ~backend:Memcached.Store.Rp () in
+  let guard = Memcached.Guard.install ~interval:0.01 store in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-torture-storm-%d.sock" (Unix.getpid ()))
+  in
+  let addr = Memcached.Server.Unix_socket path in
+  let readers_n = max 1 config.readers in
+  let storm_n = max 6 config.writers in
+  (* Size admission so the steady connection count sits inside the Shed
+     band: total/(total+1) is >= 0.85 from 7 connections up and stays
+     below the Emergency rung until ~19. *)
+  let server_config =
+    {
+      Memcached.Server.default_config with
+      max_inflight = readers_n + storm_n + 1;
+    }
+  in
+  let server = Memcached.Server.start ~store ~config:server_config addr in
+  Memcached.Guard.watch_server guard server;
+  let key_name k = "sk" ^ string_of_int k in
+  let missing = Atomic.make 0 in
+  let wrong = Atomic.make 0 in
+  let stored = Atomic.make 0 in
+  let shed_seen = Atomic.make 0 in
+  (* Seed the oracle keys before the sweeper starts: mutations are still
+     admitted while the guard sleeps. *)
+  let seeder = Memcached.Client.connect ~retries:4 addr in
+  for k = 0 to config.resident_keys - 1 do
+    if
+      not
+        (Memcached.Client.set seeder ~key:(key_name k)
+           ~data:(string_of_int (resident_value k))
+           ())
+    then Atomic.incr missing
+  done;
+  Memcached.Client.close seeder;
+  if config.fault_injection then arm_perturbations config.seed;
+  Rp_guard.start guard;
+
+  (* Oracle: under full shed, reads must stay exact — never an error,
+     never a stale or missing resident. *)
+  let reader index ~stop =
+    let prng = Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:config.seed) index in
+    let c = Memcached.Client.connect ~retries:2 addr in
+    let checks = ref 0 in
+    while not (Atomic.get stop) do
+      let k = Rp_workload.Prng.below prng config.resident_keys in
+      (match Memcached.Client.get c (key_name k) with
+      | Some v when v.Memcached.Protocol.vdata = string_of_int (resident_value k)
+        ->
+          ()
+      | Some _ -> Atomic.incr wrong
+      | None -> Atomic.incr missing
+      | exception _ -> Atomic.incr wrong);
+      incr checks
+    done;
+    Memcached.Client.close c;
+    !checks
+  in
+
+  (* Storm: hammer mutations on a persistent connection; a shed reply is
+     the expected outcome, an exception is a failure. *)
+  let storm index ~stop =
+    let prng =
+      Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:(config.seed + 7)) index
+    in
+    let c = Memcached.Client.connect ~retries:2 addr in
+    let ops = ref 0 in
+    while not (Atomic.get stop) do
+      let k =
+        config.resident_keys
+        + Rp_workload.Prng.below prng (max 1 config.churn_keys)
+      in
+      (match
+         Memcached.Client.try_set c ~key:(key_name k)
+           ~data:(string_of_int (churn_value k))
+           ()
+       with
+      | `Stored -> Atomic.incr stored
+      | `Overloaded _ -> Atomic.incr shed_seen
+      | `Not_stored -> ()
+      | exception _ -> Atomic.incr wrong);
+      incr ops
+    done;
+    Memcached.Client.close c;
+    !ops
+  in
+
+  let workers =
+    Array.concat
+      [
+        Array.init readers_n (fun i ~stop -> reader i ~stop);
+        Array.init storm_n (fun i ~stop -> storm (i + 100) ~stop);
+      ]
+  in
+  let structural = ref 0 in
+  let recovered = ref false in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        if config.fault_injection then disarm_perturbations ();
+        (* Storm gone, connections closed: the ladder must resolve back
+           to Healthy within a few sweep intervals. *)
+        recovered := await_healthy guard ~timeout:2.0;
+        (* The incident must be legible from the outside: live [stats
+           guard] lines over the wire, and the state transitions as
+           control-tier events in the trace export. *)
+        (try
+           let c = Memcached.Client.connect ~retries:4 addr in
+           let kvs = Memcached.Client.stats ~arg:"guard" c in
+           Memcached.Client.close c;
+           if not (List.mem_assoc "guard_state_name" kvs) then incr structural;
+           if not (List.mem_assoc "guard_shed_total" kvs) then incr structural
+         with _ -> structural := !structural + 2);
+        if
+          not
+            (contains_substring (Rp_trace.export_json ()) "guard.state")
+        then incr structural;
+        Rp_guard.stop guard;
+        Memcached.Server.stop server)
+      (fun () -> Rp_harness.Runner.run ~duration:config.duration ~workers ())
+  in
+  let reader_checks =
+    Array.fold_left ( + ) 0 (Array.sub outcome.per_worker_ops 0 readers_n)
+  in
+  let writer_ops =
+    Array.fold_left ( + ) 0
+      (Array.sub outcome.per_worker_ops readers_n storm_n)
+  in
+  {
+    reader_checks;
+    missing_resident = Atomic.get missing;
+    wrong_value = Atomic.get wrong + !structural;
+    writer_ops;
+    resize_flips = 0;
+    faults_injected =
+      Rp_guard.shed_total guard
+      + (if config.fault_injection then perturbation_fires () else 0);
+    stalls_detected = Rp_guard.transitions guard;
+    recoveries = (if !recovered then 1 else 0);
+    elapsed = outcome.elapsed;
+    metrics = Rp_obs.Registry.to_stats (Memcached.Store.registry store);
+  }
+
+(* --- slow_client scenario: one non-draining socket vs the event loop ---
+
+   A victim connection pipelines GETs of a 4 KiB value and never reads a
+   byte back. The event-loop plane must park its pipeline at the
+   per-connection write cap (bounded coalescer memory), stop reading
+   from it, and — once it makes no progress for a whole drain deadline —
+   kill it, while a well-behaved client on the same worker keeps
+   streaming verified GETs the entire time. *)
+
+let run_slow_client config =
+  let store =
+    Memcached.Store.create ~backend:Memcached.Store.Rp
+      ~rcu_mode:Memcached.Store.Qsbr ()
+  in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-torture-slow-%d.sock" (Unix.getpid ()))
+  in
+  let addr = Memcached.Server.Unix_socket path in
+  let server_config =
+    {
+      Memcached.Server.default_config with
+      mode = Memcached.Server.Event_loop;
+      workers = 1;
+      conn_write_cap = 8192;
+      drain_deadline = Float.min 0.05 (config.duration /. 2.);
+    }
+  in
+  let server = Memcached.Server.start ~store ~config:server_config addr in
+  let key_name k = "wk" ^ string_of_int k in
+  let big = String.make 4096 'x' in
+  let missing = Atomic.make 0 in
+  let wrong = Atomic.make 0 in
+  let victim_killed = Atomic.make 0 in
+  let seeder = Memcached.Client.connect ~retries:4 addr in
+  ignore (Memcached.Client.set seeder ~key:"big" ~data:big ());
+  for k = 0 to config.resident_keys - 1 do
+    if
+      not
+        (Memcached.Client.set seeder ~key:(key_name k)
+           ~data:(string_of_int (resident_value k))
+           ())
+    then Atomic.incr missing
+  done;
+  Memcached.Client.close seeder;
+  if config.fault_injection then arm_perturbations config.seed;
+
+  let reader index ~stop =
+    let prng = Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:config.seed) index in
+    let c = Memcached.Client.connect ~retries:4 addr in
+    let checks = ref 0 in
+    while not (Atomic.get stop) do
+      let k = Rp_workload.Prng.below prng config.resident_keys in
+      (match Memcached.Client.get c (key_name k) with
+      | Some v when v.Memcached.Protocol.vdata = string_of_int (resident_value k)
+        ->
+          ()
+      | Some _ -> Atomic.incr wrong
+      | None -> Atomic.incr missing
+      | exception _ -> Atomic.incr wrong);
+      incr checks
+    done;
+    Memcached.Client.close c;
+    !checks
+  in
+
+  (* The abuser: pipeline big GETs as fast as the socket accepts and
+     never read a response. A tiny receive buffer makes the kernel stop
+     accepting server bytes almost immediately, so the server's write
+     cap and drain deadline do the rest. *)
+  let victim ~stop =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.setsockopt_int fd Unix.SO_RCVBUF 4096
+     with Unix.Unix_error _ -> ());
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | exception _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        0
+    | () ->
+        Unix.set_nonblock fd;
+        let req = Bytes.of_string (String.concat "" (List.init 64 (fun _ -> "get big\r\n"))) in
+        let sent = ref 0 in
+        let dead = ref false in
+        while (not (Atomic.get stop)) && not !dead do
+          match Unix.write fd req 0 (Bytes.length req) with
+          | n -> sent := !sent + n
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              Unix.sleepf 0.002
+          | exception Unix.Unix_error _ ->
+              (* EPIPE/ECONNRESET: the server executed us. *)
+              Atomic.incr victim_killed;
+              dead := true
+        done;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        !sent
+  in
+
+  let workers =
+    Array.concat
+      [
+        Array.init (max 1 config.readers) (fun i ~stop -> reader i ~stop);
+        [| (fun ~stop -> victim ~stop) |];
+      ]
+  in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        if config.fault_injection then disarm_perturbations ();
+        Memcached.Server.stop server)
+      (fun () -> Rp_harness.Runner.run ~duration:config.duration ~workers ())
+  in
+  let reg = Memcached.Store.registry store in
+  let kills = metric_int reg "guard_slow_client_kills_total" in
+  let reader_checks =
+    Array.fold_left ( + ) 0
+      (Array.sub outcome.per_worker_ops 0 (max 1 config.readers))
+  in
+  {
+    reader_checks;
+    missing_resident = Atomic.get missing;
+    (* A zero kill count means the defense never fired: structural
+       failure, not just a missing stat. *)
+    wrong_value = (Atomic.get wrong + if kills = 0 then 1 else 0);
+    writer_ops = outcome.per_worker_ops.(Array.length workers - 1);
+    resize_flips = 0;
+    faults_injected =
+      (kills + if config.fault_injection then perturbation_fires () else 0);
+    stalls_detected = 0;
+    recoveries = Atomic.get victim_killed;
+    elapsed = outcome.elapsed;
+    metrics = Rp_obs.Registry.to_stats reg;
+  }
+
+(* --- disk_full scenario: op-log appends start failing mid-run ---
+
+   Writers stream mutations into a persisted store while a chaos worker
+   arms the ["persist.log.append"] failpoint mid-run. Appends fail, the
+   disk source latches Emergency-level pressure, and the guard must
+   degrade — mutations shed, snapshots paused, GETs still exact — then
+   walk back to Healthy once the failpoint is disarmed and the error
+   window expires, at which point a fresh mutation must succeed and log
+   durably again. *)
+
+let append_site = "persist.log.append"
+
+let run_disk_full config =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-torture-diskfull-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+  let store =
+    Memcached.Store.create ~backend:Memcached.Store.Rp
+      ~max_bytes:(256 * 1024 * 1024) ()
+  in
+  let guard = Memcached.Guard.install ~interval:0.01 store in
+  let persist =
+    Memcached.Persist.attach ~aof:true ~fsync:Rp_persist.Oplog.Always ~dir
+      store
+  in
+  Memcached.Guard.watch_persist guard ~error_window:0.05 persist;
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-torture-diskfull-%d.sock" (Unix.getpid ()))
+  in
+  let addr = Memcached.Server.Unix_socket path in
+  let server = Memcached.Server.start ~store addr in
+  Memcached.Guard.watch_server guard server;
+  let key_name k = "dk" ^ string_of_int k in
+  let missing = Atomic.make 0 in
+  let wrong = Atomic.make 0 in
+  let shed_seen = Atomic.make 0 in
+  let seeder = Memcached.Client.connect ~retries:4 addr in
+  for k = 0 to config.resident_keys - 1 do
+    if
+      not
+        (Memcached.Client.set seeder ~key:(key_name k)
+           ~data:(string_of_int (resident_value k))
+           ())
+    then Atomic.incr missing
+  done;
+  Memcached.Client.close seeder;
+  if config.fault_injection then arm_perturbations config.seed;
+  Rp_guard.start guard;
+
+  let reader index ~stop =
+    let prng = Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:config.seed) index in
+    let c = Memcached.Client.connect ~retries:2 addr in
+    let checks = ref 0 in
+    while not (Atomic.get stop) do
+      let k = Rp_workload.Prng.below prng config.resident_keys in
+      (match Memcached.Client.get c (key_name k) with
+      | Some v when v.Memcached.Protocol.vdata = string_of_int (resident_value k)
+        ->
+          ()
+      | Some _ -> Atomic.incr wrong
+      | None -> Atomic.incr missing
+      | exception _ -> Atomic.incr wrong);
+      incr checks
+    done;
+    Memcached.Client.close c;
+    !checks
+  in
+
+  let writer index ~stop =
+    let prng =
+      Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:(config.seed + 7)) index
+    in
+    let c = Memcached.Client.connect ~retries:2 addr in
+    let ops = ref 0 in
+    while not (Atomic.get stop) do
+      let k =
+        config.resident_keys
+        + Rp_workload.Prng.below prng (max 1 config.churn_keys)
+      in
+      (match
+         Memcached.Client.try_set c ~key:(key_name k)
+           ~data:(string_of_int (churn_value k))
+           ()
+       with
+      | `Stored | `Not_stored -> ()
+      | `Overloaded _ -> Atomic.incr shed_seen
+      | exception _ -> Atomic.incr wrong);
+      incr ops
+    done;
+    Memcached.Client.close c;
+    !ops
+  in
+
+  (* The disk chaos: a third into the run every op-log append starts
+     raising (ENOSPC stand-in); a third later the disk "clears". The
+     direct store write right after arming guarantees at least one
+     latched failure even if the guard sheds the client writers within a
+     sweep. *)
+  let chaos ~stop =
+    let third = config.duration /. 3. in
+    Unix.sleepf third;
+    Rp_fault.arm ~seed:config.seed append_site
+      ~trigger:(Rp_fault.Probability 1.0) ~action:Rp_fault.Raise;
+    ignore (Memcached.Store.set store ~key:"chaos" ~flags:0 ~exptime:0 ~data:"x");
+    Unix.sleepf third;
+    Rp_fault.disarm append_site;
+    while not (Atomic.get stop) do
+      Unix.sleepf 0.005
+    done;
+    0
+  in
+
+  let readers_n = max 1 config.readers in
+  let writers_n = max 2 config.writers in
+  let workers =
+    Array.concat
+      [
+        Array.init readers_n (fun i ~stop -> reader i ~stop);
+        Array.init writers_n (fun i ~stop -> writer (i + 100) ~stop);
+        [| (fun ~stop -> chaos ~stop) |];
+      ]
+  in
+  let structural = ref 0 in
+  let recovered = ref false in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        Rp_fault.disarm append_site;
+        if config.fault_injection then disarm_perturbations ();
+        (* The ladder must have peaked at Emergency during the outage
+           and must fully resolve once the window expires. *)
+        if Rp_guard.peak_state guard <> Rp_guard.Emergency then
+          incr structural;
+        recovered := await_healthy guard ~timeout:2.0;
+        (* Durability restored: a fresh mutation must ack and append. *)
+        (try
+           let c = Memcached.Client.connect ~retries:4 addr in
+           let before = Memcached.Persist.append_errors persist in
+           if not (Memcached.Client.set c ~key:"post" ~data:"recovered" ())
+           then incr structural;
+           if Memcached.Persist.append_errors persist <> before then
+             incr structural;
+           Memcached.Client.close c
+         with _ -> incr structural);
+        Rp_guard.stop guard;
+        Memcached.Server.stop server;
+        Memcached.Persist.stop persist)
+      (fun () -> Rp_harness.Runner.run ~duration:config.duration ~workers ())
+  in
+  let reader_checks =
+    Array.fold_left ( + ) 0 (Array.sub outcome.per_worker_ops 0 readers_n)
+  in
+  let writer_ops =
+    Array.fold_left ( + ) 0
+      (Array.sub outcome.per_worker_ops readers_n writers_n)
+  in
+  {
+    reader_checks;
+    missing_resident = Atomic.get missing;
+    wrong_value = Atomic.get wrong + !structural;
+    writer_ops;
+    resize_flips = 0;
+    faults_injected =
+      Rp_fault.fires append_site
+      + Memcached.Persist.append_errors persist
+      + (if config.fault_injection then perturbation_fires () else 0);
+    stalls_detected = Rp_guard.transitions guard;
+    recoveries = (if !recovered then 1 else 0);
+    elapsed = outcome.elapsed;
+    metrics = Rp_obs.Registry.to_stats (Memcached.Store.registry store);
+  }
+
 let run config =
   validate_config config;
   match config.scenario with
@@ -823,4 +1318,7 @@ let run config =
   | "stalled_reader" -> run_stalled_reader config
   | "torn_io" -> run_torn_io config
   | "crash_recovery" -> run_crash_recovery config
+  | "overload_storm" -> run_overload_storm config
+  | "slow_client" -> run_slow_client config
+  | "disk_full" -> run_disk_full config
   | _ -> assert false

@@ -275,7 +275,7 @@ let replay_records ~dir ~from_gen =
 
 let test_oplog_append_rotate_replay () =
   with_dir (fun dir ->
-      let log = Oplog.open_ ~dir ~gen:1 ~fsync:Oplog.Always in
+      let log = Oplog.open_ ~dir ~gen:1 ~fsync:Oplog.Always () in
       Oplog.append log (set_record 0);
       Oplog.append log (set_record 1);
       Alcotest.(check int) "gen" 1 (Oplog.gen log);
@@ -296,7 +296,7 @@ let test_oplog_append_rotate_replay () =
 
 let test_oplog_torn_tail_truncated () =
   with_dir (fun dir ->
-      let log = Oplog.open_ ~dir ~gen:1 ~fsync:Oplog.Always in
+      let log = Oplog.open_ ~dir ~gen:1 ~fsync:Oplog.Always () in
       Oplog.append log (set_record 0);
       Oplog.close log;
       let path = Filename.concat dir (Oplog.filename ~gen:1) in
@@ -315,12 +315,12 @@ let test_oplog_torn_tail_truncated () =
 
 let test_oplog_reopen_appends () =
   with_dir (fun dir ->
-      let log = Oplog.open_ ~dir ~gen:1 ~fsync:Oplog.Never in
+      let log = Oplog.open_ ~dir ~gen:1 ~fsync:Oplog.Never () in
       Oplog.append log (set_record 0);
       Oplog.sync log;
       Oplog.close log;
       (* Reopening an existing segment must append, not rewrite the header. *)
-      let log = Oplog.open_ ~dir ~gen:1 ~fsync:Oplog.Always in
+      let log = Oplog.open_ ~dir ~gen:1 ~fsync:Oplog.Always () in
       Oplog.append log (set_record 1);
       Oplog.close log;
       let r, got = replay_records ~dir ~from_gen:1 in

@@ -116,7 +116,10 @@ let test_scenario_validation () =
         });
   Alcotest.(check (list string))
     "scenario names"
-    [ "steady"; "crash_resizer"; "stalled_reader"; "torn_io"; "crash_recovery" ]
+    [
+      "steady"; "crash_resizer"; "stalled_reader"; "torn_io"; "crash_recovery";
+      "overload_storm"; "slow_client"; "disk_full";
+    ]
     Rp_torture.Torture.scenario_names
 
 let test_report_rendering () =

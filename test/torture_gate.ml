@@ -108,6 +108,45 @@ let () =
     Printf.printf "crash_recovery: staged crash never fired\n%!";
     incr failures
   end;
+  (* Guard scenarios turn fault_injection off: their chaos is their own
+     (connection floods, hung sockets, failing appends), and the RCU
+     perturbation sites would only eat into the short budget. *)
+  let storm =
+    run "overload_storm"
+      { base with scenario = "overload_storm"; fault_injection = false }
+  in
+  if storm.faults_injected = 0 then begin
+    Printf.printf "overload_storm: nothing was shed\n%!";
+    incr failures
+  end;
+  if storm.recoveries = 0 then begin
+    Printf.printf "overload_storm: guard never returned to Healthy\n%!";
+    incr failures
+  end;
+  let slow =
+    run "slow_client"
+      { base with scenario = "slow_client"; fault_injection = false }
+  in
+  if slow.faults_injected = 0 then begin
+    Printf.printf "slow_client: hung connection was never killed\n%!";
+    incr failures
+  end;
+  if slow.reader_checks = 0 then begin
+    Printf.printf "slow_client: well-behaved client made no progress\n%!";
+    incr failures
+  end;
+  let disk =
+    run "disk_full"
+      { base with scenario = "disk_full"; fault_injection = false }
+  in
+  if disk.faults_injected = 0 then begin
+    Printf.printf "disk_full: append failpoint never fired\n%!";
+    incr failures
+  end;
+  if disk.recoveries = 0 then begin
+    Printf.printf "disk_full: guard never returned to Healthy\n%!";
+    incr failures
+  end;
   (match Sys.argv with
   | [| _; "-o"; path |] -> write_report_file path
   | _ -> ());
