@@ -604,6 +604,118 @@ let run_guard_bench () =
       (* Gate: shedding must actually have happened, and GETs survived. *)
       if !sheds = 0 || r.Memcached.Mc_benchmark.misses > 0 then exit 1)
 
+(* --- cluster smoke: replication catch-up rate and live apply lag --- *)
+
+let run_cluster_bench () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-bench-cluster-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let catchup_records = 20_000 and live_records = 4_000 and value_size = 128 in
+  let data = String.make value_size 'x' in
+  let fresh_store () =
+    Memcached.Store.create ~backend:Memcached.Store.Rp ~initial_size:4096 ()
+  in
+  let leader = fresh_store () in
+  let p =
+    Memcached.Persist.attach ~aof:true ~fsync:Rp_persist.Oplog.Never ~dir
+      leader
+  in
+  (* The backlog the follower must replay: written (and logged) before
+     the follower exists, so its delivery is pure op-log catch-up. *)
+  for i = 0 to catchup_records - 1 do
+    ignore
+      (Memcached.Store.set leader
+         ~key:(Printf.sprintf "key:%06d" i)
+         ~flags:0 ~exptime:0 ~data)
+  done;
+  let cl =
+    Memcached.Cluster.lead ~store:leader ~persist:p
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+  in
+  let follower = fresh_store () in
+  let t0 = Unix.gettimeofday () in
+  let cf =
+    Memcached.Cluster.follow ~store:follower
+      ~leader:
+        (Unix.ADDR_INET
+           (Unix.inet_addr_loopback, Memcached.Cluster.repl_port cl))
+      ()
+  in
+  (* Stream order is log order, so once a phase's last key is visible the
+     whole phase has been applied. *)
+  let await key deadline =
+    let t = Unix.gettimeofday () in
+    let rec poll () =
+      if Memcached.Store.get follower key <> None then true
+      else if Unix.gettimeofday () -. t > deadline then false
+      else begin
+        Thread.yield ();
+        poll ()
+      end
+    in
+    poll ()
+  in
+  if not (await (Printf.sprintf "key:%06d" (catchup_records - 1)) 30.0)
+  then begin
+    Printf.printf "cluster bench: follower never caught up\n";
+    exit 1
+  end;
+  let catchup_s = Unix.gettimeofday () -. t0 in
+  let catchup_ops_per_s = float_of_int catchup_records /. catchup_s in
+  (* Live phase: records published through the tap carry their send
+     timestamp, and the follower's apply-lag histogram measures
+     publish -> apply. *)
+  for i = 0 to live_records - 1 do
+    ignore
+      (Memcached.Store.set leader
+         ~key:(Printf.sprintf "live:%06d" i)
+         ~flags:0 ~exptime:0 ~data)
+  done;
+  if not (await (Printf.sprintf "live:%06d" (live_records - 1)) 30.0)
+  then begin
+    Printf.printf "cluster bench: live stream never drained\n";
+    exit 1
+  end;
+  let stats = Memcached.Store.cluster_stats follower in
+  let stat name =
+    match List.assoc_opt name stats with Some v -> v | None -> "0"
+  in
+  (* The replica oracle: every record the leader acked must be readable
+     on the follower (gated Exact_zero by the trend lane). *)
+  let missing = ref 0 in
+  for i = 0 to catchup_records - 1 do
+    if Memcached.Store.get follower (Printf.sprintf "key:%06d" i) = None then
+      incr missing
+  done;
+  for i = 0 to live_records - 1 do
+    if Memcached.Store.get follower (Printf.sprintf "live:%06d" i) = None then
+      incr missing
+  done;
+  Memcached.Cluster.stop cf;
+  Memcached.Cluster.stop cl;
+  Memcached.Persist.stop p;
+  let oc = open_out "BENCH_cluster.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"cluster\",\n  \"catchup_records\": %d,\n  \
+     \"live_records\": %d,\n  \"value_size\": %d,\n  \
+     \"catchup_ops_per_s\": %.0f,\n  \"apply_lag_us_p50\": %s,\n  \
+     \"apply_lag_us_p99\": %s,\n  \"follower_missing\": %d\n}\n"
+    catchup_records live_records value_size catchup_ops_per_s
+    (stat "cluster_apply_lag_us_p50")
+    (stat "cluster_apply_lag_us_p99")
+    !missing;
+  close_out oc;
+  Printf.printf
+    "cluster: catch-up %8.0f ops/s (%d records in %.0f ms), live apply \
+     lag p99 %s us, %d missing, report in BENCH_cluster.json\n"
+    catchup_ops_per_s catchup_records (catchup_s *. 1e3)
+    (stat "cluster_apply_lag_us_p99")
+    !missing;
+  if !missing > 0 then exit 1
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
@@ -613,7 +725,8 @@ let () =
     run_smoke ();
     run_persist_bench ();
     run_server_bench ();
-    run_guard_bench ()
+    run_guard_bench ();
+    run_cluster_bench ()
   end
   else begin
   let options =

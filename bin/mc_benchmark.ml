@@ -60,6 +60,44 @@ let mode_arg =
     & opt (conv (parse, print)) Memcached.Mc_benchmark.Get_only
     & info [ "mode" ] ~docv:"MODE" ~doc)
 
+let servers_arg =
+  let doc =
+    "Benchmark a cluster: comma-separated host:port[:weight] members. \
+     Keys route over the same ketama consistent-hash ring the cluster \
+     client uses, batches pipelined per member."
+  in
+  let parse_one s =
+    match String.split_on_char ':' s with
+    | [ host; port ] -> (
+        match int_of_string_opt port with
+        | Some p when host <> "" -> Ok (host, p, 1)
+        | _ -> Error (`Msg ("bad server: " ^ s)))
+    | [ host; port; weight ] -> (
+        match (int_of_string_opt port, int_of_string_opt weight) with
+        | Some p, Some w when host <> "" && w > 0 -> Ok (host, p, w)
+        | _ -> Error (`Msg ("bad server: " ^ s)))
+    | _ -> Error (`Msg ("bad server: " ^ s))
+  in
+  let parse s =
+    List.fold_left
+      (fun acc one ->
+        match (acc, parse_one one) with
+        | Ok l, Ok m -> Ok (l @ [ m ])
+        | (Error _ as e), _ -> e
+        | _, (Error _ as e) -> e)
+      (Ok [])
+      (String.split_on_char ',' s)
+  in
+  let print fmt servers =
+    Format.pp_print_string fmt
+      (String.concat ","
+         (List.map (fun (h, p, w) -> Printf.sprintf "%s:%d:%d" h p w) servers))
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "servers" ] ~docv:"HOST:PORT[:W],..." ~doc)
+
 let pipeline_arg =
   let doc =
     "Pipeline depth for --socket GET runs: write $(docv) GETs per batch and \
@@ -130,15 +168,27 @@ let run_socket_pipelined path workers duration keyspace value_size pipeline =
          sseed = 42;
        })
 
-let run backend socket workers duration keyspace value_size mode pipeline =
-  match socket with
-  | Some path when pipeline > 1 ->
+let run backend socket servers workers duration keyspace value_size mode
+    pipeline =
+  match (socket, servers) with
+  | _, Some servers ->
+      print_result
+        (Memcached.Mc_benchmark.run_servers servers
+           {
+             Memcached.Mc_benchmark.connections = workers;
+             pipeline = max 1 pipeline;
+             sduration = duration;
+             skeyspace = keyspace;
+             svalue_size = value_size;
+             sseed = 42;
+           })
+  | Some path, None when pipeline > 1 ->
       (match mode with
       | Memcached.Mc_benchmark.Get_only -> ()
       | _ -> prerr_endline "note: --pipeline > 1 implies a pure-GET workload");
       run_socket_pipelined path workers duration keyspace value_size pipeline
-  | Some path -> run_socket path workers duration keyspace value_size mode
-  | None ->
+  | Some path, None -> run_socket path workers duration keyspace value_size mode
+  | None, None ->
       let config =
         {
           Memcached.Mc_benchmark.workers;
@@ -155,7 +205,7 @@ let cmd =
   let doc = "mc-benchmark-style load generator for the mini-memcached" in
   Cmd.v (Cmd.info "mc_benchmark" ~doc)
     Term.(
-      const run $ backend_arg $ socket_arg $ workers_arg $ duration_arg
-      $ keyspace_arg $ value_size_arg $ mode_arg $ pipeline_arg)
+      const run $ backend_arg $ socket_arg $ servers_arg $ workers_arg
+      $ duration_arg $ keyspace_arg $ value_size_arg $ mode_arg $ pipeline_arg)
 
 let () = exit (Cmd.eval cmd)

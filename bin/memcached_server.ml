@@ -164,10 +164,39 @@ let trace_buffer_arg =
   in
   Arg.(value & opt int 1024 & info [ "trace-buffer" ] ~docv:"RECORDS" ~doc)
 
+let repl_port_arg =
+  let doc =
+    "Lead a replication group: listen for followers on 127.0.0.1:$(docv) \
+     (0 = OS-assigned) and stream every op-log record to them. Requires \
+     --data-dir with the op log enabled."
+  in
+  Arg.(value & opt (some int) None & info [ "repl-port" ] ~docv:"PORT" ~doc)
+
+let replica_of_arg =
+  let doc =
+    "Follow the leader whose replication listener is at $(docv) \
+     (host:port): apply its op-log stream, refuse client mutations \
+     (read-only) until 'cluster promote'."
+  in
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i -> (
+        let host = String.sub s 0 i in
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some port when host <> "" -> Ok (host, port)
+        | _ -> Error (`Msg ("bad host:port: " ^ s)))
+    | None -> Error (`Msg ("bad host:port: " ^ s))
+  in
+  let print fmt (h, p) = Format.fprintf fmt "%s:%d" h p in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "replica-of" ] ~docv:"HOST:PORT" ~doc)
+
 let run backend port socket max_mb metrics_port mode workers data_dir
     snapshot_interval aof fsync_policy guard_enabled shed_watermarks
     max_inflight conn_write_cap oplog_max_mb trace_sample trace_slow_ms
-    trace_buffer =
+    trace_buffer repl_port replica_of =
   Rp_trace.configure ~sample:trace_sample ~slow_ms:trace_slow_ms
     ~buffer:trace_buffer ();
   let rcu_mode =
@@ -227,6 +256,41 @@ let run backend port socket max_mb metrics_port mode workers data_dir
         p)
       data_dir
   in
+  (* Cluster roles attach between recovery and the listeners: a leader's
+     tap must be live before the first client write is logged, and a
+     follower must be read-only before a client can reach it. *)
+  (match (repl_port, replica_of) with
+  | Some _, Some _ ->
+      prerr_endline "cannot be both --repl-port leader and --replica-of follower";
+      exit 2
+  | _ -> ());
+  let cluster =
+    match repl_port with
+    | Some rp -> (
+        match persist with
+        | Some p when aof ->
+            let c =
+              Memcached.Cluster.lead ~store ~persist:p
+                (Unix.ADDR_INET (Unix.inet_addr_loopback, rp))
+            in
+            Printf.printf "replication listener on 127.0.0.1:%d\n%!"
+              (Memcached.Cluster.repl_port c);
+            Some c
+        | _ ->
+            prerr_endline "--repl-port requires --data-dir with the op log on";
+            exit 2)
+    | None -> (
+        match replica_of with
+        | Some (host, lport) ->
+            let _, leader =
+              Memcached.Server.sockaddr_of (Memcached.Server.Inet (host, lport))
+            in
+            let c = Memcached.Cluster.follow ~store ~leader () in
+            Printf.printf "following %s:%d (read-only until promoted)\n%!" host
+              lport;
+            Some c
+        | None -> None)
+  in
   let address =
     match port with
     | Some p -> Memcached.Server.Tcp p
@@ -249,8 +313,9 @@ let run backend port socket max_mb metrics_port mode workers data_dir
       Printf.printf "overload guard on: shed at %.2f, recover below %.2f\n%!"
         shed_watermarks.Rp_guard.shed_up shed_watermarks.Rp_guard.shed_down)
     guard;
-  (match address with
+  (match Memcached.Server.address server with
   | Memcached.Server.Tcp p -> Printf.printf "listening on 127.0.0.1:%d\n%!" p
+  | Memcached.Server.Inet (h, p) -> Printf.printf "listening on %s:%d\n%!" h p
   | Memcached.Server.Unix_socket path -> Printf.printf "listening on %s\n%!" path);
   (match mode with
   | Memcached.Server.Event_loop ->
@@ -281,6 +346,7 @@ let run backend port socket max_mb metrics_port mode workers data_dir
   print_endline "shutting down";
   Option.iter Rp_guard.stop guard;
   Option.iter Memcached.Metrics_http.stop metrics;
+  Option.iter Memcached.Cluster.stop cluster;
   Memcached.Server.stop server;
   Option.iter Memcached.Persist.stop persist
 
@@ -293,6 +359,6 @@ let cmd =
       $ snapshot_interval_arg $ aof_arg $ fsync_policy_arg $ guard_arg
       $ shed_watermarks_arg $ max_inflight_arg $ conn_write_cap_arg
       $ oplog_max_mb_arg $ trace_sample_arg $ trace_slow_ms_arg
-      $ trace_buffer_arg)
+      $ trace_buffer_arg $ repl_port_arg $ replica_of_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -6,6 +6,19 @@
 type t
 
 val connect : Server.address -> t
+
+val of_servers :
+  ?retries:int ->
+  ?eject_after:int ->
+  ?rejoin_after:float ->
+  (string * int * int) list ->
+  t
+(** Multi-server mode: keyed requests route over a ketama consistent-hash
+    ring ({!Rp_cluster.Ring}); a member failing [eject_after] (default 3)
+    consecutive connection attempts is ejected for a jittered
+    [rejoin_after]-based window and its keys fail over to the next live
+    member. Each request gets [retries] (default 2) re-routed attempts. *)
+
 val close : t -> unit
 
 val get : t -> string -> (string * int) option

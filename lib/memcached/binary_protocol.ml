@@ -76,6 +76,7 @@ type status =
   | Item_not_stored
   | Non_numeric_value
   | Busy  (** 0x0085 — mutation shed by the overload guard *)
+  | Read_only  (** 0x0086 — mutation refused by a following replica *)
   | Unknown_command
 
 let status_to_int = function
@@ -87,6 +88,7 @@ let status_to_int = function
   | Item_not_stored -> 0x0005
   | Non_numeric_value -> 0x0006
   | Busy -> 0x0085
+  | Read_only -> 0x0086
   | Unknown_command -> 0x0081
 
 let status_of_int = function
@@ -98,6 +100,7 @@ let status_of_int = function
   | 0x0005 -> Item_not_stored
   | 0x0006 -> Non_numeric_value
   | 0x0085 -> Busy
+  | 0x0086 -> Read_only
   | _ -> Unknown_command
 
 type request = {

@@ -45,6 +45,7 @@ type status =
   | Item_not_stored
   | Non_numeric_value
   | Busy  (** 0x0085 — mutation shed by the overload guard *)
+  | Read_only  (** 0x0086 — mutation refused by a following replica *)
   | Unknown_command
 
 val status_to_int : status -> int

@@ -133,6 +133,10 @@ let shed store (request : request) =
 
 let handle store (request : request) : response list =
   if shed store request then [ reply request ~status:Busy ]
+  else if Store.read_only store && sheddable_opcode request.opcode then
+    (* Following replica: mutations only arrive via the replication
+       stream, never from clients. *)
+    [ reply request ~status:Read_only ]
   else
   match request.opcode with
   | Get -> handle_get store request ~with_key:false ~quiet:false

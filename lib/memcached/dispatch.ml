@@ -18,7 +18,8 @@ let sheddable : Protocol.request -> bool = function
   | Protocol.Decr _ | Protocol.Touch _ | Protocol.Flush_all _ ->
       true
   | Protocol.Get _ | Protocol.Gets _ | Protocol.Stats _
-  | Protocol.Trace_dump _ | Protocol.Version | Protocol.Quit ->
+  | Protocol.Trace_dump _ | Protocol.Cluster_promote | Protocol.Version
+  | Protocol.Quit ->
       false
 
 let request_noreply : Protocol.request -> bool = function
@@ -47,6 +48,11 @@ let handle store (request : Protocol.request) : Protocol.response option =
   if shed store request then
     if request_noreply request then None
     else Some (Protocol.Server_error "overloaded")
+  else if Store.read_only store && sheddable request then
+    (* A following replica refuses client mutations: its state is the
+       leader's, applied through the replication stream only. *)
+    if request_noreply request then None
+    else Some (Protocol.Server_error "replica is read-only")
   else
   match request with
   | Protocol.Get keys -> Some (Protocol.Values (Store.get_many store keys))
@@ -108,10 +114,16 @@ let handle store (request : Protocol.request) : Protocol.response option =
       Some (Protocol.Stats_reply (Store.trace_stats store))
   | Protocol.Stats (Some "guard") ->
       Some (Protocol.Stats_reply (Store.guard_stats store))
+  | Protocol.Stats (Some "cluster") ->
+      Some (Protocol.Stats_reply (Store.cluster_stats store))
   | Protocol.Stats (Some arg) ->
       Some (Protocol.Client_error ("unknown stats argument: " ^ arg))
   | Protocol.Trace_dump max_events ->
       Some (Protocol.Trace_json (Rp_trace.export_json ?max_events ()))
+  | Protocol.Cluster_promote -> (
+      match Store.promote store with
+      | Ok _ -> Some Protocol.Ok_reply
+      | Error msg -> Some (Protocol.Server_error msg))
   | Protocol.Flush_all { noreply } ->
       Store.flush_all store;
       if noreply then None else Some Protocol.Ok_reply

@@ -140,16 +140,13 @@ let default_socket_config =
   }
 
 let connect addr =
-  match addr with
-  | Server.Unix_socket path ->
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.connect fd (Unix.ADDR_UNIX path);
-      fd
-  | Server.Tcp port ->
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-      Io.set_tcp_nodelay fd;
-      fd
+  let domain, sockaddr = Server.sockaddr_of addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.connect fd sockaddr;
+  (match addr with
+  | Server.Unix_socket _ -> ()
+  | Server.Tcp _ | Server.Inet _ -> Io.set_tcp_nodelay fd);
+  fd
 
 (* Read until [n] responses came back, handing each to [consume]. *)
 let await_responses rp fd rbuf n consume =
@@ -235,6 +232,70 @@ let socket_worker addr config index ~stop ~hits ~misses =
   ignore (Atomic.fetch_and_add misses !my_misses);
   (try Unix.close fd with Unix.Unix_error _ -> ());
   batches * config.pipeline
+
+(* ---------------------------------------------------------------------- *)
+(* Multi-server load: ring-routed client, one per connection.             *)
+(* ---------------------------------------------------------------------- *)
+
+(* Prefill through the ring so every key lands on its owning member. *)
+let servers_prefill servers ~keyspace ~value_size =
+  let client = Client.of_servers servers in
+  Fun.protect
+    ~finally:(fun () -> Client.close client)
+    (fun () ->
+      for i = 0 to keyspace - 1 do
+        let key = Rp_workload.Keygen.string_key i in
+        ignore
+          (Client.set client ~key ~data:(value_for ~size:value_size i) ())
+      done)
+
+let servers_worker servers config index ~stop ~hits ~misses =
+  let client = Client.of_servers servers in
+  let keygen =
+    Rp_workload.Keygen.create ~keyspace:config.skeyspace ~seed:config.sseed
+      ~worker:index ()
+  in
+  let my_hits = ref 0 and my_misses = ref 0 in
+  (* [get_many] groups the batch by ring owner: one pipelined GET per
+     member per round, which keeps the member fan-out of a real
+     consistent-hash deployment while batching like [-P]. *)
+  let one_batch () =
+    let keys =
+      List.init config.pipeline (fun _ ->
+          Rp_workload.Keygen.string_key (Rp_workload.Keygen.next_key keygen))
+    in
+    let got = List.length (Client.get_many client keys) in
+    my_hits := !my_hits + got;
+    my_misses := !my_misses + (config.pipeline - got)
+  in
+  let batches = Rp_harness.Runner.loop_until_stop ~stop ~f:one_batch in
+  ignore (Atomic.fetch_and_add hits !my_hits);
+  ignore (Atomic.fetch_and_add misses !my_misses);
+  Client.close client;
+  batches * config.pipeline
+
+let run_servers servers config =
+  if servers = [] then invalid_arg "Mc_benchmark.run_servers: no servers";
+  if config.connections < 1 then
+    invalid_arg "Mc_benchmark.run_servers: connections < 1";
+  if config.pipeline < 1 then
+    invalid_arg "Mc_benchmark.run_servers: pipeline < 1";
+  Io.ignore_sigpipe ();
+  servers_prefill servers ~keyspace:config.skeyspace
+    ~value_size:config.svalue_size;
+  let hits = Atomic.make 0 and misses = Atomic.make 0 in
+  let workers =
+    Array.init config.connections (fun i ~stop ->
+        servers_worker servers config i ~stop ~hits ~misses)
+  in
+  let outcome = Rp_harness.Runner.run ~duration:config.sduration ~workers () in
+  {
+    requests = Rp_harness.Runner.total_ops outcome;
+    elapsed = outcome.elapsed;
+    requests_per_second = Rp_harness.Runner.throughput outcome;
+    hits = Atomic.get hits;
+    misses = Atomic.get misses;
+  }
 
 let run_socket addr config =
   if config.connections < 1 then

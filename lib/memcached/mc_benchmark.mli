@@ -67,3 +67,10 @@ val socket_prefill :
 val run_socket : Server.address -> socket_config -> result
 (** Drive a running server with pipelined GETs; {!result.requests} counts
     individual GETs, not batches. *)
+
+val run_servers : (string * int * int) list -> socket_config -> result
+(** Multi-server mode ([--servers a:p1,b:p2]): each connection is a
+    {!Client.of_servers} ring client; batches of [pipeline] keys are
+    grouped by ring owner and pipelined per member, so the load spreads
+    across the cluster exactly as the consistent-hash routing dictates.
+    Prefill also goes through the ring. *)

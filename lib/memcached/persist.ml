@@ -39,7 +39,17 @@ type t = {
   last_append_error : float Atomic.t;  (* unixtime of last failure, 0 = clear *)
   snapshot_hist : Rp_obs.Histogram.t;
   mutable domain : unit Domain.t option;
+  (* Replication tap: observes every record that reached the op log,
+     inside the store's serialization lock — tap order is log order is
+     store order. The leader glue hangs its publish fan-out here. *)
+  mutable tap : (gen:int -> trace:int -> P.Record.t -> unit) option;
 }
+
+let dir t = t.dir
+let set_tap t f = t.tap <- f
+
+let flush_log t =
+  match t.log with Some l -> P.Oplog.flush l | None -> ()
 
 let recovery t = t.recovered
 let log_gen t = Option.map P.Oplog.gen t.log
@@ -361,6 +371,7 @@ let attach ?snapshot_interval ?(aof = true) ?(fsync = P.Oplog.Always)
       last_append_error = Atomic.make 0.0;
       snapshot_hist = Rp_obs.Histogram.create ();
       domain = None;
+      tap = None;
     }
   in
   (match log with
@@ -376,7 +387,16 @@ let attach ?snapshot_interval ?(aof = true) ?(fsync = P.Oplog.Always)
              | () ->
                  Rp_obs.Counter.incr t.appends;
                  if Atomic.get t.last_append_error <> 0.0 then
-                   Atomic.set t.last_append_error 0.0
+                   Atomic.set t.last_append_error 0.0;
+                 (match t.tap with
+                 | Some tap ->
+                     (* Carry the serving request's trace id across the
+                        wire so a follower's apply span joins the same
+                        distributed trace. *)
+                     tap ~gen:(P.Oplog.gen l)
+                       ~trace:(Rp_trace.current_trace_id ())
+                       r
+                 | None -> ())
              | exception _ ->
                  Rp_obs.Counter.incr t.append_errors;
                  Atomic.set t.last_append_error (Unix.gettimeofday ())))

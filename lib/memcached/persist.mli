@@ -81,6 +81,24 @@ val snapshot_now : t -> (int, string) result
 val log_gen : t -> int option
 (** Current op-log segment generation ([None] when [aof:false]). *)
 
+val dir : t -> string
+(** The persistence directory this manager was attached to. *)
+
+val flush_log : t -> unit
+(** Push the op log's pending buffer to the OS (no fsync) so a reader
+    tailing the segment files ({!Rp_persist.Oplog.Tail}) can see every
+    record appended so far. No-op when [aof:false]. *)
+
+val set_tap :
+  t -> (gen:int -> trace:int -> Rp_persist.Record.t -> unit) option -> unit
+(** Install (or clear) the replication tap: called for every record
+    immediately after its successful op-log append, still inside the
+    store's serialization lock — tap order is exactly log order. [gen]
+    is the segment the record landed in; [trace] is the serving
+    request's flight-recorder trace id (0 when unsampled), which the
+    replication stream carries to followers. The tap must be quick
+    (enqueue, don't write sockets) and must not raise. *)
+
 val oplog_bytes : t -> int
 (** Total op-log bytes: on-disk segments plus unflushed frames. *)
 

@@ -21,6 +21,7 @@ type request =
   | Touch of { key : string; exptime : int; noreply : bool }
   | Stats of string option
   | Trace_dump of int option  (** [trace dump [n]]: flight-recorder export *)
+  | Cluster_promote  (** [cluster promote]: replica -> leader *)
   | Flush_all of { noreply : bool }
   | Version
   | Quit
@@ -83,6 +84,7 @@ let encode_request = function
   | Stats (Some arg) -> "stats " ^ arg ^ crlf
   | Trace_dump None -> "trace dump" ^ crlf
   | Trace_dump (Some n) -> Printf.sprintf "trace dump %d%s" n crlf
+  | Cluster_promote -> "cluster promote" ^ crlf
   | Flush_all { noreply } ->
       Printf.sprintf "flush_all%s%s" (if noreply then " noreply" else "") crlf
   | Version -> "version" ^ crlf
@@ -370,6 +372,10 @@ module Parser = struct
                 | Some n when n > 0 -> Some (Ok (Trace_dump (Some n)))
                 | _ -> Some (Error "bad trace dump count"))
             | _ -> Some (Error "bad trace"))
+        | "cluster" -> (
+            match args with
+            | [ "promote" ] -> Some (Ok Cluster_promote)
+            | _ -> Some (Error "bad cluster"))
         | "flush_all" -> (
             match args with
             | [] -> Some (Ok (Flush_all { noreply = false }))

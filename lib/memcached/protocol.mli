@@ -29,11 +29,15 @@ type request =
   | Touch of { key : string; exptime : int; noreply : bool }
   | Stats of string option
       (** [stats] or [stats <arg>]; the server understands [stats rp]
-          (relativistic-stack metrics), [stats persist], and
-          [stats trace] (flight-recorder state) *)
+          (relativistic-stack metrics), [stats persist], [stats trace]
+          (flight-recorder state), and [stats cluster] (replication
+          role and watermarks) *)
   | Trace_dump of int option
       (** [trace dump [n]]: export the flight recorder's newest [n]
           events (all, when omitted) as Chrome trace-event JSON *)
+  | Cluster_promote
+      (** [cluster promote]: a following replica stops replicating,
+          clears read-only, and starts accepting mutations *)
   | Flush_all of { noreply : bool }
   | Version
   | Quit

@@ -4,8 +4,23 @@ let version_string = Version.string
    the event-loop plane can reach it without a module cycle. *)
 let handle = Dispatch.handle
 
-type address = Unix_socket of string | Tcp of int
+type address = Unix_socket of string | Tcp of int | Inet of string * int
 type mode = Threaded | Event_loop
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } ->
+        failwith (Printf.sprintf "cannot resolve host %S" host)
+    | h -> h.Unix.h_addr_list.(0)
+    | exception Not_found ->
+        failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let sockaddr_of = function
+  | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Tcp port -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  | Inet (host, port) -> (Unix.PF_INET, Unix.ADDR_INET (resolve_host host, port))
 
 type config = {
   max_connections : int;
@@ -302,17 +317,23 @@ let start ~store ?(config = default_config) addr =
   if config.read_buffer_size < 1 then
     invalid_arg "Server.start: read_buffer_size < 1";
   Io.ignore_sigpipe ();
-  let domain, sockaddr =
-    match addr with
-    | Unix_socket path ->
-        (try Unix.unlink path with Unix.Unix_error _ -> ());
-        (Unix.PF_UNIX, Unix.ADDR_UNIX path)
-    | Tcp port -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
-  in
+  (match addr with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ | Inet _ -> ());
+  let domain, sockaddr = sockaddr_of addr in
   let listen_fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   Unix.bind listen_fd sockaddr;
   Unix.listen listen_fd config.listen_backlog;
+  (* Port 0 asks the kernel for any free port; reflect the one it picked
+     back into the advertised address so [address] names a reachable
+     endpoint (children spawned with [-p 0] print it for their parent). *)
+  let addr =
+    match (addr, Unix.getsockname listen_fd) with
+    | Tcp 0, Unix.ADDR_INET (_, p) -> Tcp p
+    | Inet (h, 0), Unix.ADDR_INET (_, p) -> Inet (h, p)
+    | _ -> addr
+  in
   let plane =
     match config.mode with
     | Threaded ->
@@ -379,7 +400,7 @@ let stop t =
   | Evloop ev -> Evloop.stop ev);
   match t.addr with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-  | Tcp _ -> ()
+  | Tcp _ | Inet _ -> ()
 
 let active_connections t = live t
 let capacity t = admission_cap t.config

@@ -20,8 +20,16 @@ val handle : Store.t -> Protocol.request -> Protocol.response option
 
 type t
 
-type address = Unix_socket of string | Tcp of int
+type address = Unix_socket of string | Tcp of int | Inet of string * int
+(** [Tcp port] binds/connects loopback; [Inet (host, port)] names a
+    remote (or any resolvable) endpoint — the cluster plane's address
+    shape. *)
+
 type mode = Threaded | Event_loop
+
+val sockaddr_of : address -> Unix.socket_domain * Unix.sockaddr
+(** Resolve an address to its socket domain and sockaddr (numeric hosts
+    first, then [gethostbyname]). *)
 
 type config = {
   max_connections : int;
@@ -95,6 +103,8 @@ val rejected_connections : t -> int
 (** Connections turned away by the [max_connections] cap so far. *)
 
 val address : t -> address
+(** The bound address. A [Tcp 0] / [Inet (host, 0)] request (OS-assigned
+    port) is resolved to the port the kernel actually picked. *)
 
 val workers : t -> int
 (** Event-loop worker domains serving this instance; [0] on the threaded

@@ -37,6 +37,14 @@ type t = {
   (* Overload guard, attached by [Guard.install]: dispatch consults it to
      shed mutations; [guard_stats] renders its live ladder state. *)
   mutable guard : Rp_guard.t option;
+  (* A following replica refuses client mutations (dispatch checks this);
+     the replication stream itself applies through [replicate], which
+     bypasses the flag. *)
+  mutable read_only : bool;
+  (* Cluster glue, installed by [Cluster]: the live [stats cluster]
+     section and the [cluster promote] admin action. *)
+  mutable cluster_info : (unit -> (string * string) list) option;
+  mutable promote_hook : (unit -> (string, string) result) option;
   max_bytes : int;
   slab : Slab.t;  (* chunk-level accounting; eviction compares chunk bytes *)
   clock : unit -> float;
@@ -99,6 +107,9 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
       persist_hook = None;
       qsbr;
       guard = None;
+      read_only = false;
+      cluster_info = None;
+      promote_hook = None;
       max_bytes;
       slab = Slab.create ();
       clock;
@@ -168,6 +179,15 @@ let registry t = t.registry
 let max_bytes t = t.max_bytes
 let set_guard t g = t.guard <- g
 let guard t = t.guard
+let set_read_only t b = t.read_only <- b
+let read_only t = t.read_only
+let set_cluster_info t f = t.cluster_info <- f
+let set_promote_hook t f = t.promote_hook <- f
+
+let promote t =
+  match t.promote_hook with
+  | None -> Error "not a replica"
+  | Some f -> f ()
 
 (* Take the calling domain's QSBR reader offline (no-op for memb / Lock):
    event-loop workers call this before blocking in poll so grace periods
@@ -683,12 +703,17 @@ let iter_items t ~f =
       0
   | Rp_state rs -> Rp_ht.iter_batched rs.rp ~f
 
-(* Apply a recovered record: same primitives as the live commands, but no
-   persistence hook (recovery must not re-log itself) and no command
-   counters (a warm restart is not client traffic). Already-expired items
-   are dropped rather than stored — deterministic, since records carry
-   absolute expiry times. *)
-let restore t r =
+(* Apply a recovered or replicated record: same primitives as the live
+   commands, but no command counters (neither a warm restart nor the
+   replication stream is client traffic). With [log], the record is
+   re-logged through the persist hook inside the serialization lock —
+   that is how a follower's own oplog stays a faithful linearization of
+   what it applied, so it can itself recover, snapshot, and (after
+   promotion) lead. Recovery replay uses [log:false]: it must not re-log
+   itself. Already-expired items are dropped rather than stored —
+   deterministic, since records carry absolute expiry times. *)
+let apply_record ?(log = false) t r =
+  let finish () = if log then record t r in
   match r with
   | Rp_persist.Record.Set { key; flags; exptime; cas; data; _ } ->
       Item.note_restored_cas cas;
@@ -699,8 +724,14 @@ let restore t r =
           (match t.state with
           | Lock_state ls ->
               Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
-                  lock_delete t ls key)
-          | Rp_state rs -> with_update t rs (fun () -> rp_delete t rs key))
+                  let d = lock_delete t ls key in
+                  finish ();
+                  d)
+          | Rp_state rs ->
+              with_update t rs (fun () ->
+                  let d = rp_delete t rs key in
+                  finish ();
+                  d))
       else begin
         (* No inline eviction: replay may overshoot the budget; the
            post-recovery sweep in {!Persist.attach} settles the heap once
@@ -708,18 +739,30 @@ let restore t r =
         match t.state with
         | Lock_state ls ->
             Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
-                lock_store ~evict:false t ls key item)
+                lock_store ~evict:false t ls key item;
+                finish ())
         | Rp_state rs ->
-            with_update t rs (fun () -> rp_store ~evict:false t rs key item)
+            with_update t rs (fun () ->
+                rp_store ~evict:false t rs key item;
+                finish ())
       end
   | Rp_persist.Record.Delete key ->
       ignore
         (match t.state with
         | Lock_state ls ->
             Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
-                lock_delete t ls key)
-        | Rp_state rs -> with_update t rs (fun () -> rp_delete t rs key))
-  | Rp_persist.Record.Flush_all -> flush_all_with t ~log:false
+                let d = lock_delete t ls key in
+                finish ();
+                d)
+        | Rp_state rs ->
+            with_update t rs (fun () ->
+                let d = rp_delete t rs key in
+                finish ();
+                d))
+  | Rp_persist.Record.Flush_all -> flush_all_with t ~log
+
+let restore t r = apply_record ~log:false t r
+let replicate t r = apply_record ~log:true t r
 
 let bytes t = Slab.allocated_bytes t.slab
 let slab_stats t = Slab.stats t.slab
@@ -773,6 +816,14 @@ let persist_stats t =
    counts, retained slow requests). One recorder serves the process, so
    the section reads [Rp_trace] directly rather than the registry. *)
 let trace_stats (_ : t) = Rp_trace.stats_kv ()
+
+(* "stats cluster": the cluster glue's live view (role, watermarks,
+   follower list). A store with no cluster attachment reports only that
+   the plane is off. *)
+let cluster_stats t =
+  match t.cluster_info with
+  | None -> [ ("cluster_enabled", "0") ]
+  | Some f -> ("cluster_enabled", "1") :: f ()
 
 (* "stats guard": the live ladder first (state name, per-source
    pressures), then the registered guard_* instruments (shed counter,

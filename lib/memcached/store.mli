@@ -119,6 +119,13 @@ val restore : t -> Rp_persist.Record.t -> unit
     expired records delete rather than store. CAS values are preserved
     and {!Item.note_restored_cas} keeps future allocations unique. *)
 
+val replicate : t -> Rp_persist.Record.t -> unit
+(** Apply a record from the replication stream: {!restore} semantics,
+    {e plus} the record is re-logged through the persist hook inside the
+    serialization lock — a following replica's own oplog thereby stays a
+    faithful linearization of what it applied, so it can recover,
+    snapshot, and lead after promotion. Bypasses {!read_only}. *)
+
 val now : t -> float
 (** The store's (injectable) clock. *)
 
@@ -130,6 +137,27 @@ val now : t -> float
 
 val set_guard : t -> Rp_guard.t option -> unit
 val guard : t -> Rp_guard.t option
+
+(** {1 Cluster plumbing}
+
+    The {!Cluster} glue flips these; {!Dispatch} and {!Binary_server}
+    consult them. *)
+
+val set_read_only : t -> bool -> unit
+(** A following replica refuses client mutations; the replication
+    stream itself applies through {!replicate}, which is exempt. *)
+
+val read_only : t -> bool
+
+val set_cluster_info : t -> (unit -> (string * string) list) option -> unit
+(** Provider for the [stats cluster] section (role, watermarks,
+    follower list). *)
+
+val set_promote_hook : t -> (unit -> (string, string) result) option -> unit
+(** Action behind the [cluster promote] admin command. *)
+
+val promote : t -> (string, string) result
+(** Run the promote hook ([Error "not a replica"] when none). *)
 
 val max_bytes : t -> int
 (** The eviction budget this store was created with. *)
@@ -175,6 +203,11 @@ val guard_stats : t -> (string * string) list
 (** [stats guard] lines: the overload guard's live ladder state plus
     every [guard_*] instrument. A single disabled marker when no guard
     is attached. *)
+
+val cluster_stats : t -> (string * string) list
+(** [stats cluster] lines: the cluster glue's live view (role, sent and
+    acked watermarks, follower list / leader link). A single disabled
+    marker when the cluster plane is off. *)
 
 val items : t -> int
 

@@ -1,0 +1,127 @@
+(* Follower-side replication: one thread that connects to the leader,
+   names its resume generation, applies the record stream through a
+   caller-supplied callback, and acks (seq, gen) watermarks back.
+
+   Reconnection resumes from the last applied generation — the leader
+   re-streams that generation from its start, and the duplicated prefix
+   is harmless because records are idempotent state. *)
+
+let ack_every = 64
+
+type t = {
+  leader : Unix.sockaddr;
+  apply : gen:int -> trace:int -> ts_us:int -> string -> unit;
+  mutable fd : Unix.file_descr option;
+  mutable stopped : bool;
+  mutable connected : bool;
+  mutable applied : int;
+  mutable applied_gen : int;
+  mutable reconnects : int;
+  mutable thread : Thread.t option;
+  mutex : Mutex.t;
+}
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let send_ack t fd seq =
+  Repl_wire.write_msg fd (Repl_wire.Ack { gen = t.applied_gen; seq })
+
+let session t fd =
+  Repl_wire.write_msg fd (Repl_wire.Hello { from_gen = t.applied_gen });
+  t.connected <- true;
+  let last_seq = ref 0 in
+  let unacked = ref 0 in
+  let rec loop () =
+    if t.stopped then ()
+    else
+      match Repl_wire.read_msg fd with
+      | Some (Repl_wire.Rec { gen; seq; trace; ts_us; payload }) ->
+          t.apply ~gen ~trace ~ts_us payload;
+          t.applied <- t.applied + 1;
+          if gen > t.applied_gen then t.applied_gen <- gen;
+          last_seq := seq;
+          incr unacked;
+          if !unacked >= ack_every then begin
+            send_ack t fd seq;
+            unacked := 0
+          end;
+          loop ()
+      | Some Repl_wire.Ping ->
+          (* Idle leader soliciting a watermark refresh. *)
+          send_ack t fd !last_seq;
+          unacked := 0;
+          loop ()
+      | Some _ -> loop ()
+      | None -> ()
+  in
+  loop ()
+
+let run t =
+  let backoff = ref 0.05 in
+  while not t.stopped do
+    (match Unix.socket (Unix.domain_of_sockaddr t.leader) Unix.SOCK_STREAM 0 with
+    | fd -> (
+        match Unix.connect fd t.leader with
+        | () -> (
+            Mutex.lock t.mutex;
+            t.fd <- Some fd;
+            Mutex.unlock t.mutex;
+            backoff := 0.05;
+            (try session t fd
+             with Repl_wire.Corrupt _ | Unix.Unix_error _ | Sys_error _ -> ());
+            t.connected <- false;
+            Mutex.lock t.mutex;
+            (match t.fd with
+            | Some f ->
+                close_quiet f;
+                t.fd <- None
+            | None -> ());
+            Mutex.unlock t.mutex;
+            if not t.stopped then t.reconnects <- t.reconnects + 1)
+        | exception Unix.Unix_error _ ->
+            close_quiet fd;
+            if not t.stopped then begin
+              Thread.delay !backoff;
+              backoff := Float.min 1.0 (!backoff *. 2.)
+            end)
+    | exception Unix.Unix_error _ -> Thread.delay !backoff);
+    if not t.stopped then Thread.delay 0.01
+  done
+
+let start ~leader ~apply () =
+  let t =
+    {
+      leader;
+      apply;
+      fd = None;
+      stopped = false;
+      connected = false;
+      applied = 0;
+      applied_gen = 0;
+      reconnects = 0;
+      thread = None;
+      mutex = Mutex.create ();
+    }
+  in
+  t.thread <- Some (Thread.create run t);
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Mutex.lock t.mutex;
+    (match t.fd with
+    | Some fd ->
+        (* Shutdown first so a blocked read wakes up. *)
+        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        t.fd <- None;
+        close_quiet fd
+    | None -> ());
+    Mutex.unlock t.mutex;
+    match t.thread with Some th -> Thread.join th | None -> ()
+  end
+
+let connected t = t.connected
+let applied t = t.applied
+let applied_gen t = t.applied_gen
+let reconnects t = t.reconnects

@@ -1,0 +1,26 @@
+(** Follower-side replication client.
+
+    Connects to the leader's replication listener, requests the stream
+    from the last applied generation, and feeds every record through
+    [apply] — which receives the propagated leader trace id and publish
+    timestamp alongside the framed record payload. Acks flow back every
+    few records and on every leader Ping. Reconnects with exponential
+    backoff and resumes from the applied-generation watermark
+    (duplicates across the resume are safe: records are idempotent). *)
+
+type t
+
+val start :
+  leader:Unix.sockaddr ->
+  apply:(gen:int -> trace:int -> ts_us:int -> string -> unit) ->
+  unit ->
+  t
+(** [apply] runs on the follower thread; exceptions it raises drop the
+    connection and trigger a resume. *)
+
+val stop : t -> unit
+
+val connected : t -> bool
+val applied : t -> int
+val applied_gen : t -> int
+val reconnects : t -> int

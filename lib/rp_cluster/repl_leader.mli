@@ -1,0 +1,43 @@
+(** Leader-side replication listener.
+
+    Streams the leader's oplog to connected followers: disk catch-up
+    from the generation each follower's Hello names, then live records
+    pushed through {!publish} by the persistence glue. The handoff and
+    the slow-follower fallback both lean on records being idempotent
+    state, so the two sources may overlap but never gap. Per-follower
+    sent/acked watermarks back the [stats cluster] section. *)
+
+type t
+
+val start : dir:string -> flush:(unit -> unit) -> Unix.sockaddr -> t
+(** Listen on [addr]. [dir] is the oplog segment directory; [flush]
+    must push the oplog's buffered frames to the OS (not necessarily
+    fsync) so the disk cursor can see them. *)
+
+val publish : t -> gen:int -> trace:int -> string -> unit
+(** Feed one freshly appended record (already oplog-framed payload
+    bytes) to every follower queue. Called inside the store's update
+    serialization: tap order = log order. Never blocks: a full queue
+    marks the follower overflowed and it re-syncs from disk. *)
+
+val stop : t -> unit
+
+val port : t -> int
+(** Bound TCP port (useful when started on port 0); 0 for unix sockets. *)
+
+val records_streamed : t -> int
+
+val resyncs : t -> int
+(** Times a slow follower overflowed its queue and fell back to disk. *)
+
+type follower_stat = {
+  fs_peer : string;
+  fs_connected : bool;
+  fs_caught_up : bool;
+  fs_sent_seq : int;
+  fs_sent_gen : int;
+  fs_acked_seq : int;
+  fs_acked_gen : int;
+}
+
+val stats : t -> follower_stat list

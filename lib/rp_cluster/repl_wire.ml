@@ -1,0 +1,146 @@
+(* Replication wire protocol: length+CRC framed messages over a stream
+   socket, sharing the oplog's CRC32 so a flipped bit anywhere between
+   leader disk and follower apply is caught at the same place torn
+   segments are.
+
+   Frame layout (mirrors rp_persist.Frame, but fd-based — the oplog
+   reader is [in_channel]-based and owns file-position semantics the
+   socket side has no use for):
+
+     u32 BE body length | u32 BE CRC32(body) | body
+
+   Body: 1 tag byte, then 8-byte big-endian fields, then raw payload
+   bytes for [Rec]. The [Rec] payload is the encoded {!Record.t} frame
+   payload exactly as it sits in the oplog segment — the leader never
+   decodes it, the follower decodes it once at apply. [trace] carries
+   the leader-side 64-bit trace id of the originating request (0 for
+   catch-up reads from disk); [ts_us] is the leader's publish time in
+   microseconds, the follower's apply-lag yardstick. *)
+
+module Crc32 = Rp_persist.Crc32
+
+exception Corrupt of string
+
+type msg =
+  | Hello of { from_gen : int }
+  | Rec of { gen : int; seq : int; trace : int; ts_us : int; payload : string }
+  | Ack of { gen : int; seq : int }
+  | Ping
+
+let tag_hello = 'H'
+let tag_rec = 'R'
+let tag_ack = 'A'
+let tag_ping = 'P'
+let max_body = 16 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Raw fd I/O (EINTR-safe; sockets only, no fault sites) *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+(* false = EOF before [len] bytes. *)
+let rec read_exact fd buf off len =
+  if len = 0 then true
+  else
+    match Unix.read fd buf off len with
+    | 0 -> false
+    | n -> read_exact fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd buf off len
+
+(* ------------------------------------------------------------------ *)
+(* Encode *)
+
+let add_u64 buf v =
+  for i = 7 downto 0 do
+    Buffer.add_char buf (Char.chr ((v lsr (i * 8)) land 0xff))
+  done
+
+let get_u64 s off =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let encode_body msg =
+  let buf = Buffer.create 64 in
+  (match msg with
+  | Hello { from_gen } ->
+      Buffer.add_char buf tag_hello;
+      add_u64 buf from_gen
+  | Rec { gen; seq; trace; ts_us; payload } ->
+      Buffer.add_char buf tag_rec;
+      add_u64 buf gen;
+      add_u64 buf seq;
+      add_u64 buf trace;
+      add_u64 buf ts_us;
+      Buffer.add_string buf payload
+  | Ack { gen; seq } ->
+      Buffer.add_char buf tag_ack;
+      add_u64 buf gen;
+      add_u64 buf seq
+  | Ping -> Buffer.add_char buf tag_ping);
+  Buffer.contents buf
+
+let decode_body body =
+  let len = String.length body in
+  if len < 1 then raise (Corrupt "empty body");
+  let need n = if len < n then raise (Corrupt "short body") in
+  match body.[0] with
+  | c when c = tag_hello ->
+      need 9;
+      Hello { from_gen = get_u64 body 1 }
+  | c when c = tag_rec ->
+      need 33;
+      Rec
+        {
+          gen = get_u64 body 1;
+          seq = get_u64 body 9;
+          trace = get_u64 body 17;
+          ts_us = get_u64 body 25;
+          payload = String.sub body 33 (len - 33);
+        }
+  | c when c = tag_ack ->
+      need 17;
+      Ack { gen = get_u64 body 1; seq = get_u64 body 9 }
+  | c when c = tag_ping -> Ping
+  | c -> raise (Corrupt (Printf.sprintf "unknown tag %C" c))
+
+let write_msg fd msg =
+  let body = encode_body msg in
+  let len = String.length body in
+  let hdr = Bytes.create 8 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int len);
+  Bytes.set_int32_be hdr 4 (Int32.of_int (Crc32.string body));
+  let frame = Bytes.extend hdr 0 len in
+  Bytes.blit_string body 0 frame 8 len;
+  let s = Bytes.unsafe_to_string frame in
+  write_all fd s 0 (String.length s)
+
+let u32_be b off = Int32.to_int (Bytes.get_int32_be b off) land 0xFFFFFFFF
+
+(* Blocking read of one message; [None] on clean EOF. Raises {!Corrupt}
+   on a bad frame (callers drop the connection — the stream has lost
+   framing). *)
+let read_msg fd =
+  let hdr = Bytes.create 8 in
+  if not (read_exact fd hdr 0 8) then None
+  else begin
+    let len = u32_be hdr 0 in
+    let crc = u32_be hdr 4 in
+    if len > max_body then raise (Corrupt "frame too large");
+    let body = Bytes.create len in
+    if not (read_exact fd body 0 len) then None
+    else begin
+      let body = Bytes.unsafe_to_string body in
+      if Crc32.string body <> crc then raise (Corrupt "crc mismatch");
+      Some (decode_body body)
+    end
+  end

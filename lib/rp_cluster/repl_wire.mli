@@ -1,0 +1,26 @@
+(** Replication wire protocol: CRC32-framed messages over a stream
+    socket (same CRC as the oplog segments).
+
+    [Rec.payload] is the encoded oplog record exactly as framed on the
+    leader's disk — opaque to the wire layer. [Rec.trace] propagates the
+    leader request's 64-bit trace id (0 for disk catch-up); [Rec.ts_us]
+    is the leader's publish time in microseconds (apply-lag yardstick).
+    [Rec.seq] numbers the records the leader has streamed {e to this
+    follower} (monotone per connection); the follower echoes the highest
+    applied [seq]/[gen] back in [Ack], which is the leader's
+    acked-watermark. [Ping] solicits an [Ack] when the stream is idle. *)
+
+exception Corrupt of string
+
+type msg =
+  | Hello of { from_gen : int }  (** follower → leader: resume point *)
+  | Rec of { gen : int; seq : int; trace : int; ts_us : int; payload : string }
+  | Ack of { gen : int; seq : int }  (** follower → leader: applied up to *)
+  | Ping
+
+val write_msg : Unix.file_descr -> msg -> unit
+(** Blocking, EINTR-safe; writes one whole frame. *)
+
+val read_msg : Unix.file_descr -> msg option
+(** Blocking read of one message; [None] on clean EOF. Raises
+    {!Corrupt} when framing is lost — drop the connection. *)

@@ -331,6 +331,17 @@ let rules_for = function
            noise on a number that is a few sweep intervals long. *)
         rule "recover_ms" Lower_better ~max_regression:4.0;
       ]
+  | "cluster" ->
+      [
+        (* Replication catch-up: op-log tail -> wire -> Store.replicate. *)
+        rule "catchup_ops_per_s" Higher_better;
+        (* Publish-to-apply lag tail; microsecond tails on a shared box
+           are noisy, so the bound is a generous multiple. *)
+        rule "apply_lag_us_p99" Lower_better ~max_regression:4.0;
+        (* The oracle: a leader-acked record missing on the caught-up
+           follower is a replication bug, not a perf regression. *)
+        rule "follower_missing" Exact_zero;
+      ]
   | name -> invalid_arg ("Trend.rules_for: unknown benchmark " ^ name)
 
 let benchmark_name json =

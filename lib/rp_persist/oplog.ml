@@ -132,6 +132,7 @@ let append t record =
               if Buffer.length t.pending >= pending_cap then flush_locked t))
 
 let sync t = with_lock t (fun () -> if not t.closed then sync_locked t)
+let flush t = with_lock t (fun () -> if not t.closed then flush_locked t)
 
 let tick t =
   with_lock t (fun () ->
@@ -220,3 +221,86 @@ let replay ~dir ~from_gen ~f =
     segments = List.length segs;
     truncated_bytes = !truncated;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Tailing cursor *)
+
+(* A live reader over the segment chain: the replication leader streams
+   a follower's catch-up from here. Unlike {!replay}, the newest segment
+   is still being appended to, so End and Torn are transient states —
+   the cursor parks ([`Caught_up]) and resumes from the same offset once
+   the writer has flushed more bytes. A torn or garbled region is only
+   skipped once a NEWER segment exists: rotation proves the writer has
+   abandoned the tail for good. *)
+module Tail = struct
+  type cursor = {
+    dir : string;
+    mutable cur_gen : int;
+    mutable ic : in_channel option;
+    mutable header_done : bool;
+  }
+
+  let create ~dir ~from_gen =
+    { dir; cur_gen = from_gen; ic = None; header_done = false }
+
+  let gen c = c.cur_gen
+
+  let close c =
+    (match c.ic with Some ic -> close_in_noerr ic | None -> ());
+    c.ic <- None
+
+  let seg_at ~dir g = List.find_opt (fun (sg, _) -> sg >= g) (segments ~dir)
+  let newer_exists ~dir g = List.exists (fun (sg, _) -> sg > g) (segments ~dir)
+
+  let advance c =
+    close c;
+    c.cur_gen <- c.cur_gen + 1;
+    c.header_done <- false
+
+  let rec next c =
+    match c.ic with
+    | None -> (
+        match seg_at ~dir:c.dir c.cur_gen with
+        | None -> `Caught_up
+        | Some (sg, path) -> (
+            match open_in_bin path with
+            | ic ->
+                c.cur_gen <- sg;
+                c.ic <- Some ic;
+                c.header_done <- false;
+                next c
+            | exception Sys_error _ -> `Caught_up))
+    | Some ic -> (
+        let off = pos_in ic in
+        match Frame.read ic with
+        | Frame.End ->
+            if newer_exists ~dir:c.dir c.cur_gen then begin
+              advance c;
+              next c
+            end
+            else `Caught_up
+        | Frame.Torn _ ->
+            (* Frame.read may have consumed a partial header; rewind so a
+               retry sees the completed frame once it lands. *)
+            seek_in ic off;
+            if newer_exists ~dir:c.dir c.cur_gen then begin
+              advance c;
+              next c
+            end
+            else `Caught_up
+        | Frame.Record payload ->
+            if not c.header_done then
+              if payload = magic ^ string_of_int c.cur_gen then begin
+                c.header_done <- true;
+                next c
+              end
+              else begin
+                seek_in ic off;
+                if newer_exists ~dir:c.dir c.cur_gen then begin
+                  advance c;
+                  next c
+                end
+                else `Caught_up
+              end
+            else `Record (c.cur_gen, payload))
+end

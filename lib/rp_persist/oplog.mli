@@ -52,6 +52,11 @@ val append : t -> Record.t -> unit
 val sync : t -> unit
 (** Flush buffered frames and fsync, regardless of policy. *)
 
+val flush : t -> unit
+(** Hand buffered frames to the OS without fsyncing — enough for a
+    same-host reader (the replication tail) to see them; durability
+    still follows the fsync policy. *)
+
 val tick : t -> unit
 (** Periodic heartbeat for [Every _]: flushes buffered frames and
     fsyncs when the policy's interval has elapsed. No-op otherwise. *)
@@ -81,3 +86,34 @@ val replay :
     whole frame so the reopened log continues cleanly. A torn frame in
     an older segment abandons the rest of that segment only — framing
     is lost to its end, but later segments are independent files. *)
+
+(** Live tailing cursor over a log directory that is still being
+    appended to — the replication leader's catch-up source. Where
+    {!replay} treats a torn tail as a crash artifact to truncate, the
+    tail treats End/Torn in the newest segment as {e not yet written}:
+    it parks and re-reads from the same offset on the next call. A torn
+    region is only skipped once a newer segment exists (rotation proves
+    the writer abandoned that tail). Segments already archived by
+    compaction are invisible to the cursor: a follower older than the
+    archive horizon simply starts at the oldest surviving segment —
+    safe, because records are idempotent state and each surviving
+    segment chain re-derives the state the archived prefix built. *)
+module Tail : sig
+  type cursor
+
+  val create : dir:string -> from_gen:int -> cursor
+  (** Position before the first surviving segment with gen [>= from_gen].
+      Resuming inside a generation re-reads it from the start — safe
+      under at-least-once delivery. *)
+
+  val next : cursor -> [ `Record of int * string | `Caught_up ]
+  (** [`Record (gen, payload)] is the next framed record payload (the
+      encoded {!Record.t}, left opaque); [`Caught_up] means no complete
+      frame is available right now — poll again after the writer
+      flushes. Never blocks. *)
+
+  val gen : cursor -> int
+  (** Generation the cursor is currently reading. *)
+
+  val close : cursor -> unit
+end

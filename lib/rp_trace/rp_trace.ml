@@ -470,7 +470,7 @@ let retain_slow slot ctx dur end_ts =
 (* ------------------------------------------------------------------ *)
 (* Request context                                                     *)
 
-let request_begin ?(arg = 0) kind =
+let request_begin ?(arg = 0) ?(trace = 0) kind =
   if Atomic.get enabled then begin
     let slot = Stripe.index () in
     let ctx = Array.unsafe_get ctxs slot in
@@ -492,7 +492,10 @@ let request_begin ?(arg = 0) kind =
        (the event loop's batch-dispatch span), so nesting stays intact
        across pipelined batches. *)
     let parent = current_parent ctx in
-    ctx.trace_id <- span;
+    (* [trace] carries a propagated cross-process trace id (replication
+       apply on a follower): the span id stays local, but every record
+       in this request groups under the originating trace. *)
+    ctx.trace_id <- (if trace <> 0 then trace else span);
     ctx.sampled <- sampled;
     ctx.req_kind <- kind;
     ctx.req_arg <- arg;
@@ -501,7 +504,7 @@ let request_begin ?(arg = 0) kind =
     ctx.req_cursor <- cursors.(slot * stride);
     let ts = now_ticks () in
     ctx.req_start <- ts;
-    emit slot kind phase_b ~trace:span ~span ~parent ~arg ~ts ~dur:0;
+    emit slot kind phase_b ~trace:ctx.trace_id ~span ~parent ~arg ~ts ~dur:0;
     push ctx span
   end
 
@@ -542,6 +545,8 @@ let request_end () =
 
 let in_request () =
   (Array.unsafe_get ctxs (Stripe.index ())).trace_id <> 0
+
+let current_trace_id () = (Array.unsafe_get ctxs (Stripe.index ())).trace_id
 
 (* ------------------------------------------------------------------ *)
 (* Configuration (cont.)                                               *)

@@ -57,11 +57,15 @@ val name_of : int -> string
 
 (** {1 Request context (per-connection trace context)} *)
 
-val request_begin : ?arg:int -> int -> unit
+val request_begin : ?arg:int -> ?trace:int -> int -> unit
 (** Open the calling domain's request context: decides head sampling,
     assigns a trace id, emits the request-tier B record, and makes the
     request span the parent of every span emitted on this domain until
-    {!request_end}. [arg] conventionally carries the connection id. *)
+    {!request_end}. [arg] conventionally carries the connection id.
+    [trace] (nonzero) adopts a trace id propagated from another process
+    — e.g. the replication stream carrying a leader request's id to the
+    follower apply — instead of minting a fresh one, so one Perfetto
+    view groups both halves of the mutation. *)
 
 val request_end : unit -> unit
 (** Emit the request-tier E record, close the context, and — when total
@@ -69,6 +73,11 @@ val request_end : unit -> unit
     the slow-request log. *)
 
 val in_request : unit -> bool
+
+val current_trace_id : unit -> int
+(** Trace id of the request in flight on the calling domain (0 when
+    none) — capture it where a mutation crosses a process boundary so
+    the far side can {!request_begin} with the same id. *)
 
 val sampling_now : unit -> bool
 (** The calling domain is inside a head-sampled request (detail spans

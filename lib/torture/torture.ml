@@ -40,6 +40,7 @@ let scenario_names =
     "overload_storm";
     "slow_client";
     "disk_full";
+    "replication_divergence";
   ]
 
 let table_of_name = function
@@ -1310,6 +1311,325 @@ let run_disk_full config =
     metrics = Rp_obs.Registry.to_stats (Memcached.Store.registry store);
   }
 
+(* --- replication_divergence scenario: kill -9 the leader mid-stream ---
+
+   The one scenario that runs REAL processes: a leader memcached_server
+   (--repl-port) and a follower (--replica-of) spawned as children.
+   Writers drive the leader over TCP while tracking per-writer models;
+   the follower attaches mid-load (exercising the catch-up -> live
+   handoff), the scenario waits for the follower's acked watermark to
+   meet the leader's sent watermark, then SIGKILLs the leader — no
+   shutdown, no flush. The follower is promoted over the wire
+   ([cluster promote]) and the promoted store must equal the union of
+   the writer models exactly: every acked mutation survives, nothing
+   resurrects. Finally a ring-aware client pointed at {dead leader,
+   promoted follower} must eject the corpse and land a write on the
+   survivor — the client-side half of the failover story. *)
+
+let scrub_dir dir =
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+
+(* The gate and the alcotest runner both live one directory over from
+   bin/ in the build tree, so the relative fallback works for either;
+   TORTURE_SERVER_BIN overrides for odd layouts. *)
+let server_binary () =
+  match Sys.getenv_opt "TORTURE_SERVER_BIN" with
+  | Some path -> path
+  | None ->
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        (Filename.concat ".." (Filename.concat "bin" "memcached_server.exe"))
+
+let spawn_server bin args =
+  let r, w = Unix.pipe ~cloexec:true () in
+  let pid =
+    Unix.create_process bin
+      (Array.of_list (bin :: args))
+      Unix.stdin w Unix.stderr
+  in
+  Unix.close w;
+  (pid, Unix.in_channel_of_descr r)
+
+(* Children announce their kernel-picked ports on stdout
+   ("replication listener on 127.0.0.1:P", "listening on 127.0.0.1:P"). *)
+let await_port oc ~prefix =
+  let rec loop () =
+    match input_line oc with
+    | line when String.starts_with ~prefix line -> (
+        match String.rindex_opt line ':' with
+        | Some i -> (
+            match
+              int_of_string_opt
+                (String.sub line (i + 1) (String.length line - i - 1))
+            with
+            | Some p -> p
+            | None -> loop ())
+        | None -> loop ())
+    | _ -> loop ()
+    | exception End_of_file ->
+        failwith
+          ("replication_divergence: server exited before \"" ^ prefix ^ "\"")
+  in
+  loop ()
+
+let kill_quiet pid signal =
+  try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let run_replication_divergence config =
+  let bin = server_binary () in
+  if not (Sys.file_exists bin) then
+    failwith
+      ("replication_divergence: memcached_server binary not found at " ^ bin
+     ^ " (set TORTURE_SERVER_BIN)");
+  let dir_for name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-torture-%s-%d" name (Unix.getpid ()))
+  in
+  let leader_dir = dir_for "repl-leader"
+  and follower_dir = dir_for "repl-follower" in
+  scrub_dir leader_dir;
+  scrub_dir follower_dir;
+  (* fsync=never: leader durability is not under test — the oracle runs
+     against the promoted follower's live table, and slow fsyncs would
+     just eat the short budget. *)
+  let common =
+    [
+      "-p"; "0"; "--snapshot-interval"; "0"; "--guard"; "false";
+      "--fsync-policy"; "never"; "--trace-sample"; "1";
+    ]
+  in
+  let leader_pid, leader_out =
+    spawn_server bin
+      ([ "--data-dir"; leader_dir; "--repl-port"; "0" ] @ common)
+  in
+  let repl_port = await_port leader_out ~prefix:"replication listener" in
+  let leader_port = await_port leader_out ~prefix:"listening on" in
+
+  let writers_n = max 1 config.writers in
+  let range = max 1 config.churn_keys in
+  let key_name i j = Printf.sprintf "rk%d:%d" i j in
+  (* Per-writer models over disjoint key ranges: each Hashtbl is touched
+     by exactly one writer until the join, so no locking. The client is
+     blocking request-response, so a model entry always reflects an
+     acked mutation. *)
+  let models = Array.init writers_n (fun _ -> Hashtbl.create 64) in
+
+  let writer index ~stop =
+    let model = models.(index) in
+    let client =
+      Memcached.Client.connect ~retries:4 (Memcached.Server.Tcp leader_port)
+    in
+    let prng =
+      Rp_workload.Prng.split
+        (Rp_workload.Prng.create ~seed:(config.seed + 11))
+        index
+    in
+    let ops = ref 0 in
+    while not (Atomic.get stop) do
+      let j = Rp_workload.Prng.below prng range in
+      let key = key_name index j in
+      if Rp_workload.Prng.below prng 4 > 0 then begin
+        let data = Printf.sprintf "%d:%d:%d" index j !ops in
+        if Memcached.Client.set client ~key ~data () then
+          Hashtbl.replace model key data
+      end
+      else begin
+        (* Acked either way: afterwards the key is absent. *)
+        ignore (Memcached.Client.delete client key);
+        Hashtbl.remove model key
+      end;
+      incr ops
+    done;
+    Memcached.Client.close client;
+    !ops
+  in
+
+  (* Background GETs keep the leader's read path busy while it streams. *)
+  let reader index ~stop =
+    let client =
+      Memcached.Client.connect ~retries:4 (Memcached.Server.Tcp leader_port)
+    in
+    let prng =
+      Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:config.seed) index
+    in
+    let checks = ref 0 in
+    while not (Atomic.get stop) do
+      let i = Rp_workload.Prng.below prng writers_n in
+      let j = Rp_workload.Prng.below prng range in
+      ignore (Memcached.Client.get client (key_name i j));
+      incr checks
+    done;
+    Memcached.Client.close client;
+    !checks
+  in
+
+  (* Mid-load, the controller attaches the follower — so its catch-up
+     cursor starts against a log that is still growing and the
+     catch-up -> live-tap handoff happens under write traffic. *)
+  let follower = ref None in
+  let controller ~stop =
+    Unix.sleepf (config.duration /. 3.);
+    let pid, out =
+      spawn_server bin
+        ([
+           "--data-dir"; follower_dir;
+           "--replica-of"; Printf.sprintf "127.0.0.1:%d" repl_port;
+         ]
+        @ common)
+    in
+    let port = await_port out ~prefix:"listening on" in
+    follower := Some (pid, port, out);
+    while not (Atomic.get stop) do
+      Unix.sleepf 0.005
+    done;
+    1
+  in
+
+  let workers =
+    Array.concat
+      [
+        Array.init config.readers (fun i ~stop -> reader i ~stop);
+        Array.init writers_n (fun i ~stop -> writer i ~stop);
+        [| (fun ~stop -> controller ~stop) |];
+      ]
+  in
+  let outcome = Rp_harness.Runner.run ~duration:config.duration ~workers () in
+
+  let structural = ref 0 in
+  let recoveries = ref 0 in
+  let fpid, fport, follower_out =
+    match !follower with
+    | Some x -> x
+    | None -> failwith "replication_divergence: follower never attached"
+  in
+  let stat stats name =
+    match List.assoc_opt name stats with Some v -> v | None -> ""
+  in
+  (* Watermark: the leader's own `stats cluster` must show the follower
+     caught up with acked_seq == sent_seq — the exact lines an operator
+     would watch before trusting a failover. *)
+  let admin =
+    Memcached.Client.connect ~retries:4 (Memcached.Server.Tcp leader_port)
+  in
+  let leader_cluster = ref [] in
+  let caught_up () =
+    let s = Memcached.Client.stats ~arg:"cluster" admin in
+    leader_cluster := s;
+    let sent = stat s "cluster_follower_0_sent_seq"
+    and acked = stat s "cluster_follower_0_acked_seq" in
+    stat s "cluster_follower_0_caught_up" = "1"
+    && sent <> "" && sent <> "0" && sent = acked
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (caught_up ())) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  if not (caught_up ()) then incr structural;
+  Memcached.Client.close admin;
+
+  (* The kill -9: the stream is live, the leader process simply stops
+     existing. Nothing graceful runs — no flush, no close, no goodbye. *)
+  kill_quiet leader_pid Sys.sigkill;
+  reap leader_pid;
+  close_in_noerr leader_out;
+  let faults = 1 in
+
+  let fc = Memcached.Client.connect ~retries:4 (Memcached.Server.Tcp fport) in
+  (* Still a replica: mutations must be refused until promotion. *)
+  (match Memcached.Client.try_set fc ~key:"ro-probe" ~data:"x" () with
+  | `Overloaded _ -> ()
+  | `Stored | `Not_stored -> incr structural);
+  (match Memcached.Client.promote fc with
+  | Ok () -> incr recoveries
+  | Error _ -> incr structural);
+
+  (* The oracle: exact model equality against the promoted store. *)
+  let missing = ref 0 and wrong = ref 0 and checked = ref 0 in
+  let expected = ref 0 in
+  Array.iter
+    (fun model ->
+      expected := !expected + Hashtbl.length model;
+      Hashtbl.iter
+        (fun key data ->
+          incr checked;
+          match Memcached.Client.get fc key with
+          | Some v when v.Memcached.Protocol.vdata = data -> ()
+          | Some _ -> incr wrong
+          | None -> incr missing)
+        model)
+    models;
+  (* No resurrections: the promoted store holds exactly the model keys. *)
+  (match int_of_string_opt (stat (Memcached.Client.stats fc) "curr_items") with
+  | Some items ->
+      let extra = items - !expected + !missing in
+      if extra > 0 then wrong := !wrong + extra
+  | None -> incr structural);
+  let follower_cluster = Memcached.Client.stats ~arg:"cluster" fc in
+  if stat follower_cluster "cluster_role" <> "promoted" then incr structural;
+  Memcached.Client.close fc;
+
+  (* Client-side failover: a ring client spanning {dead leader, promoted
+     follower} must eject the corpse and land the write regardless of
+     which member owns the key. *)
+  let ring =
+    Memcached.Client.of_servers ~retries:3 ~eject_after:1
+      [ ("127.0.0.1", leader_port, 1); ("127.0.0.1", fport, 1) ]
+  in
+  let failover_ok =
+    (try Memcached.Client.set ring ~key:"failover:probe" ~data:"promoted" ()
+     with _ -> false)
+    &&
+    match (try Memcached.Client.get ring "failover:probe" with _ -> None) with
+    | Some v -> v.Memcached.Protocol.vdata = "promoted"
+    | None -> false
+  in
+  if failover_ok then incr recoveries else incr structural;
+  Memcached.Client.close ring;
+
+  kill_quiet fpid Sys.sigkill;
+  reap fpid;
+  close_in_noerr follower_out;
+
+  (* Registry scrapes live in the dead children; keep instead the wire
+     `stats cluster` lines (numeric ones — the report renders them bare
+     as JSON) from both sides of the failover. *)
+  let numeric prefix kvs =
+    List.filter_map
+      (fun (k, v) ->
+        match float_of_string_opt v with
+        | Some _ -> Some (prefix ^ k, v)
+        | None -> None)
+      kvs
+  in
+  let metrics =
+    numeric "leader_" !leader_cluster @ numeric "follower_" follower_cluster
+  in
+  let reader_checks =
+    !checked
+    + Array.fold_left ( + ) 0 (Array.sub outcome.per_worker_ops 0 config.readers)
+  in
+  let writer_ops =
+    Array.fold_left ( + ) 0
+      (Array.sub outcome.per_worker_ops config.readers writers_n)
+  in
+  {
+    reader_checks;
+    missing_resident = !missing;
+    wrong_value = !wrong + !structural;
+    writer_ops;
+    resize_flips = 0;
+    faults_injected = faults;
+    stalls_detected = 0;
+    recoveries = !recoveries;
+    elapsed = outcome.elapsed;
+    metrics;
+  }
+
 let run config =
   validate_config config;
   match config.scenario with
@@ -1321,4 +1641,5 @@ let run config =
   | "overload_storm" -> run_overload_storm config
   | "slow_client" -> run_slow_client config
   | "disk_full" -> run_disk_full config
+  | "replication_divergence" -> run_replication_divergence config
   | _ -> assert false

@@ -33,8 +33,17 @@
       gets a torn tail — and a warm restart into a fresh store must
       reproduce the writers' tracked models exactly (acked ops survive,
       nothing resurrects).
+    - {b replication_divergence}: two real [memcached_server] child
+      processes form a leader/follower pair; the follower attaches
+      mid-load, catches up over the replication stream, the leader is
+      killed with a true [SIGKILL] once the acked watermark meets the
+      sent watermark, the follower is promoted over the wire, and the
+      promoted store must equal the writers' tracked models exactly —
+      then a ring-aware client spanning both members must eject the dead
+      leader and land writes on the survivor.
 
-    The crash/stall/torn/recovery scenarios run on the rp table only. *)
+    The crash/stall/torn/recovery/replication scenarios run on the rp
+    table only. *)
 
 type config = {
   table : string;  (** implementation under test; see {!table_names} *)
@@ -64,7 +73,8 @@ val table_names : string list
 
 val scenario_names : string list
 (** Valid values for [config.scenario]: "steady", "crash_resizer",
-    "stalled_reader", "torn_io", "crash_recovery". *)
+    "stalled_reader", "torn_io", "crash_recovery", "overload_storm",
+    "slow_client", "disk_full", "replication_divergence". *)
 
 type report = {
   reader_checks : int;  (** lookups performed by the oracle readers *)

@@ -327,6 +327,121 @@ let test_oplog_reopen_appends () =
       Alcotest.(check int) "both appends" 2 r.Oplog.records;
       Alcotest.(check bool) "order" true (got = [ set_record 0; set_record 1 ]))
 
+(* Replay is idempotent under at-least-once delivery: the replication
+   plane re-sends whole segments on reconnect and overlaps its catch-up
+   and live sources, so a batch applied twice — or a batch whose prefix
+   was already applied — must converge to the same store. *)
+let apply_to_model model = function
+  | Record.Set { key; data; _ } -> Hashtbl.replace model key data
+  | Record.Delete key -> Hashtbl.remove model key
+  | Record.Flush_all -> Hashtbl.reset model
+
+let model_of records =
+  let m = Hashtbl.create 64 in
+  List.iter (apply_to_model m) records;
+  m
+
+let check_models label a b =
+  Alcotest.(check int) (label ^ ": size") (Hashtbl.length a) (Hashtbl.length b);
+  Hashtbl.iter
+    (fun k v ->
+      match Hashtbl.find_opt b k with
+      | Some v' when v' = v -> ()
+      | Some v' -> Alcotest.failf "%s: %s = %S, duplicated run got %S" label k v v'
+      | None -> Alcotest.failf "%s: %s missing after duplicated replay" label k)
+    a
+
+let test_oplog_replay_idempotent_duplicates () =
+  with_dir (fun dir ->
+      (* A batch that overwrites, deletes, and re-adds — then the whole
+         batch again (a full re-send), then a partial re-send of its
+         tail. One clean pass must equal the duplicated mess. *)
+      let batch =
+        List.init 16 set_record
+        @ [ Record.Delete "k0003"; Record.Delete "k0099" (* no-op delete *) ]
+        @ List.init 4 (fun i -> set_record (i + 8))
+      in
+      let tail_resend =
+        (* Partial re-send: the last 6 records again, as a reconnecting
+           follower would see when its ack watermark lags its applies. *)
+        List.filteri (fun i _ -> i >= List.length batch - 6) batch
+      in
+      let log = Oplog.open_ ~dir ~gen:1 ~fsync:Oplog.Never () in
+      List.iter (Oplog.append log) batch;
+      List.iter (Oplog.append log) batch;
+      List.iter (Oplog.append log) tail_resend;
+      Oplog.sync log;
+      Oplog.close log;
+      let replayed = Hashtbl.create 64 in
+      let r =
+        Oplog.replay ~dir ~from_gen:1 ~f:(apply_to_model replayed)
+      in
+      Alcotest.(check int) "every duplicate decoded"
+        ((2 * List.length batch) + List.length tail_resend)
+        r.Oplog.records;
+      check_models "duplicated batches" (model_of batch) replayed)
+
+let test_oplog_replay_idempotent_across_segments () =
+  with_dir (fun dir ->
+      (* The same records land once in gen 1 and again in gen 2 (the
+         catch-up/live overlap after a rotation): replaying both segments
+         equals replaying one. *)
+      let batch = List.init 12 set_record @ [ Record.Delete "k0001" ] in
+      let log = Oplog.open_ ~dir ~gen:1 ~fsync:Oplog.Never () in
+      List.iter (Oplog.append log) batch;
+      Oplog.rotate log ~gen:2;
+      List.iter (Oplog.append log) batch;
+      Oplog.close log;
+      let replayed = Hashtbl.create 64 in
+      ignore (Oplog.replay ~dir ~from_gen:1 ~f:(apply_to_model replayed));
+      check_models "segment overlap" (model_of batch) replayed;
+      (* Flush_all duplicated mid-stream also converges. *)
+      let with_flush = batch @ [ Record.Flush_all ] @ batch in
+      let log = Oplog.open_ ~dir ~gen:3 ~fsync:Oplog.Never () in
+      List.iter (Oplog.append log) with_flush;
+      List.iter (Oplog.append log) with_flush;
+      Oplog.close log;
+      let replayed3 = Hashtbl.create 64 in
+      ignore (Oplog.replay ~dir ~from_gen:3 ~f:(apply_to_model replayed3));
+      check_models "flush_all duplicated" (model_of with_flush) replayed3)
+
+(* --- live tail cursor (the replication leader's catch-up source) --- *)
+
+let test_oplog_tail_follows_live_appends () =
+  with_dir (fun dir ->
+      let log = Oplog.open_ ~dir ~gen:1 ~fsync:Oplog.Never () in
+      Oplog.append log (set_record 0);
+      Oplog.flush log;
+      let cur = Oplog.Tail.create ~dir ~from_gen:1 in
+      let next_record () =
+        match Oplog.Tail.next cur with
+        | `Record (gen, payload) -> (
+            Alcotest.(check int) "gen" (Oplog.gen log) gen;
+            match Record.decode payload with
+            | Ok r -> r
+            | Error e -> Alcotest.failf "payload decode: %s" e)
+        | `Caught_up -> Alcotest.fail "expected a record"
+      in
+      Alcotest.(check bool) "first" true (next_record () = set_record 0);
+      Alcotest.(check bool) "parks at end" true (Oplog.Tail.next cur = `Caught_up);
+      (* Appends after the cursor parked: visible after a flush, no
+         reopen needed. *)
+      Oplog.append log (set_record 1);
+      Oplog.append log (set_record 2);
+      Alcotest.(check bool) "unflushed bytes invisible" true
+        (Oplog.Tail.next cur = `Caught_up);
+      Oplog.flush log;
+      Alcotest.(check bool) "second" true (next_record () = set_record 1);
+      Alcotest.(check bool) "third" true (next_record () = set_record 2);
+      (* Rotation: cursor crosses into the new segment. *)
+      Oplog.rotate log ~gen:2;
+      Oplog.append log (set_record 3);
+      Oplog.flush log;
+      Alcotest.(check bool) "after rotate" true (next_record () = set_record 3);
+      Alcotest.(check int) "cursor gen" 2 (Oplog.Tail.gen cur);
+      Oplog.Tail.close cur;
+      Oplog.close log)
+
 (* --- manager: attach / snapshot / crash / warm restart --- *)
 
 open Memcached
@@ -558,6 +673,12 @@ let () =
           Alcotest.test_case "append/rotate/replay" `Quick test_oplog_append_rotate_replay;
           Alcotest.test_case "torn tail truncated" `Quick test_oplog_torn_tail_truncated;
           Alcotest.test_case "reopen appends" `Quick test_oplog_reopen_appends;
+          Alcotest.test_case "replay idempotent: duplicated batches" `Quick
+            test_oplog_replay_idempotent_duplicates;
+          Alcotest.test_case "replay idempotent: across segments" `Quick
+            test_oplog_replay_idempotent_across_segments;
+          Alcotest.test_case "tail follows live appends" `Quick
+            test_oplog_tail_follows_live_appends;
         ] );
       ( "manager",
         [

@@ -199,7 +199,7 @@ let test_socket_protocol_error_keeps_connection plane () =
       | _ -> Alcotest.fail "warmup failed");
       Client.close client;
       (* Raw socket: garbage line then valid get. *)
-      let path = match addr with Server.Unix_socket p -> p | Server.Tcp _ -> assert false in
+      let path = match addr with Server.Unix_socket p -> p | _ -> assert false in
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.connect fd (Unix.ADDR_UNIX path);
       let send s = ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s)) in
@@ -344,7 +344,7 @@ let test_stop_drains_connections (_, config, rcu_mode) () =
 
 let connect_raw addr =
   let path =
-    match addr with Server.Unix_socket p -> p | Server.Tcp _ -> assert false
+    match addr with Server.Unix_socket p -> p | _ -> assert false
   in
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_UNIX path);

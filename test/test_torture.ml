@@ -118,7 +118,7 @@ let test_scenario_validation () =
     "scenario names"
     [
       "steady"; "crash_resizer"; "stalled_reader"; "torn_io"; "crash_recovery";
-      "overload_storm"; "slow_client"; "disk_full";
+      "overload_storm"; "slow_client"; "disk_full"; "replication_divergence";
     ]
     Rp_torture.Torture.scenario_names
 

@@ -147,6 +147,28 @@ let () =
     Printf.printf "disk_full: guard never returned to Healthy\n%!";
     incr failures
   end;
+  (* Real leader/follower processes; the SIGKILL is the fault, the
+     promoted follower the recovery. Needs a little more runway than the
+     in-process scenarios: child startup, catch-up, watermark polling. *)
+  let repl =
+    run "replication_divergence"
+      {
+        base with
+        scenario = "replication_divergence";
+        fault_injection = false;
+        duration = 0.45;
+        churn_keys = 96;
+      }
+  in
+  if repl.faults_injected = 0 then begin
+    Printf.printf "replication_divergence: leader was never killed\n%!";
+    incr failures
+  end;
+  if repl.recoveries < 2 then begin
+    Printf.printf
+      "replication_divergence: promotion or ring failover did not complete\n%!";
+    incr failures
+  end;
   (match Sys.argv with
   | [| _; "-o"; path |] -> write_report_file path
   | _ -> ());
