@@ -425,6 +425,136 @@ let run_persist_bench () =
     exit 1
   end
 
+(* --- writer scaling: 50/50 GET/SET mix at 1/2/4/8 writer domains ---
+
+   The multi-writer proof for the striped store: each writer domain runs
+   a 50/50 GET/SET [Opmix] (GETs over a shared prefilled keyspace, SETs
+   into a per-writer range), counting SET throughput per writer count.
+   A quiet single-threaded GET p99 is taken first on an identical store
+   as the read-path no-regression guard — the stripes must cost readers
+   nothing. The >= 2x-at-4-writers criterion is enforced here only when
+   the host actually has >= 4 cores (a single-core box time-slices the
+   domains and can show no parallel speedup); the absolute SET rates and
+   the GET p99 are gated against the committed baseline by trend_gate
+   either way. *)
+
+let run_writer_bench () =
+  let keyspace = 4096 and value_size = 64 in
+  let duration = 0.15 in
+  let data = String.make value_size 'x' in
+  let prefill store =
+    for i = 0 to keyspace - 1 do
+      ignore
+        (Memcached.Store.set store
+           ~key:(Printf.sprintf "key:%06d" i)
+           ~flags:0 ~exptime:0 ~data)
+    done
+  in
+  let p99_store =
+    Memcached.Store.create ~backend:Memcached.Store.Rp ~initial_size:4096 ()
+  in
+  prefill p99_store;
+  let get_p99 =
+    get_p99_ns p99_store ~keyspace ~samples:400 ~batch:64 ~until:(fun () -> true)
+  in
+  let bench writers =
+    let store =
+      Memcached.Store.create ~backend:Memcached.Store.Rp ~initial_size:4096 ()
+    in
+    prefill store;
+    let stop = Atomic.make false in
+    let worker w () =
+      let mix =
+        Rp_workload.Opmix.create ~update_ratio:0.5 ~remove_share:0.0 ~seed:42
+          ~worker:w ()
+      in
+      let prng = Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:7) w in
+      let sets = ref 0 and gets = ref 0 and errs = ref 0 and misses = ref 0 in
+      while not (Atomic.get stop) do
+        let k = Rp_workload.Prng.below prng keyspace in
+        match Rp_workload.Opmix.next mix with
+        | Rp_workload.Opmix.Lookup ->
+            (match Memcached.Store.get store (Printf.sprintf "key:%06d" k) with
+            | Some _ -> ()
+            | None -> incr misses);
+            incr gets
+        | Rp_workload.Opmix.Insert | Rp_workload.Opmix.Remove ->
+            (match
+               Memcached.Store.set store
+                 ~key:(Printf.sprintf "w%d:%06d" w k)
+                 ~flags:0 ~exptime:0 ~data
+             with
+            | Memcached.Store.Stored -> ()
+            | _ -> incr errs);
+            incr sets
+      done;
+      (!sets, !gets, !errs, !misses)
+    in
+    let t0 = Unix.gettimeofday () in
+    let domains = Array.init writers (fun w -> Domain.spawn (worker w)) in
+    Unix.sleepf duration;
+    Atomic.set stop true;
+    let results = Array.map Domain.join domains in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let sets = Array.fold_left (fun a (s, _, _, _) -> a + s) 0 results in
+    let gets = Array.fold_left (fun a (_, g, _, _) -> a + g) 0 results in
+    let errs = Array.fold_left (fun a (_, _, e, _) -> a + e) 0 results in
+    let misses = Array.fold_left (fun a (_, _, _, m) -> a + m) 0 results in
+    (writers, sets, gets, errs, misses, elapsed)
+  in
+  let runs = List.map bench [ 1; 2; 4; 8 ] in
+  let set_rate w =
+    match List.find_opt (fun (n, _, _, _, _, _) -> n = w) runs with
+    | Some (_, sets, _, _, _, elapsed) -> float_of_int sets /. elapsed
+    | None -> 0.
+  in
+  let scaling_w4 = if set_rate 1 > 0. then set_rate 4 /. set_rate 1 else 0. in
+  let cores = Domain.recommended_domain_count () in
+  let errors = List.fold_left (fun a (_, _, _, e, _, _) -> a + e) 0 runs in
+  let misses = List.fold_left (fun a (_, _, _, _, m, _) -> a + m) 0 runs in
+  let oc = open_out "BENCH_writer.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"writer-scaling\",\n  \"keyspace\": %d,\n  \
+     \"value_size\": %d,\n  \"available_cores\": %d,\n  \
+     \"get_p99_ns\": %.0f,\n  \"scaling_w4\": %.2f,\n  \"errors\": %d,\n  \
+     \"misses\": %d,\n  \"runs\": [\n"
+    keyspace value_size cores get_p99 scaling_w4 errors misses;
+  List.iteri
+    (fun i (w, sets, gets, _, _, elapsed) ->
+      Printf.fprintf oc
+        "    {\"label\": \"w%d\", \"writers\": %d, \"set_ops\": %d, \
+         \"get_ops\": %d, \"elapsed\": %.3f, \"set_ops_s\": %.0f}%s\n"
+        w w sets gets elapsed
+        (float_of_int sets /. elapsed)
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  List.iter
+    (fun (w, sets, gets, _, _, elapsed) ->
+      Printf.printf "writer w%d  %8.0f SET ops/s (%d sets, %d gets)\n" w
+        (float_of_int sets /. elapsed)
+        sets gets)
+    runs;
+  Printf.printf
+    "writer scaling: w4/w1 = %.2fx on %d core(s), GET p99 %.0f ns, report \
+     in BENCH_writer.json\n"
+    scaling_w4 cores get_p99;
+  (* Gates: the mix must run clean everywhere; the 2x-at-4-writers bar
+     applies where the hardware can express parallelism at all. *)
+  if errors > 0 || misses > 0 then begin
+    Printf.printf "writer bench: %d errors, %d misses\n" errors misses;
+    exit 1
+  end;
+  if List.exists (fun (_, sets, _, _, _, _) -> sets = 0) runs then begin
+    Printf.printf "writer bench: a run made no SET progress\n";
+    exit 1
+  end;
+  if cores >= 4 && scaling_w4 < 2.0 then begin
+    Printf.printf "writer bench: scaling %.2fx at 4 writers < 2x\n" scaling_w4;
+    exit 1
+  end
+
 (* --- server smoke: pipelined GETs over the wire, both serving planes --- *)
 
 let run_server_bench () =
@@ -724,6 +854,7 @@ let () =
   if List.mem "--smoke" args then begin
     run_smoke ();
     run_persist_bench ();
+    run_writer_bench ();
     run_server_bench ();
     run_guard_bench ();
     run_cluster_bench ()

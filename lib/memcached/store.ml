@@ -13,12 +13,23 @@ type lock_state = {
   lru : string Lru.t;
 }
 
-(* Rp backend: wait-free reads; updates under [update]; CLOCK queue holds
-   (key, last_access seen when enqueued) pairs for second-chance eviction. *)
+(* Rp backend: wait-free reads; updates serialize per key on a striped
+   lock (stripe = key hash land mask, the same fnv1a hash the table
+   stripes on, so one store stripe maps into one table stripe and
+   independent SETs/DELETEs/CAS from different evloop workers proceed
+   concurrently). The CLOCK queue holds (key, last_access seen when
+   enqueued) pairs for second-chance eviction; it has its own leaf mutex
+   [clock_mu] — always acquired *inside* a stripe (or alone), never the
+   other way around — and sweeps are single-flighted through [sweeping]
+   and run with no stripe held, locking each victim's stripe as they
+   go. *)
 type rp_state = {
   rp : (string, Item.t) Rp_ht.t;
-  update : Mutex.t;
+  update_stripes : Mutex.t array;  (* power of two *)
+  update_mask : int;
+  clock_mu : Mutex.t;
   clockq : (string * float) Queue.t;
+  sweeping : bool Atomic.t;
 }
 
 type state = Lock_state of lock_state | Rp_state of rp_state
@@ -26,13 +37,15 @@ type state = Lock_state of lock_state | Rp_state of rp_state
 type t = {
   state : state;
   (* Persistence hook, installed by [Persist.attach]: called with the op
-     record of every acknowledged mutation, inside the store's
-     serialization lock, so the op log's order is the store's order. *)
+     record of every acknowledged mutation, inside the mutated key's
+     serialization stripe, so the op log's per-key order is the store's
+     per-key order (records are state-based and replay-idempotent, so
+     cross-key interleaving is free — see [Rp_persist.Record]). *)
   mutable persist_hook : (Rp_persist.Record.t -> unit) option;
   (* Some when the Rp backend runs on the QSBR flavour (zero-cost read
      sections). Readers must then respect QSBR discipline: the event-loop
-     workers go offline around their poll wait, and the update lock below
-     is acquired with a quiescing spin. *)
+     workers go offline around their poll wait, and the update stripes are
+     acquired with a quiescing spin. *)
   qsbr : Rcu_qsbr.t option;
   (* Overload guard, attached by [Guard.install]: dispatch consults it to
      shed mutations; [guard_stats] renders its live ladder state. *)
@@ -73,9 +86,14 @@ let k_evict_sweep = Rp_trace.intern "store.evict_sweep"
 let hash_key = Rp_hashes.Hashfn.fnv1a_string
 
 let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
-    ?(initial_size = 1024) ?(auto_resize = true) ?(clock = Unix.gettimeofday) () =
+    ?(initial_size = 1024) ?(auto_resize = true) ?(stripes = 8)
+    ?(clock = Unix.gettimeofday) () =
   let qsbr =
     match (backend, rcu_mode) with Rp, Qsbr -> Some (Rcu_qsbr.create ()) | _ -> None
+  in
+  let nstripes =
+    let rec pow2 n = if n >= stripes then n else pow2 (n * 2) in
+    pow2 1
   in
   let state =
     match backend with
@@ -88,16 +106,28 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
             lru = Lru.create ();
           }
     | Rp ->
+        (* The table stripes on the same fnv1a hash with its own (also
+           power-of-two) stripe array, so a store stripe maps onto a fixed
+           set of table stripes and two ops serialized here never contend
+           below. *)
         let rp =
           match qsbr with
           | Some q ->
               Rp_ht.create ~flavour:(Flavour.qsbr q) ~initial_size ~auto_resize
-                ~hash:hash_key ~equal:String.equal ()
+                ~stripes:nstripes ~hash:hash_key ~equal:String.equal ()
           | None ->
-              Rp_ht.create ~initial_size ~auto_resize ~hash:hash_key
-                ~equal:String.equal ()
+              Rp_ht.create ~initial_size ~auto_resize ~stripes:nstripes
+                ~hash:hash_key ~equal:String.equal ()
         in
-        Rp_state { rp; update = Mutex.create (); clockq = Queue.create () }
+        Rp_state
+          {
+            rp;
+            update_stripes = Array.init nstripes (fun _ -> Mutex.create ());
+            update_mask = nstripes - 1;
+            clock_mu = Mutex.create ();
+            clockq = Queue.create ();
+            sweeping = Atomic.make false;
+          }
   in
   let registry = Rp_obs.Registry.create () in
   let counter name help = Rp_obs.Registry.counter registry ~help name in
@@ -175,6 +205,11 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
 
 let backend t = match t.state with Lock_state _ -> Lock | Rp_state _ -> Rp
 let rcu_mode t = match t.qsbr with Some _ -> Qsbr | None -> Memb
+
+let write_stripes t =
+  match t.state with
+  | Lock_state _ -> 1
+  | Rp_state rs -> Array.length rs.update_stripes
 let registry t = t.registry
 let max_bytes t = t.max_bytes
 let set_guard t g = t.guard <- g
@@ -227,8 +262,8 @@ let set_persist_hook t hook = t.persist_hook <- hook
 let now t = t.clock ()
 
 (* Callers invoke these while holding the backend's serialization lock
-   (the Lock backend's table lock / the Rp backend's update mutex), which
-   is what makes the log a linearization of the store's own history. *)
+   for the mutated key (the Lock backend's table lock / the Rp backend's
+   key stripe), which is what keeps the log a faithful per-key history. *)
 let record t r = match t.persist_hook with None -> () | Some h -> h r
 
 let record_set t ~op key (item : Item.t) =
@@ -297,7 +332,89 @@ let lock_store ?(evict = true) t ls key (item : Item.t) =
   ignore (Slab.charge t.slab (Item.size_bytes ~key item));
   if evict then lock_evict_until_fits t ls
 
-(* --- Rp backend primitives (update mutex held by callers below) --- *)
+(* --- Rp backend update locking --- *)
+
+(* Acquire one update stripe. Under QSBR a plain blocking lock could
+   deadlock: the holder may be inside wait-for-readers (a table resize
+   pass or a deferred-reclamation flush) while we sit here online and
+   non-quiescent, so it would wait on us forever. Spin with try_lock
+   instead, announcing a quiescent state each round (we hold no
+   RCU-protected references while asking for a writer stripe). *)
+let lock_update t (m : Mutex.t) =
+  match t.qsbr with
+  | None -> Mutex.lock m
+  | Some q ->
+      if not (Mutex.try_lock m) then begin
+        let th = Rcu_qsbr.thread_for_current_domain q in
+        let can_quiesce =
+          Rcu_qsbr.is_online th && not (Rcu_qsbr.in_critical_section th)
+        in
+        let rec spin () =
+          if not (Mutex.try_lock m) then begin
+            if can_quiesce then Rcu_qsbr.quiescent_state th;
+            Domain.cpu_relax ();
+            spin ()
+          end
+        in
+        spin ()
+      end
+
+(* Serialize an update on the stripe its key hashes to. Lock ordering:
+   store stripe > table stripe (taken inside Rp_ht calls) > clock_mu;
+   never acquire upward. *)
+let with_stripe t (rs : rp_state) ~hash f =
+  let m = rs.update_stripes.(hash land rs.update_mask) in
+  let span = Rp_trace.span_begin_sampled k_update in
+  lock_update t m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      Rp_trace.span_end_sampled k_update span;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      Rp_trace.span_end_sampled k_update span;
+      raise e
+
+(* Cross-stripe operations (flush_all and its replicated/recovered form)
+   stop every writer by taking all stripes in ascending index order. *)
+let with_all_stripes t (rs : rp_state) f =
+  let n = Array.length rs.update_stripes in
+  for i = 0 to n - 1 do
+    lock_update t rs.update_stripes.(i)
+  done;
+  match f () with
+  | v ->
+      for i = n - 1 downto 0 do
+        Mutex.unlock rs.update_stripes.(i)
+      done;
+      v
+  | exception e ->
+      for i = n - 1 downto 0 do
+        Mutex.unlock rs.update_stripes.(i)
+      done;
+      raise e
+
+(* The CLOCK queue's leaf mutex: holders only touch the queue (no grace
+   periods, no stripes), so a blocking lock is safe even under QSBR. *)
+let clock_push (rs : rp_state) entry =
+  Mutex.lock rs.clock_mu;
+  Queue.add entry rs.clockq;
+  Mutex.unlock rs.clock_mu
+
+let clock_pop (rs : rp_state) =
+  Mutex.lock rs.clock_mu;
+  let v = Queue.take_opt rs.clockq in
+  Mutex.unlock rs.clock_mu;
+  v
+
+let clock_len (rs : rp_state) =
+  Mutex.lock rs.clock_mu;
+  let n = Queue.length rs.clockq in
+  Mutex.unlock rs.clock_mu;
+  n
+
+(* --- Rp backend primitives (the key's update stripe held by callers) --- *)
 
 let rp_delete t rs key =
   match Rp_ht.find rs.rp key with
@@ -307,6 +424,15 @@ let rp_delete t rs key =
       Slab.refund t.slab (Item.size_bytes ~key item);
       true
 
+let rp_store t rs key (item : Item.t) =
+  (match Rp_ht.find rs.rp key with
+  | Some old -> Slab.refund t.slab (Item.size_bytes ~key old)
+  | None -> clock_push rs (key, Atomic.get item.last_access));
+  (* replace publishes atomically: readers see the old or new item, never a
+     torn one; the unlinked old item is reclaimed after a grace period. *)
+  Rp_ht.replace rs.rp key item;
+  ignore (Slab.charge t.slab (Item.size_bytes ~key item))
+
 (* CLOCK second-chance eviction: pop (key, last_access at enqueue); a key
    touched since its enqueue gets requeued with the newer stamp — but only
    while the sweep's second-chance budget lasts. The budget is the queue
@@ -314,88 +440,82 @@ let rp_delete t rs key =
    drops a stale entry, or spends a chance: a sweep over a table of
    all-hot keys (readers re-touching every item faster than we pop)
    terminates after at most 2x the queue length instead of spinning
-   unboundedly under the update mutex. Once the budget is gone the sweep
-   degrades to FIFO, which still frees memory. *)
-let rp_evict_until_fits t rs =
+   unboundedly. Once the budget is gone the sweep degrades to FIFO, which
+   still frees memory.
+
+   The sweeper holds NO stripe across the sweep — it locks each victim's
+   own stripe just long enough to re-check and unlink it, so a sweep
+   triggered by one writer never stalls writers on unrelated stripes.
+   Caller must hold the [sweeping] flag (single-flight). *)
+let rp_sweep_locked t rs =
   if Slab.allocated_bytes t.slab > t.max_bytes then begin
     (* Time the whole sweep, second-chance requeues included: its tail is
        the CLOCK degradation the all-hot torture worries about. *)
     let sweep_start = Rp_trace.now_ns () in
     let sweep_span = Rp_trace.span_begin k_evict_sweep in
-    let chances = ref (Queue.length rs.clockq) in
+    let chances = ref (clock_len rs) in
     let exhausted = ref false in
     while (not !exhausted) && Slab.allocated_bytes t.slab > t.max_bytes do
-      match Queue.take_opt rs.clockq with
+      match clock_pop rs with
       | None -> exhausted := true
-      | Some (key, seen_access) -> (
-          match Rp_ht.find rs.rp key with
-          | None -> () (* already deleted *)
-          | Some item ->
-              let last = Atomic.get item.last_access in
-              if last > seen_access && !chances > 0 then begin
-                decr chances;
-                Rp_obs.Counter.incr t.clock_chances;
-                Queue.add (key, last) rs.clockq
-              end
-              else begin
-                ignore (rp_delete t rs key);
-                Rp_obs.Counter.incr t.evicted
-              end)
+      | Some (key, seen_access) ->
+          with_stripe t rs ~hash:(hash_key key) (fun () ->
+              match Rp_ht.find rs.rp key with
+              | None -> () (* already deleted *)
+              | Some item ->
+                  let last = Atomic.get item.last_access in
+                  if last > seen_access && !chances > 0 then begin
+                    decr chances;
+                    Rp_obs.Counter.incr t.clock_chances;
+                    clock_push rs (key, last)
+                  end
+                  else begin
+                    ignore (rp_delete t rs key);
+                    Rp_obs.Counter.incr t.evicted
+                  end)
     done;
     Rp_trace.span_end k_evict_sweep sweep_span;
     Rp_obs.Histogram.observe t.evict_sweep_us
       ((Rp_trace.now_ns () - sweep_start) / 1000)
   end
 
-let rp_store ?(evict = true) t rs key (item : Item.t) =
-  (match Rp_ht.find rs.rp key with
-  | Some old -> Slab.refund t.slab (Item.size_bytes ~key old)
-  | None -> Queue.add (key, Atomic.get item.last_access) rs.clockq);
-  (* replace publishes atomically: readers see the old or new item, never a
-     torn one; the unlinked old item is reclaimed after a grace period. *)
-  Rp_ht.replace rs.rp key item;
-  ignore (Slab.charge t.slab (Item.size_bytes ~key item));
-  if evict then rp_evict_until_fits t rs
+(* Post-store budget enforcement. Mutating commands call this AFTER
+   releasing their stripe (a sweep locks victim stripes itself); the CAS
+   single-flights concurrent triggers so racing writers don't convoy on
+   eviction — the one sweeper runs until the heap fits. *)
+let rp_sweep t rs =
+  if
+    Slab.allocated_bytes t.slab > t.max_bytes
+    && Atomic.compare_and_set rs.sweeping false true
+  then
+    Fun.protect
+      ~finally:(fun () -> Atomic.set rs.sweeping false)
+      (fun () -> rp_sweep_locked t rs)
 
-(* Acquire the update mutex. Under QSBR a plain blocking lock could
-   deadlock: the holder may be inside wait-for-readers (a resize pass or a
-   deferred-reclamation flush) while we sit here online and non-quiescent,
-   so it would wait on us forever. Spin with try_lock instead, announcing
-   a quiescent state each round (we hold no RCU-protected references while
-   asking for the writer lock). *)
-let with_update t (rs : rp_state) f =
-  let span = Rp_trace.span_begin_sampled k_update in
-  (match t.qsbr with
-  | None -> Mutex.lock rs.update
-  | Some q ->
-      if not (Mutex.try_lock rs.update) then begin
-        let th = Rcu_qsbr.thread_for_current_domain q in
-        let can_quiesce =
-          Rcu_qsbr.is_online th && not (Rcu_qsbr.in_critical_section th)
-        in
-        let rec spin () =
-          if not (Mutex.try_lock rs.update) then begin
-            if can_quiesce then Rcu_qsbr.quiescent_state th;
-            Domain.cpu_relax ();
-            spin ()
-          end
-        in
-        spin ()
-      end);
-  match f () with
-  | v ->
-      Mutex.unlock rs.update;
-      Rp_trace.span_end_sampled k_update span;
-      v
-  | exception e ->
-      Mutex.unlock rs.update;
-      Rp_trace.span_end_sampled k_update span;
-      raise e
+(* Blocking variant for [evict_to_budget]: callers there (post-recovery
+   attach, the guard's Emergency actuator) need the budget actually met on
+   return, so losing the single-flight race means waiting the sweeper out
+   and re-checking. *)
+let rp_evict_to_budget t rs =
+  let rec go () =
+    if Slab.allocated_bytes t.slab > t.max_bytes then
+      if Atomic.compare_and_set rs.sweeping false true then begin
+        Fun.protect
+          ~finally:(fun () -> Atomic.set rs.sweeping false)
+          (fun () -> rp_sweep_locked t rs);
+        go ()
+      end
+      else begin
+        Domain.cpu_relax ();
+        go ()
+      end
+  in
+  go ()
 
 (* --- GET --- *)
 
 let rp_expire_if_dead t rs ~now key =
-  with_update t rs (fun () ->
+  with_stripe t rs ~hash:(hash_key key) (fun () ->
       match Rp_ht.find rs.rp key with
       | Some again when Item.is_expired again ~now ->
           ignore (rp_delete t rs key);
@@ -403,7 +523,7 @@ let rp_expire_if_dead t rs ~now key =
       | Some _ | None -> ())
 
 (* [expired_acc]: when the caller holds a batch-wide read section open it
-   must not take the update lock inline (the holder could be waiting for
+   must not take an update stripe inline (the holder could be waiting for
    readers — us included). Expired keys are collected and reaped by the
    caller after the section closes. *)
 let get_rp t rs ?(with_cas = false) ?expired_acc key =
@@ -469,17 +589,10 @@ let get_many t ?(with_cas = false) keys =
       (match !expired_acc with
       | [] -> ()
       | dead ->
-          (* Reap outside the batch read section, one lock for all. *)
+          (* Reap outside the batch read section, each key under its own
+             stripe. *)
           let now = t.clock () in
-          with_update t rs (fun () ->
-              List.iter
-                (fun key ->
-                  match Rp_ht.find rs.rp key with
-                  | Some again when Item.is_expired again ~now ->
-                      ignore (rp_delete t rs key);
-                      Rp_obs.Counter.incr t.expired
-                  | Some _ | None -> ())
-                dead));
+          List.iter (fun key -> rp_expire_if_dead t rs ~now key) dead);
       values
 
 (* --- storage commands --- *)
@@ -509,19 +622,23 @@ let storage_command t ~op ~key ~flags ~exptime ~data ~guard =
               record_set t ~op key item;
               Stored)
   | Rp_state rs ->
-      with_update t rs (fun () ->
-          let live =
-            match Rp_ht.find rs.rp key with
-            | Some item when not (Item.is_expired item ~now) -> Some item
-            | Some _ | None -> None
-          in
-          match guard live with
-          | Error result -> result
-          | Ok () ->
-              let item = Item.make ~flags ~exptime ~data ~now () in
-              rp_store t rs key item;
-              record_set t ~op key item;
-              Stored)
+      let result =
+        with_stripe t rs ~hash:(hash_key key) (fun () ->
+            let live =
+              match Rp_ht.find rs.rp key with
+              | Some item when not (Item.is_expired item ~now) -> Some item
+              | Some _ | None -> None
+            in
+            match guard live with
+            | Error result -> result
+            | Ok () ->
+                let item = Item.make ~flags ~exptime ~data ~now () in
+                rp_store t rs key item;
+                record_set t ~op key item;
+                Stored)
+      in
+      rp_sweep t rs;
+      result
 
 let set t ~key ~flags ~exptime ~data =
   storage_command t ~op:Rp_persist.Record.Tset ~key ~flags ~exptime ~data
@@ -574,13 +691,17 @@ let concat_command t ~op ~key ~data ~build =
             (Option.map (fun e -> e.item) live)
             (fun fresh -> lock_store t ls key fresh))
   | Rp_state rs ->
-      with_update t rs (fun () ->
-          let live =
-            match Rp_ht.find rs.rp key with
-            | Some item when not (Item.is_expired item ~now) -> Some item
-            | Some _ | None -> None
-          in
-          perform live (fun fresh -> rp_store t rs key fresh))
+      let result =
+        with_stripe t rs ~hash:(hash_key key) (fun () ->
+            let live =
+              match Rp_ht.find rs.rp key with
+              | Some item when not (Item.is_expired item ~now) -> Some item
+              | Some _ | None -> None
+            in
+            perform live (fun fresh -> rp_store t rs key fresh))
+      in
+      rp_sweep t rs;
+      result
 
 let append t ~key ~data =
   concat_command t ~op:Rp_persist.Record.Tappend ~key ~data
@@ -600,7 +721,9 @@ let delete t key =
   | Lock_state ls ->
       Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
           perform (lock_delete t ls key))
-  | Rp_state rs -> with_update t rs (fun () -> perform (rp_delete t rs key))
+  | Rp_state rs ->
+      with_stripe t rs ~hash:(hash_key key) (fun () ->
+          perform (rp_delete t rs key))
 
 (* incr/decr rewrite the stored decimal string; decr saturates at zero. *)
 let counter_command t ~op key delta ~apply =
@@ -628,11 +751,15 @@ let counter_command t ~op key delta ~apply =
           | Some entry ->
               compute key entry.item (fun fresh -> lock_store t ls key fresh))
   | Rp_state rs ->
-      with_update t rs (fun () ->
-          match Rp_ht.find rs.rp key with
-          | Some item when not (Item.is_expired item ~now) ->
-              compute key item (fun fresh -> rp_store t rs key fresh)
-          | Some _ | None -> Cnotfound)
+      let result =
+        with_stripe t rs ~hash:(hash_key key) (fun () ->
+            match Rp_ht.find rs.rp key with
+            | Some item when not (Item.is_expired item ~now) ->
+                compute key item (fun fresh -> rp_store t rs key fresh)
+            | Some _ | None -> Cnotfound)
+      in
+      rp_sweep t rs;
+      result
 
 let incr t key delta =
   counter_command t ~op:Rp_persist.Record.Tincr key delta
@@ -660,11 +787,15 @@ let touch t ~key ~exptime =
           | None -> false
           | Some entry -> retouch entry.item (fun fresh -> lock_store t ls key fresh))
   | Rp_state rs ->
-      with_update t rs (fun () ->
-          match Rp_ht.find rs.rp key with
-          | Some item when not (Item.is_expired item ~now) ->
-              retouch item (fun fresh -> rp_store t rs key fresh)
-          | Some _ | None -> false)
+      let result =
+        with_stripe t rs ~hash:(hash_key key) (fun () ->
+            match Rp_ht.find rs.rp key with
+            | Some item when not (Item.is_expired item ~now) ->
+                retouch item (fun fresh -> rp_store t rs key fresh)
+            | Some _ | None -> false)
+      in
+      rp_sweep t rs;
+      result
 
 let flush_all_with t ~log =
   let finish () = if log then record t Rp_persist.Record.Flush_all in
@@ -676,7 +807,7 @@ let flush_all_with t ~log =
           List.iter (fun k -> ignore (lock_delete t ls k)) !keys;
           finish ())
   | Rp_state rs ->
-      with_update t rs (fun () ->
+      with_all_stripes t rs (fun () ->
           let keys = Rp_ht.fold rs.rp ~init:[] ~f:(fun acc k _ -> k :: acc) in
           List.iter (fun k -> ignore (rp_delete t rs k)) keys;
           finish ())
@@ -728,22 +859,24 @@ let apply_record ?(log = false) t r =
                   finish ();
                   d)
           | Rp_state rs ->
-              with_update t rs (fun () ->
+              with_stripe t rs ~hash:(hash_key key) (fun () ->
                   let d = rp_delete t rs key in
                   finish ();
                   d))
       else begin
         (* No inline eviction: replay may overshoot the budget; the
            post-recovery sweep in {!Persist.attach} settles the heap once
-           the full recovered state is known. *)
+           the full recovered state is known. (On the Rp backend
+           [rp_store] never sweeps — only live commands call [rp_sweep]
+           after releasing their stripe.) *)
         match t.state with
         | Lock_state ls ->
             Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
                 lock_store ~evict:false t ls key item;
                 finish ())
         | Rp_state rs ->
-            with_update t rs (fun () ->
-                rp_store ~evict:false t rs key item;
+            with_stripe t rs ~hash:(hash_key key) (fun () ->
+                rp_store t rs key item;
                 finish ())
       end
   | Rp_persist.Record.Delete key ->
@@ -755,7 +888,7 @@ let apply_record ?(log = false) t r =
                 finish ();
                 d)
         | Rp_state rs ->
-            with_update t rs (fun () ->
+            with_stripe t rs ~hash:(hash_key key) (fun () ->
                 let d = rp_delete t rs key in
                 finish ();
                 d))
@@ -780,7 +913,7 @@ let evict_to_budget t =
   | Lock_state ls ->
       Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
           lock_evict_until_fits t ls)
-  | Rp_state rs -> with_update t rs (fun () -> rp_evict_until_fits t rs));
+  | Rp_state rs -> rp_evict_to_budget t rs);
   Rp_obs.Counter.read t.evicted - before
 
 let has_prefix p name =

@@ -7,11 +7,14 @@
       inside the lock);
     - {!Rp}: the paper's port — GET is a wait-free relativistic lookup that
       copies the value inside the read-side critical section and bumps an
-      atomic access timestamp instead of LRU list pointers; expiry and
-      eviction fall back to the locked slow path; updates serialize on a
-      store mutex and use safe relativistic memory reclamation (the table's
-      deferred reclamation), with CLOCK-style second-chance eviction
-      replacing the exact LRU. *)
+      atomic access timestamp instead of LRU list pointers; expiry falls
+      back to a locked slow path; updates serialize {e per key} on a
+      striped lock (stripe = key hash, aligned with the backing table's own
+      writer stripes) so independent SETs/DELETEs/CAS proceed concurrently
+      from different workers, and use safe relativistic memory reclamation
+      (the table's deferred reclamation). CLOCK-style second-chance
+      eviction replaces the exact LRU; sweeps are single-flighted and lock
+      only each victim's stripe, never the whole store. *)
 
 type backend = Lock | Rp
 
@@ -42,18 +45,26 @@ val create :
   ?max_bytes:int ->
   ?initial_size:int ->
   ?auto_resize:bool ->
+  ?stripes:int ->
   ?clock:(unit -> float) ->
   unit ->
   t
 (** [max_bytes] is the eviction budget (default 64 MiB); [initial_size] the
     initial bucket count (default 1024); [auto_resize] (default true, RP
-    backend only) lets the table grow/shrink with item count; [clock] is
-    injectable for expiry tests. [rcu_mode] (default {!Memb}) selects the
-    RCU flavour backing the {!Rp} table; {!Qsbr} makes every GET a
-    zero-cost read section but obliges callers to QSBR discipline. *)
+    backend only) lets the table grow/shrink with item count; [stripes]
+    (default 8, rounded up to a power of two, RP backend only) is the
+    update-stripe count — also passed down as the backing table's writer
+    stripe count; [clock] is injectable for expiry tests. [rcu_mode]
+    (default {!Memb}) selects the RCU flavour backing the {!Rp} table;
+    {!Qsbr} makes every GET a zero-cost read section but obliges callers
+    to QSBR discipline. *)
 
 val backend : t -> backend
 val rcu_mode : t -> rcu_mode
+
+val write_stripes : t -> int
+(** Update-stripe count of the {!Rp} backend (1 for {!Lock} — its global
+    lock is one big stripe). *)
 
 val reader_offline : t -> unit
 (** Take the calling domain's reader offline (extended quiescent state) so
@@ -70,8 +81,8 @@ val get_many : t -> ?with_cas:bool -> string list -> Protocol.value list
 (** Batch lookup — the multiget fast path the event loop's batch dispatch
     hits: one [cmd_get] counter add for the whole batch and, on the {!Rp}
     backend, a single read-side critical section spanning every key.
-    Expired items encountered inside the batch are reaped under one
-    update-lock acquisition after the section closes. *)
+    Expired items encountered inside the batch are reaped after the
+    section closes, each under its own key's update stripe. *)
 
 val set : t -> key:string -> flags:int -> exptime:int -> data:string -> stored_result
 val add : t -> key:string -> flags:int -> exptime:int -> data:string -> stored_result
@@ -95,15 +106,18 @@ val flush_all : t -> unit
 
     The hooks the {!Persist} manager builds on. The store itself never
     touches a disk: it reports every acknowledged mutation as a
-    state-based {!Rp_persist.Record.t} (called inside the backend's
-    serialization lock, so log order is store order) and can walk and
-    restore itself on request. *)
+    state-based {!Rp_persist.Record.t} (called inside the mutated key's
+    serialization stripe, so the log's per-key order is the store's —
+    records are replay-idempotent, making cross-key interleaving safe)
+    and can walk and restore itself on request. *)
 
 val set_persist_hook : t -> (Rp_persist.Record.t -> unit) option -> unit
-(** Install (or clear) the mutation hook. The hook runs with the update
-    lock held and must be quick aside from its own I/O; an exception it
-    raises fails the triggering command after the in-memory effect — the
-    client then sees an error, i.e. an unknown outcome. *)
+(** Install (or clear) the mutation hook. The hook runs with the mutated
+    key's update stripe held — concurrent mutations on other stripes may
+    invoke it concurrently, so it must be thread-safe — and must be quick
+    aside from its own I/O; an exception it raises fails the triggering
+    command after the in-memory effect — the client then sees an error,
+    i.e. an unknown outcome. *)
 
 val iter_items : t -> f:(string -> Item.t -> unit) -> int
 (** Walk every live binding. On the {!Rp} backend this is
@@ -165,7 +179,10 @@ val max_bytes : t -> int
 val evict_to_budget : t -> int
 (** Synchronous eviction sweep: evict (LRU / CLOCK per backend) until
     [bytes t <= max_bytes t]. Returns the number of items evicted (0 when
-    already under budget). Takes the backend's serialization lock. *)
+    already under budget). On the {!Rp} backend the sweep holds no stripe
+    across the walk — it locks each victim's stripe individually — and is
+    single-flighted against store-triggered sweeps (a losing caller waits
+    the winner out and re-checks before returning). *)
 
 (** {1 Introspection}
 

@@ -331,6 +331,20 @@ let rules_for = function
            noise on a number that is a few sweep intervals long. *)
         rule "recover_ms" Lower_better ~max_regression:4.0;
       ]
+  | "writer-scaling" ->
+      [
+        (* SET throughput at every writer count, 4-writer rate included:
+           the striped write path must not regress at any width. *)
+        rule "runs.*.set_ops_s" Higher_better;
+        (* Read-path no-regression guard: a quiet single-threaded GET p99
+           on the striped store. Tail latencies on a shared box are
+           noisy, so the bound is a generous multiple. *)
+        rule "get_p99_ns" Lower_better ~max_regression:4.0;
+        (* The mix oracle: a miss on the prefilled keyspace or a SET
+           error is a correctness bug, not a perf regression. *)
+        rule "misses" Exact_zero;
+        rule "errors" Exact_zero;
+      ]
   | "cluster" ->
       [
         (* Replication catch-up: op-log tail -> wire -> Store.replicate. *)

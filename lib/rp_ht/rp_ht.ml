@@ -8,15 +8,33 @@ type resize_stats = {
   unzip_passes : int;
   unzip_splices : int;
   recoveries : int;
+  lazy_splits : int;
 }
 
-(* A resizer that died mid-unzip (fault injection, async exception) leaves
-   the remaining per-chain splice state here, under the writer mutex. The
-   table is imprecise but complete — readers are fine — and the next writer
-   finishes the job before doing anything else. *)
-type ('k, 'v) pending_unzip = {
-  pu_new_size : int;
-  pu_states : ('k, 'v) Unzip.state array;
+(* One split cell per parent bucket of an in-progress expansion. The cell
+   owns the unzip of old bucket [i] into new buckets [i] and
+   [i + old_size]; both children map to the same stripe (stripe count
+   never exceeds [min_size]), so the stripe lock covering a key also
+   covers its cell. [cell_busy] marks a splicer that died between a
+   splice and its closing grace period — the next toucher re-establishes
+   the grace period before splicing further. *)
+type ('k, 'v) split_cell = {
+  mutable cell_state : ('k, 'v) Unzip.state;
+  mutable cell_busy : bool;
+}
+
+(* An expansion in progress: the doubled bucket array is already
+   published (readers are fine — buckets are imprecise but complete);
+   each chain splits lazily on first writer touch, or eagerly under the
+   all-stripes protocol. [ps_sync_done] witnesses the post-publish grace
+   period: no chain may be spliced before readers that entered through
+   the pre-expansion bucket array have drained, because for them the
+   zipped chain is the only path to keys of both child buckets. *)
+type ('k, 'v) pending_split = {
+  ps_new_size : int;
+  ps_cells : ('k, 'v) split_cell array;  (* length [ps_new_size / 2] *)
+  ps_remaining : int Atomic.t;  (* cells not yet Done *)
+  ps_sync_done : bool Atomic.t;
 }
 
 type ('k, 'v) t = {
@@ -25,7 +43,14 @@ type ('k, 'v) t = {
   hash : 'k -> int;
   equal : 'k -> 'k -> bool;
   current : ('k, 'v) table Atomic.t;
-  writer : Mutex.t;
+  (* Writer locks, striped by hash: stripe = hash land (nstripes - 1).
+     nstripes is a power of two <= min_size, so a bucket index determines
+     its stripe at every table size and sibling buckets share a stripe.
+     Cross-stripe operations (explicit resize, shrink, auto-resize,
+     complete_splits, validate) take every stripe in ascending order. *)
+  stripes : Mutex.t array;
+  stripe_mask : int;
+  splitting : ('k, 'v) pending_split option Atomic.t;
   count : int Atomic.t;
   min_size : int;
   max_size : int;
@@ -35,19 +60,21 @@ type ('k, 'v) t = {
   unzip_passes : int Atomic.t;
   unzip_splices : int Atomic.t;
   recoveries : int Atomic.t;
-  mutable pending : ('k, 'v) pending_unzip option;  (* writer mutex *)
+  lazy_splits : int Atomic.t;
   (* striped instruments: the lookup counter sits on the wait-free read
      path, so it must never be a shared atomic RMW *)
   obs_lookups : Rp_obs.Counter.t;
   obs_inserts : Rp_obs.Counter.t;
   obs_deletes : Rp_obs.Counter.t;
+  obs_stripe_acq : Rp_obs.Counter.t;
+  obs_stripe_contended : Rp_obs.Counter.t;
   resize_hist : Rp_obs.Histogram.t;  (* per expand/shrink duration, ns *)
 }
 
 let make_table size = { size; buckets = Array.init size (fun _ -> Atomic.make Null) }
 
 let create ?rcu ?flavour ?(initial_size = 8) ?(min_size = 4)
-    ?(max_size = 1 lsl 22) ?(auto_resize = true) ~hash ~equal () =
+    ?(max_size = 1 lsl 22) ?(auto_resize = true) ?stripes ~hash ~equal () =
   let rcu_memb, flavour =
     match flavour with
     | Some f ->
@@ -59,6 +86,15 @@ let create ?rcu ?flavour ?(initial_size = 8) ?(min_size = 4)
         (Some r, Flavour.memb r)
   in
   let min_size = Rp_hashes.Size.next_power_of_two (max 1 min_size) in
+  (* Default stripe count: 8, but never more than min_size (the
+     bucket-to-stripe mapping must be stable across resizes). An explicit
+     ~stripes instead raises min_size so the invariant holds. *)
+  let nstripes =
+    match stripes with
+    | Some s -> Rp_hashes.Size.next_power_of_two (max 1 s)
+    | None -> min 8 min_size
+  in
+  let min_size = max min_size nstripes in
   let max_size = Rp_hashes.Size.next_power_of_two (max min_size max_size) in
   let initial_size =
     min max_size (max min_size (Rp_hashes.Size.next_power_of_two initial_size))
@@ -69,7 +105,9 @@ let create ?rcu ?flavour ?(initial_size = 8) ?(min_size = 4)
     hash;
     equal;
     current = Atomic.make (make_table initial_size);
-    writer = Mutex.create ();
+    stripes = Array.init nstripes (fun _ -> Mutex.create ());
+    stripe_mask = nstripes - 1;
+    splitting = Atomic.make None;
     count = Atomic.make 0;
     min_size;
     max_size;
@@ -79,10 +117,12 @@ let create ?rcu ?flavour ?(initial_size = 8) ?(min_size = 4)
     unzip_passes = Atomic.make 0;
     unzip_splices = Atomic.make 0;
     recoveries = Atomic.make 0;
-    pending = None;
+    lazy_splits = Atomic.make 0;
     obs_lookups = Rp_obs.Counter.create ();
     obs_inserts = Rp_obs.Counter.create ();
     obs_deletes = Rp_obs.Counter.create ();
+    obs_stripe_acq = Rp_obs.Counter.create ();
+    obs_stripe_contended = Rp_obs.Counter.create ();
     resize_hist = Rp_obs.Histogram.create ();
   }
 
@@ -93,6 +133,7 @@ let rcu t =
       invalid_arg "Rp_ht.rcu: table was built with a custom flavour"
 
 let flavour t = t.flavour
+let stripe_count t = Array.length t.stripes
 
 (* --- read side --- *)
 
@@ -119,6 +160,7 @@ let k_expand = Rp_trace.intern "rp_ht.expand"
 let k_shrink = Rp_trace.intern "rp_ht.shrink"
 let k_unzip = Rp_trace.intern "rp_ht.unzip_pass"
 let k_recovery = Rp_trace.intern "rp_ht.recovery"
+let k_lazy_split = Rp_trace.intern "rp_ht.lazy_split"
 
 let find_opt_hashed t ~hash k =
   Rp_obs.Counter.incr t.obs_lookups;
@@ -163,7 +205,9 @@ let iter t ~f =
    documented duplicate). Only a size *drop* below a size we already
    walked at can relocate unvisited keys behind the cursor, and we detect
    that on the table we actually dereference, inside the read section —
-   no separate counter to race against. *)
+   no separate counter to race against. This argument is unchanged by
+   lazy splitting: a pending split only leaves buckets imprecise (the
+   per-bucket home filter already discards pass-through nodes). *)
 let iter_batched ?(batch = 64) t ~f =
   let batch = max 1 batch in
   let restarts = ref 0 in
@@ -203,6 +247,182 @@ let fold t ~init ~f =
 
 let to_list t = fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc)
 
+(* --- stripe locking --- *)
+
+let stripe_of_hash t hash = hash land t.stripe_mask
+
+(* Why not a plain blocking lock on flavoured (QSBR) tables: the holder
+   may be inside wait-for-readers (a splice's grace period), and a QSBR
+   peer blocked in Mutex.lock while online would stall that grace period
+   forever. Going offline first keeps grace periods live while we spin;
+   memb readers never block on these locks, so memb's synchronize cannot
+   wait on a lock waiter and a blocking lock is safe (and cheaper than
+   spinning) there. *)
+let lock_stripe t m =
+  Rp_fault.point "rp_ht.stripe.lock";
+  if Mutex.try_lock m then Rp_obs.Counter.incr t.obs_stripe_acq
+  else begin
+    Rp_obs.Counter.incr t.obs_stripe_contended;
+    (match t.rcu_memb with
+    | Some _ -> Mutex.lock m
+    | None ->
+        t.flavour.Flavour.thread_offline ();
+        while not (Mutex.try_lock m) do
+          Domain.cpu_relax ()
+        done);
+    Rp_obs.Counter.incr t.obs_stripe_acq
+  end
+
+(* Ascending order — compatible with move's two-stripe min/max order, so
+   single-stripe writers, movers, and all-stripes owners never deadlock.
+   The failpoint in lock_stripe can raise mid-acquisition; back out. *)
+let lock_all_stripes t =
+  let i = ref 0 in
+  try
+    while !i < Array.length t.stripes do
+      lock_stripe t t.stripes.(!i);
+      incr i
+    done
+  with e ->
+    for j = !i - 1 downto 0 do
+      Mutex.unlock t.stripes.(j)
+    done;
+    raise e
+
+let unlock_all_stripes t = Array.iter Mutex.unlock t.stripes
+
+let with_all_stripes t f =
+  lock_all_stripes t;
+  match f () with
+  | v ->
+      unlock_all_stripes t;
+      v
+  | exception e ->
+      unlock_all_stripes t;
+      raise e
+
+(* --- the split engine (lazy per-bucket rehash) --- *)
+
+let dest_for size (n : _ node) =
+  Rp_hashes.Size.bucket_of_hash ~hash:n.hash ~size
+
+(* The post-publish grace period, deferred from expand to the first
+   splicer. Two stripe holders may race here; both waiting is benign. *)
+let ensure_publish_synced t ps =
+  if not (Atomic.get ps.ps_sync_done) then begin
+    t.flavour.Flavour.synchronize ();
+    Atomic.set ps.ps_sync_done true
+  end
+
+let note_recovery t ~new_size =
+  Atomic.incr t.recoveries;
+  Rp_trace.instant ~arg:new_size k_recovery;
+  Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_size "rp_ht.recovery"
+
+(* Splice one chain to precision: one grace period between consecutive
+   splices (readers that crossed a splice point before it moved must
+   drain before the chain changes again); the step that finds no crossing
+   run publishes nothing and needs no trailing grace period. Caller holds
+   the cell's stripe and has dealt with ps_sync_done / cell_busy. *)
+let rec drive_cell t ~new_size cell =
+  match cell.cell_state with
+  | Unzip.Done -> ()
+  | Unzip.At _ as st ->
+      Rp_fault.point "rp_ht.unzip.splice";
+      let next = Unzip.step ~dest:(dest_for new_size) st in
+      cell.cell_state <- next;
+      (match next with
+      | Unzip.Done -> ()
+      | Unzip.At _ ->
+          cell.cell_busy <- true;
+          Atomic.incr t.unzip_splices;
+          let span = Rp_trace.span_begin ~arg:new_size k_unzip in
+          t.flavour.Flavour.synchronize ();
+          Rp_trace.span_end ~arg:new_size k_unzip span;
+          cell.cell_busy <- false;
+          Atomic.incr t.unzip_passes;
+          drive_cell t ~new_size cell)
+
+(* Caller holds the cell's stripe; an expansion needs every stripe, so
+   nobody can install a new pending split between our decrement and the
+   clear. *)
+let note_cell_done t ps =
+  if Atomic.fetch_and_add ps.ps_remaining (-1) = 1 then
+    Atomic.set t.splitting None
+
+(* First-writer-touch split: the lazy rehash step. Stripe of [hash]
+   held. After this returns, the bucket chains for [hash] are precise. *)
+let ensure_bucket_split t ~hash =
+  match Atomic.get t.splitting with
+  | None -> ()
+  | Some ps -> (
+      let cell = ps.ps_cells.(hash land (Array.length ps.ps_cells - 1)) in
+      match cell.cell_state with
+      | Unzip.Done -> ()
+      | Unzip.At _ ->
+          Rp_fault.point "rp_ht.split.lazy";
+          ensure_publish_synced t ps;
+          if cell.cell_busy then begin
+            (* A splicer died between a splice and its grace period:
+               re-establish it before touching the chain again. *)
+            t.flavour.Flavour.synchronize ();
+            cell.cell_busy <- false;
+            note_recovery t ~new_size:ps.ps_new_size
+          end;
+          Atomic.incr t.lazy_splits;
+          let span = Rp_trace.span_begin ~arg:ps.ps_new_size k_lazy_split in
+          drive_cell t ~new_size:ps.ps_new_size cell;
+          Rp_trace.span_end ~arg:ps.ps_new_size k_lazy_split span;
+          note_cell_done t ps)
+
+(* Complete every remaining cell. All stripes held. One splice per live
+   chain per pass, one grace period per pass — the eager path keeps the
+   paper's amortized cost structure instead of paying a grace period per
+   splice. *)
+let complete_splits_locked t =
+  match Atomic.get t.splitting with
+  | None -> ()
+  | Some ps ->
+      let new_size = ps.ps_new_size in
+      let dest = dest_for new_size in
+      let interrupted = Array.exists (fun c -> c.cell_busy) ps.ps_cells in
+      if interrupted || not (Atomic.get ps.ps_sync_done) then begin
+        t.flavour.Flavour.synchronize ();
+        Atomic.set ps.ps_sync_done true;
+        Array.iter (fun c -> c.cell_busy <- false) ps.ps_cells;
+        if interrupted then note_recovery t ~new_size
+      end;
+      let live = ref true in
+      while !live do
+        live := false;
+        Array.iter
+          (fun cell ->
+            match cell.cell_state with
+            | Unzip.Done -> ()
+            | Unzip.At _ as st -> (
+                Rp_fault.point "rp_ht.unzip.splice";
+                let next = Unzip.step ~dest st in
+                cell.cell_state <- next;
+                match next with
+                | Unzip.Done -> note_cell_done t ps
+                | Unzip.At _ ->
+                    cell.cell_busy <- true;
+                    Atomic.incr t.unzip_splices;
+                    live := true))
+          ps.ps_cells;
+        if !live then begin
+          (* One grace period per pass protects readers that crossed a
+             splice point before it moved. *)
+          let pass_span = Rp_trace.span_begin ~arg:new_size k_unzip in
+          t.flavour.Flavour.synchronize ();
+          Rp_trace.span_end ~arg:new_size k_unzip pass_span;
+          Atomic.incr t.unzip_passes;
+          Array.iter (fun c -> c.cell_busy <- false) ps.ps_cells;
+          Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_size
+            "rp_ht.unzip_pass"
+        end
+      done
+
 (* --- resize: shrink --- *)
 
 let rec chain_tail = function
@@ -211,7 +431,10 @@ let rec chain_tail = function
       match Rcu.dereference n.next with Null -> Some n | Node _ as l -> chain_tail l)
 
 (* Halve the bucket count: link sibling chains end-to-end, publish the new
-   bucket array, wait for readers once. Writer mutex held.
+   bucket array, wait for readers once. All stripes held, and no split
+   may be pending: zipped sibling chains share physical tails, so
+   concatenating them would create cycles — callers complete splits
+   first.
 
    Crash safety: once the half-size array is published its chains are
    already precise (bucket i holds exactly old buckets i and i+new_size),
@@ -246,83 +469,24 @@ let shrink_locked t =
   Rp_obs.Histogram.observe_span t.resize_hist ~start:started
     ~stop:(Unix.gettimeofday ())
 
-(* --- resize: expand (the unzip) --- *)
+(* --- resize: expand --- *)
 
-(* Run unzip passes over [states] until every chain is precise. Writer
-   mutex held. If anything raises mid-way (the "rp_ht.unzip.splice"
-   failpoint, or a failpoint inside synchronize), the remaining states are
-   parked in [t.pending] before the exception escapes: the table stays
-   imprecise-but-correct and {!recover_locked} finishes the job later. *)
-let run_unzip t ~new_size states =
-  let dest (n : _ node) =
-    Rp_hashes.Size.bucket_of_hash ~hash:n.hash ~size:new_size
-  in
-  try
-    let live = ref true in
-    while !live do
-      live := false;
-      Array.iteri
-        (fun i state ->
-          match state with
-          | Unzip.Done -> ()
-          | Unzip.At _ -> (
-              Rp_fault.point "rp_ht.unzip.splice";
-              let next_state = Unzip.step ~dest state in
-              states.(i) <- next_state;
-              match next_state with
-              | Unzip.At _ ->
-                  Atomic.incr t.unzip_splices;
-                  live := true
-              | Unzip.Done -> ()))
-        states;
-      if !live then begin
-        (* One grace period per pass protects readers that crossed a splice
-           point before it moved. *)
-        let pass_span = Rp_trace.span_begin ~arg:new_size k_unzip in
-        t.flavour.Flavour.synchronize ();
-        Rp_trace.span_end ~arg:new_size k_unzip pass_span;
-        Atomic.incr t.unzip_passes;
-        Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_size
-          "rp_ht.unzip_pass"
-      end
-    done
-  with e ->
-    t.pending <- Some { pu_new_size = new_size; pu_states = states };
-    raise e
-
-(* Finish an unzip a crashed resizer left behind. Writer mutex held; must
-   run before any update touches the chains, which are only guaranteed
-   precise once the unzip completes. *)
-let recover_locked t =
-  match t.pending with
-  | None -> ()
-  | Some { pu_new_size; pu_states } ->
-      t.pending <- None;
-      (* The crash may have split a pass from its closing grace period;
-         re-establish it before splicing further. *)
-      (match t.flavour.Flavour.synchronize () with
-      | () -> ()
-      | exception e ->
-          t.pending <- Some { pu_new_size; pu_states };
-          raise e);
-      run_unzip t ~new_size:pu_new_size pu_states;
-      Atomic.incr t.recoveries;
-      Rp_trace.instant ~arg:pu_new_size k_recovery;
-      Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:pu_new_size
-        "rp_ht.recovery"
-
-(* Double the bucket count. Writer mutex held. *)
+(* Double the bucket count. All stripes held; no split pending. The
+   doubled array is published immediately — each new bucket points at the
+   first node of its parent chain that belongs to it, so buckets are
+   imprecise (zipped) but complete — and a split cell per parent chain is
+   parked on the table. Chains then split lazily, on first writer touch
+   under the owning stripe, or eagerly when the caller follows up with
+   {!complete_splits_locked}. Even the post-publish grace period is
+   deferred to the first splicer (ps_sync_done), so an auto-resize
+   expansion costs one array allocation, not a stop-the-world unzip. *)
 let expand_locked t =
   Rp_fault.point "rp_ht.expand.pre";
   let started = Unix.gettimeofday () in
   let expand_span = Rp_trace.span_begin k_expand in
   let old = Atomic.get t.current in
   let new_size = old.size * 2 in
-  let dest (n : _ node) =
-    Rp_hashes.Size.bucket_of_hash ~hash:n.hash ~size:new_size
-  in
-  (* Each new bucket points at the first node of its parent chain that
-     belongs to it: buckets are imprecise (zipped) but complete. *)
+  let dest = dest_for new_size in
   let buckets =
     Array.init new_size (fun j ->
         let parent = Atomic.get old.buckets.(j land (old.size - 1)) in
@@ -331,18 +495,27 @@ let expand_locked t =
         | None -> Atomic.make Null)
   in
   Rcu.publish t.current { size = new_size; buckets };
-  let states =
-    Array.init old.size (fun i -> Unzip.start (Atomic.get old.buckets.(i)))
+  let cells =
+    Array.init old.size (fun i ->
+        { cell_state = Unzip.start (Atomic.get old.buckets.(i));
+          cell_busy = false })
   in
-  (* Wait for readers still traversing via the old, smaller bucket array:
-     after this, every reader entered through the new buckets. From here
-     on the table is published, so a crash must park the unzip state. *)
-  (match t.flavour.Flavour.synchronize () with
-  | () -> ()
-  | exception e ->
-      t.pending <- Some { pu_new_size = new_size; pu_states = states };
-      raise e);
-  run_unzip t ~new_size states;
+  let remaining =
+    Array.fold_left
+      (fun n c -> if Unzip.is_done c.cell_state then n else n + 1)
+      0 cells
+  in
+  (* An empty parent chain is born Done; a table of only such chains
+     needs no splits (and no splice means no grace period either). *)
+  if remaining > 0 then
+    Atomic.set t.splitting
+      (Some
+         {
+           ps_new_size = new_size;
+           ps_cells = cells;
+           ps_remaining = Atomic.make remaining;
+           ps_sync_done = Atomic.make false;
+         });
   Atomic.incr t.expands;
   Rp_obs.Trace.emit Rp_obs.Trace.default ~arg:new_size "rp_ht.expand";
   Rp_trace.span_end ~arg:new_size k_expand expand_span;
@@ -353,45 +526,71 @@ let normalize_size t n =
   let n = Rp_hashes.Size.next_power_of_two (max 1 n) in
   min t.max_size (max t.min_size n)
 
+(* Explicit resize is eager, like the paper's: each doubling completes
+   its unzip before the next. All stripes held. *)
 let resize_locked t target =
   let target = normalize_size t target in
+  complete_splits_locked t;
   while (Atomic.get t.current).size < target do
-    expand_locked t
+    expand_locked t;
+    complete_splits_locked t
   done;
   while (Atomic.get t.current).size > target do
     shrink_locked t
   done
 
-(* Every writer entry point recovers any interrupted unzip first: updates
-   below assume precise chains, which only a completed unzip guarantees. *)
-let with_writer t f =
-  Mutex.lock t.writer;
-  match
-    recover_locked t;
-    f ()
-  with
-  | v ->
-      Mutex.unlock t.writer;
-      v
-  | exception e ->
-      Mutex.unlock t.writer;
-      raise e
+let resize t target = with_all_stripes t (fun () -> resize_locked t target)
+let complete_splits t = with_all_stripes t (fun () -> complete_splits_locked t)
 
-let resize t target = with_writer t (fun () -> resize_locked t target)
-
+(* Auto-resize runs after the mutation's stripe is released: the check is
+   lock-free, and only a tripped threshold escalates to the all-stripes
+   protocol, where it is re-checked — another writer may have resized in
+   the window. One-shot by design; a burst that overshoots again is
+   caught by the next mutation. *)
 let maybe_auto_resize t =
   if t.auto_resize then begin
     let table = Atomic.get t.current in
     let n = Atomic.get t.count in
-    if n * 4 > table.size * 3 && table.size < t.max_size then expand_locked t
-    else if n * 8 < table.size && table.size > t.min_size then shrink_locked t
+    let grow = n * 4 > table.size * 3 && table.size < t.max_size in
+    let shrink = n * 8 < table.size && table.size > t.min_size in
+    if grow || shrink then
+      with_all_stripes t (fun () ->
+          let table = Atomic.get t.current in
+          let n = Atomic.get t.count in
+          if n * 4 > table.size * 3 && table.size < t.max_size then begin
+            (* One pending generation at a time: finish leftovers of the
+               previous doubling before publishing the next. *)
+            complete_splits_locked t;
+            expand_locked t
+          end
+          else if n * 8 < table.size && table.size > t.min_size then begin
+            complete_splits_locked t;
+            shrink_locked t
+          end)
   end
 
 (* --- updates --- *)
 
-let insert_locked t k v =
+(* Every mutation: lock the key's stripe, lazily split the key's bucket if
+   an expansion left it zipped (updates below assume precise chains),
+   mutate, release, then check the auto-resize thresholds. *)
+let with_stripe_hashed t ~hash f =
+  let m = t.stripes.(stripe_of_hash t hash) in
+  lock_stripe t m;
+  match
+    ensure_bucket_split t ~hash;
+    f ()
+  with
+  | v ->
+      Mutex.unlock m;
+      maybe_auto_resize t;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      raise e
+
+let insert_locked t ~hash k v =
   let span = Rp_trace.span_begin_sampled k_insert in
-  let hash = t.hash k in
   let table = Atomic.get t.current in
   let link = bucket_link table hash in
   let node = make_node ~hash ~key:k ~value:v ~next:(Atomic.get link) () in
@@ -401,25 +600,20 @@ let insert_locked t k v =
   Rp_trace.span_end_sampled k_insert span
 
 let insert t k v =
-  with_writer t (fun () ->
-      insert_locked t k v;
-      maybe_auto_resize t)
+  let hash = t.hash k in
+  with_stripe_hashed t ~hash (fun () -> insert_locked t ~hash k v)
 
 let replace t k v =
-  with_writer t (fun () ->
-      let hash = t.hash k in
+  let hash = t.hash k in
+  with_stripe_hashed t ~hash (fun () ->
       let table = Atomic.get t.current in
       match find_node t ~hash k table with
       | Some n -> Atomic.set n.value v
-      | None ->
-          insert_locked t k v;
-          maybe_auto_resize t)
+      | None -> insert_locked t ~hash k v)
 
-(* Unlink the newest binding of [k]; return the node. Writer mutex held.
-   The chain may be imprecise mid-resize, but resize holds the same mutex,
-   so here every chain is precise. *)
-let unlink_locked t k =
-  let hash = t.hash k in
+(* Unlink the newest binding of [k]; return the node. Stripe of [hash]
+   held, bucket already split — so the chain walked here is precise. *)
+let unlink_locked t ~hash k =
   let table = Atomic.get t.current in
   let rec loop prev_link =
     match Atomic.get prev_link with
@@ -436,12 +630,8 @@ let unlink_locked t k =
   loop (bucket_link table hash)
 
 let remove_with ~reclaim t k =
-  let unlinked =
-    with_writer t (fun () ->
-        let u = unlink_locked t k in
-        if Option.is_some u then maybe_auto_resize t;
-        u)
-  in
+  let hash = t.hash k in
+  let unlinked = with_stripe_hashed t ~hash (fun () -> unlink_locked t ~hash k) in
   match unlinked with
   | None -> false
   | Some n ->
@@ -458,20 +648,46 @@ let remove_sync t k =
       Atomic.set n.reclaimed true)
 
 let move t ~from_key ~to_key f =
-  let moved =
-    with_writer t (fun () ->
-        let hash = t.hash from_key in
-        let table = Atomic.get t.current in
-        match find_node t ~hash from_key table with
-        | None -> None
-        | Some n ->
-            (* Publish the destination binding first, then unlink the
-               source: no reader can observe both keys absent. *)
-            insert_locked t to_key (f (Atomic.get n.value));
-            let u = unlink_locked t from_key in
-            maybe_auto_resize t;
-            u)
+  let h_from = t.hash from_key in
+  let h_to = t.hash to_key in
+  let lo = min (stripe_of_hash t h_from) (stripe_of_hash t h_to) in
+  let hi = max (stripe_of_hash t h_from) (stripe_of_hash t h_to) in
+  let m_lo = t.stripes.(lo) in
+  lock_stripe t m_lo;
+  let m_hi =
+    if hi = lo then None
+    else
+      match lock_stripe t t.stripes.(hi) with
+      | () -> Some t.stripes.(hi)
+      | exception e ->
+          Mutex.unlock m_lo;
+          raise e
   in
+  let unlock_both () =
+    (match m_hi with Some m -> Mutex.unlock m | None -> ());
+    Mutex.unlock m_lo
+  in
+  let moved =
+    match
+      ensure_bucket_split t ~hash:h_from;
+      ensure_bucket_split t ~hash:h_to;
+      let table = Atomic.get t.current in
+      match find_node t ~hash:h_from from_key table with
+      | None -> None
+      | Some n ->
+          (* Publish the destination binding first, then unlink the
+             source: no reader can observe both keys absent. *)
+          insert_locked t ~hash:h_to to_key (f (Atomic.get n.value));
+          unlink_locked t ~hash:h_from from_key
+    with
+    | v ->
+        unlock_both ();
+        v
+    | exception e ->
+        unlock_both ();
+        raise e
+  in
+  maybe_auto_resize t;
   match moved with
   | None -> false
   | Some n ->
@@ -496,13 +712,15 @@ let resize_stats t =
     unzip_passes = Atomic.get t.unzip_passes;
     unzip_splices = Atomic.get t.unzip_splices;
     recoveries = Atomic.get t.recoveries;
+    lazy_splits = Atomic.get t.lazy_splits;
   }
 
-let recovery_pending t =
-  Mutex.lock t.writer;
-  let p = Option.is_some t.pending in
-  Mutex.unlock t.writer;
-  p
+let pending_splits t =
+  match Atomic.get t.splitting with
+  | None -> 0
+  | Some ps -> Atomic.get ps.ps_remaining
+
+let recovery_pending t = pending_splits t > 0
 
 (* --- observability --- *)
 
@@ -515,6 +733,15 @@ let observe ?(prefix = "rp_ht") t reg =
     (name "inserts_total") t.obs_inserts;
   Rp_obs.Registry.register_counter reg ~help:"node unlinks"
     (name "deletes_total") t.obs_deletes;
+  Rp_obs.Registry.register_counter reg
+    ~help:"writer stripe lock acquisitions"
+    (name "stripe_acquisitions_total") t.obs_stripe_acq;
+  Rp_obs.Registry.register_counter reg
+    ~help:"stripe acquisitions that missed try_lock (contended)"
+    (name "stripe_contended_total") t.obs_stripe_contended;
+  Rp_obs.Registry.fn_counter reg
+    ~help:"buckets split lazily by the first touching writer"
+    (name "lazy_splits_total") (fn t.lazy_splits);
   Rp_obs.Registry.fn_counter reg ~help:"table expansions"
     (name "expands_total") (fn t.expands);
   Rp_obs.Registry.fn_counter reg ~help:"table shrinks" (name "shrinks_total")
@@ -526,6 +753,10 @@ let observe ?(prefix = "rp_ht") t reg =
   Rp_obs.Registry.fn_counter reg
     ~help:"interrupted unzips completed by a later writer"
     (name "recoveries_total") (fn t.recoveries);
+  Rp_obs.Registry.gauge reg ~help:"writer lock stripes" (name "stripes")
+    (fun () -> float_of_int (Array.length t.stripes));
+  Rp_obs.Registry.gauge reg ~help:"buckets still awaiting their lazy split"
+    (name "pending_splits") (fun () -> float_of_int (pending_splits t));
   Rp_obs.Registry.gauge reg ~help:"current bucket count" (name "buckets")
     (fun () -> float_of_int (Atomic.get t.current).size);
   Rp_obs.Registry.gauge reg ~help:"current item count" (name "items")
@@ -540,34 +771,48 @@ let bucket_lengths t =
   let table = Atomic.get t.current in
   Array.map (fun link -> length_link (Atomic.get link)) table.buckets
 
+(* Quiescent whole-table check. Takes every stripe (so no writer is
+   mid-mutation) and completes any pending lazy splits first — a
+   half-split table is legitimately imprecise, and completing it is
+   content-neutral — then demands full precision. *)
 let validate t =
-  let table = Atomic.get t.current in
-  let expected = Atomic.get t.count in
-  let limit = expected + 1 in
-  let total = ref 0 in
-  let error = ref None in
-  let set_error msg = if !error = None then error := Some msg in
-  Array.iteri
-    (fun b link ->
-      let steps = ref 0 in
-      let rec walk = function
-        | Null -> ()
-        | Node n ->
-            incr steps;
-            if !steps > limit then set_error (Printf.sprintf "bucket %d: cycle or over-long chain" b)
-            else begin
-              incr total;
-              let home = Rp_hashes.Size.bucket_of_hash ~hash:n.hash ~size:table.size in
-              if home <> b then
-                set_error
-                  (Printf.sprintf "bucket %d: imprecise node (home bucket %d)" b home);
-              if Atomic.get n.reclaimed then
-                set_error (Printf.sprintf "bucket %d: reachable reclaimed node" b);
-              walk (Atomic.get n.next)
-            end
-      in
-      walk (Atomic.get link))
-    table.buckets;
-  if !total <> expected && !error = None then
-    set_error (Printf.sprintf "length mismatch: counted %d, recorded %d" !total expected);
-  match !error with None -> Ok () | Some msg -> Error msg
+  with_all_stripes t (fun () ->
+      complete_splits_locked t;
+      let table = Atomic.get t.current in
+      let expected = Atomic.get t.count in
+      let limit = expected + 1 in
+      let total = ref 0 in
+      let error = ref None in
+      let set_error msg = if !error = None then error := Some msg in
+      Array.iteri
+        (fun b link ->
+          let steps = ref 0 in
+          let rec walk = function
+            | Null -> ()
+            | Node n ->
+                incr steps;
+                if !steps > limit then
+                  set_error
+                    (Printf.sprintf "bucket %d: cycle or over-long chain" b)
+                else begin
+                  incr total;
+                  let home =
+                    Rp_hashes.Size.bucket_of_hash ~hash:n.hash ~size:table.size
+                  in
+                  if home <> b then
+                    set_error
+                      (Printf.sprintf "bucket %d: imprecise node (home bucket %d)"
+                         b home);
+                  if Atomic.get n.reclaimed then
+                    set_error
+                      (Printf.sprintf "bucket %d: reachable reclaimed node" b);
+                  walk (Atomic.get n.next)
+                end
+          in
+          walk (Atomic.get link))
+        table.buckets;
+      if !total <> expected && !error = None then
+        set_error
+          (Printf.sprintf "length mismatch: counted %d, recorded %d" !total
+             expected);
+      match !error with None -> Ok () | Some msg -> Error msg)

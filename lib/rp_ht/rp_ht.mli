@@ -5,8 +5,11 @@
     they run inside an RCU read-side critical section, dereference the
     current bucket array through a single published pointer, and walk the
     chain with atomic loads only — no stores to shared memory, no locks, no
-    retries. Updates (insert / remove / move / resize) serialize on a
-    per-table mutex and order their effects with publication and
+    retries. Updates (insert / remove / move) serialize on a {e striped}
+    writer lock — a power-of-two array of mutexes indexed by key hash — so
+    independent keys mutate concurrently; cross-stripe operations (resize,
+    auto-resize, {!complete_splits}, {!validate}) take every stripe in
+    ascending order. All writers order their effects with publication and
     wait-for-readers.
 
     Consistency guarantee (the paper's definition): a reader traversing the
@@ -18,10 +21,17 @@
     Resizing (bucket counts are powers of two):
     - {b shrink} to half: link each pair of sibling chains end-to-end,
       publish the half-size bucket array, wait for readers once, reclaim;
-    - {b expand} to double (the "unzip"): publish a double-size bucket array
-      whose buckets point into the old chains, wait for readers, then
-      repeatedly splice interleaved runs apart — one splice per chain per
-      pass, one wait-for-readers per pass — until every chain is precise.
+    - {b expand} to double: publish a double-size bucket array whose buckets
+      point into the old chains (imprecise but complete), then unzip each
+      chain — repeatedly splice interleaved runs apart with a
+      wait-for-readers between splices of the same chain — until it is
+      precise. An {e explicit} {!resize} unzips every chain eagerly, one
+      splice per chain per pass and one grace period per pass, exactly the
+      paper's cost structure. An {e auto-resize} expansion instead parks a
+      split cell per parent chain and returns immediately: each bucket is
+      rehashed lazily by the first writer that touches it (under that
+      writer's stripe lock), so a resize never stops writers on unrelated
+      stripes and its cost is amortized across subsequent writes.
 
     Larger factors are performed as repeated doublings/halvings. *)
 
@@ -30,10 +40,12 @@ type ('k, 'v) t
 type resize_stats = {
   expands : int;  (** completed expansions (each a single doubling) *)
   shrinks : int;  (** completed shrinks (each a single halving) *)
-  unzip_passes : int;  (** total unzip passes across all expansions *)
+  unzip_passes : int;  (** grace-period-closed splice rounds, all chains *)
   unzip_splices : int;  (** total splice steps across all expansions *)
   recoveries : int;
-      (** interrupted unzips completed on behalf of a crashed resizer *)
+      (** interrupted splits completed on behalf of a crashed writer *)
+  lazy_splits : int;
+      (** buckets rehashed lazily by the first writer to touch them *)
 }
 
 val create :
@@ -43,6 +55,7 @@ val create :
   ?min_size:int ->
   ?max_size:int ->
   ?auto_resize:bool ->
+  ?stripes:int ->
   hash:('k -> int) ->
   equal:('k -> 'k -> bool) ->
   unit ->
@@ -61,7 +74,12 @@ val create :
     - [min_size] / [max_size]: clamp for resizing, rounded to powers of two
       (defaults 4 and 2^22);
     - [auto_resize]: when [true] (default), updates grow the table beyond
-      load factor 0.75 and shrink it below 0.125. *)
+      load factor 0.75 and shrink it below 0.125;
+    - [stripes]: writer-lock stripe count, rounded up to a power of two.
+      Defaults to [min 8 min_size]. An explicit value raises [min_size] to
+      at least the stripe count: the bucket-to-stripe mapping
+      [stripe = hash land (stripes - 1)] must stay stable across resizes,
+      which requires [stripes <= size] at every size. *)
 
 val rcu : ('k, 'v) t -> Rcu.t
 (** The memb-RCU instance of a default-flavoured table. Raises
@@ -69,6 +87,9 @@ val rcu : ('k, 'v) t -> Rcu.t
 
 val flavour : ('k, 'v) t -> Flavour.t
 (** The flavour running this table's read sections and grace periods. *)
+
+val stripe_count : ('k, 'v) t -> int
+(** Number of writer-lock stripes (a power of two, fixed at creation). *)
 
 (** {1 Wait-free read side} *)
 
@@ -104,9 +125,16 @@ val iter_batched : ?batch:int -> ('k, 'v) t -> f:('k -> 'v -> unit) -> int
     may not be seen. A concurrent {e shrink} can move unvisited keys below
     the cursor, so the walk watches the bucket-array size it dereferences
     and restarts from bucket 0 whenever the size drops below a previously
-    observed size. Returns the number of such restarts. *)
+    observed size. Returns the number of such restarts. A half-split table
+    (lazy rehash in progress) needs no special handling: pending splits
+    only leave buckets imprecise, and the walk already filters nodes by
+    their home bucket. *)
 
-(** {1 Updates} *)
+(** {1 Updates}
+
+    Updates on different stripes proceed concurrently; two updates whose
+    key hashes share a stripe serialize on that stripe's mutex. Updates
+    must not be called from inside a read-side critical section. *)
 
 val insert : ('k, 'v) t -> 'k -> 'v -> unit
 (** Publish a new binding. If the key is already bound the new binding
@@ -127,14 +155,23 @@ val move : ('k, 'v) t -> from_key:'k -> to_key:'k -> ('v -> 'v) -> bool
 (** Atomic cross-bucket move (the previous-work primitive): rebind
     [from_key]'s value (transformed by the function) under [to_key] such
     that no concurrent reader observes a state where {e neither} key is
-    bound. [true] if [from_key] was bound. *)
+    bound. Takes both keys' stripes in ascending order. [true] if
+    [from_key] was bound. *)
 
 (** {1 Resizing} *)
 
 val resize : ('k, 'v) t -> int -> unit
-(** Resize to the given bucket count (rounded to a power of two, clamped to
-    [min_size]/[max_size]). Concurrent lookups proceed untouched; concurrent
-    updates wait on the writer lock. *)
+(** Eager resize to the given bucket count (rounded to a power of two,
+    clamped to [min_size]/[max_size]): completes any pending lazy splits,
+    then unzips every doubling to precision before returning. Concurrent
+    lookups proceed untouched; concurrent updates wait (all stripes are
+    held). *)
+
+val complete_splits : ('k, 'v) t -> unit
+(** Finish every bucket split a lazy expansion (or a crashed writer) left
+    pending, eagerly, under all stripes. After this returns with no other
+    writer active, every chain is precise and {!recovery_pending} is
+    [false]. Content-neutral: no binding is added, removed, or changed. *)
 
 val size : ('k, 'v) t -> int
 (** Current bucket count. *)
@@ -148,17 +185,25 @@ val set_auto_resize : ('k, 'v) t -> bool -> unit
 
 (** {1 Crash recovery}
 
-    Resizes carry failpoints (["rp_ht.expand.pre"], ["rp_ht.shrink.pre"],
-    ["rp_ht.unzip.splice"] — see {!Rp_fault}) so fault-injection tests can
-    kill a resizer mid-unzip. A killed resizer releases the writer mutex
-    with the table {e imprecise but complete}: readers still find every
-    binding (the paper's guarantee holds throughout), and the interrupted
-    unzip is parked on the table. The next write operation — insert,
-    remove, replace, move, or resize — first completes the parked unzip
-    (counted in [resize_stats.recoveries]) before touching any chain. *)
+    Writers carry failpoints (["rp_ht.stripe.lock"], ["rp_ht.split.lazy"],
+    ["rp_ht.expand.pre"], ["rp_ht.shrink.pre"], ["rp_ht.unzip.splice"] —
+    see {!Rp_fault}) so fault-injection tests can kill a writer mid-split
+    or a resizer mid-unzip. A killed splicer releases its stripe with the
+    table {e imprecise but complete}: readers still find every binding
+    (the paper's guarantee holds throughout), and the interrupted cell —
+    plus any chains not yet split — stays parked on the table. The next
+    writer to touch an affected bucket re-establishes the torn grace
+    period and finishes that bucket's split (counted in
+    [resize_stats.recoveries]) before mutating; {!complete_splits},
+    {!resize}, and {!validate} finish all of them at once. *)
 
 val recovery_pending : ('k, 'v) t -> bool
-(** [true] while an interrupted unzip is parked awaiting the next writer. *)
+(** [true] while any bucket split is still pending — whether parked by a
+    crashed writer or simply not yet demanded by the lazy rehash. *)
+
+val pending_splits : ('k, 'v) t -> int
+(** Number of buckets still awaiting their split (0 when no expansion is
+    in progress). *)
 
 (** {1 Introspection (tests, benchmarks)} *)
 
@@ -168,9 +213,11 @@ val bucket_lengths : ('k, 'v) t -> int array
 (** Chain length per bucket (snapshot). *)
 
 val validate : ('k, 'v) t -> (unit, string) result
-(** Whole-table invariant check (quiescent use only): every reachable node
-    sits in the bucket its hash selects (precision), no reachable node is
-    marked reclaimed, and the O(1) length matches a full count. *)
+(** Whole-table invariant check: takes every stripe (so no writer is
+    mid-mutation), completes pending lazy splits — content-neutral — and
+    then checks that every reachable node sits in the bucket its hash
+    selects (precision), that no reachable node is marked reclaimed, and
+    that the O(1) length matches a full count. *)
 
 val to_list : ('k, 'v) t -> ('k * 'v) list
 (** Snapshot of all bindings (unspecified order). *)
@@ -180,19 +227,22 @@ val to_list : ('k, 'v) t -> ('k * 'v) list
     Every table counts lookups, inserts, and deletes with striped
     {!Rp_obs.Counter}s — the lookup count rides the wait-free read path
     as a single unsynchronized store, never a shared atomic RMW — and
-    records expand/shrink durations into a striped histogram. Resize
-    milestones (["rp_ht.expand"], ["rp_ht.shrink"], ["rp_ht.unzip_pass"],
-    ["rp_ht.recovery"], each with the new bucket count as argument) go to
-    {!Rp_obs.Trace.default}. *)
+    records expand/shrink durations into a striped histogram. Stripe-lock
+    traffic is counted the same way (acquisitions, contended
+    acquisitions, lazy splits). Resize milestones (["rp_ht.expand"],
+    ["rp_ht.shrink"], ["rp_ht.unzip_pass"], ["rp_ht.recovery"], each with
+    the new bucket count as argument) go to {!Rp_obs.Trace.default}. *)
 
 val observe : ?prefix:string -> ('k, 'v) t -> Rp_obs.Registry.t -> unit
 (** Register this table's instruments under [prefix] (default ["rp_ht"]):
     [<prefix>_lookups_total], [<prefix>_inserts_total],
-    [<prefix>_deletes_total], [<prefix>_expands_total],
-    [<prefix>_shrinks_total], [<prefix>_unzip_passes_total],
-    [<prefix>_unzip_splices_total], [<prefix>_recoveries_total],
-    [<prefix>_buckets], [<prefix>_items], and the [<prefix>_resize_ns]
-    histogram. *)
+    [<prefix>_deletes_total], [<prefix>_stripe_acquisitions_total],
+    [<prefix>_stripe_contended_total], [<prefix>_lazy_splits_total],
+    [<prefix>_expands_total], [<prefix>_shrinks_total],
+    [<prefix>_unzip_passes_total], [<prefix>_unzip_splices_total],
+    [<prefix>_recoveries_total], [<prefix>_stripes],
+    [<prefix>_pending_splits], [<prefix>_buckets], [<prefix>_items], and
+    the [<prefix>_resize_ns] histogram. *)
 
 val lookups : ('k, 'v) t -> int
 (** Lifetime {!find} count (striped sum; see {!Rp_obs.Counter.read}). *)

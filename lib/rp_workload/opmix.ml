@@ -1,18 +1,24 @@
 type op = Lookup | Insert | Remove
 
-type t = { update_ratio : float; prng : Prng.t }
+type t = { update_ratio : float; remove_share : float; prng : Prng.t }
 
-let create ?(update_ratio = 0.0) ~seed ~worker () =
+let create ?(update_ratio = 0.0) ?(remove_share = 0.5) ~seed ~worker () =
   if update_ratio < 0.0 || update_ratio > 1.0 then
     invalid_arg "Opmix.create: update_ratio outside [0, 1]";
-  { update_ratio; prng = Prng.split (Prng.create ~seed) (worker + 7919) }
+  if remove_share < 0.0 || remove_share > 1.0 then
+    invalid_arg "Opmix.create: remove_share outside [0, 1]";
+  {
+    update_ratio;
+    remove_share;
+    prng = Prng.split (Prng.create ~seed) (worker + 7919);
+  }
 
 let next t =
   if t.update_ratio = 0.0 then Lookup
   else
     let u = Prng.float t.prng in
     if u >= t.update_ratio then Lookup
-    else if u < t.update_ratio /. 2.0 then Insert
+    else if u < t.update_ratio *. (1.0 -. t.remove_share) then Insert
     else Remove
 
 let lookup_only t = t.update_ratio = 0.0

@@ -2,15 +2,20 @@
 
     The paper's microbenchmarks are lookup-only with a dedicated resizer;
     the memcached benchmark runs pure-GET and pure-SET phases. Mixed ratios
-    support the ablation benches. *)
+    support the ablation benches and the writer-scaling lane (a 50/50
+    GET/SET mix is [~update_ratio:0.5 ~remove_share:0.0]). *)
 
 type op = Lookup | Insert | Remove
 
 type t
 
-val create : ?update_ratio:float -> seed:int -> worker:int -> unit -> t
-(** [update_ratio] in [\[0, 1\]] is the fraction of non-lookup operations,
-    split evenly between inserts and removes (default 0). *)
+val create :
+  ?update_ratio:float -> ?remove_share:float -> seed:int -> worker:int ->
+  unit -> t
+(** [update_ratio] in [\[0, 1\]] is the fraction of non-lookup operations
+    (default 0); [remove_share] in [\[0, 1\]] is the fraction of those
+    updates that are removes (default 0.5 — evenly split with inserts;
+    0 makes every update an insert/SET). *)
 
 val next : t -> op
 

@@ -34,6 +34,8 @@ let scenario_names =
   [
     "steady";
     "crash_resizer";
+    "lazy_split_crash";
+    "mixed_rw";
     "stalled_reader";
     "torn_io";
     "crash_recovery";
@@ -348,9 +350,11 @@ let run_crash_resizer config =
     Rp_fault.fires splice_site
     + if config.fault_injection then perturbation_fires () else 0
   in
-  (* A plain writer op must complete any unzip still parked by the last
-     crash; afterwards the quiescent table must validate precisely. *)
+  (* A plain writer op must complete its own bucket's parked split; the
+     remaining cells are finished explicitly — only then is the quiescent
+     table required to validate precisely with nothing pending. *)
   Rp_ht.replace t 0 (resident_value 0);
+  Rp_ht.complete_splits t;
   let wrong_total =
     Atomic.get wrong
     + (if Rp_ht.recovery_pending t then 1 else 0)
@@ -370,6 +374,285 @@ let run_crash_resizer config =
     writer_ops;
     resize_flips = Atomic.get flips;
     faults_injected = faults;
+    stalls_detected = 0;
+    recoveries = metric_int reg "rp_ht_recoveries_total";
+    elapsed = outcome.elapsed;
+    metrics = Rp_obs.Registry.to_stats reg;
+  }
+
+(* --- lazy_split_crash scenario: kill writers mid-lazy-split ---
+
+   Auto-resize expansions park a split cell per bucket; the first writer
+   to touch a bucket performs its split under its own stripe. Here both
+   the ["rp_ht.split.lazy"] entry point and the splice inside the split
+   are armed to raise, "crashing" writers just before and in the middle
+   of their lazy splits, while a flipper keeps shrinking the table back
+   down so auto-resize keeps re-expanding and parking fresh cells. The
+   next writer to touch an affected bucket must finish the dead writer's
+   split (counted in recoveries); residents must stay exact throughout,
+   and after an explicit completion pass the table must validate with
+   nothing pending. *)
+
+let lazy_site = "rp_ht.split.lazy"
+
+let run_lazy_split_crash config =
+  let t =
+    Rp_ht.create ~initial_size:config.small_size ~min_size:config.small_size
+      ~auto_resize:true ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
+  in
+  let reg = Rp_obs.Registry.create () in
+  Rp_ht.observe t reg;
+  Rcu.observe (Rp_ht.rcu t) reg;
+  (* Seeding drives the first lazy expansions itself — before the kill
+     sites go live. *)
+  for k = 0 to config.resident_keys - 1 do
+    Rp_ht.replace t k (resident_value k)
+  done;
+  let missing = Atomic.make 0 in
+  let wrong = Atomic.make 0 in
+  let flips = Atomic.make 0 in
+  let churn_base = config.resident_keys in
+  if config.fault_injection then arm_perturbations config.seed;
+  Rp_fault.arm ~seed:config.seed lazy_site
+    ~trigger:(Rp_fault.Probability 0.05) ~action:Rp_fault.Raise;
+  Rp_fault.arm ~seed:(config.seed + 1) splice_site
+    ~trigger:(Rp_fault.Probability 0.02) ~action:Rp_fault.Raise;
+
+  let reader index ~stop =
+    let prng = Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:config.seed) index in
+    let checks = ref 0 in
+    while not (Atomic.get stop) do
+      let resident = Rp_workload.Prng.below prng 4 > 0 in
+      if resident then begin
+        let k = Rp_workload.Prng.below prng config.resident_keys in
+        match Rp_ht.find t k with
+        | Some v when v = resident_value k -> ()
+        | Some _ -> Atomic.incr wrong
+        | None -> Atomic.incr missing
+      end
+      else if config.churn_keys > 0 then begin
+        let k = churn_base + Rp_workload.Prng.below prng config.churn_keys in
+        match Rp_ht.find t k with
+        | Some v when v = churn_value k -> ()
+        | Some _ -> Atomic.incr wrong
+        | None -> ()
+      end;
+      incr checks
+    done;
+    !checks
+  in
+
+  let writer index ~stop =
+    let prng =
+      Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:(config.seed + 7)) index
+    in
+    let ops = ref 0 in
+    while (not (Atomic.get stop)) && config.churn_keys > 0 do
+      let k = churn_base + Rp_workload.Prng.below prng config.churn_keys in
+      (* Either kill site unwinds out of the op with the split parked
+         (imprecise but complete); a later op on the bucket recovers. *)
+      (try
+         if Rp_workload.Prng.bool prng then Rp_ht.replace t k (churn_value k)
+         else ignore (Rp_ht.remove t k)
+       with Rp_fault.Injected _ -> ());
+      incr ops
+    done;
+    !ops
+  in
+
+  (* Shrinking back down keeps auto-resize re-expanding — so lazy splits
+     keep getting parked for writers to crash on all run long. The eager
+     completion inside the explicit resize walks the splice site too. *)
+  let flipper ~stop =
+    while not (Atomic.get stop) do
+      (try
+         Rp_ht.resize t config.small_size;
+         Atomic.incr flips
+       with Rp_fault.Injected _ -> ());
+      Unix.sleepf 0.002
+    done;
+    0
+  in
+
+  let workers =
+    Array.concat
+      [
+        Array.init config.readers (fun i ~stop -> reader i ~stop);
+        Array.init (max 2 config.writers) (fun i ~stop -> writer i ~stop);
+        [| (fun ~stop -> flipper ~stop) |];
+      ]
+  in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        Rp_fault.disarm lazy_site;
+        Rp_fault.disarm splice_site;
+        if config.fault_injection then disarm_perturbations ())
+      (fun () -> Rp_harness.Runner.run ~duration:config.duration ~workers ())
+  in
+  let faults =
+    Rp_fault.fires lazy_site + Rp_fault.fires splice_site
+    + if config.fault_injection then perturbation_fires () else 0
+  in
+  (* Settle every parked split, then demand a precise, recovery-free
+     table — and that the lazy path actually ran (a zero lazy-split count
+     would mean the scenario tortured nothing). *)
+  Rp_ht.complete_splits t;
+  let wrong_total =
+    Atomic.get wrong
+    + (if Rp_ht.recovery_pending t then 1 else 0)
+    + (match Rp_ht.validate t with Ok () -> 0 | Error _ -> 1)
+    + (if metric_int reg "rp_ht_lazy_splits_total" = 0 then 1 else 0)
+  in
+  let reader_checks =
+    Array.fold_left ( + ) 0 (Array.sub outcome.per_worker_ops 0 config.readers)
+  in
+  let writer_ops =
+    Array.fold_left ( + ) 0
+      (Array.sub outcome.per_worker_ops config.readers (max 2 config.writers))
+  in
+  {
+    reader_checks;
+    missing_resident = Atomic.get missing;
+    wrong_value = wrong_total;
+    writer_ops;
+    resize_flips = Atomic.get flips;
+    faults_injected = faults;
+    stalls_detected = 0;
+    recoveries = metric_int reg "rp_ht_recoveries_total";
+    elapsed = outcome.elapsed;
+    metrics = Rp_obs.Registry.to_stats reg;
+  }
+
+(* --- mixed_rw scenario: 50/50 GET/SET against the striped store ---
+
+   The multi-writer proof at the store layer: N mixed workers each own a
+   disjoint key range and run a 50/50 GET/SET [Opmix] against one Rp
+   store, so independent stripes mutate concurrently while every GET in
+   a worker's own range is checked against that worker's model — exact
+   truth, since nothing else writes the range, the byte budget rules out
+   eviction, and nothing expires. Cross-range readers verify that any
+   value they see carries its owner's "i:j:" stamp (a foreign or torn
+   value is detectable from the payload alone). The run ends with a full
+   model-equality sweep plus an item-count resurrection check. *)
+
+let run_mixed_rw config =
+  let store =
+    Memcached.Store.create ~backend:Memcached.Store.Rp
+      ~max_bytes:(256 * 1024 * 1024) ()
+  in
+  let writers_n = max 4 config.writers in
+  let range = max 1 config.churn_keys in
+  let key_name i j = Printf.sprintf "mk%d:%d" i j in
+  let models = Array.init writers_n (fun _ -> Hashtbl.create 64) in
+  let missing = Atomic.make 0 in
+  let wrong = Atomic.make 0 in
+  if config.fault_injection then arm_perturbations config.seed;
+
+  let mixed index ~stop =
+    let model = models.(index) in
+    let mix =
+      Rp_workload.Opmix.create ~update_ratio:0.5 ~remove_share:0.0
+        ~seed:config.seed ~worker:index ()
+    in
+    let prng =
+      Rp_workload.Prng.split
+        (Rp_workload.Prng.create ~seed:(config.seed + 7))
+        index
+    in
+    let ops = ref 0 in
+    while not (Atomic.get stop) do
+      let j = Rp_workload.Prng.below prng range in
+      let key = key_name index j in
+      (match Rp_workload.Opmix.next mix with
+      | Rp_workload.Opmix.Lookup -> (
+          match (Memcached.Store.get store key, Hashtbl.find_opt model j) with
+          | Some v, Some data when v.Memcached.Protocol.vdata = data -> ()
+          | None, None -> ()
+          | Some _, (Some _ | None) -> Atomic.incr wrong
+          | None, Some _ -> Atomic.incr missing)
+      | Rp_workload.Opmix.Insert | Rp_workload.Opmix.Remove -> (
+          let data = Printf.sprintf "%d:%d:%d" index j !ops in
+          match Memcached.Store.set store ~key ~flags:0 ~exptime:0 ~data with
+          | Memcached.Store.Stored -> Hashtbl.replace model j data
+          | _ -> Atomic.incr wrong));
+      incr ops
+    done;
+    !ops
+  in
+
+  (* Cross-range readers can't know presence, but every value they do see
+     must carry its owner's stamp. *)
+  let reader index ~stop =
+    let prng =
+      Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:config.seed) index
+    in
+    let checks = ref 0 in
+    while not (Atomic.get stop) do
+      let i = Rp_workload.Prng.below prng writers_n in
+      let j = Rp_workload.Prng.below prng range in
+      (match Memcached.Store.get store (key_name i j) with
+      | None -> ()
+      | Some v ->
+          let stamp = Printf.sprintf "%d:%d:" i j in
+          if not (String.starts_with ~prefix:stamp v.Memcached.Protocol.vdata)
+          then Atomic.incr wrong);
+      incr checks
+    done;
+    !checks
+  in
+
+  let workers =
+    Array.concat
+      [
+        Array.init config.readers (fun i ~stop -> reader i ~stop);
+        Array.init writers_n (fun i ~stop -> mixed i ~stop);
+      ]
+  in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> if config.fault_injection then disarm_perturbations ())
+      (fun () -> Rp_harness.Runner.run ~duration:config.duration ~workers ())
+  in
+  (* Final sweep: the store must equal the union of the models exactly —
+     every acked SET visible, nothing lost, nothing invented. *)
+  let checked = ref 0 and expected = ref 0 in
+  Array.iteri
+    (fun i model ->
+      expected := !expected + Hashtbl.length model;
+      Hashtbl.iter
+        (fun j data ->
+          incr checked;
+          match Memcached.Store.get store (key_name i j) with
+          | Some v when v.Memcached.Protocol.vdata = data -> ()
+          | Some _ -> Atomic.incr wrong
+          | None -> Atomic.incr missing)
+        model)
+    models;
+  let extra = Memcached.Store.items store - !expected in
+  if extra > 0 then Atomic.set wrong (Atomic.get wrong + extra);
+  let structural =
+    (* The point of the scenario is concurrent writers: striping must
+       actually be on. *)
+    if Memcached.Store.write_stripes store < 2 then 1 else 0
+  in
+  let reg = Memcached.Store.registry store in
+  let reader_checks =
+    !checked
+    + Array.fold_left ( + ) 0 (Array.sub outcome.per_worker_ops 0 config.readers)
+  in
+  let writer_ops =
+    Array.fold_left ( + ) 0
+      (Array.sub outcome.per_worker_ops config.readers writers_n)
+  in
+  {
+    reader_checks;
+    missing_resident = Atomic.get missing;
+    wrong_value = Atomic.get wrong + structural;
+    writer_ops;
+    resize_flips = metric_int reg "rp_ht_lazy_splits_total";
+    faults_injected =
+      (if config.fault_injection then perturbation_fires () else 0);
     stalls_detected = 0;
     recoveries = metric_int reg "rp_ht_recoveries_total";
     elapsed = outcome.elapsed;
@@ -1635,6 +1918,8 @@ let run config =
   match config.scenario with
   | "steady" -> run_steady config
   | "crash_resizer" -> run_crash_resizer config
+  | "lazy_split_crash" -> run_lazy_split_crash config
+  | "mixed_rw" -> run_mixed_rw config
   | "stalled_reader" -> run_stalled_reader config
   | "torn_io" -> run_torn_io config
   | "crash_recovery" -> run_crash_recovery config

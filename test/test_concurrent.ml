@@ -157,6 +157,93 @@ let test_replace_is_atomic () =
   Domain.join reader;
   Alcotest.(check int) "no torn values" 0 (Atomic.get torn)
 
+(* Cross-stripe vs per-stripe: a shrinker repeatedly takes every stripe
+   (ascending order) while writers insert into disjoint key ranges on
+   whatever stripes those hash to; no binding may be lost and the table
+   must be precise afterwards. *)
+let test_shrink_vs_striped_inserts () =
+  let t =
+    Rp_ht.create ~initial_size:512 ~min_size:8 ~auto_resize:false
+      ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
+  in
+  Alcotest.(check bool) "write path is striped" true (Rp_ht.stripe_count t >= 2);
+  let per_writer = 1000 in
+  let writers =
+    List.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_writer - 1 do
+              let k = (w * 1_000_000) + i in
+              Rp_ht.insert t k k
+            done))
+  in
+  for _ = 1 to 8 do
+    Rp_ht.resize t 8;
+    Rp_ht.resize t 1024
+  done;
+  List.iter Domain.join writers;
+  Rcu.barrier (Rp_ht.rcu t);
+  (match Rp_ht.validate t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "post-shrink invariant: %s" msg);
+  for w = 0 to 3 do
+    for i = 0 to per_writer - 1 do
+      let k = (w * 1_000_000) + i in
+      if Rp_ht.find t k <> Some k then
+        Alcotest.failf "writer %d key %d lost across concurrent shrinks" w i
+    done
+  done
+
+(* Store-level cross-stripe race: the clock sweep (single-flighted, one
+   stripe per victim) runs against writers whose SETs keep auto-expanding
+   the table — so sweeps interleave with lazy bucket splits on the same
+   stripes. The store must stay serviceable and land under budget. *)
+let test_eviction_races_lazy_splits () =
+  let store =
+    Memcached.Store.create ~backend:Memcached.Store.Rp
+      ~max_bytes:(96 * 1024) ~initial_size:8 ()
+  in
+  let data = String.make 64 'v' in
+  let stop = Atomic.make false in
+  let writers =
+    List.init 3 (fun w ->
+        Domain.spawn (fun () ->
+            let n = ref 0 and stored = ref 0 in
+            while not (Atomic.get stop) do
+              let key = Printf.sprintf "ev%d:%d" w !n in
+              (match
+                 Memcached.Store.set store ~key ~flags:0 ~exptime:0 ~data
+               with
+              | Memcached.Store.Stored -> incr stored
+              | _ -> ());
+              incr n
+            done;
+            !stored))
+  in
+  let evictor =
+    Domain.spawn (fun () ->
+        let sweeps = ref 0 in
+        while not (Atomic.get stop) do
+          ignore (Memcached.Store.evict_to_budget store);
+          incr sweeps
+        done;
+        !sweeps)
+  in
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  let stored = List.fold_left (fun a d -> a + Domain.join d) 0 writers in
+  let sweeps = Domain.join evictor in
+  Alcotest.(check bool) "writers stored" true (stored > 0);
+  Alcotest.(check bool) "evictor swept" true (sweeps > 0);
+  ignore (Memcached.Store.evict_to_budget store);
+  Alcotest.(check bool) "under budget" true
+    (Memcached.Store.bytes store <= Memcached.Store.max_bytes store);
+  (match Memcached.Store.set store ~key:"post" ~flags:0 ~exptime:0 ~data with
+  | Memcached.Store.Stored -> ()
+  | _ -> Alcotest.fail "post-storm SET failed");
+  match Memcached.Store.get store "post" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "post-storm GET missed"
+
 (* Store-level concurrency: GETs across domains while SETs and deletes run;
    hits must return intact values. *)
 let store_torture backend () =
@@ -237,11 +324,15 @@ let () =
           Alcotest.test_case "move never leaves neither key" `Slow
             test_move_never_neither;
           Alcotest.test_case "replace is atomic" `Slow test_replace_is_atomic;
+          Alcotest.test_case "shrink vs striped inserts" `Slow
+            test_shrink_vs_striped_inserts;
         ] );
       ( "memcached store",
         [
           Alcotest.test_case "rp backend" `Slow (store_torture Memcached.Store.Rp);
           Alcotest.test_case "lock backend" `Slow
             (store_torture Memcached.Store.Lock);
+          Alcotest.test_case "eviction races lazy splits" `Slow
+            test_eviction_races_lazy_splits;
         ] );
     ]

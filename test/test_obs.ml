@@ -276,6 +276,16 @@ let test_stats_roundtrip () =
             (int_of_string (List.assoc "rp_ht_lookups_total" rp) >= 2);
           Alcotest.(check bool) "rp stats carry rcu counters" true
             (List.mem_assoc "rcu_grace_periods_total" rp);
+          (* Write-side sharding instruments: the SET above took a stripe. *)
+          Alcotest.(check bool) "stripe acquisitions counted" true
+            (int_of_string (List.assoc "rp_ht_stripe_acquisitions_total" rp)
+            >= 1);
+          Alcotest.(check bool) "stripe count exported" true
+            (int_of_string (List.assoc "rp_ht_stripes" rp) >= 2);
+          Alcotest.(check bool) "contention counter exported" true
+            (List.mem_assoc "rp_ht_stripe_contended_total" rp);
+          Alcotest.(check bool) "lazy-split counter exported" true
+            (List.mem_assoc "rp_ht_lazy_splits_total" rp);
           Alcotest.(check bool) "rp stats exclude store counters" false
             (List.mem_assoc "cmd_get" rp)))
 

@@ -221,6 +221,52 @@ let test_load_factor () =
   done;
   Alcotest.(check (float 1e-9)) "load factor" 0.5 (Rp_ht.load_factor t)
 
+let test_stripe_rounding () =
+  let t = make ~initial_size:8 () in
+  (* Default stripe count is [min 8 min_size]; min_size defaults to 4. *)
+  Alcotest.(check int) "default stripes" 4 (Rp_ht.stripe_count t);
+  let t2 =
+    Rp_ht.create ~initial_size:8 ~stripes:3 ~hash:Rp_hashes.Hashfn.of_int
+      ~equal:Int.equal ()
+  in
+  Alcotest.(check int) "rounded to power of two" 4 (Rp_ht.stripe_count t2);
+  let t3 =
+    Rp_ht.create ~initial_size:8 ~stripes:16 ~hash:Rp_hashes.Hashfn.of_int
+      ~equal:Int.equal ()
+  in
+  Alcotest.(check int) "explicit stripes" 16 (Rp_ht.stripe_count t3);
+  (* Stripes must divide every reachable size, so min_size was raised. *)
+  Rp_ht.resize t3 1;
+  Alcotest.(check bool) "min_size raised to stripes" true (Rp_ht.size t3 >= 16)
+
+(* Lazy rehash leaves the table half-split: the auto-resize expansion
+   publishes the larger array and returns, so buckets not yet touched by a
+   writer still await their split. A batched walk over that state must see
+   every binding (home-bucket filtering tolerates imprecise chains). *)
+let test_iter_batched_half_split () =
+  let t =
+    Rp_ht.create ~initial_size:8 ~min_size:8 ~auto_resize:true
+      ~hash:Rp_hashes.Hashfn.of_int ~equal:Int.equal ()
+  in
+  let n = 400 in
+  for i = 0 to n - 1 do
+    Rp_ht.insert t i i
+  done;
+  Alcotest.(check bool) "walk starts half-split" true (Rp_ht.pending_splits t > 0);
+  let seen = Hashtbl.create n in
+  let restarts =
+    Rp_ht.iter_batched ~batch:4 t ~f:(fun k v ->
+        if v <> k then Alcotest.failf "key %d bound to %d" k v;
+        Hashtbl.replace seen k ())
+  in
+  Alcotest.(check int) "no shrink, no restarts" 0 restarts;
+  Alcotest.(check int) "every binding seen" n (Hashtbl.length seen);
+  (* The walk is read-only: it must not have completed any split. *)
+  Alcotest.(check bool) "still half-split" true (Rp_ht.pending_splits t > 0);
+  Rp_ht.complete_splits t;
+  Alcotest.(check int) "splits drained" 0 (Rp_ht.pending_splits t);
+  check_valid t
+
 (* --- model-based property tests --- *)
 
 type op = Insert of int * int | Remove of int | Replace of int * int | Resize of int
@@ -337,6 +383,9 @@ let () =
           Alcotest.test_case "auto-resize shrinks" `Quick test_auto_resize_shrinks;
           Alcotest.test_case "iter sees no duplicates after resize" `Quick
             test_iter_no_duplicates_after_resize;
+          Alcotest.test_case "stripe rounding" `Quick test_stripe_rounding;
+          Alcotest.test_case "iter_batched over half-split table" `Quick
+            test_iter_batched_half_split;
         ] );
       ( "move",
         [

@@ -117,8 +117,9 @@ let test_scenario_validation () =
   Alcotest.(check (list string))
     "scenario names"
     [
-      "steady"; "crash_resizer"; "stalled_reader"; "torn_io"; "crash_recovery";
-      "overload_storm"; "slow_client"; "disk_full"; "replication_divergence";
+      "steady"; "crash_resizer"; "lazy_split_crash"; "mixed_rw";
+      "stalled_reader"; "torn_io"; "crash_recovery"; "overload_storm";
+      "slow_client"; "disk_full"; "replication_divergence";
     ]
     Rp_torture.Torture.scenario_names
 

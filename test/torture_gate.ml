@@ -78,6 +78,32 @@ let () =
     Printf.printf "crash_resizer: no faults fired\n%!";
     incr failures
   end;
+  let lazy_crash =
+    run "lazy_split_crash"
+      { base with scenario = "lazy_split_crash"; writers = 2; churn_keys = 96 }
+  in
+  if lazy_crash.faults_injected = 0 then begin
+    Printf.printf "lazy_split_crash: no writer was ever killed\n%!";
+    incr failures
+  end;
+  if lazy_crash.recoveries = 0 then begin
+    Printf.printf "lazy_split_crash: no split was recovered by a peer\n%!";
+    incr failures
+  end;
+  (* Exact per-range model equality under a concurrent 50/50 GET/SET mix
+     across striped writers; resize_flips carries the lazy-split count. *)
+  let mixed =
+    run "mixed_rw"
+      { base with scenario = "mixed_rw"; writers = 4; churn_keys = 256 }
+  in
+  if mixed.writer_ops = 0 then begin
+    Printf.printf "mixed_rw: writers made no progress\n%!";
+    incr failures
+  end;
+  if mixed.resize_flips = 0 then begin
+    Printf.printf "mixed_rw: no bucket was ever split lazily\n%!";
+    incr failures
+  end;
   let stalled =
     run "stalled_reader"
       { base with scenario = "stalled_reader"; duration = 0.2 }
