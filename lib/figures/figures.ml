@@ -215,6 +215,7 @@ let mc_series options ~label ~backend ~mode =
                     value_size = 100;
                     mode;
                     seed = 42;
+                    dist = Rp_workload.Keygen.Uniform;
                   }
               in
               result.Memcached.Mc_benchmark.requests_per_second)

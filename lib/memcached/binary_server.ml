@@ -184,6 +184,7 @@ let handle store (request : request) : response list =
         | "persist" -> Some (Store.persist_stats store)
         | "trace" -> Some (Store.trace_stats store)
         | "guard" -> Some (Store.guard_stats store)
+        | "tier" -> Some (Store.tier_stats store)
         | _ -> None
       in
       match section with

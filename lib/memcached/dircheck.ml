@@ -1,0 +1,32 @@
+let validate ~flag path =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if Sys.file_exists path && not (Sys.is_directory path) then
+    fail "%s %s: not a directory" flag path
+  else
+    match Rp_persist.Fsutil.mkdir_p path with
+    | exception Unix.Unix_error (e, _, _) ->
+        fail "%s %s: cannot create: %s" flag path (Unix.error_message e)
+    | exception Sys_error m -> fail "%s %s: cannot create: %s" flag path m
+    | () -> (
+        (* Creating the directory proves nothing about writing into it
+           (mkdir_p is a no-op on an existing dir) — probe with a real
+           file, the same syscalls the op log and tier segments will
+           make. *)
+        let probe =
+          Filename.concat path
+            (Printf.sprintf ".writable-%d" (Unix.getpid ()))
+        in
+        match
+          let fd =
+            Unix.openfile probe [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+              0o644
+          in
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () -> ignore (Unix.write_substring fd "x" 0 1));
+          Sys.remove probe
+        with
+        | () -> Ok ()
+        | exception Unix.Unix_error (e, _, _) ->
+            fail "%s %s: not writable: %s" flag path (Unix.error_message e)
+        | exception Sys_error m -> fail "%s %s: not writable: %s" flag path m)

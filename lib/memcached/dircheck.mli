@@ -1,0 +1,9 @@
+(** Fail-fast validation of the directories named on the command line
+    ([--data-dir], [--tier-dir]) {e before} any subsystem attaches — a
+    typo'd or read-only path should be one clear startup error naming the
+    flag, not a crash buried in the first demotion or log append. *)
+
+val validate : flag:string -> string -> (unit, string) result
+(** Ensure [path] is (or can become) a writable directory: create it if
+    missing (like the subsystems themselves would), then probe-write and
+    remove a temp file inside it. The error message names [flag]. *)

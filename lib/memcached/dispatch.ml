@@ -114,6 +114,8 @@ let handle store (request : Protocol.request) : Protocol.response option =
       Some (Protocol.Stats_reply (Store.trace_stats store))
   | Protocol.Stats (Some "guard") ->
       Some (Protocol.Stats_reply (Store.guard_stats store))
+  | Protocol.Stats (Some "tier") ->
+      Some (Protocol.Stats_reply (Store.tier_stats store))
   | Protocol.Stats (Some "cluster") ->
       Some (Protocol.Stats_reply (Store.cluster_stats store))
   | Protocol.Stats (Some arg) ->

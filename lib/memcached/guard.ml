@@ -19,11 +19,23 @@ let install ?watermarks ?(interval = 0.05) ?(stall_window = 1.0) store =
   (* Memory: slab bytes vs the eviction budget. Note this source alone
      cannot push past Shed in steady state — eviction holds bytes at
      ~max_bytes — which is the intent: a full-but-evicting cache is
-     Throttle/Shed territory, not an Emergency. *)
+     Throttle/Shed territory, not an Emergency.
+
+     With an admitting cold tier below, the budget stops being a hard
+     resource: the eviction sweep demotes overflow to disk, so a full
+     hot layer is the healthy steady state and shedding SETs at ~full
+     would make demotion unreachable (the sweep only fires past the
+     budget). The source then measures how far the sweep is {e behind}
+     — bytes past the budget, in budgets — and the tier's own source
+     takes over as the cold side fills. If the tier stops admitting
+     (guard emergency, tier full), raw fill pressure returns. *)
   let max_bytes = Store.max_bytes store in
   if max_bytes > 0 then
     Rp_guard.add_source g ~name:"mem" (fun () ->
-        float_of_int (Store.bytes store) /. float_of_int max_bytes);
+        let raw =
+          float_of_int (Store.bytes store) /. float_of_int max_bytes
+        in
+        if Store.tier_active store then Float.max 0.0 (raw -. 1.0) else raw);
   (* RCU stalls: the watchdog's counter lives in the store registry under
      flavour-specific names; watch whichever is present. A count that
      moved within [stall_window] seconds holds stall pressure. *)

@@ -1,3 +1,11 @@
+(* Where an item's value lives. [Hot] values are in [data]; a [Cold]
+   item was demoted to the disk tier — [data] is empty and the location
+   names the segment frame holding the real value (plain ints so this
+   module stays free of tier dependencies). Flags, expiry and CAS stay
+   in RAM either way: expiry checks and CAS arbitration never touch
+   disk. *)
+type location = Hot | Cold of { segment : int; offset : int; len : int }
+
 type t = {
   flags : int;
   exptime : float;
@@ -5,14 +13,15 @@ type t = {
   cas : int;
   created : float;
   last_access : float Atomic.t;
+  location : location;
 }
 
 let next_cas = Atomic.make 1
 let overhead_bytes = 48
 
-let make ?cas ~flags ~exptime ~data ~now () =
+let make ?cas ?(location = Hot) ~flags ~exptime ~data ~now () =
   let cas = match cas with Some c -> c | None -> Atomic.fetch_and_add next_cas 1 in
-  { flags; exptime; data; cas; created = now; last_access = Atomic.make now }
+  { flags; exptime; data; cas; created = now; last_access = Atomic.make now; location }
 
 (* Replayed items keep their original CAS; push the allocator past them so
    post-recovery items never collide with a restored version. *)
@@ -22,5 +31,6 @@ let rec note_restored_cas cas =
     note_restored_cas cas
 
 let is_expired t ~now = t.exptime > 0.0 && t.exptime <= now
+let is_cold t = t.location <> Hot
 let touch_access t ~now = Atomic.set t.last_access now
 let size_bytes ~key t = String.length key + String.length t.data + overhead_bytes

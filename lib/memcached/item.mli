@@ -4,6 +4,14 @@
     fast path may touch from inside a read-side critical section
     ([last_access] is atomic so lock-free readers can bump it). *)
 
+type location =
+  | Hot  (** value in [data] *)
+  | Cold of { segment : int; offset : int; len : int }
+      (** value demoted to the disk tier; [data] is empty and these plain
+          ints name the segment frame holding it (see {!Rp_tier.location}
+          — kept as bare ints so this module has no tier dependency).
+          Flags, expiry and CAS stay in RAM either way. *)
+
 type t = {
   flags : int;
   exptime : float;  (** absolute expiry in Unix seconds; 0. = never *)
@@ -11,10 +19,14 @@ type t = {
   cas : int;  (** unique version for compare-and-swap (gets/cas) *)
   created : float;
   last_access : float Atomic.t;
+  location : location;
 }
 
 val make :
-  ?cas:int -> flags:int -> exptime:float -> data:string -> now:float -> unit -> t
+  ?cas:int ->
+  ?location:location ->
+  flags:int -> exptime:float -> data:string -> now:float -> unit -> t
+(** [location] defaults to {!Hot}. *)
 
 val note_restored_cas : int -> unit
 (** Tell the CAS allocator a recovered item carries [cas], so versions
@@ -22,6 +34,9 @@ val note_restored_cas : int -> unit
     value). Thread-safe. *)
 
 val is_expired : t -> now:float -> bool
+
+val is_cold : t -> bool
+(** True when the value lives in the disk tier ([location <> Hot]). *)
 
 val touch_access : t -> now:float -> unit
 (** Bump [last_access]; safe from concurrent lock-free readers. *)

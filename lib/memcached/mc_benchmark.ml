@@ -7,6 +7,7 @@ type config = {
   value_size : int;
   mode : mode;
   seed : int;
+  dist : Rp_workload.Keygen.dist;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     value_size = 100;
     mode = Get_only;
     seed = 42;
+    dist = Rp_workload.Keygen.Uniform;
   }
 
 type result = {
@@ -43,8 +45,8 @@ let prefill store ~keyspace ~value_size =
    parsing and server-side parsing + dispatch, all on this domain. *)
 let worker store config index ~stop ~hits ~misses =
   let keygen =
-    Rp_workload.Keygen.create ~keyspace:config.keyspace ~seed:config.seed
-      ~worker:index ()
+    Rp_workload.Keygen.create ~dist:config.dist ~keyspace:config.keyspace
+      ~seed:config.seed ~worker:index ()
   in
   let prng = Rp_workload.Keygen.prng keygen in
   let parser = Protocol.Parser.create () in
@@ -127,6 +129,7 @@ type socket_config = {
   skeyspace : int;
   svalue_size : int;
   sseed : int;
+  sdist : Rp_workload.Keygen.dist;
 }
 
 let default_socket_config =
@@ -137,6 +140,7 @@ let default_socket_config =
     skeyspace = 10_000;
     svalue_size = 100;
     sseed = 42;
+    sdist = Rp_workload.Keygen.Uniform;
   }
 
 let connect addr =
@@ -206,8 +210,8 @@ let socket_prefill addr ~keyspace ~value_size =
 let socket_worker addr config index ~stop ~hits ~misses =
   let fd = connect addr in
   let keygen =
-    Rp_workload.Keygen.create ~keyspace:config.skeyspace ~seed:config.sseed
-      ~worker:index ()
+    Rp_workload.Keygen.create ~dist:config.sdist ~keyspace:config.skeyspace
+      ~seed:config.sseed ~worker:index ()
   in
   let rp = Protocol.Response_parser.create () in
   let rbuf = Bytes.create 65536 in
@@ -252,8 +256,8 @@ let servers_prefill servers ~keyspace ~value_size =
 let servers_worker servers config index ~stop ~hits ~misses =
   let client = Client.of_servers servers in
   let keygen =
-    Rp_workload.Keygen.create ~keyspace:config.skeyspace ~seed:config.sseed
-      ~worker:index ()
+    Rp_workload.Keygen.create ~dist:config.sdist ~keyspace:config.skeyspace
+      ~seed:config.sseed ~worker:index ()
   in
   let my_hits = ref 0 and my_misses = ref 0 in
   (* [get_many] groups the batch by ring owner: one pipelined GET per

@@ -18,6 +18,10 @@ type config = {
   value_size : int;  (** bytes per value *)
   mode : mode;
   seed : int;
+  dist : Rp_workload.Keygen.dist;
+      (** key popularity: [Uniform] (mc-benchmark's default) or
+          [Zipfian theta] — the skewed workload that gives a tiered
+          store its hot set *)
 }
 
 val default_config : config
@@ -53,6 +57,7 @@ type socket_config = {
   skeyspace : int;
   svalue_size : int;
   sseed : int;
+  sdist : Rp_workload.Keygen.dist;  (** key popularity, as in {!config} *)
 }
 
 val default_socket_config : socket_config

@@ -30,9 +30,41 @@ type rp_state = {
   clock_mu : Mutex.t;
   clockq : (string * float) Queue.t;
   sweeping : bool Atomic.t;
+  (* Promotion single-flight: a flash crowd on one demoted key does one
+     disk read. Same mask as the update stripes, but a separate array —
+     a promoter holds its promote stripe ACROSS the disk read and only
+     then takes the key's update stripe, so promote stripe > update
+     stripe in the lock order and the two must not share mutexes. *)
+  promote_stripes : Mutex.t array;
 }
 
 type state = Lock_state of lock_state | Rp_state of rp_state
+
+(* --- cold-tier plumbing (see [Tier] for the manager) ---
+
+   The store never touches segment files itself: the glue installs these
+   hooks and the eviction sweep / GET path call through them. Locations
+   are bare ints ([Item.Cold] fields) so this module stays independent of
+   the tier's own types. *)
+
+type tier_read_error = Tier_gone | Tier_torn
+
+type tier_hooks = {
+  th_demote : string -> string -> (int * int * int) option;
+      (** [th_demote key data] appends to the cold tier, returning the
+          (segment, offset, len) location, or [None] when the tier is
+          full or failing (caller falls back to plain eviction). Called
+          under the victim's update stripe. *)
+  th_read : int * int * int -> (string * string, tier_read_error) result;
+      (** Positioned read of [(key, data)]; called with NO store lock
+          held (only the key's promote stripe). *)
+  th_mark_dead : int * int * int -> unit;
+      (** The location is no longer referenced (delete / overwrite /
+          promote / flush). Called under the key's update stripe. *)
+  th_admit : unit -> bool;
+      (** Demotion gate — false under guard Emergency (shed demotions,
+          never cold reads). *)
+}
 
 type t = {
   state : state;
@@ -58,6 +90,10 @@ type t = {
      section and the [cluster promote] admin action. *)
   mutable cluster_info : (unit -> (string * string) list) option;
   mutable promote_hook : (unit -> (string, string) result) option;
+  (* Cold-tier hooks, installed by [Tier.attach]; [tier_info] renders the
+     live [stats tier] section. *)
+  mutable tier : tier_hooks option;
+  mutable tier_info : (unit -> (string * string) list) option;
   max_bytes : int;
   slab : Slab.t;  (* chunk-level accounting; eviction compares chunk bytes *)
   clock : unit -> float;
@@ -74,6 +110,15 @@ type t = {
   expired : Rp_obs.Counter.t;
   clock_chances : Rp_obs.Counter.t;
   evict_sweep_us : Rp_obs.Histogram.t;  (* CLOCK sweep wall time, us *)
+  (* Tier traffic counters. [tier_demotions] is deliberately separate
+     from [evicted]: operators must be able to tell "moved to disk" from
+     "lost" — an eviction wave that demotes costs latency, one that
+     drops costs data. *)
+  tier_demotions : Rp_obs.Counter.t;
+  tier_promotions : Rp_obs.Counter.t;
+  tier_read_errors : Rp_obs.Counter.t;
+  tier_read_us : Rp_obs.Histogram.t;  (* cold read wall time, us *)
+  tier_demote_us : Rp_obs.Histogram.t;  (* demote append wall time, us *)
 }
 
 (* Flight-recorder span names. The read-section and update spans are
@@ -82,6 +127,8 @@ type t = {
 let k_read_section = Rp_trace.intern "store.read_section"
 let k_update = Rp_trace.intern "store.update"
 let k_evict_sweep = Rp_trace.intern "store.evict_sweep"
+let k_tier_demote = Rp_trace.intern "tier.demote"
+let k_tier_promote = Rp_trace.intern "tier.promote"
 
 let hash_key = Rp_hashes.Hashfn.fnv1a_string
 
@@ -127,6 +174,7 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
             clock_mu = Mutex.create ();
             clockq = Queue.create ();
             sweeping = Atomic.make false;
+            promote_stripes = Array.init nstripes (fun _ -> Mutex.create ());
           }
   in
   let registry = Rp_obs.Registry.create () in
@@ -140,6 +188,8 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
       read_only = false;
       cluster_info = None;
       promote_hook = None;
+      tier = None;
+      tier_info = None;
       max_bytes;
       slab = Slab.create ();
       clock;
@@ -160,6 +210,23 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
             "wall time of CLOCK eviction sweeps, microseconds (second \
              chances included)"
           "eviction_sweep_us";
+      tier_demotions =
+        counter "tier_demotions_total"
+          "evictions demoted to the cold tier instead of dropped";
+      tier_promotions =
+        counter "tier_promotions_total"
+          "cold items promoted back to RAM on access";
+      tier_read_errors =
+        counter "tier_read_errors_total"
+          "cold reads that failed for good (torn record or vanished segment)";
+      tier_read_us =
+        Rp_obs.Registry.histogram registry
+          ~help:"cold-tier positioned read wall time, microseconds"
+          "tier_read_us";
+      tier_demote_us =
+        Rp_obs.Registry.histogram registry
+          ~help:"cold-tier demotion (segment append) wall time, microseconds"
+          "tier_demote_us";
     }
   in
   Rp_trace.register_instruments registry;
@@ -218,6 +285,8 @@ let set_read_only t b = t.read_only <- b
 let read_only t = t.read_only
 let set_cluster_info t f = t.cluster_info <- f
 let set_promote_hook t f = t.promote_hook <- f
+let set_tier t h = t.tier <- h
+let set_tier_info t f = t.tier_info <- f
 
 let promote t =
   match t.promote_hook with
@@ -416,22 +485,78 @@ let clock_len (rs : rp_state) =
 
 (* --- Rp backend primitives (the key's update stripe held by callers) --- *)
 
+(* Whenever a cold marker leaves the table (delete, overwrite, promote,
+   flush), its segment frame becomes garbage: tell the tier so per-segment
+   live accounting — and through it, compaction — stays exact. *)
+let tier_mark_dead t (item : Item.t) =
+  match (item.location, t.tier) with
+  | Item.Cold { segment; offset; len }, Some h -> h.th_mark_dead (segment, offset, len)
+  | _, _ -> ()
+
 let rp_delete t rs key =
   match Rp_ht.find rs.rp key with
   | None -> false
   | Some item ->
       ignore (Rp_ht.remove rs.rp key);
       Slab.refund t.slab (Item.size_bytes ~key item);
+      tier_mark_dead t item;
       true
 
+(* CLOCK-queue invariant: a key is enqueued iff its item is hot. Demotion
+   stores a marker over a hot item whose queue entry the sweep just popped
+   (no push — markers are evicted by tier budget, not the CLOCK); any
+   store over a cold marker brings the key back to RAM and re-enqueues. *)
 let rp_store t rs key (item : Item.t) =
   (match Rp_ht.find rs.rp key with
-  | Some old -> Slab.refund t.slab (Item.size_bytes ~key old)
-  | None -> clock_push rs (key, Atomic.get item.last_access));
+  | Some old ->
+      Slab.refund t.slab (Item.size_bytes ~key old);
+      if Item.is_cold old then begin
+        tier_mark_dead t old;
+        if not (Item.is_cold item) then
+          clock_push rs (key, Atomic.get item.last_access)
+      end
+  | None ->
+      if not (Item.is_cold item) then
+        clock_push rs (key, Atomic.get item.last_access));
   (* replace publishes atomically: readers see the old or new item, never a
      torn one; the unlinked old item is reclaimed after a grace period. *)
   Rp_ht.replace rs.rp key item;
   ignore (Slab.charge t.slab (Item.size_bytes ~key item))
+
+(* Demote one eviction victim to the cold tier: append (key, value) to
+   the current segment and swap the item for a compact cold marker that
+   keeps flags/expiry/CAS in RAM. Runs under the victim's update stripe
+   (the caller's). Returns false — fall back to plain eviction — when no
+   tier is attached, the guard is shedding demotions, the item is
+   expired (nothing worth keeping), or the append failed/overflowed. *)
+let rp_demote t rs key (item : Item.t) =
+  match t.tier with
+  | None -> false
+  | Some hooks ->
+      if (not (hooks.th_admit ())) || Item.is_expired item ~now:(t.clock ()) then
+        false
+      else begin
+        let started = Rp_trace.now_ns () in
+        let span = Rp_trace.span_begin_sampled k_tier_demote in
+        let demoted =
+          match hooks.th_demote key item.data with
+          | Some (segment, offset, len) ->
+              let marker =
+                Item.make ~cas:item.cas
+                  ~location:(Item.Cold { segment; offset; len })
+                  ~flags:item.flags ~exptime:item.exptime ~data:""
+                  ~now:(Atomic.get item.last_access) ()
+              in
+              rp_store t rs key marker;
+              Rp_obs.Counter.incr t.tier_demotions;
+              true
+          | None -> false
+        in
+        Rp_trace.span_end_sampled k_tier_demote span;
+        Rp_obs.Histogram.observe t.tier_demote_us
+          ((Rp_trace.now_ns () - started) / 1000);
+        demoted
+      end
 
 (* CLOCK second-chance eviction: pop (key, last_access at enqueue); a key
    touched since its enqueue gets requeued with the newer stamp — but only
@@ -462,6 +587,11 @@ let rp_sweep_locked t rs =
           with_stripe t rs ~hash:(hash_key key) (fun () ->
               match Rp_ht.find rs.rp key with
               | None -> () (* already deleted *)
+              | Some item when Item.is_cold item ->
+                  (* Stale queue entry: the key was demoted and re-stored
+                     since (markers live outside the CLOCK). Just drop
+                     the entry — the marker is the tier's to manage. *)
+                  ()
               | Some item ->
                   let last = Atomic.get item.last_access in
                   if last > seen_access && !chances > 0 then begin
@@ -469,7 +599,7 @@ let rp_sweep_locked t rs =
                     Rp_obs.Counter.incr t.clock_chances;
                     clock_push rs (key, last)
                   end
-                  else begin
+                  else if not (rp_demote t rs key item) then begin
                     ignore (rp_delete t rs key);
                     Rp_obs.Counter.incr t.evicted
                   end)
@@ -500,10 +630,15 @@ let rp_evict_to_budget t rs =
   let rec go () =
     if Slab.allocated_bytes t.slab > t.max_bytes then
       if Atomic.compare_and_set rs.sweeping false true then begin
+        let before = Slab.allocated_bytes t.slab in
         Fun.protect
           ~finally:(fun () -> Atomic.set rs.sweeping false)
           (fun () -> rp_sweep_locked t rs);
-        go ()
+        (* A sweep that freed nothing had an empty CLOCK queue: with a
+           tier attached the residue can be all cold markers, which are
+           not evictable — stop rather than spin on an unmeetable
+           budget. *)
+        if Slab.allocated_bytes t.slab < before then go ()
       end
       else begin
         Domain.cpu_relax ();
@@ -525,15 +660,17 @@ let rp_expire_if_dead t rs ~now key =
 (* [expired_acc]: when the caller holds a batch-wide read section open it
    must not take an update stripe inline (the holder could be waiting for
    readers — us included). Expired keys are collected and reaped by the
-   caller after the section closes. *)
-let get_rp t rs ?(with_cas = false) ?expired_acc key =
+   caller after the section closes. A cold hit is likewise only REPORTED
+   here (`Cold): resolving it means a disk read and a stripe acquisition,
+   which the caller does outside any read section. *)
+let get_rp_raw t rs ?(with_cas = false) ?expired_acc key =
   let now = t.clock () in
   (* Fast path: wait-free lookup; the value is copied out inside the
      table's read-side critical section. *)
   match Rp_ht.find rs.rp key with
   | None ->
       Rp_obs.Counter.incr t.get_misses;
-      None
+      `Miss
   | Some item ->
       if Item.is_expired item ~now then begin
         (* Slow path: expiry needs the update lock. *)
@@ -541,13 +678,113 @@ let get_rp t rs ?(with_cas = false) ?expired_acc key =
         | Some acc -> acc := key :: !acc
         | None -> rp_expire_if_dead t rs ~now key);
         Rp_obs.Counter.incr t.get_misses;
-        None
+        `Miss
       end
+      else if Item.is_cold item then `Cold (* hit/miss counted at resolution *)
       else begin
         Item.touch_access item ~now;
         Rp_obs.Counter.incr t.get_hits;
-        Some (value_of_item ~with_cas key item)
+        `Hit (value_of_item ~with_cas key item)
       end
+
+(* Resolve a cold hit: one positioned segment read, then reinsert under
+   the key's update stripe (promote-on-access). The disk read happens
+   with no store lock held — only the key's promote stripe, whose sole
+   job is single-flighting: a flash crowd on one demoted key queues here
+   and every loser finds the item already hot on its own pass.
+
+   Races are re-resolved by re-reading the table (bounded retries): a
+   compaction can relocate the marker mid-read (read returns [Tier_gone]
+   — the fresh marker points at the copy), a SET can replace it (we find
+   it hot and return that), a DELETE can win (miss). A torn record is
+   final: the value is gone, so the marker is dropped — later GETs miss
+   fast instead of re-reading a bad frame. *)
+let rec promote_attempt t rs ~with_cas ~hooks key tries =
+  let now = t.clock () in
+  match Rp_ht.find rs.rp key with
+  | None ->
+      Rp_obs.Counter.incr t.get_misses;
+      None
+  | Some item when Item.is_expired item ~now ->
+      rp_expire_if_dead t rs ~now key;
+      Rp_obs.Counter.incr t.get_misses;
+      None
+  | Some item -> (
+      match item.Item.location with
+      | Item.Hot ->
+          Item.touch_access item ~now;
+          Rp_obs.Counter.incr t.get_hits;
+          Some (value_of_item ~with_cas key item)
+      | Item.Cold { segment; offset; len } -> (
+          let started = Rp_trace.now_ns () in
+          let r = hooks.th_read (segment, offset, len) in
+          Rp_obs.Histogram.observe t.tier_read_us
+            ((Rp_trace.now_ns () - started) / 1000);
+          match r with
+          | Ok (rkey, data) when String.equal rkey key -> (
+              let promoted =
+                with_stripe t rs ~hash:(hash_key key) (fun () ->
+                    match Rp_ht.find rs.rp key with
+                    | Some cur when cur == item ->
+                        (* Marker unchanged since the read: publish the
+                           hot item ([rp_store] refunds the marker, marks
+                           its frame dead, re-enqueues in the CLOCK). *)
+                        let hot =
+                          Item.make ~cas:item.Item.cas ~flags:item.Item.flags
+                            ~exptime:item.Item.exptime ~data ~now ()
+                        in
+                        rp_store t rs key hot;
+                        Some (value_of_item ~with_cas key hot)
+                    | _ -> None)
+              in
+              match promoted with
+              | Some v ->
+                  Rp_obs.Counter.incr t.tier_promotions;
+                  Rp_obs.Counter.incr t.get_hits;
+                  Some v
+              | None ->
+                  if tries > 0 then
+                    promote_attempt t rs ~with_cas ~hooks key (tries - 1)
+                  else begin
+                    Rp_obs.Counter.incr t.get_misses;
+                    None
+                  end)
+          | Error Tier_gone when tries > 0 ->
+              promote_attempt t rs ~with_cas ~hooks key (tries - 1)
+          | Ok _ | Error Tier_torn | Error Tier_gone ->
+              Rp_obs.Counter.incr t.tier_read_errors;
+              with_stripe t rs ~hash:(hash_key key) (fun () ->
+                  match Rp_ht.find rs.rp key with
+                  | Some cur when cur == item -> ignore (rp_delete t rs key)
+                  | _ -> ());
+              Rp_obs.Counter.incr t.get_misses;
+              None))
+
+let promote_and_get t rs ~with_cas key =
+  match t.tier with
+  | None ->
+      (* A marker with no tier attached (shutdown window): unreadable. *)
+      Rp_obs.Counter.incr t.get_misses;
+      None
+  | Some hooks ->
+      let span = Rp_trace.span_begin_sampled k_tier_promote in
+      let m = rs.promote_stripes.(hash_key key land rs.update_mask) in
+      lock_update t m;
+      let v =
+        match promote_attempt t rs ~with_cas ~hooks key 3 with
+        | v ->
+            Mutex.unlock m;
+            v
+        | exception e ->
+            Mutex.unlock m;
+            Rp_trace.span_end_sampled k_tier_promote span;
+            raise e
+      in
+      Rp_trace.span_end_sampled k_tier_promote span;
+      (* Promotion re-charged the full value: settle the budget (the sweep
+         may well demote something colder in its place). *)
+      rp_sweep t rs;
+      v
 
 let get_lock t ls ?(with_cas = false) key =
   let now = t.clock () in
@@ -566,7 +803,11 @@ let get t key =
   Rp_obs.Counter.incr t.cmd_get;
   match t.state with
   | Lock_state ls -> get_lock t ls key
-  | Rp_state rs -> get_rp t rs key
+  | Rp_state rs -> (
+      match get_rp_raw t rs key with
+      | `Hit v -> Some v
+      | `Miss -> None
+      | `Cold -> promote_and_get t rs ~with_cas:false key)
 
 (* The multiget fast path the event loop's batch dispatch hits: one
    [cmd_get] add for the whole batch and — on the Rp backend — one
@@ -579,10 +820,10 @@ let get_many t ?(with_cas = false) keys =
   | Rp_state rs ->
       let expired_acc = ref [] in
       let section = Rp_trace.span_begin_sampled ~arg:(List.length keys) k_read_section in
-      let values =
+      let pass =
         Flavour.with_read (Rp_ht.flavour rs.rp) (fun () ->
-            List.filter_map
-              (fun key -> get_rp t rs ~with_cas ~expired_acc key)
+            List.map
+              (fun key -> (key, get_rp_raw t rs ~with_cas ~expired_acc key))
               keys)
       in
       Rp_trace.span_end_sampled k_read_section section;
@@ -593,7 +834,16 @@ let get_many t ?(with_cas = false) keys =
              stripe. *)
           let now = t.clock () in
           List.iter (fun key -> rp_expire_if_dead t rs ~now key) dead);
-      values
+      (* Cold hits resolve here, after the section closed — promotion
+         takes stripes and reads disk, neither of which belongs inside a
+         batch-wide read section. Response order is preserved. *)
+      List.filter_map
+        (fun (key, outcome) ->
+          match outcome with
+          | `Hit v -> Some v
+          | `Miss -> None
+          | `Cold -> promote_and_get t rs ~with_cas key)
+        pass
 
 (* --- storage commands --- *)
 
@@ -714,7 +964,12 @@ let prepend t ~key ~data =
 let delete t key =
   Rp_obs.Counter.incr t.deletes;
   let perform deleted =
-    if deleted then record t (Rp_persist.Record.Delete key);
+    (* Tombstone even on NOT_FOUND: eviction is not logged, so a key can
+       be absent from memory yet still durable (plain eviction is the
+       tier's fallback when a demote fails) — an acknowledged DELETE
+       must leave it durably dead either way or it resurrects on
+       replay. Replaying a delete of a missing key is a no-op. *)
+    record t (Rp_persist.Record.Delete key);
     deleted
   in
   match t.state with
@@ -826,13 +1081,46 @@ let items t =
    the update mutex), so a multi-second walk over a large table neither
    blocks writers nor extends any grace period beyond one batch. The Lock
    backend has no choice but to hold its global lock. *)
+(* Cold items would otherwise walk out with empty data — and a snapshot
+   that persisted a marker's "" would LOSE the value once log compaction
+   pruned the original SET record. Read the segment through instead,
+   outside the walk's read sections. The marker can move under us
+   (compaction relocates, a SET replaces, a DELETE wins): re-resolve from
+   the table, bounded; a key that vanished was deleted (logged), a torn
+   frame is already lost either way. *)
+let rec iter_resolve_cold t rs ~hooks ~f key tries =
+  match Rp_ht.find rs.rp key with
+  | None -> ()
+  | Some item -> (
+      match item.Item.location with
+      | Item.Hot -> f key item
+      | Item.Cold { segment; offset; len } -> (
+          match hooks.th_read (segment, offset, len) with
+          | Ok (rkey, data) when String.equal rkey key ->
+              f key
+                (Item.make ~cas:item.Item.cas ~flags:item.Item.flags
+                   ~exptime:item.Item.exptime ~data ~now:(t.clock ()) ())
+          | Error Tier_gone when tries > 0 ->
+              iter_resolve_cold t rs ~hooks ~f key (tries - 1)
+          | Ok _ | Error _ -> Rp_obs.Counter.incr t.tier_read_errors))
+
 let iter_items t ~f =
   match t.state with
   | Lock_state ls ->
       Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
           Rp_baseline.Lock_ht.unsafe_iter ls.table ~f:(fun k e -> f k e.item));
       0
-  | Rp_state rs -> Rp_ht.iter_batched rs.rp ~f
+  | Rp_state rs ->
+      let cold = ref [] in
+      let restarts =
+        Rp_ht.iter_batched rs.rp ~f:(fun key (item : Item.t) ->
+            if Item.is_cold item then cold := key :: !cold else f key item)
+      in
+      (match (!cold, t.tier) with
+      | [], _ | _, None -> ()
+      | keys, Some hooks ->
+          List.iter (fun key -> iter_resolve_cold t rs ~hooks ~f key 3) keys);
+      restarts
 
 (* Apply a recovered or replicated record: same primitives as the live
    commands, but no command counters (neither a warm restart nor the
@@ -902,6 +1190,57 @@ let slab_stats t = Slab.stats t.slab
 let fragmentation t = Slab.fragmentation t.slab
 
 let evictions t = Rp_obs.Counter.read t.evicted
+let tier_demotions t = Rp_obs.Counter.read t.tier_demotions
+let tier_promotions t = Rp_obs.Counter.read t.tier_promotions
+
+let tier_active t =
+  match t.tier with Some hooks -> hooks.th_admit () | None -> false
+
+(* --- compaction plumbing (the [Tier] glue drives it) --- *)
+
+(* The location of [key]'s cold marker, if it has one. Wait-free. *)
+let tier_location t key =
+  match t.state with
+  | Lock_state _ -> None
+  | Rp_state rs -> (
+      match Rp_ht.find rs.rp key with
+      | Some ({ Item.location = Item.Cold { segment; offset; len }; _ } as item)
+        when not (Item.is_expired item ~now:(t.clock ())) ->
+          Some (segment, offset, len)
+      | Some _ | None -> None)
+
+(* Copying-compaction step: under the key's update stripe, verify the
+   marker still points at [from_] and, if so, run [relocate] (the glue's
+   append-a-copy-to-the-head) and swap in a marker for the new location.
+   The old frame is NOT marked dead here — the caller does that on a
+   [true] return, keeping append/mark ownership in one place. False
+   means the record was already dead (promoted, overwritten, deleted) or
+   the copy failed (tier full): nothing was changed. *)
+let tier_relocate t ~key ~from_ ~relocate =
+  match t.state with
+  | Lock_state _ -> false
+  | Rp_state rs ->
+      let sfrom, ofrom, lfrom = from_ in
+      with_stripe t rs ~hash:(hash_key key) (fun () ->
+          match Rp_ht.find rs.rp key with
+          | Some ({ Item.location = Item.Cold { segment; offset; len }; _ } as item)
+            when segment = sfrom && offset = ofrom && len = lfrom -> (
+              match relocate () with
+              | Some (segment, offset, len) ->
+                  let marker =
+                    Item.make ~cas:item.Item.cas
+                      ~location:(Item.Cold { segment; offset; len })
+                      ~flags:item.Item.flags ~exptime:item.Item.exptime
+                      ~data:"" ~now:(Atomic.get item.Item.last_access) ()
+                  in
+                  (* Same-size marker swap: publish directly (no queue or
+                     tier bookkeeping — old frame is the caller's). *)
+                  Slab.refund t.slab (Item.size_bytes ~key item);
+                  Rp_ht.replace rs.rp key marker;
+                  ignore (Slab.charge t.slab (Item.size_bytes ~key marker));
+                  true
+              | None -> false)
+          | Some _ | None -> false)
 
 (* On-demand budget sweep: bring the heap back under [max_bytes] now
    instead of waiting for the next store to trigger eviction. Used by
@@ -931,13 +1270,20 @@ let trace_instrument name = has_prefix "trace_" name
 (* "stats guard" filter: everything [Guard.install] registers. *)
 let guard_instrument name = has_prefix "guard_" name
 
+(* "stats tier" filter: the cold-tier instruments. *)
+let tier_instrument name = has_prefix "tier_" name
+
 let stats t =
   ("backend", match backend t with Lock -> "lock" | Rp -> "rp")
   :: Rp_obs.Registry.to_stats
        ~filter:(fun n ->
-         not
-           (rp_instrument n || persist_instrument n || trace_instrument n
-          || guard_instrument n))
+         (* tier_demotions_total stays in the default section, right next
+            to [evictions]: "moved to disk" vs "lost" is an operator-facing
+            distinction, not tier-plane internals. *)
+         n = "tier_demotions_total"
+         || not
+              (rp_instrument n || persist_instrument n || trace_instrument n
+             || guard_instrument n || tier_instrument n))
        t.registry
 
 let rp_stats t = Rp_obs.Registry.to_stats ~filter:rp_instrument t.registry
@@ -957,6 +1303,16 @@ let cluster_stats t =
   match t.cluster_info with
   | None -> [ ("cluster_enabled", "0") ]
   | Some f -> ("cluster_enabled", "1") :: f ()
+
+(* "stats tier": the glue's live view (mode, dir) first, then every
+   tier_* instrument (demote/promote counters, read/demote latency
+   histograms, byte gauges the glue registered). *)
+let tier_stats t =
+  match t.tier_info with
+  | None -> [ ("tier_enabled", "0") ]
+  | Some f ->
+      (("tier_enabled", "1") :: f ())
+      @ Rp_obs.Registry.to_stats ~filter:tier_instrument t.registry
 
 (* "stats guard": the live ladder first (state name, per-source
    pressures), then the registered guard_* instruments (shed counter,

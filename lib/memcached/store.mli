@@ -173,6 +173,66 @@ val set_promote_hook : t -> (unit -> (string, string) result) option -> unit
 val promote : t -> (string, string) result
 (** Run the promote hook ([Error "not a replica"] when none). *)
 
+(** {1 Cold-tier plumbing}
+
+    The {!Tier} glue installs these hooks over an {!Rp_tier.Cold_store}.
+    With hooks installed, the CLOCK eviction sweep {e demotes} victims —
+    appends the value to a segment file and swaps the item for a compact
+    {!Item.Cold} marker, under the victim's update stripe — instead of
+    dropping them; a GET that finds a marker reads the segment with no
+    store lock held and reinserts under the stripe (promote-on-access,
+    single-flighted per key on a dedicated promote-stripe array). Keys,
+    flags, expiry and CAS never leave the RP table. *)
+
+type tier_read_error = Tier_gone | Tier_torn
+
+type tier_hooks = {
+  th_demote : string -> string -> (int * int * int) option;
+      (** [th_demote key data] appends to the tier; [(segment, offset,
+          len)] on success, [None] when full/failing (the store then
+          falls back to plain eviction). Runs under the victim's update
+          stripe. *)
+  th_read : int * int * int -> (string * string, tier_read_error) result;
+      (** Positioned read of [(key, data)]; runs with no store lock held. *)
+  th_mark_dead : int * int * int -> unit;
+      (** Location dereferenced (delete/overwrite/promote/flush); feeds
+          the tier's per-segment live accounting. Runs under the key's
+          update stripe. *)
+  th_admit : unit -> bool;
+      (** Demotion gate (false = shed demotions; cold reads are never
+          shed). *)
+}
+
+val set_tier : t -> tier_hooks option -> unit
+
+val set_tier_info : t -> (unit -> (string * string) list) option -> unit
+(** Provider for the live part of the [stats tier] section. *)
+
+val tier_location : t -> string -> (int * int * int) option
+(** The key's cold-marker location, if it is live and demoted (wait-free;
+    the tier's recovery and compactor use it as the liveness oracle). *)
+
+val tier_relocate :
+  t ->
+  key:string ->
+  from_:int * int * int ->
+  relocate:(unit -> (int * int * int) option) ->
+  bool
+(** Compaction step: under the key's update stripe, verify the marker
+    still points at [from_], run [relocate] (copy the frame to the head
+    segment), and publish a marker for the returned location. [false] =
+    the record was already dead or the copy failed; nothing changed. The
+    caller marks the old frame dead on [true]. *)
+
+val tier_demotions : t -> int
+val tier_promotions : t -> int
+
+val tier_active : t -> bool
+(** A tier is attached and currently admitting demotions — i.e. an
+    eviction sweep turns memory overflow into disk bytes rather than
+    losses. The guard's memory source keys off this: a full hot layer
+    over a working tier is healthy, not overload. *)
+
 val max_bytes : t -> int
 (** The eviction budget this store was created with. *)
 
@@ -220,6 +280,11 @@ val guard_stats : t -> (string * string) list
 (** [stats guard] lines: the overload guard's live ladder state plus
     every [guard_*] instrument. A single disabled marker when no guard
     is attached. *)
+
+val tier_stats : t -> (string * string) list
+(** [stats tier] lines: the tier glue's live view (mode, dir) plus every
+    [tier_*] instrument. A single disabled marker when no tier is
+    attached. *)
 
 val cluster_stats : t -> (string * string) list
 (** [stats cluster] lines: the cluster glue's live view (role, sent and

@@ -356,6 +356,22 @@ let rules_for = function
            follower is a replication bug, not a perf regression. *)
         rule "follower_missing" Exact_zero;
       ]
+  | "tier" ->
+      [
+        (* Hot-path tax of the attached tier: GET p99 on RAM-resident
+           keys, tier-on over tier-off. The 1.15x product budget is
+           enforced in-process (best-of-3); here the gate only has to
+           catch a drift — tails of tails on a shared box are noisy. *)
+        rule "hot_p99_ratio" Lower_better ~max_regression:0.5;
+        (* Cold service: full-keyspace scan (mostly promote-on-access)
+           and spill-phase demote rate. Disk-bound, so generous. *)
+        rule "cold_hit_rps" Higher_better ~max_regression:0.6;
+        rule "demote_rps" Higher_better ~max_regression:0.6;
+        rule "zipf_get_rps" Higher_better ~max_regression:0.6;
+        (* The oracle: with the tier on, every demoted key must read
+           back. A hard miss is a data-loss bug, not a perf number. *)
+        rule "hard_misses" Exact_zero;
+      ]
   | name -> invalid_arg ("Trend.rules_for: unknown benchmark " ^ name)
 
 let benchmark_name json =

@@ -43,6 +43,7 @@ let scenario_names =
     "slow_client";
     "disk_full";
     "replication_divergence";
+    "tier_crash";
   ]
 
 let table_of_name = function
@@ -1108,6 +1109,248 @@ let run_crash_recovery config =
     metrics;
   }
 
+(* --- tier_crash scenario: SIGKILL mid-demotion and mid-compaction ---
+
+   A store squeezed to a fraction of its working set runs with both the
+   cold tier and fsync=always persistence attached, so the eviction
+   sweep demotes continuously while writers churn. Failpoints kill
+   segment appends mid-demotion (the store must fall back to plain
+   eviction, never crash a writer) and poison reads at low probability;
+   a staged compaction pass dies on the same failpoint mid-copy. Then
+   the process "dies": the persist manager is torn down with no graceful
+   sync, the newest log segment gets a torn tail, and the tier is
+   abandoned with whatever segments it had. A warm restart re-attaches
+   both planes — recovery replays every value hot, the post-recovery
+   sweep re-demotes the overflow into fresh segments, and tier recovery
+   drops the now fully-dead old ones. The oracle is exact: every
+   acked-durable SET must come back with its exact value (from RAM or
+   via a cold promote), acked deletes must stay dead, nothing invented. *)
+
+let run_tier_crash config =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-torture-tier-%d" (Unix.getpid ()))
+  in
+  let data_dir = Filename.concat root "data" in
+  let tier_dir = Filename.concat root "tier" in
+  List.iter
+    (fun d ->
+      if Sys.file_exists d then
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+          (Sys.readdir d))
+    [ data_dir; tier_dir ];
+  let range = max 1 config.churn_keys in
+  let writers_n = max 1 config.writers in
+  (* Budget ~1/8 of the working set: most of the key range can only be
+     resident as cold markers, so demotion/promotion is the steady state
+     rather than a corner case — and even a churn-thinned recovered set
+     still overflows it, keeping the post-restart sweep demoting. *)
+  let working_set = writers_n * range * (config.large_size + 128) in
+  let max_bytes = max 4096 (working_set / 8) in
+  let make_store () =
+    Memcached.Store.create ~backend:Memcached.Store.Rp ~max_bytes ()
+  in
+  (* Tiny segments so the run seals plenty of them — compaction and the
+     fully-dead auto-drop need sealed segments to chew on. *)
+  let attach_tier store =
+    match
+      Memcached.Tier.attach ~segment_bytes:4096 ~dir:tier_dir ~max_mb:64 store
+    with
+    | Ok t -> t
+    | Error m -> failwith ("tier_crash: tier attach failed: " ^ m)
+  in
+  let store = make_store () in
+  let tier = attach_tier store in
+  let persist =
+    Memcached.Persist.attach ~aof:true ~fsync:Rp_persist.Oplog.Always
+      ~dir:data_dir store
+  in
+  ignore (Memcached.Tier.finish_recovery tier);
+  if config.fault_injection then begin
+    arm_perturbations config.seed;
+    (* Mid-demotion kills: every few segment appends dies half-written.
+       The demote must fail closed (plain eviction), never take the
+       writer thread with it. Reads get torn frames now and then; a torn
+       frame drops the marker — the value is still in the op log. *)
+    Rp_fault.arm ~seed:config.seed Rp_tier.append_site
+      ~trigger:(Rp_fault.Every 7) ~action:Rp_fault.Raise;
+    Rp_fault.arm ~seed:config.seed Rp_tier.read_torn_site
+      ~trigger:(Rp_fault.Probability 0.02) ~action:Rp_fault.Raise
+  end;
+
+  let key_name i j = Printf.sprintf "tk%d:%d" i j in
+  let models = Array.init writers_n (fun _ -> Hashtbl.create 64) in
+  let writer index ~stop =
+    let model = models.(index) in
+    let prng =
+      Rp_workload.Prng.split
+        (Rp_workload.Prng.create ~seed:(config.seed + 11))
+        index
+    in
+    let size_span = max 1 (config.large_size - config.small_size) in
+    let ops = ref 0 in
+    while not (Atomic.get stop) do
+      let j = Rp_workload.Prng.below prng range in
+      let key = key_name index j in
+      if Rp_workload.Prng.below prng 5 > 0 then begin
+        let body =
+          String.make
+            (config.small_size + Rp_workload.Prng.below prng size_span)
+            'v'
+        in
+        let data = Printf.sprintf "%d:%d:%d:%s" index j !ops body in
+        match Memcached.Store.set store ~key ~flags:0 ~exptime:0 ~data with
+        | Memcached.Store.Stored -> Hashtbl.replace model key data
+        | _ -> ()
+      end
+      else begin
+        ignore (Memcached.Store.delete store key);
+        Hashtbl.remove model key
+      end;
+      incr ops
+    done;
+    !ops
+  in
+  (* Readers hammer the promote path: most of the range is demoted, so a
+     random GET is usually a cold hit — disk read, stripe reinsert, and
+     the sweep demoting something else to make room. *)
+  let reader index ~stop =
+    let prng =
+      Rp_workload.Prng.split (Rp_workload.Prng.create ~seed:config.seed) index
+    in
+    let checks = ref 0 in
+    while not (Atomic.get stop) do
+      let i = Rp_workload.Prng.below prng writers_n in
+      let j = Rp_workload.Prng.below prng range in
+      ignore (Memcached.Store.get store (key_name i j));
+      incr checks
+    done;
+    !checks
+  in
+  let workers =
+    Array.concat
+      [
+        Array.init config.readers (fun i ~stop -> reader i ~stop);
+        Array.init writers_n (fun i ~stop -> writer i ~stop);
+      ]
+  in
+  let outcome = Rp_harness.Runner.run ~duration:config.duration ~workers () in
+  Rp_fault.disarm Rp_tier.read_torn_site;
+  Rp_fault.disarm Rp_tier.append_site;
+  if config.fault_injection then disarm_perturbations ();
+  (* Re-arming a site resets its fire count: bank the run phase's now. *)
+  let run_fires =
+    Rp_fault.fires Rp_tier.append_site + Rp_fault.fires Rp_tier.read_torn_site
+  in
+
+  (* Make a compaction candidate (a mostly-dead sealed segment): delete a
+     slice of currently-cold keys, then kill the compactor's relocation
+     appends mid-copy. Skipped copies must leave the old frames live and
+     readable — the crash lands before compaction gets another shot. *)
+  Array.iteri
+    (fun i model ->
+      let doomed =
+        Hashtbl.fold
+          (fun key _ acc ->
+            if
+              List.length acc < range / 4
+              && Memcached.Store.tier_location store key <> None
+            then key :: acc
+            else acc)
+          model []
+      in
+      List.iter
+        (fun key ->
+          ignore (Memcached.Store.delete store key);
+          Hashtbl.remove models.(i) key)
+        doomed)
+    models;
+  Rp_fault.arm ~seed:config.seed Rp_tier.append_site
+    ~trigger:Rp_fault.Always ~action:Rp_fault.Raise;
+  let killed_compaction = Memcached.Tier.compact_once tier in
+  ignore killed_compaction;
+  Rp_fault.disarm Rp_tier.append_site;
+  let fault_fires = run_fires + Rp_fault.fires Rp_tier.append_site in
+
+  (* The kill -9: no graceful sync, a torn half-record at the log tail,
+     the tier abandoned mid-flight (its segments stay as they fell). *)
+  Memcached.Persist.crash_for_testing persist;
+  let torn_bytes =
+    match List.rev (Rp_persist.Oplog.segments ~dir:data_dir) with
+    | [] -> 0
+    | (_, path) :: _ ->
+        let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+        let garbage = "\x00\x00\x40\x00torn!" in
+        let n = Unix.write_substring fd garbage 0 (String.length garbage) in
+        Unix.close fd;
+        n
+  in
+  Memcached.Tier.stop tier;
+
+  (* Warm restart, both planes re-attached in the two-phase order. The
+     post-recovery sweep demotes the overflow through the fresh tier, so
+     the oracle walk below exercises real cold reads, not just RAM. *)
+  let store2 = make_store () in
+  let tier2 = attach_tier store2 in
+  let persist2 = Memcached.Persist.attach ~aof:true ~dir:data_dir store2 in
+  let recovery = Memcached.Persist.recovery persist2 in
+  let dropped_segments = Memcached.Tier.finish_recovery tier2 in
+  let missing = ref 0 and wrong = ref 0 and checked = ref 0 in
+  let expected = ref 0 in
+  Array.iter
+    (fun model ->
+      expected := !expected + Hashtbl.length model;
+      Hashtbl.iter
+        (fun key data ->
+          incr checked;
+          match Memcached.Store.get store2 key with
+          | Some v when v.Memcached.Protocol.vdata = data -> ()
+          | Some _ -> incr wrong
+          | None -> incr missing)
+        model)
+    models;
+  let extra = Memcached.Store.items store2 - !expected + !missing in
+  if extra > 0 then wrong := !wrong + extra;
+  (* The restart must actually have exercised the tier: demotions from
+     the post-recovery sweep, promotions from the oracle's cold GETs. *)
+  let demotions2 = Memcached.Store.tier_demotions store2 in
+  let promotions2 = Memcached.Store.tier_promotions store2 in
+  let metrics =
+    ("tier_recovery_dropped_segments", string_of_int dropped_segments)
+    :: Rp_obs.Registry.to_stats (Memcached.Store.registry store2)
+  in
+  Memcached.Persist.stop persist2;
+  Memcached.Tier.stop tier2;
+  let reader_checks =
+    !checked
+    + Array.fold_left ( + ) 0 (Array.sub outcome.per_worker_ops 0 config.readers)
+  in
+  let writer_ops =
+    Array.fold_left ( + ) 0
+      (Array.sub outcome.per_worker_ops config.readers writers_n)
+  in
+  {
+    reader_checks;
+    missing_resident = !missing;
+    wrong_value =
+      !wrong
+      + (if recovery.Memcached.Persist.log_truncated_bytes < torn_bytes then 1
+         else 0);
+    writer_ops;
+    resize_flips = 0;
+    faults_injected =
+      fault_fires
+      + (if torn_bytes > 0 then 1 else 0)
+      + (if config.fault_injection then perturbation_fires () else 0);
+    (* A restart that never demoted or never promoted proves nothing —
+       surface it as a stall so the gate fails loudly. *)
+    stalls_detected = (if demotions2 = 0 || promotions2 = 0 then 1 else 0);
+    recoveries = 1;
+    elapsed = outcome.elapsed;
+    metrics;
+  }
+
 (* --- overload_storm scenario: flood of mutations against the guard ---
 
    A small fleet of storm writers and a couple of oracle GET readers sit
@@ -1927,4 +2170,5 @@ let run config =
   | "slow_client" -> run_slow_client config
   | "disk_full" -> run_disk_full config
   | "replication_divergence" -> run_replication_divergence config
+  | "tier_crash" -> run_tier_crash config
   | _ -> assert false

@@ -73,6 +73,8 @@ val table_names : string list
 
 val scenario_names : string list
 (** Valid values for [config.scenario]: "steady", "crash_resizer",
+    "tier_crash" (SIGKILL mid-demotion/mid-compaction with the cold tier
+    attached; exact durable-readability oracle after the warm restart),
     "stalled_reader", "torn_io", "crash_recovery", "overload_storm",
     "slow_client", "disk_full", "replication_divergence". *)
 

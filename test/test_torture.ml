@@ -119,7 +119,7 @@ let test_scenario_validation () =
     [
       "steady"; "crash_resizer"; "lazy_split_crash"; "mixed_rw";
       "stalled_reader"; "torn_io"; "crash_recovery"; "overload_storm";
-      "slow_client"; "disk_full"; "replication_divergence";
+      "slow_client"; "disk_full"; "replication_divergence"; "tier_crash";
     ]
     Rp_torture.Torture.scenario_names
 

@@ -195,6 +195,23 @@ let () =
       "replication_divergence: promotion or ring failover did not complete\n%!";
     incr failures
   end;
+  (* Exact-model oracle across a staged SIGKILL with the cold tier live:
+     violations cover readability of every acked SET; on top of that the
+     faults must actually have fired (mid-demotion / mid-compaction
+     kills) and the restarted store must have demoted AND promoted —
+     stalls_detected flags a restart that never touched the tier. *)
+  let tier =
+    run "tier_crash"
+      { base with scenario = "tier_crash"; duration = 0.2; churn_keys = 96 }
+  in
+  if tier.faults_injected = 0 then begin
+    Printf.printf "tier_crash: staged kill never fired\n%!";
+    incr failures
+  end;
+  if tier.stalls_detected > 0 then begin
+    Printf.printf "tier_crash: restart never demoted or never promoted\n%!";
+    incr failures
+  end;
   (match Sys.argv with
   | [| _; "-o"; path |] -> write_report_file path
   | _ -> ());
