@@ -117,6 +117,10 @@ type t = {
   tier_demotions : Rp_obs.Counter.t;
   tier_promotions : Rp_obs.Counter.t;
   tier_read_errors : Rp_obs.Counter.t;
+  (* A CRC-valid frame holding the WRONG key is not media corruption —
+     it means marker/segment bookkeeping is off. Counted apart from torn
+     frames so a tier accounting bug is distinguishable in stats. *)
+  tier_read_mismatches : Rp_obs.Counter.t;
   tier_read_us : Rp_obs.Histogram.t;  (* cold read wall time, us *)
   tier_demote_us : Rp_obs.Histogram.t;  (* demote append wall time, us *)
 }
@@ -219,6 +223,10 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
       tier_read_errors =
         counter "tier_read_errors_total"
           "cold reads that failed for good (torn record or vanished segment)";
+      tier_read_mismatches =
+        counter "tier_read_mismatches_total"
+          "cold reads that returned a CRC-valid frame for a different key \
+           (tier location bookkeeping bug, not media corruption)";
       tier_read_us =
         Rp_obs.Registry.histogram registry
           ~help:"cold-tier positioned read wall time, microseconds"
@@ -558,6 +566,37 @@ let rp_demote t rs key (item : Item.t) =
         demoted
       end
 
+(* Resolve the live value of [item] while HOLDING the key's update stripe
+   (the caller's): the read-modify-write commands — append/prepend,
+   incr/decr, touch — need a demoted key's real value, not the marker's
+   "". Reading under the stripe is safe: the tier's own mutex is a leaf
+   below every store lock (demotion already appends under this very
+   stripe), and the frame cannot move mid-read because compaction's
+   relocate step needs this same stripe — which also makes [Tier_gone]
+   unreachable here, so any failure is final: the value is gone, and the
+   caller drops the marker rather than operate on "". Hot items return
+   their data directly. *)
+let resolve_cold_locked t key (item : Item.t) =
+  match item.Item.location with
+  | Item.Hot -> Some item.Item.data
+  | Item.Cold { segment; offset; len } -> (
+      match t.tier with
+      | None -> None (* marker with no tier attached (shutdown window) *)
+      | Some hooks -> (
+          let started = Rp_trace.now_ns () in
+          let r = hooks.th_read (segment, offset, len) in
+          Rp_obs.Histogram.observe t.tier_read_us
+            ((Rp_trace.now_ns () - started) / 1000);
+          match r with
+          | Ok (rkey, data) when String.equal rkey key -> Some data
+          | Ok _ ->
+              Rp_obs.Counter.incr t.tier_read_mismatches;
+              Rp_obs.Counter.incr t.tier_read_errors;
+              None
+          | Error _ ->
+              Rp_obs.Counter.incr t.tier_read_errors;
+              None))
+
 (* CLOCK second-chance eviction: pop (key, last_access at enqueue); a key
    touched since its enqueue gets requeued with the newer stamp — but only
    while the sweep's second-chance budget lasts. The budget is the queue
@@ -752,6 +791,9 @@ let rec promote_attempt t rs ~with_cas ~hooks key tries =
           | Error Tier_gone when tries > 0 ->
               promote_attempt t rs ~with_cas ~hooks key (tries - 1)
           | Ok _ | Error Tier_torn | Error Tier_gone ->
+              (match r with
+              | Ok _ -> Rp_obs.Counter.incr t.tier_read_mismatches
+              | Error _ -> ());
               Rp_obs.Counter.incr t.tier_read_errors;
               with_stripe t rs ~hash:(hash_key key) (fun () ->
                   match Rp_ht.find rs.rp key with
@@ -917,38 +959,44 @@ let cas t ~key ~flags ~exptime ~data ~unique =
 let concat_command t ~op ~key ~data ~build =
   Rp_obs.Counter.incr t.cmd_set;
   let now = t.clock () in
-  let perform live_item store =
-    match live_item with
-    | None -> Not_stored
-    | Some (item : Item.t) ->
-        let combined = build item.data data in
-        if not (fits_slab t ~key ~data:combined) then Too_large
-        else begin
-          let fresh =
-            Item.make ~flags:item.flags ~exptime:item.exptime ~data:combined
-              ~now ()
-          in
-          store fresh;
-          record_set t ~op key fresh;
-          Stored
-        end
+  let perform (item : Item.t) ~old_data store =
+    let combined = build old_data data in
+    if not (fits_slab t ~key ~data:combined) then Too_large
+    else begin
+      let fresh =
+        Item.make ~flags:item.flags ~exptime:item.exptime ~data:combined
+          ~now ()
+      in
+      store fresh;
+      record_set t ~op key fresh;
+      Stored
+    end
   in
   match t.state with
   | Lock_state ls ->
       Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
-          let live = lock_find_live t ls key ~now in
-          perform
-            (Option.map (fun e -> e.item) live)
-            (fun fresh -> lock_store t ls key fresh))
+          match lock_find_live t ls key ~now with
+          | None -> Not_stored
+          | Some entry ->
+              perform entry.item ~old_data:entry.item.data (fun fresh ->
+                  lock_store t ls key fresh))
   | Rp_state rs ->
       let result =
         with_stripe t rs ~hash:(hash_key key) (fun () ->
-            let live =
-              match Rp_ht.find rs.rp key with
-              | Some item when not (Item.is_expired item ~now) -> Some item
-              | Some _ | None -> None
-            in
-            perform live (fun fresh -> rp_store t rs key fresh))
+            match Rp_ht.find rs.rp key with
+            | Some item when not (Item.is_expired item ~now) -> (
+                (* A demoted key concatenates against its real (cold)
+                   value. A frame lost for good means the value is gone:
+                   drop the marker and report NOT_STORED rather than
+                   store just the suffix/prefix. *)
+                match resolve_cold_locked t key item with
+                | None ->
+                    ignore (rp_delete t rs key);
+                    Not_stored
+                | Some old_data ->
+                    perform item ~old_data (fun fresh ->
+                        rp_store t rs key fresh))
+            | Some _ | None -> Not_stored)
       in
       rp_sweep t rs;
       result
@@ -983,8 +1031,8 @@ let delete t key =
 (* incr/decr rewrite the stored decimal string; decr saturates at zero. *)
 let counter_command t ~op key delta ~apply =
   let now = t.clock () in
-  let compute key (item : Item.t) store =
-    match int_of_string_opt (String.trim item.data) with
+  let compute (item : Item.t) ~data store =
+    match int_of_string_opt (String.trim data) with
     | None -> Cnon_numeric
     | Some n ->
         let next = apply n delta in
@@ -1004,13 +1052,21 @@ let counter_command t ~op key delta ~apply =
           match lock_find_live t ls key ~now with
           | None -> Cnotfound
           | Some entry ->
-              compute key entry.item (fun fresh -> lock_store t ls key fresh))
+              compute entry.item ~data:entry.item.data (fun fresh ->
+                  lock_store t ls key fresh))
   | Rp_state rs ->
       let result =
         with_stripe t rs ~hash:(hash_key key) (fun () ->
             match Rp_ht.find rs.rp key with
-            | Some item when not (Item.is_expired item ~now) ->
-                compute key item (fun fresh -> rp_store t rs key fresh)
+            | Some item when not (Item.is_expired item ~now) -> (
+                (* A demoted counter parses its real (cold) value — the
+                   marker's "" would turn a valid counter non-numeric. *)
+                match resolve_cold_locked t key item with
+                | None ->
+                    ignore (rp_delete t rs key);
+                    Cnotfound
+                | Some data ->
+                    compute item ~data (fun fresh -> rp_store t rs key fresh))
             | Some _ | None -> Cnotfound)
       in
       rp_sweep t rs;
@@ -1027,9 +1083,9 @@ let decr t key delta =
 let touch t ~key ~exptime =
   let now = t.clock () in
   let exptime = absolute_exptime t exptime in
-  let retouch (item : Item.t) store =
+  let retouch (item : Item.t) ~data store =
     let fresh =
-      Item.make ~cas:item.cas ~flags:item.flags ~exptime ~data:item.data ~now ()
+      Item.make ~cas:item.cas ~flags:item.flags ~exptime ~data ~now ()
     in
     store fresh;
     record_set t ~op:Rp_persist.Record.Ttouch key fresh;
@@ -1040,13 +1096,24 @@ let touch t ~key ~exptime =
       Rp_baseline.Lock_ht.with_lock ls.table (fun () ->
           match lock_find_live t ls key ~now with
           | None -> false
-          | Some entry -> retouch entry.item (fun fresh -> lock_store t ls key fresh))
+          | Some entry ->
+              retouch entry.item ~data:entry.item.data (fun fresh ->
+                  lock_store t ls key fresh))
   | Rp_state rs ->
       let result =
         with_stripe t rs ~hash:(hash_key key) (fun () ->
             match Rp_ht.find rs.rp key with
-            | Some item when not (Item.is_expired item ~now) ->
-                retouch item (fun fresh -> rp_store t rs key fresh)
+            | Some item when not (Item.is_expired item ~now) -> (
+                (* Touch on a demoted key promotes it: the new expiry is
+                   durably logged as a state record, which carries the
+                   full value — rebuilding from the marker's "" would
+                   destroy the value (and log the destruction). *)
+                match resolve_cold_locked t key item with
+                | None ->
+                    ignore (rp_delete t rs key);
+                    false
+                | Some data ->
+                    retouch item ~data (fun fresh -> rp_store t rs key fresh))
             | Some _ | None -> false)
       in
       rp_sweep t rs;
@@ -1102,7 +1169,10 @@ let rec iter_resolve_cold t rs ~hooks ~f key tries =
                    ~exptime:item.Item.exptime ~data ~now:(t.clock ()) ())
           | Error Tier_gone when tries > 0 ->
               iter_resolve_cold t rs ~hooks ~f key (tries - 1)
-          | Ok _ | Error _ -> Rp_obs.Counter.incr t.tier_read_errors))
+          | Ok _ ->
+              Rp_obs.Counter.incr t.tier_read_mismatches;
+              Rp_obs.Counter.incr t.tier_read_errors
+          | Error _ -> Rp_obs.Counter.incr t.tier_read_errors))
 
 let iter_items t ~f =
   match t.state with

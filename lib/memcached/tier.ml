@@ -71,13 +71,25 @@ let compact_once t =
                 true))
 
 let compactor_loop t =
+  (* Idle backoff: every pass that found no candidate doubles the doze,
+     capped at max(interval, 1s), so an idle tier doesn't wake the domain
+     every interval forever; any pass that compacted resets it. *)
+  let idle = ref 0 in
   while not (Atomic.get t.stop_flag) do
-    (try ignore (compact_once t) with _ -> ());
+    let worked = try compact_once t with _ -> false in
+    if worked then idle := 0 else if !idle < 5 then incr idle;
     (* QSBR discipline: this domain reads the table in compact_segment;
        go offline before blocking so grace periods don't wait on us. *)
     Store.reader_offline t.store;
-    (* Sleep in slices so [stop] never waits out a long interval. *)
-    let deadline = Unix.gettimeofday () +. t.interval in
+    (* Sleep in slices so [stop] never waits out a long interval. The
+       deadline is pure wall-clock sleep bookkeeping, not cache time, so
+       it stays on the real clock rather than the store's injected one. *)
+    let pause =
+      Float.min
+        (t.interval *. float_of_int (1 lsl !idle))
+        (Float.max t.interval 1.0)
+    in
+    let deadline = Unix.gettimeofday () +. pause in
     let rec doze () =
       if not (Atomic.get t.stop_flag) then begin
         let left = deadline -. Unix.gettimeofday () in

@@ -291,6 +291,72 @@ let test_store_cold_overwrite_delete_flush () =
   Alcotest.(check int) "flushed" 0 (Store.items store);
   Alcotest.(check int) "no live cold bytes" 0 (Rp_tier.Cold_store.live_bytes cold)
 
+(* The read-modify-write commands must operate on a demoted key's real
+   value, not its marker's "": touch keeps the value, append/prepend
+   concatenate against it, incr parses it. *)
+let test_cold_mutations () =
+  with_dir @@ fun dir ->
+  let store, _cold = make_tiered dir in
+  let n = 48 in
+  fill store n;
+  let pick l = match l with [] -> Alcotest.fail "nothing cold" | i :: _ -> i in
+  (* touch: only the expiry changes; the value survives the round-trip. *)
+  let a = pick (cold_keys store n) in
+  Alcotest.(check bool) "touch acked" true
+    (Store.touch store ~key:(key a) ~exptime:1000);
+  (match Store.get store (key a) with
+  | Some v ->
+      Alcotest.(check string) "touch kept the cold value" (payload a)
+        v.Protocol.vdata
+  | None -> Alcotest.failf "touch lost %s" (key a));
+  (* append: the suffix lands on the cold value, not on "". *)
+  let b = pick (cold_keys store n) in
+  (match Store.append store ~key:(key b) ~data:"+tail" with
+  | Store.Stored -> ()
+  | _ -> Alcotest.fail "append on cold key not stored");
+  (match Store.get store (key b) with
+  | Some v ->
+      Alcotest.(check string) "append concatenated the cold value"
+        (payload b ^ "+tail") v.Protocol.vdata
+  | None -> Alcotest.failf "append lost %s" (key b));
+  (* prepend, same shape. *)
+  let c = pick (cold_keys store n) in
+  (match Store.prepend store ~key:(key c) ~data:"head+" with
+  | Store.Stored -> ()
+  | _ -> Alcotest.fail "prepend on cold key not stored");
+  (match Store.get store (key c) with
+  | Some v ->
+      Alcotest.(check string) "prepend concatenated the cold value"
+        ("head+" ^ payload c) v.Protocol.vdata
+  | None -> Alcotest.failf "prepend lost %s" (key c))
+
+(* incr/decr on a demoted numeric key: values are numeric with blank
+   padding (big enough to force demotion; [String.trim] strips it). *)
+let test_cold_counter () =
+  with_dir @@ fun dir ->
+  let store, _cold = make_tiered dir in
+  let n = 48 in
+  for i = 0 to n - 1 do
+    match
+      Store.set store ~key:(key i) ~flags:0 ~exptime:0
+        ~data:(string_of_int (100 + i) ^ String.make 1000 ' ')
+    with
+    | Store.Stored -> ()
+    | _ -> Alcotest.failf "set %d" i
+  done;
+  let c =
+    match cold_keys store n with [] -> Alcotest.fail "nothing cold" | i :: _ -> i
+  in
+  (match Store.incr store (key c) 1 with
+  | Store.Cvalue v -> Alcotest.(check int) "incr on cold value" (101 + c) v
+  | Store.Cnon_numeric -> Alcotest.fail "cold counter read as non-numeric"
+  | Store.Cnotfound -> Alcotest.fail "cold counter not found");
+  match Store.get store (key c) with
+  | Some v ->
+      Alcotest.(check string) "stored the produced value"
+        (string_of_int (101 + c)) v.Protocol.vdata
+  | None -> Alcotest.fail "counter lost after incr"
+
 (* Slab accounting across the demote / promote cycle: [bytes] charges
    hot-resident values only, and a promote / delete pair round-trips the
    charge exactly. *)
@@ -482,6 +548,8 @@ let () =
           Alcotest.test_case "demote_promote" `Quick test_store_demote_promote;
           Alcotest.test_case "cold_overwrite_delete_flush" `Quick
             test_store_cold_overwrite_delete_flush;
+          Alcotest.test_case "cold_mutations" `Quick test_cold_mutations;
+          Alcotest.test_case "cold_counter" `Quick test_cold_counter;
           Alcotest.test_case "slab_accounting" `Quick test_slab_accounting;
           Alcotest.test_case "get_many_mixed" `Quick test_get_many_mixed;
           Alcotest.test_case "iter_read_through" `Quick test_iter_read_through;
