@@ -1030,6 +1030,213 @@ let run_tier_bench () =
     exit 1
   end
 
+(* --- workload-insight (heat) bench: the skewed-traffic lane ----------
+   What it gates:
+   - the insight plane is cheap: GET p99 with --heat-topk 64 on vs off
+     stays within the same 1.15x budget every other plane honors
+     (in-process gate, plus the ratio is trend-gated);
+   - the sketch is honest: after a 50/50 GET/SET mix drawn from
+     Zipf(0.99), the merged Space-Saving top-1 hit share must land
+     within 10% of the analytic Zipfian top-1 probability;
+   - exposition agrees: the hottest key reported by the sketch appears
+     in 'stats heat', the Prometheus families, and the /heat JSON. *)
+
+let run_heat_bench () =
+  let keyspace = 8192 and value_size = 64 in
+  let key = Rp_workload.Keygen.string_key in
+  let data = String.make value_size 'x' in
+  let make_store ~heat_topk () =
+    Memcached.Store.create ~backend:Memcached.Store.Rp ~initial_size:4096
+      ~heat_topk ()
+  in
+  let prefill store =
+    for i = 0 to keyspace - 1 do
+      ignore (Memcached.Store.set store ~key:(key i) ~flags:0 ~exptime:0 ~data)
+    done
+  in
+  let store_off = make_store ~heat_topk:0 () in
+  let store_on = make_store ~heat_topk:64 () in
+  prefill store_off;
+  prefill store_on;
+  (* Both sides replay the identical precomputed Zipfian key sequence,
+     so the ratio compares the sketch tax, not sampler noise. *)
+  let zkeys =
+    let kg =
+      Rp_workload.Keygen.create ~dist:(Rp_workload.Keygen.Zipfian 0.99)
+        ~keyspace ~seed:7 ~worker:0 ()
+    in
+    Array.init 4096 (fun _ ->
+        key (Rp_workload.Keygen.next_key kg))
+  in
+  let p99_get store =
+    Gc.full_major ();
+    let samples = 300 and batch = 32 in
+    let lat = Array.make samples 0.0 in
+    let k = ref 0 in
+    for i = 0 to samples - 1 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to batch do
+        k := (!k + 1) land (Array.length zkeys - 1);
+        ignore (Memcached.Store.get store zkeys.(!k))
+      done;
+      let t1 = Unix.gettimeofday () in
+      lat.(i) <- (t1 -. t0) /. float_of_int batch *. 1e9
+    done;
+    Array.sort compare lat;
+    lat.(int_of_float (0.99 *. float_of_int samples))
+  in
+  (* Warm both sides to steady state first: the gate prices the
+     sketch's steady-state tax, not its first-touch slot allocation and
+     top-k ramp-up (a few thousand records). *)
+  let warm store =
+    for pass = 1 to 4 do
+      ignore pass;
+      Array.iter (fun k -> ignore (Memcached.Store.get store k)) zkeys
+    done
+  in
+  warm store_off;
+  warm store_on;
+  (* Best-of-N batch p99 per side, for the trend report. *)
+  let p99_off = ref infinity and p99_on = ref infinity in
+  for round = 1 to 4 do
+    ignore round;
+    p99_off := Float.min !p99_off (p99_get store_off);
+    p99_on := Float.min !p99_on (p99_get store_on)
+  done;
+  let p99_off = !p99_off and p99_on = !p99_on in
+  (* The gated ratio mirrors test_obs's read-overhead guard: mean cost
+     over a long run, minimum of interleaved rounds (the robust
+     estimator under scheduler noise — batch p99 is far too jittery to
+     gate on), with one re-measure on a blown budget. *)
+  let mean_get store =
+    Gc.full_major ();
+    let iters = 200_000 in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to iters - 1 do
+      ignore (Memcached.Store.get store zkeys.(i land (Array.length zkeys - 1)))
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9
+  in
+  let mean_off = ref infinity and mean_on = ref infinity in
+  let measure () =
+    for round = 1 to 7 do
+      ignore round;
+      mean_on := Float.min !mean_on (mean_get store_on);
+      mean_off := Float.min !mean_off (mean_get store_off)
+    done
+  in
+  measure ();
+  if !mean_on /. !mean_off > 1.15 then measure ();
+  let ratio = !mean_on /. !mean_off in
+  (* The 50/50 GET/SET mix under Zipf(0.99): the workload the plane
+     exists to describe. *)
+  let keygen =
+    Rp_workload.Keygen.create ~dist:(Rp_workload.Keygen.Zipfian 0.99)
+      ~keyspace ~seed:42 ~worker:0 ()
+  in
+  let prng = Rp_workload.Keygen.prng keygen in
+  let misses = ref 0 in
+  let gets = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. 0.4 in
+  let elapsed = ref 0.0 in
+  while Unix.gettimeofday () < deadline do
+    for _ = 1 to 64 do
+      let k = key (Rp_workload.Keygen.next_key keygen) in
+      if Rp_workload.Prng.float prng < 0.5 then
+        ignore (Memcached.Store.set store_on ~key:k ~flags:0 ~exptime:0 ~data)
+      else begin
+        incr gets;
+        match Memcached.Store.get store_on k with
+        | Some _ -> ()
+        | None -> incr misses
+      end
+    done;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  let get_rps = float_of_int !gets /. !elapsed in
+  (* Sketch-reported vs analytic top-1 share. *)
+  let heat =
+    match Memcached.Store.heat store_on with
+    | Some h -> h
+    | None ->
+        Printf.printf "heat bench: store_on has no heat plane\n";
+        exit 1
+  in
+  let hits = Rp_heat.hits heat in
+  let top =
+    match Rp_heat.Sketch.top ~n:1 hits with
+    | e :: _ -> e
+    | [] ->
+        Printf.printf "heat bench: hits sketch is empty\n";
+        exit 1
+  in
+  (* Share in raw sampled units (count and total scale identically);
+     the reported tracked_hits is scaled back to stream units. *)
+  let share = float_of_int top.Rp_heat.Sketch.count
+              /. float_of_int (Rp_heat.Sketch.total hits) in
+  let tracked = Rp_heat.Sketch.total hits * Rp_heat.sample_every heat in
+  let analytic =
+    Rp_workload.Zipf.pmf (Rp_workload.Zipf.create ~theta:0.99 ~n:keyspace ()) 0
+  in
+  let share_err = Float.abs (share -. analytic) /. analytic in
+  (* The hottest key must surface identically everywhere. *)
+  let topkey = top.Rp_heat.Sketch.key in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn > 0 && go 0
+  in
+  let in_stats =
+    List.assoc_opt "heat_top_hits_0_key" (Memcached.Store.heat_stats store_on)
+    = Some topkey
+  in
+  let in_prom =
+    contains
+      (Rp_obs.Registry.to_prometheus (Memcached.Store.registry store_on))
+      (Printf.sprintf "heat_topk_hits{key=%S}" topkey)
+  in
+  let in_json = contains (Memcached.Store.heat_json store_on) topkey in
+  let oc = open_out "BENCH_heat.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"heat\",\n  \"keyspace\": %d,\n  \
+     \"value_size\": %d,\n  \"get_rps\": %.0f,\n  \
+     \"get_p99_off_ns\": %.0f,\n  \"get_p99_ns\": %.0f,\n  \
+     \"heat_get_ratio\": %.3f,\n  \"top1_key\": \"%s\",\n  \
+     \"top1_share_sketch\": %.5f,\n  \"top1_share_analytic\": %.5f,\n  \
+     \"top1_share_err\": %.4f,\n  \"tracked_hits\": %d,\n  \
+     \"misses\": %d\n}\n"
+    keyspace value_size get_rps p99_off p99_on ratio topkey share analytic
+    share_err tracked !misses;
+  close_out oc;
+  Printf.printf
+    "heat:    GET p99 %.0f -> %.0f ns, mean tax %.2fx, mixed zipf %.0f \
+     get/s, top-1 %s share %.4f vs %.4f analytic (err %.1f%%), report in \
+     BENCH_heat.json\n"
+    p99_off p99_on ratio get_rps topkey share analytic (share_err *. 100.);
+  if !misses > 0 then begin
+    Printf.printf "heat bench: %d GET misses on a prefilled keyspace\n" !misses;
+    exit 1
+  end;
+  if ratio > 1.15 then begin
+    Printf.printf "heat bench: sketch tax %.2fx exceeds the 1.15x budget\n"
+      ratio;
+    exit 1
+  end;
+  if share_err > 0.10 then begin
+    Printf.printf
+      "heat bench: top-1 share %.4f is %.1f%% off the analytic %.4f (>10%%)\n"
+      share (share_err *. 100.) analytic;
+    exit 1
+  end;
+  if not (in_stats && in_prom && in_json) then begin
+    Printf.printf
+      "heat bench: top key %s missing from a surface (stats %b, prometheus \
+       %b, json %b)\n"
+      topkey in_stats in_prom in_json;
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
@@ -1042,8 +1249,10 @@ let () =
     run_server_bench ();
     run_guard_bench ();
     run_cluster_bench ();
-    run_tier_bench ()
+    run_tier_bench ();
+    run_heat_bench ()
   end
+  else if List.mem "--heat-only" args then run_heat_bench ()
   else begin
   let options =
     if quick then Rp_figures.Figures.quick_options

@@ -114,6 +114,50 @@ let pipeline_arg =
   in
   Arg.(value & opt int 1 & info [ "P"; "pipeline" ] ~docv:"N" ~doc)
 
+let report_heat_arg =
+  let doc =
+    "After the run, fetch 'stats heat' from the server and print the \
+     sketch-observed hottest-key share — against the analytic Zipfian \
+     top-1 share when --zipf is set. Requires --socket or --servers and \
+     a server started with --heat-topk."
+  in
+  Arg.(value & flag & info [ "report-heat" ] ~doc)
+
+(* --report-heat: ask the server's workload-insight plane what it saw and
+   line it up with what the generator sent — a one-command sanity check
+   that the sketch is measuring the traffic it was offered. *)
+let report_heat addr ~keyspace ~zipf =
+  let client = Memcached.Client.connect addr in
+  let kvs = Memcached.Client.stats ~arg:"heat" client in
+  Memcached.Client.close client;
+  let find k = List.assoc_opt k kvs in
+  match find "heat_enabled" with
+  | Some "1" -> (
+      match
+        ( find "heat_top_hits_0_key",
+          find "heat_top_hits_0_count",
+          find "heat_hits_tracked_total" )
+      with
+      | Some key, Some count, Some total
+        when (try float_of_string total > 0. with _ -> false) ->
+          let count = float_of_string count in
+          let total = float_of_string total in
+          let share = count /. total in
+          Printf.printf "heat: hottest key %s: %.0f of %.0f tracked hits (share %.4f)\n"
+            key count total share;
+          (match zipf with
+          | Some theta ->
+              let z = Rp_workload.Zipf.create ~theta ~n:keyspace () in
+              let analytic = Rp_workload.Zipf.pmf z 0 in
+              Printf.printf
+                "heat: analytic Zipf(%g) top-1 share %.4f (observed/expected %.3f)\n"
+                theta analytic (share /. analytic)
+          | None -> ())
+      | _ -> print_endline "heat: no heavy hitters tracked yet")
+  | _ ->
+      print_endline
+        "heat: plane disabled on server (start it with --heat-topk <k>)"
+
 let print_result (r : Memcached.Mc_benchmark.result) =
   Printf.printf "requests:    %d\n" r.requests;
   Printf.printf "elapsed:     %.3f s\n" r.elapsed;
@@ -182,7 +226,7 @@ let run_socket_pipelined path workers duration keyspace value_size pipeline
        })
 
 let run backend socket servers workers duration keyspace value_size mode
-    pipeline zipf =
+    pipeline zipf heat =
   let dist =
     match zipf with
     | Some theta -> Rp_workload.Keygen.Zipfian theta
@@ -200,15 +244,20 @@ let run backend socket servers workers duration keyspace value_size mode
              svalue_size = value_size;
              sseed = 42;
              sdist = dist;
-           })
+           });
+      if heat then
+        let h, p, _ = List.hd servers in
+        report_heat (Memcached.Server.Inet (h, p)) ~keyspace ~zipf
   | Some path, None when pipeline > 1 ->
       (match mode with
       | Memcached.Mc_benchmark.Get_only -> ()
       | _ -> prerr_endline "note: --pipeline > 1 implies a pure-GET workload");
       run_socket_pipelined path workers duration keyspace value_size pipeline
-        dist
+        dist;
+      if heat then report_heat (Memcached.Server.Unix_socket path) ~keyspace ~zipf
   | Some path, None ->
-      run_socket path workers duration keyspace value_size mode dist
+      run_socket path workers duration keyspace value_size mode dist;
+      if heat then report_heat (Memcached.Server.Unix_socket path) ~keyspace ~zipf
   | None, None ->
       let config =
         {
@@ -221,7 +270,9 @@ let run backend socket servers workers duration keyspace value_size mode
           dist;
         }
       in
-      print_result (Memcached.Mc_benchmark.run_backend ~backend config)
+      print_result (Memcached.Mc_benchmark.run_backend ~backend config);
+      if heat then
+        prerr_endline "note: --report-heat needs --socket or --servers"
 
 let cmd =
   let doc = "mc-benchmark-style load generator for the mini-memcached" in
@@ -229,6 +280,6 @@ let cmd =
     Term.(
       const run $ backend_arg $ socket_arg $ servers_arg $ workers_arg
       $ duration_arg $ keyspace_arg $ value_size_arg $ mode_arg $ pipeline_arg
-      $ zipf_arg)
+      $ zipf_arg $ report_heat_arg)
 
 let () = exit (Cmd.eval cmd)

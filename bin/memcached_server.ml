@@ -157,6 +157,24 @@ let trace_slow_ms_arg =
   in
   Arg.(value & opt float 100. & info [ "trace-slow-ms" ] ~docv:"MS" ~doc)
 
+let heat_topk_arg =
+  let doc =
+    "Track the $(docv) heaviest hitters per sketch (hits, misses, \
+     mutations) in the workload-insight plane, exposed via 'stats heat', \
+     the heat_* Prometheus families, /heat, and 'heat dump' (0 = off; \
+     an unconfigured plane costs one branch on the hot path)."
+  in
+  Arg.(value & opt int 0 & info [ "heat-topk" ] ~docv:"K" ~doc)
+
+let heat_sample_arg =
+  let doc =
+    "Head-sampling period of the heat plane's note path (power of two): \
+     one operation in $(docv) pays for sketch and histogram work, and \
+     exposed counts are scaled back to stream units. 1 records every \
+     operation."
+  in
+  Arg.(value & opt int 16 & info [ "heat-sample" ] ~docv:"N" ~doc)
+
 let trace_buffer_arg =
   let doc =
     "Flight-recorder ring size per worker domain, in span records (rounded \
@@ -222,7 +240,8 @@ let replica_of_arg =
 let run backend port socket max_mb metrics_port mode workers data_dir
     snapshot_interval aof fsync_policy guard_enabled shed_watermarks
     max_inflight conn_write_cap oplog_max_mb trace_sample trace_slow_ms
-    trace_buffer tier_dir tier_max_mb tier_demote repl_port replica_of =
+    trace_buffer heat_topk heat_sample tier_dir tier_max_mb tier_demote
+    repl_port replica_of =
   Rp_trace.configure ~sample:trace_sample ~slow_ms:trace_slow_ms
     ~buffer:trace_buffer ();
   let rcu_mode =
@@ -235,7 +254,7 @@ let run backend port socket max_mb metrics_port mode workers data_dir
   in
   let store =
     Memcached.Store.create ~backend ~rcu_mode ~max_bytes:(max_mb * 1024 * 1024)
-      ()
+      ~heat_topk ~heat_sample ()
   in
   (* The guard attaches before persistence so the post-recovery eviction
      sweep and every later transition are observable from the start. *)
@@ -391,7 +410,9 @@ let run backend port socket max_mb metrics_port mode workers data_dir
       (fun p ->
         let m =
           Memcached.Metrics_http.start
-            ~registry:(Memcached.Store.registry store) p
+            ~registry:(Memcached.Store.registry store)
+            ~heat:(fun n -> Memcached.Store.heat_json ?n store)
+            p
         in
         Printf.printf "metrics on http://127.0.0.1:%d/metrics\n%!"
           (Memcached.Metrics_http.port m);
@@ -421,7 +442,7 @@ let cmd =
       $ snapshot_interval_arg $ aof_arg $ fsync_policy_arg $ guard_arg
       $ shed_watermarks_arg $ max_inflight_arg $ conn_write_cap_arg
       $ oplog_max_mb_arg $ trace_sample_arg $ trace_slow_ms_arg
-      $ trace_buffer_arg $ tier_dir_arg $ tier_max_mb_arg $ tier_mode_arg
-      $ repl_port_arg $ replica_of_arg)
+      $ trace_buffer_arg $ heat_topk_arg $ heat_sample_arg $ tier_dir_arg $ tier_max_mb_arg
+      $ tier_mode_arg $ repl_port_arg $ replica_of_arg)
 
 let () = exit (Cmd.eval cmd)

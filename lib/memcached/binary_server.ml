@@ -185,6 +185,11 @@ let handle store (request : request) : response list =
         | "trace" -> Some (Store.trace_stats store)
         | "guard" -> Some (Store.guard_stats store)
         | "tier" -> Some (Store.tier_stats store)
+        | "cluster" -> Some (Store.cluster_stats store)
+        | "heat" -> Some (Store.heat_stats store)
+        | "reset" ->
+            Store.reset_stats store;
+            Some []
         | _ -> None
       in
       match section with

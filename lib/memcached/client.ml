@@ -356,6 +356,11 @@ let trace_dump ?max_events t =
   | Protocol.Trace_json json -> json
   | _ -> failwith "Memcached.Client.trace_dump: unexpected response"
 
+let heat_dump ?n t =
+  match request t (Protocol.Heat_dump n) with
+  | Protocol.Trace_json json -> json
+  | _ -> failwith "Memcached.Client.heat_dump: unexpected response"
+
 let version t =
   match request t Protocol.Version with
   | Protocol.Version_reply v -> v

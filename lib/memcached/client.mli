@@ -91,6 +91,11 @@ val trace_dump : ?max_events:int -> t -> string
 (** Send [trace dump [n]] and return the server's flight-recorder export
     (one line of Chrome trace-event JSON). *)
 
+val heat_dump : ?n:int -> t -> string
+(** Send [heat dump [n]] and return the server's workload-insight export
+    (one line of JSON: top-[n] heavy hitters per sketch, stripe heatmap,
+    size histograms). *)
+
 val version : t -> string
 
 val promote : t -> (unit, string) result

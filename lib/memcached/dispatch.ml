@@ -18,8 +18,8 @@ let sheddable : Protocol.request -> bool = function
   | Protocol.Decr _ | Protocol.Touch _ | Protocol.Flush_all _ ->
       true
   | Protocol.Get _ | Protocol.Gets _ | Protocol.Stats _
-  | Protocol.Trace_dump _ | Protocol.Cluster_promote | Protocol.Version
-  | Protocol.Quit ->
+  | Protocol.Trace_dump _ | Protocol.Heat_dump _ | Protocol.Cluster_promote
+  | Protocol.Version | Protocol.Quit ->
       false
 
 let request_noreply : Protocol.request -> bool = function
@@ -118,10 +118,16 @@ let handle store (request : Protocol.request) : Protocol.response option =
       Some (Protocol.Stats_reply (Store.tier_stats store))
   | Protocol.Stats (Some "cluster") ->
       Some (Protocol.Stats_reply (Store.cluster_stats store))
+  | Protocol.Stats (Some "heat") ->
+      Some (Protocol.Stats_reply (Store.heat_stats store))
+  | Protocol.Stats (Some "reset") ->
+      Store.reset_stats store;
+      Some (Protocol.Stats_reply [])
   | Protocol.Stats (Some arg) ->
       Some (Protocol.Client_error ("unknown stats argument: " ^ arg))
   | Protocol.Trace_dump max_events ->
       Some (Protocol.Trace_json (Rp_trace.export_json ?max_events ()))
+  | Protocol.Heat_dump n -> Some (Protocol.Trace_json (Store.heat_json ?n store))
   | Protocol.Cluster_promote -> (
       match Store.promote store with
       | Ok _ -> Some Protocol.Ok_reply

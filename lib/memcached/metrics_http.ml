@@ -3,6 +3,7 @@
      /metrics (or /)  Prometheus text
      /json            the registry as JSON
      /trace           the flight recorder as Chrome trace-event JSON
+     /heat            the workload-insight plane (heat provider attached)
    anything else is a 404. *)
 
 type t = {
@@ -24,23 +25,52 @@ let respond fd ~status ~content_type body =
   try Io.write_all fd (head ^ body)
   with Unix.Unix_error _ | Io.Timeout | Rp_fault.Injected _ -> ()
 
-(* The path from a "GET /path HTTP/1.x" request line, query string
-   stripped. Anything unparseable routes like "/" (the scrape default). *)
-let request_path data =
+(* The (path, query) from a "GET /path?query HTTP/1.x" request line.
+   Anything unparseable routes like "/" (the scrape default). *)
+let request_target data =
   match String.split_on_char ' ' data with
   | _meth :: target :: _ when String.length target > 0 && target.[0] = '/' ->
       (match String.index_opt target '?' with
-      | Some q -> String.sub target 0 q
-      | None -> target)
-  | _ -> "/"
+      | Some q ->
+          ( String.sub target 0 q,
+            Some (String.sub target (q + 1) (String.length target - q - 1)) )
+      | None -> (target, None))
+  | _ -> ("/", None)
 
-let serve registry fd =
+(* /heat accepts a single [n=<positive int>] parameter (top-n cutoff).
+   Anything else in the query is a client error — a malformed scrape
+   config should answer 400, never 500 or a silently wrong document. *)
+let heat_query query =
+  match query with
+  | None | Some "" -> Ok None
+  | Some q ->
+      List.fold_left
+        (fun acc part ->
+          match acc with
+          | Error _ -> acc
+          | Ok _ -> (
+              match String.index_opt part '=' with
+              | Some eq when String.sub part 0 eq = "n" -> (
+                  let v =
+                    String.sub part (eq + 1) (String.length part - eq - 1)
+                  in
+                  match int_of_string_opt v with
+                  | Some n when n > 0 -> Ok (Some n)
+                  | Some _ | None ->
+                      Error (Printf.sprintf "bad n value: %s\n" v))
+              | Some _ | None ->
+                  Error (Printf.sprintf "unknown query parameter: %s\n" part)))
+        (Ok None)
+        (String.split_on_char '&' q)
+
+let serve ?heat registry fd =
   let buf = Bytes.create 4096 in
   let n =
     try Io.read fd buf with
     | Unix.Unix_error _ | End_of_file | Io.Timeout | Rp_fault.Injected _ -> 0
   in
-  (match request_path (Bytes.sub_string buf 0 n) with
+  let path, query = request_target (Bytes.sub_string buf 0 n) in
+  (match path with
   | "/" | "/metrics" ->
       respond fd ~status:"200 OK" ~content_type:prometheus_type
         (Rp_obs.Registry.to_prometheus registry)
@@ -50,22 +80,33 @@ let serve registry fd =
   | "/trace" ->
       respond fd ~status:"200 OK" ~content_type:json_type
         (Rp_trace.export_json ())
+  | "/heat" -> (
+      match heat with
+      | None ->
+          respond fd ~status:"404 Not Found" ~content_type:"text/plain"
+            "no such endpoint: /heat\n"
+      | Some f -> (
+          match heat_query query with
+          | Ok n -> respond fd ~status:"200 OK" ~content_type:json_type (f n)
+          | Error msg ->
+              respond fd ~status:"400 Bad Request" ~content_type:"text/plain"
+                msg))
   | path ->
       respond fd ~status:"404 Not Found" ~content_type:"text/plain"
         (Printf.sprintf "no such endpoint: %s\n" path));
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let accept_loop t registry =
+let accept_loop t ?heat registry =
   while Atomic.get t.running do
     match Unix.accept t.listen_fd with
     | fd, _ ->
         if not (Atomic.get t.running) then (
           try Unix.close fd with Unix.Unix_error _ -> ())
-        else ignore (Thread.create (fun () -> serve registry fd) ())
+        else ignore (Thread.create (fun () -> serve ?heat registry fd) ())
     | exception Unix.Unix_error _ -> ()
   done
 
-let start ~registry port =
+let start ~registry ?heat port =
   Io.ignore_sigpipe ();
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -85,7 +126,10 @@ let start ~registry port =
       port;
     }
   in
-  { t with accept_thread = Thread.create (fun () -> accept_loop t registry) () }
+  {
+    t with
+    accept_thread = Thread.create (fun () -> accept_loop t ?heat registry) ();
+  }
 
 let port t = t.port
 

@@ -5,14 +5,21 @@
     - [/json] to {!Rp_obs.Registry.to_json} ([application/json]);
     - [/trace] to {!Rp_trace.export_json} — the flight recorder as
       Chrome trace-event / Perfetto JSON ([application/json]);
+    - [/heat] to the workload-insight provider passed at {!start}
+      ([application/json]; accepts [?n=<positive int>] to bound the
+      top-k, answers 400 on any other query string, 404 when no
+      provider is attached);
     - anything else to a 404.
     Backs the memcached server binary's [--metrics-port] flag. *)
 
 type t
 
-val start : registry:Rp_obs.Registry.t -> int -> t
+val start :
+  registry:Rp_obs.Registry.t -> ?heat:(int option -> string) -> int -> t
 (** [start ~registry port] binds [127.0.0.1:port] ([0] = OS-assigned; see
-    {!port}) and serves scrapes on a background thread. *)
+    {!port}) and serves scrapes on a background thread. [heat] renders
+    the [/heat] JSON document for a parsed [n] cutoff (typically
+    [fun n -> Store.heat_json ?n store]). *)
 
 val port : t -> int
 (** The bound port (useful with [start ~registry 0]). *)

@@ -21,6 +21,7 @@ type request =
   | Touch of { key : string; exptime : int; noreply : bool }
   | Stats of string option
   | Trace_dump of int option  (** [trace dump [n]]: flight-recorder export *)
+  | Heat_dump of int option  (** [heat dump [n]]: workload-insight export *)
   | Cluster_promote  (** [cluster promote]: replica -> leader *)
   | Flush_all of { noreply : bool }
   | Version
@@ -84,6 +85,8 @@ let encode_request = function
   | Stats (Some arg) -> "stats " ^ arg ^ crlf
   | Trace_dump None -> "trace dump" ^ crlf
   | Trace_dump (Some n) -> Printf.sprintf "trace dump %d%s" n crlf
+  | Heat_dump None -> "heat dump" ^ crlf
+  | Heat_dump (Some n) -> Printf.sprintf "heat dump %d%s" n crlf
   | Cluster_promote -> "cluster promote" ^ crlf
   | Flush_all { noreply } ->
       Printf.sprintf "flush_all%s%s" (if noreply then " noreply" else "") crlf
@@ -372,6 +375,14 @@ module Parser = struct
                 | Some n when n > 0 -> Some (Ok (Trace_dump (Some n)))
                 | _ -> Some (Error "bad trace dump count"))
             | _ -> Some (Error "bad trace"))
+        | "heat" -> (
+            match args with
+            | [ "dump" ] -> Some (Ok (Heat_dump None))
+            | [ "dump"; n ] -> (
+                match int_arg n with
+                | Some n when n > 0 -> Some (Ok (Heat_dump (Some n)))
+                | _ -> Some (Error "bad heat dump count"))
+            | _ -> Some (Error "bad heat"))
         | "cluster" -> (
             match args with
             | [ "promote" ] -> Some (Ok Cluster_promote)

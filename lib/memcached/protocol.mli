@@ -35,6 +35,10 @@ type request =
   | Trace_dump of int option
       (** [trace dump [n]]: export the flight recorder's newest [n]
           events (all, when omitted) as Chrome trace-event JSON *)
+  | Heat_dump of int option
+      (** [heat dump [n]]: export the workload-insight plane — top [n]
+          heavy hitters per sketch (all [k], when omitted), stripe
+          heatmap, size histograms — as one JSON document *)
   | Cluster_promote
       (** [cluster promote]: a following replica stops replicating,
           clears read-only, and starts accepting mutations *)

@@ -97,6 +97,10 @@ type t = {
   max_bytes : int;
   slab : Slab.t;  (* chunk-level accounting; eviction compares chunk bytes *)
   clock : unit -> float;
+  (* Workload-insight plane (Some iff created with [heat_topk > 0]).
+     Every hot-path emission sits behind one branch on this option, so
+     an unconfigured plane costs nothing but that branch. *)
+  heat : Rp_heat.t option;
   (* striped counters, registered in [registry] under their stats names.
      GET-path counters ride the wait-free lookup, so they must never be a
      shared atomic RMW. *)
@@ -138,7 +142,7 @@ let hash_key = Rp_hashes.Hashfn.fnv1a_string
 
 let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
     ?(initial_size = 1024) ?(auto_resize = true) ?(stripes = 8)
-    ?(clock = Unix.gettimeofday) () =
+    ?(heat_topk = 0) ?(heat_sample = 16) ?(clock = Unix.gettimeofday) () =
   let qsbr =
     match (backend, rcu_mode) with Rp, Qsbr -> Some (Rcu_qsbr.create ()) | _ -> None
   in
@@ -197,6 +201,9 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
       max_bytes;
       slab = Slab.create ();
       clock;
+      heat = (if heat_topk > 0 then
+           Some (Rp_heat.create ~k:heat_topk ~sample_every:heat_sample ())
+         else None);
       registry;
       get_hits = counter "get_hits" "GETs that found a live item";
       get_misses = counter "get_misses" "GETs that missed or hit an expired item";
@@ -276,6 +283,15 @@ let create ?(backend = Rp) ?(rcu_mode = Memb) ?(max_bytes = 64 * 1024 * 1024)
             ~help:"QSBR participant threads registered" "rcu_qsbr_threads"
             (fun () -> float_of_int (Rcu_qsbr.registered_threads q)))
   | Lock_state _ -> ());
+  (match t.heat with
+  | None -> ()
+  | Some h ->
+      let stripe_heat =
+        match t.state with
+        | Rp_state rs -> fun () -> Rp_ht.stripe_heat rs.rp
+        | Lock_state _ -> fun () -> [||]
+      in
+      Rp_heat.register h registry ~stripe_heat);
   t
 
 let backend t = match t.state with Lock_state _ -> Lock | Rp_state _ -> Rp
@@ -360,6 +376,37 @@ let record_set t ~op key (item : Item.t) =
              cas = item.cas;
              data = item.data;
            })
+
+(* --- heat plane emission (each call is one branch when the plane is
+   off; the plane itself is plain stripe-discipline stores) --- *)
+
+let[@inline] heat_hit t key data =
+  match t.heat with
+  | None -> ()
+  | Some h -> Rp_heat.note_hit h key ~vbytes:(String.length data)
+
+let[@inline] heat_miss t key =
+  match t.heat with None -> () | Some h -> Rp_heat.note_miss h key
+
+let[@inline] heat_set t key ~vbytes =
+  match t.heat with None -> () | Some h -> Rp_heat.note_set h ~vbytes key
+
+(* Mutations with no payload of their own (touch, incr/decr). *)
+let[@inline] heat_mutation t key =
+  match t.heat with None -> () | Some h -> Rp_heat.note_set h key
+
+let[@inline] heat_delete t key =
+  match t.heat with None -> () | Some h -> Rp_heat.note_delete h key
+
+let[@inline] heat_tier_demote t ~vbytes =
+  match t.heat with None -> () | Some h -> Rp_heat.note_tier_demote h ~vbytes
+
+let[@inline] heat_tier_promote t ~vbytes =
+  match t.heat with None -> () | Some h -> Rp_heat.note_tier_promote h ~vbytes
+
+(* Exemplar stamp beside a [Histogram.observe] of the same value. *)
+let[@inline] heat_slo t name value =
+  match t.heat with None -> () | Some h -> Rp_heat.note_slo h name value
 
 (* --- Lock backend primitives (global lock held by callers below) --- *)
 
@@ -557,12 +604,14 @@ let rp_demote t rs key (item : Item.t) =
               in
               rp_store t rs key marker;
               Rp_obs.Counter.incr t.tier_demotions;
+              heat_tier_demote t ~vbytes:(String.length item.data);
               true
           | None -> false
         in
         Rp_trace.span_end_sampled k_tier_demote span;
-        Rp_obs.Histogram.observe t.tier_demote_us
-          ((Rp_trace.now_ns () - started) / 1000);
+        let us = (Rp_trace.now_ns () - started) / 1000 in
+        Rp_obs.Histogram.observe t.tier_demote_us us;
+        heat_slo t "tier_demote_us" us;
         demoted
       end
 
@@ -585,8 +634,9 @@ let resolve_cold_locked t key (item : Item.t) =
       | Some hooks -> (
           let started = Rp_trace.now_ns () in
           let r = hooks.th_read (segment, offset, len) in
-          Rp_obs.Histogram.observe t.tier_read_us
-            ((Rp_trace.now_ns () - started) / 1000);
+          let us = (Rp_trace.now_ns () - started) / 1000 in
+          Rp_obs.Histogram.observe t.tier_read_us us;
+          heat_slo t "tier_read_us" us;
           match r with
           | Ok (rkey, data) when String.equal rkey key -> Some data
           | Ok _ ->
@@ -644,8 +694,9 @@ let rp_sweep_locked t rs =
                   end)
     done;
     Rp_trace.span_end k_evict_sweep sweep_span;
-    Rp_obs.Histogram.observe t.evict_sweep_us
-      ((Rp_trace.now_ns () - sweep_start) / 1000)
+    let us = (Rp_trace.now_ns () - sweep_start) / 1000 in
+    Rp_obs.Histogram.observe t.evict_sweep_us us;
+    heat_slo t "eviction_sweep_us" us
   end
 
 (* Post-store budget enforcement. Mutating commands call this AFTER
@@ -709,6 +760,7 @@ let get_rp_raw t rs ?(with_cas = false) ?expired_acc key =
   match Rp_ht.find rs.rp key with
   | None ->
       Rp_obs.Counter.incr t.get_misses;
+      heat_miss t key;
       `Miss
   | Some item ->
       if Item.is_expired item ~now then begin
@@ -717,12 +769,14 @@ let get_rp_raw t rs ?(with_cas = false) ?expired_acc key =
         | Some acc -> acc := key :: !acc
         | None -> rp_expire_if_dead t rs ~now key);
         Rp_obs.Counter.incr t.get_misses;
+        heat_miss t key;
         `Miss
       end
       else if Item.is_cold item then `Cold (* hit/miss counted at resolution *)
       else begin
         Item.touch_access item ~now;
         Rp_obs.Counter.incr t.get_hits;
+        heat_hit t key item.data;
         `Hit (value_of_item ~with_cas key item)
       end
 
@@ -743,22 +797,26 @@ let rec promote_attempt t rs ~with_cas ~hooks key tries =
   match Rp_ht.find rs.rp key with
   | None ->
       Rp_obs.Counter.incr t.get_misses;
+      heat_miss t key;
       None
   | Some item when Item.is_expired item ~now ->
       rp_expire_if_dead t rs ~now key;
       Rp_obs.Counter.incr t.get_misses;
+      heat_miss t key;
       None
   | Some item -> (
       match item.Item.location with
       | Item.Hot ->
           Item.touch_access item ~now;
           Rp_obs.Counter.incr t.get_hits;
+          heat_hit t key item.data;
           Some (value_of_item ~with_cas key item)
       | Item.Cold { segment; offset; len } -> (
           let started = Rp_trace.now_ns () in
           let r = hooks.th_read (segment, offset, len) in
-          Rp_obs.Histogram.observe t.tier_read_us
-            ((Rp_trace.now_ns () - started) / 1000);
+          let read_us = (Rp_trace.now_ns () - started) / 1000 in
+          Rp_obs.Histogram.observe t.tier_read_us read_us;
+          heat_slo t "tier_read_us" read_us;
           match r with
           | Ok (rkey, data) when String.equal rkey key -> (
               let promoted =
@@ -780,12 +838,15 @@ let rec promote_attempt t rs ~with_cas ~hooks key tries =
               | Some v ->
                   Rp_obs.Counter.incr t.tier_promotions;
                   Rp_obs.Counter.incr t.get_hits;
+                  heat_tier_promote t ~vbytes:(String.length data);
+                  heat_hit t key data;
                   Some v
               | None ->
                   if tries > 0 then
                     promote_attempt t rs ~with_cas ~hooks key (tries - 1)
                   else begin
                     Rp_obs.Counter.incr t.get_misses;
+                    heat_miss t key;
                     None
                   end)
           | Error Tier_gone when tries > 0 ->
@@ -800,6 +861,7 @@ let rec promote_attempt t rs ~with_cas ~hooks key tries =
                   | Some cur when cur == item -> ignore (rp_delete t rs key)
                   | _ -> ());
               Rp_obs.Counter.incr t.get_misses;
+              heat_miss t key;
               None))
 
 let promote_and_get t rs ~with_cas key =
@@ -807,6 +869,7 @@ let promote_and_get t rs ~with_cas key =
   | None ->
       (* A marker with no tier attached (shutdown window): unreadable. *)
       Rp_obs.Counter.incr t.get_misses;
+      heat_miss t key;
       None
   | Some hooks ->
       let span = Rp_trace.span_begin_sampled k_tier_promote in
@@ -834,11 +897,13 @@ let get_lock t ls ?(with_cas = false) key =
       match lock_find_live t ls key ~now with
       | None ->
           Rp_obs.Counter.incr t.get_misses;
+          heat_miss t key;
           None
       | Some entry ->
           Lru.touch ls.lru entry.node;
           Item.touch_access entry.item ~now;
           Rp_obs.Counter.incr t.get_hits;
+          heat_hit t key entry.item.data;
           Some (value_of_item ~with_cas key entry.item))
 
 let get t key =
@@ -898,6 +963,7 @@ let fits_slab t ~key ~data =
 
 let storage_command t ~op ~key ~flags ~exptime ~data ~guard =
   Rp_obs.Counter.incr t.cmd_set;
+  heat_set t key ~vbytes:(String.length data);
   let now = t.clock () in
   let exptime = absolute_exptime t exptime in
   if not (fits_slab t ~key ~data) then Too_large
@@ -958,6 +1024,7 @@ let cas t ~key ~flags ~exptime ~data ~unique =
    the existing flags and expiry (memcached semantics). *)
 let concat_command t ~op ~key ~data ~build =
   Rp_obs.Counter.incr t.cmd_set;
+  heat_set t key ~vbytes:(String.length data);
   let now = t.clock () in
   let perform (item : Item.t) ~old_data store =
     let combined = build old_data data in
@@ -1011,6 +1078,7 @@ let prepend t ~key ~data =
 
 let delete t key =
   Rp_obs.Counter.incr t.deletes;
+  heat_delete t key;
   let perform deleted =
     (* Tombstone even on NOT_FOUND: eviction is not logged, so a key can
        be absent from memory yet still durable (plain eviction is the
@@ -1030,6 +1098,7 @@ let delete t key =
 
 (* incr/decr rewrite the stored decimal string; decr saturates at zero. *)
 let counter_command t ~op key delta ~apply =
+  heat_mutation t key;
   let now = t.clock () in
   let compute (item : Item.t) ~data store =
     match int_of_string_opt (String.trim data) with
@@ -1081,6 +1150,7 @@ let decr t key delta =
     ~apply:(fun n d -> max 0 (n - d))
 
 let touch t ~key ~exptime =
+  heat_mutation t key;
   let now = t.clock () in
   let exptime = absolute_exptime t exptime in
   let retouch (item : Item.t) ~data store =
@@ -1343,6 +1413,9 @@ let guard_instrument name = has_prefix "guard_" name
 (* "stats tier" filter: the cold-tier instruments. *)
 let tier_instrument name = has_prefix "tier_" name
 
+(* "stats heat" filter: the workload-insight instruments. *)
+let heat_instrument name = has_prefix "heat_" name
+
 let stats t =
   ("backend", match backend t with Lock -> "lock" | Rp -> "rp")
   :: Rp_obs.Registry.to_stats
@@ -1353,7 +1426,7 @@ let stats t =
          n = "tier_demotions_total"
          || not
               (rp_instrument n || persist_instrument n || trace_instrument n
-             || guard_instrument n || tier_instrument n))
+             || guard_instrument n || tier_instrument n || heat_instrument n))
        t.registry
 
 let rp_stats t = Rp_obs.Registry.to_stats ~filter:rp_instrument t.registry
@@ -1397,3 +1470,28 @@ let guard_stats t =
       @ Rp_obs.Registry.to_stats
           ~filter:(fun n -> guard_instrument n && not (List.mem n seen))
           t.registry
+
+let heat t = t.heat
+
+(* "stats heat": the registered heat_* instruments (tracked totals,
+   top-k labeled gauges, size histograms, stripe heatmap) plus the
+   bounded per-rank detail lines ([Rp_heat.stats_kv]). *)
+let heat_stats t =
+  match t.heat with
+  | None -> [ ("heat_enabled", "0") ]
+  | Some h ->
+      (("heat_enabled", "1") :: Rp_heat.stats_kv h)
+      @ Rp_obs.Registry.to_stats ~filter:heat_instrument t.registry
+
+let heat_json ?n t =
+  match t.heat with
+  | None -> "{\"heat_enabled\":false}"
+  | Some h -> Rp_heat.to_json ?n h
+
+(* "stats reset": clear the resettable workload-insight state — heat
+   sketches, exemplar cells, and every registry histogram — while
+   leaving monotonic counters (cmd_get, evictions, ...) untouched, as
+   real memcached does. *)
+let reset_stats t =
+  (match t.heat with None -> () | Some h -> Rp_heat.reset h);
+  Rp_obs.Registry.reset_histograms t.registry

@@ -46,6 +46,8 @@ val create :
   ?initial_size:int ->
   ?auto_resize:bool ->
   ?stripes:int ->
+  ?heat_topk:int ->
+  ?heat_sample:int ->
   ?clock:(unit -> float) ->
   unit ->
   t
@@ -54,10 +56,15 @@ val create :
     backend only) lets the table grow/shrink with item count; [stripes]
     (default 8, rounded up to a power of two, RP backend only) is the
     update-stripe count — also passed down as the backing table's writer
-    stripe count; [clock] is injectable for expiry tests. [rcu_mode]
-    (default {!Memb}) selects the RCU flavour backing the {!Rp} table;
-    {!Qsbr} makes every GET a zero-cost read section but obliges callers
-    to QSBR discipline. *)
+    stripe count; [heat_topk] (default 0 = off) enables the {!Rp_heat}
+    workload-insight plane tracking that many heavy hitters per sketch
+    — when 0 the hot-path cost is a single branch on a [None];
+    [heat_sample] (default 16, power of two) is the plane's head-sampling
+    period — one note in that many pays for sketch work, and exposed
+    counts are scaled back (pass 1 for exact counts in tests); [clock]
+    is injectable for expiry tests. [rcu_mode] (default {!Memb}) selects
+    the RCU flavour backing the {!Rp} table; {!Qsbr} makes every GET a
+    zero-cost read section but obliges callers to QSBR discipline. *)
 
 val backend : t -> backend
 val rcu_mode : t -> rcu_mode
@@ -290,6 +297,24 @@ val cluster_stats : t -> (string * string) list
 (** [stats cluster] lines: the cluster glue's live view (role, sent and
     acked watermarks, follower list / leader link). A single disabled
     marker when the cluster plane is off. *)
+
+val heat : t -> Rp_heat.t option
+(** The workload-insight plane, when the store was created with
+    [heat_topk > 0]. *)
+
+val heat_stats : t -> (string * string) list
+(** [stats heat] lines: per-rank heavy-hitter detail plus every [heat_*]
+    instrument (top-k labeled gauges, size histograms, stripe heatmap).
+    A single disabled marker when the plane is off. *)
+
+val heat_json : ?n:int -> t -> string
+(** The [/heat] JSON document (top [n] entries per sketch, default all
+    [k]); [{"heat_enabled": false}] when the plane is off. *)
+
+val reset_stats : t -> unit
+(** [stats reset]: clear the heat sketches, exemplar cells, and every
+    registry histogram. Monotonic counters ([cmd_get], [evictions], ...)
+    survive — matching stock memcached's reset semantics. *)
 
 val items : t -> int
 

@@ -372,6 +372,23 @@ let rules_for = function
            back. A hard miss is a data-loss bug, not a perf number. *)
         rule "hard_misses" Exact_zero;
       ]
+  | "heat" ->
+      [
+        (* GET throughput of the 50/50 Zipf mix with the sketches on. *)
+        rule "get_rps" Higher_better;
+        (* Heat-on GET p99: tails on a shared box are noisy, so the
+           bound is a generous multiple — the sketch-tax *ratio* below
+           is the tight gate. *)
+        rule "get_p99_ns" Lower_better ~max_regression:4.0;
+        (* Sketch tax: heat-on over heat-off GET p99. The 1.15x budget
+           is enforced in-process (best-of-8); here the gate only has
+           to catch a drift. *)
+        rule "heat_get_ratio" Lower_better ~max_regression:0.5;
+        (* The oracle: a GET miss on the prefilled keyspace means the
+           mix was not measuring what it claims. The top-1 accuracy
+           gate (10% of analytic) is enforced in-process. *)
+        rule "misses" Exact_zero;
+      ]
   | name -> invalid_arg ("Trend.rules_for: unknown benchmark " ^ name)
 
 let benchmark_name json =

@@ -68,8 +68,19 @@ type ('k, 'v) t = {
   obs_deletes : Rp_obs.Counter.t;
   obs_stripe_acq : Rp_obs.Counter.t;
   obs_stripe_contended : Rp_obs.Counter.t;
+  (* Per-stripe heatmap cells behind the aggregate counters above, so
+     the heat plane can show WHICH stripes contend, not just how much.
+     Acquisition cells are plain ints padded a cache line apart — only
+     the stripe's lock holder writes its cell. Contended cells are
+     atomics: the increment happens while the lock is still held by
+     someone else, so racers can collide on it. *)
+  stripe_acq_cells : int array;  (* index: stripe * stripe_cell_stride *)
+  stripe_cont_cells : int Atomic.t array;
   resize_hist : Rp_obs.Histogram.t;  (* per expand/shrink duration, ns *)
 }
+
+(* 8 words = one 64-byte line between adjacent stripes' cells. *)
+let stripe_cell_stride = 8
 
 let make_table size = { size; buckets = Array.init size (fun _ -> Atomic.make Null) }
 
@@ -123,6 +134,8 @@ let create ?rcu ?flavour ?(initial_size = 8) ?(min_size = 4)
     obs_deletes = Rp_obs.Counter.create ();
     obs_stripe_acq = Rp_obs.Counter.create ();
     obs_stripe_contended = Rp_obs.Counter.create ();
+    stripe_acq_cells = Array.make (nstripes * stripe_cell_stride) 0;
+    stripe_cont_cells = Array.init nstripes (fun _ -> Atomic.make 0);
     resize_hist = Rp_obs.Histogram.create ();
   }
 
@@ -258,20 +271,25 @@ let stripe_of_hash t hash = hash land t.stripe_mask
    memb readers never block on these locks, so memb's synchronize cannot
    wait on a lock waiter and a blocking lock is safe (and cheaper than
    spinning) there. *)
-let lock_stripe t m =
+let lock_stripe t i =
+  let m = t.stripes.(i) in
   Rp_fault.point "rp_ht.stripe.lock";
-  if Mutex.try_lock m then Rp_obs.Counter.incr t.obs_stripe_acq
-  else begin
-    Rp_obs.Counter.incr t.obs_stripe_contended;
-    (match t.rcu_memb with
-    | Some _ -> Mutex.lock m
-    | None ->
-        t.flavour.Flavour.thread_offline ();
-        while not (Mutex.try_lock m) do
-          Domain.cpu_relax ()
-        done);
-    Rp_obs.Counter.incr t.obs_stripe_acq
-  end
+  (if Mutex.try_lock m then Rp_obs.Counter.incr t.obs_stripe_acq
+   else begin
+     Rp_obs.Counter.incr t.obs_stripe_contended;
+     Atomic.incr t.stripe_cont_cells.(i);
+     (match t.rcu_memb with
+     | Some _ -> Mutex.lock m
+     | None ->
+         t.flavour.Flavour.thread_offline ();
+         while not (Mutex.try_lock m) do
+           Domain.cpu_relax ()
+         done);
+     Rp_obs.Counter.incr t.obs_stripe_acq
+   end);
+  (* Held now: the acquisition heatmap cell is lock-protected state. *)
+  let c = i * stripe_cell_stride in
+  Array.unsafe_set t.stripe_acq_cells c (Array.unsafe_get t.stripe_acq_cells c + 1)
 
 (* Ascending order — compatible with move's two-stripe min/max order, so
    single-stripe writers, movers, and all-stripes owners never deadlock.
@@ -280,7 +298,7 @@ let lock_all_stripes t =
   let i = ref 0 in
   try
     while !i < Array.length t.stripes do
-      lock_stripe t t.stripes.(!i);
+      lock_stripe t !i;
       incr i
     done
   with e ->
@@ -575,8 +593,9 @@ let maybe_auto_resize t =
    an expansion left it zipped (updates below assume precise chains),
    mutate, release, then check the auto-resize thresholds. *)
 let with_stripe_hashed t ~hash f =
-  let m = t.stripes.(stripe_of_hash t hash) in
-  lock_stripe t m;
+  let i = stripe_of_hash t hash in
+  let m = t.stripes.(i) in
+  lock_stripe t i;
   match
     ensure_bucket_split t ~hash;
     f ()
@@ -653,11 +672,11 @@ let move t ~from_key ~to_key f =
   let lo = min (stripe_of_hash t h_from) (stripe_of_hash t h_to) in
   let hi = max (stripe_of_hash t h_from) (stripe_of_hash t h_to) in
   let m_lo = t.stripes.(lo) in
-  lock_stripe t m_lo;
+  lock_stripe t lo;
   let m_hi =
     if hi = lo then None
     else
-      match lock_stripe t t.stripes.(hi) with
+      match lock_stripe t hi with
       | () -> Some t.stripes.(hi)
       | exception e ->
           Mutex.unlock m_lo;
@@ -766,6 +785,14 @@ let observe ?(prefix = "rp_ht") t reg =
     (name "resize_ns") t.resize_hist
 
 let lookups t = Rp_obs.Counter.read t.obs_lookups
+
+(* Per-stripe (acquisitions, contended) heatmap snapshot. Acquisition
+   cells are read without the stripe held — a relaxed monitoring read
+   that may trail in-flight writers, like [Counter.read]. *)
+let stripe_heat t =
+  Array.init (Array.length t.stripes) (fun i ->
+      (t.stripe_acq_cells.(i * stripe_cell_stride),
+       Atomic.get t.stripe_cont_cells.(i)))
 
 let bucket_lengths t =
   let table = Atomic.get t.current in

@@ -246,3 +246,9 @@ val observe : ?prefix:string -> ('k, 'v) t -> Rp_obs.Registry.t -> unit
 
 val lookups : ('k, 'v) t -> int
 (** Lifetime {!find} count (striped sum; see {!Rp_obs.Counter.read}). *)
+
+val stripe_heat : ('k, 'v) t -> (int * int) array
+(** Per-stripe [(acquisitions, contended)] heatmap cells behind the
+    aggregate [stripe_acquisitions_total]/[stripe_contended_total]
+    counters — which stripes are hot, not just how hot the lock plane
+    is. One entry per writer stripe. Relaxed monitoring reads. *)

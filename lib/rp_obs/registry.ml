@@ -14,6 +14,8 @@ type kind =
   | Fn_counter of (unit -> float)  (* monotonic source read on demand *)
   | Gauge of (unit -> float)
   | Histogram of Histogram.t
+  | Multi of { label : string; sample : unit -> (string * float) list }
+      (* one gauge family, one sample per label value (e.g. top-k keys) *)
 
 type entry = { name : string; help : string; kind : kind }
 
@@ -69,6 +71,11 @@ let histogram t ?help name =
       h
 
 let gauge t ?help name f = register t ?help name (Gauge f)
+
+let multi_gauge t ?help name ~label sample =
+  if not (valid_name label) then
+    invalid_arg ("Rp_obs.Registry: invalid label name " ^ label);
+  register t ?help name (Multi { label; sample })
 let fn_counter t ?help name f = register t ?help name (Fn_counter f)
 let register_counter t ?help name c = register t ?help name (Counter c)
 let register_histogram t ?help name h = register t ?help name (Histogram h)
@@ -86,7 +93,13 @@ let value t name =
         (match e.kind with
         | Counter c -> float_of_int (Counter.read c)
         | Fn_counter f | Gauge f -> f ()
-        | Histogram h -> float_of_int (Histogram.snapshot h).Histogram.count)
+        | Histogram h -> float_of_int (Histogram.snapshot h).Histogram.count
+        | Multi m -> List.fold_left (fun acc (_, v) -> acc +. v) 0. (m.sample ()))
+
+let reset_histograms t =
+  List.iter
+    (fun e -> match e.kind with Histogram h -> Histogram.reset h | _ -> ())
+    (entries t)
 
 (* --- rendering --- *)
 
@@ -104,6 +117,26 @@ let histogram_lines name (s : Histogram.snapshot) =
     (name ^ "_p99", string_of_int (Histogram.percentile s 0.99));
   ]
 
+(* Prometheus label-value escaping (backslash, quote, newline). *)
+let label_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let multi_lines name label samples =
+  List.map
+    (fun (k, v) ->
+      (Printf.sprintf "%s{%s=\"%s\"}" name label (label_escape k),
+       float_string v))
+    samples
+
 let to_stats ?(filter = fun _ -> true) t =
   List.concat_map
     (fun e ->
@@ -112,7 +145,8 @@ let to_stats ?(filter = fun _ -> true) t =
         match e.kind with
         | Counter c -> [ (e.name, string_of_int (Counter.read c)) ]
         | Fn_counter f | Gauge f -> [ (e.name, float_string (f ())) ]
-        | Histogram h -> histogram_lines e.name (Histogram.snapshot h))
+        | Histogram h -> histogram_lines e.name (Histogram.snapshot h)
+        | Multi m -> multi_lines e.name m.label (m.sample ()))
     (entries t)
 
 let to_json ?filter t =
@@ -171,6 +205,14 @@ let to_prometheus ?(filter = fun _ -> true) t =
             Buffer.add_string buf
               (Printf.sprintf "%s %s\n" e.name (float_string (f ())))
         | Histogram h ->
-            prometheus_histogram buf e.name e.help (Histogram.snapshot h))
+            prometheus_histogram buf e.name e.help (Histogram.snapshot h)
+        | Multi m ->
+            prometheus_header buf e.name e.help "gauge";
+            List.iter
+              (fun (k, v) ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s{%s=\"%s\"} %s\n" e.name m.label
+                     (label_escape k) (float_string v)))
+              (m.sample ()))
     (entries t);
   Buffer.contents buf

@@ -29,6 +29,14 @@ val gauge : t -> ?help:string -> string -> (unit -> float) -> unit
 (** Register a gauge read on demand (current value semantics). Replaces
     any existing instrument of the same name. *)
 
+val multi_gauge :
+  t -> ?help:string -> string -> label:string -> (unit -> (string * float) list) -> unit
+(** Register a labeled gauge family sampled on demand: one sample per
+    [(label_value, value)] pair (e.g. a top-k sketch's keys). Renders in
+    Prometheus as [name{label="value"} v] lines under one [# TYPE name
+    gauge] header, and in stats/JSON with the label baked into the key.
+    The label name must satisfy the metric-name rule. *)
+
 val fn_counter : t -> ?help:string -> string -> (unit -> float) -> unit
 (** Register a monotonic source read on demand — for existing subsystem
     counters (e.g. an [Atomic.t] already maintained elsewhere) that
@@ -39,6 +47,11 @@ val register_counter : t -> ?help:string -> string -> Counter.t -> unit
     existing binding of the name). *)
 
 val register_histogram : t -> ?help:string -> string -> Histogram.t -> unit
+
+val reset_histograms : t -> unit
+(** Zero every registered histogram (the resettable instruments), leaving
+    counters, gauges and multi-gauges untouched — the [stats reset]
+    surface. Racy against concurrent recording, like {!Histogram.reset}. *)
 
 (** {1 Reading} *)
 

@@ -293,7 +293,9 @@ let test_metrics_http () =
   with_server (fun store _addr ->
       ignore (Memcached.Store.set store ~key:"k" ~flags:0 ~exptime:0 ~data:"v");
       let endpoint =
-        Memcached.Metrics_http.start ~registry:(Memcached.Store.registry store) 0
+        Memcached.Metrics_http.start ~registry:(Memcached.Store.registry store)
+          ~heat:(fun n -> Memcached.Store.heat_json ?n store)
+          0
       in
       Fun.protect
         ~finally:(fun () -> Memcached.Metrics_http.stop endpoint)
@@ -353,6 +355,23 @@ let test_metrics_http () =
             (has trace "Content-Type: application/json");
           Alcotest.(check bool) "/trace is a perfetto document" true
             (has trace "\"traceEvents\"");
+          let heat = fetch "/heat" in
+          Alcotest.(check bool) "/heat is 200" true (has heat "HTTP/1.0 200 OK");
+          Alcotest.(check bool) "/heat content type" true
+            (has heat "Content-Type: application/json");
+          Alcotest.(check bool) "/heat is the insight document" true
+            (has heat "\"heat_enabled\"");
+          let heat_n = fetch "/heat?n=1" in
+          Alcotest.(check bool) "/heat?n=1 is 200" true
+            (has heat_n "HTTP/1.0 200 OK");
+          (* A malformed query is the client's bug: answer 400, never a
+             500 or a silently wrong document. *)
+          let bad = fetch "/heat?n=junk" in
+          Alcotest.(check bool) "/heat?n=junk is 400" true
+            (has bad "HTTP/1.0 400 Bad Request");
+          let bad_key = fetch "/heat?depth=3" in
+          Alcotest.(check bool) "/heat unknown param is 400" true
+            (has bad_key "HTTP/1.0 400 Bad Request");
           let missing = fetch "/nope" in
           Alcotest.(check bool) "unknown path is 404" true
             (has missing "HTTP/1.0 404 Not Found");
